@@ -1,0 +1,27 @@
+//! Baseline stream engines for the paper's §4.6 comparison.
+//!
+//! Neither Spark Streaming nor Storm+Trident runs in this offline
+//! environment, so we rebuild their *execution models* — the properties
+//! the paper's single-node measurements are actually dominated by:
+//!
+//! * [`microbatch`] — a Spark-Streaming-like D-Stream engine: input cut
+//!   into interval batches, state held in immutable, unindexed
+//!   RDD-style collections with copy-on-write updates, lineage tracking
+//!   and periodic checkpointing. Its defining cost for the leaderboard
+//!   benchmark: *no index over state*, so vote validation is a full
+//!   scan over all previous votes (§4.6.3).
+//!
+//! * [`topology`] — a Storm+Trident-like engine: a pipeline of bolts on
+//!   their own threads, per-tuple acking through a dedicated acker (the
+//!   at-least-once machinery), and state in an *external* key-value
+//!   store behind a channel (the Memcached of §4.6.2), with Trident's
+//!   batch-commit discipline for exactly-once semantics. Its defining
+//!   costs: one channel hop per bolt per tuple, acker traffic, and one
+//!   round trip per state operation.
+//!
+//! Both engines process the same logical workloads as the S-Store
+//! leaderboard app (see `sstore-workloads`), with *weaker guarantees* —
+//! exactly-once delivery at best, never ACID isolation across state.
+
+pub mod microbatch;
+pub mod topology;

@@ -1,0 +1,47 @@
+//! Criterion bench for Figure 11: Linear Road subset throughput per
+//! partition count (single-core host: see EXPERIMENTS.md caveat).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sstore_bench::bench_dir;
+use sstore_engine::{Engine, EngineConfig};
+use sstore_workloads::gen::TrafficGen;
+use sstore_workloads::linearroad;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_linearroad");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+        .sample_size(10);
+    for partitions in [1usize, 4] {
+        let xways = partitions * 2;
+        let engine = Engine::start(
+            EngineConfig::sstore().with_partitions(partitions).with_data_dir(bench_dir("c11")),
+            linearroad::linear_road_app(),
+        )
+        .unwrap();
+        let mut traffic = TrafficGen::new(5, xways, 30);
+        g.bench_with_input(BenchmarkId::new("partitions", partitions), &partitions, |b, _| {
+            b.iter_custom(|iters| {
+                let mut batches = Vec::new();
+                for _ in 0..iters {
+                    for batch in traffic.tick() {
+                        batches.push(batch.iter().map(|r| r.tuple()).collect::<Vec<_>>());
+                    }
+                }
+                let start = Instant::now();
+                for batch in batches {
+                    engine.ingest("reports", batch).unwrap();
+                }
+                engine.drain().unwrap();
+                start.elapsed()
+            });
+        });
+        engine.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for Figure 5: EE-trigger chain vs per-stage PE→EE
+//! round trips, sampled statistically per trigger count.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sstore_bench::bench_dir;
+use sstore_common::tuple;
+use sstore_engine::{Engine, EngineConfig};
+use sstore_workloads::micro;
+
+const BATCHES_PER_ITER: u64 = 200;
+
+fn drive(engine: &Engine, iters: u64) -> Duration {
+    let start = Instant::now();
+    for i in 0..iters {
+        for v in 0..BATCHES_PER_ITER {
+            engine.ingest("chain_in", vec![tuple![(i * BATCHES_PER_ITER + v) as i64]]).unwrap();
+        }
+        engine.drain().unwrap();
+    }
+    start.elapsed()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_ee_triggers");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10)
+        .throughput(criterion::Throughput::Elements(BATCHES_PER_ITER));
+    for n in [0usize, 4, 10] {
+        let engine =
+            Engine::start(EngineConfig::sstore().with_data_dir(bench_dir("c5s")), micro::ee_chain_sstore(n))
+                .unwrap();
+        g.bench_with_input(BenchmarkId::new("sstore", n), &n, |b, _| {
+            b.iter_custom(|iters| drive(&engine, iters));
+        });
+        engine.shutdown();
+
+        let engine =
+            Engine::start(EngineConfig::sstore().with_data_dir(bench_dir("c5h")), micro::ee_chain_hstore(n))
+                .unwrap();
+        g.bench_with_input(BenchmarkId::new("hstore", n), &n, |b, _| {
+            b.iter_custom(|iters| drive(&engine, iters));
+        });
+        engine.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

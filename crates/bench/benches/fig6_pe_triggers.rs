@@ -1,0 +1,55 @@
+//! Criterion bench for Figure 6: PE-trigger workflows vs client-driven
+//! workflows, per workflow length.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sstore_bench::bench_dir;
+use sstore_common::tuple;
+use sstore_engine::{Engine, EngineConfig};
+use sstore_workloads::micro;
+
+const WFS_PER_ITER: u64 = 100;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_pe_triggers");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10)
+        .throughput(criterion::Throughput::Elements(WFS_PER_ITER));
+    for n in [1usize, 4, 8] {
+        let engine =
+            Engine::start(EngineConfig::sstore().with_data_dir(bench_dir("c6s")), micro::pe_chain(n))
+                .unwrap();
+        g.bench_with_input(BenchmarkId::new("sstore_triggered", n), &n, |b, _| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for i in 0..iters * WFS_PER_ITER {
+                    engine.ingest("wf_in", vec![tuple![i as i64]]).unwrap();
+                }
+                engine.drain().unwrap();
+                start.elapsed()
+            });
+        });
+        engine.shutdown();
+
+        let engine =
+            Engine::start(EngineConfig::hstore().with_data_dir(bench_dir("c6h")), micro::pe_chain(n))
+                .unwrap();
+        g.bench_with_input(BenchmarkId::new("hstore_client_driven", n), &n, |b, _| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for i in 0..iters * WFS_PER_ITER {
+                    let (_, out) = engine.ingest_sync("wf_in", vec![tuple![i as i64]]).unwrap();
+                    engine.drive(0, out).unwrap();
+                }
+                start.elapsed()
+            });
+        });
+        engine.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

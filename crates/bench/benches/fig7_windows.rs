@@ -1,0 +1,55 @@
+//! Criterion bench for Figure 7: native vs manual sliding windows.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sstore_bench::bench_dir;
+use sstore_common::tuple;
+use sstore_engine::{Engine, EngineConfig};
+use sstore_workloads::micro;
+
+const TUPLES_PER_ITER: u64 = 200;
+
+fn drive(engine: &Engine, iters: u64) -> Duration {
+    let start = Instant::now();
+    for i in 0..iters * TUPLES_PER_ITER {
+        engine.ingest("win_in", vec![tuple![i as i64]]).unwrap();
+    }
+    engine.drain().unwrap();
+    start.elapsed()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_windows");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10)
+        .throughput(criterion::Throughput::Elements(TUPLES_PER_ITER));
+    for size in [100usize, 1000] {
+        let slide = size / 5;
+        let engine = Engine::start(
+            EngineConfig::sstore().with_data_dir(bench_dir("c7n")),
+            micro::window_native(size, slide),
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("native", size), &size, |b, _| {
+            b.iter_custom(|iters| drive(&engine, iters));
+        });
+        engine.shutdown();
+
+        let engine = Engine::start(
+            EngineConfig::sstore().with_data_dir(bench_dir("c7m")),
+            micro::window_manual(size, slide),
+        )
+        .unwrap();
+        engine.call("seed", vec![]).unwrap();
+        g.bench_with_input(BenchmarkId::new("manual", size), &size, |b, _| {
+            b.iter_custom(|iters| drive(&engine, iters));
+        });
+        engine.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

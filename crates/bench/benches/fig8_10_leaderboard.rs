@@ -1,0 +1,70 @@
+//! Criterion bench covering Figures 8 and 10: leaderboard throughput on
+//! S-Store (max rate), the Trident-like topology, and the Spark-like
+//! micro-batch engine, with/without validation.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sstore_baselines::microbatch::DStreamEngine;
+use sstore_bench::bench_dir;
+use sstore_engine::{Engine, EngineConfig, LoggingConfig};
+use sstore_workloads::gen::VoteGen;
+use sstore_workloads::voter;
+use sstore_workloads::voter_baselines::{run_microbatch, run_topology};
+
+const VOTES_PER_ITER: u64 = 200;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_10_leaderboard");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1000))
+        .sample_size(10)
+        .throughput(criterion::Throughput::Elements(VOTES_PER_ITER));
+    for validate in [true, false] {
+        let tag = if validate { "validated" } else { "novalidate" };
+        // S-Store (logging on, one vote per transaction).
+        let cfg = EngineConfig::sstore()
+            .with_data_dir(bench_dir("c8"))
+            .with_logging(LoggingConfig { enabled: true, group_commit: 64, fsync: false });
+        let engine = Engine::start(cfg, voter::leaderboard_app(validate)).unwrap();
+        voter::seed(&engine, 10).unwrap();
+        let mut gen = VoteGen::new(77, 10, 0);
+        g.bench_function(BenchmarkId::new("sstore", tag), |b| {
+            b.iter_custom(|iters| {
+                let votes = gen.votes((iters * VOTES_PER_ITER) as usize);
+                let start = Instant::now();
+                for v in &votes {
+                    engine.ingest("votes_in", vec![v.tuple()]).unwrap();
+                }
+                engine.drain().unwrap();
+                start.elapsed()
+            });
+        });
+        engine.shutdown();
+
+        // Trident-like topology (fresh store per iteration batch).
+        g.bench_function(BenchmarkId::new("trident_like", tag), |b| {
+            b.iter_custom(|iters| {
+                let votes = VoteGen::new(78, 10, 0).votes((iters * VOTES_PER_ITER) as usize);
+                let start = Instant::now();
+                run_topology(&votes, 50, validate).unwrap();
+                start.elapsed()
+            });
+        });
+
+        // Spark-like micro-batch.
+        g.bench_function(BenchmarkId::new("spark_like", tag), |b| {
+            b.iter_custom(|iters| {
+                let votes = VoteGen::new(79, 10, 0).votes((iters * VOTES_PER_ITER) as usize);
+                let mut engine = DStreamEngine::new(100);
+                let start = Instant::now();
+                run_microbatch(&mut engine, &votes, 50, validate).unwrap();
+                start.elapsed()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

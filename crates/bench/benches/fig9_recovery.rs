@@ -1,0 +1,44 @@
+//! Criterion bench for Figure 9a: logging-path throughput under strong
+//! vs weak recovery modes (no group commit).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sstore_bench::bench_dir;
+use sstore_common::tuple;
+use sstore_engine::{Engine, EngineConfig, LoggingConfig, RecoveryMode};
+use sstore_workloads::micro;
+
+const WFS_PER_ITER: u64 = 100;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_logging");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10)
+        .throughput(criterion::Throughput::Elements(WFS_PER_ITER));
+    for n in [2usize, 8] {
+        for (mode, tag) in [(RecoveryMode::Weak, "weak"), (RecoveryMode::Strong, "strong")] {
+            let cfg = EngineConfig::sstore()
+                .with_data_dir(bench_dir("c9"))
+                .with_recovery(mode)
+                .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false });
+            let engine = Engine::start(cfg, micro::pe_chain(n)).unwrap();
+            g.bench_function(BenchmarkId::new(tag, n), |b| {
+                b.iter_custom(|iters| {
+                    let start = Instant::now();
+                    for i in 0..iters * WFS_PER_ITER {
+                        engine.ingest("wf_in", vec![tuple![i as i64]]).unwrap();
+                    }
+                    engine.drain().unwrap();
+                    start.elapsed()
+                });
+            });
+            engine.shutdown();
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

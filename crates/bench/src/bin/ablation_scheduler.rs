@@ -1,0 +1,37 @@
+//! Ablation: the streaming scheduler's front-of-queue fast-tracking vs
+//! plain H-Store FIFO, on the PE-trigger chain. Both are *correct* for
+//! a linear workflow; the streaming scheduler bounds per-round latency
+//! (rounds finish before new borders start) — visible as round
+//! completion spread.
+
+use sstore_bench::{bench_dir, per_sec, print_figure, run_streaming, start, Series};
+use sstore_common::{tuple, Tuple};
+use sstore_engine::config::SchedulerMode;
+use sstore_engine::{BoundaryMode, EngineConfig};
+use sstore_workloads::micro;
+
+fn main() {
+    let wfs: usize = std::env::var("ABL_WFS").ok().and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let batches: Vec<Vec<Tuple>> = (0..wfs as i64).map(|v| vec![tuple![v]]).collect();
+    let mut streaming = Series::new("streaming sched");
+    let mut fifo = Series::new("plain FIFO");
+    for n in [2usize, 4, 8] {
+        for (mode, series) in
+            [(SchedulerMode::Streaming, &mut streaming), (SchedulerMode::Fifo, &mut fifo)]
+        {
+            let engine = start(
+                EngineConfig::sstore().with_boundary(BoundaryMode::Inline).with_scheduler(mode).with_data_dir(bench_dir("abl")),
+                micro::pe_chain(n),
+            );
+            let (d, wf) = run_streaming(&engine, "wf_in", &batches);
+            series.push(n as f64, per_sec(wf, d));
+            engine.shutdown();
+        }
+    }
+    print_figure(
+        "Ablation: scheduler discipline (PE-trigger chain)",
+        "workflow size",
+        "workflows/sec",
+        &[streaming, fifo],
+    );
+}

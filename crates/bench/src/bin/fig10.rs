@@ -1,0 +1,57 @@
+//! Figure 10: the leaderboard workload on modern SDMS models — S-Store
+//! (full ACID, logging on) vs a Storm/Trident-like topology vs a
+//! Spark-Streaming-like micro-batch engine, with and without vote
+//! validation (the indexed-lookup vs full-scan contrast of §4.6.3).
+
+use std::time::Instant;
+
+use sstore_baselines::microbatch::DStreamEngine;
+use sstore_bench::{bench_dir, per_sec, print_figure, run_streaming, start, Series};
+use sstore_engine::{BoundaryMode, EngineConfig, LoggingConfig};
+use sstore_workloads::gen::VoteGen;
+use sstore_workloads::voter;
+use sstore_workloads::voter_baselines::{run_microbatch, run_topology};
+
+fn main() {
+    let n: usize = std::env::var("FIG10_VOTES").ok().and_then(|s| s.parse().ok()).unwrap_or(60000);
+    let votes = VoteGen::new(21, 10, 20).votes(n);
+    let batch = 50;
+
+    let mut results: Vec<Series> = Vec::new();
+    for validate in [true, false] {
+        let tag = if validate { "with validation" } else { "no validation" };
+        let mut s = Series::new(format!("S-Store ({tag})"));
+        let mut t = Series::new(format!("Trident-like ({tag})"));
+        let mut m = Series::new(format!("Spark-like ({tag})"));
+
+        // S-Store: transactional, one vote per batch, logging on (§4.6.3).
+        let cfg = EngineConfig::sstore().with_boundary(BoundaryMode::Inline)
+            .with_data_dir(bench_dir("fig10"))
+            .with_logging(LoggingConfig { enabled: true, group_commit: 64, fsync: false });
+        let engine = start(cfg, voter::leaderboard_app(validate));
+        voter::seed(&engine, 10).expect("seed");
+        let batches: Vec<_> = votes.iter().map(|v| vec![v.tuple()]).collect();
+        let (d, _) = run_streaming(&engine, "votes_in", &batches);
+        s.push(0.0, per_sec(n as u64, d));
+        engine.shutdown();
+
+        // Storm/Trident-like.
+        let t0 = Instant::now();
+        run_topology(&votes, batch, validate).expect("topology");
+        t.push(0.0, per_sec(n as u64, t0.elapsed()));
+
+        // Spark-like micro-batch.
+        let mut engine = DStreamEngine::new(100);
+        let t0 = Instant::now();
+        run_microbatch(&mut engine, &votes, batch, validate).expect("microbatch");
+        m.push(0.0, per_sec(n as u64, t0.elapsed()));
+
+        results.extend([s, t, m]);
+    }
+    println!("\n== Figure 10: voter w/ leaderboard on modern SDMSs ==");
+    println!("   ({n} votes; S-Store: 1 vote/txn + logging; baselines: batch {batch})");
+    for s in &results {
+        println!("{:>34}: {:>12.1} votes/sec", s.label, s.points[0].1);
+    }
+    let _ = print_figure; // table above is clearer for a bar chart
+}

@@ -1,0 +1,61 @@
+//! Figure 11: multi-partition scalability on the Linear Road subset.
+//!
+//! The paper reports "x-ways supported per core under a 1-second
+//! latency threshold" on a 64-core Xeon. This container exposes a
+//! single core, so partitions time-share it: we report measured
+//! aggregate throughput per partition count plus the derived
+//! x-ways-supported figure (throughput ÷ the per-x-way report rate),
+//! and the relative speedup — the quantity whose linearity the paper
+//! demonstrates. See EXPERIMENTS.md for the honest reading.
+
+use std::time::Instant;
+
+use sstore_bench::{bench_dir, print_figure, start, Series};
+use sstore_engine::{BoundaryMode, EngineConfig};
+use sstore_workloads::gen::TrafficGen;
+use sstore_workloads::linearroad;
+
+/// Reports per second one x-way generates (vehicles report every 30s).
+const VEHICLES_PER_XWAY: usize = 60;
+const XWAY_REPORT_RATE: f64 = VEHICLES_PER_XWAY as f64 / 30.0;
+
+fn main() {
+    let ticks: usize = std::env::var("FIG11_TICKS").ok().and_then(|s| s.parse().ok()).unwrap_or(20);
+    let mut tput = Series::new("reports/sec");
+    let mut supported = Series::new("x-ways supported");
+    for partitions in [1usize, 2, 4, 8] {
+        let xways = partitions * 4;
+        let engine = start(
+            EngineConfig::sstore().with_boundary(BoundaryMode::Inline)
+                .with_partitions(partitions)
+                .with_data_dir(bench_dir("fig11")),
+            linearroad::linear_road_app(),
+        );
+        let mut traffic = TrafficGen::new(33, xways, VEHICLES_PER_XWAY);
+        // Pre-generate so generation cost is outside the timed window.
+        let mut all: Vec<Vec<sstore_common::Tuple>> = Vec::new();
+        let mut reports = 0u64;
+        for _ in 0..ticks {
+            for b in traffic.tick() {
+                reports += b.len() as u64;
+                all.push(b.iter().map(|r| r.tuple()).collect());
+            }
+        }
+        let t0 = Instant::now();
+        for batch in all {
+            engine.ingest("reports", batch).expect("ingest");
+        }
+        engine.drain().expect("drain");
+        let secs = t0.elapsed().as_secs_f64();
+        let rate = reports as f64 / secs;
+        tput.push(partitions as f64, rate);
+        supported.push(partitions as f64, (rate / XWAY_REPORT_RATE).floor());
+        engine.shutdown();
+    }
+    print_figure(
+        "Figure 11: Linear Road scalability (CAVEAT: single-core host)",
+        "partitions",
+        "aggregate throughput / derived x-ways",
+        &[tput, supported],
+    );
+}

@@ -1,0 +1,31 @@
+//! Figure 5: EE triggers — S-Store's in-EE trigger chain vs H-Store's
+//! per-stage PE→EE round trips, sweeping the number of chain stages.
+
+use sstore_bench::{bench_dir, per_sec, print_figure, run_streaming, start, Series};
+use sstore_common::{tuple, Tuple};
+use sstore_engine::EngineConfig;
+use sstore_workloads::micro;
+
+fn main() {
+    let txns: usize = std::env::var("FIG5_TXNS").ok().and_then(|s| s.parse().ok()).unwrap_or(5000);
+    let batches: Vec<Vec<Tuple>> = (0..txns as i64).map(|v| vec![tuple![v]]).collect();
+    let mut sstore = Series::new("S-Store");
+    let mut hstore = Series::new("H-Store");
+    for n in [0usize, 1, 2, 4, 6, 8, 10] {
+        let engine = start(EngineConfig::sstore().with_data_dir(bench_dir("fig5s")), micro::ee_chain_sstore(n));
+        let (d, _) = run_streaming(&engine, "chain_in", &batches);
+        sstore.push(n as f64, per_sec(txns as u64, d));
+        engine.shutdown();
+
+        let engine = start(EngineConfig::sstore().with_data_dir(bench_dir("fig5h")), micro::ee_chain_hstore(n));
+        let (d, _) = run_streaming(&engine, "chain_in", &batches);
+        hstore.push(n as f64, per_sec(txns as u64, d));
+        engine.shutdown();
+    }
+    print_figure(
+        "Figure 5: EE trigger micro-benchmark",
+        "EE triggers",
+        "transactions/sec",
+        &[sstore, hstore],
+    );
+}

@@ -1,0 +1,36 @@
+//! Figure 6: PE triggers — S-Store's in-engine workflow activation vs
+//! H-Store's client-driven step-by-step submission, sweeping workflow
+//! length (log-scale gap in the paper).
+
+use sstore_bench::{bench_dir, per_sec, print_figure, run_client_driven, run_streaming, start, Series};
+use sstore_common::{tuple, Tuple};
+use sstore_engine::{BoundaryMode, EngineConfig};
+use sstore_workloads::micro;
+
+fn main() {
+    let wfs: usize = std::env::var("FIG6_WFS").ok().and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let batches: Vec<Vec<Tuple>> = (0..wfs as i64).map(|v| vec![tuple![v]]).collect();
+    let mut sstore = Series::new("S-Store");
+    let mut hstore = Series::new("H-Store");
+    for n in [1usize, 2, 4, 8, 16] {
+        let engine = start(EngineConfig::sstore().with_boundary(BoundaryMode::Inline).with_data_dir(bench_dir("fig6s")), micro::pe_chain(n));
+        let (d, wf) = run_streaming(&engine, "wf_in", &batches);
+        sstore.push(n as f64, per_sec(wf, d));
+        engine.shutdown();
+
+        // H-Store: the client must wait for each step before submitting
+        // the next (no asynchronous submission, §4.2). Fewer workflows
+        // keep the run short — throughput is rate, not volume.
+        let h_batches = &batches[..(wfs / 4).max(1)];
+        let engine = start(EngineConfig::hstore().with_boundary(BoundaryMode::Inline).with_data_dir(bench_dir("fig6h")), micro::pe_chain(n));
+        let (d, wf) = run_client_driven(&engine, "wf_in", h_batches);
+        hstore.push(n as f64, per_sec(wf, d));
+        engine.shutdown();
+    }
+    print_figure(
+        "Figure 6: PE trigger micro-benchmark",
+        "workflow size",
+        "workflows/sec (log-scale in paper)",
+        &[sstore, hstore],
+    );
+}

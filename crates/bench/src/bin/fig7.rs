@@ -1,0 +1,36 @@
+//! Figure 7: native EE windowing vs H-Store-style manual window
+//! maintenance (metadata table + staged flags), sweeping window size.
+
+use sstore_bench::{bench_dir, per_sec, print_figure, run_streaming, start, Series};
+use sstore_common::{tuple, Tuple};
+use sstore_engine::EngineConfig;
+use sstore_workloads::micro;
+
+fn main() {
+    let tuples: usize =
+        std::env::var("FIG7_TUPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(5000);
+    let batches: Vec<Vec<Tuple>> = (0..tuples as i64).map(|v| vec![tuple![v]]).collect();
+    let mut native = Series::new("S-Store native");
+    let mut manual = Series::new("H-Store manual");
+    for size in [10usize, 50, 100, 500, 1000] {
+        let slide = (size / 5).max(1);
+        let engine =
+            start(EngineConfig::sstore().with_data_dir(bench_dir("fig7n")), micro::window_native(size, slide));
+        let (d, _) = run_streaming(&engine, "win_in", &batches);
+        native.push(size as f64, per_sec(tuples as u64, d));
+        engine.shutdown();
+
+        let engine =
+            start(EngineConfig::sstore().with_data_dir(bench_dir("fig7m")), micro::window_manual(size, slide));
+        engine.call("seed", vec![]).expect("seed");
+        let (d, _) = run_streaming(&engine, "win_in", &batches);
+        manual.push(size as f64, per_sec(tuples as u64, d));
+        engine.shutdown();
+    }
+    print_figure(
+        "Figure 7: window micro-benchmark (slide = size/5)",
+        "window size",
+        "transactions/sec",
+        &[native, manual],
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 8: leaderboard maintenance — S-Store vs H-Store workflow
+//! throughput as the offered vote rate grows. H-Store saturates once
+//! the per-step client round trips exceed the arrival interval;
+//! S-Store keeps absorbing votes through PE triggers.
+
+use std::time::Duration;
+
+use sstore_bench::{bench_dir, print_figure, run_paced, start, Series};
+use sstore_engine::{BoundaryMode, EngineConfig};
+use sstore_workloads::gen::VoteGen;
+use sstore_workloads::voter;
+
+fn main() {
+    let window = Duration::from_millis(
+        std::env::var("FIG8_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(1500),
+    );
+    let rates = [500.0, 2000.0, 8000.0, 16000.0, 32000.0, 64000.0, 128000.0];
+    let mut sstore = Series::new("S-Store");
+    let mut hstore = Series::new("H-Store");
+    for &rate in &rates {
+        let n = (rate * window.as_secs_f64() * 1.2) as usize + 10;
+        let votes = VoteGen::new(8, 10, 20).votes(n);
+        let batches: Vec<_> = votes.iter().map(|v| vec![v.tuple()]).collect();
+
+        let engine =
+            start(EngineConfig::sstore().with_boundary(BoundaryMode::Inline).with_data_dir(bench_dir("fig8s")), voter::leaderboard_app(true));
+        voter::seed(&engine, 10).expect("seed");
+        let achieved = run_paced(&engine, "votes_in", &batches, rate, window, false);
+        sstore.push(rate, achieved);
+        engine.shutdown();
+
+        let engine =
+            start(EngineConfig::hstore().with_boundary(BoundaryMode::Inline).with_data_dir(bench_dir("fig8h")), voter::leaderboard_app(true));
+        voter::seed(&engine, 10).expect("seed");
+        let achieved = run_paced(&engine, "votes_in", &batches, rate, window, true);
+        hstore.push(rate, achieved);
+        engine.shutdown();
+    }
+    print_figure(
+        "Figure 8: leaderboard maintenance (input rate sweep)",
+        "votes/sec offered",
+        "workflows/sec achieved",
+        &[sstore, hstore],
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 9a: logging overhead — strong recovery (log every TE) vs weak
+//! recovery (log border TEs only), without group commit, sweeping
+//! workflow length; plus the group-commit ablation the paper discusses.
+
+use sstore_bench::{bench_dir, per_sec, print_figure, run_streaming, start, Series};
+use sstore_common::{tuple, Tuple};
+use sstore_engine::{BoundaryMode, EngineConfig, LoggingConfig, RecoveryMode};
+use sstore_workloads::micro;
+
+fn run(n: usize, mode: RecoveryMode, group: usize, batches: &[Vec<Tuple>]) -> f64 {
+    // fsync on: the no-group-commit comparison is about each commit
+    // paying a real durability boundary (§4.4) — without it the log
+    // write disappears into the page cache and both modes look alike.
+    let cfg = EngineConfig::sstore().with_boundary(BoundaryMode::Inline)
+        .with_data_dir(bench_dir("fig9a"))
+        .with_recovery(mode)
+        .with_logging(LoggingConfig { enabled: true, group_commit: group, fsync: true });
+    let engine = start(cfg, micro::pe_chain(n));
+    let (d, wf) = run_streaming(&engine, "wf_in", batches);
+    engine.flush_logs().expect("flush");
+    engine.shutdown();
+    per_sec(wf, d)
+}
+
+fn main() {
+    let wfs: usize = std::env::var("FIG9A_WFS").ok().and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let batches: Vec<Vec<Tuple>> = (0..wfs as i64).map(|v| vec![tuple![v]]).collect();
+    let sizes = [1usize, 2, 4, 8, 16];
+
+    let mut weak = Series::new("weak (border only)");
+    let mut strong = Series::new("strong (all TEs)");
+    for &n in &sizes {
+        weak.push(n as f64, run(n, RecoveryMode::Weak, 1, &batches));
+        strong.push(n as f64, run(n, RecoveryMode::Strong, 1, &batches));
+    }
+    print_figure(
+        "Figure 9a: logging overhead, no group commit",
+        "workflow size",
+        "workflows/sec",
+        &[weak, strong],
+    );
+
+    // Ablation: group commit narrows the gap (the paper's motivation for
+    // comparing the no-group-commit case).
+    let mut weak_g = Series::new("weak, group=64");
+    let mut strong_g = Series::new("strong, group=64");
+    for &n in &sizes {
+        weak_g.push(n as f64, run(n, RecoveryMode::Weak, 64, &batches));
+        strong_g.push(n as f64, run(n, RecoveryMode::Strong, 64, &batches));
+    }
+    print_figure(
+        "Figure 9a ablation: with group commit (64)",
+        "workflow size",
+        "workflows/sec",
+        &[weak_g, strong_g],
+    );
+}

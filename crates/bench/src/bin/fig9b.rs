@@ -1,0 +1,47 @@
+//! Figure 9b: recovery time — strong recovery replays every logged TE
+//! through a per-record client round trip (time grows with workflow
+//! length); weak recovery re-derives interior TEs via PE triggers
+//! inside the engine (time stays ~flat).
+
+use std::time::Instant;
+
+use sstore_bench::{bench_dir, print_figure, run_streaming, start, Series};
+use sstore_common::{tuple, Tuple};
+use sstore_engine::recovery::recover;
+use sstore_engine::{BoundaryMode, EngineConfig, LoggingConfig, RecoveryMode};
+use sstore_workloads::micro;
+
+fn crash_then_recover(n: usize, mode: RecoveryMode, batches: &[Vec<Tuple>]) -> f64 {
+    let cfg = EngineConfig::sstore().with_boundary(BoundaryMode::Inline)
+        .with_data_dir(bench_dir("fig9b"))
+        .with_recovery(mode)
+        .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false });
+    let engine = start(cfg.clone(), micro::pe_chain(n));
+    run_streaming(&engine, "wf_in", batches);
+    engine.flush_logs().expect("flush");
+    engine.shutdown(); // "crash" after a clean log
+
+    let t = Instant::now();
+    let (engine, report) = recover(cfg, micro::pe_chain(n)).expect("recover");
+    let secs = t.elapsed().as_secs_f64();
+    assert!(report.records_replayed > 0);
+    engine.shutdown();
+    secs * 1000.0
+}
+
+fn main() {
+    let wfs: usize = std::env::var("FIG9B_WFS").ok().and_then(|s| s.parse().ok()).unwrap_or(500);
+    let batches: Vec<Vec<Tuple>> = (0..wfs as i64).map(|v| vec![tuple![v]]).collect();
+    let mut weak = Series::new("weak recovery");
+    let mut strong = Series::new("strong recovery");
+    for n in [1usize, 2, 4, 8, 16] {
+        weak.push(n as f64, crash_then_recover(n, RecoveryMode::Weak, &batches));
+        strong.push(n as f64, crash_then_recover(n, RecoveryMode::Strong, &batches));
+    }
+    print_figure(
+        &format!("Figure 9b: recovery time for {wfs} workflows"),
+        "workflow size",
+        "recovery time (ms)",
+        &[weak, strong],
+    );
+}

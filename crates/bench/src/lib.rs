@@ -1,0 +1,195 @@
+//! Benchmark harness reproducing the S-Store paper's evaluation
+//! (§4, Figures 5–11).
+//!
+//! Every figure has a binary (`cargo run --release -p sstore-bench --bin
+//! figN`) that prints the same series the paper plots, and a Criterion
+//! bench (`cargo bench -p sstore-bench`) for statistically sampled
+//! micro-measurements. Absolute numbers differ from the paper's 2015
+//! Xeon testbed (see EXPERIMENTS.md); the harness is about reproducing
+//! *shapes*: who wins, by what factor, and where crossovers fall.
+
+use std::sync::atomic::Ordering::Relaxed;
+use std::time::{Duration, Instant};
+
+use sstore_common::Tuple;
+use sstore_engine::{App, Engine, EngineConfig};
+
+/// A named series of `(x, y)` points, printed as a table.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Series label (e.g. `"S-Store"`).
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Adds a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// Prints a figure as an aligned table: one row per x, one column per
+/// series, plus a ratio column when there are exactly two series.
+pub fn print_figure(title: &str, x_label: &str, y_label: &str, series: &[Series]) {
+    println!("\n== {title} ==");
+    println!("   ({y_label})");
+    print!("{x_label:>12}");
+    for s in series {
+        print!(" {:>16}", s.label);
+    }
+    if series.len() == 2 {
+        print!(" {:>10}", "ratio");
+    }
+    println!();
+    let n = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..n {
+        let x = series.iter().find_map(|s| s.points.get(i).map(|p| p.0)).unwrap_or(f64::NAN);
+        print!("{x:>12.1}");
+        for s in series {
+            match s.points.get(i) {
+                Some((_, y)) => print!(" {y:>16.1}"),
+                None => print!(" {:>16}", "-"),
+            }
+        }
+        if series.len() == 2 {
+            if let (Some(a), Some(b)) = (series[0].points.get(i), series[1].points.get(i)) {
+                if b.1 > 0.0 {
+                    print!(" {:>10.2}", a.1 / b.1);
+                }
+            }
+        }
+        println!();
+    }
+}
+
+/// Fresh unique data directory for one benchmark run.
+pub fn bench_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::AtomicUsize;
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "sstore-bench-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Relaxed)
+    ))
+}
+
+/// Ingests every batch asynchronously, drains, and returns
+/// (elapsed, workflows completed) — S-Store's natural streaming mode.
+pub fn run_streaming(engine: &Engine, stream: &str, batches: &[Vec<Tuple>]) -> (Duration, u64) {
+    let before = engine.metrics().workflows_completed.load(Relaxed);
+    let start = Instant::now();
+    for b in batches {
+        engine.ingest(stream, b.clone()).expect("ingest");
+    }
+    engine.drain().expect("drain");
+    let elapsed = start.elapsed();
+    let after = engine.metrics().workflows_completed.load(Relaxed);
+    (elapsed, after - before)
+}
+
+/// Drives every batch through the H-Store client loop (synchronous
+/// submit + explicit driving of each downstream step). Returns
+/// (elapsed, workflows completed).
+pub fn run_client_driven(engine: &Engine, stream: &str, batches: &[Vec<Tuple>]) -> (Duration, u64) {
+    let before = engine.metrics().workflows_completed.load(Relaxed);
+    let start = Instant::now();
+    for b in batches {
+        let (_, outcome) = engine.ingest_sync(stream, b.clone()).expect("ingest");
+        engine.drive(0, outcome).expect("drive");
+    }
+    let elapsed = start.elapsed();
+    let after = engine.metrics().workflows_completed.load(Relaxed);
+    (elapsed, after - before)
+}
+
+/// Paced ingestion: offers batches at `rate` per second for at most
+/// `window`; returns achieved workflows/sec (completed / elapsed
+/// including the final drain). Models the §4.5 input-rate sweep.
+pub fn run_paced(
+    engine: &Engine,
+    stream: &str,
+    batches: &[Vec<Tuple>],
+    rate: f64,
+    window: Duration,
+    client_driven: bool,
+) -> f64 {
+    let before = engine.metrics().workflows_completed.load(Relaxed);
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let start = Instant::now();
+    for (i, b) in batches.iter().enumerate() {
+        let due = start + interval * i as u32;
+        // Sleep (don't spin): on small hosts a spinning client starves
+        // the engine threads of the core they need.
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        if start.elapsed() > window {
+            break;
+        }
+        if client_driven {
+            let (_, outcome) = engine.ingest_sync(stream, b.clone()).expect("ingest");
+            engine.drive(0, outcome).expect("drive");
+        } else {
+            engine.ingest(stream, b.clone()).expect("ingest");
+        }
+    }
+    engine.drain().expect("drain");
+    let elapsed = start.elapsed();
+    let after = engine.metrics().workflows_completed.load(Relaxed);
+    (after - before) as f64 / elapsed.as_secs_f64()
+}
+
+/// Starts an engine, panicking on failure (bench-binary convenience).
+pub fn start(config: EngineConfig, app: App) -> Engine {
+    Engine::start(config, app).expect("engine start")
+}
+
+/// Throughput in ops/sec.
+pub fn per_sec(n: u64, d: Duration) -> f64 {
+    n as f64 / d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstore_common::tuple;
+    use sstore_workloads::micro;
+
+    #[test]
+    fn harness_measures_both_modes() {
+        let app = micro::pe_chain(2);
+        let engine = start(EngineConfig::default().with_data_dir(bench_dir("t")), app);
+        let batches: Vec<Vec<Tuple>> = (0..20i64).map(|v| vec![tuple![v]]).collect();
+        let (d, wf) = run_streaming(&engine, "wf_in", &batches);
+        assert_eq!(wf, 20);
+        assert!(per_sec(wf, d) > 0.0);
+        engine.shutdown();
+
+        let app = micro::pe_chain(2);
+        let engine = start(
+            EngineConfig::hstore().with_data_dir(bench_dir("t2")),
+            app,
+        );
+        let (_, wf) = run_client_driven(&engine, "wf_in", &batches);
+        assert_eq!(wf, 20);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn series_printing_does_not_panic() {
+        let mut a = Series::new("A");
+        a.push(1.0, 10.0);
+        a.push(2.0, 20.0);
+        let mut b = Series::new("B");
+        b.push(1.0, 5.0);
+        print_figure("test", "x", "y", &[a, b]);
+    }
+}

@@ -1,0 +1,414 @@
+//! Compact binary codec for checkpoints and the command log.
+//!
+//! Hand-rolled rather than pulling in a serde format: the on-disk
+//! artifacts of this system (snapshots, command-log records) are simple
+//! framed sequences of primitives, and owning the byte layout makes the
+//! recovery code auditable.
+//!
+//! Layout conventions:
+//! * integers are little-endian fixed width, except lengths and counts
+//!   which use LEB128-style varints;
+//! * every [`Value`] is prefixed by a one-byte type tag;
+//! * composite encoders ([`Encoder`]) append to a growable buffer;
+//!   [`Decoder`] reads from a slice and tracks its offset, failing with
+//!   `Error::Codec` on truncation or bad tags (never panicking on
+//!   malformed input).
+
+use crate::error::{Error, Result};
+use crate::schema::{Column, DataType, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_TEXT: u8 = 3;
+const TAG_BOOL_FALSE: u8 = 4;
+const TAG_BOOL_TRUE: u8 = 5;
+
+/// Append-only binary encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Fresh empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Fresh encoder with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Finishes encoding and returns the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian i64.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an f64 as its IEEE bits.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Writes an unsigned LEB128 varint.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_varint(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Writes a tagged [`Value`].
+    pub fn put_value(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.put_u8(TAG_NULL),
+            Value::Int(i) => {
+                self.put_u8(TAG_INT);
+                self.put_i64(*i);
+            }
+            Value::Float(f) => {
+                self.put_u8(TAG_FLOAT);
+                self.put_f64(*f);
+            }
+            Value::Text(s) => {
+                self.put_u8(TAG_TEXT);
+                self.put_str(s);
+            }
+            Value::Bool(false) => self.put_u8(TAG_BOOL_FALSE),
+            Value::Bool(true) => self.put_u8(TAG_BOOL_TRUE),
+        }
+    }
+
+    /// Writes a tuple as a count followed by tagged values.
+    pub fn put_tuple(&mut self, t: &Tuple) {
+        self.put_varint(t.arity() as u64);
+        for v in t.values() {
+            self.put_value(v);
+        }
+    }
+
+    /// Writes a schema.
+    pub fn put_schema(&mut self, s: &Schema) {
+        self.put_varint(s.arity() as u64);
+        for c in s.columns() {
+            self.put_str(&c.name);
+            self.put_u8(match c.dtype {
+                DataType::Int => 0,
+                DataType::Float => 1,
+                DataType::Text => 2,
+                DataType::Bool => 3,
+            });
+            self.put_u8(u8::from(c.nullable));
+        }
+    }
+}
+
+/// Slice-backed binary decoder.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True once all input is consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::Codec(format!(
+                "truncated input: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("slice of length 4")))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("slice of length 8")))
+    }
+
+    /// Reads a little-endian i64.
+    pub fn get_i64(&mut self) -> Result<i64> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes(b.try_into().expect("slice of length 8")))
+    }
+
+    /// Reads an f64 from IEEE bits.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    pub fn get_varint(&mut self) -> Result<u64> {
+        let mut shift = 0u32;
+        let mut out = 0u64;
+        loop {
+            let byte = self.get_u8()?;
+            if shift >= 64 {
+                return Err(Error::Codec("varint overflows u64".into()));
+            }
+            out |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_varint()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|e| Error::Codec(format!("invalid utf-8: {e}")))
+    }
+
+    /// Reads a tagged [`Value`].
+    pub fn get_value(&mut self) -> Result<Value> {
+        match self.get_u8()? {
+            TAG_NULL => Ok(Value::Null),
+            TAG_INT => Ok(Value::Int(self.get_i64()?)),
+            TAG_FLOAT => Ok(Value::Float(self.get_f64()?)),
+            TAG_TEXT => Ok(Value::Text(self.get_str()?)),
+            TAG_BOOL_FALSE => Ok(Value::Bool(false)),
+            TAG_BOOL_TRUE => Ok(Value::Bool(true)),
+            t => Err(Error::Codec(format!("unknown value tag {t}"))),
+        }
+    }
+
+    /// Reads a tuple.
+    pub fn get_tuple(&mut self) -> Result<Tuple> {
+        let n = self.get_varint()? as usize;
+        // Guard against hostile lengths: a tuple can't be longer than the
+        // remaining input (each value takes >= 1 byte).
+        if n > self.remaining() {
+            return Err(Error::Codec(format!("tuple arity {n} exceeds remaining input")));
+        }
+        let mut vals = Vec::with_capacity(n);
+        for _ in 0..n {
+            vals.push(self.get_value()?);
+        }
+        Ok(Tuple::new(vals))
+    }
+
+    /// Reads a schema.
+    pub fn get_schema(&mut self) -> Result<Schema> {
+        let n = self.get_varint()? as usize;
+        if n > self.remaining() {
+            return Err(Error::Codec(format!("schema arity {n} exceeds remaining input")));
+        }
+        let mut cols = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = self.get_str()?;
+            let dtype = match self.get_u8()? {
+                0 => DataType::Int,
+                1 => DataType::Float,
+                2 => DataType::Text,
+                3 => DataType::Bool,
+                t => return Err(Error::Codec(format!("unknown dtype tag {t}"))),
+            };
+            let nullable = self.get_u8()? != 0;
+            cols.push(Column { name, dtype, nullable });
+        }
+        Schema::new(cols).map_err(|e| Error::Codec(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_u32(0xdead_beef);
+        e.put_u64(u64::MAX);
+        e.put_i64(-42);
+        e.put_f64(2.5);
+        e.put_str("héllo");
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert_eq!(d.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX);
+        assert_eq!(d.get_i64().unwrap(), -42);
+        assert_eq!(d.get_f64().unwrap(), 2.5);
+        assert_eq!(d.get_str().unwrap(), "héllo");
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            let mut e = Encoder::new();
+            e.put_varint(v);
+            let bytes = e.finish();
+            let mut d = Decoder::new(&bytes);
+            assert_eq!(d.get_varint().unwrap(), v, "varint {v}");
+            assert!(d.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        let vals = vec![
+            Value::Null,
+            Value::Int(i64::MIN),
+            Value::Float(f64::NAN),
+            Value::Text("streaming".into()),
+            Value::Bool(true),
+            Value::Bool(false),
+        ];
+        let mut e = Encoder::new();
+        for v in &vals {
+            e.put_value(v);
+        }
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        for v in &vals {
+            let got = d.get_value().unwrap();
+            // NaN == NaN under total order semantics.
+            assert_eq!(got.cmp_total(v), std::cmp::Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = tuple![1i64, "x", 2.5, true];
+        let mut e = Encoder::new();
+        e.put_tuple(&t);
+        let bytes = e.finish();
+        assert_eq!(Decoder::new(&bytes).get_tuple().unwrap(), t);
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let s = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::nullable("name", DataType::Text),
+            Column::new("ok", DataType::Bool),
+            Column::new("w", DataType::Float),
+        ])
+        .unwrap();
+        let mut e = Encoder::new();
+        e.put_schema(&s);
+        let bytes = e.finish();
+        assert_eq!(Decoder::new(&bytes).get_schema().unwrap(), s);
+    }
+
+    #[test]
+    fn truncated_input_errors_not_panics() {
+        let mut e = Encoder::new();
+        e.put_tuple(&tuple![1i64, "abcdef"]);
+        let bytes = e.finish();
+        for cut in 0..bytes.len() {
+            let mut d = Decoder::new(&bytes[..cut]);
+            assert!(d.get_tuple().is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn bad_tag_errors() {
+        let bytes = [0xffu8];
+        assert!(Decoder::new(&bytes).get_value().is_err());
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        // varint claims a huge tuple arity with no payload behind it.
+        let mut e = Encoder::new();
+        e.put_varint(u64::MAX);
+        let bytes = e.finish();
+        assert!(Decoder::new(&bytes).get_tuple().is_err());
+        assert!(Decoder::new(&bytes).get_schema().is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible operation in the system returns [`Result<T>`]. The
+//! variants are deliberately coarse-grained and carry human-readable
+//! context: this mirrors how H-Store surfaces errors to stored-procedure
+//! authors (a failed SQL statement aborts the surrounding transaction
+//! with a message, not a typed error lattice).
+
+use std::fmt;
+
+/// Convenience alias used across all crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Workspace-wide error enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A name (table, index, procedure, stream, …) was not found.
+    NotFound {
+        /// Kind of object looked up, e.g. `"table"`.
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// An object with this name already exists.
+    AlreadyExists {
+        /// Kind of object, e.g. `"table"`.
+        kind: &'static str,
+        /// The conflicting name.
+        name: String,
+    },
+    /// A tuple violated the target schema (arity or type mismatch,
+    /// null in a non-nullable column, …).
+    SchemaViolation(String),
+    /// A uniqueness constraint was violated on insert/update.
+    UniqueViolation {
+        /// Index whose constraint was violated.
+        index: String,
+        /// Display form of the duplicate key.
+        key: String,
+    },
+    /// SQL text failed to lex or parse.
+    Parse(String),
+    /// SQL was well-formed but could not be bound/planned against the
+    /// catalog (unknown column, type error, bad aggregate, …).
+    Plan(String),
+    /// Runtime failure while executing a plan or expression.
+    Eval(String),
+    /// A transaction was explicitly or implicitly aborted.
+    TxnAborted(String),
+    /// Violation of S-Store's streaming execution rules (window scoping,
+    /// workflow ordering, batch discipline, …).
+    StreamViolation(String),
+    /// The engine or a component was used in an invalid state
+    /// (e.g. scheduling after shutdown, recovery on a live engine).
+    InvalidState(String),
+    /// Checkpoint / command-log serialization failure.
+    Codec(String),
+    /// Underlying I/O failure (command log, snapshot files).
+    Io(String),
+    /// Anything that does not fit the categories above.
+    Internal(String),
+}
+
+impl Error {
+    /// Shorthand for a [`Error::NotFound`].
+    pub fn not_found(kind: &'static str, name: impl Into<String>) -> Self {
+        Error::NotFound { kind, name: name.into() }
+    }
+
+    /// Shorthand for an [`Error::AlreadyExists`].
+    pub fn already_exists(kind: &'static str, name: impl Into<String>) -> Self {
+        Error::AlreadyExists { kind, name: name.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound { kind, name } => write!(f, "{kind} not found: {name}"),
+            Error::AlreadyExists { kind, name } => write!(f, "{kind} already exists: {name}"),
+            Error::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+            Error::UniqueViolation { index, key } => {
+                write!(f, "unique constraint violated on index {index} for key {key}")
+            }
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Eval(m) => write!(f, "evaluation error: {m}"),
+            Error::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
+            Error::StreamViolation(m) => write!(f, "stream violation: {m}"),
+            Error::InvalidState(m) => write!(f, "invalid state: {m}"),
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Io(m) => write!(f, "io error: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::not_found("table", "votes");
+        assert_eq!(e.to_string(), "table not found: votes");
+        let e = Error::already_exists("stream", "s1");
+        assert_eq!(e.to_string(), "stream already exists: s1");
+        let e = Error::UniqueViolation { index: "pk".into(), key: "42".into() };
+        assert!(e.to_string().contains("pk"));
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::Parse("x".into()), Error::Parse("x".into()));
+        assert_ne!(Error::Parse("x".into()), Error::Plan("x".into()));
+    }
+}

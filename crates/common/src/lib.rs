@@ -1,0 +1,23 @@
+//! Shared kernel for the S-Store reproduction.
+//!
+//! This crate holds the vocabulary types used by every layer of the
+//! system: dynamically-typed [`Value`]s, [`Schema`] definitions, tuple
+//! representations, identifier newtypes ([`ids`]), the error type, and a
+//! compact self-describing binary codec ([`codec`]) used by checkpoints
+//! and the command log.
+//!
+//! Nothing in this crate knows about tables, transactions, or streams —
+//! it is the dependency root of the workspace.
+
+pub mod codec;
+pub mod error;
+pub mod ids;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use ids::{BatchId, Lsn, PartitionId, RowId, Timestamp, TxnId};
+pub use schema::{Column, DataType, Schema};
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,231 @@
+//! Table schemas: named, typed, nullable columns.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// The column types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "VARCHAR",
+            DataType::Bool => "BOOL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (matched case-insensitively by the SQL layer, stored
+    /// lower-cased).
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+    /// Whether NULL is admissible.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A non-nullable column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column { name: name.into().to_ascii_lowercase(), dtype, nullable: false }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, dtype: DataType) -> Self {
+        Column { name: name.into().to_ascii_lowercase(), dtype, nullable: true }
+    }
+}
+
+/// An ordered list of columns.
+///
+/// Column lookup by name is linear: benchmark schemas have < 16 columns
+/// and lookups happen at plan time, not per row.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate column names.
+    pub fn new(columns: Vec<Column>) -> Result<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(Error::SchemaViolation(format!("duplicate column name: {}", c.name)));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Convenience builder from `(name, type)` pairs, all non-nullable.
+    pub fn of(cols: &[(&str, DataType)]) -> Self {
+        Schema::new(cols.iter().map(|(n, t)| Column::new(*n, *t)).collect())
+            .expect("Schema::of called with duplicate column names")
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column list, in order.
+    #[inline]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Index of the named column (case-insensitive), if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Index of the named column or a plan error naming the column.
+    pub fn index_of_or_err(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| Error::Plan(format!("unknown column: {name}")))
+    }
+
+    /// The column at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Validates a row of values against this schema: arity, types and
+    /// nullability.
+    pub fn validate(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(Error::SchemaViolation(format!(
+                "arity mismatch: schema has {} columns, row has {}",
+                self.columns.len(),
+                values.len()
+            )));
+        }
+        for (c, v) in self.columns.iter().zip(values) {
+            if v.is_null() {
+                if !c.nullable {
+                    return Err(Error::SchemaViolation(format!(
+                        "NULL in non-nullable column {}",
+                        c.name
+                    )));
+                }
+            } else if !v.conforms_to(c.dtype) {
+                return Err(Error::SchemaViolation(format!(
+                    "type mismatch in column {}: expected {}, got {v}",
+                    c.name, c.dtype
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a new schema that appends the columns of `other`,
+    /// qualifying duplicate names is the caller's concern (used by joins).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut cols = self.columns.clone();
+        cols.extend(other.columns.iter().cloned());
+        Schema { columns: cols }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}{}", c.name, c.dtype, if c.nullable { "" } else { " NOT NULL" })?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::nullable("name", DataType::Text),
+            Column::new("score", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicate_columns() {
+        let r = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("A", DataType::Text),
+        ]);
+        assert!(matches!(r, Err(Error::SchemaViolation(_))));
+    }
+
+    #[test]
+    fn index_of_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of("ID"), Some(0));
+        assert_eq!(s.index_of("Name"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(s.index_of_or_err("missing").is_err());
+    }
+
+    #[test]
+    fn validate_accepts_conforming_row() {
+        let s = sample();
+        s.validate(&[Value::Int(1), Value::Null, Value::Float(0.5)]).unwrap();
+        s.validate(&[Value::Int(1), Value::Text("x".into()), Value::Float(0.5)]).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_arity_mismatch() {
+        let s = sample();
+        assert!(s.validate(&[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_null_in_not_null() {
+        let s = sample();
+        let r = s.validate(&[Value::Null, Value::Null, Value::Float(0.0)]);
+        assert!(matches!(r, Err(Error::SchemaViolation(_))));
+    }
+
+    #[test]
+    fn validate_rejects_type_mismatch() {
+        let s = sample();
+        let r = s.validate(&[Value::Text("no".into()), Value::Null, Value::Float(0.0)]);
+        assert!(matches!(r, Err(Error::SchemaViolation(_))));
+    }
+
+    #[test]
+    fn concat_appends_columns() {
+        let s = sample().concat(&Schema::of(&[("extra", DataType::Bool)]));
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.index_of("extra"), Some(3));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Schema::of(&[("id", DataType::Int)]);
+        assert_eq!(s.to_string(), "(id INT NOT NULL)");
+    }
+}

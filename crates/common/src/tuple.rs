@@ -1,0 +1,169 @@
+//! Tuple representation.
+//!
+//! A [`Tuple`] is an owned row of [`Value`]s. Streams and windows
+//! additionally attach metadata (timestamps, batch ids) — that metadata
+//! lives in the engine crate as hidden columns, keeping this type a plain
+//! value vector.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::error::Result;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// An owned row of values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Builds a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Builds a tuple and validates it against `schema`.
+    pub fn checked(values: Vec<Value>, schema: &Schema) -> Result<Self> {
+        schema.validate(&values)?;
+        Ok(Tuple { values })
+    }
+
+    /// Number of fields.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Field accessor.
+    #[inline]
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Mutable field accessor.
+    #[inline]
+    pub fn get_mut(&mut self, idx: usize) -> &mut Value {
+        &mut self.values[idx]
+    }
+
+    /// All fields as a slice.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consumes the tuple, returning its values.
+    #[inline]
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Projects the tuple onto the given column indexes.
+    pub fn project(&self, idxs: &[usize]) -> Tuple {
+        Tuple::new(idxs.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Concatenates two tuples (used by joins).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.values.len() + other.values.len());
+        v.extend_from_slice(&self.values);
+        v.extend_from_slice(&other.values);
+        Tuple::new(v)
+    }
+
+    /// Appends a value in place.
+    pub fn push(&mut self, v: Value) {
+        self.values.push(v);
+    }
+
+    /// Approximate memory footprint, used by table statistics.
+    pub fn approx_size(&self) -> usize {
+        std::mem::size_of::<Tuple>() + self.values.iter().map(Value::approx_size).sum::<usize>()
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Builds a tuple from a heterogeneous value list:
+/// `tuple![1i64, "name", 3.5]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::tuple::Tuple::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+
+    #[test]
+    fn macro_builds_mixed_tuple() {
+        let t = tuple![1i64, "bob", 3.5, true];
+        assert_eq!(t.arity(), 4);
+        assert_eq!(t[0], Value::Int(1));
+        assert_eq!(t[1], Value::Text("bob".into()));
+        assert_eq!(t[3], Value::Bool(true));
+    }
+
+    #[test]
+    fn checked_enforces_schema() {
+        let s = Schema::of(&[("id", DataType::Int)]);
+        assert!(Tuple::checked(vec![Value::Int(1)], &s).is_ok());
+        assert!(Tuple::checked(vec![Value::Text("x".into())], &s).is_err());
+    }
+
+    #[test]
+    fn project_and_concat() {
+        let t = tuple![1i64, "a", 2i64];
+        let p = t.project(&[2, 0]);
+        assert_eq!(p, tuple![2i64, 1i64]);
+        let c = p.concat(&tuple!["z"]);
+        assert_eq!(c, tuple![2i64, 1i64, "z"]);
+    }
+
+    #[test]
+    fn display_lists_fields() {
+        assert_eq!(tuple![1i64, "a"].to_string(), "[1, 'a']");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let t: Tuple = (0..3).map(Value::Int).collect();
+        assert_eq!(t.arity(), 3);
+    }
+}

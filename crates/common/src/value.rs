@@ -1,0 +1,364 @@
+//! Dynamically-typed column values.
+//!
+//! H-Store stores typed columns; stored procedures bind parameters at
+//! run time. [`Value`] is our runtime representation: a small tagged
+//! union covering the types the benchmarks need (64-bit integers,
+//! floats, strings, booleans, and SQL NULL).
+//!
+//! # Ordering and hashing
+//!
+//! Values are used as index keys, so they need a total order and a hash.
+//! Floats are ordered via [`f64::total_cmp`] (NaN sorts after all other
+//! floats) and hashed by bit pattern. SQL three-valued logic is handled
+//! at the expression-evaluation layer, not here: `Value::Null` compares
+//! less than everything else so it can live in B-tree indexes.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::{Error, Result};
+use crate::schema::DataType;
+
+/// A single dynamically-typed value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer (covers INT/BIGINT).
+    Int(i64),
+    /// 64-bit IEEE float (covers FLOAT/DOUBLE).
+    Float(f64),
+    /// UTF-8 string (covers VARCHAR).
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Returns the dynamic type of this value, or `None` for NULL
+    /// (NULL is typeless; it is admissible for any nullable column).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// True iff this is SQL NULL.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extracts an integer, coercing from Bool. Errors on other types.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            Value::Bool(b) => Ok(i64::from(*b)),
+            other => Err(Error::Eval(format!("expected INT, got {other}"))),
+        }
+    }
+
+    /// Extracts a float, coercing from Int. Errors on other types.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            other => Err(Error::Eval(format!("expected FLOAT, got {other}"))),
+        }
+    }
+
+    /// Extracts a string slice. Errors on non-text.
+    pub fn as_text(&self) -> Result<&str> {
+        match self {
+            Value::Text(s) => Ok(s),
+            other => Err(Error::Eval(format!("expected TEXT, got {other}"))),
+        }
+    }
+
+    /// Extracts a boolean. Errors on non-bool.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::Eval(format!("expected BOOL, got {other}"))),
+        }
+    }
+
+    /// Checks that this value may be stored in a column of type `ty`
+    /// (`Null` is allowed; nullability is checked by the schema layer).
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        match self.data_type() {
+            None => true,
+            Some(dt) => dt == ty,
+        }
+    }
+
+    /// SQL equality: NULL = anything is *unknown*, represented as `None`.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            None
+        } else {
+            Some(self.cmp_total(other) == Ordering::Equal)
+        }
+    }
+
+    /// SQL comparison: NULL against anything is *unknown* (`None`).
+    /// Numeric types compare cross-type (INT vs FLOAT).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.cmp_total(other))
+    }
+
+    /// Total order used by indexes and ORDER BY. NULL sorts first;
+    /// numerics compare cross-type; distinct non-numeric type pairs
+    /// compare by a fixed type rank (so the order is total).
+    pub fn cmp_total(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 2, // numerics share a rank; resolved above
+            Value::Text(_) => 3,
+        }
+    }
+
+    /// Heap + inline footprint in bytes, used by table statistics.
+    pub fn approx_size(&self) -> usize {
+        std::mem::size_of::<Value>()
+            + match self {
+                Value::Text(s) => s.capacity(),
+                _ => 0,
+            }
+    }
+}
+
+/// Structural equality consistent with [`Value::cmp_total`]
+/// (i.e. `Null == Null`, `Int(1) == Float(1.0)`). SQL tri-state equality
+/// lives in [`Value::sql_eq`].
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_total(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_total(other)
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Int and Float must hash identically when numerically equal
+            // (they compare equal); hash every numeric as its f64 bits
+            // when it is integral-representable.
+            Value::Int(v) => {
+                1u8.hash(state);
+                (*v as f64).to_bits().hash(state);
+            }
+            Value::Float(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Text(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                4u8.hash(state);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::Text(String::new()));
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn cross_numeric_compare() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert!(Value::Int(3) < Value::Float(3.5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+    }
+
+    #[test]
+    fn equal_numerics_hash_equal() {
+        assert_eq!(hash_of(&Value::Int(42)), hash_of(&Value::Float(42.0)));
+    }
+
+    #[test]
+    fn nan_is_ordered() {
+        let nan = Value::Float(f64::NAN);
+        assert!(Value::Float(f64::INFINITY) < nan);
+        assert_eq!(nan.cmp_total(&Value::Float(f64::NAN)), Ordering::Equal);
+    }
+
+    #[test]
+    fn sql_eq_is_tristate() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Some(false));
+    }
+
+    #[test]
+    fn sql_cmp_null_is_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn accessors_and_coercions() {
+        assert_eq!(Value::Int(5).as_int().unwrap(), 5);
+        assert_eq!(Value::Bool(true).as_int().unwrap(), 1);
+        assert_eq!(Value::Int(5).as_float().unwrap(), 5.0);
+        assert_eq!(Value::Text("x".into()).as_text().unwrap(), "x");
+        assert!(Value::Text("x".into()).as_int().is_err());
+        assert!(Value::Int(1).as_bool().is_err());
+    }
+
+    #[test]
+    fn conforms_to_types() {
+        assert!(Value::Null.conforms_to(DataType::Int));
+        assert!(Value::Int(1).conforms_to(DataType::Int));
+        assert!(!Value::Int(1).conforms_to(DataType::Text));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Text("hi".into()).to_string(), "'hi'");
+        assert_eq!(Value::Bool(true).to_string(), "TRUE");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from("a"), Value::Text("a".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(2.5), Value::Float(2.5));
+    }
+
+    #[test]
+    fn mixed_type_order_is_total_and_antisymmetric() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-1),
+            Value::Float(0.5),
+            Value::Int(2),
+            Value::Text("a".into()),
+        ];
+        for a in &vals {
+            for b in &vals {
+                let ab = a.cmp_total(b);
+                let ba = b.cmp_total(a);
+                assert_eq!(ab, ba.reverse(), "antisymmetry violated: {a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! Declarative application definitions.
+//!
+//! An [`App`] is everything the engine must know before it starts:
+//! tables, streams, windows, stored procedures (with their SQL and Rust
+//! bodies), EE triggers, and PE triggers (the workflow edges). The
+//! paper's model requires all transactions be predefined (§2); recovery
+//! additionally relies on it — a command log can only be replayed
+//! against the same application definition.
+//!
+//! [`AppBuilder::build`] performs the static checks: unique names,
+//! workflow acyclicity, window scoping (§3.2.2 — only the owning
+//! procedure's SQL may touch a window; no PE triggers on windows), and
+//! trigger well-formedness.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use sstore_common::{Error, Result, Schema};
+use sstore_sql::ast::{InsertSource, Select, Statement};
+use sstore_storage::index::IndexDef;
+
+use crate::procedure::ProcCtx;
+use crate::trigger::{EeTriggerDef, PeTriggerDef};
+use crate::window::WindowSpec;
+use crate::workflow::WorkflowGraph;
+
+/// A stored-procedure body: procedural logic around the SQL.
+pub type ProcBody = Arc<dyn Fn(&mut ProcCtx<'_>) -> Result<()> + Send + Sync>;
+
+/// A public shared table (§2: state kind (i)).
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    /// Table name.
+    pub name: String,
+    /// Schema.
+    pub schema: Schema,
+    /// Secondary indexes.
+    pub indexes: Vec<IndexDef>,
+}
+
+/// A stream (§2: state kind (iii)), implemented as a time-varying table.
+#[derive(Debug, Clone)]
+pub struct StreamDef {
+    /// Stream name == backing table name.
+    pub name: String,
+    /// Tuple schema.
+    pub schema: Schema,
+    /// Column used to route externally-ingested batches to partitions
+    /// (§4.7). `None` routes everything to partition 0.
+    pub partition_col: Option<String>,
+}
+
+/// A window (§2: state kind (ii)), private to its owning procedure.
+#[derive(Debug, Clone)]
+pub struct WindowDef {
+    /// Window spec (name, owner, size, slide).
+    pub spec: WindowSpec,
+    /// Tuple schema.
+    pub schema: Schema,
+}
+
+/// A stored procedure definition.
+#[derive(Clone)]
+pub struct ProcDef {
+    /// Name.
+    pub name: String,
+    /// Named SQL statements, compiled once at engine start.
+    pub statements: Vec<(String, String)>,
+    /// Body; `None` only for nested containers.
+    pub body: Option<ProcBody>,
+    /// Streams the body may `emit` to.
+    pub outputs: Vec<String>,
+    /// Nested transaction: ordered children (themselves procedures).
+    pub children: Vec<String>,
+}
+
+impl std::fmt::Debug for ProcDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcDef")
+            .field("name", &self.name)
+            .field("statements", &self.statements.len())
+            .field("outputs", &self.outputs)
+            .field("children", &self.children)
+            .finish()
+    }
+}
+
+/// A validated application definition.
+#[derive(Debug, Clone, Default)]
+pub struct App {
+    /// Public shared tables.
+    pub tables: Vec<TableDef>,
+    /// Streams.
+    pub streams: Vec<StreamDef>,
+    /// Windows.
+    pub windows: Vec<WindowDef>,
+    /// Stored procedures.
+    pub procs: Vec<ProcDef>,
+    /// EE triggers.
+    pub ee_triggers: Vec<EeTriggerDef>,
+    /// PE triggers (workflow edges).
+    pub pe_triggers: Vec<PeTriggerDef>,
+}
+
+impl App {
+    /// Starts building an app.
+    pub fn builder() -> AppBuilder {
+        AppBuilder::default()
+    }
+
+    /// The workflow DAG implied by outputs + PE triggers.
+    pub fn workflow(&self) -> WorkflowGraph {
+        let outputs: Vec<(String, Vec<String>)> =
+            self.procs.iter().map(|p| (p.name.clone(), p.outputs.clone())).collect();
+        let triggers: Vec<(String, String)> =
+            self.pe_triggers.iter().map(|t| (t.stream.clone(), t.proc.clone())).collect();
+        WorkflowGraph::build(&outputs, &triggers)
+    }
+
+    /// Looks up a stream definition.
+    pub fn stream(&self, name: &str) -> Option<&StreamDef> {
+        self.streams.iter().find(|s| s.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Looks up a procedure definition.
+    pub fn proc(&self, name: &str) -> Option<&ProcDef> {
+        self.procs.iter().find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+
+    /// PE-trigger targets of a stream.
+    pub fn pe_targets(&self, stream: &str) -> Vec<&str> {
+        self.pe_triggers
+            .iter()
+            .filter(|t| t.stream.eq_ignore_ascii_case(stream))
+            .map(|t| t.proc.as_str())
+            .collect()
+    }
+}
+
+/// Builder with validation at [`AppBuilder::build`].
+#[derive(Default)]
+pub struct AppBuilder {
+    app: App,
+}
+
+impl AppBuilder {
+    /// Adds a public shared table.
+    pub fn table(mut self, name: &str, schema: Schema) -> Self {
+        self.app.tables.push(TableDef { name: name.to_ascii_lowercase(), schema, indexes: Vec::new() });
+        self
+    }
+
+    /// Adds a table with secondary indexes.
+    pub fn table_indexed(mut self, name: &str, schema: Schema, indexes: Vec<IndexDef>) -> Self {
+        self.app.tables.push(TableDef { name: name.to_ascii_lowercase(), schema, indexes });
+        self
+    }
+
+    /// Adds a stream.
+    pub fn stream(mut self, name: &str, schema: Schema) -> Self {
+        self.app.streams.push(StreamDef {
+            name: name.to_ascii_lowercase(),
+            schema,
+            partition_col: None,
+        });
+        self
+    }
+
+    /// Adds a stream whose ingested batches are routed to partitions by
+    /// hashing `partition_col`.
+    pub fn stream_partitioned(mut self, name: &str, schema: Schema, partition_col: &str) -> Self {
+        self.app.streams.push(StreamDef {
+            name: name.to_ascii_lowercase(),
+            schema,
+            partition_col: Some(partition_col.to_ascii_lowercase()),
+        });
+        self
+    }
+
+    /// Adds a sliding window owned by `owner`.
+    pub fn window(mut self, name: &str, owner: &str, schema: Schema, size: usize, slide: usize) -> Self {
+        self.app.windows.push(WindowDef {
+            spec: WindowSpec {
+                name: name.to_ascii_lowercase(),
+                owner: owner.to_ascii_lowercase(),
+                size,
+                slide,
+            },
+            schema,
+        });
+        self
+    }
+
+    /// Adds a stored procedure.
+    ///
+    /// `statements` are `(name, sql)` pairs compiled at engine start;
+    /// `outputs` are the streams the body may [`ProcCtx::emit`] to.
+    pub fn proc<F>(
+        mut self,
+        name: &str,
+        statements: &[(&str, &str)],
+        outputs: &[&str],
+        body: F,
+    ) -> Self
+    where
+        F: Fn(&mut ProcCtx<'_>) -> Result<()> + Send + Sync + 'static,
+    {
+        self.app.procs.push(ProcDef {
+            name: name.to_ascii_lowercase(),
+            statements: statements
+                .iter()
+                .map(|(n, s)| ((*n).to_owned(), (*s).to_owned()))
+                .collect(),
+            body: Some(Arc::new(body)),
+            outputs: outputs.iter().map(|s| s.to_ascii_lowercase()).collect(),
+            children: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds a nested transaction: `children` run in order as a single
+    /// isolation unit (commit/abort together, §2.3).
+    pub fn nested(mut self, name: &str, children: &[&str]) -> Self {
+        self.app.procs.push(ProcDef {
+            name: name.to_ascii_lowercase(),
+            statements: Vec::new(),
+            body: None,
+            outputs: Vec::new(),
+            children: children.iter().map(|c| c.to_ascii_lowercase()).collect(),
+        });
+        self
+    }
+
+    /// Attaches an EE trigger: SQL run inside the EE when tuples land on
+    /// `table` (a stream or window).
+    pub fn ee_trigger(mut self, table: &str, sql: &[&str]) -> Self {
+        self.app.ee_triggers.push(EeTriggerDef {
+            table: table.to_ascii_lowercase(),
+            sql: sql.iter().map(|s| (*s).to_owned()).collect(),
+        });
+        self
+    }
+
+    /// Attaches a PE trigger: `proc` runs when a batch commits on
+    /// `stream`. These are the workflow edges.
+    pub fn pe_trigger(mut self, stream: &str, proc: &str) -> Self {
+        self.app.pe_triggers.push(PeTriggerDef {
+            stream: stream.to_ascii_lowercase(),
+            proc: proc.to_ascii_lowercase(),
+        });
+        self
+    }
+
+    /// Validates and returns the app.
+    pub fn build(self) -> Result<App> {
+        let app = self.app;
+        let mut names: HashSet<&str> = HashSet::new();
+        for n in app
+            .tables
+            .iter()
+            .map(|t| t.name.as_str())
+            .chain(app.streams.iter().map(|s| s.name.as_str()))
+            .chain(app.windows.iter().map(|w| w.spec.name.as_str()))
+        {
+            if !names.insert(n) {
+                return Err(Error::already_exists("table/stream/window", n));
+            }
+        }
+        let stream_names: HashSet<&str> = app.streams.iter().map(|s| s.name.as_str()).collect();
+        let window_owner: HashMap<&str, &str> =
+            app.windows.iter().map(|w| (w.spec.name.as_str(), w.spec.owner.as_str())).collect();
+        let proc_names: HashSet<&str> = app.procs.iter().map(|p| p.name.as_str()).collect();
+
+        // Window specs valid; owners exist.
+        for w in &app.windows {
+            w.spec.validate()?;
+            if !proc_names.contains(w.spec.owner.as_str()) {
+                return Err(Error::not_found("window owner procedure", &w.spec.owner));
+            }
+        }
+
+        // Streams used for partitioned ingest have a valid key column.
+        for s in &app.streams {
+            if let Some(col) = &s.partition_col {
+                s.schema.index_of_or_err(col)?;
+            }
+        }
+
+        // PE triggers: stream exists (and is a stream, not a window) and
+        // the target procedure exists.
+        for t in &app.pe_triggers {
+            if window_owner.contains_key(t.stream.as_str()) {
+                return Err(Error::StreamViolation(format!(
+                    "PE triggers cannot attach to window {} (windows are procedure-private)",
+                    t.stream
+                )));
+            }
+            if !stream_names.contains(t.stream.as_str()) {
+                return Err(Error::not_found("stream", &t.stream));
+            }
+            if !proc_names.contains(t.proc.as_str()) {
+                return Err(Error::not_found("procedure", &t.proc));
+            }
+        }
+
+        // EE triggers attach to streams or windows only, and a stream
+        // cannot have both EE and PE triggers (EE-triggered streams are
+        // garbage-collected inside the EE; PE-triggered batches must
+        // survive until the downstream transaction consumes them).
+        let pe_streams: HashSet<&str> =
+            app.pe_triggers.iter().map(|t| t.stream.as_str()).collect();
+        for t in &app.ee_triggers {
+            let is_stream = stream_names.contains(t.table.as_str());
+            let is_window = window_owner.contains_key(t.table.as_str());
+            if !is_stream && !is_window {
+                return Err(Error::StreamViolation(format!(
+                    "EE trigger target {} is not a stream or window",
+                    t.table
+                )));
+            }
+            if is_stream && pe_streams.contains(t.table.as_str()) {
+                return Err(Error::StreamViolation(format!(
+                    "stream {} has both EE and PE triggers",
+                    t.table
+                )));
+            }
+        }
+
+        // Procedures: outputs are streams; children exist and are plain
+        // procs; SQL parses and respects window scoping.
+        for p in &app.procs {
+            for o in &p.outputs {
+                if !stream_names.contains(o.as_str()) {
+                    return Err(Error::not_found("output stream", o));
+                }
+            }
+            if p.body.is_none() && p.children.is_empty() {
+                return Err(Error::Plan(format!("procedure {} has neither body nor children", p.name)));
+            }
+            for c in &p.children {
+                let child = app
+                    .procs
+                    .iter()
+                    .find(|q| q.name == *c)
+                    .ok_or_else(|| Error::not_found("nested child procedure", c))?;
+                if !child.children.is_empty() {
+                    return Err(Error::Plan(format!(
+                        "nested transaction {} cannot contain another nested transaction {c}",
+                        p.name
+                    )));
+                }
+            }
+            for (sname, sql) in &p.statements {
+                let stmt = sstore_sql::parse(sql).map_err(|e| {
+                    Error::Parse(format!("in {}.{sname}: {e}", p.name))
+                })?;
+                for table in referenced_tables(&stmt) {
+                    if let Some(owner) = window_owner.get(table.as_str()) {
+                        if *owner != p.name {
+                            return Err(Error::StreamViolation(format!(
+                                "procedure {} references window {table} owned by {owner} (§3.2.2 scoping)",
+                                p.name
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Workflow must be a DAG.
+        app.workflow().validate()?;
+        Ok(app)
+    }
+}
+
+/// All table names referenced by a statement (FROM, JOIN, INSERT/UPDATE/
+/// DELETE targets, nested INSERT…SELECT sources).
+pub fn referenced_tables(stmt: &Statement) -> Vec<String> {
+    fn from_select(s: &Select, out: &mut Vec<String>) {
+        out.push(s.from.name.clone());
+        for j in &s.joins {
+            out.push(j.table.name.clone());
+        }
+    }
+    let mut out = Vec::new();
+    match stmt {
+        Statement::Select(s) => from_select(s, &mut out),
+        Statement::Insert(i) => {
+            out.push(i.table.clone());
+            if let InsertSource::Select(s) = &i.source {
+                from_select(s, &mut out);
+            }
+        }
+        Statement::Update(u) => out.push(u.table.clone()),
+        Statement::Delete(d) => out.push(d.table.clone()),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstore_common::DataType;
+
+    fn schema() -> Schema {
+        Schema::of(&[("v", DataType::Int)])
+    }
+
+    fn noop_proc(b: AppBuilder, name: &str, outputs: &[&str]) -> AppBuilder {
+        b.proc(name, &[], outputs, |_| Ok(()))
+    }
+
+    #[test]
+    fn minimal_app_builds() {
+        let app = noop_proc(
+            App::builder().stream("s1", schema()).table("t", schema()),
+            "sp1",
+            &[],
+        )
+        .pe_trigger("s1", "sp1")
+        .build()
+        .unwrap();
+        assert_eq!(app.pe_targets("s1"), vec!["sp1"]);
+        assert!(app.stream("S1").is_some());
+        assert!(app.proc("SP1").is_some());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = App::builder().table("x", schema()).stream("x", schema()).build();
+        assert!(matches!(r, Err(Error::AlreadyExists { .. })));
+    }
+
+    #[test]
+    fn pe_trigger_on_window_rejected() {
+        let r = noop_proc(App::builder().window("w", "sp1", schema(), 3, 1), "sp1", &[])
+            .pe_trigger("w", "sp1")
+            .build();
+        assert!(matches!(r, Err(Error::StreamViolation(_))));
+    }
+
+    #[test]
+    fn pe_trigger_unknown_stream_or_proc_rejected() {
+        let r = noop_proc(App::builder(), "sp1", &[]).pe_trigger("nosuch", "sp1").build();
+        assert!(matches!(r, Err(Error::NotFound { .. })));
+        let r = noop_proc(App::builder().stream("s", schema()), "sp1", &[])
+            .pe_trigger("s", "ghost")
+            .build();
+        assert!(matches!(r, Err(Error::NotFound { .. })));
+    }
+
+    #[test]
+    fn stream_with_both_trigger_kinds_rejected() {
+        let r = noop_proc(
+            App::builder().stream("s", schema()).stream("s2", schema()),
+            "sp1",
+            &[],
+        )
+        .pe_trigger("s", "sp1")
+        .ee_trigger("s", &["INSERT INTO s2 SELECT * FROM s"])
+        .build();
+        assert!(matches!(r, Err(Error::StreamViolation(_))));
+    }
+
+    #[test]
+    fn window_scoping_enforced_on_sql() {
+        let b = App::builder()
+            .window("w", "owner_sp", schema(), 3, 1)
+            .proc("owner_sp", &[("q", "SELECT * FROM w")], &[], |_| Ok(()))
+            .proc("intruder", &[("q", "SELECT * FROM w")], &[], |_| Ok(()));
+        let r = b.build();
+        assert!(matches!(r, Err(Error::StreamViolation(_))));
+    }
+
+    #[test]
+    fn cyclic_workflow_rejected() {
+        let r = noop_proc(
+            noop_proc(
+                App::builder().stream("a", schema()).stream("b", schema()),
+                "p1",
+                &["a"],
+            ),
+            "p2",
+            &["b"],
+        )
+        .pe_trigger("a", "p2")
+        .pe_trigger("b", "p1")
+        .build();
+        assert!(matches!(r, Err(Error::StreamViolation(_))));
+    }
+
+    #[test]
+    fn undeclared_output_stream_rejected() {
+        let r = noop_proc(App::builder(), "p", &["ghost"]).build();
+        assert!(matches!(r, Err(Error::NotFound { .. })));
+    }
+
+    #[test]
+    fn nested_validation() {
+        // Child must exist.
+        let r = App::builder().nested("n", &["ghost"]).build();
+        assert!(matches!(r, Err(Error::NotFound { .. })));
+        // Nested-in-nested rejected.
+        let r = noop_proc(App::builder(), "leaf", &[])
+            .nested("inner", &["leaf"])
+            .nested("outer", &["inner"])
+            .build();
+        assert!(matches!(r, Err(Error::Plan(_))));
+        // Valid nesting builds.
+        noop_proc(noop_proc(App::builder(), "a", &[]), "b", &[])
+            .nested("n", &["a", "b"])
+            .build()
+            .unwrap();
+    }
+
+    #[test]
+    fn bad_sql_in_proc_rejected_at_build() {
+        let r = App::builder()
+            .proc("p", &[("bad", "SELEKT * FROM x")], &[], |_| Ok(()))
+            .build();
+        assert!(matches!(r, Err(Error::Parse(_))));
+    }
+
+    #[test]
+    fn partition_col_must_exist() {
+        let r = noop_proc(
+            App::builder().stream_partitioned("s", schema(), "nosuch"),
+            "p",
+            &[],
+        )
+        .build();
+        assert!(matches!(r, Err(Error::Plan(_))));
+    }
+
+    #[test]
+    fn referenced_tables_walks_statements() {
+        let s = sstore_sql::parse("INSERT INTO a SELECT * FROM b JOIN c ON b.v = c.v").unwrap();
+        assert_eq!(referenced_tables(&s), vec!["a", "b", "c"]);
+        let s = sstore_sql::parse("UPDATE t SET v = 1").unwrap();
+        assert_eq!(referenced_tables(&s), vec!["t"]);
+    }
+}

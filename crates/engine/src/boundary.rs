@@ -1,0 +1,346 @@
+//! The PE↔EE boundary.
+//!
+//! In H-Store the partition engine (Java) calls into the execution
+//! engine (C++) through JNI; every batch of SQL shipped across is a real
+//! cost, and §4.1 shows EE triggers paying off precisely by eliminating
+//! those crossings. We reify the boundary as [`EeHandle`]:
+//!
+//! * [`BoundaryMode::Inline`] — the EE lives inside the partition thread
+//!   and calls are plain function calls (zero-cost boundary; useful for
+//!   unit tests and upper bounds);
+//! * [`BoundaryMode::Channel`] — the EE runs on its own thread; every
+//!   call is a rendezvous over crossbeam channels. This is the
+//!   configuration the benchmarks use: a chain of N SQL stages costs N
+//!   round trips in H-Store style but one in S-Store style (the EE
+//!   trigger cascade happens entirely on the far side).
+//!
+//! Every call increments `ee_round_trips` in [`EngineMetrics`], so
+//! experiments can report crossings alongside throughput.
+//!
+//! [`BoundaryMode::Inline`]: crate::config::BoundaryMode::Inline
+//! [`BoundaryMode::Channel`]: crate::config::BoundaryMode::Channel
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+use sstore_common::{BatchId, Error, Result, Tuple, Value};
+use sstore_sql::QueryResult;
+
+use crate::ee::{ExecutionEngine, StmtId};
+use crate::metrics::EngineMetrics;
+
+/// Requests the PE sends across the boundary.
+#[derive(Debug)]
+pub enum EeRequest {
+    /// Begin a transaction with an optional output batch label.
+    Begin(Option<BatchId>),
+    /// Execute a compiled statement.
+    Exec(StmtId, Vec<Value>),
+    /// Append tuples to a stream (triggers cascade).
+    Emit(String, Vec<Tuple>),
+    /// Consume a batch from a stream. Bool = require presence.
+    Consume(String, BatchId, bool),
+    /// Commit; reply carries PE-trigger outputs.
+    Commit,
+    /// Abort and roll back.
+    Abort,
+    /// Produce a checkpoint image.
+    Checkpoint,
+    /// Restore from a checkpoint image.
+    Restore(Vec<u8>),
+    /// Ad-hoc read-only query.
+    Query(String, Vec<Value>),
+    /// Table row count.
+    TableLen(String),
+    /// Streams with pending batches (recovery).
+    Dangling,
+    /// Stop the EE thread.
+    Shutdown,
+}
+
+/// Replies from the EE.
+#[derive(Debug)]
+pub enum EeResponse {
+    /// Plain success.
+    Unit,
+    /// Statement / query result.
+    Query(QueryResult),
+    /// Consumed tuples.
+    Rows(Vec<Tuple>),
+    /// Commit outputs for PE triggers.
+    Outputs(Vec<(String, BatchId)>),
+    /// Checkpoint image.
+    Bytes(Vec<u8>),
+    /// Row count.
+    Len(usize),
+    /// Dangling stream batches.
+    Batches(Vec<(String, BatchId)>),
+}
+
+enum Transport {
+    Inline(Box<ExecutionEngine>),
+    Channel {
+        req_tx: Sender<EeRequest>,
+        resp_rx: Receiver<Result<EeResponse>>,
+        join: Option<JoinHandle<()>>,
+    },
+}
+
+/// The PE's handle on its execution engine.
+pub struct EeHandle {
+    transport: Transport,
+    metrics: Arc<EngineMetrics>,
+}
+
+impl EeHandle {
+    /// Embeds the EE in the calling thread.
+    pub fn inline(ee: ExecutionEngine, metrics: Arc<EngineMetrics>) -> Self {
+        EeHandle { transport: Transport::Inline(Box::new(ee)), metrics }
+    }
+
+    /// Spawns the EE on its own thread behind a rendezvous channel.
+    pub fn channel(ee: ExecutionEngine, metrics: Arc<EngineMetrics>) -> Self {
+        let (req_tx, req_rx) = bounded::<EeRequest>(1);
+        let (resp_tx, resp_rx) = bounded::<Result<EeResponse>>(1);
+        let join = std::thread::Builder::new()
+            .name("sstore-ee".into())
+            .spawn(move || ee_thread(ee, req_rx, resp_tx))
+            .expect("spawning EE thread");
+        EeHandle { transport: Transport::Channel { req_tx, resp_rx, join: Some(join) }, metrics }
+    }
+
+    fn call(&mut self, req: EeRequest) -> Result<EeResponse> {
+        EngineMetrics::bump(&self.metrics.ee_round_trips);
+        match &mut self.transport {
+            Transport::Inline(ee) => dispatch(ee, req),
+            Transport::Channel { req_tx, resp_rx, .. } => {
+                req_tx
+                    .send(req)
+                    .map_err(|_| Error::InvalidState("EE thread is gone".into()))?;
+                resp_rx
+                    .recv()
+                    .map_err(|_| Error::InvalidState("EE thread dropped reply".into()))?
+            }
+        }
+    }
+
+    /// Begins a transaction.
+    pub fn begin(&mut self, out_batch: Option<BatchId>) -> Result<()> {
+        self.call(EeRequest::Begin(out_batch)).map(|_| ())
+    }
+
+    /// Executes a compiled statement.
+    pub fn exec(&mut self, stmt: StmtId, params: Vec<Value>) -> Result<QueryResult> {
+        match self.call(EeRequest::Exec(stmt, params))? {
+            EeResponse::Query(q) => Ok(q),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Appends tuples to a stream.
+    pub fn emit(&mut self, stream: String, rows: Vec<Tuple>) -> Result<()> {
+        self.call(EeRequest::Emit(stream, rows)).map(|_| ())
+    }
+
+    /// Consumes a batch from a stream.
+    pub fn consume(&mut self, stream: String, batch: BatchId, require: bool) -> Result<Vec<Tuple>> {
+        match self.call(EeRequest::Consume(stream, batch, require))? {
+            EeResponse::Rows(r) => Ok(r),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Commits, returning PE-trigger outputs.
+    pub fn commit(&mut self) -> Result<Vec<(String, BatchId)>> {
+        match self.call(EeRequest::Commit)? {
+            EeResponse::Outputs(o) => Ok(o),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Aborts the open transaction.
+    pub fn abort(&mut self) -> Result<()> {
+        self.call(EeRequest::Abort).map(|_| ())
+    }
+
+    /// Takes a checkpoint image.
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>> {
+        match self.call(EeRequest::Checkpoint)? {
+            EeResponse::Bytes(b) => Ok(b),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Restores from a checkpoint image.
+    pub fn restore(&mut self, bytes: Vec<u8>) -> Result<()> {
+        self.call(EeRequest::Restore(bytes)).map(|_| ())
+    }
+
+    /// Ad-hoc read-only query.
+    pub fn query(&mut self, sql: String, params: Vec<Value>) -> Result<QueryResult> {
+        match self.call(EeRequest::Query(sql, params))? {
+            EeResponse::Query(q) => Ok(q),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Table row count.
+    pub fn table_len(&mut self, name: String) -> Result<usize> {
+        match self.call(EeRequest::TableLen(name))? {
+            EeResponse::Len(n) => Ok(n),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Streams with pending batches.
+    pub fn dangling(&mut self) -> Result<Vec<(String, BatchId)>> {
+        match self.call(EeRequest::Dangling)? {
+            EeResponse::Batches(b) => Ok(b),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Shuts down a channel EE thread (no-op inline).
+    pub fn shutdown(&mut self) {
+        if let Transport::Channel { req_tx, join, .. } = &mut self.transport {
+            let _ = req_tx.send(EeRequest::Shutdown);
+            if let Some(j) = join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+impl Drop for EeHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn unexpected(resp: EeResponse) -> Error {
+    Error::Internal(format!("unexpected EE response: {resp:?}"))
+}
+
+fn dispatch(ee: &mut ExecutionEngine, req: EeRequest) -> Result<EeResponse> {
+    match req {
+        EeRequest::Begin(b) => ee.begin(b).map(|()| EeResponse::Unit),
+        EeRequest::Exec(stmt, params) => ee.exec(stmt, &params).map(EeResponse::Query),
+        EeRequest::Emit(stream, rows) => ee.emit(&stream, rows).map(|()| EeResponse::Unit),
+        EeRequest::Consume(stream, batch, require) => {
+            ee.consume(&stream, batch, require).map(EeResponse::Rows)
+        }
+        EeRequest::Commit => ee.commit().map(EeResponse::Outputs),
+        EeRequest::Abort => ee.abort().map(|()| EeResponse::Unit),
+        EeRequest::Checkpoint => ee.checkpoint().map(EeResponse::Bytes),
+        EeRequest::Restore(bytes) => ee.restore(&bytes).map(|()| EeResponse::Unit),
+        EeRequest::Query(sql, params) => ee.query(&sql, &params).map(EeResponse::Query),
+        EeRequest::TableLen(name) => ee.table_len(&name).map(EeResponse::Len),
+        EeRequest::Dangling => Ok(EeResponse::Batches(ee.dangling_batches())),
+        EeRequest::Shutdown => Err(Error::InvalidState("shutdown handled by caller".into())),
+    }
+}
+
+fn ee_thread(
+    mut ee: ExecutionEngine,
+    req_rx: Receiver<EeRequest>,
+    resp_tx: Sender<Result<EeResponse>>,
+) {
+    while let Ok(req) = req_rx.recv() {
+        if matches!(req, EeRequest::Shutdown) {
+            break;
+        }
+        let resp = dispatch(&mut ee, req);
+        if resp_tx.send(resp).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::App;
+    use sstore_common::{tuple, DataType, Schema};
+
+    fn app() -> App {
+        App::builder()
+            .stream("s", Schema::of(&[("v", DataType::Int)]))
+            .table("t", Schema::of(&[("v", DataType::Int)]))
+            .proc(
+                "p",
+                &[
+                    ("ins", "INSERT INTO t (v) VALUES (?)"),
+                    ("all", "SELECT v FROM t ORDER BY v"),
+                ],
+                &["s"],
+                |_| Ok(()),
+            )
+            .proc("q", &[], &[], |_| Ok(()))
+            .pe_trigger("s", "q")
+            .build()
+            .unwrap()
+    }
+
+    fn handles() -> Vec<(EeHandle, crate::ee::ProcStmtMap, Arc<EngineMetrics>)> {
+        let a = app();
+        let mut out = Vec::new();
+        for channel in [false, true] {
+            let metrics = Arc::new(EngineMetrics::new());
+            let (ee, map) = ExecutionEngine::install(&a, metrics.clone()).unwrap();
+            let h = if channel {
+                EeHandle::channel(ee, metrics.clone())
+            } else {
+                EeHandle::inline(ee, metrics.clone())
+            };
+            out.push((h, map, metrics));
+        }
+        out
+    }
+
+    #[test]
+    fn both_transports_run_transactions() {
+        for (mut h, map, metrics) in handles() {
+            h.begin(Some(BatchId(1))).unwrap();
+            h.exec(map["p"]["ins"], vec![Value::Int(7)]).unwrap();
+            h.emit("s".into(), vec![tuple![1i64]]).unwrap();
+            let outputs = h.commit().unwrap();
+            assert_eq!(outputs, vec![("s".to_string(), BatchId(1))]);
+            let r = h.query("SELECT v FROM t".into(), vec![]).unwrap();
+            assert_eq!(r.rows, vec![tuple![7i64]]);
+            assert_eq!(h.table_len("t".into()).unwrap(), 1);
+            assert_eq!(h.dangling().unwrap().len(), 1);
+            // 7 calls so far.
+            assert_eq!(EngineMetrics::get(&metrics.ee_round_trips), 7);
+            h.shutdown();
+        }
+    }
+
+    #[test]
+    fn channel_errors_propagate() {
+        let (mut h, map, _) = handles().into_iter().nth(1).unwrap();
+        // exec outside txn must error through the channel.
+        let err = h.exec(map["p"]["ins"], vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, Error::InvalidState(_)));
+        // The EE thread must still be alive afterwards.
+        h.begin(None).unwrap();
+        h.abort().unwrap();
+        h.shutdown();
+    }
+
+    #[test]
+    fn checkpoint_over_channel() {
+        let (mut h, map, _) = handles().into_iter().nth(1).unwrap();
+        h.begin(None).unwrap();
+        h.exec(map["p"]["ins"], vec![Value::Int(3)]).unwrap();
+        h.commit().unwrap();
+        let image = h.checkpoint().unwrap();
+        h.begin(None).unwrap();
+        h.exec(map["p"]["ins"], vec![Value::Int(4)]).unwrap();
+        h.commit().unwrap();
+        assert_eq!(h.table_len("t".into()).unwrap(), 2);
+        h.restore(image).unwrap();
+        assert_eq!(h.table_len("t".into()).unwrap(), 1);
+        h.shutdown();
+    }
+}

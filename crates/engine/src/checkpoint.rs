@@ -1,0 +1,127 @@
+//! Checkpoint files (§3.1): a persistent image of one partition's
+//! committed state, plus the engine-level counters recovery must resume
+//! (log watermark, per-stream batch counters).
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+
+use sstore_common::codec::{Decoder, Encoder};
+use sstore_common::{Error, Lsn, Result};
+
+const MAGIC: u32 = 0x5353_434B; // "SSCK"
+const VERSION: u32 = 1;
+
+/// One partition's checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointFile {
+    /// Last LSN whose effects are contained in the image; recovery
+    /// replays records strictly after this.
+    pub last_lsn: Lsn,
+    /// Per-stream next-batch counters at checkpoint time.
+    pub batch_counters: HashMap<String, u64>,
+    /// The EE state image ([`crate::ee::ExecutionEngine::checkpoint`]).
+    pub ee_image: Vec<u8>,
+}
+
+/// Writes a checkpoint atomically (temp file + rename).
+pub fn write_checkpoint(path: &Path, ck: &CheckpointFile) -> Result<()> {
+    let mut e = Encoder::with_capacity(ck.ee_image.len() + 128);
+    e.put_u32(MAGIC);
+    e.put_u32(VERSION);
+    e.put_u64(ck.last_lsn.raw());
+    let mut names: Vec<&String> = ck.batch_counters.keys().collect();
+    names.sort();
+    e.put_varint(names.len() as u64);
+    for n in names {
+        e.put_str(n);
+        e.put_u64(ck.batch_counters[n]);
+    }
+    e.put_bytes(&ck.ee_image);
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, e.finish())?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a checkpoint; `Ok(None)` when the file does not exist (fresh
+/// start or crash before the first checkpoint).
+pub fn read_checkpoint(path: &Path) -> Result<Option<CheckpointFile>> {
+    if !path.exists() {
+        return Ok(None);
+    }
+    let bytes = fs::read(path)?;
+    let mut d = Decoder::new(&bytes);
+    if d.get_u32()? != MAGIC {
+        return Err(Error::Codec(format!("bad checkpoint magic in {}", path.display())));
+    }
+    let version = d.get_u32()?;
+    if version != VERSION {
+        return Err(Error::Codec(format!("unsupported checkpoint version {version}")));
+    }
+    let last_lsn = Lsn(d.get_u64()?);
+    let n = d.get_varint()? as usize;
+    if n > d.remaining() {
+        return Err(Error::Codec("counter count exceeds input".into()));
+    }
+    let mut batch_counters = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let name = d.get_str()?;
+        let v = d.get_u64()?;
+        batch_counters.insert(name, v);
+    }
+    let ee_image = d.get_bytes()?.to_vec();
+    if !d.is_exhausted() {
+        return Err(Error::Codec("trailing bytes in checkpoint file".into()));
+    }
+    Ok(Some(CheckpointFile { last_lsn, batch_counters, ee_image }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir()
+            .join("sstore-ck-tests")
+            .join(format!("{name}-{}.snapshot", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = tmp("roundtrip");
+        let ck = CheckpointFile {
+            last_lsn: Lsn(41),
+            batch_counters: HashMap::from([("votes_in".into(), 7u64), ("s2".into(), 3u64)]),
+            ee_image: vec![1, 2, 3, 4, 5],
+        };
+        write_checkpoint(&path, &ck).unwrap();
+        let got = read_checkpoint(&path).unwrap().unwrap();
+        assert_eq!(got, ck);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        assert!(read_checkpoint(Path::new("/nonexistent/x.snapshot")).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let path = tmp("corrupt");
+        let ck = CheckpointFile {
+            last_lsn: Lsn(0),
+            batch_counters: HashMap::new(),
+            ee_image: vec![],
+        };
+        write_checkpoint(&path, &ck).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xff;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(read_checkpoint(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

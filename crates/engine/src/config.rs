@@ -1,0 +1,209 @@
+//! Engine configuration: the experimental knobs of the paper's §4.
+
+use std::path::PathBuf;
+
+/// Whether the partition engine behaves like S-Store or plain H-Store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// S-Store: PE triggers fire on commit and the streaming scheduler
+    /// fast-tracks triggered transactions to the queue front.
+    SStore,
+    /// H-Store baseline: no PE triggers — a committing transaction
+    /// returns its pending downstream activations to the client, which
+    /// must submit each follow-on transaction itself (one round trip
+    /// per workflow step, §4.2).
+    HStore,
+}
+
+/// How the PE reaches the EE (and how clients reach the PE is always a
+/// channel — that is the "network").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryMode {
+    /// EE lives inside the partition thread; EE calls are function
+    /// calls. Use for unit tests and upper-bound measurements.
+    Inline,
+    /// EE runs on its own thread; every PE→EE statement batch is a
+    /// channel round trip. This models H-Store's PE(Java)→EE(C++/JNI)
+    /// crossing, which is the cost EE triggers exist to avoid (§4.1).
+    Channel,
+}
+
+/// Command-logging configuration (§3.2.5, §4.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggingConfig {
+    /// Master switch. Disabled for the §4.1–4.3 micro-benchmarks
+    /// ("logging was disabled unless otherwise specified").
+    pub enabled: bool,
+    /// Number of records per group-commit flush. `1` = no group commit
+    /// (every record is flushed and synced individually).
+    pub group_commit: usize,
+    /// Whether to `fdatasync` on flush. True models a real durability
+    /// boundary; false measures pure logging-path overhead.
+    pub fsync: bool,
+}
+
+impl Default for LoggingConfig {
+    fn default() -> Self {
+        LoggingConfig { enabled: false, group_commit: 1, fsync: false }
+    }
+}
+
+/// Which recovery discipline governs what gets logged and how replay
+/// works (§2.4, §3.2.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Log every transaction (OLTP + streaming). Replay with PE
+    /// triggers disabled, in commit order. Exact pre-crash state.
+    Strong,
+    /// Upstream backup: log only border transactions (those ingesting
+    /// external batches). Replay re-drives interior transactions through
+    /// PE triggers. Produces *a* legal state.
+    Weak,
+}
+
+/// Scheduler discipline (ablation of §3.2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerMode {
+    /// S-Store's streaming scheduler: PE-triggered TEs jump to the
+    /// front of the queue, keeping a workflow's TEs contiguous.
+    Streaming,
+    /// Plain H-Store FIFO (correctness ablation — interleaves workflow
+    /// rounds with queued client work).
+    Fifo,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// S-Store vs H-Store behavior.
+    pub mode: EngineMode,
+    /// PE↔EE boundary realization.
+    pub boundary: BoundaryMode,
+    /// Command logging.
+    pub logging: LoggingConfig,
+    /// Recovery discipline (decides *what* is logged).
+    pub recovery: RecoveryMode,
+    /// Scheduler discipline.
+    pub scheduler: SchedulerMode,
+    /// Number of partitions (one core each, §4.7).
+    pub partitions: usize,
+    /// Directory for command logs and checkpoints. Unused when logging
+    /// is disabled and no checkpoint is taken.
+    pub data_dir: PathBuf,
+    /// Record an execution trace (proc, batch) per committed TE — used
+    /// by tests to assert the §2.2 ordering constraints. Costs a mutex
+    /// hit per commit; keep off in benchmarks.
+    pub trace: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: EngineMode::SStore,
+            boundary: BoundaryMode::Inline,
+            logging: LoggingConfig::default(),
+            recovery: RecoveryMode::Strong,
+            scheduler: SchedulerMode::Streaming,
+            partitions: 1,
+            data_dir: std::env::temp_dir().join("sstore"),
+            trace: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Canonical S-Store configuration used by the benchmarks: channel
+    /// boundary, streaming scheduler, triggers on.
+    pub fn sstore() -> Self {
+        EngineConfig { mode: EngineMode::SStore, boundary: BoundaryMode::Channel, ..Self::default() }
+    }
+
+    /// Canonical H-Store baseline configuration.
+    pub fn hstore() -> Self {
+        EngineConfig { mode: EngineMode::HStore, boundary: BoundaryMode::Channel, ..Self::default() }
+    }
+
+    /// Path of the command log for one partition.
+    pub fn log_path(&self, partition: usize) -> PathBuf {
+        self.data_dir.join(format!("partition-{partition}.cmdlog"))
+    }
+
+    /// Path of the checkpoint image for one partition.
+    pub fn checkpoint_path(&self, partition: usize) -> PathBuf {
+        self.data_dir.join(format!("partition-{partition}.snapshot"))
+    }
+
+    /// Builder-style: set partitions.
+    pub fn with_partitions(mut self, n: usize) -> Self {
+        self.partitions = n.max(1);
+        self
+    }
+
+    /// Builder-style: set data dir.
+    pub fn with_data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = dir.into();
+        self
+    }
+
+    /// Builder-style: enable logging.
+    pub fn with_logging(mut self, logging: LoggingConfig) -> Self {
+        self.logging = logging;
+        self
+    }
+
+    /// Builder-style: set recovery mode.
+    pub fn with_recovery(mut self, mode: RecoveryMode) -> Self {
+        self.recovery = mode;
+        self
+    }
+
+    /// Builder-style: enable the execution trace.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Builder-style: set boundary mode.
+    pub fn with_boundary(mut self, b: BoundaryMode) -> Self {
+        self.boundary = b;
+        self
+    }
+
+    /// Builder-style: set scheduler mode.
+    pub fn with_scheduler(mut self, s: SchedulerMode) -> Self {
+        self.scheduler = s;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = EngineConfig::default();
+        assert_eq!(c.partitions, 1);
+        assert_eq!(c.mode, EngineMode::SStore);
+        assert!(!c.logging.enabled);
+        assert_eq!(c.logging.group_commit, 1);
+    }
+
+    #[test]
+    fn canonical_configs() {
+        assert_eq!(EngineConfig::sstore().boundary, BoundaryMode::Channel);
+        assert_eq!(EngineConfig::hstore().mode, EngineMode::HStore);
+    }
+
+    #[test]
+    fn paths_are_per_partition() {
+        let c = EngineConfig::default().with_data_dir("/tmp/x");
+        assert_ne!(c.log_path(0), c.log_path(1));
+        assert_ne!(c.log_path(0), c.checkpoint_path(0));
+    }
+
+    #[test]
+    fn with_partitions_clamps_to_one() {
+        assert_eq!(EngineConfig::default().with_partitions(0).partitions, 1);
+    }
+}

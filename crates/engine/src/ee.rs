@@ -1,0 +1,828 @@
+//! The execution engine (EE): SQL execution over streams, windows and
+//! tables, EE triggers, per-transaction undo, and checkpoint images.
+//!
+//! One EE instance owns all the state of one partition. It is
+//! single-threaded: either embedded in the partition thread
+//! ([`BoundaryMode::Inline`]) or running on its own thread behind a
+//! channel ([`BoundaryMode::Channel`]) — see [`crate::boundary`].
+//!
+//! # Trigger cascade (§3.2.3)
+//!
+//! Only *SQL-originated* inserts fire triggers: after each statement the
+//! EE inspects the effects that statement produced. Inserts into a
+//! window table are converted to window *staging* (the row is removed
+//! from the table — staged tuples are invisible); slides then activate
+//! and expire rows and fire the window's EE triggers. Inserts into a
+//! stream table are labeled with the transaction's batch id; if the
+//! stream has EE triggers they run immediately (inside this same EE
+//! visit, recursively cascading), after which the consumed rows are
+//! garbage-collected automatically. Streams without EE triggers are
+//! reported to the partition engine at commit for PE-trigger firing.
+//!
+//! Internal mutations (activation/expiry/GC) append undo effects but do
+//! not re-enter the cascade, so the cascade terminates.
+//!
+//! [`BoundaryMode::Inline`]: crate::config::BoundaryMode::Inline
+//! [`BoundaryMode::Channel`]: crate::config::BoundaryMode::Channel
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sstore_common::codec::{Decoder, Encoder};
+use sstore_common::{BatchId, Error, Result, RowId, Tuple, Value};
+use sstore_sql::exec::{execute, undo_effect, Effect};
+use sstore_sql::plan::BoundStatement;
+use sstore_sql::{Planner, QueryResult};
+use sstore_storage::snapshot;
+use sstore_storage::{Catalog, TableKind};
+
+use crate::app::App;
+use crate::metrics::EngineMetrics;
+use crate::stream::StreamState;
+use crate::window::WindowState;
+
+/// Identifier of a statement compiled into the EE.
+pub type StmtId = usize;
+
+/// Undo record for stream bookkeeping: O(ops touched), not O(pending
+/// batches) — a queue backlog must not make undo (or its capture) more
+/// expensive.
+#[derive(Debug)]
+enum StreamUndo {
+    /// `n` rows were appended to `batch` on `stream`.
+    Appended {
+        /// Stream name.
+        stream: String,
+        /// Batch appended to.
+        batch: BatchId,
+        /// Rows appended.
+        n: usize,
+    },
+    /// `batch` was consumed from `stream` (rows listed for restore).
+    Consumed {
+        /// Stream name.
+        stream: String,
+        /// Batch consumed.
+        batch: BatchId,
+        /// Its row ids, in arrival order.
+        rows: Vec<sstore_common::RowId>,
+    },
+    /// One row was dropped from `batch` at `pos` (GC / SQL delete).
+    Forgot {
+        /// Stream name.
+        stream: String,
+        /// Batch the row belonged to.
+        batch: BatchId,
+        /// Position within the batch.
+        pos: usize,
+        /// The row id.
+        row: sstore_common::RowId,
+    },
+}
+
+/// Undo record for window bookkeeping. Tables are undone effect-by-
+/// effect; window staging/active bookkeeping is undone by these
+/// operation-level records — O(ops touched), not O(window size).
+#[derive(Debug)]
+enum WindowUndo {
+    /// `n` tuples were staged on `window`.
+    Staged {
+        /// Window name.
+        window: String,
+        /// Number staged.
+        n: usize,
+    },
+    /// One slide was applied on `window`.
+    Slid {
+        /// Window name.
+        window: String,
+        /// Expired row ids, oldest first.
+        expired: Vec<sstore_common::RowId>,
+        /// How many rows were activated.
+        activated: usize,
+        /// The tuples the slide consumed from staging (to restore).
+        restaged: Vec<Tuple>,
+    },
+}
+
+/// Per-procedure map of statement names to compiled ids, produced at
+/// install time.
+pub type ProcStmtMap = HashMap<String, HashMap<String, StmtId>>;
+
+/// The execution engine for one partition.
+pub struct ExecutionEngine {
+    catalog: Catalog,
+    streams: HashMap<String, StreamState>,
+    windows: HashMap<String, WindowState>,
+    ee_triggers: HashMap<String, Vec<StmtId>>,
+    stmts: Vec<Arc<BoundStatement>>,
+    metrics: Arc<EngineMetrics>,
+    // --- transaction-scoped state ---
+    in_txn: bool,
+    out_batch: Option<BatchId>,
+    effects: Vec<Effect>,
+    /// Operation-level undo for stream bookkeeping.
+    stream_undo: Vec<StreamUndo>,
+    /// Operation-level undo for window bookkeeping.
+    window_undo: Vec<WindowUndo>,
+    outputs: Vec<(String, BatchId)>,
+}
+
+impl ExecutionEngine {
+    /// Builds an EE for `app`: creates all tables/streams/windows,
+    /// compiles every procedure statement and EE trigger. Returns the
+    /// EE and the per-procedure statement-id map.
+    pub fn install(app: &App, metrics: Arc<EngineMetrics>) -> Result<(Self, ProcStmtMap)> {
+        let mut catalog = Catalog::new();
+        for t in &app.tables {
+            let table = catalog.create_table(&t.name, TableKind::Base, t.schema.clone())?;
+            for ix in &t.indexes {
+                table.create_index(ix.clone())?;
+            }
+        }
+        let mut streams = HashMap::new();
+        for s in &app.streams {
+            catalog.create_table(&s.name, TableKind::Stream, s.schema.clone())?;
+            streams.insert(s.name.clone(), StreamState::new());
+        }
+        let mut windows = HashMap::new();
+        for w in &app.windows {
+            catalog.create_table(&w.spec.name, TableKind::Window, w.schema.clone())?;
+            windows.insert(w.spec.name.clone(), WindowState::new(w.spec.clone())?);
+        }
+
+        let mut stmts: Vec<Arc<BoundStatement>> = Vec::new();
+        let mut compile = |sql: &str, catalog: &Catalog| -> Result<StmtId> {
+            let bound = Planner::new(catalog).plan_sql(sql)?;
+            stmts.push(Arc::new(bound));
+            Ok(stmts.len() - 1)
+        };
+
+        let mut proc_map: ProcStmtMap = HashMap::new();
+        for p in &app.procs {
+            let mut m = HashMap::new();
+            for (name, sql) in &p.statements {
+                m.insert(name.clone(), compile(sql, &catalog)?);
+            }
+            proc_map.insert(p.name.clone(), m);
+        }
+        let mut ee_triggers: HashMap<String, Vec<StmtId>> = HashMap::new();
+        for t in &app.ee_triggers {
+            let ids: Vec<StmtId> =
+                t.sql.iter().map(|sql| compile(sql, &catalog)).collect::<Result<_>>()?;
+            ee_triggers.entry(t.table.clone()).or_default().extend(ids);
+        }
+
+        Ok((
+            ExecutionEngine {
+                catalog,
+                streams,
+                windows,
+                ee_triggers,
+                stmts,
+                metrics,
+                in_txn: false,
+                out_batch: None,
+                effects: Vec::new(),
+                stream_undo: Vec::new(),
+                window_undo: Vec::new(),
+                outputs: Vec::new(),
+            },
+            proc_map,
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction lifecycle
+    // ------------------------------------------------------------------
+
+    /// Begins a transaction. `out_batch` labels any stream output this
+    /// transaction produces (`None` for OLTP — stream writes then fail).
+    pub fn begin(&mut self, out_batch: Option<BatchId>) -> Result<()> {
+        if self.in_txn {
+            return Err(Error::InvalidState("nested EE begin".into()));
+        }
+        self.in_txn = true;
+        self.out_batch = out_batch;
+        self.effects.clear();
+        self.outputs.clear();
+        self.stream_undo.clear();
+        self.window_undo.clear();
+        Ok(())
+    }
+
+    /// Commits: drops undo state and returns the `(stream, batch)`
+    /// outputs awaiting PE triggers.
+    pub fn commit(&mut self) -> Result<Vec<(String, BatchId)>> {
+        if !self.in_txn {
+            return Err(Error::InvalidState("commit outside transaction".into()));
+        }
+        self.in_txn = false;
+        self.out_batch = None;
+        self.effects.clear();
+        self.stream_undo.clear();
+        self.window_undo.clear();
+        Ok(std::mem::take(&mut self.outputs))
+    }
+
+    /// Aborts: undoes every table effect in reverse and restores
+    /// stream/window bookkeeping.
+    pub fn abort(&mut self) -> Result<()> {
+        if !self.in_txn {
+            return Err(Error::InvalidState("abort outside transaction".into()));
+        }
+        for e in self.effects.iter().rev() {
+            undo_effect(&mut self.catalog, e)
+                .map_err(|err| Error::Internal(format!("undo failed: {err}")))?;
+        }
+        self.effects.clear();
+        // Streams: apply operation-level undo newest-first.
+        while let Some(u) = self.stream_undo.pop() {
+            match u {
+                StreamUndo::Appended { stream, batch, n } => {
+                    if let Some(s) = self.streams.get_mut(&stream) {
+                        s.undo_append(batch, n);
+                    }
+                }
+                StreamUndo::Consumed { stream, batch, rows } => {
+                    if let Some(s) = self.streams.get_mut(&stream) {
+                        s.undo_consume(batch, rows);
+                    }
+                }
+                StreamUndo::Forgot { stream, batch, pos, row } => {
+                    if let Some(s) = self.streams.get_mut(&stream) {
+                        s.undo_forget(batch, pos, row);
+                    }
+                }
+            }
+        }
+        // Windows: apply operation-level undo newest-first.
+        while let Some(u) = self.window_undo.pop() {
+            match u {
+                WindowUndo::Staged { window, n } => {
+                    if let Some(w) = self.windows.get_mut(&window) {
+                        w.undo_stage(n);
+                    }
+                }
+                WindowUndo::Slid { window, expired, activated, restaged } => {
+                    if let Some(w) = self.windows.get_mut(&window) {
+                        w.undo_slide(expired, activated, restaged);
+                    }
+                }
+            }
+        }
+        self.outputs.clear();
+        self.in_txn = false;
+        self.out_batch = None;
+        Ok(())
+    }
+
+    /// True while a transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.in_txn
+    }
+
+    // ------------------------------------------------------------------
+    // Statement execution + trigger cascade
+    // ------------------------------------------------------------------
+
+    /// Executes a compiled statement within the current transaction,
+    /// cascading EE triggers.
+    pub fn exec(&mut self, stmt: StmtId, params: &[Value]) -> Result<QueryResult> {
+        if !self.in_txn {
+            return Err(Error::InvalidState("exec outside transaction".into()));
+        }
+        let bound = self
+            .stmts
+            .get(stmt)
+            .cloned()
+            .ok_or_else(|| Error::not_found("statement id", stmt.to_string()))?;
+        let start = self.effects.len();
+        let result = execute(&mut self.catalog, &bound, params, &mut self.effects)?;
+        self.cascade(start)?;
+        Ok(result)
+    }
+
+    /// Inserts tuples onto a stream (used by `ProcCtx::emit` and batch
+    /// injection), then cascades exactly like a SQL insert would.
+    pub fn emit(&mut self, stream: &str, rows: Vec<Tuple>) -> Result<()> {
+        if !self.in_txn {
+            return Err(Error::InvalidState("emit outside transaction".into()));
+        }
+        if self.catalog.table(stream)?.kind() != TableKind::Stream {
+            return Err(Error::StreamViolation(format!("{stream} is not a stream")));
+        }
+        let mut ids = Vec::with_capacity(rows.len());
+        for t in rows {
+            ids.push(self.table_insert(stream, t)?);
+        }
+        self.stream_arrival(stream, ids)
+    }
+
+    /// Consumes a batch from a stream: removes its rows from the table
+    /// (undo-ably) and returns the tuples in arrival order. With
+    /// `require`, a missing batch is an error; otherwise it yields an
+    /// empty input (used by nested children that may receive no data in
+    /// a given round).
+    pub fn consume(&mut self, stream: &str, batch: BatchId, require: bool) -> Result<Vec<Tuple>> {
+        if !self.in_txn {
+            return Err(Error::InvalidState("consume outside transaction".into()));
+        }
+        let state = self
+            .streams
+            .get_mut(stream)
+            .ok_or_else(|| Error::not_found("stream", stream))?;
+        let ids = if require {
+            state.consume(batch)?
+        } else {
+            match state.peek(batch) {
+                Some(_) => state.consume(batch)?,
+                None => return Ok(Vec::new()),
+            }
+        };
+        self.stream_undo.push(StreamUndo::Consumed {
+            stream: stream.to_owned(),
+            batch,
+            rows: ids.clone(),
+        });
+        // A batch consumed in the same transaction that produced it
+        // (nested-transaction children, §2.3) is internal: it must not
+        // surface as a PE-trigger output at commit.
+        self.outputs.retain(|(s, b)| !(s == stream && *b == batch));
+        let mut rows = Vec::with_capacity(ids.len());
+        for id in ids {
+            rows.push(self.table_delete(stream, id)?);
+        }
+        Ok(rows)
+    }
+
+    /// Scans effects `[start..)` for SQL-originated inserts into streams
+    /// and windows, and runs the §3.2.3 trigger cascade on them.
+    fn cascade(&mut self, start: usize) -> Result<()> {
+        let end = self.effects.len();
+        if start >= end {
+            return Ok(());
+        }
+        let mut stream_groups: Vec<(String, Vec<RowId>)> = Vec::new();
+        let mut window_groups: Vec<(String, Vec<RowId>)> = Vec::new();
+        let mut forgotten: Vec<(String, RowId)> = Vec::new();
+        for e in &self.effects[start..end] {
+            match e {
+                Effect::Insert { table, row } => match self.catalog.table(table)?.kind() {
+                    TableKind::Stream => push_group(&mut stream_groups, table, *row),
+                    TableKind::Window => push_group(&mut window_groups, table, *row),
+                    TableKind::Base => {}
+                },
+                // A SQL DELETE on a stream table must drop the row from
+                // batch bookkeeping too, or the stream state would leak
+                // dangling row ids.
+                Effect::Delete { table, row, .. } => {
+                    if self.catalog.table(table)?.kind() == TableKind::Stream {
+                        forgotten.push((table.clone(), *row));
+                    }
+                }
+                Effect::Update { .. } => {}
+            }
+        }
+        for (table, row) in forgotten {
+            if let Some(state) = self.streams.get_mut(&table) {
+                if let Some((batch, pos)) = state.forget_row(row) {
+                    self.stream_undo.push(StreamUndo::Forgot { stream: table.clone(), batch, pos, row });
+                }
+            }
+        }
+        for (w, rows) in window_groups {
+            self.window_arrival(&w, rows)?;
+        }
+        for (s, rows) in stream_groups {
+            self.stream_arrival(&s, rows)?;
+        }
+        Ok(())
+    }
+
+    /// Converts freshly inserted window rows to staging and processes
+    /// the slides they unlock, firing on-slide EE triggers.
+    fn window_arrival(&mut self, window: &str, rows: Vec<RowId>) -> Result<()> {
+        // Staged tuples leave the table (invisible until activation).
+        let mut staged = Vec::with_capacity(rows.len());
+        for id in rows {
+            staged.push(self.table_delete(window, id)?);
+        }
+        let staged_n = staged.len();
+        self.windows
+            .get_mut(window)
+            .ok_or_else(|| Error::not_found("window", window))?
+            .stage(staged);
+        self.window_undo.push(WindowUndo::Staged { window: window.to_owned(), n: staged_n });
+        let trig = self.ee_triggers.get(window).cloned();
+        while let Some(outcome) =
+            self.windows.get_mut(window).expect("window exists, checked above").next_slide()
+        {
+            let expired = self
+                .windows
+                .get_mut(window)
+                .expect("window exists")
+                .take_expired(outcome.expire);
+            for id in &expired {
+                self.table_delete(window, *id)?;
+            }
+            let restaged = outcome.activated.clone();
+            let mut new_ids = Vec::with_capacity(outcome.activated.len());
+            for t in outcome.activated {
+                new_ids.push(self.table_insert(window, t)?);
+            }
+            let activated = new_ids.len();
+            self.windows.get_mut(window).expect("window exists").record_activation(new_ids);
+            self.window_undo.push(WindowUndo::Slid {
+                window: window.to_owned(),
+                expired,
+                activated,
+                restaged,
+            });
+            if let Some(stmts) = &trig {
+                for sid in stmts {
+                    EngineMetrics::bump(&self.metrics.ee_trigger_fires);
+                    self.exec(*sid, &[])?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Labels freshly inserted stream rows with the transaction's batch
+    /// id; fires EE triggers (then garbage-collects the consumed rows)
+    /// or records the batch for PE-trigger firing at commit.
+    fn stream_arrival(&mut self, stream: &str, rows: Vec<RowId>) -> Result<()> {
+        let Some(batch) = self.out_batch else {
+            return Err(Error::StreamViolation(format!(
+                "insert into stream {stream} outside a streaming transaction \
+                 (OLTP transactions may only access public tables, §2)"
+            )));
+        };
+        self.streams
+            .get_mut(stream)
+            .ok_or_else(|| Error::not_found("stream", stream))?
+            .append(batch, rows.iter().copied());
+        self.stream_undo.push(StreamUndo::Appended {
+            stream: stream.to_owned(),
+            batch,
+            n: rows.len(),
+        });
+        if let Some(stmts) = self.ee_triggers.get(stream).cloned() {
+            for sid in stmts {
+                EngineMetrics::bump(&self.metrics.ee_trigger_fires);
+                self.exec(sid, &[])?;
+            }
+            // Automatic GC (§3.2.3): the triggering tuples have been
+            // fully processed inside this EE visit.
+            for id in rows {
+                self.table_delete(stream, id)?;
+                if let Some((b, pos)) =
+                    self.streams.get_mut(stream).expect("stream exists").forget_row(id)
+                {
+                    self.stream_undo.push(StreamUndo::Forgot {
+                        stream: stream.to_owned(),
+                        batch: b,
+                        pos,
+                        row: id,
+                    });
+                }
+            }
+        } else if !self.outputs.iter().any(|(s, b)| s == stream && *b == batch) {
+            self.outputs.push((stream.to_owned(), batch));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Effect-recording table primitives
+    // ------------------------------------------------------------------
+
+    fn table_insert(&mut self, table: &str, tuple: Tuple) -> Result<RowId> {
+        let id = self.catalog.table_mut(table)?.insert(tuple)?;
+        self.effects.push(Effect::Insert { table: table.to_owned(), row: id });
+        Ok(id)
+    }
+
+    fn table_delete(&mut self, table: &str, row: RowId) -> Result<Tuple> {
+        let tuple = self.catalog.table_mut(table)?.delete(row)?;
+        self.effects.push(Effect::Delete { table: table.to_owned(), row, tuple: tuple.clone() });
+        Ok(tuple)
+    }
+
+    // ------------------------------------------------------------------
+    // Out-of-transaction services
+    // ------------------------------------------------------------------
+
+    /// Runs an ad-hoc read-only query (tests, examples, H-Store-mode
+    /// clients inspecting results). Mutating statements are rejected.
+    pub fn query(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        let bound = Planner::new(&self.catalog).plan_sql(sql)?;
+        match bound {
+            BoundStatement::Select(s) => sstore_sql::exec::run_select(&self.catalog, &s, params),
+            _ => Err(Error::Plan("ad-hoc statements must be read-only SELECTs".into())),
+        }
+    }
+
+    /// Live row count of a table.
+    pub fn table_len(&self, name: &str) -> Result<usize> {
+        Ok(self.catalog.table(name)?.len())
+    }
+
+    /// Pending (uncommitted-to-downstream) batches on a stream.
+    pub fn stream_pending(&self, name: &str) -> Result<Vec<BatchId>> {
+        Ok(self
+            .streams
+            .get(name)
+            .ok_or_else(|| Error::not_found("stream", name))?
+            .pending())
+    }
+
+    /// All streams with pending batches (recovery: trigger re-firing).
+    pub fn dangling_batches(&self) -> Vec<(String, BatchId)> {
+        let mut out: Vec<(String, BatchId)> = Vec::new();
+        let mut names: Vec<&String> = self.streams.keys().collect();
+        names.sort();
+        for name in names {
+            for b in self.streams[name].pending() {
+                out.push((name.clone(), b));
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing
+    // ------------------------------------------------------------------
+
+    /// Serializes all partition state (tables, stream bookkeeping,
+    /// window staging) into a checkpoint image.
+    pub fn checkpoint(&self) -> Result<Vec<u8>> {
+        if self.in_txn {
+            return Err(Error::InvalidState("checkpoint during transaction".into()));
+        }
+        let mut e = Encoder::with_capacity(4096);
+        let cat = snapshot::encode_catalog(&self.catalog);
+        e.put_bytes(&cat);
+        let mut snames: Vec<&String> = self.streams.keys().collect();
+        snames.sort();
+        e.put_varint(snames.len() as u64);
+        for n in snames {
+            e.put_str(n);
+            self.streams[n].encode(&mut e);
+        }
+        let mut wnames: Vec<&String> = self.windows.keys().collect();
+        wnames.sort();
+        e.put_varint(wnames.len() as u64);
+        for n in wnames {
+            self.windows[n].encode(&mut e);
+        }
+        Ok(e.finish())
+    }
+
+    /// Restores partition state from a checkpoint image. Compiled
+    /// statements remain valid: the restored schemas and indexes are
+    /// identical to the app's definitions.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<()> {
+        if self.in_txn {
+            return Err(Error::InvalidState("restore during transaction".into()));
+        }
+        let mut d = Decoder::new(bytes);
+        let cat_bytes = d.get_bytes()?;
+        let catalog = snapshot::decode_catalog(cat_bytes)?;
+        let ns = d.get_varint()? as usize;
+        let mut streams = HashMap::with_capacity(ns);
+        for _ in 0..ns {
+            let name = d.get_str()?;
+            streams.insert(name, StreamState::decode(&mut d)?);
+        }
+        let nw = d.get_varint()? as usize;
+        let mut windows = HashMap::with_capacity(nw);
+        for _ in 0..nw {
+            let w = WindowState::decode(&mut d)?;
+            windows.insert(w.spec.name.clone(), w);
+        }
+        if !d.is_exhausted() {
+            return Err(Error::Codec("trailing bytes in EE checkpoint".into()));
+        }
+        self.catalog = catalog;
+        self.streams = streams;
+        self.windows = windows;
+        Ok(())
+    }
+}
+
+fn push_group(groups: &mut Vec<(String, Vec<RowId>)>, table: &str, row: RowId) {
+    if let Some((_, rows)) = groups.iter_mut().find(|(t, _)| t == table) {
+        rows.push(row);
+    } else {
+        groups.push((table.to_owned(), vec![row]));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::App;
+    use sstore_common::{tuple, DataType, Schema};
+
+    fn simple_schema() -> Schema {
+        Schema::of(&[("v", DataType::Int)])
+    }
+
+    /// s1 --EE trigger--> s2 --EE trigger--> s3 (no trigger ⇒ output)
+    fn chain_app() -> App {
+        App::builder()
+            .stream("s1", simple_schema())
+            .stream("s2", simple_schema())
+            .stream("s3", simple_schema())
+            .table("sink", simple_schema())
+            .proc("driver", &[("ins", "INSERT INTO s1 (v) VALUES (?)")], &[], |_| Ok(()))
+            .proc("downstream", &[], &[], |_| Ok(()))
+            .pe_trigger("s3", "downstream")
+            .ee_trigger("s1", &["INSERT INTO s2 (v) SELECT v + 10 FROM s1"])
+            .ee_trigger("s2", &["INSERT INTO s3 (v) SELECT v + 100 FROM s2"])
+            .build()
+            .unwrap()
+    }
+
+    fn ee(app: &App) -> (ExecutionEngine, ProcStmtMap) {
+        ExecutionEngine::install(app, Arc::new(EngineMetrics::new())).unwrap()
+    }
+
+    #[test]
+    fn ee_trigger_chain_cascades_and_gcs() {
+        let app = chain_app();
+        let (mut ee, map) = ee(&app);
+        let ins = map["driver"]["ins"];
+        ee.begin(Some(BatchId(1))).unwrap();
+        ee.exec(ins, &[Value::Int(1)]).unwrap();
+        let outputs = ee.commit().unwrap();
+        // s1 and s2 were consumed by EE triggers and GC'd.
+        assert_eq!(ee.table_len("s1").unwrap(), 0);
+        assert_eq!(ee.table_len("s2").unwrap(), 0);
+        // s3 holds the transformed tuple, awaiting its PE trigger.
+        assert_eq!(ee.table_len("s3").unwrap(), 1);
+        assert_eq!(outputs, vec![("s3".to_string(), BatchId(1))]);
+        let r = ee.query("SELECT v FROM s3", &[]).unwrap();
+        assert_eq!(r.rows, vec![tuple![111i64]]);
+        assert_eq!(ee.stream_pending("s3").unwrap(), vec![BatchId(1)]);
+    }
+
+    #[test]
+    fn consume_drains_batch() {
+        let app = chain_app();
+        let (mut ee, map) = ee(&app);
+        ee.begin(Some(BatchId(1))).unwrap();
+        ee.exec(map["driver"]["ins"], &[Value::Int(1)]).unwrap();
+        ee.commit().unwrap();
+        ee.begin(Some(BatchId(1))).unwrap();
+        let rows = ee.consume("s3", BatchId(1), true).unwrap();
+        assert_eq!(rows, vec![tuple![111i64]]);
+        assert_eq!(ee.table_len("s3").unwrap(), 0);
+        // Double consume fails loudly; optional consume yields empty.
+        assert!(ee.consume("s3", BatchId(1), true).is_err());
+        assert!(ee.consume("s3", BatchId(1), false).unwrap().is_empty());
+        ee.commit().unwrap();
+    }
+
+    #[test]
+    fn abort_restores_everything() {
+        let app = chain_app();
+        let (mut ee, map) = ee(&app);
+        // Commit one batch into s3.
+        ee.begin(Some(BatchId(1))).unwrap();
+        ee.exec(map["driver"]["ins"], &[Value::Int(1)]).unwrap();
+        ee.commit().unwrap();
+        let pending_before = ee.stream_pending("s3").unwrap();
+        // Start a second txn that consumes + writes, then abort it.
+        ee.begin(Some(BatchId(2))).unwrap();
+        ee.consume("s3", BatchId(1), true).unwrap();
+        ee.exec(map["driver"]["ins"], &[Value::Int(5)]).unwrap();
+        ee.abort().unwrap();
+        assert_eq!(ee.table_len("s3").unwrap(), 1);
+        assert_eq!(ee.stream_pending("s3").unwrap(), pending_before);
+        let r = ee.query("SELECT v FROM s3", &[]).unwrap();
+        assert_eq!(r.rows, vec![tuple![111i64]]);
+    }
+
+    #[test]
+    fn oltp_cannot_write_streams() {
+        let app = chain_app();
+        let (mut ee, map) = ee(&app);
+        ee.begin(None).unwrap(); // OLTP: no batch label
+        let err = ee.exec(map["driver"]["ins"], &[Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, Error::StreamViolation(_)));
+        ee.abort().unwrap();
+        assert_eq!(ee.table_len("s1").unwrap(), 0);
+    }
+
+    fn window_app() -> App {
+        App::builder()
+            .stream("arrivals", simple_schema())
+            .table("slides_seen", Schema::of(&[("total", DataType::Int)]))
+            .window("w", "wproc", simple_schema(), 3, 1)
+            .proc(
+                "wproc",
+                &[("ins", "INSERT INTO w (v) VALUES (?)")],
+                &[],
+                |_| Ok(()),
+            )
+            .ee_trigger("w", &["INSERT INTO slides_seen (total) SELECT SUM(v) FROM w"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn window_staging_slide_and_trigger() {
+        let app = window_app();
+        let (mut ee, map) = ee(&app);
+        let ins = map["wproc"]["ins"];
+        ee.begin(Some(BatchId(1))).unwrap();
+        for v in 1..=2 {
+            ee.exec(ins, &[Value::Int(v)]).unwrap();
+        }
+        // Staged only: table is empty, no trigger fired.
+        assert_eq!(ee.table_len("w").unwrap(), 0);
+        assert_eq!(ee.table_len("slides_seen").unwrap(), 0);
+        ee.exec(ins, &[Value::Int(3)]).unwrap();
+        // First full window: 3 active rows, trigger fired once (SUM=6).
+        assert_eq!(ee.table_len("w").unwrap(), 3);
+        let r = ee.query("SELECT total FROM slides_seen", &[]).unwrap();
+        assert_eq!(r.rows, vec![tuple![6i64]]);
+        // One more tuple slides by 1: window = {2,3,4}, SUM=9.
+        ee.exec(ins, &[Value::Int(4)]).unwrap();
+        assert_eq!(ee.table_len("w").unwrap(), 3);
+        let r = ee.query("SELECT total FROM slides_seen ORDER BY total", &[]).unwrap();
+        assert_eq!(r.rows, vec![tuple![6i64], tuple![9i64]]);
+        ee.commit().unwrap();
+    }
+
+    #[test]
+    fn window_abort_restores_staging_and_contents() {
+        let app = window_app();
+        let (mut ee, map) = ee(&app);
+        let ins = map["wproc"]["ins"];
+        ee.begin(Some(BatchId(1))).unwrap();
+        for v in 1..=3 {
+            ee.exec(ins, &[Value::Int(v)]).unwrap();
+        }
+        ee.commit().unwrap();
+        ee.begin(Some(BatchId(2))).unwrap();
+        ee.exec(ins, &[Value::Int(4)]).unwrap();
+        assert_eq!(ee.table_len("slides_seen").unwrap(), 2);
+        ee.abort().unwrap();
+        // Back to the first full window; the second slide's trigger
+        // output is rolled back with it.
+        assert_eq!(ee.table_len("w").unwrap(), 3);
+        assert_eq!(ee.table_len("slides_seen").unwrap(), 1);
+        let r = ee.query("SELECT v FROM w ORDER BY v", &[]).unwrap();
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let app = window_app();
+        let (mut ee, map) = ee(&app);
+        let ins = map["wproc"]["ins"];
+        ee.begin(Some(BatchId(1))).unwrap();
+        for v in 1..=4 {
+            ee.exec(ins, &[Value::Int(v)]).unwrap();
+        }
+        ee.emit("arrivals", vec![tuple![42i64]]).unwrap();
+        ee.commit().unwrap();
+
+        let image = ee.checkpoint().unwrap();
+        let (mut ee2, _) = ExecutionEngine::install(&app, Arc::new(EngineMetrics::new())).unwrap();
+        ee2.restore(&image).unwrap();
+        assert_eq!(ee2.table_len("w").unwrap(), 3);
+        assert_eq!(ee2.table_len("slides_seen").unwrap(), 2);
+        assert_eq!(ee2.stream_pending("arrivals").unwrap(), vec![BatchId(1)]);
+        assert_eq!(ee2.dangling_batches(), vec![("arrivals".to_string(), BatchId(1))]);
+        // The restored engine keeps working: next insert slides again.
+        ee2.begin(Some(BatchId(2))).unwrap();
+        ee2.exec(map["wproc"]["ins"], &[Value::Int(5)]).unwrap();
+        assert_eq!(ee2.table_len("slides_seen").unwrap(), 3);
+        ee2.commit().unwrap();
+    }
+
+    #[test]
+    fn query_rejects_mutations() {
+        let app = chain_app();
+        let (ee, _) = ee(&app);
+        assert!(ee.query("DELETE FROM sink", &[]).is_err());
+    }
+
+    #[test]
+    fn lifecycle_errors() {
+        let app = chain_app();
+        let (mut ee, _) = ee(&app);
+        assert!(ee.commit().is_err());
+        assert!(ee.abort().is_err());
+        assert!(ee.exec(0, &[]).is_err());
+        ee.begin(None).unwrap();
+        assert!(ee.begin(None).is_err());
+        assert!(ee.checkpoint().is_err());
+        ee.commit().unwrap();
+    }
+}

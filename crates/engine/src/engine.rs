@@ -1,0 +1,412 @@
+//! The engine facade: starts partitions, routes ingestion, serves
+//! client calls, takes checkpoints.
+//!
+//! One [`Engine`] is one S-Store node. It owns one partition thread per
+//! configured partition (plus one EE thread each under
+//! [`BoundaryMode::Channel`]). The caller's threads play the roles of
+//! H-Store's *client* and S-Store's *stream injection module*: they
+//! talk to partitions over channels, which is the round trip that PE
+//! triggers exist to eliminate.
+//!
+//! [`BoundaryMode::Channel`]: crate::config::BoundaryMode::Channel
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crossbeam_channel::bounded;
+use parking_lot::Mutex;
+use sstore_common::{BatchId, Error, Lsn, Result, Tuple, Value};
+use sstore_sql::QueryResult;
+
+use crate::app::App;
+use crate::boundary::EeHandle;
+use crate::checkpoint::{write_checkpoint, CheckpointFile};
+use crate::config::{BoundaryMode, EngineConfig};
+use crate::ee::ExecutionEngine;
+use crate::metrics::EngineMetrics;
+use crate::partition::{
+    spawn_partition, CallOutcome, Invocation, PartitionHandle, PartitionMsg, TxnRequest,
+};
+use crate::workflow::WorkflowGraph;
+
+/// Internal bootstrap data used by recovery.
+pub(crate) struct Bootstrap {
+    /// Per-partition EE images to restore (None = fresh).
+    pub images: Vec<Option<Vec<u8>>>,
+    /// Per-partition LSN to resume the command log after.
+    pub resume_lsn: Vec<Option<Lsn>>,
+    /// Whether PE triggers start enabled.
+    pub triggers_enabled: bool,
+    /// Initial per-stream batch counters.
+    pub batch_counters: HashMap<String, u64>,
+}
+
+/// A running S-Store node.
+pub struct Engine {
+    config: EngineConfig,
+    app: App,
+    partitions: Vec<PartitionHandle>,
+    metrics: Arc<EngineMetrics>,
+    batch_counters: Mutex<HashMap<String, u64>>,
+    /// stream → partition-key column index.
+    partition_cols: HashMap<String, Option<usize>>,
+    /// stream → the single border procedure it activates.
+    border_target: HashMap<String, String>,
+}
+
+impl Engine {
+    /// Starts an engine for `app` under `config`.
+    pub fn start(config: EngineConfig, app: App) -> Result<Engine> {
+        Self::start_with(config, app, None)
+    }
+
+    pub(crate) fn start_with(
+        config: EngineConfig,
+        app: App,
+        bootstrap: Option<Bootstrap>,
+    ) -> Result<Engine> {
+        let metrics = Arc::new(EngineMetrics::new());
+        let mut partitions = Vec::with_capacity(config.partitions);
+        let triggers_enabled = bootstrap.as_ref().is_none_or(|b| b.triggers_enabled);
+        for p in 0..config.partitions {
+            let (ee, proc_stmts) = ExecutionEngine::install(&app, metrics.clone())?;
+            let handle = match config.boundary {
+                BoundaryMode::Inline => EeHandle::inline(ee, metrics.clone()),
+                BoundaryMode::Channel => EeHandle::channel(ee, metrics.clone()),
+            };
+            let resume_lsn = bootstrap.as_ref().and_then(|b| b.resume_lsn[p]);
+            let part = spawn_partition(
+                p,
+                config.clone(),
+                &app,
+                handle,
+                proc_stmts,
+                metrics.clone(),
+                triggers_enabled,
+                resume_lsn,
+            )?;
+            if let Some(b) = &bootstrap {
+                if let Some(image) = &b.images[p] {
+                    let (tx, rx) = bounded(1);
+                    part.tx
+                        .send(PartitionMsg::Restore(image.clone(), tx))
+                        .map_err(|_| Error::InvalidState("partition died during restore".into()))?;
+                    rx.recv().map_err(|_| Error::InvalidState("restore reply lost".into()))??;
+                }
+            }
+            partitions.push(part);
+        }
+
+        let partition_cols = app
+            .streams
+            .iter()
+            .map(|s| {
+                let idx = s.partition_col.as_ref().and_then(|c| s.schema.index_of(c));
+                (s.name.clone(), idx)
+            })
+            .collect();
+        let border_target = app
+            .streams
+            .iter()
+            .filter_map(|s| {
+                app.pe_targets(&s.name).first().map(|t| (s.name.clone(), (*t).to_owned()))
+            })
+            .collect();
+        let batch_counters =
+            Mutex::new(bootstrap.map(|b| b.batch_counters).unwrap_or_default());
+
+        Ok(Engine {
+            config,
+            app,
+            partitions,
+            metrics,
+            batch_counters,
+            partition_cols,
+            border_target,
+        })
+    }
+
+    /// Engine metrics (shared with all partition threads).
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
+    }
+
+    /// The configuration this engine runs under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The application definition.
+    pub fn app(&self) -> &App {
+        &self.app
+    }
+
+    /// The workflow DAG.
+    pub fn workflow(&self) -> WorkflowGraph {
+        self.app.workflow()
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Stream injection (push)
+    // ------------------------------------------------------------------
+
+    fn next_batch(&self, stream: &str) -> BatchId {
+        let mut counters = self.batch_counters.lock();
+        let c = counters.entry(stream.to_owned()).or_insert(0);
+        *c += 1;
+        BatchId(*c)
+    }
+
+    fn route(&self, stream: &str, rows: &[Tuple]) -> usize {
+        if self.partitions.len() == 1 {
+            return 0;
+        }
+        match self.partition_cols.get(stream).copied().flatten() {
+            Some(col) => {
+                let mut h = DefaultHasher::new();
+                if let Some(first) = rows.first() {
+                    first.get(col).hash(&mut h);
+                }
+                (h.finish() % self.partitions.len() as u64) as usize
+            }
+            None => 0,
+        }
+    }
+
+    fn border_request(
+        &self,
+        stream: &str,
+        rows: Vec<Tuple>,
+        reply: Option<crossbeam_channel::Sender<Result<CallOutcome>>>,
+    ) -> Result<(TxnRequest, BatchId, usize)> {
+        let stream = stream.to_ascii_lowercase();
+        let proc = self
+            .border_target
+            .get(&stream)
+            .cloned()
+            .ok_or_else(|| Error::not_found("PE trigger for border stream", &stream))?;
+        // Validate rows against the stream schema up front so bad input
+        // fails at the injection site, not inside the partition.
+        let def = self.app.stream(&stream).ok_or_else(|| Error::not_found("stream", &stream))?;
+        for r in &rows {
+            def.schema.validate(r.values())?;
+        }
+        let partition = self.route(&stream, &rows);
+        let batch = self.next_batch(&stream);
+        Ok((
+            TxnRequest {
+                proc,
+                invocation: Invocation::Border { stream, rows },
+                batch: Some(batch),
+                reply,
+                replay: false,
+            },
+            batch,
+            partition,
+        ))
+    }
+
+    /// Injects an atomic batch asynchronously (the normal streaming
+    /// path). Returns the assigned batch id immediately.
+    pub fn ingest(&self, stream: &str, rows: Vec<Tuple>) -> Result<BatchId> {
+        let (req, batch, p) = self.border_request(stream, rows, None)?;
+        self.partitions[p]
+            .tx
+            .send(PartitionMsg::Submit(req))
+            .map_err(|_| Error::InvalidState("partition is down".into()))?;
+        Ok(batch)
+    }
+
+    /// Injects an atomic batch and waits for the *border* transaction to
+    /// commit (downstream transactions may still be queued). In H-Store
+    /// mode the outcome carries the pending activations the caller must
+    /// drive itself.
+    pub fn ingest_sync(&self, stream: &str, rows: Vec<Tuple>) -> Result<(BatchId, CallOutcome)> {
+        let (tx, rx) = bounded(1);
+        let (req, batch, p) = self.border_request(stream, rows, Some(tx))?;
+        self.partitions[p]
+            .tx
+            .send(PartitionMsg::Submit(req))
+            .map_err(|_| Error::InvalidState("partition is down".into()))?;
+        let outcome = rx.recv().map_err(|_| Error::InvalidState("reply lost".into()))??;
+        Ok((batch, outcome))
+    }
+
+    // ------------------------------------------------------------------
+    // Client calls (pull)
+    // ------------------------------------------------------------------
+
+    /// Invokes an OLTP stored procedure on partition 0 and waits.
+    pub fn call(&self, proc: &str, params: Vec<Value>) -> Result<CallOutcome> {
+        self.call_at(0, proc, params)
+    }
+
+    /// Invokes an OLTP stored procedure on a given partition and waits.
+    pub fn call_at(&self, partition: usize, proc: &str, params: Vec<Value>) -> Result<CallOutcome> {
+        let (tx, rx) = bounded(1);
+        let req = TxnRequest {
+            proc: proc.to_ascii_lowercase(),
+            invocation: Invocation::Oltp { params },
+            batch: None,
+            reply: Some(tx),
+            replay: false,
+        };
+        self.submit(partition, req)?;
+        rx.recv().map_err(|_| Error::InvalidState("reply lost".into()))?
+    }
+
+    /// H-Store-mode client driving: runs one interior transaction for a
+    /// batch a predecessor committed, and waits.
+    pub fn call_interior(
+        &self,
+        partition: usize,
+        proc: &str,
+        stream: &str,
+        batch: BatchId,
+    ) -> Result<CallOutcome> {
+        let (tx, rx) = bounded(1);
+        let req = TxnRequest {
+            proc: proc.to_ascii_lowercase(),
+            invocation: Invocation::Interior { stream: stream.to_ascii_lowercase() },
+            batch: Some(batch),
+            reply: Some(tx),
+            replay: false,
+        };
+        self.submit(partition, req)?;
+        rx.recv().map_err(|_| Error::InvalidState("reply lost".into()))?
+    }
+
+    /// H-Store-mode client loop: drives every pending activation of an
+    /// outcome to completion, synchronously and in order (this is the
+    /// per-step client round trip of §4.2/§4.5).
+    pub fn drive(&self, partition: usize, outcome: CallOutcome) -> Result<QueryResult> {
+        let mut last = outcome.result;
+        let mut stack: Vec<_> = outcome.pending;
+        while !stack.is_empty() {
+            let mut next = Vec::new();
+            for act in stack {
+                let out = self.call_interior(partition, &act.proc, &act.stream, act.batch)?;
+                last = out.result;
+                next.extend(out.pending);
+            }
+            stack = next;
+        }
+        Ok(last)
+    }
+
+    pub(crate) fn submit(&self, partition: usize, req: TxnRequest) -> Result<()> {
+        self.partitions
+            .get(partition)
+            .ok_or_else(|| Error::not_found("partition", partition.to_string()))?
+            .tx
+            .send(PartitionMsg::Submit(req))
+            .map_err(|_| Error::InvalidState("partition is down".into()))
+    }
+
+    pub(crate) fn control(&self, partition: usize, msg: PartitionMsg) -> Result<()> {
+        self.partitions
+            .get(partition)
+            .ok_or_else(|| Error::not_found("partition", partition.to_string()))?
+            .tx
+            .send(msg)
+            .map_err(|_| Error::InvalidState("partition is down".into()))
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance
+    // ------------------------------------------------------------------
+
+    /// Blocks until every partition's queue is empty (callers must have
+    /// stopped submitting).
+    pub fn drain(&self) -> Result<()> {
+        let mut waits = Vec::new();
+        for p in 0..self.partitions.len() {
+            let (tx, rx) = bounded(1);
+            self.control(p, PartitionMsg::Drain(tx))?;
+            waits.push(rx);
+        }
+        for rx in waits {
+            rx.recv().map_err(|_| Error::InvalidState("drain reply lost".into()))?;
+        }
+        Ok(())
+    }
+
+    /// Forces command-log flushes on every partition.
+    pub fn flush_logs(&self) -> Result<()> {
+        for p in 0..self.partitions.len() {
+            let (tx, rx) = bounded(1);
+            self.control(p, PartitionMsg::FlushLog(tx))?;
+            rx.recv().map_err(|_| Error::InvalidState("flush reply lost".into()))??;
+        }
+        Ok(())
+    }
+
+    /// Takes a checkpoint of every partition, written to
+    /// [`EngineConfig::checkpoint_path`].
+    pub fn checkpoint(&self) -> Result<()> {
+        let counters = self.batch_counters.lock().clone();
+        for p in 0..self.partitions.len() {
+            let (tx, rx) = bounded(1);
+            self.control(p, PartitionMsg::Checkpoint(tx))?;
+            let (ee_image, last_lsn) =
+                rx.recv().map_err(|_| Error::InvalidState("checkpoint reply lost".into()))??;
+            let ck = CheckpointFile { last_lsn, batch_counters: counters.clone(), ee_image };
+            write_checkpoint(&self.config.checkpoint_path(p), &ck)?;
+        }
+        Ok(())
+    }
+
+    /// Ad-hoc read-only query against one partition (tests, examples,
+    /// dashboards — the "OLTP side" of the hybrid workload).
+    pub fn query(&self, partition: usize, sql: &str, params: Vec<Value>) -> Result<QueryResult> {
+        let (tx, rx) = bounded(1);
+        self.control(partition, PartitionMsg::Query(sql.to_owned(), params, tx))?;
+        rx.recv().map_err(|_| Error::InvalidState("query reply lost".into()))?
+    }
+
+    /// Enables or disables PE triggers on every partition (recovery
+    /// protocol, §3.2.5).
+    pub(crate) fn set_triggers(&self, enabled: bool) -> Result<()> {
+        for p in 0..self.partitions.len() {
+            let (tx, rx) = bounded(1);
+            self.control(p, PartitionMsg::SetTriggers(enabled, tx))?;
+            rx.recv().map_err(|_| Error::InvalidState("reply lost".into()))?;
+        }
+        Ok(())
+    }
+
+    /// Fires PE triggers for all dangling stream batches (recovery).
+    pub(crate) fn fire_dangling(&self) -> Result<usize> {
+        let mut total = 0;
+        for p in 0..self.partitions.len() {
+            let (tx, rx) = bounded(1);
+            self.control(p, PartitionMsg::FireDangling(tx))?;
+            total += rx.recv().map_err(|_| Error::InvalidState("reply lost".into()))??;
+        }
+        Ok(total)
+    }
+
+    pub(crate) fn bump_batch_counters(&self, floor: &HashMap<String, u64>) {
+        let mut counters = self.batch_counters.lock();
+        for (k, v) in floor {
+            let e = counters.entry(k.clone()).or_insert(0);
+            if *e < *v {
+                *e = *v;
+            }
+        }
+    }
+
+    /// Stops all partitions (flushing logs) and returns.
+    pub fn shutdown(mut self) {
+        for p in &mut self.partitions {
+            p.shutdown();
+        }
+    }
+}

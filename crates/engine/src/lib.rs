@@ -1,0 +1,60 @@
+//! The S-Store engine: transactional stream processing on an
+//! H-Store-style partitioned main-memory OLTP core.
+//!
+//! # Architecture (paper §3, Figure 4)
+//!
+//! ```text
+//!  client / stream injection            (caller threads)
+//!        │  crossbeam channel = the "network" round trip
+//!        ▼
+//!  ┌──────────────────────────────┐
+//!  │ Partition Engine (PE)        │  one thread per partition
+//!  │  · streaming scheduler       │  (serial transaction execution)
+//!  │  · stored-procedure bodies   │
+//!  │  · PE triggers               │
+//!  │  · command log + recovery    │
+//!  └──────────────┬───────────────┘
+//!                 │  EE boundary (inline call or channel hop)
+//!                 ▼
+//!  ┌──────────────────────────────┐
+//!  │ Execution Engine (EE)        │
+//!  │  · SQL execution             │
+//!  │  · streams/windows as tables │
+//!  │  · EE triggers, auto-GC      │
+//!  │  · undo log, checkpoints     │
+//!  └──────────────────────────────┘
+//! ```
+//!
+//! The crate reproduces every architectural extension of §3.2:
+//! streams/windows as time-varying tables ([`stream`], [`window`]),
+//! EE/PE [`trigger`]s, the streaming [`scheduler`] that fast-tracks
+//! triggered transactions, and strong/weak [`recovery`] over a
+//! command [`log`] and [`checkpoint`]s.
+//!
+//! Applications are defined declaratively as an [`app::App`] (tables,
+//! streams, windows, stored procedures, workflow edges) and run by an
+//! [`engine::Engine`] under an [`config::EngineConfig`] that selects
+//! S-Store vs H-Store behavior, boundary costs, logging, and recovery
+//! mode.
+
+pub mod app;
+pub mod boundary;
+pub mod checkpoint;
+pub mod config;
+pub mod ee;
+pub mod engine;
+pub mod log;
+pub mod metrics;
+pub mod partition;
+pub mod procedure;
+pub mod recovery;
+pub mod scheduler;
+pub mod stream;
+pub mod trigger;
+pub mod window;
+pub mod workflow;
+
+pub use app::{App, AppBuilder, ProcBody};
+pub use config::{BoundaryMode, EngineConfig, EngineMode, LoggingConfig, RecoveryMode};
+pub use engine::Engine;
+pub use procedure::ProcCtx;

@@ -1,0 +1,366 @@
+//! The command log (§3.1, §3.2.5, §4.4).
+//!
+//! H-Store logs *commands* — stored-procedure name plus input arguments —
+//! not data pages. A record is appended at commit; group commit batches
+//! several records per flush to amortize the write (and optional
+//! fdatasync) cost.
+//!
+//! What gets logged depends on the recovery mode:
+//! * **strong**: every committed transaction (OLTP, border, interior);
+//! * **weak**: only *border* transactions, carrying their input batch —
+//!   upstream backup; interior work is re-derived through PE triggers.
+//!
+//! Record framing: `[u32 len][payload]`, payload via `common::codec`. A
+//! torn final record (crash mid-write) is detected by length mismatch
+//! and ignored, which is the correct crash semantics: that transaction
+//! never acknowledged its commit.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use sstore_common::codec::{Decoder, Encoder};
+use sstore_common::{BatchId, Error, Lsn, Result, Tuple, Value};
+
+use crate::config::LoggingConfig;
+
+/// What kind of transaction a record describes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogKind {
+    /// Client OLTP invocation with its parameters.
+    Oltp {
+        /// Invocation parameters.
+        params: Vec<Value>,
+    },
+    /// Border streaming transaction: the externally-ingested batch.
+    Border {
+        /// Input stream name.
+        stream: String,
+        /// Batch id assigned at ingestion.
+        batch: BatchId,
+        /// The raw input tuples (upstream backup payload).
+        rows: Vec<Tuple>,
+    },
+    /// Interior streaming transaction (strong mode only): identified by
+    /// its input stream and batch — the data itself is re-derived by
+    /// replaying predecessors.
+    Interior {
+        /// Input stream name.
+        stream: String,
+        /// Batch id consumed.
+        batch: BatchId,
+    },
+}
+
+/// One command-log record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRecord {
+    /// Sequence number (position in the log).
+    pub lsn: Lsn,
+    /// Stored procedure that committed.
+    pub proc: String,
+    /// Invocation payload.
+    pub kind: LogKind,
+}
+
+impl LogRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(64);
+        e.put_u64(self.lsn.raw());
+        e.put_str(&self.proc);
+        match &self.kind {
+            LogKind::Oltp { params } => {
+                e.put_u8(0);
+                e.put_varint(params.len() as u64);
+                for p in params {
+                    e.put_value(p);
+                }
+            }
+            LogKind::Border { stream, batch, rows } => {
+                e.put_u8(1);
+                e.put_str(stream);
+                e.put_u64(batch.raw());
+                e.put_varint(rows.len() as u64);
+                for r in rows {
+                    e.put_tuple(r);
+                }
+            }
+            LogKind::Interior { stream, batch } => {
+                e.put_u8(2);
+                e.put_str(stream);
+                e.put_u64(batch.raw());
+            }
+        }
+        e.finish()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<LogRecord> {
+        let mut d = Decoder::new(bytes);
+        let lsn = Lsn(d.get_u64()?);
+        let proc = d.get_str()?;
+        let kind = match d.get_u8()? {
+            0 => {
+                let n = d.get_varint()? as usize;
+                if n > d.remaining() {
+                    return Err(Error::Codec("param count exceeds record".into()));
+                }
+                let mut params = Vec::with_capacity(n);
+                for _ in 0..n {
+                    params.push(d.get_value()?);
+                }
+                LogKind::Oltp { params }
+            }
+            1 => {
+                let stream = d.get_str()?;
+                let batch = BatchId(d.get_u64()?);
+                let n = d.get_varint()? as usize;
+                if n > d.remaining() {
+                    return Err(Error::Codec("row count exceeds record".into()));
+                }
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(d.get_tuple()?);
+                }
+                LogKind::Border { stream, batch, rows }
+            }
+            2 => LogKind::Interior { stream: d.get_str()?, batch: BatchId(d.get_u64()?) },
+            t => return Err(Error::Codec(format!("unknown log record kind {t}"))),
+        };
+        if !d.is_exhausted() {
+            return Err(Error::Codec("trailing bytes in log record".into()));
+        }
+        Ok(LogRecord { lsn, proc, kind })
+    }
+}
+
+/// Append-only command log for one partition.
+#[derive(Debug)]
+pub struct CommandLog {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    config: LoggingConfig,
+    next_lsn: u64,
+    pending: usize,
+    flushes: u64,
+}
+
+impl CommandLog {
+    /// Opens (creating or truncating) a log file for writing.
+    pub fn create(path: impl Into<PathBuf>, config: LoggingConfig) -> Result<Self> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
+        Ok(CommandLog {
+            path,
+            writer: BufWriter::new(file),
+            config,
+            next_lsn: 0,
+            pending: 0,
+            flushes: 0,
+        })
+    }
+
+    /// Opens a log for appending after recovery, continuing the LSN
+    /// sequence past `resume_after`.
+    pub fn resume(path: impl Into<PathBuf>, config: LoggingConfig, resume_after: Lsn) -> Result<Self> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(CommandLog {
+            path,
+            writer: BufWriter::new(file),
+            config,
+            next_lsn: resume_after.raw() + 1,
+            pending: 0,
+            flushes: 0,
+        })
+    }
+
+    /// Log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of flushes performed so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// LSN the next append will get.
+    pub fn next_lsn(&self) -> Lsn {
+        Lsn(self.next_lsn)
+    }
+
+    /// Appends a record (assigning its LSN) and flushes according to the
+    /// group-commit policy. Returns the LSN.
+    pub fn append(&mut self, proc: &str, kind: LogKind) -> Result<Lsn> {
+        let lsn = Lsn(self.next_lsn);
+        self.next_lsn += 1;
+        let rec = LogRecord { lsn, proc: proc.to_owned(), kind };
+        let payload = rec.encode();
+        self.writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&payload)?;
+        self.pending += 1;
+        if self.pending >= self.config.group_commit.max(1) {
+            self.flush()?;
+        }
+        Ok(lsn)
+    }
+
+    /// Forces out any buffered records (end of a benchmark phase, clean
+    /// shutdown, or a group-commit deadline).
+    pub fn flush(&mut self) -> Result<()> {
+        if self.pending == 0 {
+            return Ok(());
+        }
+        self.writer.flush()?;
+        if self.config.fsync {
+            self.writer.get_ref().sync_data()?;
+        }
+        self.pending = 0;
+        self.flushes += 1;
+        Ok(())
+    }
+
+    /// Reads every complete record from a log file. A torn final record
+    /// is ignored (crash semantics); corruption elsewhere is an error.
+    pub fn read_all(path: impl AsRef<Path>) -> Result<Vec<LogRecord>> {
+        let path = path.as_ref();
+        if !path.exists() {
+            return Ok(Vec::new());
+        }
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let mut records = Vec::new();
+        let mut off = 0usize;
+        while off + 4 <= bytes.len() {
+            let len =
+                u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4-byte slice")) as usize;
+            if off + 4 + len > bytes.len() {
+                break; // torn tail
+            }
+            records.push(LogRecord::decode(&bytes[off + 4..off + 4 + len])?);
+            off += 4 + len;
+        }
+        Ok(records)
+    }
+}
+
+impl Drop for CommandLog {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstore_common::tuple;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sstore-log-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.cmdlog", std::process::id()))
+    }
+
+    fn sample_records() -> Vec<(String, LogKind)> {
+        vec![
+            ("vote".into(), LogKind::Border {
+                stream: "votes_in".into(),
+                batch: BatchId(1),
+                rows: vec![tuple![5551000i64, 3i64], tuple![5551001i64, 1i64]],
+            }),
+            ("maintain".into(), LogKind::Interior { stream: "validated".into(), batch: BatchId(1) }),
+            ("report".into(), LogKind::Oltp { params: vec![Value::Int(3), Value::Text("x".into())] }),
+        ]
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let path = tmp("roundtrip");
+        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }).unwrap();
+        for (proc, kind) in sample_records() {
+            log.append(&proc, kind).unwrap();
+        }
+        log.flush().unwrap();
+        let records = CommandLog::read_all(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].lsn, Lsn(0));
+        assert_eq!(records[2].lsn, Lsn(2));
+        assert!(matches!(records[0].kind, LogKind::Border { ref rows, .. } if rows.len() == 2));
+        assert!(matches!(records[1].kind, LogKind::Interior { .. }));
+        assert!(matches!(records[2].kind, LogKind::Oltp { ref params } if params.len() == 2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn group_commit_batches_flushes() {
+        let path = tmp("group");
+        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 4, fsync: false }).unwrap();
+        for i in 0..10 {
+            log.append("p", LogKind::Oltp { params: vec![Value::Int(i)] }).unwrap();
+        }
+        // 10 records / group of 4 → 2 automatic flushes, 2 pending.
+        assert_eq!(log.flushes(), 2);
+        log.flush().unwrap();
+        assert_eq!(log.flushes(), 3);
+        assert_eq!(CommandLog::read_all(&path).unwrap().len(), 10);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn no_group_commit_flushes_every_record() {
+        let path = tmp("nogroup");
+        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }).unwrap();
+        for i in 0..5 {
+            log.append("p", LogKind::Oltp { params: vec![Value::Int(i)] }).unwrap();
+        }
+        assert_eq!(log.flushes(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let path = tmp("torn");
+        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }).unwrap();
+        for (proc, kind) in sample_records() {
+            log.append(&proc, kind).unwrap();
+        }
+        log.flush().unwrap();
+        drop(log);
+        // Append garbage simulating a torn write.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&100u32.to_le_bytes()).unwrap();
+        f.write_all(&[1, 2, 3]).unwrap();
+        drop(f);
+        let records = CommandLog::read_all(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        assert!(CommandLog::read_all("/nonexistent/sstore.cmdlog").unwrap().is_empty());
+    }
+
+    #[test]
+    fn resume_continues_lsns() {
+        let path = tmp("resume");
+        {
+            let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }).unwrap();
+            log.append("a", LogKind::Oltp { params: vec![] }).unwrap();
+        }
+        let mut log = CommandLog::resume(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }, Lsn(0)).unwrap();
+        let lsn = log.append("b", LogKind::Oltp { params: vec![] }).unwrap();
+        assert_eq!(lsn, Lsn(1));
+        drop(log);
+        let records = CommandLog::read_all(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].proc, "b");
+        std::fs::remove_file(&path).ok();
+    }
+}

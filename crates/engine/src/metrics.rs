@@ -1,0 +1,92 @@
+//! Engine-wide counters and the optional execution trace.
+//!
+//! Shared between partition threads and the caller via `Arc`; all hot
+//! counters are relaxed atomics (they feed throughput reports, not
+//! synchronization).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::workflow::TraceEvent;
+
+/// Counters for one engine instance.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    /// Committed transaction executions (OLTP + streaming).
+    pub txns_committed: AtomicU64,
+    /// Aborted transaction executions.
+    pub txns_aborted: AtomicU64,
+    /// Completed workflows (commits of sink procedures — procedures
+    /// with no declared output streams).
+    pub workflows_completed: AtomicU64,
+    /// Command-log records appended.
+    pub log_records: AtomicU64,
+    /// Command-log flushes (each is a write syscall, plus fsync when
+    /// configured) — the contended resource in §4.4.
+    pub log_flushes: AtomicU64,
+    /// PE→EE boundary crossings (the resource EE triggers save, §4.1).
+    pub ee_round_trips: AtomicU64,
+    /// PE-trigger activations performed (S-Store mode only).
+    pub pe_trigger_fires: AtomicU64,
+    /// EE-trigger executions performed inside the EE.
+    pub ee_trigger_fires: AtomicU64,
+    /// Execution trace of committed TEs, recorded only when
+    /// [`crate::config::EngineConfig::trace`] is on.
+    pub trace: Mutex<Vec<TraceEvent>>,
+}
+
+impl EngineMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        EngineMetrics::default()
+    }
+
+    /// Relaxed increment helper.
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed read helper.
+    #[inline]
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the trace.
+    pub fn trace_snapshot(&self) -> Vec<TraceEvent> {
+        self.trace.lock().clone()
+    }
+
+    /// Clears all counters and the trace (between benchmark phases).
+    pub fn reset(&self) {
+        self.txns_committed.store(0, Ordering::Relaxed);
+        self.txns_aborted.store(0, Ordering::Relaxed);
+        self.workflows_completed.store(0, Ordering::Relaxed);
+        self.log_records.store(0, Ordering::Relaxed);
+        self.log_flushes.store(0, Ordering::Relaxed);
+        self.ee_round_trips.store(0, Ordering::Relaxed);
+        self.pe_trigger_fires.store(0, Ordering::Relaxed);
+        self.ee_trigger_fires.store(0, Ordering::Relaxed);
+        self.trace.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_bump_and_reset() {
+        let m = EngineMetrics::new();
+        EngineMetrics::bump(&m.txns_committed);
+        EngineMetrics::bump(&m.txns_committed);
+        assert_eq!(EngineMetrics::get(&m.txns_committed), 2);
+        m.trace.lock().push(TraceEvent { proc: "p".into(), batch: None });
+        assert_eq!(m.trace_snapshot().len(), 1);
+        m.reset();
+        assert_eq!(EngineMetrics::get(&m.txns_committed), 0);
+        assert!(m.trace_snapshot().is_empty());
+    }
+}

@@ -1,0 +1,541 @@
+//! The partition runtime: one thread that serially executes transaction
+//! executions for one partition (H-Store's single-sited execution model,
+//! §3.1), extended with S-Store's PE triggers and streaming scheduler.
+//!
+//! The thread owns the scheduler queue, the stored-procedure bodies, the
+//! command log, and an [`EeHandle`] to its execution engine. Clients and
+//! the stream-injection module talk to it over a channel — that channel
+//! is "the network" whose round trips H-Store must pay once per workflow
+//! step (§4.2) and S-Store avoids via PE triggers.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{Receiver, Sender, TryRecvError};
+use sstore_common::{BatchId, Error, Lsn, Result, Tuple, Value};
+use sstore_sql::QueryResult;
+
+use crate::app::App;
+use crate::boundary::EeHandle;
+use crate::config::{EngineConfig, EngineMode};
+use crate::log::{CommandLog, LogKind};
+use crate::metrics::EngineMetrics;
+use crate::procedure::{CompiledProc, ProcCtx};
+use crate::scheduler::SchedulerQueue;
+use crate::workflow::TraceEvent;
+
+/// How a transaction execution is invoked.
+#[derive(Debug, Clone)]
+pub enum Invocation {
+    /// Client OLTP call (pull).
+    Oltp {
+        /// Invocation parameters.
+        params: Vec<Value>,
+    },
+    /// Border streaming transaction: an externally ingested batch (push).
+    Border {
+        /// Input stream.
+        stream: String,
+        /// The atomic batch.
+        rows: Vec<Tuple>,
+    },
+    /// Interior streaming transaction: consumes a batch a predecessor
+    /// committed onto `stream`.
+    Interior {
+        /// Input stream.
+        stream: String,
+    },
+}
+
+/// A queued transaction request.
+#[derive(Debug)]
+pub struct TxnRequest {
+    /// Stored procedure (or nested transaction) to run.
+    pub proc: String,
+    /// Invocation payload.
+    pub invocation: Invocation,
+    /// Batch id (streaming invocations; assigned at ingestion and
+    /// propagated through the workflow).
+    pub batch: Option<BatchId>,
+    /// Reply channel for synchronous callers.
+    pub reply: Option<Sender<Result<CallOutcome>>>,
+    /// True during log replay: suppresses re-logging.
+    pub replay: bool,
+}
+
+/// A downstream activation H-Store-mode clients must drive themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingActivation {
+    /// Downstream procedure.
+    pub proc: String,
+    /// Stream carrying the batch.
+    pub stream: String,
+    /// The batch to consume.
+    pub batch: BatchId,
+}
+
+/// What a synchronous caller gets back from a committed TE.
+#[derive(Debug, Default)]
+pub struct CallOutcome {
+    /// The result the procedure body set via [`ProcCtx::set_result`].
+    pub result: QueryResult,
+    /// Downstream activations (non-empty only when PE triggers are off:
+    /// H-Store mode or recovery replay).
+    pub pending: Vec<PendingActivation>,
+}
+
+/// Control-plane messages to a partition.
+pub enum PartitionMsg {
+    /// Submit a transaction request (client call or ingestion).
+    Submit(TxnRequest),
+    /// Take a checkpoint; replies with the EE image and the last LSN
+    /// covered by it.
+    Checkpoint(Sender<Result<(Vec<u8>, Lsn)>>),
+    /// Restore EE state from a checkpoint image (recovery bootstrap).
+    Restore(Vec<u8>, Sender<Result<()>>),
+    /// Block until the queue is empty and no work is in flight.
+    Drain(Sender<()>),
+    /// Enable/disable PE triggers (recovery protocol).
+    SetTriggers(bool, Sender<()>),
+    /// Enqueue PE triggers for all dangling stream batches (recovery);
+    /// replies with how many TEs were enqueued.
+    FireDangling(Sender<Result<usize>>),
+    /// Ad-hoc read-only query.
+    Query(String, Vec<Value>, Sender<Result<QueryResult>>),
+    /// Flush the command log (end of benchmark phase).
+    FlushLog(Sender<Result<()>>),
+    /// Stop the partition thread.
+    Shutdown(Sender<()>),
+}
+
+/// Handle the engine keeps per partition.
+pub struct PartitionHandle {
+    /// Message channel into the partition thread.
+    pub tx: Sender<PartitionMsg>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl PartitionHandle {
+    /// Sends shutdown and joins the thread.
+    pub fn shutdown(&mut self) {
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        if self.tx.send(PartitionMsg::Shutdown(tx)).is_ok() {
+            let _ = rx.recv();
+        }
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for PartitionHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+pub(crate) struct PartitionRuntime {
+    config: EngineConfig,
+    ee: EeHandle,
+    procs: HashMap<String, Arc<CompiledProc>>,
+    bodies: HashMap<String, crate::app::ProcBody>,
+    /// stream → downstream procedures (PE triggers).
+    pe_triggers: HashMap<String, Vec<String>>,
+    /// proc → its input stream (reverse PE-trigger map, for nested
+    /// children and dangling-batch firing).
+    input_stream: HashMap<String, String>,
+    /// proc → topological position (for deterministic dangling firing).
+    topo_pos: HashMap<String, usize>,
+    queue: SchedulerQueue,
+    rx: Receiver<PartitionMsg>,
+    log: Option<CommandLog>,
+    metrics: Arc<EngineMetrics>,
+    triggers_enabled: bool,
+    pending_drains: Vec<Sender<()>>,
+}
+
+/// Spawns a partition thread.
+#[allow(clippy::too_many_arguments)] // one internal call site, in Engine::start_with
+pub(crate) fn spawn_partition(
+    partition_id: usize,
+    config: EngineConfig,
+    app: &App,
+    ee: EeHandle,
+    proc_stmts: crate::ee::ProcStmtMap,
+    metrics: Arc<EngineMetrics>,
+    triggers_enabled: bool,
+    resume_lsn: Option<Lsn>,
+) -> Result<PartitionHandle> {
+    let mut procs = HashMap::new();
+    let mut bodies = HashMap::new();
+    for p in &app.procs {
+        let stmts = proc_stmts.get(&p.name).cloned().unwrap_or_default();
+        procs.insert(
+            p.name.clone(),
+            Arc::new(CompiledProc {
+                name: p.name.clone(),
+                stmts,
+                outputs: p.outputs.clone(),
+                children: p.children.clone(),
+            }),
+        );
+        if let Some(body) = &p.body {
+            bodies.insert(p.name.clone(), body.clone());
+        }
+    }
+    let mut pe_triggers: HashMap<String, Vec<String>> = HashMap::new();
+    let mut input_stream = HashMap::new();
+    for t in &app.pe_triggers {
+        pe_triggers.entry(t.stream.clone()).or_default().push(t.proc.clone());
+        input_stream.entry(t.proc.clone()).or_insert_with(|| t.stream.clone());
+    }
+    let topo_pos: HashMap<String, usize> = app
+        .workflow()
+        .topo_order()?
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| (n, i))
+        .collect();
+
+    let log = if config.logging.enabled {
+        let path = config.log_path(partition_id);
+        Some(match resume_lsn {
+            Some(lsn) => CommandLog::resume(path, config.logging.clone(), lsn)?,
+            None => CommandLog::create(path, config.logging.clone())?,
+        })
+    } else {
+        None
+    };
+
+    let (tx, rx) = crossbeam_channel::unbounded();
+    let queue = SchedulerQueue::new(config.scheduler);
+    let runtime = PartitionRuntime {
+        config,
+        ee,
+        procs,
+        bodies,
+        pe_triggers,
+        input_stream,
+        topo_pos,
+        queue,
+        rx,
+        log,
+        metrics,
+        triggers_enabled,
+        pending_drains: Vec::new(),
+    };
+    let join = std::thread::Builder::new()
+        .name(format!("sstore-pe-{partition_id}"))
+        .spawn(move || runtime.run())
+        .map_err(|e| Error::Internal(format!("spawning partition thread: {e}")))?;
+    Ok(PartitionHandle { tx, join: Some(join) })
+}
+
+impl PartitionRuntime {
+    fn run(mut self) {
+        loop {
+            // Ingest all control-plane messages without blocking; block
+            // only when there is nothing queued to execute.
+            loop {
+                match self.rx.try_recv() {
+                    Ok(msg) => {
+                        if self.handle_msg(msg) {
+                            return;
+                        }
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => return,
+                }
+            }
+            if let Some(req) = self.queue.pop() {
+                self.execute_te(req);
+                continue;
+            }
+            // Idle: answer drains, then block for the next message.
+            self.flush_drains();
+            match self.rx.recv() {
+                Ok(msg) => {
+                    if self.handle_msg(msg) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn flush_drains(&mut self) {
+        if self.queue.is_empty() && self.rx.is_empty() {
+            for d in self.pending_drains.drain(..) {
+                let _ = d.send(());
+            }
+        }
+    }
+
+    /// Returns true on shutdown.
+    fn handle_msg(&mut self, msg: PartitionMsg) -> bool {
+        match msg {
+            PartitionMsg::Submit(req) => self.queue.push_client(req),
+            PartitionMsg::Checkpoint(reply) => {
+                let out = self.do_checkpoint();
+                let _ = reply.send(out);
+            }
+            PartitionMsg::Restore(bytes, reply) => {
+                let _ = reply.send(self.ee.restore(bytes));
+            }
+            PartitionMsg::Drain(reply) => {
+                if self.queue.is_empty() && self.rx.is_empty() {
+                    let _ = reply.send(());
+                } else {
+                    self.pending_drains.push(reply);
+                }
+            }
+            PartitionMsg::SetTriggers(enabled, reply) => {
+                self.triggers_enabled = enabled;
+                let _ = reply.send(());
+            }
+            PartitionMsg::FireDangling(reply) => {
+                let _ = reply.send(self.fire_dangling());
+            }
+            PartitionMsg::Query(sql, params, reply) => {
+                let _ = reply.send(self.ee.query(sql, params));
+            }
+            PartitionMsg::FlushLog(reply) => {
+                let out = match &mut self.log {
+                    Some(log) => {
+                        let r = log.flush();
+                        self.metrics
+                            .log_flushes
+                            .store(log.flushes(), std::sync::atomic::Ordering::Relaxed);
+                        r
+                    }
+                    None => Ok(()),
+                };
+                let _ = reply.send(out);
+            }
+            PartitionMsg::Shutdown(reply) => {
+                if let Some(log) = &mut self.log {
+                    let _ = log.flush();
+                }
+                self.ee.shutdown();
+                let _ = reply.send(());
+                return true;
+            }
+        }
+        false
+    }
+
+    fn do_checkpoint(&mut self) -> Result<(Vec<u8>, Lsn)> {
+        let lsn = match &mut self.log {
+            Some(log) => {
+                log.flush()?;
+                Lsn(log.next_lsn().raw().saturating_sub(1))
+            }
+            None => Lsn(0),
+        };
+        let bytes = self.ee.checkpoint()?;
+        Ok((bytes, lsn))
+    }
+
+    /// Recovery: re-fires PE triggers for batches sitting on streams
+    /// (restored from the snapshot or re-created by replay). Enqueues in
+    /// (batch, topological position) order so the §2.2 constraints hold.
+    fn fire_dangling(&mut self) -> Result<usize> {
+        let dangling = self.ee.dangling()?;
+        let mut reqs: Vec<(BatchId, usize, TxnRequest)> = Vec::new();
+        for (stream, batch) in dangling {
+            for target in self.pe_triggers.get(&stream).cloned().unwrap_or_default() {
+                let pos = self.topo_pos.get(&target).copied().unwrap_or(usize::MAX);
+                reqs.push((
+                    batch,
+                    pos,
+                    TxnRequest {
+                        proc: target,
+                        invocation: Invocation::Interior { stream: stream.clone() },
+                        batch: Some(batch),
+                        reply: None,
+                        replay: false,
+                    },
+                ));
+            }
+        }
+        reqs.sort_by_key(|(b, p, _)| (*b, *p));
+        let n = reqs.len();
+        for (_, _, r) in reqs {
+            self.queue.push_client(r);
+        }
+        Ok(n)
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction execution
+    // ------------------------------------------------------------------
+
+    fn execute_te(&mut self, req: TxnRequest) {
+        let TxnRequest { proc, invocation, batch, reply, replay } = req;
+        let outcome = self.try_execute(&proc, &invocation, batch, replay);
+        match outcome {
+            Ok(out) => {
+                if let Some(reply) = reply {
+                    let _ = reply.send(Ok(out));
+                }
+            }
+            Err(e) => {
+                // Roll back whatever the failed TE did. Abort errors when
+                // no transaction is open are expected (failure before
+                // begin) and ignored.
+                let _ = self.ee.abort();
+                EngineMetrics::bump(&self.metrics.txns_aborted);
+                if let Some(reply) = reply {
+                    let _ = reply.send(Err(e));
+                }
+            }
+        }
+    }
+
+    fn try_execute(
+        &mut self,
+        proc_name: &str,
+        invocation: &Invocation,
+        batch: Option<BatchId>,
+        replay: bool,
+    ) -> Result<CallOutcome> {
+        let proc = self
+            .procs
+            .get(proc_name)
+            .cloned()
+            .ok_or_else(|| Error::not_found("procedure", proc_name))?;
+
+        self.ee.begin(batch)?;
+
+        // Resolve the input batch.
+        let input: Vec<Tuple> = match invocation {
+            Invocation::Oltp { .. } => Vec::new(),
+            Invocation::Border { rows, .. } => rows.clone(),
+            Invocation::Interior { stream } => {
+                let b = batch.ok_or_else(|| {
+                    Error::Internal("interior invocation without batch".into())
+                })?;
+                self.ee.consume(stream.clone(), b, true)?
+            }
+        };
+        let params = match invocation {
+            Invocation::Oltp { params } => params.clone(),
+            _ => Vec::new(),
+        };
+
+        // Run the body — or, for a nested transaction, the ordered
+        // children inside this single undo scope (§2.3: commit/abort as
+        // one unit; nothing interleaves because execution is serial and
+        // the commit happens once at the end).
+        let result = if proc.children.is_empty() {
+            self.run_body(&proc, input, batch, params)?
+        } else {
+            let mut last = QueryResult::default();
+            for (i, child_name) in proc.children.iter().enumerate() {
+                let child = self
+                    .procs
+                    .get(child_name)
+                    .cloned()
+                    .ok_or_else(|| Error::not_found("procedure", child_name))?;
+                let child_input = if i == 0 {
+                    input.clone()
+                } else {
+                    // A later child consumes what its predecessors
+                    // emitted this round, if anything.
+                    match (self.input_stream.get(child_name), batch) {
+                        (Some(stream), Some(b)) => self.ee.consume(stream.clone(), b, false)?,
+                        _ => Vec::new(),
+                    }
+                };
+                last = self.run_body(&child, child_input, batch, Vec::new())?;
+            }
+            last
+        };
+
+        // Command logging (before commit: the record must be durable —
+        // modulo group commit — before the transaction acknowledges).
+        if !replay {
+            if let Some(log) = &mut self.log {
+                let kind = match invocation {
+                    Invocation::Oltp { params } => Some(LogKind::Oltp { params: params.clone() }),
+                    Invocation::Border { stream, rows } => Some(LogKind::Border {
+                        stream: stream.clone(),
+                        batch: batch.expect("border invocations carry a batch"),
+                        rows: rows.clone(),
+                    }),
+                    Invocation::Interior { stream } => match self.config.recovery {
+                        crate::config::RecoveryMode::Strong => Some(LogKind::Interior {
+                            stream: stream.clone(),
+                            batch: batch.expect("interior invocations carry a batch"),
+                        }),
+                        crate::config::RecoveryMode::Weak => None,
+                    },
+                };
+                if let Some(kind) = kind {
+                    log.append(proc_name, kind)?;
+                    EngineMetrics::bump(&self.metrics.log_records);
+                    self.metrics
+                        .log_flushes
+                        .store(log.flushes(), std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+        }
+
+        let outputs = self.ee.commit()?;
+        EngineMetrics::bump(&self.metrics.txns_committed);
+        if self.config.trace {
+            self.metrics
+                .trace
+                .lock()
+                .push(TraceEvent { proc: proc_name.to_owned(), batch });
+        }
+
+        // PE triggers (§3.2.3/3.2.4) or pending activations for the
+        // client (H-Store mode / replay).
+        let mut pending = Vec::new();
+        let mut triggered = Vec::new();
+        for (stream, b) in outputs {
+            for target in self.pe_triggers.get(&stream).cloned().unwrap_or_default() {
+                if self.config.mode == EngineMode::SStore && self.triggers_enabled {
+                    EngineMetrics::bump(&self.metrics.pe_trigger_fires);
+                    triggered.push(TxnRequest {
+                        proc: target,
+                        invocation: Invocation::Interior { stream: stream.clone() },
+                        batch: Some(b),
+                        reply: None,
+                        replay: false,
+                    });
+                } else {
+                    pending.push(PendingActivation { proc: target, stream: stream.clone(), batch: b });
+                }
+            }
+        }
+        let is_terminal = triggered.is_empty() && pending.is_empty();
+        self.queue.push_triggered_batch(triggered);
+
+        if batch.is_some() && is_terminal {
+            // Terminal TE of a workflow round = one completed workflow.
+            EngineMetrics::bump(&self.metrics.workflows_completed);
+        }
+        Ok(CallOutcome { result, pending })
+    }
+
+    fn run_body(
+        &mut self,
+        proc: &Arc<CompiledProc>,
+        input: Vec<Tuple>,
+        batch: Option<BatchId>,
+        params: Vec<Value>,
+    ) -> Result<QueryResult> {
+        let body = self
+            .bodies
+            .get(&proc.name)
+            .cloned()
+            .ok_or_else(|| Error::Plan(format!("procedure {} has no body", proc.name)))?;
+        let mut ctx = ProcCtx::new(&mut self.ee, proc.clone(), input, batch, params);
+        body(&mut ctx)?;
+        Ok(ctx.take_result())
+    }
+}

@@ -1,0 +1,132 @@
+//! Stored procedures and their execution context.
+//!
+//! As in H-Store, every transaction is a predefined stored procedure: a
+//! set of named, precompiled SQL statements plus procedural logic (Java
+//! there, a Rust closure here). The closure receives a [`ProcCtx`] that
+//! is its *only* handle on the database — all data access goes through
+//! the EE boundary, exactly like H-Store procedures whose Java half can
+//! touch data only via SQL.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sstore_common::{BatchId, Error, Result, Tuple, Value};
+use sstore_sql::QueryResult;
+
+use crate::boundary::EeHandle;
+use crate::ee::StmtId;
+
+/// A stored procedure compiled against a partition's catalog.
+#[derive(Debug, Clone)]
+pub struct CompiledProc {
+    /// Procedure name.
+    pub name: String,
+    /// Named statements → EE statement ids.
+    pub stmts: HashMap<String, StmtId>,
+    /// Streams this procedure is declared to emit to.
+    pub outputs: Vec<String>,
+    /// For nested transactions: ordered child procedure names.
+    pub children: Vec<String>,
+}
+
+/// Execution context handed to a stored-procedure body for one
+/// transaction execution.
+pub struct ProcCtx<'a> {
+    ee: &'a mut EeHandle,
+    proc: Arc<CompiledProc>,
+    input: Vec<Tuple>,
+    batch: Option<BatchId>,
+    params: Vec<Value>,
+    result: QueryResult,
+}
+
+impl<'a> ProcCtx<'a> {
+    /// Builds a context (engine-internal).
+    pub(crate) fn new(
+        ee: &'a mut EeHandle,
+        proc: Arc<CompiledProc>,
+        input: Vec<Tuple>,
+        batch: Option<BatchId>,
+        params: Vec<Value>,
+    ) -> Self {
+        ProcCtx { ee, proc, input, batch, params, result: QueryResult::default() }
+    }
+
+    /// Runs one of this procedure's named SQL statements with bound
+    /// parameters. One EE boundary crossing per call.
+    pub fn sql(&mut self, stmt: &str, params: &[Value]) -> Result<QueryResult> {
+        let id = *self
+            .proc
+            .stmts
+            .get(stmt)
+            .ok_or_else(|| Error::not_found("statement", format!("{stmt} in {}", self.proc.name)))?;
+        self.ee.exec(id, params.to_vec())
+    }
+
+    /// The atomic input batch of this transaction execution (empty for
+    /// OLTP invocations).
+    pub fn input(&self) -> &[Tuple] {
+        &self.input
+    }
+
+    /// The batch id being processed (`None` for OLTP invocations).
+    pub fn batch_id(&self) -> Option<BatchId> {
+        self.batch
+    }
+
+    /// Client-supplied invocation parameters (OLTP) or empty.
+    pub fn params(&self) -> &[Value] {
+        &self.params
+    }
+
+    /// Emits tuples onto an output stream, labeled with the current
+    /// batch id (§2.1: outputs carry the batch id of the input that
+    /// produced them). The stream must be among the procedure's declared
+    /// outputs.
+    pub fn emit(&mut self, stream: &str, rows: Vec<Tuple>) -> Result<()> {
+        if !self.proc.outputs.iter().any(|o| o.eq_ignore_ascii_case(stream)) {
+            return Err(Error::StreamViolation(format!(
+                "procedure {} emits to undeclared stream {stream}",
+                self.proc.name
+            )));
+        }
+        self.ee.emit(stream.to_owned(), rows)
+    }
+
+    /// Sets the result returned to a synchronous caller.
+    pub fn set_result(&mut self, result: QueryResult) {
+        self.result = result;
+    }
+
+    /// Aborts the transaction with a message. Intended use:
+    /// `return Err(ctx.abort("duplicate vote"));`
+    pub fn abort(&self, msg: impl Into<String>) -> Error {
+        Error::TxnAborted(msg.into())
+    }
+
+    /// Procedure name (for diagnostics).
+    pub fn proc_name(&self) -> &str {
+        &self.proc.name
+    }
+
+    pub(crate) fn take_result(self) -> QueryResult {
+        self.result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiled_proc_shape() {
+        let p = CompiledProc {
+            name: "validate".into(),
+            stmts: HashMap::from([("check".into(), 0usize), ("record".into(), 1usize)]),
+            outputs: vec!["validated".into()],
+            children: Vec::new(),
+        };
+        assert_eq!(p.stmts.len(), 2);
+        assert!(p.children.is_empty());
+    }
+}

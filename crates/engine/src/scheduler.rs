@@ -1,0 +1,135 @@
+//! The streaming scheduler (§3.2.4).
+//!
+//! H-Store serves transaction requests FIFO. S-Store short-circuits that
+//! queue: transactions activated by PE triggers are *fast-tracked to the
+//! front*, so the TEs of one workflow round run back-to-back in
+//! topological order and no queued client work interleaves them. The
+//! [`SchedulerMode::Fifo`] ablation keeps plain FIFO — tests show it can
+//! violate the ordering guarantees that applications like leaderboard
+//! maintenance rely on.
+//!
+//! [`SchedulerMode::Fifo`]: crate::config::SchedulerMode::Fifo
+
+use std::collections::VecDeque;
+
+use crate::config::SchedulerMode;
+use crate::partition::TxnRequest;
+
+/// The per-partition transaction request queue.
+#[derive(Debug)]
+pub struct SchedulerQueue {
+    mode: SchedulerMode,
+    queue: VecDeque<TxnRequest>,
+}
+
+impl SchedulerQueue {
+    /// Empty queue with the given discipline.
+    pub fn new(mode: SchedulerMode) -> Self {
+        SchedulerQueue { mode, queue: VecDeque::new() }
+    }
+
+    /// Enqueues a client-submitted request (OLTP call or stream batch
+    /// ingestion) at the back — FIFO among client work.
+    pub fn push_client(&mut self, req: TxnRequest) {
+        self.queue.push_back(req);
+    }
+
+    /// Enqueues a PE-triggered downstream transaction.
+    ///
+    /// Streaming mode fast-tracks it to the *front* of the queue;
+    /// FIFO mode (ablation) treats it like client work.
+    pub fn push_triggered(&mut self, req: TxnRequest) {
+        match self.mode {
+            SchedulerMode::Streaming => self.queue.push_front(req),
+            SchedulerMode::Fifo => self.queue.push_back(req),
+        }
+    }
+
+    /// Enqueues several PE-triggered requests preserving their given
+    /// order (the engine passes them in the order the streams were
+    /// emitted, so after front-insertion they still run in that order).
+    pub fn push_triggered_batch(&mut self, reqs: Vec<TxnRequest>) {
+        match self.mode {
+            SchedulerMode::Streaming => {
+                for req in reqs.into_iter().rev() {
+                    self.queue.push_front(req);
+                }
+            }
+            SchedulerMode::Fifo => self.queue.extend(reqs),
+        }
+    }
+
+    /// Next request to execute.
+    pub fn pop(&mut self) -> Option<TxnRequest> {
+        self.queue.pop_front()
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Invocation;
+
+    fn req(tag: &str) -> TxnRequest {
+        TxnRequest {
+            proc: tag.to_owned(),
+            invocation: Invocation::Oltp { params: Vec::new() },
+            batch: None,
+            reply: None,
+            replay: false,
+        }
+    }
+
+    fn order(q: &mut SchedulerQueue) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(r) = q.pop() {
+            out.push(r.proc);
+        }
+        out
+    }
+
+    #[test]
+    fn streaming_fast_tracks_triggered_work() {
+        let mut q = SchedulerQueue::new(SchedulerMode::Streaming);
+        q.push_client(req("client_a"));
+        q.push_client(req("client_b"));
+        q.push_triggered(req("triggered"));
+        assert_eq!(order(&mut q), vec!["triggered", "client_a", "client_b"]);
+    }
+
+    #[test]
+    fn triggered_batch_preserves_internal_order() {
+        let mut q = SchedulerQueue::new(SchedulerMode::Streaming);
+        q.push_client(req("client"));
+        q.push_triggered_batch(vec![req("first"), req("second")]);
+        assert_eq!(order(&mut q), vec!["first", "second", "client"]);
+    }
+
+    #[test]
+    fn fifo_mode_does_not_fast_track() {
+        let mut q = SchedulerQueue::new(SchedulerMode::Fifo);
+        q.push_client(req("client"));
+        q.push_triggered(req("triggered"));
+        assert_eq!(order(&mut q), vec!["client", "triggered"]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = SchedulerQueue::new(SchedulerMode::Streaming);
+        assert!(q.is_empty());
+        q.push_client(req("x"));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,317 @@
+//! Workflow graphs and the formal correctness conditions of §2.2.
+//!
+//! A workflow is a DAG whose nodes are stored procedures and whose edges
+//! are streams: `p → q` when `p` declares a stream `s` among its outputs
+//! and a PE trigger routes `s` to `q`. [`WorkflowGraph::validate`]
+//! rejects cyclic graphs at application-build time.
+//!
+//! [`check_schedule`] is the executable form of the paper's two ordering
+//! constraints — tests run it against engine execution traces:
+//!
+//! 1. **Workflow order**: within one execution round (batch), TEs appear
+//!    in an order consistent with a topological order of the DAG.
+//! 2. **Stream order**: for each procedure, TEs appear in batch order.
+
+use std::collections::{HashMap, VecDeque};
+
+use sstore_common::{BatchId, Error, Result};
+
+/// The workflow DAG over stored procedures.
+#[derive(Debug, Clone, Default)]
+pub struct WorkflowGraph {
+    /// Node names (all streaming procedures).
+    nodes: Vec<String>,
+    /// Adjacency: node → successors.
+    edges: HashMap<String, Vec<String>>,
+}
+
+impl WorkflowGraph {
+    /// Builds the graph from `(proc, outputs)` declarations and
+    /// `(stream → proc)` PE triggers.
+    pub fn build(
+        proc_outputs: &[(String, Vec<String>)],
+        pe_triggers: &[(String, String)],
+    ) -> WorkflowGraph {
+        let route: HashMap<&str, Vec<&str>> = pe_triggers.iter().fold(
+            HashMap::new(),
+            |mut m, (stream, proc)| {
+                m.entry(stream.as_str()).or_default().push(proc.as_str());
+                m
+            },
+        );
+        let mut nodes: Vec<String> = proc_outputs.iter().map(|(p, _)| p.clone()).collect();
+        let mut edges: HashMap<String, Vec<String>> = HashMap::new();
+        for (proc, outputs) in proc_outputs {
+            for stream in outputs {
+                if let Some(targets) = route.get(stream.as_str()) {
+                    for t in targets {
+                        edges.entry(proc.clone()).or_default().push((*t).to_owned());
+                        if !nodes.iter().any(|n| n == t) {
+                            nodes.push((*t).to_owned());
+                        }
+                    }
+                }
+            }
+        }
+        WorkflowGraph { nodes, edges }
+    }
+
+    /// Successors of a node.
+    pub fn successors(&self, node: &str) -> &[String] {
+        self.edges.get(node).map_or(&[], Vec::as_slice)
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Kahn's algorithm: returns a topological order, or an error naming
+    /// a node on a cycle.
+    pub fn topo_order(&self) -> Result<Vec<String>> {
+        let mut indegree: HashMap<&str, usize> =
+            self.nodes.iter().map(|n| (n.as_str(), 0)).collect();
+        for succs in self.edges.values() {
+            for s in succs {
+                *indegree.entry(s.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut queue: VecDeque<&str> = {
+            // Deterministic order: seed with nodes in declaration order.
+            self.nodes.iter().map(String::as_str).filter(|n| indegree[n] == 0).collect()
+        };
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(n) = queue.pop_front() {
+            order.push(n.to_owned());
+            for s in self.successors(n) {
+                let d = indegree.get_mut(s.as_str()).expect("edge target is a node");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        if order.len() != self.nodes.len() {
+            let stuck = self
+                .nodes
+                .iter()
+                .find(|n| !order.contains(n))
+                .expect("some node missing from order");
+            return Err(Error::StreamViolation(format!(
+                "workflow graph has a cycle through {stuck}"
+            )));
+        }
+        Ok(order)
+    }
+
+    /// Validates acyclicity.
+    pub fn validate(&self) -> Result<()> {
+        self.topo_order().map(|_| ())
+    }
+
+    /// Positions of each node in *some* fixed topological order, for
+    /// schedule checking.
+    fn topo_positions(&self) -> Result<HashMap<String, usize>> {
+        Ok(self.topo_order()?.into_iter().enumerate().map(|(i, n)| (n, i)).collect())
+    }
+}
+
+/// One committed transaction execution, as recorded by the engine trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Stored procedure name.
+    pub proc: String,
+    /// The batch (execution round) it processed; `None` for OLTP.
+    pub batch: Option<BatchId>,
+}
+
+/// Checks a committed-TE trace against the §2.2 correctness conditions.
+///
+/// * stream order: per proc, batches must be strictly increasing;
+/// * workflow order: per batch, the TEs must be topologically ordered.
+///
+/// OLTP events (no batch) may interleave anywhere.
+pub fn check_schedule(graph: &WorkflowGraph, trace: &[TraceEvent]) -> Result<()> {
+    let pos = graph.topo_positions()?;
+    let mut last_batch: HashMap<&str, BatchId> = HashMap::new();
+    let mut per_batch_seen: HashMap<BatchId, Vec<&str>> = HashMap::new();
+
+    for ev in trace {
+        let Some(batch) = ev.batch else { continue };
+        // Stream order constraint.
+        if let Some(prev) = last_batch.get(ev.proc.as_str()) {
+            if *prev >= batch {
+                return Err(Error::StreamViolation(format!(
+                    "stream order violated: {} ran batch {} after batch {}",
+                    ev.proc, batch, prev
+                )));
+            }
+        }
+        last_batch.insert(ev.proc.as_str(), batch);
+        per_batch_seen.entry(batch).or_default().push(ev.proc.as_str());
+    }
+
+    // Workflow order constraint, per round.
+    for (batch, seen) in &per_batch_seen {
+        let mut last_pos = None;
+        for proc in seen {
+            let Some(p) = pos.get(*proc) else { continue };
+            if let Some(lp) = last_pos {
+                if *p < lp {
+                    return Err(Error::StreamViolation(format!(
+                        "workflow order violated in round {batch}: {proc} ran after a successor"
+                    )));
+                }
+            }
+            last_pos = Some(*p);
+        }
+    }
+    Ok(())
+}
+
+/// Additionally checks that no foreign TE interleaves a nested group:
+/// whenever `group` members appear for a batch, they must be contiguous
+/// in the trace (only other batches' OLTP events are still forbidden —
+/// nested transactions isolate the group as a unit, §2.3).
+pub fn check_nested_contiguity(trace: &[TraceEvent], group: &[String]) -> Result<()> {
+    let mut i = 0;
+    while i < trace.len() {
+        if group.iter().any(|g| *g == trace[i].proc) {
+            let batch = trace[i].batch;
+            let mut count = 1;
+            while count < group.len() {
+                i += 1;
+                if i >= trace.len() {
+                    return Err(Error::StreamViolation(
+                        "nested group truncated at end of trace".into(),
+                    ));
+                }
+                if !group.iter().any(|g| *g == trace[i].proc) || trace[i].batch != batch {
+                    return Err(Error::StreamViolation(format!(
+                        "nested group interleaved by {} at position {}",
+                        trace[i].proc, i
+                    )));
+                }
+                count += 1;
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear3() -> WorkflowGraph {
+        WorkflowGraph::build(
+            &[
+                ("sp1".into(), vec!["s12".into()]),
+                ("sp2".into(), vec!["s23".into()]),
+                ("sp3".into(), vec![]),
+            ],
+            &[("s12".into(), "sp2".into()), ("s23".into(), "sp3".into())],
+        )
+    }
+
+    fn ev(proc: &str, batch: u64) -> TraceEvent {
+        TraceEvent { proc: proc.into(), batch: Some(BatchId(batch)) }
+    }
+
+    #[test]
+    fn topo_order_linear() {
+        let g = linear3();
+        assert_eq!(g.topo_order().unwrap(), vec!["sp1", "sp2", "sp3"]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let g = WorkflowGraph::build(
+            &[("a".into(), vec!["s1".into()]), ("b".into(), vec!["s2".into()])],
+            &[("s1".into(), "b".into()), ("s2".into(), "a".into())],
+        );
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn diamond_is_acyclic() {
+        let g = WorkflowGraph::build(
+            &[
+                ("src".into(), vec!["l".into(), "r".into()]),
+                ("left".into(), vec!["out".into()]),
+                ("right".into(), vec!["out2".into()]),
+                ("sink".into(), vec![]),
+            ],
+            &[
+                ("l".into(), "left".into()),
+                ("r".into(), "right".into()),
+                ("out".into(), "sink".into()),
+                ("out2".into(), "sink".into()),
+            ],
+        );
+        g.validate().unwrap();
+        let order = g.topo_order().unwrap();
+        assert_eq!(order[0], "src");
+        assert_eq!(order[3], "sink");
+    }
+
+    #[test]
+    fn valid_schedules_pass() {
+        let g = linear3();
+        // Depth-first rounds.
+        check_schedule(
+            &g,
+            &[ev("sp1", 1), ev("sp2", 1), ev("sp3", 1), ev("sp1", 2), ev("sp2", 2), ev("sp3", 2)],
+        )
+        .unwrap();
+        // Pipelined (both legal per §2.2).
+        check_schedule(
+            &g,
+            &[ev("sp1", 1), ev("sp1", 2), ev("sp2", 1), ev("sp2", 2), ev("sp3", 1), ev("sp3", 2)],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn stream_order_violation_caught() {
+        let g = linear3();
+        let err = check_schedule(&g, &[ev("sp1", 2), ev("sp1", 1)]).unwrap_err();
+        assert!(matches!(err, Error::StreamViolation(_)));
+    }
+
+    #[test]
+    fn workflow_order_violation_caught() {
+        let g = linear3();
+        let err = check_schedule(&g, &[ev("sp2", 1), ev("sp1", 1)]).unwrap_err();
+        assert!(matches!(err, Error::StreamViolation(_)));
+    }
+
+    #[test]
+    fn oltp_interleaves_freely() {
+        let g = linear3();
+        check_schedule(
+            &g,
+            &[
+                ev("sp1", 1),
+                TraceEvent { proc: "oltp_report".into(), batch: None },
+                ev("sp2", 1),
+                ev("sp3", 1),
+            ],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn nested_contiguity() {
+        let group = vec!["a".to_string(), "b".to_string()];
+        check_nested_contiguity(&[ev("a", 1), ev("b", 1), ev("a", 2), ev("b", 2)], &group).unwrap();
+        assert!(check_nested_contiguity(
+            &[ev("a", 1), ev("x", 1), ev("b", 1)],
+            &group
+        )
+        .is_err());
+        assert!(check_nested_contiguity(&[ev("a", 1), ev("b", 2)], &group).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! Abstract syntax tree for the SQL subset.
+//!
+//! The AST is *unbound*: column references are names, not indexes, and
+//! nothing has been checked against a catalog. [`crate::plan`] performs
+//! binding.
+
+use sstore_common::Value;
+
+/// A column reference, optionally qualified: `votes.phone` or `phone`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Table name or alias qualifier, if written.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` or `COUNT(expr)` (non-null count).
+    Count,
+    /// `SUM(expr)`
+    Sum,
+    /// `AVG(expr)`
+    Avg,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+}
+
+/// An (unbound) scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// `?` / `?N` parameter. 0-based after parse-time numbering.
+    Param(usize),
+    /// Column reference.
+    Column(ColumnRef),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr IN (e1, e2, …)` / `NOT IN`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate list.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr BETWEEN lo AND hi` / `NOT BETWEEN`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// Aggregate call — only legal in SELECT/HAVING/ORDER BY of a grouped
+    /// (or implicitly aggregated) query.
+    Aggregate {
+        /// Function.
+        func: AggFunc,
+        /// Argument; `None` means `COUNT(*)`.
+        arg: Option<Box<Expr>>,
+        /// `DISTINCT` modifier (COUNT only).
+        distinct: bool,
+    },
+    /// `ABS(expr)` — the one scalar function the benchmarks need.
+    Abs(Box<Expr>),
+}
+
+/// One item of a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Optional output alias.
+        alias: Option<String>,
+    },
+}
+
+/// A table in FROM, with an optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name.
+    pub name: String,
+    /// Alias (`FROM votes v`), defaults to the table name.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// Effective name used to resolve qualified column refs.
+    pub fn effective_alias(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// `JOIN <table> ON <expr>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Right-hand table.
+    pub table: TableRef,
+    /// Join condition.
+    pub on: Expr,
+}
+
+/// Sort key direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending (default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Sort expression.
+    pub expr: Expr,
+    /// Direction.
+    pub order: SortOrder,
+}
+
+/// A SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// Output list.
+    pub items: Vec<SelectItem>,
+    /// Base table.
+    pub from: TableRef,
+    /// Inner joins, applied left to right.
+    pub joins: Vec<Join>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+}
+
+/// Source of INSERT rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    /// `VALUES (…), (…)`.
+    Values(Vec<Vec<Expr>>),
+    /// `INSERT … SELECT`.
+    Select(Box<Select>),
+}
+
+/// An INSERT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    /// Target table.
+    pub table: String,
+    /// Target columns; empty means "all columns in schema order".
+    pub columns: Vec<String>,
+    /// Row source.
+    pub source: InsertSource,
+}
+
+/// An UPDATE statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    /// Target table.
+    pub table: String,
+    /// `SET col = expr` assignments.
+    pub assignments: Vec<(String, Expr)>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+}
+
+/// A DELETE statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    /// Target table.
+    pub table: String,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+}
+
+/// Any parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// SELECT.
+    Select(Select),
+    /// INSERT.
+    Insert(Insert),
+    /// UPDATE.
+    Update(Update),
+    /// DELETE.
+    Delete(Delete),
+}
+
+impl Expr {
+    /// Convenience constructor for a bare column reference.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column(ColumnRef { table: None, column: name.to_owned() })
+    }
+
+    /// True if this expression (sub)tree contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Literal(_) | Expr::Param(_) | Expr::Column(_) => false,
+            Expr::Binary { lhs, rhs, .. } => lhs.contains_aggregate() || rhs.contains_aggregate(),
+            Expr::Neg(e) | Expr::Not(e) | Expr::Abs(e) => e.contains_aggregate(),
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.contains_aggregate() || lo.contains_aggregate() || hi.contains_aggregate()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_aggregate_walks_tree() {
+        let plain = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::col("a")),
+            rhs: Box::new(Expr::Literal(Value::Int(1))),
+        };
+        assert!(!plain.contains_aggregate());
+        let agg = Expr::Binary {
+            op: BinOp::Gt,
+            lhs: Box::new(Expr::Aggregate { func: AggFunc::Count, arg: None, distinct: false }),
+            rhs: Box::new(Expr::Literal(Value::Int(10))),
+        };
+        assert!(agg.contains_aggregate());
+    }
+
+    #[test]
+    fn effective_alias_defaults_to_name() {
+        let t = TableRef { name: "votes".into(), alias: None };
+        assert_eq!(t.effective_alias(), "votes");
+        let t = TableRef { name: "votes".into(), alias: Some("v".into()) };
+        assert_eq!(t.effective_alias(), "v");
+    }
+}

@@ -1,0 +1,786 @@
+//! Bound-statement execution against a [`Catalog`].
+//!
+//! [`execute`] is the single entry point. Every physical mutation it
+//! performs is appended to the caller's [`Effect`] list *in execution
+//! order*; the engine's transaction layer undoes an aborted transaction
+//! by replaying those effects in reverse. A statement that fails midway
+//! leaves its partial effects in the list — the transaction layer rolls
+//! them back, which is exactly H-Store's semantics (a failed SQL
+//! statement aborts the surrounding transaction).
+//!
+//! Determinism: scans iterate in row-id order and grouping uses ordered
+//! maps, so identical inputs produce identical outputs — a prerequisite
+//! for command-log replay producing identical state (§3.2.5).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use sstore_common::{Error, Result, RowId, Tuple, Value};
+use sstore_storage::{Catalog, Table};
+
+use crate::ast::{AggFunc, SortOrder};
+use crate::expr::{AggSpec, BoundExpr, EvalCtx};
+use crate::plan::{Access, BoundScan, BoundSelect, BoundStatement};
+
+/// One physical mutation performed by a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// A row was inserted.
+    Insert {
+        /// Table name.
+        table: String,
+        /// Id the new row received.
+        row: RowId,
+    },
+    /// A row was deleted.
+    Delete {
+        /// Table name.
+        table: String,
+        /// Id the row had.
+        row: RowId,
+        /// The deleted tuple (needed to restore on undo).
+        tuple: Tuple,
+    },
+    /// A row was updated in place.
+    Update {
+        /// Table name.
+        table: String,
+        /// Row id.
+        row: RowId,
+        /// Pre-image (needed to restore on undo).
+        old: Tuple,
+    },
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryResult {
+    /// Output column names (SELECT only).
+    pub columns: Vec<String>,
+    /// Output rows (SELECT only).
+    pub rows: Vec<Tuple>,
+    /// Rows inserted/updated/deleted (mutations only).
+    pub rows_affected: usize,
+}
+
+impl QueryResult {
+    /// First row, first column — convenience for scalar queries.
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().map(|r| r.get(0))
+    }
+
+    /// First column of every row as i64s — convenience for tests.
+    pub fn int_column(&self, idx: usize) -> Result<Vec<i64>> {
+        self.rows.iter().map(|r| r.get(idx).as_int()).collect()
+    }
+}
+
+/// Executes a bound statement. Mutations are appended to `effects`.
+pub fn execute(
+    catalog: &mut Catalog,
+    stmt: &BoundStatement,
+    params: &[Value],
+    effects: &mut Vec<Effect>,
+) -> Result<QueryResult> {
+    match stmt {
+        BoundStatement::Select(s) => run_select(catalog, s, params),
+        BoundStatement::Insert(i) => {
+            let mut rows_to_insert: Vec<Vec<Value>> = Vec::new();
+            let schema_arity = catalog.table(&i.table)?.schema().arity();
+            if let Some(sel) = &i.select {
+                let result = run_select(catalog, sel, params)?;
+                for out in result.rows {
+                    let mut full = vec![Value::Null; schema_arity];
+                    for (v, &pos) in out.into_values().into_iter().zip(&i.select_positions) {
+                        full[pos] = v;
+                    }
+                    rows_to_insert.push(full);
+                }
+            } else {
+                let ctx = EvalCtx { row: &[], params, aggs: &[] };
+                for template in &i.row_template {
+                    let mut full = Vec::with_capacity(template.len());
+                    for slot in template {
+                        full.push(match slot {
+                            Some(e) => e.eval(&ctx)?,
+                            None => Value::Null,
+                        });
+                    }
+                    rows_to_insert.push(full);
+                }
+            }
+            let table = catalog.table_mut(&i.table)?;
+            let mut n = 0;
+            for values in rows_to_insert {
+                let id = table.insert(Tuple::new(values))?;
+                effects.push(Effect::Insert { table: i.table.clone(), row: id });
+                n += 1;
+            }
+            Ok(QueryResult { rows_affected: n, ..QueryResult::default() })
+        }
+        BoundStatement::Update(u) => {
+            let table = catalog.table_mut(&u.scan.table)?;
+            let ids = candidate_rows(table, &u.scan, u.where_pred.as_ref(), params)?;
+            // Compute all new tuples from pre-images first, then apply:
+            // assignments see a consistent snapshot even if the statement
+            // touches the columns it reads.
+            let mut updates: Vec<(RowId, Tuple)> = Vec::with_capacity(ids.len());
+            for id in ids {
+                let old = table.get(id).expect("candidate row is live").clone();
+                let ctx = EvalCtx { row: old.values(), params, aggs: &[] };
+                let mut new_values = old.values().to_vec();
+                for (pos, expr) in &u.assignments {
+                    new_values[*pos] = expr.eval(&ctx)?;
+                }
+                updates.push((id, Tuple::new(new_values)));
+            }
+            let mut n = 0;
+            for (id, new) in updates {
+                let old = table.update(id, new)?;
+                effects.push(Effect::Update { table: u.scan.table.clone(), row: id, old });
+                n += 1;
+            }
+            Ok(QueryResult { rows_affected: n, ..QueryResult::default() })
+        }
+        BoundStatement::Delete(d) => {
+            let table = catalog.table_mut(&d.scan.table)?;
+            let ids = candidate_rows(table, &d.scan, d.where_pred.as_ref(), params)?;
+            let mut n = 0;
+            for id in ids {
+                let tuple = table.delete(id)?;
+                effects.push(Effect::Delete { table: d.scan.table.clone(), row: id, tuple });
+                n += 1;
+            }
+            Ok(QueryResult { rows_affected: n, ..QueryResult::default() })
+        }
+    }
+}
+
+/// Applies one effect in reverse — the undo primitive used by the
+/// engine's transaction rollback.
+pub fn undo_effect(catalog: &mut Catalog, effect: &Effect) -> Result<()> {
+    match effect {
+        Effect::Insert { table, row } => {
+            catalog.table_mut(table)?.delete(*row)?;
+        }
+        Effect::Delete { table, row, tuple } => {
+            catalog.table_mut(table)?.insert_with_id(*row, tuple.clone())?;
+        }
+        Effect::Update { table, row, old } => {
+            catalog.table_mut(table)?.update(*row, old.clone())?;
+        }
+    }
+    Ok(())
+}
+
+/// Row ids matched by a scan's access path plus residual predicate, in
+/// row-id order (deterministic).
+fn candidate_rows(
+    table: &Table,
+    scan: &BoundScan,
+    residual: Option<&BoundExpr>,
+    params: &[Value],
+) -> Result<Vec<RowId>> {
+    let mut ids: Vec<RowId> = match &scan.access {
+        Access::FullScan => table.scan_ordered().into_iter().map(|(id, _)| id).collect(),
+        Access::IndexEq { key_cols, key_exprs } => {
+            let ctx = EvalCtx { row: &[], params, aggs: &[] };
+            let mut key = Vec::with_capacity(key_exprs.len());
+            for e in key_exprs {
+                key.push(e.eval(&ctx)?);
+            }
+            let mut ids = table.lookup_eq(key_cols, &key);
+            ids.sort_unstable();
+            ids
+        }
+    };
+    if let Some(pred) = residual {
+        let mut kept = Vec::with_capacity(ids.len());
+        for id in ids {
+            let row = table.get(id).expect("candidate row is live");
+            let ctx = EvalCtx { row: row.values(), params, aggs: &[] };
+            if pred.eval_predicate(&ctx)? {
+                kept.push(id);
+            }
+        }
+        ids = kept;
+    }
+    Ok(ids)
+}
+
+/// Runs a bound SELECT.
+pub fn run_select(catalog: &Catalog, s: &BoundSelect, params: &[Value]) -> Result<QueryResult> {
+    // 1. Base scan.
+    let base = catalog.table(&s.from.table)?;
+    let mut rows: Vec<Vec<Value>> = match &s.from.access {
+        Access::FullScan => base.scan_ordered().into_iter().map(|(_, t)| t.values().to_vec()).collect(),
+        Access::IndexEq { key_cols, key_exprs } => {
+            let ctx = EvalCtx { row: &[], params, aggs: &[] };
+            let mut key = Vec::with_capacity(key_exprs.len());
+            for e in key_exprs {
+                key.push(e.eval(&ctx)?);
+            }
+            let mut ids = base.lookup_eq(key_cols, &key);
+            ids.sort_unstable();
+            ids.iter()
+                .map(|id| base.get(*id).expect("indexed row is live").values().to_vec())
+                .collect()
+        }
+    };
+
+    // 2. Joins, left-deep.
+    for join in &s.joins {
+        let right = catalog.table(&join.table)?;
+        let right_rows: Vec<&Tuple> = right.scan_ordered().into_iter().map(|(_, t)| t).collect();
+        let mut next: Vec<Vec<Value>> = Vec::new();
+        if join.equi.is_empty() {
+            // Nested loop with full ON predicate.
+            for left in &rows {
+                for r in &right_rows {
+                    let mut combined = left.clone();
+                    combined.extend_from_slice(r.values());
+                    let ctx = EvalCtx { row: &combined, params, aggs: &[] };
+                    if join.on.eval_predicate(&ctx)? {
+                        next.push(combined);
+                    }
+                }
+            }
+        } else {
+            // Hash join on the extracted key, ON re-checked (covers
+            // residual conjuncts and SQL NULL-key semantics).
+            let mut ht: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(right_rows.len());
+            for (i, r) in right_rows.iter().enumerate() {
+                let key: Vec<Value> =
+                    join.equi.iter().map(|(_, rc)| r.get(*rc).clone()).collect();
+                ht.entry(key).or_default().push(i);
+            }
+            for left in &rows {
+                let key: Vec<Value> = join.equi.iter().map(|(lc, _)| left[*lc].clone()).collect();
+                if let Some(matches) = ht.get(&key) {
+                    for &i in matches {
+                        let mut combined = left.clone();
+                        combined.extend_from_slice(right_rows[i].values());
+                        let ctx = EvalCtx { row: &combined, params, aggs: &[] };
+                        if join.on.eval_predicate(&ctx)? {
+                            next.push(combined);
+                        }
+                    }
+                }
+            }
+        }
+        rows = next;
+    }
+
+    // 3. WHERE.
+    if let Some(pred) = &s.where_pred {
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            let ctx = EvalCtx { row: &row, params, aggs: &[] };
+            if pred.eval_predicate(&ctx)? {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    // 4. Aggregation or plain projection.
+    let mut out: Vec<(Vec<Value>, Tuple)> = Vec::new(); // (sort keys, output row)
+    if s.grouped {
+        // Ordered grouping for deterministic output.
+        let mut groups: BTreeMap<Vec<Value>, Vec<AggAcc>> = BTreeMap::new();
+        for row in &rows {
+            let ctx = EvalCtx { row, params, aggs: &[] };
+            let mut key = Vec::with_capacity(s.group_by.len());
+            for g in &s.group_by {
+                key.push(g.eval(&ctx)?);
+            }
+            let accs = groups
+                .entry(key)
+                .or_insert_with(|| s.aggs.iter().map(AggAcc::new).collect());
+            for (acc, spec) in accs.iter_mut().zip(&s.aggs) {
+                acc.feed(spec, &ctx)?;
+            }
+        }
+        // Implicit aggregation over zero rows still yields one group.
+        if groups.is_empty() && s.group_by.is_empty() {
+            groups.insert(Vec::new(), s.aggs.iter().map(AggAcc::new).collect());
+        }
+        for (key, accs) in groups {
+            let agg_values: Vec<Value> =
+                accs.into_iter().zip(&s.aggs).map(|(acc, spec)| acc.finish_for(spec)).collect();
+            let ctx = EvalCtx { row: &key, params, aggs: &agg_values };
+            if let Some(h) = &s.having {
+                if !h.eval_predicate(&ctx)? {
+                    continue;
+                }
+            }
+            let mut output = Vec::with_capacity(s.projections.len());
+            for p in &s.projections {
+                output.push(p.eval(&ctx)?);
+            }
+            let mut sort_key = Vec::with_capacity(s.order_by.len());
+            for (e, _) in &s.order_by {
+                sort_key.push(e.eval(&ctx)?);
+            }
+            out.push((sort_key, Tuple::new(output)));
+        }
+    } else {
+        for row in &rows {
+            let ctx = EvalCtx { row, params, aggs: &[] };
+            let mut output = Vec::with_capacity(s.projections.len());
+            for p in &s.projections {
+                output.push(p.eval(&ctx)?);
+            }
+            let mut sort_key = Vec::with_capacity(s.order_by.len());
+            for (e, _) in &s.order_by {
+                sort_key.push(e.eval(&ctx)?);
+            }
+            out.push((sort_key, Tuple::new(output)));
+        }
+    }
+
+    // 5. ORDER BY (stable, so equal keys keep scan order) + LIMIT.
+    if !s.order_by.is_empty() {
+        let dirs: Vec<SortOrder> = s.order_by.iter().map(|(_, d)| *d).collect();
+        out.sort_by(|(a, _), (b, _)| {
+            for ((va, vb), dir) in a.iter().zip(b).zip(&dirs) {
+                let ord = va.cmp_total(vb);
+                let ord = match dir {
+                    SortOrder::Asc => ord,
+                    SortOrder::Desc => ord.reverse(),
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    let mut rows_out: Vec<Tuple> = out.into_iter().map(|(_, t)| t).collect();
+    if let Some(limit) = s.limit {
+        rows_out.truncate(limit as usize);
+    }
+
+    Ok(QueryResult { columns: s.output_names.clone(), rows: rows_out, rows_affected: 0 })
+}
+
+/// Streaming aggregate accumulator.
+#[derive(Debug)]
+struct AggAcc {
+    count: u64,
+    sum_i: i64,
+    sum_f: f64,
+    saw_float: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+    distinct: Option<HashSet<Value>>,
+}
+
+impl AggAcc {
+    fn new(spec: &AggSpec) -> AggAcc {
+        AggAcc {
+            count: 0,
+            sum_i: 0,
+            sum_f: 0.0,
+            saw_float: false,
+            min: None,
+            max: None,
+            distinct: if spec.distinct { Some(HashSet::new()) } else { None },
+        }
+    }
+
+    fn feed(&mut self, spec: &AggSpec, ctx: &EvalCtx<'_>) -> Result<()> {
+        let v = match &spec.arg {
+            Some(e) => {
+                let v = e.eval(ctx)?;
+                if v.is_null() {
+                    return Ok(()); // SQL aggregates skip NULL inputs
+                }
+                v
+            }
+            None => {
+                // COUNT(*): count the row, no value needed.
+                self.count += 1;
+                return Ok(());
+            }
+        };
+        if let Some(seen) = &mut self.distinct {
+            if !seen.insert(v.clone()) {
+                return Ok(());
+            }
+        }
+        self.count += 1;
+        match spec.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => match &v {
+                Value::Int(i) => {
+                    self.sum_i = self.sum_i.checked_add(*i).ok_or_else(|| {
+                        Error::Eval("integer overflow in SUM".into())
+                    })?;
+                    self.sum_f += *i as f64;
+                }
+                Value::Float(f) => {
+                    self.saw_float = true;
+                    self.sum_f += f;
+                }
+                other => {
+                    return Err(Error::Eval(format!("SUM/AVG over non-numeric {other}")));
+                }
+            },
+            AggFunc::Min => {
+                if self.min.as_ref().is_none_or(|m| v.cmp_total(m).is_lt()) {
+                    self.min = Some(v);
+                }
+            }
+            AggFunc::Max => {
+                if self.max.as_ref().is_none_or(|m| v.cmp_total(m).is_gt()) {
+                    self.max = Some(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalizes the accumulator for the spec it was fed with.
+    /// SUM/AVG/MIN/MAX over zero (non-NULL) inputs yield NULL; COUNT
+    /// yields 0.
+    fn finish_for(self, spec: &AggSpec) -> Value {
+        match spec.func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.saw_float {
+                    Value::Float(self.sum_f)
+                } else {
+                    Value::Int(self.sum_i)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum_f / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.unwrap_or(Value::Null),
+            AggFunc::Max => self.max.unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Planner;
+    use sstore_common::{tuple, DataType, Schema};
+    use sstore_storage::index::IndexDef;
+    use sstore_storage::{IndexKind, TableKind};
+
+    fn setup() -> Catalog {
+        let mut c = Catalog::new();
+        let v = c
+            .create_table(
+                "votes",
+                TableKind::Base,
+                Schema::of(&[
+                    ("phone", DataType::Int),
+                    ("contestant", DataType::Int),
+                    ("ts", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        v.create_index(IndexDef {
+            name: "by_phone".into(),
+            key_columns: vec![0],
+            kind: IndexKind::Hash,
+            unique: true,
+        })
+        .unwrap();
+        for (p, ct, ts) in
+            [(100, 1, 10), (101, 2, 11), (102, 1, 12), (103, 3, 13), (104, 1, 14), (105, 2, 15)]
+        {
+            v.insert(tuple![p as i64, ct as i64, ts as i64]).unwrap();
+        }
+        let ct = c
+            .create_table(
+                "contestants",
+                TableKind::Base,
+                Schema::of(&[("id", DataType::Int), ("name", DataType::Text)]),
+            )
+            .unwrap();
+        for (id, name) in [(1, "alice"), (2, "bob"), (3, "carol")] {
+            ct.insert(tuple![id as i64, name]).unwrap();
+        }
+        c
+    }
+
+    fn q(c: &mut Catalog, sql: &str, params: &[Value]) -> QueryResult {
+        let stmt = Planner::new(c).plan_sql(sql).unwrap();
+        let mut fx = Vec::new();
+        execute(c, &stmt, params, &mut fx).unwrap()
+    }
+
+    fn q_fx(c: &mut Catalog, sql: &str, params: &[Value]) -> (QueryResult, Vec<Effect>) {
+        let stmt = Planner::new(c).plan_sql(sql).unwrap();
+        let mut fx = Vec::new();
+        let r = execute(c, &stmt, params, &mut fx).unwrap();
+        (r, fx)
+    }
+
+    #[test]
+    fn point_lookup_via_index() {
+        let mut c = setup();
+        let r = q(&mut c, "SELECT contestant FROM votes WHERE phone = ?", &[Value::Int(102)]);
+        assert_eq!(r.rows, vec![tuple![1i64]]);
+        assert!(c.table("votes").unwrap().stats().index_lookups() >= 1);
+    }
+
+    #[test]
+    fn filter_and_projection() {
+        let mut c = setup();
+        let r = q(&mut c, "SELECT phone FROM votes WHERE contestant = 1 ORDER BY phone", &[]);
+        assert_eq!(r.int_column(0).unwrap(), vec![100, 102, 104]);
+        assert_eq!(r.columns, vec!["phone"]);
+    }
+
+    #[test]
+    fn expressions_in_select_list() {
+        let mut c = setup();
+        let r = q(&mut c, "SELECT phone * 2 + 1 FROM votes WHERE phone = 100", &[]);
+        assert_eq!(r.rows, vec![tuple![201i64]]);
+    }
+
+    #[test]
+    fn join_hash_path() {
+        let mut c = setup();
+        let r = q(
+            &mut c,
+            "SELECT name, COUNT(*) AS n FROM votes v JOIN contestants c ON v.contestant = c.id \
+             GROUP BY name ORDER BY n DESC, name",
+            &[],
+        );
+        let names: Vec<&str> = r.rows.iter().map(|t| t.get(0).as_text().unwrap()).collect();
+        assert_eq!(names, vec!["alice", "bob", "carol"]);
+        assert_eq!(r.rows[0].get(1), &Value::Int(3));
+    }
+
+    #[test]
+    fn join_nested_loop_path() {
+        let mut c = setup();
+        // Non-equi join: every vote pairs with contestants of lower id.
+        let r = q(
+            &mut c,
+            "SELECT COUNT(*) FROM votes v JOIN contestants c ON c.id < v.contestant",
+            &[],
+        );
+        // contestant=1 rows: 0 pairs ×3 votes; =2: 1 pair ×2; =3: 2 pairs ×1 → 4.
+        assert_eq!(r.scalar().unwrap(), &Value::Int(4));
+    }
+
+    #[test]
+    fn group_by_with_having_and_limit() {
+        let mut c = setup();
+        let r = q(
+            &mut c,
+            "SELECT contestant, COUNT(*) AS n FROM votes GROUP BY contestant \
+             HAVING COUNT(*) >= 2 ORDER BY n DESC LIMIT 1",
+            &[],
+        );
+        assert_eq!(r.rows, vec![tuple![1i64, 3i64]]);
+    }
+
+    #[test]
+    fn aggregates_full_set() {
+        let mut c = setup();
+        let r = q(
+            &mut c,
+            "SELECT COUNT(*), SUM(ts), AVG(ts), MIN(ts), MAX(ts), COUNT(DISTINCT contestant) \
+             FROM votes",
+            &[],
+        );
+        let row = &r.rows[0];
+        assert_eq!(row.get(0), &Value::Int(6));
+        assert_eq!(row.get(1), &Value::Int(75));
+        assert_eq!(row.get(2), &Value::Float(12.5));
+        assert_eq!(row.get(3), &Value::Int(10));
+        assert_eq!(row.get(4), &Value::Int(15));
+        assert_eq!(row.get(5), &Value::Int(3));
+    }
+
+    #[test]
+    fn empty_aggregate_semantics() {
+        let mut c = setup();
+        let r = q(&mut c, "SELECT COUNT(*), SUM(ts), MIN(ts) FROM votes WHERE phone = -1", &[]);
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].get(0), &Value::Int(0));
+        assert!(r.rows[0].get(1).is_null());
+        assert!(r.rows[0].get(2).is_null());
+        // Grouped query over empty input: zero rows.
+        let r = q(
+            &mut c,
+            "SELECT contestant, COUNT(*) FROM votes WHERE phone = -1 GROUP BY contestant",
+            &[],
+        );
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn order_by_desc_and_stability() {
+        let mut c = setup();
+        let r = q(&mut c, "SELECT phone, ts FROM votes ORDER BY contestant DESC, phone ASC", &[]);
+        let phones = r.int_column(0).unwrap();
+        assert_eq!(phones, vec![103, 101, 105, 100, 102, 104]);
+    }
+
+    #[test]
+    fn insert_records_effects() {
+        let mut c = setup();
+        let (r, fx) = q_fx(
+            &mut c,
+            "INSERT INTO votes (phone, contestant, ts) VALUES (?, ?, ?)",
+            &[Value::Int(999), Value::Int(2), Value::Int(99)],
+        );
+        assert_eq!(r.rows_affected, 1);
+        assert_eq!(fx.len(), 1);
+        assert!(matches!(&fx[0], Effect::Insert { table, .. } if table == "votes"));
+        assert_eq!(c.table("votes").unwrap().len(), 7);
+    }
+
+    #[test]
+    fn insert_select_moves_rows() {
+        let mut c = setup();
+        c.create_table(
+            "top",
+            TableKind::Base,
+            Schema::of(&[("id", DataType::Int), ("cnt", DataType::Int)]),
+        )
+        .unwrap();
+        let (r, fx) = q_fx(
+            &mut c,
+            "INSERT INTO top (id, cnt) SELECT contestant, COUNT(*) FROM votes GROUP BY contestant",
+            &[],
+        );
+        assert_eq!(r.rows_affected, 3);
+        assert_eq!(fx.len(), 3);
+        assert_eq!(c.table("top").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn update_with_index_and_effects() {
+        let mut c = setup();
+        let (r, fx) = q_fx(
+            &mut c,
+            "UPDATE votes SET ts = ts + 100 WHERE phone = 100",
+            &[],
+        );
+        assert_eq!(r.rows_affected, 1);
+        match &fx[0] {
+            Effect::Update { old, .. } => assert_eq!(old.get(2), &Value::Int(10)),
+            other => panic!("{other:?}"),
+        }
+        let check = q(&mut c, "SELECT ts FROM votes WHERE phone = 100", &[]);
+        assert_eq!(check.rows, vec![tuple![110i64]]);
+    }
+
+    #[test]
+    fn update_swap_reads_preimage() {
+        let mut c = Catalog::new();
+        let t = c
+            .create_table("p", TableKind::Base, Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]))
+            .unwrap();
+        t.insert(tuple![1i64, 2i64]).unwrap();
+        let r = q(&mut c, "UPDATE p SET a = b, b = a", &[]);
+        assert_eq!(r.rows_affected, 1);
+        let check = q(&mut c, "SELECT a, b FROM p", &[]);
+        assert_eq!(check.rows, vec![tuple![2i64, 1i64]]);
+    }
+
+    #[test]
+    fn delete_and_undo_roundtrip() {
+        let mut c = setup();
+        let before: Vec<(RowId, Tuple)> = c
+            .table("votes")
+            .unwrap()
+            .scan_ordered()
+            .into_iter()
+            .map(|(id, t)| (id, t.clone()))
+            .collect();
+        let (r, fx) = q_fx(&mut c, "DELETE FROM votes WHERE contestant = 1", &[]);
+        assert_eq!(r.rows_affected, 3);
+        assert_eq!(c.table("votes").unwrap().len(), 3);
+        // Undo in reverse restores the exact original state.
+        for e in fx.iter().rev() {
+            undo_effect(&mut c, e).unwrap();
+        }
+        let after: Vec<(RowId, Tuple)> = c
+            .table("votes")
+            .unwrap()
+            .scan_ordered()
+            .into_iter()
+            .map(|(id, t)| (id, t.clone()))
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn undo_of_insert_and_update() {
+        let mut c = setup();
+        let (_, fx1) = q_fx(
+            &mut c,
+            "INSERT INTO votes (phone, contestant, ts) VALUES (900, 1, 1)",
+            &[],
+        );
+        let (_, fx2) = q_fx(&mut c, "UPDATE votes SET contestant = 2 WHERE phone = 900", &[]);
+        for e in fx2.iter().rev().chain(fx1.iter().rev()) {
+            undo_effect(&mut c, e).unwrap();
+        }
+        assert_eq!(c.table("votes").unwrap().len(), 6);
+        let r = q(&mut c, "SELECT COUNT(*) FROM votes WHERE phone = 900", &[]);
+        assert_eq!(r.scalar().unwrap(), &Value::Int(0));
+    }
+
+    #[test]
+    fn unique_violation_surfaces() {
+        let mut c = setup();
+        let stmt = Planner::new(&c)
+            .plan_sql("INSERT INTO votes (phone, contestant, ts) VALUES (100, 1, 1)")
+            .unwrap();
+        let mut fx = Vec::new();
+        let err = execute(&mut c, &stmt, &[], &mut fx).unwrap_err();
+        assert!(matches!(err, Error::UniqueViolation { .. }));
+        assert!(fx.is_empty(), "failed insert leaves no effect");
+    }
+
+    #[test]
+    fn in_and_between_filters() {
+        let mut c = setup();
+        let r = q(
+            &mut c,
+            "SELECT phone FROM votes WHERE contestant IN (2, 3) AND ts BETWEEN 11 AND 13 \
+             ORDER BY phone",
+            &[],
+        );
+        assert_eq!(r.int_column(0).unwrap(), vec![101, 103]);
+    }
+
+    #[test]
+    fn scalar_param_binding_multi_use() {
+        let mut c = setup();
+        let r = q(
+            &mut c,
+            "SELECT COUNT(*) FROM votes WHERE contestant = ?1 OR ts = ?1",
+            &[Value::Int(1)],
+        );
+        assert_eq!(r.scalar().unwrap(), &Value::Int(3));
+    }
+
+    #[test]
+    fn deterministic_group_order_without_order_by() {
+        let mut c = setup();
+        let a = q(&mut c, "SELECT contestant, COUNT(*) FROM votes GROUP BY contestant", &[]);
+        let b = q(&mut c, "SELECT contestant, COUNT(*) FROM votes GROUP BY contestant", &[]);
+        assert_eq!(a.rows, b.rows);
+        // BTreeMap grouping: keys ascend.
+        assert_eq!(a.int_column(0).unwrap(), vec![1, 2, 3]);
+    }
+}

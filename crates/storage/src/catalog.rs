@@ -1,0 +1,160 @@
+//! The catalog: a named collection of tables owned by one partition.
+
+use std::collections::BTreeMap;
+
+use sstore_common::{Error, Result, Schema};
+
+use crate::table::{Table, TableKind};
+
+/// All tables of one partition, addressable by (lower-cased) name.
+///
+/// Backed by a `BTreeMap` so iteration order — and therefore snapshot
+/// byte layout and recovery order — is deterministic.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Creates a table. Fails if the name is taken.
+    pub fn create_table(
+        &mut self,
+        name: impl Into<String>,
+        kind: TableKind,
+        schema: Schema,
+    ) -> Result<&mut Table> {
+        let name = name.into().to_ascii_lowercase();
+        if self.tables.contains_key(&name) {
+            return Err(Error::already_exists("table", name));
+        }
+        let table = Table::new(name.clone(), kind, schema);
+        Ok(self.tables.entry(name).or_insert(table))
+    }
+
+    /// Registers an already-built table (snapshot load path).
+    pub fn install_table(&mut self, table: Table) -> Result<()> {
+        let name = table.name().to_owned();
+        if self.tables.contains_key(&name) {
+            return Err(Error::already_exists("table", name));
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Drops a table.
+    pub fn drop_table(&mut self, name: &str) -> Result<Table> {
+        let key = name.to_ascii_lowercase();
+        self.tables.remove(&key).ok_or_else(|| Error::not_found("table", name))
+    }
+
+    /// Shared access to a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        let key = name.to_ascii_lowercase();
+        self.tables.get(&key).ok_or_else(|| Error::not_found("table", name))
+    }
+
+    /// Mutable access to a table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        let key = name.to_ascii_lowercase();
+        self.tables.get_mut(&key).ok_or_else(|| Error::not_found("table", name))
+    }
+
+    /// True if the name resolves.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the catalog holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Iterates tables in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Table> + '_ {
+        self.tables.values()
+    }
+
+    /// Iterates tables mutably in name order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Table> + '_ {
+        self.tables.values_mut()
+    }
+
+    /// Names of all tables of a given kind, in name order.
+    pub fn names_of_kind(&self, kind: TableKind) -> Vec<String> {
+        self.tables
+            .values()
+            .filter(|t| t.kind() == kind)
+            .map(|t| t.name().to_owned())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstore_common::DataType;
+
+    fn schema() -> Schema {
+        Schema::of(&[("id", DataType::Int)])
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let mut c = Catalog::new();
+        c.create_table("T", TableKind::Base, schema()).unwrap();
+        assert!(c.contains("t"));
+        assert!(c.contains("T"));
+        assert_eq!(c.table("t").unwrap().name(), "t");
+        c.table_mut("T").unwrap();
+        let t = c.drop_table("t").unwrap();
+        assert_eq!(t.name(), "t");
+        assert!(c.table("t").is_err());
+        assert!(c.drop_table("t").is_err());
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let mut c = Catalog::new();
+        c.create_table("t", TableKind::Base, schema()).unwrap();
+        assert!(c.create_table("T", TableKind::Stream, schema()).is_err());
+    }
+
+    #[test]
+    fn names_of_kind_filters_and_orders() {
+        let mut c = Catalog::new();
+        c.create_table("zz", TableKind::Stream, schema()).unwrap();
+        c.create_table("aa", TableKind::Stream, schema()).unwrap();
+        c.create_table("mm", TableKind::Base, schema()).unwrap();
+        assert_eq!(c.names_of_kind(TableKind::Stream), vec!["aa", "zz"]);
+        assert_eq!(c.names_of_kind(TableKind::Window), Vec::<String>::new());
+    }
+
+    #[test]
+    fn install_table_rejects_duplicates() {
+        let mut c = Catalog::new();
+        c.install_table(Table::new("t", TableKind::Base, schema())).unwrap();
+        assert!(c.install_table(Table::new("t", TableKind::Base, schema())).is_err());
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut c = Catalog::new();
+        for n in ["b", "a", "c"] {
+            c.create_table(n, TableKind::Base, schema()).unwrap();
+        }
+        let names: Vec<&str> = c.iter().map(Table::name).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

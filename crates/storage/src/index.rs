@@ -1,0 +1,251 @@
+//! Secondary indexes over tables.
+//!
+//! Two physical kinds, matching what H-Store offers to stored
+//! procedures: hash indexes for point lookups (the voter benchmark's
+//! phone-number check is the paper's showcase for these, §4.6.3) and
+//! B-tree indexes for ordered/range access. Indexes may be composite
+//! (multiple key columns) and may enforce uniqueness.
+//!
+//! An index never owns tuples — it maps key value vectors to [`RowId`]s
+//! and is maintained by [`Table`](crate::table::Table) mutation paths.
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+use sstore_common::{RowId, Value};
+
+/// Physical index kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hash map: O(1) point lookups, no range scans.
+    Hash,
+    /// B-tree: ordered lookups and range scans.
+    BTree,
+}
+
+/// Logical definition of an index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name, unique within its table.
+    pub name: String,
+    /// Key column positions within the table schema, in key order.
+    pub key_columns: Vec<usize>,
+    /// Physical kind.
+    pub kind: IndexKind,
+    /// If true, at most one live row may carry each key.
+    pub unique: bool,
+}
+
+impl IndexDef {
+    /// Extracts this index's key from a row's values.
+    pub fn key_of(&self, values: &[Value]) -> Vec<Value> {
+        self.key_columns.iter().map(|&i| values[i].clone()).collect()
+    }
+}
+
+/// The physical index payload.
+#[derive(Debug, Clone)]
+pub enum IndexData {
+    /// Hash-backed.
+    Hash(HashMap<Vec<Value>, Vec<RowId>>),
+    /// B-tree-backed.
+    BTree(BTreeMap<Vec<Value>, Vec<RowId>>),
+}
+
+/// An index: definition plus payload.
+#[derive(Debug, Clone)]
+pub struct Index {
+    /// Logical definition.
+    pub def: IndexDef,
+    data: IndexData,
+}
+
+impl Index {
+    /// Creates an empty index for `def`.
+    pub fn new(def: IndexDef) -> Self {
+        let data = match def.kind {
+            IndexKind::Hash => IndexData::Hash(HashMap::new()),
+            IndexKind::BTree => IndexData::BTree(BTreeMap::new()),
+        };
+        Index { def, data }
+    }
+
+    /// Number of distinct keys currently indexed.
+    pub fn distinct_keys(&self) -> usize {
+        match &self.data {
+            IndexData::Hash(m) => m.len(),
+            IndexData::BTree(m) => m.len(),
+        }
+    }
+
+    /// True if `key` is present with at least one row.
+    pub fn contains_key(&self, key: &[Value]) -> bool {
+        !self.get(key).is_empty()
+    }
+
+    /// Rows carrying exactly `key` (empty slice if none).
+    pub fn get(&self, key: &[Value]) -> &[RowId] {
+        static EMPTY: [RowId; 0] = [];
+        match &self.data {
+            IndexData::Hash(m) => m.get(key).map_or(&EMPTY[..], Vec::as_slice),
+            IndexData::BTree(m) => m.get(key).map_or(&EMPTY[..], Vec::as_slice),
+        }
+    }
+
+    /// Ordered range scan (B-tree only; hash indexes return an empty
+    /// vector — the planner never asks them for ranges).
+    pub fn range(
+        &self,
+        lo: Bound<&Vec<Value>>,
+        hi: Bound<&Vec<Value>>,
+    ) -> Vec<(Vec<Value>, Vec<RowId>)> {
+        match &self.data {
+            IndexData::Hash(_) => Vec::new(),
+            IndexData::BTree(m) => {
+                m.range::<Vec<Value>, _>((lo, hi)).map(|(k, v)| (k.clone(), v.clone())).collect()
+            }
+        }
+    }
+
+    /// Inserts a `(key, row)` pair. The caller (the table) has already
+    /// checked uniqueness; this is pure maintenance.
+    pub fn insert(&mut self, key: Vec<Value>, row: RowId) {
+        match &mut self.data {
+            IndexData::Hash(m) => m.entry(key).or_default().push(row),
+            IndexData::BTree(m) => m.entry(key).or_default().push(row),
+        }
+    }
+
+    /// Removes a `(key, row)` pair. Returns whether the pair was found.
+    pub fn remove(&mut self, key: &[Value], row: RowId) -> bool {
+        fn remove_from(rows: &mut Vec<RowId>, row: RowId) -> bool {
+            if let Some(pos) = rows.iter().position(|&r| r == row) {
+                rows.swap_remove(pos);
+                true
+            } else {
+                false
+            }
+        }
+        match &mut self.data {
+            IndexData::Hash(m) => {
+                if let Some(rows) = m.get_mut(key) {
+                    let found = remove_from(rows, row);
+                    if rows.is_empty() {
+                        m.remove(key);
+                    }
+                    found
+                } else {
+                    false
+                }
+            }
+            IndexData::BTree(m) => {
+                if let Some(rows) = m.get_mut(key) {
+                    let found = remove_from(rows, row);
+                    if rows.is_empty() {
+                        m.remove(key);
+                    }
+                    found
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        match &mut self.data {
+            IndexData::Hash(m) => m.clear(),
+            IndexData::BTree(m) => m.clear(),
+        }
+    }
+
+    /// Iterates all `(key, rows)` pairs. B-tree iterates in key order;
+    /// hash order is unspecified.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (&Vec<Value>, &Vec<RowId>)> + '_> {
+        match &self.data {
+            IndexData::Hash(m) => Box::new(m.iter()),
+            IndexData::BTree(m) => Box::new(m.iter()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn def(kind: IndexKind, unique: bool) -> IndexDef {
+        IndexDef { name: "idx".into(), key_columns: vec![0], kind, unique }
+    }
+
+    fn k(v: i64) -> Vec<Value> {
+        vec![Value::Int(v)]
+    }
+
+    #[test]
+    fn hash_point_lookup() {
+        let mut ix = Index::new(def(IndexKind::Hash, false));
+        ix.insert(k(1), RowId(10));
+        ix.insert(k(1), RowId(11));
+        ix.insert(k(2), RowId(20));
+        assert_eq!(ix.get(&k(1)).len(), 2);
+        assert_eq!(ix.get(&k(2)), &[RowId(20)]);
+        assert!(ix.get(&k(3)).is_empty());
+        assert_eq!(ix.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn remove_clears_empty_keys() {
+        let mut ix = Index::new(def(IndexKind::BTree, false));
+        ix.insert(k(1), RowId(10));
+        assert!(ix.remove(&k(1), RowId(10)));
+        assert!(!ix.remove(&k(1), RowId(10)));
+        assert_eq!(ix.distinct_keys(), 0);
+        assert!(!ix.contains_key(&k(1)));
+    }
+
+    #[test]
+    fn btree_range_scan_is_ordered() {
+        let mut ix = Index::new(def(IndexKind::BTree, false));
+        for v in [5i64, 1, 3, 2, 4] {
+            ix.insert(k(v), RowId(v as u64));
+        }
+        let lo = k(2);
+        let hi = k(4);
+        let got: Vec<i64> = ix
+            .range(Bound::Included(&lo), Bound::Included(&hi))
+            .into_iter()
+            .map(|(key, _)| key[0].as_int().unwrap())
+            .collect();
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn hash_range_scan_is_empty() {
+        let mut ix = Index::new(def(IndexKind::Hash, false));
+        ix.insert(k(1), RowId(1));
+        let lo = k(0);
+        let hi = k(9);
+        assert!(ix.range(Bound::Included(&lo), Bound::Included(&hi)).is_empty());
+    }
+
+    #[test]
+    fn key_of_extracts_composite() {
+        let d = IndexDef {
+            name: "c".into(),
+            key_columns: vec![2, 0],
+            kind: IndexKind::Hash,
+            unique: true,
+        };
+        let vals = [Value::Int(1), Value::Int(2), Value::Int(3)];
+        assert_eq!(d.key_of(&vals), vec![Value::Int(3), Value::Int(1)]);
+    }
+
+    #[test]
+    fn clear_empties_index() {
+        let mut ix = Index::new(def(IndexKind::Hash, false));
+        ix.insert(k(1), RowId(1));
+        ix.clear();
+        assert_eq!(ix.distinct_keys(), 0);
+    }
+}

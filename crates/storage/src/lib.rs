@@ -1,0 +1,25 @@
+//! In-memory row storage: the storage half of an H-Store-style
+//! execution engine.
+//!
+//! A [`Catalog`] names a set of [`Table`]s. Each table is a slotted,
+//! main-memory row store with stable [`RowId`]s, optional hash and
+//! B-tree [`index`]es (unique or multi-valued), and schema enforcement.
+//! [`snapshot`] serializes an entire catalog to bytes — this is the
+//! checkpoint image used by S-Store's recovery modes.
+//!
+//! Concurrency model: none, on purpose. H-Store executes transactions
+//! serially on the single thread that owns a partition, so tables are
+//! plain `&mut` data structures. All cross-thread coordination lives in
+//! the engine crate.
+//!
+//! [`RowId`]: sstore_common::RowId
+
+pub mod catalog;
+pub mod index;
+pub mod snapshot;
+pub mod stats;
+pub mod table;
+
+pub use catalog::Catalog;
+pub use index::{IndexData, IndexDef, IndexKind};
+pub use table::{Table, TableKind};

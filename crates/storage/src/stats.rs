@@ -1,0 +1,103 @@
+//! Lightweight per-table operation counters.
+//!
+//! Used by the benchmark harnesses to verify *how* a workload executed
+//! (e.g. the §4.6 validation comparison hinges on lookups being index
+//! probes in S-Store but full scans in the Spark-like baseline), and by
+//! tests asserting access paths.
+//!
+//! Counters use `Cell` so read-only paths ([`Table::lookup_eq`]) can
+//! record without `&mut` — the table is still single-thread-owned.
+//!
+//! [`Table::lookup_eq`]: crate::table::Table::lookup_eq
+
+use std::cell::Cell;
+
+/// Monotone operation counters for one table.
+#[derive(Debug, Default, Clone)]
+pub struct TableStats {
+    inserts: Cell<u64>,
+    deletes: Cell<u64>,
+    updates: Cell<u64>,
+    index_lookups: Cell<u64>,
+    scans: Cell<u64>,
+}
+
+impl TableStats {
+    /// Total successful inserts.
+    pub fn inserts(&self) -> u64 {
+        self.inserts.get()
+    }
+
+    /// Total successful deletes.
+    pub fn deletes(&self) -> u64 {
+        self.deletes.get()
+    }
+
+    /// Total successful in-place updates.
+    pub fn updates(&self) -> u64 {
+        self.updates.get()
+    }
+
+    /// Equality lookups answered by an index probe.
+    pub fn index_lookups(&self) -> u64 {
+        self.index_lookups.get()
+    }
+
+    /// Equality lookups answered by a full scan.
+    pub fn scans(&self) -> u64 {
+        self.scans.get()
+    }
+
+    pub(crate) fn record_insert(&self) {
+        self.inserts.set(self.inserts.get() + 1);
+    }
+
+    pub(crate) fn record_delete(&self) {
+        self.deletes.set(self.deletes.get() + 1);
+    }
+
+    pub(crate) fn record_update(&self) {
+        self.updates.set(self.updates.get() + 1);
+    }
+
+    pub(crate) fn record_index_lookup(&self) {
+        self.index_lookups.set(self.index_lookups.get() + 1);
+    }
+
+    pub(crate) fn record_scan(&self) {
+        self.scans.set(self.scans.get() + 1);
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.inserts.set(0);
+        self.deletes.set(0);
+        self.updates.set(0);
+        self.index_lookups.set(0);
+        self.scans.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = TableStats::default();
+        s.record_insert();
+        s.record_insert();
+        s.record_delete();
+        s.record_update();
+        s.record_index_lookup();
+        s.record_scan();
+        assert_eq!(s.inserts(), 2);
+        assert_eq!(s.deletes(), 1);
+        assert_eq!(s.updates(), 1);
+        assert_eq!(s.index_lookups(), 1);
+        assert_eq!(s.scans(), 1);
+        s.reset();
+        assert_eq!(s.inserts(), 0);
+        assert_eq!(s.scans(), 0);
+    }
+}

@@ -1,0 +1,573 @@
+//! Slotted in-memory tables with stable row ids and index maintenance.
+//!
+//! S-Store's central storage trick (§3.2.1–3.2.2) is that *streams and
+//! windows are time-varying H-Store tables*. [`TableKind`] tags a table
+//! with its role; the engine layers batch/ordering metadata on top as
+//! ordinary columns, so one storage structure serves all three kinds of
+//! state and is uniformly checkpointed and recovered.
+//!
+//! Row ids are stable for the lifetime of a row and are re-usable *by
+//! explicit request only* ([`Table::insert_with_id`]) — that is what lets
+//! the transaction undo log restore a deleted row under its original id
+//! so that later undo records remain valid.
+
+use std::collections::HashMap;
+
+use sstore_common::{Error, Result, RowId, Schema, Tuple, Value};
+
+use crate::index::{Index, IndexDef, IndexKind};
+use crate::stats::TableStats;
+
+/// The role a table plays in the hybrid model (§2: three kinds of state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// Public shared table: visible to OLTP and streaming transactions.
+    Base,
+    /// Stream: ordered, unbounded; tuples enter and are garbage-collected
+    /// once consumed. Only the engine mutates these directly.
+    Stream,
+    /// Window state: visible only to the owning stored procedure's
+    /// transaction executions.
+    Window,
+}
+
+impl TableKind {
+    /// Stable tag used by the snapshot codec.
+    pub fn tag(self) -> u8 {
+        match self {
+            TableKind::Base => 0,
+            TableKind::Stream => 1,
+            TableKind::Window => 2,
+        }
+    }
+
+    /// Inverse of [`TableKind::tag`].
+    pub fn from_tag(t: u8) -> Result<Self> {
+        match t {
+            0 => Ok(TableKind::Base),
+            1 => Ok(TableKind::Stream),
+            2 => Ok(TableKind::Window),
+            _ => Err(Error::Codec(format!("unknown table kind tag {t}"))),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    id: RowId,
+    tuple: Tuple,
+}
+
+/// A main-memory table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    kind: TableKind,
+    schema: Schema,
+    slots: Vec<Option<Row>>,
+    free: Vec<u32>,
+    by_id: HashMap<RowId, u32>,
+    indexes: Vec<Index>,
+    next_row_id: u64,
+    live: usize,
+    stats: TableStats,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, kind: TableKind, schema: Schema) -> Self {
+        Table {
+            name: name.into().to_ascii_lowercase(),
+            kind,
+            schema,
+            slots: Vec::new(),
+            free: Vec::new(),
+            by_id: HashMap::new(),
+            indexes: Vec::new(),
+            next_row_id: 0,
+            live: 0,
+            stats: TableStats::default(),
+        }
+    }
+
+    /// Table name (lower-cased).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table role.
+    pub fn kind(&self) -> TableKind {
+        self.kind
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no rows are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Mutation/lookup statistics.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// The id the next plain insert will receive.
+    pub fn peek_next_row_id(&self) -> RowId {
+        RowId(self.next_row_id)
+    }
+
+    /// Fast-forwards the row-id counter so it will issue at least `next`
+    /// (never rewinds). Snapshot restore uses this to reproduce the
+    /// pre-checkpoint id sequence exactly, even when trailing rows had
+    /// been deleted before the checkpoint.
+    pub fn advance_row_id_counter(&mut self, next: u64) {
+        if self.next_row_id < next {
+            self.next_row_id = next;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Index management
+    // ------------------------------------------------------------------
+
+    /// Adds an index, backfilling it from existing rows. Fails if the
+    /// name is taken, a key column is out of range, or (for unique
+    /// indexes) existing rows already collide.
+    pub fn create_index(&mut self, def: IndexDef) -> Result<()> {
+        if self.indexes.iter().any(|ix| ix.def.name == def.name) {
+            return Err(Error::already_exists("index", &def.name));
+        }
+        if def.key_columns.iter().any(|&c| c >= self.schema.arity()) {
+            return Err(Error::Plan(format!(
+                "index {} references column out of range (table arity {})",
+                def.name,
+                self.schema.arity()
+            )));
+        }
+        let mut ix = Index::new(def);
+        for row in self.slots.iter().flatten() {
+            let key = ix.def.key_of(row.tuple.values());
+            if ix.def.unique && ix.contains_key(&key) {
+                return Err(Error::UniqueViolation {
+                    index: ix.def.name.clone(),
+                    key: format_key(&key),
+                });
+            }
+            ix.insert(key, row.id);
+        }
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    /// Drops the named index.
+    pub fn drop_index(&mut self, name: &str) -> Result<()> {
+        let pos = self
+            .indexes
+            .iter()
+            .position(|ix| ix.def.name == name)
+            .ok_or_else(|| Error::not_found("index", name))?;
+        self.indexes.remove(pos);
+        Ok(())
+    }
+
+    /// All index definitions.
+    pub fn index_defs(&self) -> Vec<IndexDef> {
+        self.indexes.iter().map(|ix| ix.def.clone()).collect()
+    }
+
+    /// Looks up an index by name.
+    pub fn index(&self, name: &str) -> Option<&Index> {
+        self.indexes.iter().find(|ix| ix.def.name == name)
+    }
+
+    /// Finds an index whose key columns are exactly `cols` (used by the
+    /// planner to turn equality predicates into point lookups). Prefers
+    /// hash over B-tree when both exist.
+    pub fn index_on(&self, cols: &[usize]) -> Option<&Index> {
+        let mut found: Option<&Index> = None;
+        for ix in &self.indexes {
+            if ix.def.key_columns == cols {
+                match ix.def.kind {
+                    IndexKind::Hash => return Some(ix),
+                    IndexKind::BTree => found = Some(ix),
+                }
+            }
+        }
+        found
+    }
+
+    // ------------------------------------------------------------------
+    // Mutations
+    // ------------------------------------------------------------------
+
+    /// Inserts a tuple, assigning a fresh row id.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<RowId> {
+        let id = RowId(self.next_row_id);
+        self.insert_at(id, tuple)?;
+        self.next_row_id += 1;
+        Ok(id)
+    }
+
+    /// Re-inserts a tuple under a caller-chosen id. Used by undo (abort
+    /// restores a deleted row under its original id) and by snapshot
+    /// loading. Fails if the id is currently live.
+    pub fn insert_with_id(&mut self, id: RowId, tuple: Tuple) -> Result<()> {
+        self.insert_at(id, tuple)?;
+        if self.next_row_id <= id.raw() {
+            self.next_row_id = id.raw() + 1;
+        }
+        Ok(())
+    }
+
+    fn insert_at(&mut self, id: RowId, tuple: Tuple) -> Result<()> {
+        self.schema.validate(tuple.values())?;
+        if self.by_id.contains_key(&id) {
+            return Err(Error::Internal(format!("row id {id} already live in {}", self.name)));
+        }
+        // Check all unique constraints *before* touching any index so a
+        // failed insert leaves the table untouched.
+        for ix in &self.indexes {
+            if ix.def.unique {
+                let key = ix.def.key_of(tuple.values());
+                if ix.contains_key(&key) {
+                    return Err(Error::UniqueViolation {
+                        index: ix.def.name.clone(),
+                        key: format_key(&key),
+                    });
+                }
+            }
+        }
+        for ix in &mut self.indexes {
+            let key = ix.def.key_of(tuple.values());
+            ix.insert(key, id);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(Row { id, tuple });
+                s
+            }
+            None => {
+                self.slots.push(Some(Row { id, tuple }));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.by_id.insert(id, slot);
+        self.live += 1;
+        self.stats.record_insert();
+        Ok(())
+    }
+
+    /// Deletes a row, returning its tuple.
+    pub fn delete(&mut self, id: RowId) -> Result<Tuple> {
+        let slot = *self.by_id.get(&id).ok_or_else(|| row_not_found(&self.name, id))?;
+        let row = self.slots[slot as usize].take().expect("by_id points at a live slot");
+        self.by_id.remove(&id);
+        self.free.push(slot);
+        self.live -= 1;
+        for ix in &mut self.indexes {
+            let key = ix.def.key_of(row.tuple.values());
+            ix.remove(&key, id);
+        }
+        self.stats.record_delete();
+        Ok(row.tuple)
+    }
+
+    /// Replaces a row's tuple in place, returning the old tuple. The row
+    /// keeps its id. Unique indexes are re-checked for the new values.
+    pub fn update(&mut self, id: RowId, new: Tuple) -> Result<Tuple> {
+        self.schema.validate(new.values())?;
+        let slot = *self.by_id.get(&id).ok_or_else(|| row_not_found(&self.name, id))?;
+        let old_values =
+            self.slots[slot as usize].as_ref().expect("live slot").tuple.values().to_vec();
+        for ix in &self.indexes {
+            if ix.def.unique {
+                let new_key = ix.def.key_of(new.values());
+                let old_key = ix.def.key_of(&old_values);
+                if new_key != old_key && ix.contains_key(&new_key) {
+                    return Err(Error::UniqueViolation {
+                        index: ix.def.name.clone(),
+                        key: format_key(&new_key),
+                    });
+                }
+            }
+        }
+        for ix in &mut self.indexes {
+            let old_key = ix.def.key_of(&old_values);
+            let new_key = ix.def.key_of(new.values());
+            if old_key != new_key {
+                ix.remove(&old_key, id);
+                ix.insert(new_key, id);
+            }
+        }
+        let row = self.slots[slot as usize].as_mut().expect("live slot");
+        let old = std::mem::replace(&mut row.tuple, new);
+        self.stats.record_update();
+        Ok(old)
+    }
+
+    /// Deletes every row, keeping indexes and the row-id counter.
+    pub fn truncate(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.by_id.clear();
+        self.live = 0;
+        for ix in &mut self.indexes {
+            ix.clear();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lookups
+    // ------------------------------------------------------------------
+
+    /// Fetches a row by id.
+    pub fn get(&self, id: RowId) -> Option<&Tuple> {
+        let slot = *self.by_id.get(&id)?;
+        self.slots[slot as usize].as_ref().map(|r| &r.tuple)
+    }
+
+    /// True if the row id is live.
+    pub fn contains(&self, id: RowId) -> bool {
+        self.by_id.contains_key(&id)
+    }
+
+    /// Iterates live `(RowId, &Tuple)` pairs in slot order (insert order
+    /// for tables that never delete; deterministic regardless).
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Tuple)> + '_ {
+        self.slots.iter().filter_map(|s| s.as_ref().map(|r| (r.id, &r.tuple)))
+    }
+
+    /// Like [`Table::scan`] but ordered by row id — streams rely on this
+    /// for tuple arrival order.
+    pub fn scan_ordered(&self) -> Vec<(RowId, &Tuple)> {
+        let mut rows: Vec<(RowId, &Tuple)> = self.scan().collect();
+        rows.sort_by_key(|(id, _)| *id);
+        rows
+    }
+
+    /// Point lookup through an index on `cols` if one exists, otherwise
+    /// a filtered scan. Returns live row ids carrying `key` on `cols`.
+    pub fn lookup_eq(&self, cols: &[usize], key: &[Value]) -> Vec<RowId> {
+        if let Some(ix) = self.index_on(cols) {
+            self.stats.record_index_lookup();
+            return ix.get(key).to_vec();
+        }
+        self.stats.record_scan();
+        self.scan()
+            .filter(|(_, t)| {
+                cols.iter().zip(key).all(|(&c, k)| t.get(c).cmp_total(k) == std::cmp::Ordering::Equal)
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Approximate bytes held by live tuples.
+    pub fn approx_bytes(&self) -> usize {
+        self.scan().map(|(_, t)| t.approx_size()).sum()
+    }
+}
+
+fn row_not_found(table: &str, id: RowId) -> Error {
+    Error::not_found("row", format!("{id} in table {table}"))
+}
+
+fn format_key(key: &[Value]) -> String {
+    let parts: Vec<String> = key.iter().map(ToString::to_string).collect();
+    parts.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstore_common::{tuple, DataType};
+
+    fn people() -> Table {
+        let schema = Schema::of(&[("id", DataType::Int), ("name", DataType::Text)]);
+        Table::new("People", TableKind::Base, schema)
+    }
+
+    fn pk() -> IndexDef {
+        IndexDef { name: "pk".into(), key_columns: vec![0], kind: IndexKind::Hash, unique: true }
+    }
+
+    #[test]
+    fn name_is_lowercased() {
+        assert_eq!(people().name(), "people");
+    }
+
+    #[test]
+    fn insert_assigns_monotone_ids() {
+        let mut t = people();
+        let a = t.insert(tuple![1i64, "a"]).unwrap();
+        let b = t.insert(tuple![2i64, "b"]).unwrap();
+        assert!(a < b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a).unwrap(), &tuple![1i64, "a"]);
+    }
+
+    #[test]
+    fn insert_validates_schema() {
+        let mut t = people();
+        assert!(t.insert(tuple![1i64]).is_err());
+        assert!(t.insert(tuple!["x", "y"]).is_err());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates_atomically() {
+        let mut t = people();
+        t.create_index(pk()).unwrap();
+        t.insert(tuple![1i64, "a"]).unwrap();
+        let err = t.insert(tuple![1i64, "dup"]).unwrap_err();
+        assert!(matches!(err, Error::UniqueViolation { .. }));
+        assert_eq!(t.len(), 1);
+        // The failed insert must not have polluted any index.
+        assert_eq!(t.lookup_eq(&[0], &[Value::Int(1)]).len(), 1);
+    }
+
+    #[test]
+    fn delete_returns_tuple_and_cleans_indexes() {
+        let mut t = people();
+        t.create_index(pk()).unwrap();
+        let id = t.insert(tuple![1i64, "a"]).unwrap();
+        let got = t.delete(id).unwrap();
+        assert_eq!(got, tuple![1i64, "a"]);
+        assert!(t.is_empty());
+        assert!(t.lookup_eq(&[0], &[Value::Int(1)]).is_empty());
+        assert!(t.delete(id).is_err());
+    }
+
+    #[test]
+    fn slots_are_recycled_but_ids_are_not() {
+        let mut t = people();
+        let a = t.insert(tuple![1i64, "a"]).unwrap();
+        t.delete(a).unwrap();
+        let b = t.insert(tuple![2i64, "b"]).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn insert_with_id_restores_and_bumps_counter() {
+        let mut t = people();
+        let a = t.insert(tuple![1i64, "a"]).unwrap();
+        let gone = t.delete(a).unwrap();
+        t.insert_with_id(a, gone).unwrap();
+        assert_eq!(t.get(a).unwrap(), &tuple![1i64, "a"]);
+        // Counter must not re-issue `a`.
+        let b = t.insert(tuple![2i64, "b"]).unwrap();
+        assert!(b > a);
+        // Re-inserting a live id fails.
+        assert!(t.insert_with_id(a, tuple![9i64, "x"]).is_err());
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let mut t = people();
+        t.create_index(pk()).unwrap();
+        let id = t.insert(tuple![1i64, "a"]).unwrap();
+        let old = t.update(id, tuple![5i64, "a2"]).unwrap();
+        assert_eq!(old, tuple![1i64, "a"]);
+        assert!(t.lookup_eq(&[0], &[Value::Int(1)]).is_empty());
+        assert_eq!(t.lookup_eq(&[0], &[Value::Int(5)]), vec![id]);
+    }
+
+    #[test]
+    fn update_unique_collision_rejected() {
+        let mut t = people();
+        t.create_index(pk()).unwrap();
+        t.insert(tuple![1i64, "a"]).unwrap();
+        let id2 = t.insert(tuple![2i64, "b"]).unwrap();
+        assert!(t.update(id2, tuple![1i64, "b"]).is_err());
+        // Unchanged-key update on the same row is fine.
+        t.update(id2, tuple![2i64, "b2"]).unwrap();
+    }
+
+    #[test]
+    fn create_index_backfills_and_detects_collisions() {
+        let mut t = people();
+        t.insert(tuple![1i64, "a"]).unwrap();
+        t.insert(tuple![1i64, "b"]).unwrap();
+        assert!(t.create_index(pk()).is_err());
+        let multi = IndexDef {
+            name: "by_id".into(),
+            key_columns: vec![0],
+            kind: IndexKind::BTree,
+            unique: false,
+        };
+        t.create_index(multi).unwrap();
+        assert_eq!(t.lookup_eq(&[0], &[Value::Int(1)]).len(), 2);
+    }
+
+    #[test]
+    fn drop_index() {
+        let mut t = people();
+        t.create_index(pk()).unwrap();
+        t.drop_index("pk").unwrap();
+        assert!(t.drop_index("pk").is_err());
+        assert!(t.index("pk").is_none());
+    }
+
+    #[test]
+    fn lookup_eq_falls_back_to_scan() {
+        let mut t = people();
+        t.insert(tuple![1i64, "a"]).unwrap();
+        t.insert(tuple![2i64, "a"]).unwrap();
+        let hits = t.lookup_eq(&[1], &[Value::Text("a".into())]);
+        assert_eq!(hits.len(), 2);
+        assert!(t.stats().scans() >= 1);
+    }
+
+    #[test]
+    fn index_on_prefers_hash() {
+        let mut t = people();
+        t.create_index(IndexDef {
+            name: "bt".into(),
+            key_columns: vec![0],
+            kind: IndexKind::BTree,
+            unique: false,
+        })
+        .unwrap();
+        t.create_index(IndexDef {
+            name: "h".into(),
+            key_columns: vec![0],
+            kind: IndexKind::Hash,
+            unique: false,
+        })
+        .unwrap();
+        assert_eq!(t.index_on(&[0]).unwrap().def.name, "h");
+    }
+
+    #[test]
+    fn scan_ordered_sorts_by_row_id() {
+        let mut t = people();
+        let a = t.insert(tuple![1i64, "a"]).unwrap();
+        let b = t.insert(tuple![2i64, "b"]).unwrap();
+        t.delete(a).unwrap();
+        let c = t.insert(tuple![3i64, "c"]).unwrap(); // reuses a's slot
+        let ids: Vec<RowId> = t.scan_ordered().into_iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![b, c]);
+    }
+
+    #[test]
+    fn truncate_clears_everything() {
+        let mut t = people();
+        t.create_index(pk()).unwrap();
+        t.insert(tuple![1i64, "a"]).unwrap();
+        t.truncate();
+        assert!(t.is_empty());
+        assert!(t.lookup_eq(&[0], &[Value::Int(1)]).is_empty());
+        // Row ids keep counting up after truncate.
+        let id = t.insert(tuple![1i64, "a"]).unwrap();
+        assert!(id.raw() >= 1);
+    }
+}

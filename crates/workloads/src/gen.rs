@@ -1,0 +1,217 @@
+//! Deterministic workload generators.
+//!
+//! The paper's inputs (a TV-vote stream; Linear Road traffic traces) are
+//! not distributable, so we generate synthetic equivalents with the
+//! properties the benchmarks exercise: unique-phone votes with a
+//! controlled duplicate rate (the validation path), skewed contestant
+//! popularity (so leaderboards change), and per-x-way vehicle traffic
+//! with segment crossings and stopped cars (toll and accident logic).
+//! Everything is seeded, so runs are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sstore_common::{tuple, Tuple};
+
+/// One generated vote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vote {
+    /// Caller's phone number.
+    pub phone: i64,
+    /// Contestant voted for.
+    pub contestant: i64,
+    /// Logical timestamp.
+    pub ts: i64,
+}
+
+impl Vote {
+    /// As a stream tuple `(phone, contestant, ts)`.
+    pub fn tuple(&self) -> Tuple {
+        tuple![self.phone, self.contestant, self.ts]
+    }
+}
+
+/// Deterministic vote generator.
+pub struct VoteGen {
+    rng: StdRng,
+    contestants: i64,
+    next_phone: i64,
+    duplicate_permille: u32,
+    ts: i64,
+}
+
+impl VoteGen {
+    /// `duplicate_permille` of votes re-use an already-used phone number
+    /// (these must be rejected by validation).
+    pub fn new(seed: u64, contestants: usize, duplicate_permille: u32) -> Self {
+        VoteGen {
+            rng: StdRng::seed_from_u64(seed),
+            contestants: contestants as i64,
+            next_phone: 5_550_000_000,
+            duplicate_permille: duplicate_permille.min(1000),
+            ts: 0,
+        }
+    }
+
+    /// Next vote.
+    pub fn vote(&mut self) -> Vote {
+        self.ts += 1;
+        let duplicate = self.next_phone > 5_550_000_000
+            && self.rng.gen_range(0..1000) < self.duplicate_permille;
+        let phone = if duplicate {
+            // Re-use a uniformly random earlier phone.
+            self.rng.gen_range(5_550_000_000..self.next_phone)
+        } else {
+            self.next_phone += 1;
+            self.next_phone
+        };
+        // Zipf-ish skew via squared uniform: low ids more popular.
+        let u: f64 = self.rng.gen();
+        let contestant = 1 + ((u * u) * self.contestants as f64) as i64;
+        Vote { phone, contestant: contestant.min(self.contestants), ts: self.ts }
+    }
+
+    /// Generates `n` votes.
+    pub fn votes(&mut self, n: usize) -> Vec<Vote> {
+        (0..n).map(|_| self.vote()).collect()
+    }
+}
+
+/// One Linear Road position report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PositionReport {
+    /// Vehicle id.
+    pub vid: i64,
+    /// Simulation time, seconds.
+    pub time: i64,
+    /// Expressway.
+    pub xway: i64,
+    /// Segment (0..=99).
+    pub seg: i64,
+    /// Speed, mph.
+    pub speed: i64,
+}
+
+impl PositionReport {
+    /// As a stream tuple `(vid, time, xway, seg, speed)`.
+    pub fn tuple(&self) -> Tuple {
+        tuple![self.vid, self.time, self.xway, self.seg, self.speed]
+    }
+}
+
+/// Deterministic Linear Road traffic generator: `vehicles_per_xway`
+/// vehicles per expressway report every 30 simulated seconds; a small
+/// fraction stop (speed 0) for several reports, producing accidents.
+pub struct TrafficGen {
+    rng: StdRng,
+    xways: i64,
+    vehicles_per_xway: i64,
+    /// (xway, vid) → (segment, stopped_reports_remaining)
+    state: Vec<(i64, i64)>,
+    time: i64,
+}
+
+impl TrafficGen {
+    /// Creates a generator for `xways` expressways.
+    pub fn new(seed: u64, xways: usize, vehicles_per_xway: usize) -> Self {
+        TrafficGen {
+            rng: StdRng::seed_from_u64(seed),
+            xways: xways as i64,
+            vehicles_per_xway: vehicles_per_xway as i64,
+            state: vec![(0, 0); xways * vehicles_per_xway],
+            time: 0,
+        }
+    }
+
+    /// Advances simulation time by 30s and emits one report per vehicle,
+    /// grouped per x-way (each inner vec is one ingestion batch, so one
+    /// x-way's reports stay on one partition).
+    pub fn tick(&mut self) -> Vec<Vec<PositionReport>> {
+        self.time += 30;
+        let mut out = Vec::with_capacity(self.xways as usize);
+        for xway in 0..self.xways {
+            let mut batch = Vec::with_capacity(self.vehicles_per_xway as usize);
+            for v in 0..self.vehicles_per_xway {
+                let idx = (xway * self.vehicles_per_xway + v) as usize;
+                let (seg, stopped) = self.state[idx];
+                let (speed, new_seg, new_stopped) = if stopped > 0 {
+                    (0, seg, stopped - 1)
+                } else if self.rng.gen_range(0..1000) < 5 {
+                    // Breakdown: stopped for the next 4 reports.
+                    (0, seg, 4)
+                } else {
+                    let speed = self.rng.gen_range(40..80);
+                    // Advance a segment roughly every other report.
+                    let adv = i64::from(self.rng.gen_bool(0.5));
+                    (speed, (seg + adv) % 100, 0)
+                };
+                self.state[idx] = (new_seg, new_stopped);
+                batch.push(PositionReport {
+                    vid: xway * 1_000_000 + v,
+                    time: self.time,
+                    xway,
+                    seg: new_seg,
+                    speed,
+                });
+            }
+            out.push(batch);
+        }
+        out
+    }
+
+    /// Current simulated time (seconds).
+    pub fn time(&self) -> i64 {
+        self.time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn votes_are_deterministic_and_mostly_unique() {
+        let a: Vec<Vote> = VoteGen::new(7, 10, 50).votes(1000);
+        let b: Vec<Vote> = VoteGen::new(7, 10, 50).votes(1000);
+        assert_eq!(a, b, "same seed ⇒ same votes");
+        let phones: HashSet<i64> = a.iter().map(|v| v.phone).collect();
+        let dups = 1000 - phones.len();
+        assert!(dups > 10 && dups < 150, "≈5% duplicates, got {dups}");
+        assert!(a.iter().all(|v| (1..=10).contains(&v.contestant)));
+        // Skew: contestant 1 strictly more popular than contestant 10.
+        let c1 = a.iter().filter(|v| v.contestant == 1).count();
+        let c10 = a.iter().filter(|v| v.contestant == 10).count();
+        assert!(c1 > c10);
+    }
+
+    #[test]
+    fn zero_duplicates_possible() {
+        let votes = VoteGen::new(1, 5, 0).votes(500);
+        let phones: HashSet<i64> = votes.iter().map(|v| v.phone).collect();
+        assert_eq!(phones.len(), 500);
+    }
+
+    #[test]
+    fn traffic_groups_by_xway_and_stops_cars() {
+        let mut g = TrafficGen::new(3, 4, 50);
+        let mut saw_stop = false;
+        for _ in 0..20 {
+            let batches = g.tick();
+            assert_eq!(batches.len(), 4);
+            for (x, batch) in batches.iter().enumerate() {
+                assert_eq!(batch.len(), 50);
+                assert!(batch.iter().all(|r| r.xway == x as i64));
+                saw_stop |= batch.iter().any(|r| r.speed == 0);
+            }
+        }
+        assert!(saw_stop, "some vehicles must stop to exercise accidents");
+        assert_eq!(g.time(), 600);
+    }
+
+    #[test]
+    fn traffic_is_deterministic() {
+        let a = TrafficGen::new(9, 2, 10).tick();
+        let b = TrafficGen::new(9, 2, 10).tick();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,22 @@
+//! Benchmark workloads for the S-Store reproduction.
+//!
+//! * [`gen`] — deterministic data generators (votes, Linear Road
+//!   traffic).
+//! * [`micro`] — the §4.1–4.4 micro-benchmark applications: EE-trigger
+//!   chains (Figure 5), PE-trigger chains (Figures 6 and 9), and native
+//!   vs manual windowing (Figure 7).
+//! * [`voter`] — the leaderboard-maintenance application of §1.1/§4.5
+//!   on the S-Store engine, with and without vote validation (the two
+//!   variants of Figure 10).
+//! * [`voter_baselines`] — the same logical workload on the Spark-like
+//!   micro-batch engine and the Storm/Trident-like topology engine
+//!   (§4.6).
+//! * [`linearroad`] — the Linear Road subset of §4.7 (position reports,
+//!   toll/accident processing, per-minute rollups) for the
+//!   multi-partition scalability experiment (Figure 11).
+
+pub mod gen;
+pub mod linearroad;
+pub mod micro;
+pub mod voter;
+pub mod voter_baselines;

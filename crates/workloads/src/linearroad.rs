@@ -1,0 +1,370 @@
+//! Linear Road subset (§4.7) for the multi-partition scalability
+//! experiment (Figure 11).
+//!
+//! Only the streaming-position-report side of the benchmark, as in the
+//! paper (historical queries excluded). The workflow has two stored
+//! procedures:
+//!
+//! * `update_position` (SP1) — per report: update the vehicle's
+//!   position; on a segment crossing, record a toll notification and
+//!   charge the previous segment's toll; detect stopped vehicles (four
+//!   consecutive zero-speed reports at one segment ⇒ accident);
+//!   accumulate per-segment minute statistics; at each minute boundary
+//!   emit a tick that triggers SP2.
+//! * `minute_rollup` (SP2) — per minute: record per-x-way statistics
+//!   into a history table and clear accidents whose vehicles moved on.
+//!
+//! Tolls and accidents are x-way-local, so batches partition cleanly by
+//! x-way (`stream_partitioned`), each partition running the whole
+//! workflow serially — the property §4.7 exploits for linear scaling.
+
+use sstore_common::{DataType, Schema, Value};
+use sstore_engine::App;
+use sstore_storage::index::IndexDef;
+use sstore_storage::IndexKind;
+
+/// Consecutive zero-speed reports that define an accident.
+pub const STOP_REPORTS_FOR_ACCIDENT: i64 = 4;
+
+fn report_schema() -> Schema {
+    Schema::of(&[
+        ("vid", DataType::Int),
+        ("time", DataType::Int),
+        ("xway", DataType::Int),
+        ("seg", DataType::Int),
+        ("speed", DataType::Int),
+    ])
+}
+
+/// Builds the Linear Road subset app.
+pub fn linear_road_app() -> App {
+    App::builder()
+        .stream_partitioned("reports", report_schema(), "xway")
+        .stream("minute_ticks", Schema::of(&[("xway", DataType::Int), ("minute", DataType::Int)]))
+        .table_indexed(
+            "vehicles",
+            Schema::of(&[
+                ("vid", DataType::Int),
+                ("xway", DataType::Int),
+                ("seg", DataType::Int),
+                ("time", DataType::Int),
+                ("stopped", DataType::Int),
+            ]),
+            vec![IndexDef {
+                name: "vehicles_pk".into(),
+                key_columns: vec![0],
+                kind: IndexKind::Hash,
+                unique: true,
+            }],
+        )
+        .table_indexed(
+            "seg_stats",
+            Schema::of(&[
+                ("xway", DataType::Int),
+                ("seg", DataType::Int),
+                ("minute", DataType::Int),
+                ("cnt", DataType::Int),
+                ("speed_sum", DataType::Int),
+            ]),
+            vec![IndexDef {
+                name: "seg_stats_key".into(),
+                key_columns: vec![0, 1, 2],
+                kind: IndexKind::Hash,
+                unique: true,
+            }],
+        )
+        .table_indexed(
+            "accidents",
+            Schema::of(&[("xway", DataType::Int), ("seg", DataType::Int), ("cleared", DataType::Int)]),
+            vec![IndexDef {
+                name: "accidents_key".into(),
+                key_columns: vec![0, 1],
+                kind: IndexKind::Hash,
+                unique: true,
+            }],
+        )
+        .table_indexed(
+            "tolls",
+            Schema::of(&[("vid", DataType::Int), ("amount", DataType::Int)]),
+            vec![IndexDef {
+                name: "tolls_pk".into(),
+                key_columns: vec![0],
+                kind: IndexKind::Hash,
+                unique: true,
+            }],
+        )
+        .table(
+            "notifications",
+            Schema::of(&[("vid", DataType::Int), ("time", DataType::Int), ("seg", DataType::Int)]),
+        )
+        .table(
+            "stats_history",
+            Schema::of(&[("xway", DataType::Int), ("minute", DataType::Int), ("reports", DataType::Int)]),
+        )
+        .proc(
+            "update_position",
+            &[
+                ("get_vehicle", "SELECT seg, stopped, time FROM vehicles WHERE vid = ?"),
+                (
+                    "ins_vehicle",
+                    "INSERT INTO vehicles (vid, xway, seg, time, stopped) VALUES (?, ?, ?, ?, 0)",
+                ),
+                (
+                    "upd_vehicle",
+                    "UPDATE vehicles SET seg = ?, time = ?, stopped = ? WHERE vid = ?",
+                ),
+                ("get_stat", "SELECT cnt FROM seg_stats WHERE xway = ? AND seg = ? AND minute = ?"),
+                (
+                    "ins_stat",
+                    "INSERT INTO seg_stats (xway, seg, minute, cnt, speed_sum) VALUES (?, ?, ?, 1, ?)",
+                ),
+                (
+                    "upd_stat",
+                    "UPDATE seg_stats SET cnt = cnt + 1, speed_sum = speed_sum + ? \
+                     WHERE xway = ? AND seg = ? AND minute = ?",
+                ),
+                ("notify", "INSERT INTO notifications (vid, time, seg) VALUES (?, ?, ?)"),
+                ("get_toll", "SELECT amount FROM tolls WHERE vid = ?"),
+                ("ins_toll", "INSERT INTO tolls (vid, amount) VALUES (?, 2)"),
+                ("charge", "UPDATE tolls SET amount = amount + 2 WHERE vid = ?"),
+                ("get_accident", "SELECT cleared FROM accidents WHERE xway = ? AND seg = ?"),
+                ("ins_accident", "INSERT INTO accidents (xway, seg, cleared) VALUES (?, ?, 0)"),
+            ],
+            &["minute_ticks"],
+            |ctx| {
+                let rows = ctx.input().to_vec();
+                let mut minute_crossed: Option<(i64, i64)> = None;
+                for r in rows {
+                    let (vid, time, xway, seg, speed) = (
+                        r.get(0).as_int()?,
+                        r.get(1).as_int()?,
+                        r.get(2).as_int()?,
+                        r.get(3).as_int()?,
+                        r.get(4).as_int()?,
+                    );
+                    let minute = time / 60;
+                    // Vehicle position update + stopped-car detection.
+                    let prev = ctx.sql("get_vehicle", &[Value::Int(vid)])?;
+                    let (crossed, stopped) = match prev.rows.first() {
+                        None => {
+                            ctx.sql(
+                                "ins_vehicle",
+                                &[Value::Int(vid), Value::Int(xway), Value::Int(seg), Value::Int(time)],
+                            )?;
+                            (true, 0)
+                        }
+                        Some(p) => {
+                            let prev_seg = p.get(0).as_int()?;
+                            let prev_stopped = p.get(1).as_int()?;
+                            let stopped = if speed == 0 && prev_seg == seg {
+                                prev_stopped + 1
+                            } else {
+                                0
+                            };
+                            ctx.sql(
+                                "upd_vehicle",
+                                &[Value::Int(seg), Value::Int(time), Value::Int(stopped), Value::Int(vid)],
+                            )?;
+                            (prev_seg != seg, stopped)
+                        }
+                    };
+                    // Accident: 4 consecutive stopped reports at a segment.
+                    if stopped >= STOP_REPORTS_FOR_ACCIDENT {
+                        let seen = ctx.sql("get_accident", &[Value::Int(xway), Value::Int(seg)])?;
+                        if seen.rows.is_empty() {
+                            ctx.sql("ins_accident", &[Value::Int(xway), Value::Int(seg)])?;
+                        }
+                    }
+                    // Segment crossing: toll notification + charge.
+                    if crossed {
+                        ctx.sql("notify", &[Value::Int(vid), Value::Int(time), Value::Int(seg)])?;
+                        let t = ctx.sql("get_toll", &[Value::Int(vid)])?;
+                        if t.rows.is_empty() {
+                            ctx.sql("ins_toll", &[Value::Int(vid)])?;
+                        } else {
+                            ctx.sql("charge", &[Value::Int(vid)])?;
+                        }
+                    }
+                    // Per-segment minute statistics.
+                    let st =
+                        ctx.sql("get_stat", &[Value::Int(xway), Value::Int(seg), Value::Int(minute)])?;
+                    if st.rows.is_empty() {
+                        ctx.sql(
+                            "ins_stat",
+                            &[Value::Int(xway), Value::Int(seg), Value::Int(minute), Value::Int(speed)],
+                        )?;
+                    } else {
+                        ctx.sql(
+                            "upd_stat",
+                            &[Value::Int(speed), Value::Int(xway), Value::Int(seg), Value::Int(minute)],
+                        )?;
+                    }
+                    if time % 60 == 0 {
+                        minute_crossed = Some((xway, minute));
+                    }
+                }
+                if let Some((xway, minute)) = minute_crossed {
+                    ctx.emit("minute_ticks", vec![sstore_common::tuple![xway, minute]])?;
+                }
+                Ok(())
+            },
+        )
+        .proc(
+            "minute_rollup",
+            &[
+                (
+                    "roll",
+                    "INSERT INTO stats_history (xway, minute, reports) \
+                     SELECT xway, minute, SUM(cnt) FROM seg_stats \
+                     WHERE xway = ? AND minute = ? GROUP BY xway, minute",
+                ),
+                ("clear", "UPDATE accidents SET cleared = 1 WHERE xway = ? AND cleared = 0"),
+            ],
+            &[],
+            |ctx| {
+                let rows = ctx.input().to_vec();
+                for r in rows {
+                    let (xway, minute) = (r.get(0).clone(), r.get(1).as_int()?);
+                    // Roll up the *previous* minute (now complete).
+                    if minute > 0 {
+                        ctx.sql("roll", &[xway.clone(), Value::Int(minute - 1)])?;
+                    }
+                    ctx.sql("clear", &[xway])?;
+                }
+                Ok(())
+            },
+        )
+        .pe_trigger("reports", "update_position")
+        .pe_trigger("minute_ticks", "minute_rollup")
+        .build()
+        .expect("linear road app is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TrafficGen;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use sstore_engine::{Engine, EngineConfig};
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn cfg(parts: usize) -> EngineConfig {
+        EngineConfig::default().with_partitions(parts).with_data_dir(
+            std::env::temp_dir().join(format!(
+                "sstore-lr-{}-{}",
+                std::process::id(),
+                DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+            )),
+        )
+    }
+
+    fn drive(parts: usize, xways: usize, ticks: usize) -> Engine {
+        let engine = Engine::start(cfg(parts), linear_road_app()).unwrap();
+        let mut traffic = TrafficGen::new(17, xways, 30);
+        for _ in 0..ticks {
+            for batch in traffic.tick() {
+                let rows = batch.iter().map(|r| r.tuple()).collect();
+                engine.ingest("reports", rows).unwrap();
+            }
+        }
+        engine.drain().unwrap();
+        engine
+    }
+
+    #[test]
+    fn positions_tolls_and_stats_accumulate() {
+        let engine = drive(1, 2, 8);
+        let vehicles = engine
+            .query(0, "SELECT COUNT(*) FROM vehicles", vec![])
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert_eq!(vehicles, 60, "30 vehicles × 2 x-ways all tracked");
+        let notifications = engine
+            .query(0, "SELECT COUNT(*) FROM notifications", vec![])
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert!(notifications >= 60, "each vehicle crossed at least its first segment");
+        let toll_total = engine
+            .query(0, "SELECT SUM(amount) FROM tolls", vec![])
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert!(toll_total > 0);
+        // Minute rollups happened (8 ticks × 30s = 4 minutes).
+        let minutes = engine
+            .query(0, "SELECT COUNT(*) FROM stats_history", vec![])
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert!(minutes >= 2, "rollup rounds recorded, got {minutes}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn accidents_are_detected_and_cleared() {
+        // Long run so some vehicle stops 4× (5‰ chance per report).
+        let engine = drive(1, 2, 40);
+        let accidents = engine
+            .query(0, "SELECT COUNT(*) FROM accidents", vec![])
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert!(accidents > 0, "stopped vehicles must produce accidents");
+        let cleared = engine
+            .query(0, "SELECT COUNT(*) FROM accidents WHERE cleared = 1", vec![])
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert!(cleared > 0, "rollups clear accidents");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn partitioned_run_covers_all_xways() {
+        let parts = 3;
+        let xways = 6;
+        let engine = drive(parts, xways, 6);
+        let mut total_vehicles = 0;
+        for p in 0..parts {
+            total_vehicles += engine
+                .query(p, "SELECT COUNT(*) FROM vehicles", vec![])
+                .unwrap()
+                .scalar()
+                .unwrap()
+                .as_int()
+                .unwrap();
+        }
+        assert_eq!(total_vehicles, (xways * 30) as i64);
+        // Same x-way never splits across partitions: per-partition x-way
+        // sets are disjoint by the routing hash.
+        let mut seen: Vec<i64> = Vec::new();
+        for p in 0..parts {
+            let xs = engine
+                .query(p, "SELECT xway, COUNT(*) FROM vehicles GROUP BY xway", vec![])
+                .unwrap()
+                .int_column(0)
+                .unwrap();
+            for x in xs {
+                assert!(!seen.contains(&x), "x-way {x} appears on two partitions");
+                seen.push(x);
+            }
+        }
+        assert_eq!(seen.len(), xways);
+        engine.shutdown();
+    }
+}

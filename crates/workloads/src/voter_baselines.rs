@@ -1,0 +1,240 @@
+//! The leaderboard workload on the §4.6 baseline engines.
+//!
+//! Both variants mirror the paper's ports:
+//!
+//! * **Spark-like** (§4.6.1): one logical stage per micro-batch that
+//!   validates (when enabled — by *scanning* the unindexed votes RDD),
+//!   records votes (copy-on-write append), and maintains a
+//!   time-windowed leaderboard (10-interval window sliding by 1).
+//! * **Storm/Trident-like** (§4.6.2): two bolts — validate (external KV
+//!   get/put per vote) and leaderboard (KV increment + a manually
+//!   maintained last-100 list, since Trident has no windows, + top-3
+//!   recomputation via a KV scan), fed in Trident batches with
+//!   exactly-once release.
+
+use sstore_baselines::microbatch::{DStreamEngine, IntervalWindow};
+use sstore_baselines::topology::{BoltFn, KvClient, KvStore, Topology};
+use sstore_common::{tuple, Result, Tuple, Value};
+
+use crate::gen::Vote;
+
+/// Outcome of a baseline run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BaselineStats {
+    /// Votes offered.
+    pub offered: u64,
+    /// Votes accepted (recorded).
+    pub accepted: u64,
+    /// Votes rejected by validation.
+    pub rejected: u64,
+}
+
+// ---------------------------------------------------------------------
+// Spark-like micro-batch port
+// ---------------------------------------------------------------------
+
+/// Runs votes through the micro-batch engine in batches of
+/// `batch_size`. Returns stats. `validate` enables the phone check —
+/// a full scan per vote over all recorded votes (no index on RDDs).
+pub fn run_microbatch(
+    engine: &mut DStreamEngine,
+    votes: &[Vote],
+    batch_size: usize,
+    validate: bool,
+) -> Result<BaselineStats> {
+    let mut stats = BaselineStats::default();
+    let mut window = IntervalWindow::new(10, 1)?;
+    for chunk in votes.chunks(batch_size.max(1)) {
+        let input: Vec<Tuple> = chunk.iter().map(Vote::tuple).collect();
+        stats.offered += input.len() as u64;
+        let mut accepted_here: Vec<Tuple> = Vec::with_capacity(input.len());
+        engine.process_batch(&input, |batch, ops| {
+            for t in batch {
+                // Check recorded votes (full RDD scan — no index) and
+                // earlier accepts of this same micro-batch.
+                if validate
+                    && (ops.scan_contains("votes", 0, t.get(0))
+                        || accepted_here.iter().any(|a| a.get(0) == t.get(0)))
+                {
+                    stats.rejected += 1;
+                    continue;
+                }
+                accepted_here.push(t.clone());
+            }
+            // Record accepted votes: copy-on-write append.
+            ops.append("votes", "record", &accepted_here);
+            // Rebuild per-contestant counts (stateless transformation
+            // over state — Spark's update pattern).
+            let all = ops.read("votes");
+            let mut counts: std::collections::BTreeMap<i64, i64> = std::collections::BTreeMap::new();
+            for t in all.iter() {
+                *counts.entry(t.get(1).as_int()?).or_insert(0) += 1;
+            }
+            let count_rows: Vec<Tuple> =
+                counts.iter().map(|(c, n)| tuple![*c, *n]).collect();
+            ops.replace("counts", "aggregate", count_rows);
+            Ok(())
+        })?;
+        stats.accepted += accepted_here.len() as u64;
+        // Time-based trending window over whole intervals.
+        if window.push(accepted_here) {
+            let mut trend: std::collections::BTreeMap<i64, i64> = std::collections::BTreeMap::new();
+            for t in window.contents() {
+                *trend.entry(t.get(1).as_int()?).or_insert(0) += 1;
+            }
+            let mut top: Vec<(i64, i64)> = trend.into_iter().collect();
+            top.sort_by_key(|(c, n)| (std::cmp::Reverse(*n), *c));
+            top.truncate(3);
+            let rows: Vec<Tuple> = top.into_iter().map(|(c, n)| tuple![c, n]).collect();
+            engine.process_batch(&[], |_, ops| {
+                ops.replace("trending", "window", rows);
+                Ok(())
+            })?;
+        }
+    }
+    Ok(stats)
+}
+
+// ---------------------------------------------------------------------
+// Storm/Trident-like topology port
+// ---------------------------------------------------------------------
+
+/// Builds the two-bolt leaderboard topology over an external KV store.
+pub fn leaderboard_topology(kv: &KvClient, validate: bool) -> Topology {
+    let validate_bolt: BoltFn = Box::new(move |t, out, kv| {
+        if validate {
+            let key = format!("phone:{}", t.get(0).as_int()?);
+            if kv.get(&key)?.is_some() {
+                return Ok(()); // duplicate: drop, no downstream emit
+            }
+            kv.put(&key, vec![t.get(1).clone()])?;
+        }
+        out.push(t.clone());
+        Ok(())
+    });
+    let leaderboard_bolt: BoltFn = Box::new(|t, _out, kv| {
+        let contestant = t.get(1).as_int()?;
+        // Total per contestant.
+        kv.incr(&format!("cnt:{contestant:06}"), 1)?;
+        kv.incr("accepted", 1)?;
+        // Trident has no windows: maintain the last-100 list manually
+        // (temporal state management, §4.6.2) — read-modify-write of a
+        // 100-element value per vote.
+        let mut last = kv.get("trend:last100")?.unwrap_or_default();
+        last.push(Value::Int(contestant));
+        if last.len() > 100 {
+            last.remove(0);
+        }
+        kv.put("trend:last100", last)?;
+        // Top-3 recomputation via prefix scan.
+        let counts = kv.scan("cnt:")?;
+        let mut top: Vec<(i64, i64)> = counts
+            .into_iter()
+            .map(|(k, v)| {
+                let c: i64 = k["cnt:".len()..].parse().unwrap_or(0);
+                let n = match v.first() {
+                    Some(Value::Int(n)) => *n,
+                    _ => 0,
+                };
+                (c, n)
+            })
+            .collect();
+        top.sort_by_key(|(c, n)| (std::cmp::Reverse(*n), *c));
+        top.truncate(3);
+        let flat: Vec<Value> =
+            top.into_iter().flat_map(|(c, n)| [Value::Int(c), Value::Int(n)]).collect();
+        kv.batch_put(vec![("leaderboard:top3".into(), flat)])?;
+        Ok(())
+    });
+    Topology::start(vec![validate_bolt, leaderboard_bolt], kv)
+}
+
+/// Runs votes through the topology in Trident batches of `batch_size`.
+pub fn run_topology(votes: &[Vote], batch_size: usize, validate: bool) -> Result<BaselineStats> {
+    let store = KvStore::spawn();
+    let kv = store.client();
+    let mut topo = leaderboard_topology(&kv, validate);
+    let mut stats = BaselineStats { offered: votes.len() as u64, ..Default::default() };
+    for chunk in votes.chunks(batch_size.max(1)) {
+        topo.submit_batch(chunk.iter().map(Vote::tuple).collect())?;
+    }
+    stats.accepted = match kv.get("accepted")? {
+        Some(v) => v[0].as_int()? as u64,
+        None => 0,
+    };
+    stats.rejected = stats.offered - stats.accepted;
+    topo.shutdown();
+    store.shutdown();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::VoteGen;
+
+    #[test]
+    fn microbatch_validation_rejects_duplicates() {
+        let votes = VoteGen::new(11, 10, 100).votes(600);
+        let mut engine = DStreamEngine::new(50);
+        let stats = run_microbatch(&mut engine, &votes, 20, true).unwrap();
+        assert_eq!(stats.offered, 600);
+        assert!(stats.rejected > 20, "≈10% duplicates: {stats:?}");
+        assert_eq!(stats.accepted + stats.rejected, 600);
+        assert_eq!(engine.state("votes").len() as u64, stats.accepted);
+        // Counts agree with accepted votes.
+        let total: i64 =
+            engine.state("counts").iter().map(|t| t.get(1).as_int().unwrap()).sum();
+        assert_eq!(total as u64, stats.accepted);
+        assert!(!engine.state("trending").is_empty());
+    }
+
+    #[test]
+    fn microbatch_without_validation_accepts_everything() {
+        let votes = VoteGen::new(11, 10, 100).votes(300);
+        let mut engine = DStreamEngine::new(0);
+        let stats = run_microbatch(&mut engine, &votes, 25, false).unwrap();
+        assert_eq!(stats.accepted, 300);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn topology_validation_matches_microbatch_semantics() {
+        let votes = VoteGen::new(11, 10, 100).votes(400);
+        let topo_stats = run_topology(&votes, 40, true).unwrap();
+        let mut engine = DStreamEngine::new(0);
+        let mb_stats = run_microbatch(&mut engine, &votes, 40, true).unwrap();
+        // Same duplicate set ⇒ same accept/reject split.
+        assert_eq!(topo_stats.accepted, mb_stats.accepted);
+        assert_eq!(topo_stats.rejected, mb_stats.rejected);
+    }
+
+    #[test]
+    fn all_three_engines_agree_on_accepted_votes() {
+        use sstore_engine::{Engine, EngineConfig};
+        let votes = VoteGen::new(5, 8, 80).votes(300);
+        // S-Store ground truth.
+        let dir = std::env::temp_dir().join(format!("sstore-vb-{}", std::process::id()));
+        let engine =
+            Engine::start(EngineConfig::default().with_data_dir(dir), crate::voter::leaderboard_app(true))
+                .unwrap();
+        crate::voter::seed(&engine, 8).unwrap();
+        for v in &votes {
+            engine.ingest("votes_in", vec![v.tuple()]).unwrap();
+        }
+        engine.drain().unwrap();
+        let sstore_accepted = engine
+            .query(0, "SELECT COUNT(*) FROM votes", vec![])
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_int()
+            .unwrap() as u64;
+        engine.shutdown();
+        let topo = run_topology(&votes, 30, true).unwrap();
+        let mut mb_engine = DStreamEngine::new(0);
+        let mb = run_microbatch(&mut mb_engine, &votes, 30, true).unwrap();
+        assert_eq!(topo.accepted, sstore_accepted);
+        assert_eq!(mb.accepted, sstore_accepted);
+    }
+}

@@ -1,0 +1,74 @@
+//! Fault tolerance demo (§2.4, §3.2.5): run a transactional workflow
+//! with command logging, checkpoint, "crash", then recover — once with
+//! strong recovery (exact state) and once with weak recovery (upstream
+//! backup: border transactions only in the log).
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use sstore::common::tuple;
+use sstore::engine::recovery::recover;
+use sstore::engine::{Engine, EngineConfig, LoggingConfig, RecoveryMode};
+use sstore::workloads::micro;
+
+fn demo(mode: RecoveryMode) -> sstore::common::Result<()> {
+    let tag = format!("{mode:?}").to_lowercase();
+    println!("\n--- {tag} recovery ---");
+    let cfg = EngineConfig::default()
+        .with_data_dir(std::env::temp_dir().join(format!("sstore-ft-{tag}")))
+        .with_recovery(mode)
+        .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false });
+
+    // A 3-SP workflow; run 100 workflows, checkpoint at 50.
+    let engine = Engine::start(cfg.clone(), micro::pe_chain(3))?;
+    for v in 0..50i64 {
+        engine.ingest("wf_in", vec![tuple![v]])?;
+    }
+    engine.drain()?;
+    engine.checkpoint()?;
+    for v in 50..100i64 {
+        engine.ingest("wf_in", vec![tuple![v]])?;
+    }
+    engine.drain()?;
+    engine.flush_logs()?;
+    let before = engine
+        .query(0, "SELECT COUNT(*) FROM done", vec![])?
+        .scalar()
+        .unwrap()
+        .as_int()?;
+    println!("workflows completed before crash: {before}");
+    engine.shutdown(); // 💥 crash
+
+    let (engine, report) = recover(cfg, micro::pe_chain(3))?;
+    let after = engine
+        .query(0, "SELECT COUNT(*) FROM done", vec![])?
+        .scalar()
+        .unwrap()
+        .as_int()?;
+    println!(
+        "recovered: {} log records replayed, {} PE triggers re-fired, state rows = {after}",
+        report.records_replayed, report.triggers_fired
+    );
+    assert_eq!(before, after, "recovery must reproduce the committed state");
+
+    // The engine keeps going after recovery.
+    engine.ingest("wf_in", vec![tuple![100i64]])?;
+    engine.drain()?;
+    let resumed = engine
+        .query(0, "SELECT COUNT(*) FROM done", vec![])?
+        .scalar()
+        .unwrap()
+        .as_int()?;
+    println!("after one more post-recovery workflow: {resumed}");
+    assert_eq!(resumed, after + 1);
+    engine.shutdown();
+    Ok(())
+}
+
+fn main() -> sstore::common::Result<()> {
+    demo(RecoveryMode::Strong)?;
+    demo(RecoveryMode::Weak)?;
+    println!("\nboth recovery modes reproduced the committed state ✓");
+    Ok(())
+}

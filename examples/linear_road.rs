@@ -1,0 +1,68 @@
+//! Linear Road subset (§4.7) across multiple partitions: partitioned
+//! traffic streams, toll charging, accident detection, and per-minute
+//! rollups — each x-way's workflow runs serially on its partition.
+//!
+//! ```sh
+//! cargo run --release --example linear_road
+//! ```
+
+use sstore::engine::{Engine, EngineConfig};
+use sstore::workloads::gen::TrafficGen;
+use sstore::workloads::linearroad;
+
+fn main() -> sstore::common::Result<()> {
+    let partitions = 2;
+    let xways = 4;
+    let engine = Engine::start(
+        EngineConfig::default()
+            .with_partitions(partitions)
+            .with_data_dir(std::env::temp_dir().join("sstore-linear-road")),
+        linearroad::linear_road_app(),
+    )?;
+
+    // 10 simulated minutes of traffic: 40 vehicles per x-way reporting
+    // every 30 seconds.
+    let mut traffic = TrafficGen::new(7, xways, 40);
+    let mut reports = 0u64;
+    for _ in 0..20 {
+        for batch in traffic.tick() {
+            reports += batch.len() as u64;
+            engine.ingest("reports", batch.iter().map(|r| r.tuple()).collect())?;
+        }
+    }
+    engine.drain()?;
+    println!("processed {reports} position reports over {} partitions", partitions);
+
+    for p in 0..partitions {
+        let vehicles = engine.query(p, "SELECT COUNT(*) FROM vehicles", vec![])?;
+        let tolls = engine.query(p, "SELECT SUM(amount) FROM tolls", vec![])?;
+        let accidents = engine.query(p, "SELECT COUNT(*) FROM accidents", vec![])?;
+        let minutes = engine.query(p, "SELECT COUNT(*) FROM stats_history", vec![])?;
+        println!(
+            "partition {p}: vehicles={} toll_total={} accidents={} rollup_rows={}",
+            vehicles.scalar().unwrap(),
+            tolls.scalar().unwrap(),
+            accidents.scalar().unwrap(),
+            minutes.scalar().unwrap(),
+        );
+    }
+
+    // The per-x-way statistics the rollup SP maintains.
+    for p in 0..partitions {
+        let hist = engine.query(
+            p,
+            "SELECT xway, minute, reports FROM stats_history ORDER BY xway, minute LIMIT 6",
+            vec![],
+        )?;
+        for row in &hist.rows {
+            println!(
+                "  xway {} minute {} → {} reports",
+                row.get(0),
+                row.get(1),
+                row.get(2)
+            );
+        }
+    }
+    engine.shutdown();
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Quickstart: define a tiny streaming-transactions app, ingest a few
+//! atomic batches, and watch ACID state evolve.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sstore::common::{tuple, DataType, Schema, Tuple, Value};
+use sstore::engine::{App, Engine, EngineConfig};
+
+fn main() -> sstore::common::Result<()> {
+    // An application = tables + streams (+ windows) + stored procedures
+    // + workflow edges (PE triggers). Everything is predefined, as in
+    // H-Store: transactions are stored procedures, never ad-hoc writes.
+    let app = App::builder()
+        .stream("readings", Schema::of(&[("sensor", DataType::Int), ("temp", DataType::Float)]))
+        .stream("alerts", Schema::of(&[("sensor", DataType::Int), ("temp", DataType::Float)]))
+        .table("history", Schema::of(&[("sensor", DataType::Int), ("temp", DataType::Float)]))
+        .table("alarm_log", Schema::of(&[("sensor", DataType::Int), ("temp", DataType::Float)]))
+        // SP1: record every reading; forward hot ones.
+        .proc(
+            "record",
+            &[("ins", "INSERT INTO history (sensor, temp) VALUES (?, ?)")],
+            &["alerts"],
+            |ctx| {
+                let rows = ctx.input().to_vec();
+                let mut hot: Vec<Tuple> = Vec::new();
+                for r in &rows {
+                    ctx.sql("ins", &[r.get(0).clone(), r.get(1).clone()])?;
+                    if r.get(1).as_float()? > 30.0 {
+                        hot.push(r.clone());
+                    }
+                }
+                if hot.is_empty() {
+                    return Ok(());
+                }
+                ctx.emit("alerts", hot)
+            },
+        )
+        // SP2: alarm on hot readings (activated by a PE trigger — no
+        // client round trip between the two transactions).
+        .proc(
+            "alarm",
+            &[("log", "INSERT INTO alarm_log (sensor, temp) VALUES (?, ?)")],
+            &[],
+            |ctx| {
+                let rows = ctx.input().to_vec();
+                for r in rows {
+                    ctx.sql("log", &[r.get(0).clone(), r.get(1).clone()])?;
+                }
+                Ok(())
+            },
+        )
+        .pe_trigger("readings", "record")
+        .pe_trigger("alerts", "alarm")
+        .build()?;
+
+    let engine = Engine::start(
+        EngineConfig::default().with_data_dir(std::env::temp_dir().join("sstore-quickstart")),
+        app,
+    )?;
+
+    // Push-based arrival: each ingest is one atomic batch; the whole
+    // workflow (record → alarm) runs as ordered ACID transactions.
+    engine.ingest("readings", vec![tuple![1i64, 21.5], tuple![2i64, 33.0]])?;
+    engine.ingest("readings", vec![tuple![1i64, 35.2]])?;
+    engine.ingest("readings", vec![tuple![3i64, 18.9]])?;
+    engine.drain()?;
+
+    // Pull-based access: ordinary (read-only) queries against shared
+    // tables, interleaving safely with the stream.
+    let history = engine.query(0, "SELECT COUNT(*) FROM history", vec![])?;
+    let alarms =
+        engine.query(0, "SELECT sensor, temp FROM alarm_log ORDER BY sensor, temp", vec![])?;
+    println!("readings recorded : {}", history.scalar().unwrap_or(&Value::Null));
+    println!("alarms raised     : {}", alarms.rows.len());
+    for row in &alarms.rows {
+        println!("  sensor {} at {}°C", row.get(0), row.get(1));
+    }
+    assert_eq!(alarms.rows.len(), 2);
+
+    let m = engine.metrics();
+    println!(
+        "TEs committed: {}, workflows completed: {}, PE triggers fired: {}",
+        m.txns_committed.load(std::sync::atomic::Ordering::Relaxed),
+        m.workflows_completed.load(std::sync::atomic::Ordering::Relaxed),
+        m.pe_trigger_fires.load(std::sync::atomic::Ordering::Relaxed),
+    );
+    engine.shutdown();
+    Ok(())
+}

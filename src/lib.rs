@@ -1,0 +1,55 @@
+//! # sstore — Streaming Meets Transaction Processing
+//!
+//! A from-scratch Rust reproduction of **S-Store** (Meehan et al.,
+//! PVLDB 8, 2015): a single engine that runs dataflow-style streaming
+//! *workflows* and classic OLTP transactions over the same ACID state.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`common`] | `sstore-common` | values, schemas, tuples, ids, binary codec |
+//! | [`storage`] | `sstore-storage` | in-memory tables, indexes, catalog snapshots |
+//! | [`sql`] | `sstore-sql` | SQL subset: parser, planner, executor |
+//! | [`engine`] | `sstore-engine` | the S-Store engine: streams, windows, triggers, streaming scheduler, recovery |
+//! | [`baselines`] | `sstore-baselines` | Spark-Streaming-like and Storm/Trident-like comparison engines |
+//! | [`workloads`] | `sstore-workloads` | voter/leaderboard, Linear Road subset, micro-benchmarks |
+//!
+//! ## Quick taste
+//!
+//! ```
+//! use sstore::common::{tuple, DataType, Schema};
+//! use sstore::engine::{App, Engine, EngineConfig};
+//!
+//! let app = App::builder()
+//!     .stream("events", Schema::of(&[("v", DataType::Int)]))
+//!     .table("log", Schema::of(&[("v", DataType::Int)]))
+//!     .proc("record", &[("ins", "INSERT INTO log (v) VALUES (?)")], &[], |ctx| {
+//!         let rows = ctx.input().to_vec();
+//!         for r in rows {
+//!             ctx.sql("ins", &[r.get(0).clone()])?;
+//!         }
+//!         Ok(())
+//!     })
+//!     .pe_trigger("events", "record")
+//!     .build()
+//!     .unwrap();
+//! let dir = std::env::temp_dir().join(format!("sstore-doc-{}", std::process::id()));
+//! let engine = Engine::start(EngineConfig::default().with_data_dir(dir), app).unwrap();
+//! engine.ingest("events", vec![tuple![7i64]]).unwrap();
+//! engine.drain().unwrap();
+//! let n = engine.query(0, "SELECT COUNT(*) FROM log", vec![]).unwrap();
+//! assert_eq!(n.scalar().unwrap().as_int().unwrap(), 1);
+//! engine.shutdown();
+//! ```
+//!
+//! See `examples/` for the paper's leaderboard application, Linear Road,
+//! and a crash-recovery demo, and `crates/bench` for one harness per
+//! figure of the paper's evaluation.
+
+pub use sstore_baselines as baselines;
+pub use sstore_common as common;
+pub use sstore_engine as engine;
+pub use sstore_sql as sql;
+pub use sstore_storage as storage;
+pub use sstore_workloads as workloads;
