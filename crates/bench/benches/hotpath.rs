@@ -1,0 +1,81 @@
+//! Criterion bench for the execute-one-batch hot path: ingest →
+//! EE-trigger cascade → commit, on the fig5 chain micro-benchmark and
+//! the voter/leaderboard workflow. See EXPERIMENTS.md for methodology
+//! and `cargo run --release -p sstore-bench --bin hotpath` for the
+//! JSON-emitting variant used to produce BENCH_hotpath.json.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sstore_bench::bench_dir;
+use sstore_common::{tuple, Tuple};
+use sstore_engine::{BoundaryMode, Engine, EngineConfig};
+use sstore_workloads::{micro, voter};
+
+const TUPLES_PER_ITER: u64 = 1_000;
+const BATCH: u64 = 100;
+
+fn drive(engine: &Engine, stream: &str, make: impl Fn(u64) -> Tuple, iters: u64) -> Duration {
+    let start = Instant::now();
+    let mut seq = 0u64;
+    for _ in 0..iters {
+        for _ in 0..TUPLES_PER_ITER / BATCH {
+            let batch: Vec<Tuple> = (0..BATCH)
+                .map(|_| {
+                    let t = make(seq);
+                    seq += 1;
+                    t
+                })
+                .collect();
+            engine.ingest(stream, batch).unwrap();
+        }
+        engine.drain().unwrap();
+    }
+    start.elapsed()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    g.warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_millis(1500))
+        .sample_size(10)
+        .throughput(Throughput::Elements(TUPLES_PER_ITER));
+
+    for boundary in [BoundaryMode::Inline, BoundaryMode::Channel] {
+        let tag = match boundary {
+            BoundaryMode::Inline => "inline",
+            BoundaryMode::Channel => "channel",
+        };
+        let engine = Engine::start(
+            EngineConfig::default().with_boundary(boundary).with_data_dir(bench_dir("hp-ee")),
+            micro::ee_chain_sstore(10),
+        )
+        .unwrap();
+        g.bench_function(BenchmarkId::new("ee_chain10", tag), |b| {
+            b.iter_custom(|iters| drive(&engine, "chain_in", |i| tuple![i as i64], iters))
+        });
+        engine.shutdown();
+    }
+
+    let engine = Engine::start(
+        EngineConfig::default().with_data_dir(bench_dir("hp-voter")),
+        voter::leaderboard_app(true),
+    )
+    .unwrap();
+    voter::seed(&engine, 10).unwrap();
+    g.bench_function(BenchmarkId::new("voter_batch100", "inline"), |b| {
+        b.iter_custom(|iters| {
+            drive(
+                &engine,
+                "votes_in",
+                |i| tuple![5_600_000_000 + i as i64, (i % 10 + 1) as i64, i as i64],
+                iters,
+            )
+        })
+    });
+    engine.shutdown();
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Hot-path throughput measurement: ingest → trigger cascade → commit.
+//!
+//! Measures tuples/sec through (a) the fig5-style EE-trigger chain
+//! micro-benchmark and (b) the voter/leaderboard workflow, in both
+//! boundary modes. Prints a JSON object so runs can be diffed across
+//! commits (see `BENCH_hotpath.json` at the repo root and
+//! `EXPERIMENTS.md` for methodology).
+//!
+//! Usage: `cargo run --release -p sstore-bench --bin hotpath [secs-per-case]`
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use sstore_bench::bench_dir;
+use sstore_common::{tuple, Tuple};
+use sstore_engine::{App, BoundaryMode, Engine, EngineConfig};
+use sstore_workloads::{micro, voter};
+
+struct Case {
+    name: &'static str,
+    app: fn() -> App,
+    boundary: BoundaryMode,
+    stream: &'static str,
+    batch_size: usize,
+    /// Extra setup after engine start (e.g. seeding contestants).
+    seed: fn(&Engine),
+    /// Tuple generator, indexed by a global sequence number.
+    make: fn(u64) -> Tuple,
+}
+
+fn ee_chain_app() -> App {
+    micro::ee_chain_sstore(10)
+}
+
+fn voter_app() -> App {
+    voter::leaderboard_app(true)
+}
+
+fn no_seed(_e: &Engine) {}
+
+fn voter_seed(e: &Engine) {
+    voter::seed(e, 10).expect("seed contestants");
+}
+
+fn int_tuple(i: u64) -> Tuple {
+    tuple![i as i64]
+}
+
+fn vote_tuple(i: u64) -> Tuple {
+    // Unique phones (validation always passes), skewless contestants.
+    tuple![5_600_000_000 + i as i64, (i % 10 + 1) as i64, i as i64]
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "ee_chain10_inline",
+        app: ee_chain_app,
+        boundary: BoundaryMode::Inline,
+        stream: "chain_in",
+        batch_size: 100,
+        seed: no_seed,
+        make: int_tuple,
+    },
+    Case {
+        name: "ee_chain10_channel",
+        app: ee_chain_app,
+        boundary: BoundaryMode::Channel,
+        stream: "chain_in",
+        batch_size: 100,
+        seed: no_seed,
+        make: int_tuple,
+    },
+    Case {
+        name: "voter_inline",
+        app: voter_app,
+        boundary: BoundaryMode::Inline,
+        stream: "votes_in",
+        batch_size: 1,
+        seed: voter_seed,
+        make: vote_tuple,
+    },
+    Case {
+        name: "voter_batch100_inline",
+        app: voter_app,
+        boundary: BoundaryMode::Inline,
+        stream: "votes_in",
+        batch_size: 100,
+        seed: voter_seed,
+        make: vote_tuple,
+    },
+];
+
+/// Runs one case for roughly `secs`, returning tuples/sec.
+fn run_case(case: &Case, secs: f64) -> f64 {
+    let config = EngineConfig::default()
+        .with_boundary(case.boundary)
+        .with_data_dir(bench_dir(case.name));
+    let engine = Engine::start(config, (case.app)()).expect("engine start");
+    (case.seed)(&engine);
+
+    let mut next: u64 = 0;
+    let mut make_batch = |n: usize| -> Vec<Tuple> {
+        (0..n)
+            .map(|_| {
+                let t = (case.make)(next);
+                next += 1;
+                t
+            })
+            .collect()
+    };
+
+    // Warm-up: one round through the full workflow.
+    engine.ingest(case.stream, make_batch(case.batch_size)).expect("ingest");
+    engine.drain().expect("drain");
+
+    let deadline = Duration::from_secs_f64(secs);
+    let start = Instant::now();
+    let mut tuples: u64 = 0;
+    // Ingest in bursts of ~16 batches between drains so the partition
+    // queue stays busy without unbounded memory growth.
+    while start.elapsed() < deadline {
+        for _ in 0..16 {
+            engine.ingest(case.stream, make_batch(case.batch_size)).expect("ingest");
+            tuples += case.batch_size as u64;
+        }
+        engine.drain().expect("drain");
+    }
+    engine.drain().expect("drain");
+    let elapsed = start.elapsed().as_secs_f64();
+    engine.shutdown();
+    tuples as f64 / elapsed
+}
+
+fn main() {
+    let secs: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"hotpath\",");
+    let _ = writeln!(json, "  \"secs_per_case\": {secs},");
+    let _ = writeln!(json, "  \"tuples_per_sec\": {{");
+    for (i, case) in CASES.iter().enumerate() {
+        let tps = run_case(case, secs);
+        eprintln!("{:<24} {:>12.0} tuples/s", case.name, tps);
+        let comma = if i + 1 < CASES.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{}\": {:.0}{comma}", case.name, tps);
+    }
+    let _ = writeln!(json, "  }}");
+    json.push('}');
+    println!("{json}");
+}

@@ -48,6 +48,18 @@ impl Encoder {
         self.buf
     }
 
+    /// Clears the buffer for reuse, keeping its capacity. Hot paths
+    /// (e.g. the command log) keep one `Encoder` alive and `reset` it
+    /// per record instead of allocating a fresh buffer.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The bytes encoded so far, without consuming the encoder.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
     /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -400,6 +412,17 @@ mod tests {
     fn bad_tag_errors() {
         let bytes = [0xffu8];
         assert!(Decoder::new(&bytes).get_value().is_err());
+    }
+
+    #[test]
+    fn reset_reuses_buffer() {
+        let mut e = Encoder::with_capacity(64);
+        e.put_str("first");
+        let first = e.as_bytes().to_vec();
+        e.reset();
+        assert!(e.is_empty());
+        e.put_str("first");
+        assert_eq!(e.as_bytes(), &first[..]);
     }
 
     #[test]

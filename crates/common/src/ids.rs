@@ -77,6 +77,58 @@ id_newtype! {
     Timestamp
 }
 
+/// Dense identifier of a table within one catalog, assigned in creation
+/// order. Tables, streams, and windows all live in the catalog, so this
+/// id also names streams and windows throughout the engine's hot path —
+/// interning the lowercase-name lookup to an array index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableId(pub u32);
+
+impl TableId {
+    /// Returns the raw integer.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// As a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Dense identifier of a stored procedure within one application,
+/// assigned in declaration order at install time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// Returns the raw integer.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// As a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SP{}", self.0)
+    }
+}
+
 /// Identifier of a partition (one per core in H-Store/S-Store).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PartitionId(pub u32);

@@ -11,13 +11,14 @@
 
 pub mod codec;
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
 pub use error::{Error, Result};
-pub use ids::{BatchId, Lsn, PartitionId, RowId, Timestamp, TxnId};
+pub use ids::{BatchId, Lsn, PartitionId, ProcId, RowId, TableId, Timestamp, TxnId};
 pub use schema::{Column, DataType, Schema};
 pub use tuple::Tuple;
 pub use value::Value;

@@ -1,33 +1,48 @@
 //! Tuple representation.
 //!
-//! A [`Tuple`] is an owned row of [`Value`]s. Streams and windows
-//! additionally attach metadata (timestamps, batch ids) — that metadata
-//! lives in the engine crate as hidden columns, keeping this type a plain
-//! value vector.
+//! A [`Tuple`] is a row of [`Value`]s behind a shared, atomically
+//! reference-counted buffer: cloning a tuple is O(1) (a refcount bump),
+//! which makes the engine's hot path — moving rows between scans,
+//! effects, undo records, stream batches, and the command log —
+//! allocation-free. Mutation goes through [`Tuple::get_mut`] /
+//! [`Tuple::push`], which copy-on-write only when the buffer is shared
+//! (i.e. only a SQL UPDATE that actually rewrites a live row pays for a
+//! copy).
+//!
+//! Streams and windows additionally attach metadata (timestamps, batch
+//! ids) — that metadata lives in the engine crate as hidden columns,
+//! keeping this type a plain value vector.
 
 use std::fmt;
 use std::ops::Index;
+use std::sync::Arc;
 
 use crate::error::Result;
 use crate::schema::Schema;
 use crate::value::Value;
 
-/// An owned row of values.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+/// A row of values with O(1) clone.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Tuple {
-    values: Vec<Value>,
+    values: Arc<Vec<Value>>,
+}
+
+impl Default for Tuple {
+    fn default() -> Self {
+        Tuple { values: Arc::new(Vec::new()) }
+    }
 }
 
 impl Tuple {
     /// Builds a tuple from values.
     pub fn new(values: Vec<Value>) -> Self {
-        Tuple { values }
+        Tuple { values: Arc::new(values) }
     }
 
     /// Builds a tuple and validates it against `schema`.
     pub fn checked(values: Vec<Value>, schema: &Schema) -> Result<Self> {
         schema.validate(&values)?;
-        Ok(Tuple { values })
+        Ok(Tuple::new(values))
     }
 
     /// Number of fields.
@@ -42,10 +57,11 @@ impl Tuple {
         &self.values[idx]
     }
 
-    /// Mutable field accessor.
+    /// Mutable field accessor. Copies the underlying buffer first if it
+    /// is shared with other clones (copy-on-write).
     #[inline]
     pub fn get_mut(&mut self, idx: usize) -> &mut Value {
-        &mut self.values[idx]
+        &mut Arc::make_mut(&mut self.values)[idx]
     }
 
     /// All fields as a slice.
@@ -54,10 +70,17 @@ impl Tuple {
         &self.values
     }
 
-    /// Consumes the tuple, returning its values.
+    /// Consumes the tuple, returning its values. O(1) when this is the
+    /// only reference to the buffer; clones otherwise.
     #[inline]
     pub fn into_values(self) -> Vec<Value> {
-        self.values
+        Arc::try_unwrap(self.values).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// True if this tuple is the sole owner of its value buffer (no
+    /// other clones alive) — diagnostics for copy-on-write behavior.
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.values) == 1
     }
 
     /// Projects the tuple onto the given column indexes.
@@ -73,12 +96,13 @@ impl Tuple {
         Tuple::new(v)
     }
 
-    /// Appends a value in place.
+    /// Appends a value in place (copy-on-write when shared).
     pub fn push(&mut self, v: Value) {
-        self.values.push(v);
+        Arc::make_mut(&mut self.values).push(v);
     }
 
-    /// Approximate memory footprint, used by table statistics.
+    /// Approximate memory footprint, used by table statistics. Shared
+    /// buffers are attributed to every clone.
     pub fn approx_size(&self) -> usize {
         std::mem::size_of::<Tuple>() + self.values.iter().map(Value::approx_size).sum::<usize>()
     }
@@ -165,5 +189,32 @@ mod tests {
     fn from_iterator_collects() {
         let t: Tuple = (0..3).map(Value::Int).collect();
         assert_eq!(t.arity(), 3);
+    }
+
+    #[test]
+    fn clone_shares_and_mutation_unshares() {
+        let a = tuple![1i64, "x"];
+        assert!(a.is_unique());
+        let mut b = a.clone();
+        assert!(!a.is_unique(), "clone must share the buffer");
+        *b.get_mut(0) = Value::Int(9);
+        // Copy-on-write: the original is untouched and both are now
+        // sole owners.
+        assert_eq!(a[0], Value::Int(1));
+        assert_eq!(b[0], Value::Int(9));
+        assert!(a.is_unique());
+        assert!(b.is_unique());
+    }
+
+    #[test]
+    fn into_values_avoids_copy_when_unique() {
+        let t = tuple![1i64, 2i64];
+        let v = t.into_values();
+        assert_eq!(v, vec![Value::Int(1), Value::Int(2)]);
+        // Shared case still yields the right values.
+        let t = tuple![3i64];
+        let keep = t.clone();
+        assert_eq!(t.into_values(), vec![Value::Int(3)]);
+        assert_eq!(keep[0], Value::Int(3));
     }
 }

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam_channel::{bounded, Receiver, Sender};
-use sstore_common::{BatchId, Error, Result, Tuple, Value};
+use sstore_common::{BatchId, Error, Result, TableId, Tuple, Value};
 use sstore_sql::QueryResult;
 
 use crate::ee::{ExecutionEngine, StmtId};
@@ -38,9 +38,9 @@ pub enum EeRequest {
     /// Execute a compiled statement.
     Exec(StmtId, Vec<Value>),
     /// Append tuples to a stream (triggers cascade).
-    Emit(String, Vec<Tuple>),
+    Emit(TableId, Vec<Tuple>),
     /// Consume a batch from a stream. Bool = require presence.
-    Consume(String, BatchId, bool),
+    Consume(TableId, BatchId, bool),
     /// Commit; reply carries PE-trigger outputs.
     Commit,
     /// Abort and roll back.
@@ -69,13 +69,13 @@ pub enum EeResponse {
     /// Consumed tuples.
     Rows(Vec<Tuple>),
     /// Commit outputs for PE triggers.
-    Outputs(Vec<(String, BatchId)>),
+    Outputs(Vec<(TableId, BatchId)>),
     /// Checkpoint image.
     Bytes(Vec<u8>),
     /// Row count.
     Len(usize),
     /// Dangling stream batches.
-    Batches(Vec<(String, BatchId)>),
+    Batches(Vec<(TableId, BatchId)>),
 }
 
 enum Transport {
@@ -112,6 +112,10 @@ impl EeHandle {
 
     fn call(&mut self, req: EeRequest) -> Result<EeResponse> {
         EngineMetrics::bump(&self.metrics.ee_round_trips);
+        self.call_unbumped(req)
+    }
+
+    fn call_unbumped(&mut self, req: EeRequest) -> Result<EeResponse> {
         match &mut self.transport {
             Transport::Inline(ee) => dispatch(ee, req),
             Transport::Channel { req_tx, resp_rx, .. } => {
@@ -130,21 +134,35 @@ impl EeHandle {
         self.call(EeRequest::Begin(out_batch)).map(|_| ())
     }
 
-    /// Executes a compiled statement.
+    /// Executes a compiled statement (owned-parameter convenience over
+    /// [`EeHandle::exec_params`]).
     pub fn exec(&mut self, stmt: StmtId, params: Vec<Value>) -> Result<QueryResult> {
-        match self.call(EeRequest::Exec(stmt, params))? {
-            EeResponse::Query(q) => Ok(q),
-            other => Err(unexpected(other)),
+        self.exec_params(stmt, &params)
+    }
+
+    /// Executes a compiled statement with borrowed parameters: the
+    /// inline transport passes the slice straight through (no `Vec`
+    /// per statement); the channel transport copies once to ship it.
+    pub fn exec_params(&mut self, stmt: StmtId, params: &[Value]) -> Result<QueryResult> {
+        EngineMetrics::bump(&self.metrics.ee_round_trips);
+        match &mut self.transport {
+            Transport::Inline(ee) => ee.exec(stmt, params),
+            Transport::Channel { .. } => {
+                match self.call_unbumped(EeRequest::Exec(stmt, params.to_vec()))? {
+                    EeResponse::Query(q) => Ok(q),
+                    other => Err(unexpected(other)),
+                }
+            }
         }
     }
 
     /// Appends tuples to a stream.
-    pub fn emit(&mut self, stream: String, rows: Vec<Tuple>) -> Result<()> {
+    pub fn emit(&mut self, stream: TableId, rows: Vec<Tuple>) -> Result<()> {
         self.call(EeRequest::Emit(stream, rows)).map(|_| ())
     }
 
     /// Consumes a batch from a stream.
-    pub fn consume(&mut self, stream: String, batch: BatchId, require: bool) -> Result<Vec<Tuple>> {
+    pub fn consume(&mut self, stream: TableId, batch: BatchId, require: bool) -> Result<Vec<Tuple>> {
         match self.call(EeRequest::Consume(stream, batch, require))? {
             EeResponse::Rows(r) => Ok(r),
             other => Err(unexpected(other)),
@@ -152,7 +170,7 @@ impl EeHandle {
     }
 
     /// Commits, returning PE-trigger outputs.
-    pub fn commit(&mut self) -> Result<Vec<(String, BatchId)>> {
+    pub fn commit(&mut self) -> Result<Vec<(TableId, BatchId)>> {
         match self.call(EeRequest::Commit)? {
             EeResponse::Outputs(o) => Ok(o),
             other => Err(unexpected(other)),
@@ -194,7 +212,7 @@ impl EeHandle {
     }
 
     /// Streams with pending batches.
-    pub fn dangling(&mut self) -> Result<Vec<(String, BatchId)>> {
+    pub fn dangling(&mut self) -> Result<Vec<(TableId, BatchId)>> {
         match self.call(EeRequest::Dangling)? {
             EeResponse::Batches(b) => Ok(b),
             other => Err(unexpected(other)),
@@ -226,9 +244,9 @@ fn dispatch(ee: &mut ExecutionEngine, req: EeRequest) -> Result<EeResponse> {
     match req {
         EeRequest::Begin(b) => ee.begin(b).map(|()| EeResponse::Unit),
         EeRequest::Exec(stmt, params) => ee.exec(stmt, &params).map(EeResponse::Query),
-        EeRequest::Emit(stream, rows) => ee.emit(&stream, rows).map(|()| EeResponse::Unit),
+        EeRequest::Emit(stream, rows) => ee.emit(stream, rows).map(|()| EeResponse::Unit),
         EeRequest::Consume(stream, batch, require) => {
-            ee.consume(&stream, batch, require).map(EeResponse::Rows)
+            ee.consume(stream, batch, require).map(EeResponse::Rows)
         }
         EeRequest::Commit => ee.commit().map(EeResponse::Outputs),
         EeRequest::Abort => ee.abort().map(|()| EeResponse::Unit),
@@ -284,10 +302,11 @@ mod tests {
 
     fn handles() -> Vec<(EeHandle, crate::ee::ProcStmtMap, Arc<EngineMetrics>)> {
         let a = app();
+        let ids = Arc::new(crate::names::AppIds::build(&a).unwrap());
         let mut out = Vec::new();
         for channel in [false, true] {
             let metrics = Arc::new(EngineMetrics::new());
-            let (ee, map) = ExecutionEngine::install(&a, metrics.clone()).unwrap();
+            let (ee, map) = ExecutionEngine::install(&a, ids.clone(), metrics.clone()).unwrap();
             let h = if channel {
                 EeHandle::channel(ee, metrics.clone())
             } else {
@@ -300,12 +319,14 @@ mod tests {
 
     #[test]
     fn both_transports_run_transactions() {
+        let ids = crate::names::AppIds::build(&app()).unwrap();
+        let s_id = ids.table_id("s").unwrap();
         for (mut h, map, metrics) in handles() {
             h.begin(Some(BatchId(1))).unwrap();
             h.exec(map["p"]["ins"], vec![Value::Int(7)]).unwrap();
-            h.emit("s".into(), vec![tuple![1i64]]).unwrap();
+            h.emit(s_id, vec![tuple![1i64]]).unwrap();
             let outputs = h.commit().unwrap();
-            assert_eq!(outputs, vec![("s".to_string(), BatchId(1))]);
+            assert_eq!(outputs, vec![(s_id, BatchId(1))]);
             let r = h.query("SELECT v FROM t".into(), vec![]).unwrap();
             assert_eq!(r.rows, vec![tuple![7i64]]);
             assert_eq!(h.table_len("t".into()).unwrap(), 1);

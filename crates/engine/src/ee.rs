@@ -6,6 +6,14 @@
 //! ([`BoundaryMode::Inline`]) or running on its own thread behind a
 //! channel ([`BoundaryMode::Channel`]) — see [`crate::boundary`].
 //!
+//! # Hot path
+//!
+//! All state is addressed by dense [`TableId`]s (assigned at install
+//! time, see [`crate::names`]): stream bookkeeping, window state, and
+//! EE-trigger lists are plain vectors indexed by table id, and effects
+//! carry ids — no string hashing, lower-casing, or name cloning happens
+//! inside the execution loop.
+//!
 //! # Trigger cascade (§3.2.3)
 //!
 //! Only *SQL-originated* inserts fire triggers: after each statement the
@@ -29,7 +37,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use sstore_common::codec::{Decoder, Encoder};
-use sstore_common::{BatchId, Error, Result, RowId, Tuple, Value};
+use sstore_common::{BatchId, Error, Result, RowId, TableId, Tuple, Value};
 use sstore_sql::exec::{execute, undo_effect, Effect};
 use sstore_sql::plan::BoundStatement;
 use sstore_sql::{Planner, QueryResult};
@@ -38,6 +46,7 @@ use sstore_storage::{Catalog, TableKind};
 
 use crate::app::App;
 use crate::metrics::EngineMetrics;
+use crate::names::AppIds;
 use crate::stream::StreamState;
 use crate::window::WindowState;
 
@@ -51,8 +60,8 @@ pub type StmtId = usize;
 enum StreamUndo {
     /// `n` rows were appended to `batch` on `stream`.
     Appended {
-        /// Stream name.
-        stream: String,
+        /// Stream table.
+        stream: TableId,
         /// Batch appended to.
         batch: BatchId,
         /// Rows appended.
@@ -60,23 +69,23 @@ enum StreamUndo {
     },
     /// `batch` was consumed from `stream` (rows listed for restore).
     Consumed {
-        /// Stream name.
-        stream: String,
+        /// Stream table.
+        stream: TableId,
         /// Batch consumed.
         batch: BatchId,
         /// Its row ids, in arrival order.
-        rows: Vec<sstore_common::RowId>,
+        rows: Vec<RowId>,
     },
     /// One row was dropped from `batch` at `pos` (GC / SQL delete).
     Forgot {
-        /// Stream name.
-        stream: String,
+        /// Stream table.
+        stream: TableId,
         /// Batch the row belonged to.
         batch: BatchId,
         /// Position within the batch.
         pos: usize,
         /// The row id.
-        row: sstore_common::RowId,
+        row: RowId,
     },
 }
 
@@ -87,17 +96,17 @@ enum StreamUndo {
 enum WindowUndo {
     /// `n` tuples were staged on `window`.
     Staged {
-        /// Window name.
-        window: String,
+        /// Window table.
+        window: TableId,
         /// Number staged.
         n: usize,
     },
     /// One slide was applied on `window`.
     Slid {
-        /// Window name.
-        window: String,
+        /// Window table.
+        window: TableId,
         /// Expired row ids, oldest first.
-        expired: Vec<sstore_common::RowId>,
+        expired: Vec<RowId>,
         /// How many rows were activated.
         activated: usize,
         /// The tuples the slide consumed from staging (to restore).
@@ -112,9 +121,18 @@ pub type ProcStmtMap = HashMap<String, HashMap<String, StmtId>>;
 /// The execution engine for one partition.
 pub struct ExecutionEngine {
     catalog: Catalog,
-    streams: HashMap<String, StreamState>,
-    windows: HashMap<String, WindowState>,
-    ee_triggers: HashMap<String, Vec<StmtId>>,
+    ids: Arc<AppIds>,
+    /// Stream bookkeeping, indexed by [`TableId`] (`None` for
+    /// non-stream tables).
+    streams: Vec<Option<StreamState>>,
+    /// Window state, indexed by [`TableId`].
+    windows: Vec<Option<WindowState>>,
+    /// EE-trigger statements per table id. `None` = no trigger declared;
+    /// `Some` (possibly empty) = a declared trigger — the distinction
+    /// matters because a *declared* trigger makes the stream's batches
+    /// GC inside the EE visit even when its statement list is empty
+    /// (an empty trigger is a discard sink).
+    ee_triggers: Vec<Option<Arc<[StmtId]>>>,
     stmts: Vec<Arc<BoundStatement>>,
     metrics: Arc<EngineMetrics>,
     // --- transaction-scoped state ---
@@ -125,30 +143,51 @@ pub struct ExecutionEngine {
     stream_undo: Vec<StreamUndo>,
     /// Operation-level undo for window bookkeeping.
     window_undo: Vec<WindowUndo>,
-    outputs: Vec<(String, BatchId)>,
+    outputs: Vec<(TableId, BatchId)>,
 }
 
 impl ExecutionEngine {
     /// Builds an EE for `app`: creates all tables/streams/windows,
     /// compiles every procedure statement and EE trigger. Returns the
-    /// EE and the per-procedure statement-id map.
-    pub fn install(app: &App, metrics: Arc<EngineMetrics>) -> Result<(Self, ProcStmtMap)> {
+    /// EE and the per-procedure statement-id map. The catalog's table
+    /// ids are checked against `ids` as tables are created — the two
+    /// assignments derive from the same declaration order.
+    pub fn install(
+        app: &App,
+        ids: Arc<AppIds>,
+        metrics: Arc<EngineMetrics>,
+    ) -> Result<(Self, ProcStmtMap)> {
         let mut catalog = Catalog::new();
+        let check = |got: TableId, name: &str, ids: &AppIds| -> Result<()> {
+            if ids.table_id(name) != Some(got) {
+                return Err(Error::Internal(format!(
+                    "table id mismatch for {name}: catalog assigned {got}"
+                )));
+            }
+            Ok(())
+        };
         for t in &app.tables {
             let table = catalog.create_table(&t.name, TableKind::Base, t.schema.clone())?;
             for ix in &t.indexes {
                 table.create_index(ix.clone())?;
             }
+            let id = catalog.id_of(&t.name).expect("just created");
+            check(id, &t.name, &ids)?;
         }
-        let mut streams = HashMap::new();
+        let n_tables = ids.table_count();
+        let mut streams: Vec<Option<StreamState>> = (0..n_tables).map(|_| None).collect();
+        let mut windows: Vec<Option<WindowState>> = (0..n_tables).map(|_| None).collect();
         for s in &app.streams {
             catalog.create_table(&s.name, TableKind::Stream, s.schema.clone())?;
-            streams.insert(s.name.clone(), StreamState::new());
+            let id = catalog.id_of(&s.name).expect("just created");
+            check(id, &s.name, &ids)?;
+            streams[id.index()] = Some(StreamState::new());
         }
-        let mut windows = HashMap::new();
         for w in &app.windows {
             catalog.create_table(&w.spec.name, TableKind::Window, w.schema.clone())?;
-            windows.insert(w.spec.name.clone(), WindowState::new(w.spec.clone())?);
+            let id = catalog.id_of(&w.spec.name).expect("just created");
+            check(id, &w.spec.name, &ids)?;
+            windows[id.index()] = Some(WindowState::new(w.spec.clone())?);
         }
 
         let mut stmts: Vec<Arc<BoundStatement>> = Vec::new();
@@ -166,16 +205,23 @@ impl ExecutionEngine {
             }
             proc_map.insert(p.name.clone(), m);
         }
-        let mut ee_triggers: HashMap<String, Vec<StmtId>> = HashMap::new();
+        let mut trigger_lists: Vec<Option<Vec<StmtId>>> = vec![None; n_tables];
         for t in &app.ee_triggers {
-            let ids: Vec<StmtId> =
-                t.sql.iter().map(|sql| compile(sql, &catalog)).collect::<Result<_>>()?;
-            ee_triggers.entry(t.table.clone()).or_default().extend(ids);
+            let id = ids
+                .table_id(&t.table)
+                .ok_or_else(|| Error::not_found("EE trigger target", &t.table))?;
+            let list = trigger_lists[id.index()].get_or_insert_with(Vec::new);
+            for sql in &t.sql {
+                list.push(compile(sql, &catalog)?);
+            }
         }
+        let ee_triggers =
+            trigger_lists.into_iter().map(|l| l.map(Arc::from)).collect();
 
         Ok((
             ExecutionEngine {
                 catalog,
+                ids,
                 streams,
                 windows,
                 ee_triggers,
@@ -190,6 +236,16 @@ impl ExecutionEngine {
             },
             proc_map,
         ))
+    }
+
+    /// The interned name maps this EE was installed with.
+    pub fn ids(&self) -> &Arc<AppIds> {
+        &self.ids
+    }
+
+    /// Resolves a table/stream name (test and API-edge convenience).
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        self.ids.table_id(name).ok_or_else(|| Error::not_found("table", name))
     }
 
     // ------------------------------------------------------------------
@@ -213,7 +269,7 @@ impl ExecutionEngine {
 
     /// Commits: drops undo state and returns the `(stream, batch)`
     /// outputs awaiting PE triggers.
-    pub fn commit(&mut self) -> Result<Vec<(String, BatchId)>> {
+    pub fn commit(&mut self) -> Result<Vec<(TableId, BatchId)>> {
         if !self.in_txn {
             return Err(Error::InvalidState("commit outside transaction".into()));
         }
@@ -240,17 +296,17 @@ impl ExecutionEngine {
         while let Some(u) = self.stream_undo.pop() {
             match u {
                 StreamUndo::Appended { stream, batch, n } => {
-                    if let Some(s) = self.streams.get_mut(&stream) {
+                    if let Some(s) = self.streams[stream.index()].as_mut() {
                         s.undo_append(batch, n);
                     }
                 }
                 StreamUndo::Consumed { stream, batch, rows } => {
-                    if let Some(s) = self.streams.get_mut(&stream) {
+                    if let Some(s) = self.streams[stream.index()].as_mut() {
                         s.undo_consume(batch, rows);
                     }
                 }
                 StreamUndo::Forgot { stream, batch, pos, row } => {
-                    if let Some(s) = self.streams.get_mut(&stream) {
+                    if let Some(s) = self.streams[stream.index()].as_mut() {
                         s.undo_forget(batch, pos, row);
                     }
                 }
@@ -260,12 +316,12 @@ impl ExecutionEngine {
         while let Some(u) = self.window_undo.pop() {
             match u {
                 WindowUndo::Staged { window, n } => {
-                    if let Some(w) = self.windows.get_mut(&window) {
+                    if let Some(w) = self.windows[window.index()].as_mut() {
                         w.undo_stage(n);
                     }
                 }
                 WindowUndo::Slid { window, expired, activated, restaged } => {
-                    if let Some(w) = self.windows.get_mut(&window) {
+                    if let Some(w) = self.windows[window.index()].as_mut() {
                         w.undo_slide(expired, activated, restaged);
                     }
                 }
@@ -305,12 +361,15 @@ impl ExecutionEngine {
 
     /// Inserts tuples onto a stream (used by `ProcCtx::emit` and batch
     /// injection), then cascades exactly like a SQL insert would.
-    pub fn emit(&mut self, stream: &str, rows: Vec<Tuple>) -> Result<()> {
+    pub fn emit(&mut self, stream: TableId, rows: Vec<Tuple>) -> Result<()> {
         if !self.in_txn {
             return Err(Error::InvalidState("emit outside transaction".into()));
         }
-        if self.catalog.table(stream)?.kind() != TableKind::Stream {
-            return Err(Error::StreamViolation(format!("{stream} is not a stream")));
+        if self.catalog.get(stream).kind() != TableKind::Stream {
+            return Err(Error::StreamViolation(format!(
+                "{} is not a stream",
+                self.ids.table_name(stream)
+            )));
         }
         let mut ids = Vec::with_capacity(rows.len());
         for t in rows {
@@ -324,31 +383,25 @@ impl ExecutionEngine {
     /// `require`, a missing batch is an error; otherwise it yields an
     /// empty input (used by nested children that may receive no data in
     /// a given round).
-    pub fn consume(&mut self, stream: &str, batch: BatchId, require: bool) -> Result<Vec<Tuple>> {
+    pub fn consume(&mut self, stream: TableId, batch: BatchId, require: bool) -> Result<Vec<Tuple>> {
         if !self.in_txn {
             return Err(Error::InvalidState("consume outside transaction".into()));
         }
-        let state = self
-            .streams
-            .get_mut(stream)
-            .ok_or_else(|| Error::not_found("stream", stream))?;
+        let state = self.streams[stream.index()]
+            .as_mut()
+            .ok_or_else(|| Error::not_found("stream", self.ids.table_name(stream).to_string()))?;
         let ids = if require {
             state.consume(batch)?
+        } else if state.contains(batch) {
+            state.consume(batch)?
         } else {
-            match state.peek(batch) {
-                Some(_) => state.consume(batch)?,
-                None => return Ok(Vec::new()),
-            }
+            return Ok(Vec::new());
         };
-        self.stream_undo.push(StreamUndo::Consumed {
-            stream: stream.to_owned(),
-            batch,
-            rows: ids.clone(),
-        });
+        self.stream_undo.push(StreamUndo::Consumed { stream, batch, rows: ids.clone() });
         // A batch consumed in the same transaction that produced it
         // (nested-transaction children, §2.3) is internal: it must not
         // surface as a PE-trigger output at commit.
-        self.outputs.retain(|(s, b)| !(s == stream && *b == batch));
+        self.outputs.retain(|(s, b)| !(*s == stream && *b == batch));
         let mut rows = Vec::with_capacity(ids.len());
         for id in ids {
             rows.push(self.table_delete(stream, id)?);
@@ -363,64 +416,65 @@ impl ExecutionEngine {
         if start >= end {
             return Ok(());
         }
-        let mut stream_groups: Vec<(String, Vec<RowId>)> = Vec::new();
-        let mut window_groups: Vec<(String, Vec<RowId>)> = Vec::new();
-        let mut forgotten: Vec<(String, RowId)> = Vec::new();
+        let mut stream_groups: Vec<(TableId, Vec<RowId>)> = Vec::new();
+        let mut window_groups: Vec<(TableId, Vec<RowId>)> = Vec::new();
+        let mut forgotten: Vec<(TableId, RowId)> = Vec::new();
         for e in &self.effects[start..end] {
             match e {
-                Effect::Insert { table, row } => match self.catalog.table(table)?.kind() {
-                    TableKind::Stream => push_group(&mut stream_groups, table, *row),
-                    TableKind::Window => push_group(&mut window_groups, table, *row),
+                Effect::Insert { table, row } => match self.catalog.get(*table).kind() {
+                    TableKind::Stream => push_group(&mut stream_groups, *table, *row),
+                    TableKind::Window => push_group(&mut window_groups, *table, *row),
                     TableKind::Base => {}
                 },
                 // A SQL DELETE on a stream table must drop the row from
                 // batch bookkeeping too, or the stream state would leak
                 // dangling row ids.
                 Effect::Delete { table, row, .. } => {
-                    if self.catalog.table(table)?.kind() == TableKind::Stream {
-                        forgotten.push((table.clone(), *row));
+                    if self.catalog.get(*table).kind() == TableKind::Stream {
+                        forgotten.push((*table, *row));
                     }
                 }
                 Effect::Update { .. } => {}
             }
         }
         for (table, row) in forgotten {
-            if let Some(state) = self.streams.get_mut(&table) {
+            if let Some(state) = self.streams[table.index()].as_mut() {
                 if let Some((batch, pos)) = state.forget_row(row) {
-                    self.stream_undo.push(StreamUndo::Forgot { stream: table.clone(), batch, pos, row });
+                    self.stream_undo.push(StreamUndo::Forgot { stream: table, batch, pos, row });
                 }
             }
         }
         for (w, rows) in window_groups {
-            self.window_arrival(&w, rows)?;
+            self.window_arrival(w, rows)?;
         }
         for (s, rows) in stream_groups {
-            self.stream_arrival(&s, rows)?;
+            self.stream_arrival(s, rows)?;
         }
         Ok(())
     }
 
     /// Converts freshly inserted window rows to staging and processes
     /// the slides they unlock, firing on-slide EE triggers.
-    fn window_arrival(&mut self, window: &str, rows: Vec<RowId>) -> Result<()> {
+    fn window_arrival(&mut self, window: TableId, rows: Vec<RowId>) -> Result<()> {
         // Staged tuples leave the table (invisible until activation).
         let mut staged = Vec::with_capacity(rows.len());
         for id in rows {
             staged.push(self.table_delete(window, id)?);
         }
         let staged_n = staged.len();
-        self.windows
-            .get_mut(window)
-            .ok_or_else(|| Error::not_found("window", window))?
+        self.windows[window.index()]
+            .as_mut()
+            .ok_or_else(|| Error::not_found("window", self.ids.table_name(window).to_string()))?
             .stage(staged);
-        self.window_undo.push(WindowUndo::Staged { window: window.to_owned(), n: staged_n });
-        let trig = self.ee_triggers.get(window).cloned();
-        while let Some(outcome) =
-            self.windows.get_mut(window).expect("window exists, checked above").next_slide()
+        self.window_undo.push(WindowUndo::Staged { window, n: staged_n });
+        let trig = self.ee_triggers[window.index()].clone().unwrap_or_else(|| Arc::from([]));
+        while let Some(outcome) = self.windows[window.index()]
+            .as_mut()
+            .expect("window exists, checked above")
+            .next_slide()
         {
-            let expired = self
-                .windows
-                .get_mut(window)
+            let expired = self.windows[window.index()]
+                .as_mut()
                 .expect("window exists")
                 .take_expired(outcome.expire);
             for id in &expired {
@@ -432,18 +486,14 @@ impl ExecutionEngine {
                 new_ids.push(self.table_insert(window, t)?);
             }
             let activated = new_ids.len();
-            self.windows.get_mut(window).expect("window exists").record_activation(new_ids);
-            self.window_undo.push(WindowUndo::Slid {
-                window: window.to_owned(),
-                expired,
-                activated,
-                restaged,
-            });
-            if let Some(stmts) = &trig {
-                for sid in stmts {
-                    EngineMetrics::bump(&self.metrics.ee_trigger_fires);
-                    self.exec(*sid, &[])?;
-                }
+            self.windows[window.index()]
+                .as_mut()
+                .expect("window exists")
+                .record_activation(new_ids);
+            self.window_undo.push(WindowUndo::Slid { window, expired, activated, restaged });
+            for sid in trig.iter() {
+                EngineMetrics::bump(&self.metrics.ee_trigger_fires);
+                self.exec(*sid, &[])?;
             }
         }
         Ok(())
@@ -452,44 +502,36 @@ impl ExecutionEngine {
     /// Labels freshly inserted stream rows with the transaction's batch
     /// id; fires EE triggers (then garbage-collects the consumed rows)
     /// or records the batch for PE-trigger firing at commit.
-    fn stream_arrival(&mut self, stream: &str, rows: Vec<RowId>) -> Result<()> {
+    fn stream_arrival(&mut self, stream: TableId, rows: Vec<RowId>) -> Result<()> {
         let Some(batch) = self.out_batch else {
             return Err(Error::StreamViolation(format!(
-                "insert into stream {stream} outside a streaming transaction \
-                 (OLTP transactions may only access public tables, §2)"
+                "insert into stream {} outside a streaming transaction \
+                 (OLTP transactions may only access public tables, §2)",
+                self.ids.table_name(stream)
             )));
         };
-        self.streams
-            .get_mut(stream)
-            .ok_or_else(|| Error::not_found("stream", stream))?
+        self.streams[stream.index()]
+            .as_mut()
+            .ok_or_else(|| Error::not_found("stream", self.ids.table_name(stream).to_string()))?
             .append(batch, rows.iter().copied());
-        self.stream_undo.push(StreamUndo::Appended {
-            stream: stream.to_owned(),
-            batch,
-            n: rows.len(),
-        });
-        if let Some(stmts) = self.ee_triggers.get(stream).cloned() {
-            for sid in stmts {
+        self.stream_undo.push(StreamUndo::Appended { stream, batch, n: rows.len() });
+        if let Some(stmts) = self.ee_triggers[stream.index()].clone() {
+            for sid in stmts.iter() {
                 EngineMetrics::bump(&self.metrics.ee_trigger_fires);
-                self.exec(sid, &[])?;
+                self.exec(*sid, &[])?;
             }
             // Automatic GC (§3.2.3): the triggering tuples have been
             // fully processed inside this EE visit.
             for id in rows {
                 self.table_delete(stream, id)?;
                 if let Some((b, pos)) =
-                    self.streams.get_mut(stream).expect("stream exists").forget_row(id)
+                    self.streams[stream.index()].as_mut().expect("stream exists").forget_row(id)
                 {
-                    self.stream_undo.push(StreamUndo::Forgot {
-                        stream: stream.to_owned(),
-                        batch: b,
-                        pos,
-                        row: id,
-                    });
+                    self.stream_undo.push(StreamUndo::Forgot { stream, batch: b, pos, row: id });
                 }
             }
-        } else if !self.outputs.iter().any(|(s, b)| s == stream && *b == batch) {
-            self.outputs.push((stream.to_owned(), batch));
+        } else if !self.outputs.iter().any(|(s, b)| *s == stream && *b == batch) {
+            self.outputs.push((stream, batch));
         }
         Ok(())
     }
@@ -498,15 +540,15 @@ impl ExecutionEngine {
     // Effect-recording table primitives
     // ------------------------------------------------------------------
 
-    fn table_insert(&mut self, table: &str, tuple: Tuple) -> Result<RowId> {
-        let id = self.catalog.table_mut(table)?.insert(tuple)?;
-        self.effects.push(Effect::Insert { table: table.to_owned(), row: id });
+    fn table_insert(&mut self, table: TableId, tuple: Tuple) -> Result<RowId> {
+        let id = self.catalog.get_mut(table).insert(tuple)?;
+        self.effects.push(Effect::Insert { table, row: id });
         Ok(id)
     }
 
-    fn table_delete(&mut self, table: &str, row: RowId) -> Result<Tuple> {
-        let tuple = self.catalog.table_mut(table)?.delete(row)?;
-        self.effects.push(Effect::Delete { table: table.to_owned(), row, tuple: tuple.clone() });
+    fn table_delete(&mut self, table: TableId, row: RowId) -> Result<Tuple> {
+        let tuple = self.catalog.get_mut(table).delete(row)?;
+        self.effects.push(Effect::Delete { table, row, tuple: tuple.clone() });
         Ok(tuple)
     }
 
@@ -531,21 +573,22 @@ impl ExecutionEngine {
 
     /// Pending (uncommitted-to-downstream) batches on a stream.
     pub fn stream_pending(&self, name: &str) -> Result<Vec<BatchId>> {
-        Ok(self
-            .streams
-            .get(name)
+        let id = self.table_id(name)?;
+        Ok(self.streams[id.index()]
+            .as_ref()
             .ok_or_else(|| Error::not_found("stream", name))?
             .pending())
     }
 
-    /// All streams with pending batches (recovery: trigger re-firing).
-    pub fn dangling_batches(&self) -> Vec<(String, BatchId)> {
-        let mut out: Vec<(String, BatchId)> = Vec::new();
-        let mut names: Vec<&String> = self.streams.keys().collect();
-        names.sort();
-        for name in names {
-            for b in self.streams[name].pending() {
-                out.push((name.clone(), b));
+    /// All streams with pending batches (recovery: trigger re-firing),
+    /// in table-id order (deterministic — ids follow declaration order).
+    pub fn dangling_batches(&self) -> Vec<(TableId, BatchId)> {
+        let mut out: Vec<(TableId, BatchId)> = Vec::new();
+        for (i, state) in self.streams.iter().enumerate() {
+            if let Some(s) = state {
+                for b in s.pending() {
+                    out.push((TableId(i as u32), b));
+                }
             }
         }
         out
@@ -556,7 +599,9 @@ impl ExecutionEngine {
     // ------------------------------------------------------------------
 
     /// Serializes all partition state (tables, stream bookkeeping,
-    /// window staging) into a checkpoint image.
+    /// window staging) into a checkpoint image. Stream and window
+    /// sections are keyed by name and ordered by name, so the byte
+    /// layout is independent of id assignment.
     pub fn checkpoint(&self) -> Result<Vec<u8>> {
         if self.in_txn {
             return Err(Error::InvalidState("checkpoint during transaction".into()));
@@ -564,43 +609,80 @@ impl ExecutionEngine {
         let mut e = Encoder::with_capacity(4096);
         let cat = snapshot::encode_catalog(&self.catalog);
         e.put_bytes(&cat);
-        let mut snames: Vec<&String> = self.streams.keys().collect();
+        let mut snames: Vec<(&str, TableId)> = self
+            .streams
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| {
+                let id = TableId(i as u32);
+                (&**self.ids.table_name(id), id)
+            })
+            .collect();
         snames.sort();
         e.put_varint(snames.len() as u64);
-        for n in snames {
-            e.put_str(n);
-            self.streams[n].encode(&mut e);
+        for (name, id) in snames {
+            e.put_str(name);
+            self.streams[id.index()].as_ref().expect("stream present").encode(&mut e);
         }
-        let mut wnames: Vec<&String> = self.windows.keys().collect();
+        let mut wnames: Vec<(&str, TableId)> = self
+            .windows
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.is_some())
+            .map(|(i, _)| {
+                let id = TableId(i as u32);
+                (&**self.ids.table_name(id), id)
+            })
+            .collect();
         wnames.sort();
         e.put_varint(wnames.len() as u64);
-        for n in wnames {
-            self.windows[n].encode(&mut e);
+        for (_, id) in wnames {
+            self.windows[id.index()].as_ref().expect("window present").encode(&mut e);
         }
         Ok(e.finish())
     }
 
     /// Restores partition state from a checkpoint image. Compiled
     /// statements remain valid: the restored schemas and indexes are
-    /// identical to the app's definitions.
+    /// identical to the app's definitions, and tables are re-installed
+    /// under their original [`TableId`]s (the snapshot stores tables by
+    /// name; ids are reassigned from the install-time interning).
     pub fn restore(&mut self, bytes: &[u8]) -> Result<()> {
         if self.in_txn {
             return Err(Error::InvalidState("restore during transaction".into()));
         }
         let mut d = Decoder::new(bytes);
         let cat_bytes = d.get_bytes()?;
-        let catalog = snapshot::decode_catalog(cat_bytes)?;
+        let mut decoded = snapshot::decode_catalog(cat_bytes)?;
+        // Re-install in id order so every table keeps its interned id.
+        let mut catalog = Catalog::new();
+        for i in 0..self.ids.table_count() {
+            let name = self.ids.table_name(TableId(i as u32)).to_string();
+            let table = decoded.drop_table(&name).map_err(|_| {
+                Error::Codec(format!("checkpoint image is missing table {name}"))
+            })?;
+            catalog.install_table(table)?;
+        }
+        if !decoded.is_empty() {
+            return Err(Error::Codec("checkpoint image contains unknown tables".into()));
+        }
+
+        let n = self.ids.table_count();
+        let mut streams: Vec<Option<StreamState>> = (0..n).map(|_| None).collect();
         let ns = d.get_varint()? as usize;
-        let mut streams = HashMap::with_capacity(ns);
         for _ in 0..ns {
             let name = d.get_str()?;
-            streams.insert(name, StreamState::decode(&mut d)?);
+            let state = StreamState::decode(&mut d)?;
+            let id = self.table_id(&name)?;
+            streams[id.index()] = Some(state);
         }
+        let mut windows: Vec<Option<WindowState>> = (0..n).map(|_| None).collect();
         let nw = d.get_varint()? as usize;
-        let mut windows = HashMap::with_capacity(nw);
         for _ in 0..nw {
             let w = WindowState::decode(&mut d)?;
-            windows.insert(w.spec.name.clone(), w);
+            let id = self.table_id(&w.spec.name)?;
+            windows[id.index()] = Some(w);
         }
         if !d.is_exhausted() {
             return Err(Error::Codec("trailing bytes in EE checkpoint".into()));
@@ -612,11 +694,11 @@ impl ExecutionEngine {
     }
 }
 
-fn push_group(groups: &mut Vec<(String, Vec<RowId>)>, table: &str, row: RowId) {
-    if let Some((_, rows)) = groups.iter_mut().find(|(t, _)| t == table) {
+fn push_group(groups: &mut Vec<(TableId, Vec<RowId>)>, table: TableId, row: RowId) {
+    if let Some((_, rows)) = groups.iter_mut().find(|(t, _)| *t == table) {
         rows.push(row);
     } else {
-        groups.push((table.to_owned(), vec![row]));
+        groups.push((table, vec![row]));
     }
 }
 
@@ -647,7 +729,8 @@ mod tests {
     }
 
     fn ee(app: &App) -> (ExecutionEngine, ProcStmtMap) {
-        ExecutionEngine::install(app, Arc::new(EngineMetrics::new())).unwrap()
+        let ids = Arc::new(AppIds::build(app).unwrap());
+        ExecutionEngine::install(app, ids, Arc::new(EngineMetrics::new())).unwrap()
     }
 
     #[test]
@@ -663,7 +746,8 @@ mod tests {
         assert_eq!(ee.table_len("s2").unwrap(), 0);
         // s3 holds the transformed tuple, awaiting its PE trigger.
         assert_eq!(ee.table_len("s3").unwrap(), 1);
-        assert_eq!(outputs, vec![("s3".to_string(), BatchId(1))]);
+        let s3 = ee.table_id("s3").unwrap();
+        assert_eq!(outputs, vec![(s3, BatchId(1))]);
         let r = ee.query("SELECT v FROM s3", &[]).unwrap();
         assert_eq!(r.rows, vec![tuple![111i64]]);
         assert_eq!(ee.stream_pending("s3").unwrap(), vec![BatchId(1)]);
@@ -673,16 +757,17 @@ mod tests {
     fn consume_drains_batch() {
         let app = chain_app();
         let (mut ee, map) = ee(&app);
+        let s3 = ee.table_id("s3").unwrap();
         ee.begin(Some(BatchId(1))).unwrap();
         ee.exec(map["driver"]["ins"], &[Value::Int(1)]).unwrap();
         ee.commit().unwrap();
         ee.begin(Some(BatchId(1))).unwrap();
-        let rows = ee.consume("s3", BatchId(1), true).unwrap();
+        let rows = ee.consume(s3, BatchId(1), true).unwrap();
         assert_eq!(rows, vec![tuple![111i64]]);
         assert_eq!(ee.table_len("s3").unwrap(), 0);
         // Double consume fails loudly; optional consume yields empty.
-        assert!(ee.consume("s3", BatchId(1), true).is_err());
-        assert!(ee.consume("s3", BatchId(1), false).unwrap().is_empty());
+        assert!(ee.consume(s3, BatchId(1), true).is_err());
+        assert!(ee.consume(s3, BatchId(1), false).unwrap().is_empty());
         ee.commit().unwrap();
     }
 
@@ -690,6 +775,7 @@ mod tests {
     fn abort_restores_everything() {
         let app = chain_app();
         let (mut ee, map) = ee(&app);
+        let s3 = ee.table_id("s3").unwrap();
         // Commit one batch into s3.
         ee.begin(Some(BatchId(1))).unwrap();
         ee.exec(map["driver"]["ins"], &[Value::Int(1)]).unwrap();
@@ -697,7 +783,7 @@ mod tests {
         let pending_before = ee.stream_pending("s3").unwrap();
         // Start a second txn that consumes + writes, then abort it.
         ee.begin(Some(BatchId(2))).unwrap();
-        ee.consume("s3", BatchId(1), true).unwrap();
+        ee.consume(s3, BatchId(1), true).unwrap();
         ee.exec(map["driver"]["ins"], &[Value::Int(5)]).unwrap();
         ee.abort().unwrap();
         assert_eq!(ee.table_len("s3").unwrap(), 1);
@@ -785,25 +871,49 @@ mod tests {
         let app = window_app();
         let (mut ee, map) = ee(&app);
         let ins = map["wproc"]["ins"];
+        let arrivals = ee.table_id("arrivals").unwrap();
         ee.begin(Some(BatchId(1))).unwrap();
         for v in 1..=4 {
             ee.exec(ins, &[Value::Int(v)]).unwrap();
         }
-        ee.emit("arrivals", vec![tuple![42i64]]).unwrap();
+        ee.emit(arrivals, vec![tuple![42i64]]).unwrap();
         ee.commit().unwrap();
 
         let image = ee.checkpoint().unwrap();
-        let (mut ee2, _) = ExecutionEngine::install(&app, Arc::new(EngineMetrics::new())).unwrap();
+        let (mut ee2, _) = {
+            let ids = Arc::new(AppIds::build(&app).unwrap());
+            ExecutionEngine::install(&app, ids, Arc::new(EngineMetrics::new())).unwrap()
+        };
         ee2.restore(&image).unwrap();
         assert_eq!(ee2.table_len("w").unwrap(), 3);
         assert_eq!(ee2.table_len("slides_seen").unwrap(), 2);
         assert_eq!(ee2.stream_pending("arrivals").unwrap(), vec![BatchId(1)]);
-        assert_eq!(ee2.dangling_batches(), vec![("arrivals".to_string(), BatchId(1))]);
+        assert_eq!(ee2.dangling_batches(), vec![(arrivals, BatchId(1))]);
         // The restored engine keeps working: next insert slides again.
         ee2.begin(Some(BatchId(2))).unwrap();
         ee2.exec(map["wproc"]["ins"], &[Value::Int(5)]).unwrap();
         assert_eq!(ee2.table_len("slides_seen").unwrap(), 3);
         ee2.commit().unwrap();
+    }
+
+    #[test]
+    fn empty_ee_trigger_is_a_discard_sink() {
+        // A trigger declared with no SQL still marks the stream as
+        // EE-handled: arriving batches are garbage-collected inside the
+        // same visit instead of surfacing as PE outputs.
+        let app = App::builder()
+            .stream("drop_me", simple_schema())
+            .proc("driver", &[("ins", "INSERT INTO drop_me (v) VALUES (?)")], &[], |_| Ok(()))
+            .ee_trigger("drop_me", &[])
+            .build()
+            .unwrap();
+        let (mut ee, map) = ee(&app);
+        ee.begin(Some(BatchId(1))).unwrap();
+        ee.exec(map["driver"]["ins"], &[Value::Int(1)]).unwrap();
+        let outputs = ee.commit().unwrap();
+        assert!(outputs.is_empty(), "discarded batch must not become a PE output");
+        assert_eq!(ee.table_len("drop_me").unwrap(), 0, "rows must be GC'd");
+        assert!(ee.stream_pending("drop_me").unwrap().is_empty());
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! talk to partitions over channels, which is the round trip that PE
 //! triggers exist to eliminate.
 //!
+//! Name resolution happens here, at the public API edge: stream and
+//! procedure names are interned to dense ids ([`crate::names`]) when
+//! the app is installed, every `&str` parameter is resolved exactly
+//! once per call, and everything downstream (requests, the scheduler,
+//! PE triggers, the command log) works with ids.
+//!
 //! [`BoundaryMode::Channel`]: crate::config::BoundaryMode::Channel
 
 use std::collections::hash_map::DefaultHasher;
@@ -17,7 +23,7 @@ use std::sync::Arc;
 
 use crossbeam_channel::bounded;
 use parking_lot::Mutex;
-use sstore_common::{BatchId, Error, Lsn, Result, Tuple, Value};
+use sstore_common::{BatchId, Error, Lsn, ProcId, Result, TableId, Tuple, Value};
 use sstore_sql::QueryResult;
 
 use crate::app::App;
@@ -26,6 +32,7 @@ use crate::checkpoint::{write_checkpoint, CheckpointFile};
 use crate::config::{BoundaryMode, EngineConfig};
 use crate::ee::ExecutionEngine;
 use crate::metrics::EngineMetrics;
+use crate::names::{AppIds, StreamMeta};
 use crate::partition::{
     spawn_partition, CallOutcome, Invocation, PartitionHandle, PartitionMsg, TxnRequest,
 };
@@ -39,7 +46,8 @@ pub(crate) struct Bootstrap {
     pub resume_lsn: Vec<Option<Lsn>>,
     /// Whether PE triggers start enabled.
     pub triggers_enabled: bool,
-    /// Initial per-stream batch counters.
+    /// Initial per-stream batch counters (by stream name, as stored in
+    /// checkpoints).
     pub batch_counters: HashMap<String, u64>,
 }
 
@@ -47,13 +55,11 @@ pub(crate) struct Bootstrap {
 pub struct Engine {
     config: EngineConfig,
     app: App,
+    ids: Arc<AppIds>,
     partitions: Vec<PartitionHandle>,
     metrics: Arc<EngineMetrics>,
-    batch_counters: Mutex<HashMap<String, u64>>,
-    /// stream → partition-key column index.
-    partition_cols: HashMap<String, Option<usize>>,
-    /// stream → the single border procedure it activates.
-    border_target: HashMap<String, String>,
+    /// Per-stream next-batch counters, indexed by [`TableId`].
+    batch_counters: Mutex<Vec<u64>>,
 }
 
 impl Engine {
@@ -68,10 +74,11 @@ impl Engine {
         bootstrap: Option<Bootstrap>,
     ) -> Result<Engine> {
         let metrics = Arc::new(EngineMetrics::new());
+        let ids = Arc::new(AppIds::build(&app)?);
         let mut partitions = Vec::with_capacity(config.partitions);
         let triggers_enabled = bootstrap.as_ref().is_none_or(|b| b.triggers_enabled);
         for p in 0..config.partitions {
-            let (ee, proc_stmts) = ExecutionEngine::install(&app, metrics.clone())?;
+            let (ee, proc_stmts) = ExecutionEngine::install(&app, ids.clone(), metrics.clone())?;
             let handle = match config.boundary {
                 BoundaryMode::Inline => EeHandle::inline(ee, metrics.clone()),
                 BoundaryMode::Channel => EeHandle::channel(ee, metrics.clone()),
@@ -81,6 +88,7 @@ impl Engine {
                 p,
                 config.clone(),
                 &app,
+                ids.clone(),
                 handle,
                 proc_stmts,
                 metrics.clone(),
@@ -99,32 +107,22 @@ impl Engine {
             partitions.push(part);
         }
 
-        let partition_cols = app
-            .streams
-            .iter()
-            .map(|s| {
-                let idx = s.partition_col.as_ref().and_then(|c| s.schema.index_of(c));
-                (s.name.clone(), idx)
-            })
-            .collect();
-        let border_target = app
-            .streams
-            .iter()
-            .filter_map(|s| {
-                app.pe_targets(&s.name).first().map(|t| (s.name.clone(), (*t).to_owned()))
-            })
-            .collect();
-        let batch_counters =
-            Mutex::new(bootstrap.map(|b| b.batch_counters).unwrap_or_default());
+        let mut counters = vec![0u64; ids.table_count()];
+        if let Some(b) = &bootstrap {
+            for (name, v) in &b.batch_counters {
+                if let Some(id) = ids.table_id(name) {
+                    counters[id.index()] = counters[id.index()].max(*v);
+                }
+            }
+        }
 
         Ok(Engine {
             config,
             app,
+            ids,
             partitions,
             metrics,
-            batch_counters,
-            partition_cols,
-            border_target,
+            batch_counters: Mutex::new(counters),
         })
     }
 
@@ -143,6 +141,11 @@ impl Engine {
         &self.app
     }
 
+    /// The interned name ↔ id maps of the installed application.
+    pub fn ids(&self) -> &Arc<AppIds> {
+        &self.ids
+    }
+
     /// The workflow DAG.
     pub fn workflow(&self) -> WorkflowGraph {
         self.app.workflow()
@@ -157,27 +160,37 @@ impl Engine {
     // Stream injection (push)
     // ------------------------------------------------------------------
 
-    fn next_batch(&self, stream: &str) -> BatchId {
+    fn next_batch(&self, stream: TableId) -> BatchId {
         let mut counters = self.batch_counters.lock();
-        let c = counters.entry(stream.to_owned()).or_insert(0);
+        let c = &mut counters[stream.index()];
         *c += 1;
         BatchId(*c)
     }
 
-    fn route(&self, stream: &str, rows: &[Tuple]) -> usize {
-        if self.partitions.len() == 1 {
-            return 0;
-        }
-        match self.partition_cols.get(stream).copied().flatten() {
-            Some(col) => {
-                let mut h = DefaultHasher::new();
-                if let Some(first) = rows.first() {
-                    first.get(col).hash(&mut h);
-                }
-                (h.finish() % self.partitions.len() as u64) as usize
+    /// Picks the partition for an atomic batch and enforces that the
+    /// batch is routable: all rows of an atomic batch must carry the
+    /// same partition key (a batch is processed as a unit on one
+    /// partition — silently routing a mixed batch by its first row
+    /// would split the paper's atomic-batch semantics).
+    fn route(&self, stream: &str, meta: &StreamMeta, rows: &[Tuple]) -> Result<usize> {
+        let Some(col) = meta.partition_col else { return Ok(0) };
+        let Some(first) = rows.first() else { return Ok(0) };
+        let key = first.get(col);
+        for r in &rows[1..] {
+            if r.get(col) != key {
+                return Err(Error::InvalidState(format!(
+                    "atomic batch on stream {stream} mixes partition keys \
+                     ({key} vs {}); split it into per-key batches",
+                    r.get(col)
+                )));
             }
-            None => 0,
         }
+        if self.partitions.len() == 1 {
+            return Ok(0);
+        }
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        Ok((h.finish() % self.partitions.len() as u64) as usize)
     }
 
     fn border_request(
@@ -186,24 +199,27 @@ impl Engine {
         rows: Vec<Tuple>,
         reply: Option<crossbeam_channel::Sender<Result<CallOutcome>>>,
     ) -> Result<(TxnRequest, BatchId, usize)> {
-        let stream = stream.to_ascii_lowercase();
-        let proc = self
+        let sid = self
+            .ids
+            .table_id(stream)
+            .ok_or_else(|| Error::not_found("stream", stream))?;
+        let meta = self.ids.table(sid).stream.as_ref().ok_or_else(|| {
+            Error::StreamViolation(format!("{stream} is not a stream"))
+        })?;
+        let proc = meta
             .border_target
-            .get(&stream)
-            .cloned()
-            .ok_or_else(|| Error::not_found("PE trigger for border stream", &stream))?;
+            .ok_or_else(|| Error::not_found("PE trigger for border stream", stream))?;
         // Validate rows against the stream schema up front so bad input
         // fails at the injection site, not inside the partition.
-        let def = self.app.stream(&stream).ok_or_else(|| Error::not_found("stream", &stream))?;
         for r in &rows {
-            def.schema.validate(r.values())?;
+            meta.schema.validate(r.values())?;
         }
-        let partition = self.route(&stream, &rows);
-        let batch = self.next_batch(&stream);
+        let partition = self.route(stream, meta, &rows)?;
+        let batch = self.next_batch(sid);
         Ok((
             TxnRequest {
                 proc,
-                invocation: Invocation::Border { stream, rows },
+                invocation: Invocation::Border { stream: sid, rows },
                 batch: Some(batch),
                 reply,
                 replay: false,
@@ -243,6 +259,14 @@ impl Engine {
     // Client calls (pull)
     // ------------------------------------------------------------------
 
+    fn resolve_proc(&self, name: &str) -> Result<ProcId> {
+        self.ids.proc_id(name).ok_or_else(|| Error::not_found("procedure", name))
+    }
+
+    pub(crate) fn resolve_stream(&self, name: &str) -> Result<TableId> {
+        self.ids.table_id(name).ok_or_else(|| Error::not_found("stream", name))
+    }
+
     /// Invokes an OLTP stored procedure on partition 0 and waits.
     pub fn call(&self, proc: &str, params: Vec<Value>) -> Result<CallOutcome> {
         self.call_at(0, proc, params)
@@ -252,7 +276,7 @@ impl Engine {
     pub fn call_at(&self, partition: usize, proc: &str, params: Vec<Value>) -> Result<CallOutcome> {
         let (tx, rx) = bounded(1);
         let req = TxnRequest {
-            proc: proc.to_ascii_lowercase(),
+            proc: self.resolve_proc(proc)?,
             invocation: Invocation::Oltp { params },
             batch: None,
             reply: Some(tx),
@@ -273,8 +297,8 @@ impl Engine {
     ) -> Result<CallOutcome> {
         let (tx, rx) = bounded(1);
         let req = TxnRequest {
-            proc: proc.to_ascii_lowercase(),
-            invocation: Invocation::Interior { stream: stream.to_ascii_lowercase() },
+            proc: self.resolve_proc(proc)?,
+            invocation: Invocation::Interior { stream: self.resolve_stream(stream)? },
             batch: Some(batch),
             reply: Some(tx),
             replay: false,
@@ -348,10 +372,20 @@ impl Engine {
         Ok(())
     }
 
+    /// Per-stream batch counters as a name-keyed map (checkpoint form).
+    fn counters_by_name(&self) -> HashMap<String, u64> {
+        let counters = self.batch_counters.lock();
+        self.ids
+            .streams()
+            .filter(|(id, _)| counters[id.index()] > 0)
+            .map(|(id, meta)| (meta.name.to_string(), counters[id.index()]))
+            .collect()
+    }
+
     /// Takes a checkpoint of every partition, written to
     /// [`EngineConfig::checkpoint_path`].
     pub fn checkpoint(&self) -> Result<()> {
-        let counters = self.batch_counters.lock().clone();
+        let counters = self.counters_by_name();
         for p in 0..self.partitions.len() {
             let (tx, rx) = bounded(1);
             self.control(p, PartitionMsg::Checkpoint(tx))?;
@@ -395,10 +429,12 @@ impl Engine {
 
     pub(crate) fn bump_batch_counters(&self, floor: &HashMap<String, u64>) {
         let mut counters = self.batch_counters.lock();
-        for (k, v) in floor {
-            let e = counters.entry(k.clone()).or_insert(0);
-            if *e < *v {
-                *e = *v;
+        for (name, v) in floor {
+            if let Some(id) = self.ids.table_id(name) {
+                let c = &mut counters[id.index()];
+                if *c < *v {
+                    *c = *v;
+                }
             }
         }
     }

@@ -45,6 +45,7 @@ pub mod ee;
 pub mod engine;
 pub mod log;
 pub mod metrics;
+pub mod names;
 pub mod partition;
 pub mod procedure;
 pub mod recovery;

@@ -63,37 +63,66 @@ pub struct LogRecord {
     pub kind: LogKind,
 }
 
-impl LogRecord {
-    fn encode(&self) -> Vec<u8> {
-        let mut e = Encoder::with_capacity(64);
-        e.put_u64(self.lsn.raw());
-        e.put_str(&self.proc);
-        match &self.kind {
-            LogKind::Oltp { params } => {
-                e.put_u8(0);
-                e.put_varint(params.len() as u64);
-                for p in params {
-                    e.put_value(p);
-                }
-            }
-            LogKind::Border { stream, batch, rows } => {
-                e.put_u8(1);
-                e.put_str(stream);
-                e.put_u64(batch.raw());
-                e.put_varint(rows.len() as u64);
-                for r in rows {
-                    e.put_tuple(r);
-                }
-            }
-            LogKind::Interior { stream, batch } => {
-                e.put_u8(2);
-                e.put_str(stream);
-                e.put_u64(batch.raw());
+/// Encodes one record's payload into a (reused) encoder buffer. All
+/// inputs are borrowed: the hot path appends without constructing a
+/// `LogRecord` or cloning names/rows.
+fn encode_payload(
+    e: &mut Encoder,
+    lsn: Lsn,
+    proc: &str,
+    kind: LogKindRef<'_>,
+) {
+    e.reset();
+    e.put_u64(lsn.raw());
+    e.put_str(proc);
+    match kind {
+        LogKindRef::Oltp { params } => {
+            e.put_u8(0);
+            e.put_varint(params.len() as u64);
+            for p in params {
+                e.put_value(p);
             }
         }
-        e.finish()
+        LogKindRef::Border { stream, batch, rows } => {
+            e.put_u8(1);
+            e.put_str(stream);
+            e.put_u64(batch.raw());
+            e.put_varint(rows.len() as u64);
+            for r in rows {
+                e.put_tuple(r);
+            }
+        }
+        LogKindRef::Interior { stream, batch } => {
+            e.put_u8(2);
+            e.put_str(stream);
+            e.put_u64(batch.raw());
+        }
     }
+}
 
+/// Borrowed view of a [`LogKind`], used by the append fast paths.
+#[derive(Debug, Clone, Copy)]
+enum LogKindRef<'a> {
+    Oltp { params: &'a [Value] },
+    Border { stream: &'a str, batch: BatchId, rows: &'a [Tuple] },
+    Interior { stream: &'a str, batch: BatchId },
+}
+
+impl LogKind {
+    fn as_ref(&self) -> LogKindRef<'_> {
+        match self {
+            LogKind::Oltp { params } => LogKindRef::Oltp { params },
+            LogKind::Border { stream, batch, rows } => {
+                LogKindRef::Border { stream, batch: *batch, rows }
+            }
+            LogKind::Interior { stream, batch } => {
+                LogKindRef::Interior { stream, batch: *batch }
+            }
+        }
+    }
+}
+
+impl LogRecord {
     fn decode(bytes: &[u8]) -> Result<LogRecord> {
         let mut d = Decoder::new(bytes);
         let lsn = Lsn(d.get_u64()?);
@@ -142,6 +171,8 @@ pub struct CommandLog {
     next_lsn: u64,
     pending: usize,
     flushes: u64,
+    /// Reused per-record encode buffer (no allocation per append).
+    enc: Encoder,
 }
 
 impl CommandLog {
@@ -159,6 +190,7 @@ impl CommandLog {
             next_lsn: 0,
             pending: 0,
             flushes: 0,
+            enc: Encoder::with_capacity(256),
         })
     }
 
@@ -177,6 +209,7 @@ impl CommandLog {
             next_lsn: resume_after.raw() + 1,
             pending: 0,
             flushes: 0,
+            enc: Encoder::with_capacity(256),
         })
     }
 
@@ -196,14 +229,40 @@ impl CommandLog {
     }
 
     /// Appends a record (assigning its LSN) and flushes according to the
-    /// group-commit policy. Returns the LSN.
+    /// group-commit policy. Returns the LSN. Prefer the typed
+    /// `append_*` fast paths on hot call sites — they borrow everything.
     pub fn append(&mut self, proc: &str, kind: LogKind) -> Result<Lsn> {
+        self.append_ref(proc, kind.as_ref())
+    }
+
+    /// Appends an OLTP record from borrowed parts.
+    pub fn append_oltp(&mut self, proc: &str, params: &[Value]) -> Result<Lsn> {
+        self.append_ref(proc, LogKindRef::Oltp { params })
+    }
+
+    /// Appends a border record from borrowed parts (upstream backup).
+    pub fn append_border(
+        &mut self,
+        proc: &str,
+        stream: &str,
+        batch: BatchId,
+        rows: &[Tuple],
+    ) -> Result<Lsn> {
+        self.append_ref(proc, LogKindRef::Border { stream, batch, rows })
+    }
+
+    /// Appends an interior record from borrowed parts (strong mode).
+    pub fn append_interior(&mut self, proc: &str, stream: &str, batch: BatchId) -> Result<Lsn> {
+        self.append_ref(proc, LogKindRef::Interior { stream, batch })
+    }
+
+    fn append_ref(&mut self, proc: &str, kind: LogKindRef<'_>) -> Result<Lsn> {
         let lsn = Lsn(self.next_lsn);
         self.next_lsn += 1;
-        let rec = LogRecord { lsn, proc: proc.to_owned(), kind };
-        let payload = rec.encode();
+        encode_payload(&mut self.enc, lsn, proc, kind);
+        let payload = self.enc.as_bytes();
         self.writer.write_all(&(payload.len() as u32).to_le_bytes())?;
-        self.writer.write_all(&payload)?;
+        self.writer.write_all(payload)?;
         self.pending += 1;
         if self.pending >= self.config.group_commit.max(1) {
             self.flush()?;

@@ -1,0 +1,256 @@
+//! Name interning: dense ids for tables/streams/windows and stored
+//! procedures, assigned once at [`App`] install time.
+//!
+//! Every hot-path structure in the engine — routing, the scheduler
+//! queue, PE-trigger dispatch, stream/window bookkeeping, the command
+//! log — works with [`TableId`] / [`ProcId`] indexes into plain
+//! vectors. Lower-casing and string lookup happen exactly once per
+//! request, at the public API edge ([`crate::engine::Engine`] methods
+//! taking `&str`), never inside the partition or EE execution loop.
+//!
+//! Table ids here MUST match the ids the EE's catalog assigns; both are
+//! derived from the same declaration order (tables, then streams, then
+//! windows) and [`crate::ee::ExecutionEngine::install`] asserts the
+//! correspondence as it creates each table.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sstore_common::{Error, ProcId, Result, Schema, TableId};
+use sstore_storage::TableKind;
+
+use crate::app::App;
+
+/// Interned metadata for one table (base table, stream, or window).
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    /// Lower-cased name.
+    pub name: Arc<str>,
+    /// Role in the hybrid model.
+    pub kind: TableKind,
+    /// Stream-only metadata (`None` for base tables and windows).
+    pub stream: Option<StreamMeta>,
+}
+
+/// Interned metadata for one stream.
+#[derive(Debug, Clone)]
+pub struct StreamMeta {
+    /// Tuple schema (validated against at the ingestion edge).
+    pub schema: Schema,
+    /// Partition-key column index, if the stream is partitioned.
+    pub partition_col: Option<usize>,
+    /// The single border procedure ingestion activates (first PE
+    /// trigger on this stream), if any.
+    pub border_target: Option<ProcId>,
+}
+
+/// Interned metadata for one stored procedure.
+#[derive(Debug, Clone)]
+pub struct ProcMeta {
+    /// Lower-cased name.
+    pub name: Arc<str>,
+    /// The input stream whose batches this procedure consumes (reverse
+    /// PE-trigger edge), if it is an interior/child procedure.
+    pub input_stream: Option<TableId>,
+    /// Position in a fixed topological order of the workflow DAG.
+    pub topo_pos: usize,
+}
+
+/// Dense name ↔ id maps for one application.
+#[derive(Debug, Default)]
+pub struct AppIds {
+    tables: Vec<TableMeta>,
+    table_by_name: HashMap<String, TableId>,
+    procs: Vec<ProcMeta>,
+    proc_by_name: HashMap<String, ProcId>,
+    /// PE-trigger targets per table id (empty for non-streams).
+    pe_targets: Vec<Vec<ProcId>>,
+}
+
+impl AppIds {
+    /// Interns all names of `app`. Table ids follow the EE catalog's
+    /// creation order: declared tables, then streams, then windows.
+    pub fn build(app: &App) -> Result<AppIds> {
+        let mut ids = AppIds::default();
+
+        let add_table = |ids: &mut AppIds, name: &str, kind, stream| {
+            let id = TableId(ids.tables.len() as u32);
+            ids.tables.push(TableMeta { name: Arc::from(name), kind, stream });
+            ids.table_by_name.insert(name.to_owned(), id);
+            id
+        };
+        for t in &app.tables {
+            add_table(&mut ids, &t.name, TableKind::Base, None);
+        }
+        for p in &app.procs {
+            let id = ProcId(ids.procs.len() as u32);
+            ids.procs.push(ProcMeta {
+                name: Arc::from(p.name.as_str()),
+                input_stream: None,
+                topo_pos: usize::MAX,
+            });
+            ids.proc_by_name.insert(p.name.clone(), id);
+        }
+        for s in &app.streams {
+            let border_target = app
+                .pe_targets(&s.name)
+                .first()
+                .map(|t| {
+                    ids.proc_by_name
+                        .get(*t)
+                        .copied()
+                        .ok_or_else(|| Error::not_found("procedure", *t))
+                })
+                .transpose()?;
+            let partition_col = s.partition_col.as_ref().and_then(|c| s.schema.index_of(c));
+            add_table(
+                &mut ids,
+                &s.name,
+                TableKind::Stream,
+                Some(StreamMeta { schema: s.schema.clone(), partition_col, border_target }),
+            );
+        }
+        for w in &app.windows {
+            add_table(&mut ids, &w.spec.name, TableKind::Window, None);
+        }
+
+        ids.pe_targets = vec![Vec::new(); ids.tables.len()];
+        for t in &app.pe_triggers {
+            let stream = ids
+                .table_id(&t.stream)
+                .ok_or_else(|| Error::not_found("stream", &t.stream))?;
+            let proc = ids
+                .proc_id(&t.proc)
+                .ok_or_else(|| Error::not_found("procedure", &t.proc))?;
+            ids.pe_targets[stream.index()].push(proc);
+            let meta = &mut ids.procs[proc.index()];
+            if meta.input_stream.is_none() {
+                meta.input_stream = Some(stream);
+            }
+        }
+
+        for (name, pos) in app.workflow().topo_order()?.into_iter().zip(0usize..) {
+            if let Some(p) = ids.proc_by_name.get(&name) {
+                ids.procs[p.index()].topo_pos = pos;
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Resolves a table/stream/window name (case-insensitive).
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        if let Some(id) = self.table_by_name.get(name) {
+            return Some(*id);
+        }
+        self.table_by_name.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Resolves a procedure name (case-insensitive).
+    pub fn proc_id(&self, name: &str) -> Option<ProcId> {
+        if let Some(id) = self.proc_by_name.get(name) {
+            return Some(*id);
+        }
+        self.proc_by_name.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Metadata of a table id.
+    #[inline]
+    pub fn table(&self, id: TableId) -> &TableMeta {
+        &self.tables[id.index()]
+    }
+
+    /// Metadata of a procedure id.
+    #[inline]
+    pub fn proc(&self, id: ProcId) -> &ProcMeta {
+        &self.procs[id.index()]
+    }
+
+    /// Lower-cased table name.
+    #[inline]
+    pub fn table_name(&self, id: TableId) -> &Arc<str> {
+        &self.tables[id.index()].name
+    }
+
+    /// Lower-cased procedure name.
+    #[inline]
+    pub fn proc_name(&self, id: ProcId) -> &Arc<str> {
+        &self.procs[id.index()].name
+    }
+
+    /// PE-trigger target procedures of a stream, in declaration order.
+    #[inline]
+    pub fn pe_targets_of(&self, stream: TableId) -> &[ProcId] {
+        &self.pe_targets[stream.index()]
+    }
+
+    /// Number of interned tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of interned procedures.
+    pub fn proc_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Iterates `(TableId, &TableMeta)` for all stream tables.
+    pub fn streams(&self) -> impl Iterator<Item = (TableId, &TableMeta)> + '_ {
+        self.tables
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind == TableKind::Stream)
+            .map(|(i, t)| (TableId(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstore_common::DataType;
+
+    fn app() -> App {
+        App::builder()
+            .table("base", Schema::of(&[("v", DataType::Int)]))
+            .stream("s_in", Schema::of(&[("v", DataType::Int)]))
+            .stream("s_mid", Schema::of(&[("v", DataType::Int)]))
+            .window("w", "p1", Schema::of(&[("v", DataType::Int)]), 3, 1)
+            .proc("p1", &[], &["s_mid"], |_| Ok(()))
+            .proc("p2", &[], &[], |_| Ok(()))
+            .pe_trigger("s_in", "p1")
+            .pe_trigger("s_mid", "p2")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ids_follow_declaration_order() {
+        let ids = AppIds::build(&app()).unwrap();
+        assert_eq!(ids.table_id("base"), Some(TableId(0)));
+        assert_eq!(ids.table_id("s_in"), Some(TableId(1)));
+        assert_eq!(ids.table_id("S_MID"), Some(TableId(2)));
+        assert_eq!(ids.table_id("w"), Some(TableId(3)));
+        assert_eq!(ids.table_id("nosuch"), None);
+        assert_eq!(ids.proc_id("p1"), Some(ProcId(0)));
+        assert_eq!(ids.proc_id("P2"), Some(ProcId(1)));
+        assert_eq!(&**ids.table_name(TableId(2)), "s_mid");
+        assert_eq!(ids.table_count(), 4);
+        assert_eq!(ids.proc_count(), 2);
+    }
+
+    #[test]
+    fn stream_metadata_and_triggers() {
+        let ids = AppIds::build(&app()).unwrap();
+        let s_in = ids.table_id("s_in").unwrap();
+        let s_mid = ids.table_id("s_mid").unwrap();
+        let p1 = ids.proc_id("p1").unwrap();
+        let p2 = ids.proc_id("p2").unwrap();
+        assert_eq!(ids.table(s_in).stream.as_ref().unwrap().border_target, Some(p1));
+        assert_eq!(ids.pe_targets_of(s_in), &[p1]);
+        assert_eq!(ids.pe_targets_of(s_mid), &[p2]);
+        assert!(ids.pe_targets_of(ids.table_id("base").unwrap()).is_empty());
+        assert_eq!(ids.proc(p1).input_stream, Some(s_in));
+        assert_eq!(ids.proc(p2).input_stream, Some(s_mid));
+        assert!(ids.proc(p1).topo_pos < ids.proc(p2).topo_pos);
+        assert_eq!(ids.streams().count(), 2);
+    }
+}

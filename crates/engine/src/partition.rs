@@ -7,20 +7,25 @@
 //! the stream-injection module talk to it over a channel — that channel
 //! is "the network" whose round trips H-Store must pay once per workflow
 //! step (§4.2) and S-Store avoids via PE triggers.
+//!
+//! Requests address procedures and streams by interned [`ProcId`] /
+//! [`TableId`] (see [`crate::names`]): the execution loop performs no
+//! string hashing or lower-casing, and PE-trigger dispatch is an array
+//! walk.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam_channel::{Receiver, Sender, TryRecvError};
-use sstore_common::{BatchId, Error, Lsn, Result, Tuple, Value};
+use sstore_common::{BatchId, Error, Lsn, ProcId, Result, TableId, Tuple, Value};
 use sstore_sql::QueryResult;
 
 use crate::app::App;
 use crate::boundary::EeHandle;
 use crate::config::{EngineConfig, EngineMode};
-use crate::log::{CommandLog, LogKind};
+use crate::log::CommandLog;
 use crate::metrics::EngineMetrics;
+use crate::names::AppIds;
 use crate::procedure::{CompiledProc, ProcCtx};
 use crate::scheduler::SchedulerQueue;
 use crate::workflow::TraceEvent;
@@ -36,7 +41,7 @@ pub enum Invocation {
     /// Border streaming transaction: an externally ingested batch (push).
     Border {
         /// Input stream.
-        stream: String,
+        stream: TableId,
         /// The atomic batch.
         rows: Vec<Tuple>,
     },
@@ -44,7 +49,7 @@ pub enum Invocation {
     /// committed onto `stream`.
     Interior {
         /// Input stream.
-        stream: String,
+        stream: TableId,
     },
 }
 
@@ -52,7 +57,7 @@ pub enum Invocation {
 #[derive(Debug)]
 pub struct TxnRequest {
     /// Stored procedure (or nested transaction) to run.
-    pub proc: String,
+    pub proc: ProcId,
     /// Invocation payload.
     pub invocation: Invocation,
     /// Batch id (streaming invocations; assigned at ingestion and
@@ -65,6 +70,8 @@ pub struct TxnRequest {
 }
 
 /// A downstream activation H-Store-mode clients must drive themselves.
+/// Carries resolved names — this is the client-facing slow path, and
+/// clients speak names.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PendingActivation {
     /// Downstream procedure.
@@ -138,15 +145,11 @@ impl Drop for PartitionHandle {
 pub(crate) struct PartitionRuntime {
     config: EngineConfig,
     ee: EeHandle,
-    procs: HashMap<String, Arc<CompiledProc>>,
-    bodies: HashMap<String, crate::app::ProcBody>,
-    /// stream → downstream procedures (PE triggers).
-    pe_triggers: HashMap<String, Vec<String>>,
-    /// proc → its input stream (reverse PE-trigger map, for nested
-    /// children and dangling-batch firing).
-    input_stream: HashMap<String, String>,
-    /// proc → topological position (for deterministic dangling firing).
-    topo_pos: HashMap<String, usize>,
+    ids: Arc<AppIds>,
+    /// Compiled procedures, indexed by [`ProcId`].
+    procs: Vec<Option<Arc<CompiledProc>>>,
+    /// Procedure bodies, indexed by [`ProcId`].
+    bodies: Vec<Option<crate::app::ProcBody>>,
     queue: SchedulerQueue,
     rx: Receiver<PartitionMsg>,
     log: Option<CommandLog>,
@@ -161,42 +164,44 @@ pub(crate) fn spawn_partition(
     partition_id: usize,
     config: EngineConfig,
     app: &App,
+    ids: Arc<AppIds>,
     ee: EeHandle,
     proc_stmts: crate::ee::ProcStmtMap,
     metrics: Arc<EngineMetrics>,
     triggers_enabled: bool,
     resume_lsn: Option<Lsn>,
 ) -> Result<PartitionHandle> {
-    let mut procs = HashMap::new();
-    let mut bodies = HashMap::new();
+    let mut procs: Vec<Option<Arc<CompiledProc>>> = vec![None; ids.proc_count()];
+    let mut bodies: Vec<Option<crate::app::ProcBody>> = vec![None; ids.proc_count()];
     for p in &app.procs {
+        let pid = ids
+            .proc_id(&p.name)
+            .ok_or_else(|| Error::not_found("procedure", &p.name))?;
         let stmts = proc_stmts.get(&p.name).cloned().unwrap_or_default();
-        procs.insert(
-            p.name.clone(),
-            Arc::new(CompiledProc {
-                name: p.name.clone(),
-                stmts,
-                outputs: p.outputs.clone(),
-                children: p.children.clone(),
-            }),
-        );
+        let outputs = p
+            .outputs
+            .iter()
+            .map(|o| {
+                ids.table_id(o)
+                    .map(|id| (o.clone(), id))
+                    .ok_or_else(|| Error::not_found("output stream", o))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let children = p
+            .children
+            .iter()
+            .map(|c| ids.proc_id(c).ok_or_else(|| Error::not_found("procedure", c)))
+            .collect::<Result<Vec<_>>>()?;
+        procs[pid.index()] = Some(Arc::new(CompiledProc {
+            name: ids.proc_name(pid).clone(),
+            stmts,
+            outputs,
+            children,
+        }));
         if let Some(body) = &p.body {
-            bodies.insert(p.name.clone(), body.clone());
+            bodies[pid.index()] = Some(body.clone());
         }
     }
-    let mut pe_triggers: HashMap<String, Vec<String>> = HashMap::new();
-    let mut input_stream = HashMap::new();
-    for t in &app.pe_triggers {
-        pe_triggers.entry(t.stream.clone()).or_default().push(t.proc.clone());
-        input_stream.entry(t.proc.clone()).or_insert_with(|| t.stream.clone());
-    }
-    let topo_pos: HashMap<String, usize> = app
-        .workflow()
-        .topo_order()?
-        .into_iter()
-        .enumerate()
-        .map(|(i, n)| (n, i))
-        .collect();
 
     let log = if config.logging.enabled {
         let path = config.log_path(partition_id);
@@ -213,11 +218,9 @@ pub(crate) fn spawn_partition(
     let runtime = PartitionRuntime {
         config,
         ee,
+        ids,
         procs,
         bodies,
-        pe_triggers,
-        input_stream,
-        topo_pos,
         queue,
         rx,
         log,
@@ -345,14 +348,14 @@ impl PartitionRuntime {
         let dangling = self.ee.dangling()?;
         let mut reqs: Vec<(BatchId, usize, TxnRequest)> = Vec::new();
         for (stream, batch) in dangling {
-            for target in self.pe_triggers.get(&stream).cloned().unwrap_or_default() {
-                let pos = self.topo_pos.get(&target).copied().unwrap_or(usize::MAX);
+            for &target in self.ids.pe_targets_of(stream) {
+                let pos = self.ids.proc(target).topo_pos;
                 reqs.push((
                     batch,
                     pos,
                     TxnRequest {
                         proc: target,
-                        invocation: Invocation::Interior { stream: stream.clone() },
+                        invocation: Invocation::Interior { stream },
                         batch: Some(batch),
                         reply: None,
                         replay: false,
@@ -374,7 +377,7 @@ impl PartitionRuntime {
 
     fn execute_te(&mut self, req: TxnRequest) {
         let TxnRequest { proc, invocation, batch, reply, replay } = req;
-        let outcome = self.try_execute(&proc, &invocation, batch, replay);
+        let outcome = self.try_execute(proc, &invocation, batch, replay);
         match outcome {
             Ok(out) => {
                 if let Some(reply) = reply {
@@ -394,30 +397,35 @@ impl PartitionRuntime {
         }
     }
 
+    fn proc(&self, id: ProcId) -> Result<Arc<CompiledProc>> {
+        self.procs
+            .get(id.index())
+            .and_then(Clone::clone)
+            .ok_or_else(|| Error::not_found("procedure", id.to_string()))
+    }
+
     fn try_execute(
         &mut self,
-        proc_name: &str,
+        proc_id: ProcId,
         invocation: &Invocation,
         batch: Option<BatchId>,
         replay: bool,
     ) -> Result<CallOutcome> {
-        let proc = self
-            .procs
-            .get(proc_name)
-            .cloned()
-            .ok_or_else(|| Error::not_found("procedure", proc_name))?;
+        let proc = self.proc(proc_id)?;
 
         self.ee.begin(batch)?;
 
         // Resolve the input batch.
         let input: Vec<Tuple> = match invocation {
             Invocation::Oltp { .. } => Vec::new(),
+            // Shared-buffer tuples: cloning the batch is a refcount bump
+            // per row, not a deep copy.
             Invocation::Border { rows, .. } => rows.clone(),
             Invocation::Interior { stream } => {
                 let b = batch.ok_or_else(|| {
                     Error::Internal("interior invocation without batch".into())
                 })?;
-                self.ee.consume(stream.clone(), b, true)?
+                self.ee.consume(*stream, b, true)?
             }
         };
         let params = match invocation {
@@ -430,26 +438,22 @@ impl PartitionRuntime {
         // one unit; nothing interleaves because execution is serial and
         // the commit happens once at the end).
         let result = if proc.children.is_empty() {
-            self.run_body(&proc, input, batch, params)?
+            self.run_body(proc_id, &proc, input, batch, params)?
         } else {
             let mut last = QueryResult::default();
-            for (i, child_name) in proc.children.iter().enumerate() {
-                let child = self
-                    .procs
-                    .get(child_name)
-                    .cloned()
-                    .ok_or_else(|| Error::not_found("procedure", child_name))?;
+            for (i, &child_id) in proc.children.iter().enumerate() {
+                let child = self.proc(child_id)?;
                 let child_input = if i == 0 {
                     input.clone()
                 } else {
                     // A later child consumes what its predecessors
                     // emitted this round, if anything.
-                    match (self.input_stream.get(child_name), batch) {
-                        (Some(stream), Some(b)) => self.ee.consume(stream.clone(), b, false)?,
+                    match (self.ids.proc(child_id).input_stream, batch) {
+                        (Some(stream), Some(b)) => self.ee.consume(stream, b, false)?,
                         _ => Vec::new(),
                     }
                 };
-                last = self.run_body(&child, child_input, batch, Vec::new())?;
+                last = self.run_body(child_id, &child, child_input, batch, Vec::new())?;
             }
             last
         };
@@ -458,23 +462,34 @@ impl PartitionRuntime {
         // modulo group commit — before the transaction acknowledges).
         if !replay {
             if let Some(log) = &mut self.log {
-                let kind = match invocation {
-                    Invocation::Oltp { params } => Some(LogKind::Oltp { params: params.clone() }),
-                    Invocation::Border { stream, rows } => Some(LogKind::Border {
-                        stream: stream.clone(),
-                        batch: batch.expect("border invocations carry a batch"),
-                        rows: rows.clone(),
-                    }),
+                let proc_name = self.ids.proc_name(proc_id);
+                let appended = match invocation {
+                    Invocation::Oltp { params } => {
+                        log.append_oltp(proc_name, params)?;
+                        true
+                    }
+                    Invocation::Border { stream, rows } => {
+                        log.append_border(
+                            proc_name,
+                            self.ids.table_name(*stream),
+                            batch.expect("border invocations carry a batch"),
+                            rows,
+                        )?;
+                        true
+                    }
                     Invocation::Interior { stream } => match self.config.recovery {
-                        crate::config::RecoveryMode::Strong => Some(LogKind::Interior {
-                            stream: stream.clone(),
-                            batch: batch.expect("interior invocations carry a batch"),
-                        }),
-                        crate::config::RecoveryMode::Weak => None,
+                        crate::config::RecoveryMode::Strong => {
+                            log.append_interior(
+                                proc_name,
+                                self.ids.table_name(*stream),
+                                batch.expect("interior invocations carry a batch"),
+                            )?;
+                            true
+                        }
+                        crate::config::RecoveryMode::Weak => false,
                     },
                 };
-                if let Some(kind) = kind {
-                    log.append(proc_name, kind)?;
+                if appended {
                     EngineMetrics::bump(&self.metrics.log_records);
                     self.metrics
                         .log_flushes
@@ -489,7 +504,7 @@ impl PartitionRuntime {
             self.metrics
                 .trace
                 .lock()
-                .push(TraceEvent { proc: proc_name.to_owned(), batch });
+                .push(TraceEvent { proc: self.ids.proc_name(proc_id).to_string(), batch });
         }
 
         // PE triggers (§3.2.3/3.2.4) or pending activations for the
@@ -497,18 +512,22 @@ impl PartitionRuntime {
         let mut pending = Vec::new();
         let mut triggered = Vec::new();
         for (stream, b) in outputs {
-            for target in self.pe_triggers.get(&stream).cloned().unwrap_or_default() {
+            for &target in self.ids.pe_targets_of(stream) {
                 if self.config.mode == EngineMode::SStore && self.triggers_enabled {
                     EngineMetrics::bump(&self.metrics.pe_trigger_fires);
                     triggered.push(TxnRequest {
                         proc: target,
-                        invocation: Invocation::Interior { stream: stream.clone() },
+                        invocation: Invocation::Interior { stream },
                         batch: Some(b),
                         reply: None,
                         replay: false,
                     });
                 } else {
-                    pending.push(PendingActivation { proc: target, stream: stream.clone(), batch: b });
+                    pending.push(PendingActivation {
+                        proc: self.ids.proc_name(target).to_string(),
+                        stream: self.ids.table_name(stream).to_string(),
+                        batch: b,
+                    });
                 }
             }
         }
@@ -524,15 +543,14 @@ impl PartitionRuntime {
 
     fn run_body(
         &mut self,
+        proc_id: ProcId,
         proc: &Arc<CompiledProc>,
         input: Vec<Tuple>,
         batch: Option<BatchId>,
         params: Vec<Value>,
     ) -> Result<QueryResult> {
-        let body = self
-            .bodies
-            .get(&proc.name)
-            .cloned()
+        let body = self.bodies[proc_id.index()]
+            .clone()
             .ok_or_else(|| Error::Plan(format!("procedure {} has no body", proc.name)))?;
         let mut ctx = ProcCtx::new(&mut self.ee, proc.clone(), input, batch, params);
         body(&mut ctx)?;

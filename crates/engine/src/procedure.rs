@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use sstore_common::{BatchId, Error, Result, Tuple, Value};
+use sstore_common::{BatchId, Error, ProcId, Result, TableId, Tuple, Value};
 use sstore_sql::QueryResult;
 
 use crate::boundary::EeHandle;
@@ -19,14 +19,15 @@ use crate::ee::StmtId;
 /// A stored procedure compiled against a partition's catalog.
 #[derive(Debug, Clone)]
 pub struct CompiledProc {
-    /// Procedure name.
-    pub name: String,
+    /// Procedure name (lower-cased, shared).
+    pub name: Arc<str>,
     /// Named statements → EE statement ids.
     pub stmts: HashMap<String, StmtId>,
-    /// Streams this procedure is declared to emit to.
-    pub outputs: Vec<String>,
-    /// For nested transactions: ordered child procedure names.
-    pub children: Vec<String>,
+    /// Streams this procedure is declared to emit to, with their
+    /// interned ids (resolved once at install — `emit` does no lookup).
+    pub outputs: Vec<(String, TableId)>,
+    /// For nested transactions: ordered child procedures.
+    pub children: Vec<ProcId>,
 }
 
 /// Execution context handed to a stored-procedure body for one
@@ -60,7 +61,7 @@ impl<'a> ProcCtx<'a> {
             .stmts
             .get(stmt)
             .ok_or_else(|| Error::not_found("statement", format!("{stmt} in {}", self.proc.name)))?;
-        self.ee.exec(id, params.to_vec())
+        self.ee.exec_params(id, params)
     }
 
     /// The atomic input batch of this transaction execution (empty for
@@ -84,13 +85,19 @@ impl<'a> ProcCtx<'a> {
     /// produced them). The stream must be among the procedure's declared
     /// outputs.
     pub fn emit(&mut self, stream: &str, rows: Vec<Tuple>) -> Result<()> {
-        if !self.proc.outputs.iter().any(|o| o.eq_ignore_ascii_case(stream)) {
-            return Err(Error::StreamViolation(format!(
-                "procedure {} emits to undeclared stream {stream}",
-                self.proc.name
-            )));
-        }
-        self.ee.emit(stream.to_owned(), rows)
+        let id = self
+            .proc
+            .outputs
+            .iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case(stream))
+            .map(|(_, id)| *id)
+            .ok_or_else(|| {
+                Error::StreamViolation(format!(
+                    "procedure {} emits to undeclared stream {stream}",
+                    self.proc.name
+                ))
+            })?;
+        self.ee.emit(id, rows)
     }
 
     /// Sets the result returned to a synchronous caller.
@@ -123,7 +130,7 @@ mod tests {
         let p = CompiledProc {
             name: "validate".into(),
             stmts: HashMap::from([("check".into(), 0usize), ("record".into(), 1usize)]),
-            outputs: vec!["validated".into()],
+            outputs: vec![("validated".into(), TableId(0))],
             children: Vec::new(),
         };
         assert_eq!(p.stmts.len(), 2);

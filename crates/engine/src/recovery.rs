@@ -128,19 +128,25 @@ pub fn recover(config: EngineConfig, app: App) -> Result<(Engine, RecoveryReport
 /// strong recovery in Figure 9b).
 fn replay_record(engine: &Engine, partition: usize, rec: &LogRecord) -> Result<()> {
     let (tx, rx) = bounded(1);
+    // The log stores names (robust across id reassignments); resolve
+    // them against the freshly installed app here at the replay edge.
     let (invocation, batch) = match &rec.kind {
         LogKind::Oltp { params } => (Invocation::Oltp { params: params.clone() }, None),
         LogKind::Border { stream, batch, rows } => (
-            Invocation::Border { stream: stream.clone(), rows: rows.clone() },
+            Invocation::Border { stream: engine.resolve_stream(stream)?, rows: rows.clone() },
             Some(*batch),
         ),
         LogKind::Interior { stream, batch } => {
-            (Invocation::Interior { stream: stream.clone() }, Some(*batch))
+            (Invocation::Interior { stream: engine.resolve_stream(stream)? }, Some(*batch))
         }
     };
+    let proc = engine
+        .ids()
+        .proc_id(&rec.proc)
+        .ok_or_else(|| Error::not_found("procedure", &rec.proc))?;
     engine.submit(
         partition,
-        TxnRequest { proc: rec.proc.clone(), invocation, batch, reply: Some(tx), replay: true },
+        TxnRequest { proc, invocation, batch, reply: Some(tx), replay: true },
     )?;
     // An individual replayed transaction may legitimately abort if it
     // aborted pre-crash too (only committed work is logged, so any

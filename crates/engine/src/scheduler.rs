@@ -79,10 +79,11 @@ impl SchedulerQueue {
 mod tests {
     use super::*;
     use crate::partition::Invocation;
+    use sstore_common::ProcId;
 
-    fn req(tag: &str) -> TxnRequest {
+    fn req(tag: u32) -> TxnRequest {
         TxnRequest {
-            proc: tag.to_owned(),
+            proc: ProcId(tag),
             invocation: Invocation::Oltp { params: Vec::new() },
             batch: None,
             reply: None,
@@ -90,44 +91,49 @@ mod tests {
         }
     }
 
-    fn order(q: &mut SchedulerQueue) -> Vec<String> {
+    fn order(q: &mut SchedulerQueue) -> Vec<u32> {
         let mut out = Vec::new();
         while let Some(r) = q.pop() {
-            out.push(r.proc);
+            out.push(r.proc.raw());
         }
         out
     }
 
+    const CLIENT_A: u32 = 1;
+    const CLIENT_B: u32 = 2;
+    const TRIGGERED: u32 = 10;
+    const TRIGGERED_2: u32 = 11;
+
     #[test]
     fn streaming_fast_tracks_triggered_work() {
         let mut q = SchedulerQueue::new(SchedulerMode::Streaming);
-        q.push_client(req("client_a"));
-        q.push_client(req("client_b"));
-        q.push_triggered(req("triggered"));
-        assert_eq!(order(&mut q), vec!["triggered", "client_a", "client_b"]);
+        q.push_client(req(CLIENT_A));
+        q.push_client(req(CLIENT_B));
+        q.push_triggered(req(TRIGGERED));
+        assert_eq!(order(&mut q), vec![TRIGGERED, CLIENT_A, CLIENT_B]);
     }
 
     #[test]
     fn triggered_batch_preserves_internal_order() {
         let mut q = SchedulerQueue::new(SchedulerMode::Streaming);
-        q.push_client(req("client"));
-        q.push_triggered_batch(vec![req("first"), req("second")]);
-        assert_eq!(order(&mut q), vec!["first", "second", "client"]);
+        q.push_client(req(CLIENT_A));
+        q.push_triggered_batch(vec![req(TRIGGERED), req(TRIGGERED_2)]);
+        assert_eq!(order(&mut q), vec![TRIGGERED, TRIGGERED_2, CLIENT_A]);
     }
 
     #[test]
     fn fifo_mode_does_not_fast_track() {
         let mut q = SchedulerQueue::new(SchedulerMode::Fifo);
-        q.push_client(req("client"));
-        q.push_triggered(req("triggered"));
-        assert_eq!(order(&mut q), vec!["client", "triggered"]);
+        q.push_client(req(CLIENT_A));
+        q.push_triggered(req(TRIGGERED));
+        assert_eq!(order(&mut q), vec![CLIENT_A, TRIGGERED]);
     }
 
     #[test]
     fn len_and_empty() {
         let mut q = SchedulerQueue::new(SchedulerMode::Streaming);
         assert!(q.is_empty());
-        q.push_client(req("x"));
+        q.push_client(req(CLIENT_A));
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());

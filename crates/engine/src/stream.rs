@@ -9,7 +9,7 @@
 //!
 //! [`TableKind::Stream`]: sstore_storage::TableKind::Stream
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use sstore_common::codec::{Decoder, Encoder};
 use sstore_common::{BatchId, Error, Result, RowId};
@@ -17,8 +17,11 @@ use sstore_common::{BatchId, Error, Result, RowId};
 /// Batch bookkeeping for one stream table.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StreamState {
-    /// Live batches, in batch order: batch id → row ids in arrival order.
-    batches: BTreeMap<BatchId, Vec<RowId>>,
+    /// Live batches, in batch order: batch id → row ids in arrival
+    /// order. Deques, because the EE-trigger GC path forgets rows in
+    /// arrival order — popping the front must be O(1), not a shift of
+    /// the whole batch.
+    batches: BTreeMap<BatchId, VecDeque<RowId>>,
 }
 
 impl StreamState {
@@ -39,12 +42,18 @@ impl StreamState {
     pub fn consume(&mut self, batch: BatchId) -> Result<Vec<RowId>> {
         self.batches
             .remove(&batch)
+            .map(Vec::from)
             .ok_or_else(|| Error::StreamViolation(format!("batch {batch} not present in stream")))
     }
 
-    /// Row ids of a batch without consuming it.
-    pub fn peek(&self, batch: BatchId) -> Option<&[RowId]> {
-        self.batches.get(&batch).map(Vec::as_slice)
+    /// Row ids of a batch without consuming it (arrival order).
+    pub fn peek(&self, batch: BatchId) -> Option<impl ExactSizeIterator<Item = RowId> + '_> {
+        self.batches.get(&batch).map(|rows| rows.iter().copied())
+    }
+
+    /// True if the batch is pending.
+    pub fn contains(&self, batch: BatchId) -> bool {
+        self.batches.contains_key(&batch)
     }
 
     /// Batches currently pending, oldest first.
@@ -68,6 +77,13 @@ impl StreamState {
     pub fn forget_row(&mut self, row: RowId) -> Option<(BatchId, usize)> {
         let mut found = None;
         for (b, rows) in self.batches.iter_mut() {
+            // Fast path: the GC after an EE-trigger cascade forgets rows
+            // in arrival order, so the target is usually at the front.
+            if rows.front() == Some(&row) {
+                rows.pop_front();
+                found = Some((*b, 0, rows.is_empty()));
+                break;
+            }
             if let Some(pos) = rows.iter().position(|r| *r == row) {
                 rows.remove(pos);
                 found = Some((*b, pos, rows.is_empty()));
@@ -98,7 +114,7 @@ impl StreamState {
 
     /// Undoes a [`StreamState::consume`]: restores the batch's rows.
     pub fn undo_consume(&mut self, batch: BatchId, rows: Vec<RowId>) {
-        self.batches.insert(batch, rows);
+        self.batches.insert(batch, rows.into());
     }
 
     /// Undoes a [`StreamState::forget_row`]: restores `row` at its old
@@ -134,9 +150,9 @@ impl StreamState {
             if nrows > d.remaining() {
                 return Err(Error::Codec("stream row count exceeds input".into()));
             }
-            let mut rows = Vec::with_capacity(nrows);
+            let mut rows = VecDeque::with_capacity(nrows);
             for _ in 0..nrows {
-                rows.push(RowId(d.get_u64()?));
+                rows.push_back(RowId(d.get_u64()?));
             }
             batches.insert(b, rows);
         }
@@ -156,6 +172,7 @@ mod tests {
         s.append(BatchId(2), [RowId(20)]);
         assert_eq!(s.pending(), vec![BatchId(1), BatchId(2)]);
         assert_eq!(s.peek(BatchId(1)).unwrap().len(), 3);
+        assert!(s.peek(BatchId(9)).is_none());
         let rows = s.consume(BatchId(1)).unwrap();
         assert_eq!(rows, vec![RowId(10), RowId(11), RowId(12)]);
         assert!(s.consume(BatchId(1)).is_err(), "double consume is a bug");
@@ -175,7 +192,7 @@ mod tests {
         let mut s = StreamState::new();
         s.append(BatchId(1), [RowId(1), RowId(2)]);
         s.forget_row(RowId(1));
-        assert_eq!(s.peek(BatchId(1)).unwrap(), &[RowId(2)]);
+        assert_eq!(s.peek(BatchId(1)).unwrap().collect::<Vec<_>>(), vec![RowId(2)]);
         s.forget_row(RowId(2));
         assert!(s.is_empty());
         s.forget_row(RowId(99)); // no-op

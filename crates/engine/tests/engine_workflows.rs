@@ -393,3 +393,47 @@ fn ingest_rejects_schema_violations_and_unknown_streams() {
     // the application's to respect at injection points.
     engine.shutdown();
 }
+
+#[test]
+fn mixed_key_batch_rejected_at_injection() {
+    let app = App::builder()
+        .stream_partitioned("input", Schema::of(&[("key", DataType::Int), ("v", DataType::Int)]), "key")
+        .table("out", Schema::of(&[("key", DataType::Int), ("v", DataType::Int)]))
+        .proc("sink", &[("ins", "INSERT INTO out (key, v) VALUES (?, ?)")], &[], |ctx| {
+            let rows = ctx.input().to_vec();
+            for r in rows {
+                ctx.sql("ins", &[r.get(0).clone(), r.get(1).clone()])?;
+            }
+            Ok(())
+        })
+        .pe_trigger("input", "sink")
+        .build()
+        .unwrap();
+    let config = EngineConfig::default().with_partitions(2).with_data_dir(test_dir("mixed"));
+    let engine = Engine::start(config, app).unwrap();
+    // Uniform-key batches route fine.
+    engine.ingest("input", vec![tuple![7i64, 1i64], tuple![7i64, 2i64]]).unwrap();
+    // A batch mixing partition keys must fail loudly at the injection
+    // site — silently routing it by its first row would process the
+    // whole atomic batch on one key's partition.
+    let err = engine
+        .ingest("input", vec![tuple![7i64, 3i64], tuple![8i64, 4i64]])
+        .unwrap_err();
+    assert!(
+        matches!(err, sstore_common::Error::InvalidState(_)),
+        "expected InvalidState, got {err:?}"
+    );
+    engine.drain().unwrap();
+    // Only the valid batch landed.
+    let n = engine.query(0, "SELECT COUNT(*) FROM out", vec![]).unwrap();
+    let n0 = n.scalar().unwrap().as_int().unwrap();
+    let n1 = engine
+        .query(1, "SELECT COUNT(*) FROM out", vec![])
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_int()
+        .unwrap();
+    assert_eq!(n0 + n1, 2);
+    engine.shutdown();
+}

@@ -1,0 +1,331 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's `benches/` use — benchmark
+//! groups with `warm_up_time` / `measurement_time` / `sample_size` /
+//! `throughput`, `bench_function` / `bench_with_input`, `Bencher::iter`
+//! and `iter_custom`, and the `criterion_group!`/`criterion_main!`
+//! macros — with a simple mean-of-samples measurement loop instead of
+//! the real crate's statistical machinery. Results print one line per
+//! benchmark:
+//!
+//! ```text
+//! group/id/param          time: 12.345 us/iter   thrpt: 16.2 Melem/s   (10 samples)
+//! ```
+//!
+//! Environment knobs: `CRITERION_QUICK=1` caps warm-up and measurement
+//! at 100 ms each (used by the smoke script).
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible black box.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units processed per iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Identifier from a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the closure time `iters` iterations itself and report the
+    /// total duration (used when setup must be excluded).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct MeasureConfig {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, cfg: &MeasureConfig, mut f: F) {
+    let (warm_up, measurement) = if quick_mode() {
+        (Duration::from_millis(50), Duration::from_millis(100))
+    } else {
+        (cfg.warm_up, cfg.measurement)
+    };
+
+    // Warm-up: run single iterations until the warm-up budget is spent,
+    // estimating the per-iteration cost as we go.
+    let mut per_iter = Duration::from_nanos(1);
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < warm_up {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        warm_iters += 1;
+        if b.elapsed > Duration::ZERO {
+            per_iter = b.elapsed;
+        }
+    }
+    if warm_iters > 0 {
+        per_iter = warm_start.elapsed() / warm_iters as u32;
+    }
+    if per_iter.is_zero() {
+        per_iter = Duration::from_nanos(1);
+    }
+
+    // Measurement: `sample_size` samples splitting the measurement
+    // budget, each sample running enough iterations to be timeable.
+    let samples = cfg.sample_size.max(1);
+    let budget_per_sample = measurement / samples as u32;
+    let iters_per_sample =
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128)
+            as u64;
+    let mut totals = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+        f(&mut b);
+        totals.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+
+    let mut line = String::new();
+    let _ = write!(line, "{label:<44} time: {:>12}/iter", fmt_time(mean));
+    if let Some(tp) = cfg.throughput {
+        let (units, unit_name) = match tp {
+            Throughput::Elements(n) => (n as f64, "elem"),
+            Throughput::Bytes(n) => (n as f64, "B"),
+        };
+        if mean > 0.0 {
+            let _ = write!(line, "   thrpt: {:>12}/s", fmt_rate(units / mean, unit_name));
+        }
+    }
+    let _ = write!(line, "   ({} samples x {} iters)", samples, iters_per_sample);
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
+}
+
+/// A named set of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: MeasureConfig,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration throughput units.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.cfg.throughput = Some(tp);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.name), &self.cfg, f);
+        self
+    }
+
+    /// Runs one benchmark with an input reference.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.name), &self.cfg, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup { name, cfg: MeasureConfig::default(), _criterion: self }
+    }
+
+    /// Runs one stand-alone benchmark with default settings.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.name, &MeasureConfig::default(), f);
+        self
+    }
+}
+
+/// Declares a benchmark entry point (compatible subset).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_without_panicking() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("shim_smoke");
+            g.sample_size(3).throughput(Throughput::Elements(10));
+            g.bench_function(BenchmarkId::new("iter", 1), |b| b.iter(|| black_box(2 + 2)));
+            g.bench_with_input(BenchmarkId::new("custom", 2), &5u64, |b, &n| {
+                b.iter_custom(|iters| {
+                    let start = std::time::Instant::now();
+                    for _ in 0..iters * n {
+                        black_box(1u64);
+                    }
+                    start.elapsed()
+                })
+            });
+            g.finish();
+        }
+    }
+
+    #[test]
+    fn formatters() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" us"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+        assert!(fmt_rate(5e6, "elem").contains("Melem"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the `proptest!` test macro with `ProptestConfig`,
+//! `prop_assert!`/`prop_assert_eq!`, integer-range / `any::<T>()` /
+//! tuple / `prop_map` / `prop_oneof!` strategies,
+//! `proptest::collection::vec`, `proptest::option::of`, and
+//! regex-subset string strategies (`"pat" as &str`).
+//!
+//! Differences from the real crate: no shrinking (a failing case panics
+//! with its case number and seed so it can be replayed), and generation
+//! is deterministic per test unless `PROPTEST_SEED` is set in the
+//! environment.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies.
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy producing `Vec<S::Value>` with a length drawn from
+    /// `size` (e.g. `0..60`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// Strategy producing `None` or `Some(inner)` with equal weight.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy::new(inner)
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude`.
+    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{any, Just};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests. Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0i64..10, v in proptest::collection::vec(any::<bool>(), 0..8)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::Rng::for_case(__case);
+                    let __seed = __rng.seed();
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!(
+                            "property failed at case {}/{} (seed {:#x}): {}",
+                            __case + 1, __config.cases, __seed, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), __l, __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: left: {:?} right: {:?}: {}",
+            __l, __r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($lhs), stringify!($rhs), __l
+        );
+    }};
+}
+
+/// Picks uniformly among several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($strat) as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}

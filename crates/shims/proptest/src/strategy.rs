@@ -1,0 +1,545 @@
+//! Value-generation strategies.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::test_runner::Rng;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+// Strategies are usually passed by value, but the vec/tuple combinators
+// also work with references.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The `prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut Rng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; `options` must be non-empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ranges and `any`
+// ---------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.int_in(self.start as i64, self.end as i64) as $t
+            }
+        }
+    )*};
+}
+
+// usize/u64 ranges used in the workspace stay far below i64::MAX, which
+// keeps the i64-based draw exact.
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut Rng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+/// Marker for `any::<T>()`.
+pub struct Any<T>(PhantomData<T>);
+
+/// Full-domain strategy for primitive types.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(PhantomData)
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        // Mostly finite values in a useful magnitude band, with a few
+        // specials.
+        match rng.below(16) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            _ => {
+                let mag = (rng.int_in(-1_000_000, 1_000_000)) as f64;
+                mag / 64.0
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+// ---------------------------------------------------------------------
+// Collections and Option
+// ---------------------------------------------------------------------
+
+/// A length range for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+/// `proptest::collection::vec` strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> VecStrategy<S> {
+    pub(crate) fn new(element: S, size: SizeRange) -> Self {
+        VecStrategy { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let len =
+            self.size.lo + rng.below((self.size.hi - self.size.lo) as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `proptest::option::of` strategy.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> OptionStrategy<S> {
+    pub(crate) fn new(inner: S) -> Self {
+        OptionStrategy { inner }
+    }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut Rng) -> Option<S::Value> {
+        if rng.bool() {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------
+
+/// `&str` patterns act as string strategies, as in real proptest. The
+/// supported regex subset covers the patterns used in this workspace:
+/// literals, `.`, escaped metacharacters, `[a-z0-9_]` classes, groups
+/// with `|` alternation, and `*` / `+` / `?` / `{m}` / `{m,n}` repeats.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut Rng) -> String {
+        let nodes = regex_gen::parse(self)
+            .unwrap_or_else(|e| panic!("unsupported regex strategy {self:?}: {e}"));
+        let mut out = String::new();
+        regex_gen::emit_seq(&nodes, rng, &mut out);
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut Rng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+mod regex_gen {
+    use crate::test_runner::Rng;
+
+    /// Alphabet for `.`: printable ASCII plus a few multi-byte chars so
+    /// generated soup still exercises UTF-8 handling.
+    const DOT_EXTRA: &[char] = &['é', 'λ', '→', '🦀', '\t', '\n'];
+
+    #[derive(Debug)]
+    pub(super) enum Node {
+        Lit(char),
+        Dot,
+        Class(Vec<(char, char)>),
+        /// Alternation of sequences.
+        Group(Vec<Vec<Node>>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    pub(super) fn parse(pat: &str) -> Result<Vec<Node>, String> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut pos = 0usize;
+        let seq = parse_alt(&chars, &mut pos)?;
+        if pos != chars.len() {
+            return Err(format!("unbalanced pattern at offset {pos}"));
+        }
+        match seq {
+            Node::Group(mut alts) if alts.len() == 1 => Ok(alts.pop().expect("one alt")),
+            other => Ok(vec![other]),
+        }
+    }
+
+    /// Parses alternation until end of input or an unmatched `)`.
+    fn parse_alt(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        let mut alts: Vec<Vec<Node>> = vec![Vec::new()];
+        while *pos < chars.len() {
+            match chars[*pos] {
+                ')' => break,
+                '|' => {
+                    *pos += 1;
+                    alts.push(Vec::new());
+                }
+                _ => {
+                    let atom = parse_atom(chars, pos)?;
+                    let atom = parse_postfix(atom, chars, pos)?;
+                    alts.last_mut().expect("non-empty alts").push(atom);
+                }
+            }
+        }
+        Ok(Node::Group(alts))
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        let c = chars[*pos];
+        *pos += 1;
+        match c {
+            '(' => {
+                let inner = parse_alt(chars, pos)?;
+                if *pos >= chars.len() || chars[*pos] != ')' {
+                    return Err("unclosed group".into());
+                }
+                *pos += 1;
+                Ok(inner)
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                while *pos < chars.len() && chars[*pos] != ']' {
+                    let lo = chars[*pos];
+                    *pos += 1;
+                    if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                        let hi = chars[*pos + 1];
+                        *pos += 2;
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                if *pos >= chars.len() {
+                    return Err("unclosed character class".into());
+                }
+                *pos += 1; // ']'
+                if ranges.is_empty() {
+                    return Err("empty character class".into());
+                }
+                Ok(Node::Class(ranges))
+            }
+            '\\' => {
+                if *pos >= chars.len() {
+                    return Err("dangling escape".into());
+                }
+                let e = chars[*pos];
+                *pos += 1;
+                Ok(Node::Lit(e))
+            }
+            '.' => Ok(Node::Dot),
+            other => Ok(Node::Lit(other)),
+        }
+    }
+
+    fn parse_postfix(atom: Node, chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        if *pos >= chars.len() {
+            return Ok(atom);
+        }
+        match chars[*pos] {
+            '*' => {
+                *pos += 1;
+                Ok(Node::Repeat(Box::new(atom), 0, 8))
+            }
+            '+' => {
+                *pos += 1;
+                Ok(Node::Repeat(Box::new(atom), 1, 8))
+            }
+            '?' => {
+                *pos += 1;
+                Ok(Node::Repeat(Box::new(atom), 0, 1))
+            }
+            '{' => {
+                *pos += 1;
+                let mut lo = String::new();
+                while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                    lo.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let lo: u32 = lo.parse().map_err(|_| "bad repeat count".to_string())?;
+                let hi = if *pos < chars.len() && chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut hi = String::new();
+                    while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+                        hi.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    hi.parse().map_err(|_| "bad repeat bound".to_string())?
+                } else {
+                    lo
+                };
+                if *pos >= chars.len() || chars[*pos] != '}' {
+                    return Err("unclosed repeat".into());
+                }
+                *pos += 1;
+                if hi < lo {
+                    return Err("inverted repeat bounds".into());
+                }
+                Ok(Node::Repeat(Box::new(atom), lo, hi))
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    pub(super) fn emit_seq(nodes: &[Node], rng: &mut Rng, out: &mut String) {
+        for n in nodes {
+            emit(n, rng, out);
+        }
+    }
+
+    fn emit(node: &Node, rng: &mut Rng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::Dot => {
+                // ~1-in-8 draws picks a non-ASCII/control char.
+                if rng.below(8) == 0 {
+                    let i = rng.below(DOT_EXTRA.len() as u64) as usize;
+                    out.push(DOT_EXTRA[i]);
+                } else {
+                    let c = (0x20 + rng.below(0x5f)) as u8 as char; // ' '..='~'
+                    out.push(c);
+                }
+            }
+            Node::Class(ranges) => {
+                let i = rng.below(ranges.len() as u64) as usize;
+                let (lo, hi) = ranges[i];
+                let span = (hi as u32) - (lo as u32) + 1;
+                let c = char::from_u32(lo as u32 + rng.below(u64::from(span)) as u32)
+                    .unwrap_or(lo);
+                out.push(c);
+            }
+            Node::Group(alts) => {
+                let i = rng.below(alts.len() as u64) as usize;
+                emit_seq(&alts[i], rng, out);
+            }
+            Node::Repeat(inner, lo, hi) => {
+                let n = lo + rng.below(u64::from(hi - lo) + 1) as u32;
+                for _ in 0..n {
+                    emit(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::Rng;
+
+    fn rng() -> Rng {
+        Rng::for_case(7)
+    }
+
+    #[test]
+    fn ranges_and_any() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (0i64..50).generate(&mut r);
+            assert!((0..50).contains(&v));
+            let u = (1usize..120).generate(&mut r);
+            assert!((1..120).contains(&u));
+        }
+        let _: bool = any::<bool>().generate(&mut r);
+        let _: i64 = any::<i64>().generate(&mut r);
+    }
+
+    #[test]
+    fn map_union_tuple_vec_option() {
+        let mut r = rng();
+        let s = (0i64..10, any::<bool>()).prop_map(|(a, b)| if b { a } else { -a });
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert!((-9..10).contains(&v));
+        }
+        let u = crate::prop_oneof![Just(1i64), Just(2i64)];
+        for _ in 0..20 {
+            assert!([1i64, 2i64].contains(&u.generate(&mut r)));
+        }
+        let vs = crate::collection::vec(0i64..5, 2..4);
+        for _ in 0..20 {
+            let v = vs.generate(&mut r);
+            assert!(v.len() == 2 || v.len() == 3);
+        }
+        let o = crate::option::of(0i64..5);
+        let mut saw_some = false;
+        let mut saw_none = false;
+        for _ in 0..64 {
+            match o.generate(&mut r) {
+                Some(_) => saw_some = true,
+                None => saw_none = true,
+            }
+        }
+        assert!(saw_some && saw_none);
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_shapes() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = ".{0,200}".generate(&mut r);
+            assert!(s.chars().count() <= 200);
+        }
+        for _ in 0..50 {
+            let s = "[a-z]{1,6}".generate(&mut r);
+            assert!((1..=6).contains(&s.len()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+        for _ in 0..50 {
+            let s = "(ab|cd){1,3}".generate(&mut r);
+            assert!(!s.is_empty() && s.len() % 2 == 0);
+        }
+        for _ in 0..20 {
+            let s = "'[a-z]*'".generate(&mut r);
+            assert!(s.starts_with('\'') && s.ends_with('\''));
+        }
+        // The workload's big alternation parses and generates.
+        let pat = "(SELECT|INSERT|UPDATE|DELETE|FROM|WHERE|GROUP|ORDER|BY|AND|OR|NOT|\\(|\\)|,|\\*|=|<|>|\\?|[a-z]{1,6}|[0-9]{1,4}|'[a-z]*'| ){1,30}";
+        for _ in 0..20 {
+            let s = pat.generate(&mut r);
+            assert!(!s.is_empty());
+        }
+    }
+}

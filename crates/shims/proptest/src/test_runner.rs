@@ -1,0 +1,142 @@
+//! Test-runner plumbing: config, RNG, and the case-failure error type.
+
+use std::fmt;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a property case failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => f.write_str(m),
+        }
+    }
+}
+
+/// SplitMix64 generator: tiny, fast, good-enough distribution for test
+/// input generation. Deterministic per (base seed, case index).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+    seed: u64,
+}
+
+const DEFAULT_SEED: u64 = 0x5375_6e64_6179_2042; // arbitrary fixed constant
+
+impl Rng {
+    /// RNG for one case of a test run. Honors `PROPTEST_SEED` (decimal
+    /// or 0x-hex) so a reported failure can be replayed.
+    pub fn for_case(case: u32) -> Rng {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| {
+                let s = s.trim();
+                if let Some(hex) = s.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).ok()
+                } else {
+                    s.parse().ok()
+                }
+            })
+            .unwrap_or(DEFAULT_SEED);
+        // Scramble (base, case) so per-case streams don't sit a fixed
+        // number of SplitMix increments apart (which would make them
+        // overlap after a few draws).
+        let mut z = base ^ (u64::from(case) + 1).wrapping_mul(0xd6e8_feb8_6659_fd93);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let seed = z ^ (z >> 31);
+        Rng { state: seed, seed }
+    }
+
+    /// The seed this case started from (for failure reports).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % n
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi);
+        let span = (hi as i128 - lo as i128) as u128;
+        let v = (u128::from(self.next_u64()) % span) as i128;
+        (lo as i128 + v) as i64
+    }
+
+    /// Uniform bool.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = Rng::for_case(3);
+        let mut b = Rng::for_case(3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = Rng::for_case(4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn int_in_stays_in_range() {
+        let mut r = Rng::for_case(0);
+        for _ in 0..1000 {
+            let v = r.int_in(-20, 20);
+            assert!((-20..20).contains(&v));
+        }
+        for _ in 0..100 {
+            let v = r.int_in(i64::MIN, i64::MAX);
+            assert!(v < i64::MAX);
+        }
+    }
+}

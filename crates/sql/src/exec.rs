@@ -12,9 +12,12 @@
 //! maps, so identical inputs produce identical outputs — a prerequisite
 //! for command-log replay producing identical state (§3.2.5).
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashSet};
 
-use sstore_common::{Error, Result, RowId, Tuple, Value};
+use sstore_common::hash::FxHashMap;
+
+use sstore_common::{Error, Result, RowId, TableId, Tuple, Value};
 use sstore_storage::{Catalog, Table};
 
 use crate::ast::{AggFunc, SortOrder};
@@ -22,19 +25,23 @@ use crate::expr::{AggSpec, BoundExpr, EvalCtx};
 use crate::plan::{Access, BoundScan, BoundSelect, BoundStatement};
 
 /// One physical mutation performed by a statement.
+///
+/// Effects identify their table by [`TableId`] and carry shared-buffer
+/// [`Tuple`]s, so recording one is allocation-free (ids are `Copy`;
+/// tuple clones are refcount bumps).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Effect {
     /// A row was inserted.
     Insert {
-        /// Table name.
-        table: String,
+        /// Target table.
+        table: TableId,
         /// Id the new row received.
         row: RowId,
     },
     /// A row was deleted.
     Delete {
-        /// Table name.
-        table: String,
+        /// Target table.
+        table: TableId,
         /// Id the row had.
         row: RowId,
         /// The deleted tuple (needed to restore on undo).
@@ -42,8 +49,8 @@ pub enum Effect {
     },
     /// A row was updated in place.
     Update {
-        /// Table name.
-        table: String,
+        /// Target table.
+        table: TableId,
         /// Row id.
         row: RowId,
         /// Pre-image (needed to restore on undo).
@@ -85,10 +92,10 @@ pub fn execute(
         BoundStatement::Select(s) => run_select(catalog, s, params),
         BoundStatement::Insert(i) => {
             let mut rows_to_insert: Vec<Vec<Value>> = Vec::new();
-            let schema_arity = catalog.table(&i.table)?.schema().arity();
+            let schema_arity = catalog.get(i.table).schema().arity();
             if let Some(sel) = &i.select {
-                let result = run_select(catalog, sel, params)?;
-                for out in result.rows {
+                let result = run_select_rows(catalog, sel, params)?;
+                for out in result {
                     let mut full = vec![Value::Null; schema_arity];
                     for (v, &pos) in out.into_values().into_iter().zip(&i.select_positions) {
                         full[pos] = v;
@@ -108,25 +115,27 @@ pub fn execute(
                     rows_to_insert.push(full);
                 }
             }
-            let table = catalog.table_mut(&i.table)?;
+            let table = catalog.get_mut(i.table);
             let mut n = 0;
             for values in rows_to_insert {
                 let id = table.insert(Tuple::new(values))?;
-                effects.push(Effect::Insert { table: i.table.clone(), row: id });
+                effects.push(Effect::Insert { table: i.table, row: id });
                 n += 1;
             }
             Ok(QueryResult { rows_affected: n, ..QueryResult::default() })
         }
         BoundStatement::Update(u) => {
-            let table = catalog.table_mut(&u.scan.table)?;
+            let table = catalog.get_mut(u.scan.table);
             let ids = candidate_rows(table, &u.scan, u.where_pred.as_ref(), params)?;
             // Compute all new tuples from pre-images first, then apply:
             // assignments see a consistent snapshot even if the statement
             // touches the columns it reads.
             let mut updates: Vec<(RowId, Tuple)> = Vec::with_capacity(ids.len());
             for id in ids {
-                let old = table.get(id).expect("candidate row is live").clone();
+                let old = table.get(id).expect("candidate row is live");
                 let ctx = EvalCtx { row: old.values(), params, aggs: &[] };
+                // The one unavoidable copy: UPDATE actually rewrites the
+                // row, so materialize the new image from the pre-image.
                 let mut new_values = old.values().to_vec();
                 for (pos, expr) in &u.assignments {
                     new_values[*pos] = expr.eval(&ctx)?;
@@ -136,18 +145,18 @@ pub fn execute(
             let mut n = 0;
             for (id, new) in updates {
                 let old = table.update(id, new)?;
-                effects.push(Effect::Update { table: u.scan.table.clone(), row: id, old });
+                effects.push(Effect::Update { table: u.scan.table, row: id, old });
                 n += 1;
             }
             Ok(QueryResult { rows_affected: n, ..QueryResult::default() })
         }
         BoundStatement::Delete(d) => {
-            let table = catalog.table_mut(&d.scan.table)?;
+            let table = catalog.get_mut(d.scan.table);
             let ids = candidate_rows(table, &d.scan, d.where_pred.as_ref(), params)?;
             let mut n = 0;
             for id in ids {
                 let tuple = table.delete(id)?;
-                effects.push(Effect::Delete { table: d.scan.table.clone(), row: id, tuple });
+                effects.push(Effect::Delete { table: d.scan.table, row: id, tuple });
                 n += 1;
             }
             Ok(QueryResult { rows_affected: n, ..QueryResult::default() })
@@ -160,13 +169,13 @@ pub fn execute(
 pub fn undo_effect(catalog: &mut Catalog, effect: &Effect) -> Result<()> {
     match effect {
         Effect::Insert { table, row } => {
-            catalog.table_mut(table)?.delete(*row)?;
+            catalog.get_mut(*table).delete(*row)?;
         }
         Effect::Delete { table, row, tuple } => {
-            catalog.table_mut(table)?.insert_with_id(*row, tuple.clone())?;
+            catalog.get_mut(*table).insert_with_id(*row, tuple.clone())?;
         }
         Effect::Update { table, row, old } => {
-            catalog.table_mut(table)?.update(*row, old.clone())?;
+            catalog.get_mut(*table).update(*row, old.clone())?;
         }
     }
     Ok(())
@@ -181,7 +190,7 @@ fn candidate_rows(
     params: &[Value],
 ) -> Result<Vec<RowId>> {
     let mut ids: Vec<RowId> = match &scan.access {
-        Access::FullScan => table.scan_ordered().into_iter().map(|(id, _)| id).collect(),
+        Access::FullScan => table.scan_ordered().map(|(id, _)| id).collect(),
         Access::IndexEq { key_cols, key_exprs } => {
             let ctx = EvalCtx { row: &[], params, aggs: &[] };
             let mut key = Vec::with_capacity(key_exprs.len());
@@ -208,11 +217,24 @@ fn candidate_rows(
 }
 
 /// Runs a bound SELECT.
+///
+/// The row pipeline operates on borrowed rows (`Cow<[Value]>`): a scan
+/// borrows each live tuple's value slice directly from the table, so a
+/// SELECT over N rows performs zero per-row clones. Owned rows appear
+/// only where a join genuinely materializes a concatenation.
 pub fn run_select(catalog: &Catalog, s: &BoundSelect, params: &[Value]) -> Result<QueryResult> {
-    // 1. Base scan.
-    let base = catalog.table(&s.from.table)?;
-    let mut rows: Vec<Vec<Value>> = match &s.from.access {
-        Access::FullScan => base.scan_ordered().into_iter().map(|(_, t)| t.values().to_vec()).collect(),
+    let rows = run_select_rows(catalog, s, params)?;
+    Ok(QueryResult { columns: s.output_names.clone(), rows, rows_affected: 0 })
+}
+
+/// Like [`run_select`] but returns only the rows — used where output
+/// column names are not needed (INSERT ... SELECT, EE triggers), saving
+/// the per-execution name clone.
+pub fn run_select_rows(catalog: &Catalog, s: &BoundSelect, params: &[Value]) -> Result<Vec<Tuple>> {
+    // 1. Base scan (borrowed rows).
+    let base = catalog.get(s.from.table);
+    let mut rows: Vec<Cow<'_, [Value]>> = match &s.from.access {
+        Access::FullScan => base.scan_ordered().map(|(_, t)| Cow::Borrowed(t.values())).collect(),
         Access::IndexEq { key_cols, key_exprs } => {
             let ctx = EvalCtx { row: &[], params, aggs: &[] };
             let mut key = Vec::with_capacity(key_exprs.len());
@@ -222,46 +244,53 @@ pub fn run_select(catalog: &Catalog, s: &BoundSelect, params: &[Value]) -> Resul
             let mut ids = base.lookup_eq(key_cols, &key);
             ids.sort_unstable();
             ids.iter()
-                .map(|id| base.get(*id).expect("indexed row is live").values().to_vec())
+                .map(|id| Cow::Borrowed(base.get(*id).expect("indexed row is live").values()))
                 .collect()
         }
     };
 
-    // 2. Joins, left-deep.
+    // 2. Joins, left-deep. Only here do rows become owned (the
+    // concatenation is a new row by construction).
     for join in &s.joins {
-        let right = catalog.table(&join.table)?;
-        let right_rows: Vec<&Tuple> = right.scan_ordered().into_iter().map(|(_, t)| t).collect();
-        let mut next: Vec<Vec<Value>> = Vec::new();
+        let right = catalog.get(join.table);
+        let right_rows: Vec<&[Value]> = right.scan_ordered().map(|(_, t)| t.values()).collect();
+        let mut next: Vec<Cow<'_, [Value]>> = Vec::new();
         if join.equi.is_empty() {
             // Nested loop with full ON predicate.
             for left in &rows {
                 for r in &right_rows {
-                    let mut combined = left.clone();
-                    combined.extend_from_slice(r.values());
+                    let mut combined = Vec::with_capacity(left.len() + r.len());
+                    combined.extend_from_slice(left);
+                    combined.extend_from_slice(r);
                     let ctx = EvalCtx { row: &combined, params, aggs: &[] };
                     if join.on.eval_predicate(&ctx)? {
-                        next.push(combined);
+                        next.push(Cow::Owned(combined));
                     }
                 }
             }
         } else {
             // Hash join on the extracted key, ON re-checked (covers
-            // residual conjuncts and SQL NULL-key semantics).
-            let mut ht: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(right_rows.len());
+            // residual conjuncts and SQL NULL-key semantics). Keys are
+            // borrowed value refs on both build and probe sides; the
+            // probe buffer is reused across rows.
+            let mut ht: FxHashMap<Vec<&Value>, Vec<usize>> =
+                FxHashMap::with_capacity_and_hasher(right_rows.len(), Default::default());
             for (i, r) in right_rows.iter().enumerate() {
-                let key: Vec<Value> =
-                    join.equi.iter().map(|(_, rc)| r.get(*rc).clone()).collect();
+                let key: Vec<&Value> = join.equi.iter().map(|(_, rc)| &r[*rc]).collect();
                 ht.entry(key).or_default().push(i);
             }
+            let mut probe: Vec<&Value> = Vec::with_capacity(join.equi.len());
             for left in &rows {
-                let key: Vec<Value> = join.equi.iter().map(|(lc, _)| left[*lc].clone()).collect();
-                if let Some(matches) = ht.get(&key) {
+                probe.clear();
+                probe.extend(join.equi.iter().map(|(lc, _)| &left[*lc]));
+                if let Some(matches) = ht.get(probe.as_slice()) {
                     for &i in matches {
-                        let mut combined = left.clone();
-                        combined.extend_from_slice(right_rows[i].values());
+                        let mut combined = Vec::with_capacity(left.len() + right_rows[i].len());
+                        combined.extend_from_slice(left);
+                        combined.extend_from_slice(right_rows[i]);
                         let ctx = EvalCtx { row: &combined, params, aggs: &[] };
                         if join.on.eval_predicate(&ctx)? {
-                            next.push(combined);
+                            next.push(Cow::Owned(combined));
                         }
                     }
                 }
@@ -270,7 +299,7 @@ pub fn run_select(catalog: &Catalog, s: &BoundSelect, params: &[Value]) -> Resul
         rows = next;
     }
 
-    // 3. WHERE.
+    // 3. WHERE (moves the surviving rows, no clones).
     if let Some(pred) = &s.where_pred {
         let mut kept = Vec::with_capacity(rows.len());
         for row in rows {
@@ -359,8 +388,7 @@ pub fn run_select(catalog: &Catalog, s: &BoundSelect, params: &[Value]) -> Resul
     if let Some(limit) = s.limit {
         rows_out.truncate(limit as usize);
     }
-
-    Ok(QueryResult { columns: s.output_names.clone(), rows: rows_out, rows_affected: 0 })
+    Ok(rows_out)
 }
 
 /// Streaming aggregate accumulator.
@@ -642,7 +670,8 @@ mod tests {
         );
         assert_eq!(r.rows_affected, 1);
         assert_eq!(fx.len(), 1);
-        assert!(matches!(&fx[0], Effect::Insert { table, .. } if table == "votes"));
+        let votes_id = c.id_of("votes").unwrap();
+        assert!(matches!(&fx[0], Effect::Insert { table, .. } if *table == votes_id));
         assert_eq!(c.table("votes").unwrap().len(), 7);
     }
 

@@ -9,12 +9,12 @@
 //! the effect the paper leans on in §4.6.3 (vote validation is an index
 //! probe in S-Store but a scan in Spark Streaming).
 
-use sstore_common::{Error, Result, Schema};
+use sstore_common::{Error, Result, Schema, TableId};
 use sstore_storage::Catalog;
 
 use crate::ast::{
     BinOp, ColumnRef, Delete, Expr, Insert, InsertSource, OrderKey, Select, SelectItem, SortOrder,
-    Statement, TableRef, Update,
+    Statement, Update,
 };
 use crate::expr::{AggSpec, BoundExpr};
 
@@ -36,8 +36,9 @@ pub enum Access {
 /// A bound base-table scan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BoundScan {
-    /// Table name.
-    pub table: String,
+    /// Target table, resolved at plan time (no name lookup at
+    /// execution).
+    pub table: TableId,
     /// Chosen access path.
     pub access: Access,
 }
@@ -45,8 +46,8 @@ pub struct BoundScan {
 /// A bound join step (left-deep).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BoundJoin {
-    /// Right-hand table name.
-    pub table: String,
+    /// Right-hand table, resolved at plan time.
+    pub table: TableId,
     /// Equi-join key pairs `(left_pos_in_prefix, right_pos_in_table)`
     /// extracted from the ON clause; empty means pure nested loop.
     pub equi: Vec<(usize, usize)>,
@@ -90,8 +91,8 @@ pub struct BoundSelect {
 /// A bound INSERT.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BoundInsert {
-    /// Target table.
-    pub table: String,
+    /// Target table, resolved at plan time.
+    pub table: TableId,
     /// For each target-table column (in schema order): the expression
     /// producing it, or `None` to fill with NULL.
     pub row_template: Vec<Vec<Option<BoundExpr>>>,
@@ -227,6 +228,10 @@ impl<'a> Planner<'a> {
         self.plan(&crate::parse(sql)?)
     }
 
+    fn resolve(&self, table: &str) -> Result<TableId> {
+        self.catalog.id_of(table).ok_or_else(|| Error::not_found("table", table))
+    }
+
     fn schema_of(&self, table: &str) -> Result<Schema> {
         Ok(self.catalog.table(table)?.schema().clone())
     }
@@ -243,15 +248,16 @@ impl<'a> Planner<'a> {
             scope.push(j.table.effective_alias(), right_schema)?;
             let on = bind_scalar(&j.on, &scope)?;
             let equi = extract_equi_pairs(&on, prefix_arity, right_arity);
-            joins.push(BoundJoin { table: j.table.name.clone(), equi, on });
+            joins.push(BoundJoin { table: self.resolve(&j.table.name)?, equi, on });
         }
 
         let where_pred = s.where_clause.as_ref().map(|e| bind_scalar(e, &scope)).transpose()?;
 
         // Choose the access path for the base table from WHERE conjuncts
         // that constrain base-table columns with row-independent values.
-        let access = self.choose_access(&s.from, where_pred.as_ref())?;
-        let from = BoundScan { table: s.from.name.clone(), access };
+        let table_id = self.resolve(&s.from.name)?;
+        let access = self.choose_access(table_id, where_pred.as_ref());
+        let from = BoundScan { table: table_id, access };
 
         // Expand aliases referenced by ORDER BY / HAVING before binding.
         let alias_map: Vec<(String, Expr)> = s
@@ -358,14 +364,14 @@ impl<'a> Planner<'a> {
     /// `<base column> = <row-independent>` against the base table's
     /// indexes. The full WHERE is still applied as a residual filter, so
     /// this is purely an access-path optimization.
-    fn choose_access(&self, from: &TableRef, where_pred: Option<&BoundExpr>) -> Result<Access> {
-        let Some(pred) = where_pred else { return Ok(Access::FullScan) };
-        let table = self.catalog.table(&from.name)?;
+    fn choose_access(&self, table: TableId, where_pred: Option<&BoundExpr>) -> Access {
+        let Some(pred) = where_pred else { return Access::FullScan };
+        let table = self.catalog.get(table);
         let base_arity = table.schema().arity();
         let mut eq: Vec<(usize, BoundExpr)> = Vec::new();
         collect_eq_constraints(pred, base_arity, &mut eq);
         if eq.is_empty() {
-            return Ok(Access::FullScan);
+            return Access::FullScan;
         }
         // Prefer the index covering the most key columns.
         let mut best: Option<(Vec<usize>, Vec<BoundExpr>)> = None;
@@ -385,15 +391,15 @@ impl<'a> Planner<'a> {
                 best = Some((def.key_columns.clone(), exprs));
             }
         }
-        Ok(match best {
+        match best {
             Some((key_cols, key_exprs)) => Access::IndexEq { key_cols, key_exprs },
             None => Access::FullScan,
-        })
+        }
     }
 
     fn plan_insert(&self, i: &Insert) -> Result<BoundInsert> {
-        let table = self.catalog.table(&i.table)?;
-        let schema = table.schema().clone();
+        let table_id = self.resolve(&i.table)?;
+        let schema = self.catalog.get(table_id).schema().clone();
         // Resolve the target column positions (schema order positions).
         let positions: Vec<usize> = if i.columns.is_empty() {
             (0..schema.arity()).collect()
@@ -440,7 +446,7 @@ impl<'a> Planner<'a> {
                     templates.push(template);
                 }
                 Ok(BoundInsert {
-                    table: table.name().to_owned(),
+                    table: table_id,
                     row_template: templates,
                     select: None,
                     select_positions: Vec::new(),
@@ -456,7 +462,7 @@ impl<'a> Planner<'a> {
                     )));
                 }
                 Ok(BoundInsert {
-                    table: table.name().to_owned(),
+                    table: table_id,
                     row_template: Vec::new(),
                     select: Some(Box::new(bound)),
                     select_positions: positions,
@@ -466,35 +472,30 @@ impl<'a> Planner<'a> {
     }
 
     fn plan_update(&self, u: &Update) -> Result<BoundUpdate> {
-        let table = self.catalog.table(&u.table)?;
-        let schema = table.schema().clone();
+        let table_id = self.resolve(&u.table)?;
+        let schema = self.catalog.get(table_id).schema().clone();
         let scope = Scope::single(&u.table.to_ascii_lowercase(), schema.clone());
         let where_pred = u.where_clause.as_ref().map(|e| bind_scalar(e, &scope)).transpose()?;
-        let access = self.choose_access(
-            &TableRef { name: u.table.clone(), alias: None },
-            where_pred.as_ref(),
-        )?;
+        let access = self.choose_access(table_id, where_pred.as_ref());
         let mut assignments = Vec::with_capacity(u.assignments.len());
         for (col, expr) in &u.assignments {
             let pos = schema.index_of_or_err(col)?;
             assignments.push((pos, bind_scalar(expr, &scope)?));
         }
         Ok(BoundUpdate {
-            scan: BoundScan { table: table.name().to_owned(), access },
+            scan: BoundScan { table: table_id, access },
             assignments,
             where_pred,
         })
     }
 
     fn plan_delete(&self, d: &Delete) -> Result<BoundDelete> {
-        let table = self.catalog.table(&d.table)?;
-        let scope = Scope::single(&d.table.to_ascii_lowercase(), table.schema().clone());
+        let table_id = self.resolve(&d.table)?;
+        let scope =
+            Scope::single(&d.table.to_ascii_lowercase(), self.catalog.get(table_id).schema().clone());
         let where_pred = d.where_clause.as_ref().map(|e| bind_scalar(e, &scope)).transpose()?;
-        let access = self.choose_access(
-            &TableRef { name: d.table.clone(), alias: None },
-            where_pred.as_ref(),
-        )?;
-        Ok(BoundDelete { scan: BoundScan { table: table.name().to_owned(), access }, where_pred })
+        let access = self.choose_access(table_id, where_pred.as_ref());
+        Ok(BoundDelete { scan: BoundScan { table: table_id, access }, where_pred })
     }
 }
 

@@ -2,17 +2,25 @@
 
 use std::collections::BTreeMap;
 
-use sstore_common::{Error, Result, Schema};
+use sstore_common::{Error, Result, Schema, TableId};
 
 use crate::table::{Table, TableKind};
 
-/// All tables of one partition, addressable by (lower-cased) name.
+/// All tables of one partition.
 ///
-/// Backed by a `BTreeMap` so iteration order — and therefore snapshot
-/// byte layout and recovery order — is deterministic.
+/// Tables live in a dense vector addressed by [`TableId`] (assigned in
+/// creation order) — the engine and compiled SQL plans resolve names to
+/// ids once and use O(1), allocation-free id access on the hot path.
+/// Name lookup (case-insensitive; names are stored lower-cased) stays
+/// available at the public API edge. The name map is a `BTreeMap` so
+/// iteration order — and therefore snapshot byte layout and recovery
+/// order — is deterministic.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
-    tables: BTreeMap<String, Table>,
+    /// Dense storage; `None` marks a dropped table (ids stay stable).
+    tables: Vec<Option<Table>>,
+    by_name: BTreeMap<String, TableId>,
+    live: usize,
 }
 
 impl Catalog {
@@ -21,78 +29,110 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Creates a table. Fails if the name is taken.
+    /// Creates a table, assigning the next [`TableId`]. Fails if the
+    /// name is taken.
     pub fn create_table(
         &mut self,
         name: impl Into<String>,
         kind: TableKind,
         schema: Schema,
     ) -> Result<&mut Table> {
-        let name = name.into().to_ascii_lowercase();
-        if self.tables.contains_key(&name) {
-            return Err(Error::already_exists("table", name));
-        }
-        let table = Table::new(name.clone(), kind, schema);
-        Ok(self.tables.entry(name).or_insert(table))
+        self.install_table(Table::new(name, kind, schema)).map(move |id| {
+            self.tables[id.index()].as_mut().expect("just installed")
+        })
     }
 
-    /// Registers an already-built table (snapshot load path).
-    pub fn install_table(&mut self, table: Table) -> Result<()> {
+    /// Registers an already-built table (snapshot load path), returning
+    /// its assigned id.
+    pub fn install_table(&mut self, table: Table) -> Result<TableId> {
         let name = table.name().to_owned();
-        if self.tables.contains_key(&name) {
+        if self.by_name.contains_key(&name) {
             return Err(Error::already_exists("table", name));
         }
-        self.tables.insert(name, table);
-        Ok(())
+        let id = TableId(self.tables.len() as u32);
+        self.tables.push(Some(table));
+        self.by_name.insert(name, id);
+        self.live += 1;
+        Ok(id)
     }
 
-    /// Drops a table.
+    /// Drops a table. Its id is retired, not reused.
     pub fn drop_table(&mut self, name: &str) -> Result<Table> {
         let key = name.to_ascii_lowercase();
-        self.tables.remove(&key).ok_or_else(|| Error::not_found("table", name))
+        let id = self.by_name.remove(&key).ok_or_else(|| Error::not_found("table", name))?;
+        let table = self.tables[id.index()].take().expect("named table is present");
+        self.live -= 1;
+        Ok(table)
     }
 
-    /// Shared access to a table.
+    /// Resolves a (case-insensitive) name to its id.
+    pub fn id_of(&self, name: &str) -> Option<TableId> {
+        if let Some(id) = self.by_name.get(name) {
+            return Some(*id);
+        }
+        self.by_name.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// O(1) access by id. Panics on a retired or foreign id — ids are
+    /// only ever minted by this catalog, so that is an engine bug.
+    #[inline]
+    pub fn get(&self, id: TableId) -> &Table {
+        self.tables[id.index()].as_ref().expect("table id is live")
+    }
+
+    /// O(1) mutable access by id.
+    #[inline]
+    pub fn get_mut(&mut self, id: TableId) -> &mut Table {
+        self.tables[id.index()].as_mut().expect("table id is live")
+    }
+
+    /// Shared access to a table by name.
     pub fn table(&self, name: &str) -> Result<&Table> {
-        let key = name.to_ascii_lowercase();
-        self.tables.get(&key).ok_or_else(|| Error::not_found("table", name))
+        self.id_of(name).map(|id| self.get(id)).ok_or_else(|| Error::not_found("table", name))
     }
 
-    /// Mutable access to a table.
+    /// Mutable access to a table by name.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
-        let key = name.to_ascii_lowercase();
-        self.tables.get_mut(&key).ok_or_else(|| Error::not_found("table", name))
+        let id = self.id_of(name).ok_or_else(|| Error::not_found("table", name))?;
+        Ok(self.get_mut(id))
     }
 
     /// True if the name resolves.
     pub fn contains(&self, name: &str) -> bool {
-        self.tables.contains_key(&name.to_ascii_lowercase())
+        self.id_of(name).is_some()
     }
 
-    /// Number of tables.
+    /// Number of live tables.
     pub fn len(&self) -> usize {
-        self.tables.len()
+        self.live
     }
 
     /// True when the catalog holds no tables.
     pub fn is_empty(&self) -> bool {
-        self.tables.is_empty()
+        self.live == 0
     }
 
     /// Iterates tables in name order.
     pub fn iter(&self) -> impl Iterator<Item = &Table> + '_ {
-        self.tables.values()
+        self.by_name.values().map(|id| self.get(*id))
     }
 
-    /// Iterates tables mutably in name order.
+    /// Iterates `(id, table)` pairs in id (creation) order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = (TableId, &Table)> + '_ {
+        self.tables
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_ref().map(|t| (TableId(i as u32), t)))
+    }
+
+    /// Iterates tables mutably (id order).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Table> + '_ {
-        self.tables.values_mut()
+        self.tables.iter_mut().flatten()
     }
 
     /// Names of all tables of a given kind, in name order.
     pub fn names_of_kind(&self, kind: TableKind) -> Vec<String> {
-        self.tables
-            .values()
+        self.iter()
             .filter(|t| t.kind() == kind)
             .map(|t| t.name().to_owned())
             .collect()
@@ -130,6 +170,24 @@ mod tests {
     }
 
     #[test]
+    fn ids_are_dense_and_stable() {
+        let mut c = Catalog::new();
+        c.create_table("a", TableKind::Base, schema()).unwrap();
+        c.create_table("b", TableKind::Stream, schema()).unwrap();
+        let a = c.id_of("a").unwrap();
+        let b = c.id_of("B").unwrap();
+        assert_eq!(a, TableId(0));
+        assert_eq!(b, TableId(1));
+        assert_eq!(c.get(b).name(), "b");
+        c.get_mut(a).insert(sstore_common::tuple![1i64]).unwrap();
+        assert_eq!(c.get(a).len(), 1);
+        // Dropping `a` retires its id; `b` keeps its id.
+        c.drop_table("a").unwrap();
+        assert_eq!(c.id_of("b"), Some(TableId(1)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
     fn names_of_kind_filters_and_orders() {
         let mut c = Catalog::new();
         c.create_table("zz", TableKind::Stream, schema()).unwrap();
@@ -156,5 +214,7 @@ mod tests {
         }
         let names: Vec<&str> = c.iter().map(Table::name).collect();
         assert_eq!(names, vec!["a", "b", "c"]);
+        let id_order: Vec<&str> = c.iter_ids().map(|(_, t)| t.name()).collect();
+        assert_eq!(id_order, vec!["b", "a", "c"]);
     }
 }

@@ -9,9 +9,10 @@
 //! An index never owns tuples — it maps key value vectors to [`RowId`]s
 //! and is maintained by [`Table`](crate::table::Table) mutation paths.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::ops::Bound;
 
+use sstore_common::hash::FxHashMap;
 use sstore_common::{RowId, Value};
 
 /// Physical index kind.
@@ -47,7 +48,7 @@ impl IndexDef {
 #[derive(Debug, Clone)]
 pub enum IndexData {
     /// Hash-backed.
-    Hash(HashMap<Vec<Value>, Vec<RowId>>),
+    Hash(FxHashMap<Vec<Value>, Vec<RowId>>),
     /// B-tree-backed.
     BTree(BTreeMap<Vec<Value>, Vec<RowId>>),
 }
@@ -64,7 +65,7 @@ impl Index {
     /// Creates an empty index for `def`.
     pub fn new(def: IndexDef) -> Self {
         let data = match def.kind {
-            IndexKind::Hash => IndexData::Hash(HashMap::new()),
+            IndexKind::Hash => IndexData::Hash(FxHashMap::default()),
             IndexKind::BTree => IndexData::BTree(BTreeMap::new()),
         };
         Index { def, data }

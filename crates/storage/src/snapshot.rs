@@ -51,9 +51,9 @@ fn encode_table(e: &mut Encoder, table: &Table) {
             e.put_varint(c as u64);
         }
     }
-    let rows = table.scan_ordered();
-    e.put_varint(rows.len() as u64);
-    for (id, t) in rows {
+    // scan_ordered yields exactly the live rows.
+    e.put_varint(table.len() as u64);
+    for (id, t) in table.scan_ordered() {
         e.put_u64(id.raw());
         e.put_tuple(t);
     }
@@ -174,8 +174,8 @@ mod tests {
             assert_eq!(r.len(), t.len());
             assert_eq!(r.peek_next_row_id(), t.peek_next_row_id());
             assert_eq!(r.index_defs(), t.index_defs());
-            let orig_rows: Vec<_> = t.scan_ordered();
-            let rest_rows: Vec<_> = r.scan_ordered();
+            let orig_rows: Vec<_> = t.scan_ordered().collect();
+            let rest_rows: Vec<_> = r.scan_ordered().collect();
             assert_eq!(orig_rows.len(), rest_rows.len());
             for ((ia, ta), (ib, tb)) in orig_rows.iter().zip(&rest_rows) {
                 assert_eq!(ia, ib);

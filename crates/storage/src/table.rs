@@ -11,8 +11,7 @@
 //! the transaction undo log restore a deleted row under its original id
 //! so that later undo records remain valid.
 
-use std::collections::HashMap;
-
+use sstore_common::hash::FxHashMap;
 use sstore_common::{Error, Result, RowId, Schema, Tuple, Value};
 
 use crate::index::{Index, IndexDef, IndexKind};
@@ -66,10 +65,19 @@ pub struct Table {
     schema: Schema,
     slots: Vec<Option<Row>>,
     free: Vec<u32>,
-    by_id: HashMap<RowId, u32>,
+    by_id: FxHashMap<RowId, u32>,
     indexes: Vec<Index>,
     next_row_id: u64,
     live: usize,
+    /// Row-id-ordered `(row id, slot)` entries, incrementally maintained:
+    /// fresh inserts append (row ids are monotone), deletes leave a
+    /// stale entry that the ordered scan filters out and that is swept
+    /// when stale entries outnumber live ones. This keeps
+    /// [`Table::scan_ordered`] a borrow-based O(live) walk instead of a
+    /// collect-and-sort per statement.
+    order: Vec<(u64, u32)>,
+    /// Number of stale (deleted) entries currently in `order`.
+    stale: usize,
     stats: TableStats,
 }
 
@@ -82,10 +90,12 @@ impl Table {
             schema,
             slots: Vec::new(),
             free: Vec::new(),
-            by_id: HashMap::new(),
+            by_id: FxHashMap::default(),
             indexes: Vec::new(),
             next_row_id: 0,
             live: 0,
+            order: Vec::new(),
+            stale: 0,
             stats: TableStats::default(),
         }
     }
@@ -233,21 +243,21 @@ impl Table {
         if self.by_id.contains_key(&id) {
             return Err(Error::Internal(format!("row id {id} already live in {}", self.name)));
         }
-        // Check all unique constraints *before* touching any index so a
-        // failed insert leaves the table untouched.
+        // Compute each index's key once, checking all unique constraints
+        // *before* touching any index so a failed insert leaves the
+        // table untouched.
+        let mut keys: Vec<Vec<Value>> = Vec::with_capacity(self.indexes.len());
         for ix in &self.indexes {
-            if ix.def.unique {
-                let key = ix.def.key_of(tuple.values());
-                if ix.contains_key(&key) {
-                    return Err(Error::UniqueViolation {
-                        index: ix.def.name.clone(),
-                        key: format_key(&key),
-                    });
-                }
-            }
-        }
-        for ix in &mut self.indexes {
             let key = ix.def.key_of(tuple.values());
+            if ix.def.unique && ix.contains_key(&key) {
+                return Err(Error::UniqueViolation {
+                    index: ix.def.name.clone(),
+                    key: format_key(&key),
+                });
+            }
+            keys.push(key);
+        }
+        for (ix, key) in self.indexes.iter_mut().zip(keys) {
             ix.insert(key, id);
         }
         let slot = match self.free.pop() {
@@ -262,8 +272,41 @@ impl Table {
         };
         self.by_id.insert(id, slot);
         self.live += 1;
+        self.order_insert(id, slot);
         self.stats.record_insert();
         Ok(())
+    }
+
+    /// Registers a freshly inserted row in the order index. Fresh ids
+    /// are monotone, so the common case is an O(1) append; only undo's
+    /// [`Table::insert_with_id`] restoring an old id pays the ordered
+    /// insertion.
+    fn order_insert(&mut self, id: RowId, slot: u32) {
+        let raw = id.raw();
+        match self.order.last() {
+            Some(&(last, _)) if last < raw => self.order.push((raw, slot)),
+            None => self.order.push((raw, slot)),
+            Some(_) => match self.order.binary_search_by_key(&raw, |&(r, _)| r) {
+                // A stale entry for this id exists (the row was deleted
+                // and is being restored): refresh it in place.
+                Ok(pos) => {
+                    self.order[pos].1 = slot;
+                    self.stale -= 1;
+                }
+                Err(pos) => self.order.insert(pos, (raw, slot)),
+            },
+        }
+    }
+
+    /// Sweeps stale order entries once they outnumber live rows
+    /// (amortized O(1) per delete).
+    fn maybe_compact_order(&mut self) {
+        if self.stale > self.live.max(16) {
+            let slots = &self.slots;
+            self.order
+                .retain(|&(raw, slot)| matches!(&slots[slot as usize], Some(r) if r.id.raw() == raw));
+            self.stale = 0;
+        }
     }
 
     /// Deletes a row, returning its tuple.
@@ -273,10 +316,12 @@ impl Table {
         self.by_id.remove(&id);
         self.free.push(slot);
         self.live -= 1;
+        self.stale += 1;
         for ix in &mut self.indexes {
             let key = ix.def.key_of(row.tuple.values());
             ix.remove(&key, id);
         }
+        self.maybe_compact_order();
         self.stats.record_delete();
         Ok(row.tuple)
     }
@@ -286,24 +331,29 @@ impl Table {
     pub fn update(&mut self, id: RowId, new: Tuple) -> Result<Tuple> {
         self.schema.validate(new.values())?;
         let slot = *self.by_id.get(&id).ok_or_else(|| row_not_found(&self.name, id))?;
-        let old_values =
-            self.slots[slot as usize].as_ref().expect("live slot").tuple.values().to_vec();
+        // Compute each index's (old, new) key pair exactly once; keys
+        // that don't change are dropped immediately (`None`), so
+        // untouched indexes cost two key extractions and no writes.
+        let old_tuple = &self.slots[slot as usize].as_ref().expect("live slot").tuple;
+        let mut changed: Vec<Option<(Vec<Value>, Vec<Value>)>> =
+            Vec::with_capacity(self.indexes.len());
         for ix in &self.indexes {
-            if ix.def.unique {
-                let new_key = ix.def.key_of(new.values());
-                let old_key = ix.def.key_of(&old_values);
-                if new_key != old_key && ix.contains_key(&new_key) {
-                    return Err(Error::UniqueViolation {
-                        index: ix.def.name.clone(),
-                        key: format_key(&new_key),
-                    });
-                }
-            }
-        }
-        for ix in &mut self.indexes {
-            let old_key = ix.def.key_of(&old_values);
+            let old_key = ix.def.key_of(old_tuple.values());
             let new_key = ix.def.key_of(new.values());
-            if old_key != new_key {
+            if old_key == new_key {
+                changed.push(None);
+                continue;
+            }
+            if ix.def.unique && ix.contains_key(&new_key) {
+                return Err(Error::UniqueViolation {
+                    index: ix.def.name.clone(),
+                    key: format_key(&new_key),
+                });
+            }
+            changed.push(Some((old_key, new_key)));
+        }
+        for (ix, keys) in self.indexes.iter_mut().zip(changed) {
+            if let Some((old_key, new_key)) = keys {
                 ix.remove(&old_key, id);
                 ix.insert(new_key, id);
             }
@@ -320,6 +370,8 @@ impl Table {
         self.free.clear();
         self.by_id.clear();
         self.live = 0;
+        self.order.clear();
+        self.stale = 0;
         for ix in &mut self.indexes {
             ix.clear();
         }
@@ -347,11 +399,16 @@ impl Table {
     }
 
     /// Like [`Table::scan`] but ordered by row id — streams rely on this
-    /// for tuple arrival order.
-    pub fn scan_ordered(&self) -> Vec<(RowId, &Tuple)> {
-        let mut rows: Vec<(RowId, &Tuple)> = self.scan().collect();
-        rows.sort_by_key(|(id, _)| *id);
-        rows
+    /// for tuple arrival order. Borrow-based and O(live) amortized: the
+    /// order index is maintained incrementally by mutations (fresh row
+    /// ids are monotone, so inserts append), not sorted per call.
+    pub fn scan_ordered(&self) -> impl Iterator<Item = (RowId, &Tuple)> + '_ {
+        self.order.iter().filter_map(move |&(raw, slot)| {
+            match &self.slots[slot as usize] {
+                Some(row) if row.id.raw() == raw => Some((row.id, &row.tuple)),
+                _ => None, // stale entry awaiting compaction
+            }
+        })
     }
 
     /// Point lookup through an index on `cols` if one exists, otherwise
@@ -554,8 +611,43 @@ mod tests {
         let b = t.insert(tuple![2i64, "b"]).unwrap();
         t.delete(a).unwrap();
         let c = t.insert(tuple![3i64, "c"]).unwrap(); // reuses a's slot
-        let ids: Vec<RowId> = t.scan_ordered().into_iter().map(|(id, _)| id).collect();
+        let ids: Vec<RowId> = t.scan_ordered().map(|(id, _)| id).collect();
         assert_eq!(ids, vec![b, c]);
+    }
+
+    #[test]
+    fn scan_ordered_survives_restore_and_slot_reuse() {
+        let mut t = people();
+        let ids: Vec<RowId> = (0..6).map(|i| t.insert(tuple![i as i64, "x"]).unwrap()).collect();
+        // Delete every other row, then restore one of them under its
+        // original id (undo path) — it may land in a recycled slot.
+        for &id in ids.iter().step_by(2) {
+            t.delete(id).unwrap();
+        }
+        t.insert_with_id(ids[2], tuple![2i64, "x"]).unwrap();
+        let got: Vec<u64> = t.scan_ordered().map(|(id, _)| id.raw()).collect();
+        let mut expect: Vec<u64> =
+            vec![ids[1].raw(), ids[2].raw(), ids[3].raw(), ids[5].raw()];
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn scan_ordered_after_heavy_churn_matches_oracle() {
+        let mut t = people();
+        let mut live: Vec<RowId> = Vec::new();
+        for round in 0..50i64 {
+            live.push(t.insert(tuple![round, "r"]).unwrap());
+            if round % 3 == 0 && !live.is_empty() {
+                let id = live.remove((round as usize * 7) % live.len());
+                t.delete(id).unwrap();
+            }
+        }
+        let mut expect: Vec<u64> = live.iter().map(|id| id.raw()).collect();
+        expect.sort_unstable();
+        let got: Vec<u64> = t.scan_ordered().map(|(id, _)| id.raw()).collect();
+        assert_eq!(got, expect);
+        assert_eq!(t.len(), expect.len());
     }
 
     #[test]

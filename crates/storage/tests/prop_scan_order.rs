@@ -1,0 +1,156 @@
+//! Property test for the incremental ordered scan: under arbitrary
+//! interleavings of insert / delete / update / truncate / re-insert
+//! under an old id (undo path) / snapshot round-trips, `scan_ordered`
+//! always agrees with a naive sort-by-RowId oracle over the live rows.
+//!
+//! The order index inside `Table` is maintained incrementally (append
+//! on monotone insert, stale-tombstone on delete, amortized sweeps), so
+//! this is the test that keeps that bookkeeping honest.
+
+use proptest::prelude::*;
+use sstore_common::{DataType, RowId, Schema, Tuple, Value};
+use sstore_storage::index::IndexDef;
+use sstore_storage::snapshot::{decode_catalog, encode_catalog};
+use sstore_storage::{Catalog, IndexKind, Table, TableKind};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: i64 },
+    DeleteNth(usize),
+    UpdateNth { nth: usize, key: i64 },
+    /// Delete the nth live row, then immediately re-insert its tuple
+    /// under its original id — the transaction-undo pattern that hits
+    /// the out-of-order order-index insertion (and slot reuse).
+    ReinsertNth(usize),
+    Truncate,
+    /// Encode the catalog and decode it back, continuing on the restored
+    /// table (exercises order-index rebuild through `insert_with_id`).
+    SnapshotRoundtrip,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..1000).prop_map(|key| Op::Insert { key }),
+        (0usize..64).prop_map(Op::DeleteNth),
+        (0usize..64, 0i64..1000).prop_map(|(nth, key)| Op::UpdateNth { nth, key }),
+        (0usize..64).prop_map(Op::ReinsertNth),
+        (0usize..1).prop_map(|_| Op::Truncate),
+        (0usize..1).prop_map(|_| Op::SnapshotRoundtrip),
+    ]
+}
+
+fn schema() -> Schema {
+    Schema::of(&[("k", DataType::Int)])
+}
+
+fn row(key: i64) -> Tuple {
+    Tuple::new(vec![Value::Int(key)])
+}
+
+fn fresh_table() -> Table {
+    let mut t = Table::new("t", TableKind::Base, schema());
+    t.create_index(IndexDef {
+        name: "by_k".into(),
+        key_columns: vec![0],
+        kind: IndexKind::BTree,
+        unique: false,
+    })
+    .unwrap();
+    t
+}
+
+/// Oracle: live rows as (raw id, key), kept unsorted; sorted on check.
+type Model = Vec<(u64, i64)>;
+
+fn check_against_oracle(table: &Table, model: &Model) -> Result<(), TestCaseError> {
+    let mut expect = model.clone();
+    expect.sort_by_key(|(id, _)| *id);
+    let got: Vec<(u64, i64)> = table
+        .scan_ordered()
+        .map(|(id, t)| (id.raw(), t.get(0).as_int().unwrap()))
+        .collect();
+    prop_assert_eq!(&got, &expect, "scan_ordered must equal sort-by-RowId oracle");
+    prop_assert_eq!(table.len(), model.len());
+    // The ordered scan must also agree with the unordered scan's content.
+    let mut unordered: Vec<u64> = table.scan().map(|(id, _)| id.raw()).collect();
+    unordered.sort_unstable();
+    let ordered_ids: Vec<u64> = got.iter().map(|(id, _)| *id).collect();
+    prop_assert_eq!(ordered_ids, unordered);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn incremental_ordered_scan_matches_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..160),
+    ) {
+        let mut table = fresh_table();
+        let mut model: Model = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Insert { key } => {
+                    let id = table.insert(row(key)).unwrap();
+                    model.push((id.raw(), key));
+                }
+                Op::DeleteNth(nth) => {
+                    if model.is_empty() { continue; }
+                    let idx = nth % model.len();
+                    let (id, k) = model.remove(idx);
+                    let got = table.delete(RowId(id)).unwrap();
+                    prop_assert_eq!(got, row(k));
+                }
+                Op::UpdateNth { nth, key } => {
+                    if model.is_empty() { continue; }
+                    let idx = nth % model.len();
+                    let (id, _) = model[idx];
+                    table.update(RowId(id), row(key)).unwrap();
+                    model[idx] = (id, key);
+                }
+                Op::ReinsertNth(nth) => {
+                    if model.is_empty() { continue; }
+                    let idx = nth % model.len();
+                    let (id, k) = model[idx];
+                    let gone = table.delete(RowId(id)).unwrap();
+                    table.insert_with_id(RowId(id), gone).unwrap();
+                    let _ = k;
+                }
+                Op::Truncate => {
+                    table.truncate();
+                    model.clear();
+                }
+                Op::SnapshotRoundtrip => {
+                    let mut catalog = Catalog::new();
+                    catalog.install_table(table).unwrap();
+                    let mut restored = decode_catalog(&encode_catalog(&catalog)).unwrap();
+                    table = restored.drop_table("t").unwrap();
+                }
+            }
+            check_against_oracle(&table, &model)?;
+        }
+    }
+}
+
+/// The stale-sweep path specifically: long delete-heavy runs must not
+/// degrade the scan or corrupt the order.
+#[test]
+fn delete_heavy_churn_stays_correct() {
+    let mut table = fresh_table();
+    let mut live: Vec<u64> = Vec::new();
+    for round in 0..2_000i64 {
+        let id = table.insert(row(round)).unwrap();
+        live.push(id.raw());
+        // Delete ~90% of rows, in varying positions.
+        if round % 10 != 0 {
+            let idx = (round as usize * 31) % live.len();
+            let gone = live.swap_remove(idx);
+            table.delete(RowId(gone)).unwrap();
+        }
+    }
+    live.sort_unstable();
+    let got: Vec<u64> = table.scan_ordered().map(|(id, _)| id.raw()).collect();
+    assert_eq!(got, live);
+    assert_eq!(table.len(), live.len());
+}

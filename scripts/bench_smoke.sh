@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Fast perf-regression guard: release build, full test suite, and a
+# short hotpath bench run. Intended for CI and as a pre-merge check in
+# later PRs — a hot-path regression shows up here in ~a minute instead
+# of in a full benchmark session. See EXPERIMENTS.md for methodology.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== hotpath smoke (2s per case) =="
+out=$(cargo run --release -p sstore-bench --bin hotpath -- 2 2>/dev/null)
+echo "$out"
+
+# Sanity floor: the EE-trigger chain must stay above a conservative
+# fraction of the checked-in BENCH_hotpath.json number. This catches
+# order-of-magnitude regressions without flaking on machine variance.
+floor=20000
+tps=$(echo "$out" | sed -n 's/.*"ee_chain10_inline": \([0-9]*\).*/\1/p')
+if [ -z "$tps" ]; then
+    echo "bench_smoke: could not parse hotpath output" >&2
+    exit 1
+fi
+if [ "$tps" -lt "$floor" ]; then
+    echo "bench_smoke: ee_chain10_inline throughput $tps < floor $floor tuples/s" >&2
+    exit 1
+fi
+echo "bench_smoke: OK (ee_chain10_inline = $tps tuples/s)"
