@@ -1,0 +1,137 @@
+//! Partition-scaling sweep: 1→N partitions on the fig5-style EE-trigger
+//! chain (hash-routed ingest, no cross-partition edges) and on the
+//! exchange pipeline (every batch crosses partitions between stages).
+//!
+//! Prints a JSON object (see `BENCH_scaling.json` at the repo root and
+//! the scaling section of `EXPERIMENTS.md`). Interpreting the curve
+//! requires the `cores` field: partitions are one thread each, so on a
+//! host with fewer cores than partitions the sweep measures scheduling
+//! overhead, not engine scaling — the JSON records the honest number
+//! either way.
+//!
+//! Usage: `cargo run --release -p sstore-bench --bin scaling -- [secs-per-case] [max-partitions]`
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use sstore_bench::bench_dir;
+use sstore_common::{tuple, Tuple};
+use sstore_engine::{App, Engine, EngineConfig};
+use sstore_workloads::micro;
+
+struct Workload {
+    name: &'static str,
+    app: fn() -> App,
+    stream: &'static str,
+    batch_size: usize,
+    /// Tuple generator, indexed by a global sequence number. Keys must
+    /// spread across partitions so the split actually fans out.
+    make: fn(u64) -> Tuple,
+}
+
+fn chain_tuple(i: u64) -> Tuple {
+    tuple![i as i64]
+}
+
+fn exchange_tuple(i: u64) -> Tuple {
+    tuple![(i % 16) as i64, i as i64]
+}
+
+const WORKLOADS: &[Workload] = &[
+    Workload {
+        name: "ee_chain10",
+        app: || micro::ee_chain_partitioned(10),
+        stream: "chain_in",
+        batch_size: 100,
+        make: chain_tuple,
+    },
+    Workload {
+        name: "exchange",
+        app: micro::exchange_pipeline,
+        stream: "xin",
+        batch_size: 100,
+        make: exchange_tuple,
+    },
+];
+
+/// Runs one workload on `partitions` partitions for roughly `secs`,
+/// returning ingested tuples/sec (drained: every tuple's workflow
+/// completed).
+fn run_case(w: &Workload, partitions: usize, secs: f64) -> f64 {
+    let config = EngineConfig::default()
+        .with_partitions(partitions)
+        .with_data_dir(bench_dir(w.name));
+    let engine = Engine::start(config, (w.app)()).expect("engine start");
+
+    let mut next: u64 = 0;
+    let mut make_batch = |n: usize| -> Vec<Tuple> {
+        (0..n)
+            .map(|_| {
+                let t = (w.make)(next);
+                next += 1;
+                t
+            })
+            .collect()
+    };
+
+    // Warm-up round.
+    engine.ingest(w.stream, make_batch(w.batch_size)).expect("ingest");
+    engine.drain().expect("drain");
+
+    let deadline = Duration::from_secs_f64(secs);
+    let start = Instant::now();
+    let mut tuples: u64 = 0;
+    while start.elapsed() < deadline {
+        for _ in 0..16 {
+            engine.ingest(w.stream, make_batch(w.batch_size)).expect("ingest");
+            tuples += w.batch_size as u64;
+        }
+        engine.drain().expect("drain");
+    }
+    engine.drain().expect("drain");
+    let elapsed = start.elapsed().as_secs_f64();
+    engine.shutdown();
+    tuples as f64 / elapsed
+}
+
+fn main() {
+    let secs: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+    let max_parts: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut sweep = vec![1usize, 2];
+    if max_parts >= 4 {
+        sweep.push(4);
+    }
+    sweep.retain(|p| *p <= max_parts.max(1));
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"scaling\",");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"secs_per_case\": {secs},");
+    let _ = writeln!(json, "  \"tuples_per_sec\": {{");
+    for (wi, w) in WORKLOADS.iter().enumerate() {
+        let mut tps_at: Vec<(usize, f64)> = Vec::new();
+        for &p in &sweep {
+            let tps = run_case(w, p, secs);
+            eprintln!("{:<12} p={p}  {:>12.0} tuples/s", w.name, tps);
+            tps_at.push((p, tps));
+        }
+        let speedup2 = match (tps_at.first(), tps_at.iter().find(|(p, _)| *p == 2)) {
+            (Some((_, t1)), Some((_, t2))) if *t1 > 0.0 => t2 / t1,
+            _ => 0.0,
+        };
+        let comma = if wi + 1 < WORKLOADS.len() { "," } else { "" };
+        let points: Vec<String> =
+            tps_at.iter().map(|(p, t)| format!("\"{p}\": {t:.0}")).collect();
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ {}, \"speedup_2p\": {:.2} }}{comma}",
+            w.name,
+            points.join(", "),
+            speedup2
+        );
+    }
+    let _ = writeln!(json, "  }}");
+    json.push('}');
+    println!("{json}");
+}

@@ -48,6 +48,12 @@ pub struct StreamDef {
     /// Column used to route externally-ingested batches to partitions
     /// (§4.7). `None` routes everything to partition 0.
     pub partition_col: Option<String>,
+    /// True for exchange streams: a batch committed onto this stream is
+    /// re-partitioned by `partition_col` hash and shipped to the
+    /// partitions that own the keys, where the PE-triggered downstream
+    /// transaction runs. This is the edge that lets one workflow span
+    /// partitions (cf. MorphStream / Risingwave exchange operators).
+    pub exchange: bool,
 }
 
 /// A window (§2: state kind (ii)), private to its owning procedure.
@@ -162,6 +168,7 @@ impl AppBuilder {
             name: name.to_ascii_lowercase(),
             schema,
             partition_col: None,
+            exchange: false,
         });
         self
     }
@@ -173,6 +180,24 @@ impl AppBuilder {
             name: name.to_ascii_lowercase(),
             schema,
             partition_col: Some(partition_col.to_ascii_lowercase()),
+            exchange: false,
+        });
+        self
+    }
+
+    /// Adds an exchange stream: a workflow edge that re-partitions data
+    /// between stages. When a transaction commits a batch onto this
+    /// stream, the batch is split by `partition_col` hash and shipped to
+    /// every partition (empty sub-batches included, so downstream
+    /// transactions stay aligned per batch); the stream's PE trigger
+    /// then fires on the *receiving* partitions. On a single-partition
+    /// engine this degenerates to an ordinary PE-triggered stream.
+    pub fn exchange_stream(mut self, name: &str, schema: Schema, partition_col: &str) -> Self {
+        self.app.streams.push(StreamDef {
+            name: name.to_ascii_lowercase(),
+            schema,
+            partition_col: Some(partition_col.to_ascii_lowercase()),
+            exchange: true,
         });
         self
     }
@@ -309,6 +334,83 @@ impl AppBuilder {
         // survive until the downstream transaction consumes them).
         let pe_streams: HashSet<&str> =
             app.pe_triggers.iter().map(|t| t.stream.as_str()).collect();
+
+        // Exchange streams only make sense as workflow edges: someone
+        // downstream must consume what the exchange delivers.
+        for s in &app.streams {
+            if s.exchange && !pe_streams.contains(s.name.as_str()) {
+                return Err(Error::StreamViolation(format!(
+                    "exchange stream {} has no PE trigger to deliver to",
+                    s.name
+                )));
+            }
+        }
+
+        // Exchange merges are keyed by (stream, batch id), and batch
+        // ids are only unique within one border stream's counter. Two
+        // producers (or one producer fed by two border streams) would
+        // ship colliding batch ids onto the same exchange stream and
+        // silently clobber each other's sub-batches, so both are
+        // rejected here: an exchange stream needs exactly one
+        // *runnable* producing context, rooted in exactly one border
+        // stream. A nested transaction is the runnable context for its
+        // children, so a child's declared outputs are attributed to
+        // every parent that contains it.
+        let declares = |p: &ProcDef, stream: &str| -> bool {
+            p.outputs.iter().any(|o| o == stream)
+                || p.children.iter().any(|c| {
+                    app.proc(c).is_some_and(|child| child.outputs.iter().any(|o| o == stream))
+                })
+        };
+        let is_triggered =
+            |p: &ProcDef| app.pe_triggers.iter().any(|t| t.proc == p.name);
+        // Procedures that can actually run as a streaming TE and emit
+        // onto `stream` (directly or via a nested child).
+        let emitters_of = |stream: &str| -> Vec<&ProcDef> {
+            app.procs.iter().filter(|p| declares(p, stream) && is_triggered(p)).collect()
+        };
+        for s in app.streams.iter().filter(|s| s.exchange) {
+            let emitters = emitters_of(&s.name);
+            if emitters.len() != 1 {
+                return Err(Error::StreamViolation(format!(
+                    "exchange stream {} needs exactly one PE-triggered producing \
+                     procedure (found {}): batch ids from several producers would \
+                     collide",
+                    s.name,
+                    emitters.len()
+                )));
+            }
+            // Walk upstream from the producer to the border streams
+            // (streams no procedure produces) whose ingest counters the
+            // batch ids come from. The workflow DAG is finite and
+            // acyclic (validated below), so the walk terminates.
+            let mut roots: HashSet<&str> = HashSet::new();
+            let mut procs_todo: Vec<&str> = vec![emitters[0].name.as_str()];
+            let mut procs_seen: HashSet<&str> = HashSet::new();
+            while let Some(proc) = procs_todo.pop() {
+                if !procs_seen.insert(proc) {
+                    continue;
+                }
+                for t in app.pe_triggers.iter().filter(|t| t.proc == proc) {
+                    let upstream = emitters_of(&t.stream);
+                    if upstream.is_empty() {
+                        roots.insert(t.stream.as_str());
+                    } else {
+                        procs_todo.extend(upstream.iter().map(|p| p.name.as_str()));
+                    }
+                }
+            }
+            if roots.len() > 1 {
+                let mut names: Vec<&str> = roots.into_iter().collect();
+                names.sort();
+                return Err(Error::StreamViolation(format!(
+                    "exchange stream {} is fed by several border streams ({}): \
+                     their independent batch counters would collide in the exchange",
+                    s.name,
+                    names.join(", ")
+                )));
+            }
+        }
         for t in &app.ee_triggers {
             let is_stream = stream_names.contains(t.table.as_str());
             let is_window = window_owner.contains_key(t.table.as_str());

@@ -10,18 +10,54 @@ use sstore_common::codec::{Decoder, Encoder};
 use sstore_common::{Error, Lsn, Result};
 
 const MAGIC: u32 = 0x5353_434B; // "SSCK"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// One partition's checkpoint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckpointFile {
+    /// Which engine-wide checkpoint round this file belongs to. All
+    /// partitions written by one [`crate::engine::Engine::checkpoint`]
+    /// call carry the same epoch; recovery uses it to detect a
+    /// checkpoint set torn by a crash between the per-partition writes
+    /// (fatal for weak recovery of cross-partition workflows, where
+    /// partitions must restart from a mutually consistent cut).
+    pub epoch: u64,
     /// Last LSN whose effects are contained in the image; recovery
     /// replays records strictly after this.
     pub last_lsn: Lsn,
     /// Per-stream next-batch counters at checkpoint time.
     pub batch_counters: HashMap<String, u64>,
+    /// Per-exchange-stream watermark: highest batch this partition has
+    /// applied from an exchange delivery. Recovery restores it so
+    /// re-sent exchange batches (dangling upstream batches re-fired
+    /// after replay) are recognized as duplicates and dropped.
+    pub exchange_floor: HashMap<String, u64>,
     /// The EE state image ([`crate::ee::ExecutionEngine::checkpoint`]).
     pub ee_image: Vec<u8>,
+}
+
+fn put_counters(e: &mut Encoder, counters: &HashMap<String, u64>) {
+    let mut names: Vec<&String> = counters.keys().collect();
+    names.sort();
+    e.put_varint(names.len() as u64);
+    for n in names {
+        e.put_str(n);
+        e.put_u64(counters[n]);
+    }
+}
+
+fn get_counters(d: &mut Decoder<'_>) -> Result<HashMap<String, u64>> {
+    let n = d.get_varint()? as usize;
+    if n > d.remaining() {
+        return Err(Error::Codec("counter count exceeds input".into()));
+    }
+    let mut counters = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let name = d.get_str()?;
+        let v = d.get_u64()?;
+        counters.insert(name, v);
+    }
+    Ok(counters)
 }
 
 /// Writes a checkpoint atomically (temp file + rename).
@@ -29,14 +65,10 @@ pub fn write_checkpoint(path: &Path, ck: &CheckpointFile) -> Result<()> {
     let mut e = Encoder::with_capacity(ck.ee_image.len() + 128);
     e.put_u32(MAGIC);
     e.put_u32(VERSION);
+    e.put_u64(ck.epoch);
     e.put_u64(ck.last_lsn.raw());
-    let mut names: Vec<&String> = ck.batch_counters.keys().collect();
-    names.sort();
-    e.put_varint(names.len() as u64);
-    for n in names {
-        e.put_str(n);
-        e.put_u64(ck.batch_counters[n]);
-    }
+    put_counters(&mut e, &ck.batch_counters);
+    put_counters(&mut e, &ck.exchange_floor);
     e.put_bytes(&ck.ee_image);
     if let Some(dir) = path.parent() {
         fs::create_dir_all(dir)?;
@@ -62,22 +94,15 @@ pub fn read_checkpoint(path: &Path) -> Result<Option<CheckpointFile>> {
     if version != VERSION {
         return Err(Error::Codec(format!("unsupported checkpoint version {version}")));
     }
+    let epoch = d.get_u64()?;
     let last_lsn = Lsn(d.get_u64()?);
-    let n = d.get_varint()? as usize;
-    if n > d.remaining() {
-        return Err(Error::Codec("counter count exceeds input".into()));
-    }
-    let mut batch_counters = HashMap::with_capacity(n);
-    for _ in 0..n {
-        let name = d.get_str()?;
-        let v = d.get_u64()?;
-        batch_counters.insert(name, v);
-    }
+    let batch_counters = get_counters(&mut d)?;
+    let exchange_floor = get_counters(&mut d)?;
     let ee_image = d.get_bytes()?.to_vec();
     if !d.is_exhausted() {
         return Err(Error::Codec("trailing bytes in checkpoint file".into()));
     }
-    Ok(Some(CheckpointFile { last_lsn, batch_counters, ee_image }))
+    Ok(Some(CheckpointFile { epoch, last_lsn, batch_counters, exchange_floor, ee_image }))
 }
 
 #[cfg(test)]
@@ -94,8 +119,10 @@ mod tests {
     fn roundtrip() {
         let path = tmp("roundtrip");
         let ck = CheckpointFile {
+            epoch: 3,
             last_lsn: Lsn(41),
             batch_counters: HashMap::from([("votes_in".into(), 7u64), ("s2".into(), 3u64)]),
+            exchange_floor: HashMap::from([("xmid".into(), 5u64)]),
             ee_image: vec![1, 2, 3, 4, 5],
         };
         write_checkpoint(&path, &ck).unwrap();
@@ -113,8 +140,10 @@ mod tests {
     fn corrupt_magic_rejected() {
         let path = tmp("corrupt");
         let ck = CheckpointFile {
+            epoch: 0,
             last_lsn: Lsn(0),
             batch_counters: HashMap::new(),
+            exchange_floor: HashMap::new(),
             ee_image: vec![],
         };
         write_checkpoint(&path, &ck).unwrap();

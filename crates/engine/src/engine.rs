@@ -16,13 +16,13 @@
 //!
 //! [`BoundaryMode::Channel`]: crate::config::BoundaryMode::Channel
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::BuildHasher;
 use std::sync::Arc;
 
 use crossbeam_channel::bounded;
 use parking_lot::Mutex;
+use sstore_common::hash::FxBuildHasher;
 use sstore_common::{BatchId, Error, Lsn, ProcId, Result, TableId, Tuple, Value};
 use sstore_sql::QueryResult;
 
@@ -34,9 +34,38 @@ use crate::ee::ExecutionEngine;
 use crate::metrics::EngineMetrics;
 use crate::names::{AppIds, StreamMeta};
 use crate::partition::{
-    spawn_partition, CallOutcome, Invocation, PartitionHandle, PartitionMsg, TxnRequest,
+    spawn_partition, CallOutcome, Invocation, PartitionHandle, PartitionMsg, PartitionSeed,
+    TxnRequest,
 };
 use crate::workflow::WorkflowGraph;
+
+/// The partition a key routes to, on an `n`-partition engine.
+///
+/// Deterministic across processes and engine restarts (FxHash with
+/// fixed seed — no per-process randomization), which recovery relies
+/// on: a replayed batch must land where the original did. Shared by
+/// hash-routed ingestion and the exchange operator so a row's home
+/// partition is the same wherever it is computed.
+pub fn hash_partition(key: &Value, partitions: usize) -> usize {
+    if partitions <= 1 {
+        return 0;
+    }
+    let h = FxBuildHasher::default().hash_one(key);
+    (h % partitions as u64) as usize
+}
+
+/// Splits rows into per-partition sub-batches by hashing the value in
+/// column `col`. Every row lands in exactly one sub-batch; sub-batch
+/// `p` holds the rows with [`hash_partition`]`(row[col], partitions) ==
+/// p`, in their original order.
+pub fn split_by_key(rows: Vec<Tuple>, col: usize, partitions: usize) -> Vec<Vec<Tuple>> {
+    let mut parts: Vec<Vec<Tuple>> = (0..partitions.max(1)).map(|_| Vec::new()).collect();
+    for t in rows {
+        let p = hash_partition(t.get(col), partitions);
+        parts[p].push(t);
+    }
+    parts
+}
 
 /// Internal bootstrap data used by recovery.
 pub(crate) struct Bootstrap {
@@ -49,6 +78,12 @@ pub(crate) struct Bootstrap {
     /// Initial per-stream batch counters (by stream name, as stored in
     /// checkpoints).
     pub batch_counters: HashMap<String, u64>,
+    /// Per-partition exchange watermarks (by stream name, from
+    /// checkpoints).
+    pub exchange_floors: Vec<HashMap<String, u64>>,
+    /// Highest checkpoint epoch found on disk (new checkpoints
+    /// continue past it).
+    pub checkpoint_epoch: u64,
 }
 
 /// A running S-Store node.
@@ -60,6 +95,9 @@ pub struct Engine {
     metrics: Arc<EngineMetrics>,
     /// Per-stream next-batch counters, indexed by [`TableId`].
     batch_counters: Mutex<Vec<u64>>,
+    /// Next checkpoint round gets `last + 1` (see
+    /// [`CheckpointFile::epoch`]).
+    checkpoint_epoch: std::sync::atomic::AtomicU64,
 }
 
 impl Engine {
@@ -77,24 +115,43 @@ impl Engine {
         let ids = Arc::new(AppIds::build(&app)?);
         let mut partitions = Vec::with_capacity(config.partitions);
         let triggers_enabled = bootstrap.as_ref().is_none_or(|b| b.triggers_enabled);
-        for p in 0..config.partitions {
+        // All channels exist before any thread starts: each partition
+        // holds senders to every peer, which is how exchange hops ship
+        // sub-batches without round-tripping through the engine facade.
+        let mut txs = Vec::with_capacity(config.partitions);
+        let mut rxs = Vec::with_capacity(config.partitions);
+        for _ in 0..config.partitions {
+            let (tx, rx) = crossbeam_channel::unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        for (p, rx) in rxs.into_iter().enumerate() {
             let (ee, proc_stmts) = ExecutionEngine::install(&app, ids.clone(), metrics.clone())?;
             let handle = match config.boundary {
                 BoundaryMode::Inline => EeHandle::inline(ee, metrics.clone()),
                 BoundaryMode::Channel => EeHandle::channel(ee, metrics.clone()),
             };
-            let resume_lsn = bootstrap.as_ref().and_then(|b| b.resume_lsn[p]);
-            let part = spawn_partition(
-                p,
+            let seed = PartitionSeed {
+                id: p,
+                rx,
+                peers: txs.clone(),
+                triggers_enabled,
+                resume_lsn: bootstrap.as_ref().and_then(|b| b.resume_lsn[p]),
+                exchange_floor: bootstrap
+                    .as_ref()
+                    .map(|b| b.exchange_floors[p].clone())
+                    .unwrap_or_default(),
+            };
+            let join = spawn_partition(
+                seed,
                 config.clone(),
                 &app,
                 ids.clone(),
                 handle,
                 proc_stmts,
                 metrics.clone(),
-                triggers_enabled,
-                resume_lsn,
             )?;
+            let part = PartitionHandle::new(txs[p].clone(), join);
             if let Some(b) = &bootstrap {
                 if let Some(image) = &b.images[p] {
                     let (tx, rx) = bounded(1);
@@ -123,6 +180,9 @@ impl Engine {
             partitions,
             metrics,
             batch_counters: Mutex::new(counters),
+            checkpoint_epoch: std::sync::atomic::AtomicU64::new(
+                bootstrap.as_ref().map_or(0, |b| b.checkpoint_epoch),
+            ),
         })
     }
 
@@ -167,38 +227,51 @@ impl Engine {
         BatchId(*c)
     }
 
-    /// Picks the partition for an atomic batch and enforces that the
-    /// batch is routable: all rows of an atomic batch must carry the
-    /// same partition key (a batch is processed as a unit on one
-    /// partition — silently routing a mixed batch by its first row
-    /// would split the paper's atomic-batch semantics).
-    fn route(&self, stream: &str, meta: &StreamMeta, rows: &[Tuple]) -> Result<usize> {
-        let Some(col) = meta.partition_col else { return Ok(0) };
-        let Some(first) = rows.first() else { return Ok(0) };
-        let key = first.get(col);
-        for r in &rows[1..] {
-            if r.get(col) != key {
-                return Err(Error::InvalidState(format!(
-                    "atomic batch on stream {stream} mixes partition keys \
-                     ({key} vs {}); split it into per-key batches",
-                    r.get(col)
-                )));
+    /// Splits an ingested batch into per-partition sub-batches that
+    /// share one logical [`BatchId`]: each row goes to the partition
+    /// its key hashes to ([`hash_partition`]). A mixed-key batch thus
+    /// fans out across partitions instead of being rejected; each
+    /// sub-batch commits as its own border transaction, and the logical
+    /// batch id ties them back together through the workflow.
+    ///
+    /// When an exchange stream is reachable downstream
+    /// ([`StreamMeta::feeds_exchange`]), *every* partition receives a
+    /// sub-batch — empty ones included — so each later exchange hop
+    /// gets exactly one sub-batch per source partition per batch (the
+    /// alignment the exchange merge counts on). Otherwise only
+    /// partitions that own rows participate.
+    fn split_for_ingest(&self, meta: &StreamMeta, rows: Vec<Tuple>) -> Vec<(usize, Vec<Tuple>)> {
+        let n = self.partitions.len();
+        let routed = match meta.partition_col {
+            Some(col) if n > 1 => split_by_key(rows, col, n),
+            // Unpartitioned stream (or 1 partition): everything on 0.
+            _ => {
+                let mut parts: Vec<Vec<Tuple>> = (0..n).map(|_| Vec::new()).collect();
+                parts[0] = rows;
+                parts
             }
+        };
+        let broadcast = meta.feeds_exchange && n > 1;
+        let mut out: Vec<(usize, Vec<Tuple>)> = routed
+            .into_iter()
+            .enumerate()
+            .filter(|(_, r)| broadcast || !r.is_empty())
+            .collect();
+        if out.is_empty() {
+            // Empty batch on a non-broadcast stream: still a (trivial)
+            // border transaction somewhere.
+            out.push((0, Vec::new()));
         }
-        if self.partitions.len() == 1 {
-            return Ok(0);
-        }
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        Ok((h.finish() % self.partitions.len() as u64) as usize)
+        out
     }
 
-    fn border_request(
+    /// Builds the per-partition border requests for one ingested batch.
+    fn border_requests(
         &self,
         stream: &str,
         rows: Vec<Tuple>,
-        reply: Option<crossbeam_channel::Sender<Result<CallOutcome>>>,
-    ) -> Result<(TxnRequest, BatchId, usize)> {
+        mut reply_for: impl FnMut(usize) -> Option<crossbeam_channel::Sender<Result<CallOutcome>>>,
+    ) -> Result<(Vec<(usize, TxnRequest)>, BatchId)> {
         let sid = self
             .ids
             .table_id(stream)
@@ -206,6 +279,18 @@ impl Engine {
         let meta = self.ids.table(sid).stream.as_ref().ok_or_else(|| {
             Error::StreamViolation(format!("{stream} is not a stream"))
         })?;
+        // Exchange streams are interior workflow edges: their batches
+        // come from the one validated producer procedure, with batch
+        // ids drawn from its border stream's counter. Externally
+        // ingested batches would use this stream's own counter (id
+        // collisions in the merge) and skip the every-source alignment
+        // broadcast (merges waiting forever) — reject them at the edge.
+        if meta.exchange {
+            return Err(Error::StreamViolation(format!(
+                "cannot ingest into exchange stream {stream}: exchange batches are \
+                 produced by the workflow, not injected"
+            )));
+        }
         let proc = meta
             .border_target
             .ok_or_else(|| Error::not_found("PE trigger for border stream", stream))?;
@@ -214,45 +299,97 @@ impl Engine {
         for r in &rows {
             meta.schema.validate(r.values())?;
         }
-        let partition = self.route(stream, meta, &rows)?;
         let batch = self.next_batch(sid);
-        Ok((
-            TxnRequest {
-                proc,
-                invocation: Invocation::Border { stream: sid, rows },
-                batch: Some(batch),
-                reply,
-                replay: false,
-            },
-            batch,
-            partition,
-        ))
+        let reqs = self
+            .split_for_ingest(meta, rows)
+            .into_iter()
+            .map(|(p, sub)| {
+                (
+                    p,
+                    TxnRequest {
+                        proc,
+                        invocation: Invocation::Border { stream: sid, rows: sub },
+                        batch: Some(batch),
+                        reply: reply_for(p),
+                        replay: false,
+                    },
+                )
+            })
+            .collect();
+        Ok((reqs, batch))
     }
 
     /// Injects an atomic batch asynchronously (the normal streaming
-    /// path). Returns the assigned batch id immediately.
+    /// path). Returns the assigned batch id immediately. Rows are
+    /// routed to partitions by partition-key hash; a batch that mixes
+    /// keys is split into per-partition sub-batches sharing this batch
+    /// id.
     pub fn ingest(&self, stream: &str, rows: Vec<Tuple>) -> Result<BatchId> {
-        let (req, batch, p) = self.border_request(stream, rows, None)?;
-        self.partitions[p]
-            .tx
-            .send(PartitionMsg::Submit(req))
-            .map_err(|_| Error::InvalidState("partition is down".into()))?;
+        let (reqs, batch) = self.border_requests(stream, rows, |_| None)?;
+        for (p, req) in reqs {
+            self.partitions[p]
+                .tx
+                .send(PartitionMsg::Submit(req))
+                .map_err(|_| Error::InvalidState("partition is down".into()))?;
+        }
         Ok(batch)
     }
 
-    /// Injects an atomic batch and waits for the *border* transaction to
-    /// commit (downstream transactions may still be queued). In H-Store
-    /// mode the outcome carries the pending activations the caller must
-    /// drive itself.
+    /// Injects an atomic batch and waits for the *border*
+    /// transaction(s) to commit (downstream transactions may still be
+    /// queued). A mixed-key batch waits for every partition's border
+    /// sub-transaction; the outcome carries the lowest-participating-
+    /// partition's result and the pending activations of all
+    /// sub-transactions, in partition order. In H-Store mode those are
+    /// the activations the caller must drive itself.
+    ///
+    /// Atomicity is per *sub-batch*: each partition's border
+    /// transaction commits or aborts on its own (there is no
+    /// cross-partition commit protocol — the same guarantee a
+    /// multi-node deployment would give without distributed
+    /// transactions). If any sub-transaction fails, the returned error
+    /// names which partitions committed and which failed, so the
+    /// caller knows exactly what landed.
     pub fn ingest_sync(&self, stream: &str, rows: Vec<Tuple>) -> Result<(BatchId, CallOutcome)> {
-        let (tx, rx) = bounded(1);
-        let (req, batch, p) = self.border_request(stream, rows, Some(tx))?;
-        self.partitions[p]
-            .tx
-            .send(PartitionMsg::Submit(req))
-            .map_err(|_| Error::InvalidState("partition is down".into()))?;
-        let outcome = rx.recv().map_err(|_| Error::InvalidState("reply lost".into()))??;
-        Ok((batch, outcome))
+        let mut waits: Vec<(usize, crossbeam_channel::Receiver<Result<CallOutcome>>)> = Vec::new();
+        let (reqs, batch) = self.border_requests(stream, rows, |p| {
+            let (tx, rx) = bounded(1);
+            waits.push((p, rx));
+            Some(tx)
+        })?;
+        for (p, req) in reqs {
+            self.partitions[p]
+                .tx
+                .send(PartitionMsg::Submit(req))
+                .map_err(|_| Error::InvalidState("partition is down".into()))?;
+        }
+        // Wait for EVERY sub-transaction before judging the batch: an
+        // early return on the first error would silently leave the
+        // later partitions' commits unreported.
+        let mut merged = CallOutcome::default();
+        let mut committed: Vec<usize> = Vec::new();
+        let mut failed: Vec<(usize, Error)> = Vec::new();
+        for (i, (p, rx)) in waits.into_iter().enumerate() {
+            match rx.recv().map_err(|_| Error::InvalidState("reply lost".into()))? {
+                Ok(out) => {
+                    if i == 0 {
+                        merged.result = out.result;
+                    }
+                    merged.pending.extend(out.pending);
+                    committed.push(p);
+                }
+                Err(e) => failed.push((p, e)),
+            }
+        }
+        if let Some((first_p, first_err)) = failed.first() {
+            return Err(Error::InvalidState(format!(
+                "batch {batch} on stream {stream} half-applied: sub-batches failed on \
+                 partition(s) {:?} (first error on {first_p}: {first_err}) but committed \
+                 on {committed:?}; split batches are not atomic across partitions",
+                failed.iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            )));
+        }
+        Ok((batch, merged))
     }
 
     // ------------------------------------------------------------------
@@ -349,17 +486,45 @@ impl Engine {
 
     /// Blocks until every partition's queue is empty (callers must have
     /// stopped submitting).
+    ///
+    /// A drained partition can be re-activated by an exchange
+    /// sub-batch another partition shipped after replying, so one pass
+    /// is not enough on multi-partition engines: passes repeat until a
+    /// full pass observes no exchange activity at all. Senders straddle
+    /// each channel send with two counters (`exchange_sends_started`
+    /// before, `exchange_sends` after), so a pass is conclusive only
+    /// when both are unchanged across it *and* equal to each other —
+    /// `started != sends` means some sub-batch was counted but may not
+    /// have reached its receiver's channel when that receiver drained.
+    /// A send that completed before the pass began is covered by the
+    /// receiver's own drain reply (its channel must be empty).
     pub fn drain(&self) -> Result<()> {
-        let mut waits = Vec::new();
-        for p in 0..self.partitions.len() {
-            let (tx, rx) = bounded(1);
-            self.control(p, PartitionMsg::Drain(tx))?;
-            waits.push(rx);
+        // SeqCst pairs with the SeqCst bumps around the channel send in
+        // exchange_send: without it, a weakly-ordered machine could let
+        // this thread observe stale counters even after the drain-reply
+        // round trips.
+        let counters = || {
+            (
+                self.metrics.exchange_sends_started.load(std::sync::atomic::Ordering::SeqCst),
+                self.metrics.exchange_sends.load(std::sync::atomic::Ordering::SeqCst),
+            )
+        };
+        loop {
+            let before = counters();
+            let mut waits = Vec::new();
+            for p in 0..self.partitions.len() {
+                let (tx, rx) = bounded(1);
+                self.control(p, PartitionMsg::Drain(tx))?;
+                waits.push(rx);
+            }
+            for rx in waits {
+                rx.recv().map_err(|_| Error::InvalidState("drain reply lost".into()))?;
+            }
+            let after = counters();
+            if before == after && after.0 == after.1 {
+                return Ok(());
+            }
         }
-        for rx in waits {
-            rx.recv().map_err(|_| Error::InvalidState("drain reply lost".into()))?;
-        }
-        Ok(())
     }
 
     /// Forces command-log flushes on every partition.
@@ -383,15 +548,35 @@ impl Engine {
     }
 
     /// Takes a checkpoint of every partition, written to
-    /// [`EngineConfig::checkpoint_path`].
+    /// [`EngineConfig::checkpoint_path`]. Call at a quiescent point
+    /// (after [`Engine::drain`]): per-partition images are taken one
+    /// after another, and cross-partition consistency comes from
+    /// nothing being in flight between them.
+    ///
+    /// Two phases: every partition's image is collected first, then
+    /// all files are written, so a crash mid-call can only tear the
+    /// set during the short write loop — and the shared epoch stamped
+    /// into each file lets recovery detect exactly that tear.
     pub fn checkpoint(&self) -> Result<()> {
         let counters = self.counters_by_name();
+        let epoch =
+            self.checkpoint_epoch.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        let mut images = Vec::with_capacity(self.partitions.len());
         for p in 0..self.partitions.len() {
             let (tx, rx) = bounded(1);
             self.control(p, PartitionMsg::Checkpoint(tx))?;
-            let (ee_image, last_lsn) =
-                rx.recv().map_err(|_| Error::InvalidState("checkpoint reply lost".into()))??;
-            let ck = CheckpointFile { last_lsn, batch_counters: counters.clone(), ee_image };
+            images.push(
+                rx.recv().map_err(|_| Error::InvalidState("checkpoint reply lost".into()))??,
+            );
+        }
+        for (p, (ee_image, last_lsn, exchange_floor)) in images.into_iter().enumerate() {
+            let ck = CheckpointFile {
+                epoch,
+                last_lsn,
+                batch_counters: counters.clone(),
+                exchange_floor,
+                ee_image,
+            };
             write_checkpoint(&self.config.checkpoint_path(p), &ck)?;
         }
         Ok(())

@@ -1,19 +1,24 @@
 //! The S-Store engine: transactional stream processing on an
 //! H-Store-style partitioned main-memory OLTP core.
 //!
-//! # Architecture (paper §3, Figure 4)
+//! # Architecture (paper §3, Figure 4, plus cross-partition exchange)
 //!
 //! ```text
 //!  client / stream injection            (caller threads)
 //!        │  crossbeam channel = the "network" round trip
+//!        │  mixed-key batches hash-split into per-partition
+//!        │  sub-batches sharing one logical BatchId
 //!        ▼
-//!  ┌──────────────────────────────┐
-//!  │ Partition Engine (PE)        │  one thread per partition
-//!  │  · streaming scheduler       │  (serial transaction execution)
-//!  │  · stored-procedure bodies   │
-//!  │  · PE triggers               │
-//!  │  · command log + recovery    │
-//!  └──────────────┬───────────────┘
+//!  ┌──────────────────────────────┐     ┌────────────────────┐
+//!  │ Partition Engine (PE) #0     │◀═══▶│ PE #1 … PE #N      │
+//!  │  · streaming scheduler       │ exchange hops: a commit  │
+//!  │    (fast lane / client lane) │ onto an exchange stream  │
+//!  │  · stored-procedure bodies   │ re-splits the batch by   │
+//!  │  · PE triggers               │ key hash and ships one   │
+//!  │  · exchange merge buffer     │ sub-batch per partition; │
+//!  │  · command log + recovery    │ receivers merge all N    │
+//!  └──────────────┬───────────────┘ sources, then fire the   │
+//!                 │                  PE trigger locally       │
 //!                 │  EE boundary (inline call or channel hop)
 //!                 ▼
 //!  ┌──────────────────────────────┐
@@ -29,7 +34,11 @@
 //! streams/windows as time-varying tables ([`stream`], [`window`]),
 //! EE/PE [`trigger`]s, the streaming [`scheduler`] that fast-tracks
 //! triggered transactions, and strong/weak [`recovery`] over a
-//! command [`log`] and [`checkpoint`]s.
+//! command [`log`] and [`checkpoint`]s — and extends the single-node
+//! design with *exchange* workflow edges
+//! ([`app::AppBuilder::exchange_stream`]) that re-partition data
+//! between workflow stages, so one workflow spans partitions the way
+//! MorphStream/Risingwave-style engines scale their dataflows.
 //!
 //! Applications are defined declaratively as an [`app::App`] (tables,
 //! streams, windows, stored procedures, workflow edges) and run by an

@@ -10,10 +10,15 @@
 //! * **weak**: only *border* transactions, carrying their input batch —
 //!   upstream backup; interior work is re-derived through PE triggers.
 //!
-//! Record framing: `[u32 len][payload]`, payload via `common::codec`. A
-//! torn final record (crash mid-write) is detected by length mismatch
-//! and ignored, which is the correct crash semantics: that transaction
-//! never acknowledged its commit.
+//! File layout: an 8-byte header (`[u32 magic][u32 version]` — logs
+//! from other format versions are rejected loudly, never misparsed)
+//! followed by records framed `[u32 len][u32 crc32][payload]`, payload
+//! via `common::codec`, CRC32 (IEEE) over the payload. A torn final record
+//! (crash mid-write) is detected by a short frame or a checksum
+//! mismatch and ignored, which is the correct crash semantics: that
+//! transaction never acknowledged its commit. A checksum mismatch on
+//! any *earlier* record is corruption of acknowledged work and fails
+//! recovery loudly.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
@@ -23,6 +28,50 @@ use sstore_common::codec::{Decoder, Encoder};
 use sstore_common::{BatchId, Error, Lsn, Result, Tuple, Value};
 
 use crate::config::LoggingConfig;
+
+/// CRC32 (IEEE 802.3) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes`.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Bytes of framing before each record's payload: length + checksum.
+const FRAME_LEN: usize = 8;
+
+/// Log file header: magic ("SSLG") + format version. A log whose
+/// header does not match is rejected loudly instead of being misparsed
+/// (the record framing has changed across versions — old logs would
+/// otherwise read as garbage or, worse, as an empty log).
+const LOG_MAGIC: u32 = 0x5353_4C47;
+const LOG_VERSION: u32 = 2;
+const HEADER_LEN: usize = 8;
+
+fn header_bytes() -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..4].copy_from_slice(&LOG_MAGIC.to_le_bytes());
+    h[4..].copy_from_slice(&LOG_VERSION.to_le_bytes());
+    h
+}
 
 /// What kind of transaction a record describes.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +98,20 @@ pub enum LogKind {
         stream: String,
         /// Batch id consumed.
         batch: BatchId,
+    },
+    /// Exchange-delivered transaction (strong mode only): a merged
+    /// sub-batch that arrived from other partitions' exchange sends.
+    /// Carries its rows, because the data lives on the *sending*
+    /// partitions' logs — each partition's log must replay on its own
+    /// (weak mode instead re-derives exchange deliveries by replaying
+    /// the upstream borders with triggers enabled, so it logs nothing).
+    Exchange {
+        /// Exchange stream name.
+        stream: String,
+        /// Batch id delivered.
+        batch: BatchId,
+        /// The merged rows, in source-partition order.
+        rows: Vec<Tuple>,
     },
 }
 
@@ -97,6 +160,15 @@ fn encode_payload(
             e.put_str(stream);
             e.put_u64(batch.raw());
         }
+        LogKindRef::Exchange { stream, batch, rows } => {
+            e.put_u8(3);
+            e.put_str(stream);
+            e.put_u64(batch.raw());
+            e.put_varint(rows.len() as u64);
+            for r in rows {
+                e.put_tuple(r);
+            }
+        }
     }
 }
 
@@ -106,6 +178,7 @@ enum LogKindRef<'a> {
     Oltp { params: &'a [Value] },
     Border { stream: &'a str, batch: BatchId, rows: &'a [Tuple] },
     Interior { stream: &'a str, batch: BatchId },
+    Exchange { stream: &'a str, batch: BatchId, rows: &'a [Tuple] },
 }
 
 impl LogKind {
@@ -117,6 +190,9 @@ impl LogKind {
             }
             LogKind::Interior { stream, batch } => {
                 LogKindRef::Interior { stream, batch: *batch }
+            }
+            LogKind::Exchange { stream, batch, rows } => {
+                LogKindRef::Exchange { stream, batch: *batch, rows }
             }
         }
     }
@@ -153,6 +229,19 @@ impl LogRecord {
                 LogKind::Border { stream, batch, rows }
             }
             2 => LogKind::Interior { stream: d.get_str()?, batch: BatchId(d.get_u64()?) },
+            3 => {
+                let stream = d.get_str()?;
+                let batch = BatchId(d.get_u64()?);
+                let n = d.get_varint()? as usize;
+                if n > d.remaining() {
+                    return Err(Error::Codec("row count exceeds record".into()));
+                }
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(d.get_tuple()?);
+                }
+                LogKind::Exchange { stream, batch, rows }
+            }
             t => return Err(Error::Codec(format!("unknown log record kind {t}"))),
         };
         if !d.is_exhausted() {
@@ -183,9 +272,11 @@ impl CommandLog {
             std::fs::create_dir_all(dir)?;
         }
         let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
+        let mut writer = BufWriter::new(file);
+        writer.write_all(&header_bytes())?;
         Ok(CommandLog {
             path,
-            writer: BufWriter::new(file),
+            writer,
             config,
             next_lsn: 0,
             pending: 0,
@@ -202,9 +293,15 @@ impl CommandLog {
             std::fs::create_dir_all(dir)?;
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut writer = BufWriter::new(file);
+        if writer.get_ref().metadata()?.len() == 0 {
+            // Resuming onto a log that never existed (e.g. logging was
+            // enabled after the checkpoint): start it properly.
+            writer.write_all(&header_bytes())?;
+        }
         Ok(CommandLog {
             path,
-            writer: BufWriter::new(file),
+            writer,
             config,
             next_lsn: resume_after.raw() + 1,
             pending: 0,
@@ -256,12 +353,25 @@ impl CommandLog {
         self.append_ref(proc, LogKindRef::Interior { stream, batch })
     }
 
+    /// Appends an exchange-delivery record from borrowed parts (strong
+    /// mode): the merged rows this partition received for `batch`.
+    pub fn append_exchange(
+        &mut self,
+        proc: &str,
+        stream: &str,
+        batch: BatchId,
+        rows: &[Tuple],
+    ) -> Result<Lsn> {
+        self.append_ref(proc, LogKindRef::Exchange { stream, batch, rows })
+    }
+
     fn append_ref(&mut self, proc: &str, kind: LogKindRef<'_>) -> Result<Lsn> {
         let lsn = Lsn(self.next_lsn);
         self.next_lsn += 1;
         encode_payload(&mut self.enc, lsn, proc, kind);
         let payload = self.enc.as_bytes();
         self.writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&crc32(payload).to_le_bytes())?;
         self.writer.write_all(payload)?;
         self.pending += 1;
         if self.pending >= self.config.group_commit.max(1) {
@@ -285,8 +395,17 @@ impl CommandLog {
         Ok(())
     }
 
-    /// Reads every complete record from a log file. A torn final record
-    /// is ignored (crash semantics); corruption elsewhere is an error.
+    /// Reads every complete record from a log file. A torn *final*
+    /// record — cut short by a crash mid-write, or failing its
+    /// checksum where the flush died — is ignored, which is the
+    /// correct crash semantics: that transaction never acknowledged
+    /// its commit. A checksum or decode failure anywhere *before* the
+    /// final record is an error: those records were durably
+    /// acknowledged, so losing them silently would drop committed
+    /// work. (A corrupted *length* prefix whose frame runs past EOF is
+    /// indistinguishable from a torn tail without a side index and is
+    /// treated as one; the per-record CRC catches every payload-level
+    /// corruption deterministically.)
     pub fn read_all(path: impl AsRef<Path>) -> Result<Vec<LogRecord>> {
         let path = path.as_ref();
         if !path.exists() {
@@ -294,16 +413,48 @@ impl CommandLog {
         }
         let mut bytes = Vec::new();
         File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            return Ok(Vec::new());
+        }
+        if bytes.len() < HEADER_LEN
+            || bytes[..4] != LOG_MAGIC.to_le_bytes()
+            || bytes[4..HEADER_LEN] != LOG_VERSION.to_le_bytes()
+        {
+            return Err(Error::Codec(format!(
+                "{} is not a version-{LOG_VERSION} command log (bad or missing header)",
+                path.display()
+            )));
+        }
         let mut records = Vec::new();
-        let mut off = 0usize;
-        while off + 4 <= bytes.len() {
+        let mut off = HEADER_LEN;
+        while off + FRAME_LEN <= bytes.len() {
             let len =
                 u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4-byte slice")) as usize;
-            if off + 4 + len > bytes.len() {
-                break; // torn tail
+            let want_crc = u32::from_le_bytes(
+                bytes[off + 4..off + FRAME_LEN].try_into().expect("4-byte slice"),
+            );
+            let start = off + FRAME_LEN;
+            let end = match start.checked_add(len) {
+                Some(end) if end <= bytes.len() => end,
+                _ => break, // torn tail: framed length runs past EOF
+            };
+            if crc32(&bytes[start..end]) != want_crc {
+                if end == bytes.len() {
+                    break; // torn tail: the final flush died mid-record
+                }
+                return Err(Error::Codec(format!(
+                    "command log corrupted at byte {off}: checksum mismatch on a \
+                     non-final record"
+                )));
             }
-            records.push(LogRecord::decode(&bytes[off + 4..off + 4 + len])?);
-            off += 4 + len;
+            match LogRecord::decode(&bytes[start..end]) {
+                Ok(rec) => records.push(rec),
+                // Checksum passed but decode failed: tolerated only in
+                // final position, like any other torn tail.
+                Err(_) if end == bytes.len() => break,
+                Err(e) => return Err(e),
+            }
+            off = end;
         }
         Ok(records)
     }
@@ -335,6 +486,11 @@ mod tests {
             }),
             ("maintain".into(), LogKind::Interior { stream: "validated".into(), batch: BatchId(1) }),
             ("report".into(), LogKind::Oltp { params: vec![Value::Int(3), Value::Text("x".into())] }),
+            ("merge".into(), LogKind::Exchange {
+                stream: "xmid".into(),
+                batch: BatchId(2),
+                rows: vec![tuple![1i64, 10i64]],
+            }),
         ]
     }
 
@@ -347,12 +503,13 @@ mod tests {
         }
         log.flush().unwrap();
         let records = CommandLog::read_all(&path).unwrap();
-        assert_eq!(records.len(), 3);
+        assert_eq!(records.len(), 4);
         assert_eq!(records[0].lsn, Lsn(0));
-        assert_eq!(records[2].lsn, Lsn(2));
+        assert_eq!(records[3].lsn, Lsn(3));
         assert!(matches!(records[0].kind, LogKind::Border { ref rows, .. } if rows.len() == 2));
         assert!(matches!(records[1].kind, LogKind::Interior { .. }));
         assert!(matches!(records[2].kind, LogKind::Oltp { ref params } if params.len() == 2));
+        assert!(matches!(records[3].kind, LogKind::Exchange { ref rows, .. } if rows.len() == 1));
         std::fs::remove_file(&path).ok();
     }
 
@@ -397,7 +554,93 @@ mod tests {
         f.write_all(&[1, 2, 3]).unwrap();
         drop(f);
         let records = CommandLog::read_all(&path).unwrap();
-        assert_eq!(records.len(), 3);
+        assert_eq!(records.len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_final_record_is_treated_as_torn_tail() {
+        let path = tmp("flip-tail");
+        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }).unwrap();
+        for (proc, kind) in sample_records() {
+            log.append(&proc, kind).unwrap();
+        }
+        log.flush().unwrap();
+        drop(log);
+        // Overwrite the final record's payload (framing intact) with
+        // garbage — a flush that died mid-write can leave exactly this.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mut off = HEADER_LEN;
+        let mut last_payload = 0usize;
+        while off + FRAME_LEN <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            last_payload = off + FRAME_LEN;
+            off += FRAME_LEN + len;
+        }
+        for b in &mut bytes[last_payload..] {
+            *b = 0xFF;
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let records = CommandLog::read_all(&path).unwrap();
+        assert_eq!(records.len(), 3, "corrupt tail record dropped, prefix kept");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_interior_record_is_an_error() {
+        let path = tmp("flip-mid");
+        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }).unwrap();
+        for (proc, kind) in sample_records() {
+            log.append(&proc, kind).unwrap();
+        }
+        log.flush().unwrap();
+        drop(log);
+        // Corrupt the FIRST record's payload: that record was durably
+        // acknowledged (records follow it), so this is real corruption,
+        // not a torn tail — recovery must fail loudly.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let len =
+            u32::from_le_bytes(bytes[HEADER_LEN..HEADER_LEN + 4].try_into().unwrap()) as usize;
+        let start = HEADER_LEN + FRAME_LEN;
+        for b in &mut bytes[start..start + len] {
+            *b = 0xFF;
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(CommandLog::read_all(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn single_bit_flip_is_caught_by_the_checksum() {
+        let path = tmp("bitflip");
+        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }).unwrap();
+        for (proc, kind) in sample_records() {
+            log.append(&proc, kind).unwrap();
+        }
+        log.flush().unwrap();
+        drop(log);
+        let clean = std::fs::read(&path).unwrap();
+        let len =
+            u32::from_le_bytes(clean[HEADER_LEN..HEADER_LEN + 4].try_into().unwrap()) as usize;
+        // A flip that would still decode as a valid record (a value
+        // byte near the payload end) must not replay silently wrong.
+        let mut bytes = clean.clone();
+        bytes[HEADER_LEN + FRAME_LEN + len - 1] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(CommandLog::read_all(&path).is_err(), "interior flip must error");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_or_stale_format_rejected_by_header() {
+        let path = tmp("badheader");
+        // A file that predates the header (or is not a log at all) must
+        // fail loudly, not read as empty/garbage.
+        std::fs::write(&path, [1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10]).unwrap();
+        assert!(CommandLog::read_all(&path).is_err());
+        // An empty file (created, never written) is a valid empty log.
+        std::fs::write(&path, []).unwrap();
+        assert!(CommandLog::read_all(&path).unwrap().is_empty());
         std::fs::remove_file(&path).ok();
     }
 

@@ -31,6 +31,22 @@ pub struct EngineMetrics {
     pub pe_trigger_fires: AtomicU64,
     /// EE-trigger executions performed inside the EE.
     pub ee_trigger_fires: AtomicU64,
+    /// Exchange sub-batches whose send has *begun* (bumped before the
+    /// channel send). Paired with [`EngineMetrics::exchange_sends`]:
+    /// `started == sends` means no send is in flight mid-call, which
+    /// [`crate::engine::Engine::drain`] needs to rule out a sub-batch
+    /// that was counted but not yet enqueued when a receiver drained.
+    pub exchange_sends_started: AtomicU64,
+    /// Exchange sub-batches shipped between partitions (one per
+    /// (stream, batch, target-partition); counts empty alignment
+    /// sub-batches too). Bumped *after* the channel send completes.
+    pub exchange_sends: AtomicU64,
+    /// Exchange batches merged from all sources and handed to the
+    /// scheduler on a receiving partition.
+    pub exchange_batches: AtomicU64,
+    /// Exchange batches dropped as duplicates by the per-partition
+    /// watermark (recovery re-sends).
+    pub exchange_dups_dropped: AtomicU64,
     /// Execution trace of committed TEs, recorded only when
     /// [`crate::config::EngineConfig::trace`] is on.
     pub trace: Mutex<Vec<TraceEvent>>,
@@ -69,6 +85,10 @@ impl EngineMetrics {
         self.ee_round_trips.store(0, Ordering::Relaxed);
         self.pe_trigger_fires.store(0, Ordering::Relaxed);
         self.ee_trigger_fires.store(0, Ordering::Relaxed);
+        self.exchange_sends_started.store(0, Ordering::Relaxed);
+        self.exchange_sends.store(0, Ordering::Relaxed);
+        self.exchange_batches.store(0, Ordering::Relaxed);
+        self.exchange_dups_dropped.store(0, Ordering::Relaxed);
         self.trace.lock().clear();
     }
 }
@@ -83,7 +103,7 @@ mod tests {
         EngineMetrics::bump(&m.txns_committed);
         EngineMetrics::bump(&m.txns_committed);
         assert_eq!(EngineMetrics::get(&m.txns_committed), 2);
-        m.trace.lock().push(TraceEvent { proc: "p".into(), batch: None });
+        m.trace.lock().push(TraceEvent { proc: "p".into(), batch: None, partition: 0 });
         assert_eq!(m.trace_snapshot().len(), 1);
         m.reset();
         assert_eq!(EngineMetrics::get(&m.txns_committed), 0);

@@ -42,6 +42,16 @@ pub struct StreamMeta {
     /// The single border procedure ingestion activates (first PE
     /// trigger on this stream), if any.
     pub border_target: Option<ProcId>,
+    /// True for exchange streams: batches committed here are
+    /// re-partitioned by key hash and shipped to the owning partitions.
+    pub exchange: bool,
+    /// True when an exchange stream is reachable downstream of this
+    /// stream (through PE triggers and declared outputs). Ingested
+    /// batches on such streams are broadcast as (possibly empty)
+    /// sub-batches to *every* partition so that each exchange hop
+    /// receives exactly one sub-batch per source partition per batch —
+    /// the alignment invariant the exchange merge relies on.
+    pub feeds_exchange: bool,
 }
 
 /// Interned metadata for one stored procedure.
@@ -65,6 +75,8 @@ pub struct AppIds {
     proc_by_name: HashMap<String, ProcId>,
     /// PE-trigger targets per table id (empty for non-streams).
     pe_targets: Vec<Vec<ProcId>>,
+    /// True when the app declares any exchange stream.
+    has_exchange: bool,
 }
 
 impl AppIds {
@@ -107,8 +119,15 @@ impl AppIds {
                 &mut ids,
                 &s.name,
                 TableKind::Stream,
-                Some(StreamMeta { schema: s.schema.clone(), partition_col, border_target }),
+                Some(StreamMeta {
+                    schema: s.schema.clone(),
+                    partition_col,
+                    border_target,
+                    exchange: s.exchange,
+                    feeds_exchange: false, // filled in below
+                }),
             );
+            ids.has_exchange |= s.exchange;
         }
         for w in &app.windows {
             add_table(&mut ids, &w.spec.name, TableKind::Window, None);
@@ -134,7 +153,78 @@ impl AppIds {
                 ids.procs[p.index()].topo_pos = pos;
             }
         }
+
+        if ids.has_exchange {
+            ids.mark_feeds_exchange(app);
+        }
         Ok(ids)
+    }
+
+    /// Marks every stream from which an exchange stream is reachable
+    /// (stream → PE-trigger targets → declared outputs → …). Nested
+    /// transactions contribute their children's declared outputs. The
+    /// workflow DAG is acyclic (validated at build), so one backward
+    /// sweep per exchange stream terminates.
+    fn mark_feeds_exchange(&mut self, app: &App) {
+        // proc → declared output stream ids (children's outputs folded
+        // into their nested parent).
+        let outputs_of = |ids: &AppIds, proc: &crate::app::ProcDef| -> Vec<TableId> {
+            let mut out: Vec<TableId> = Vec::new();
+            let push_proc = |p: &crate::app::ProcDef, out: &mut Vec<TableId>| {
+                for o in &p.outputs {
+                    if let Some(id) = ids.table_id(o) {
+                        out.push(id);
+                    }
+                }
+            };
+            push_proc(proc, &mut out);
+            for c in &proc.children {
+                if let Some(child) = app.proc(c) {
+                    push_proc(child, &mut out);
+                }
+            }
+            out
+        };
+        // Fixpoint: a stream feeds an exchange if it is one, or if any
+        // PE target's outputs (transitively) do. The graph is small;
+        // iterate until stable.
+        loop {
+            let mut changed = false;
+            for p in &app.procs {
+                let Some(pid) = self.proc_id(&p.name) else { continue };
+                let downstream: Vec<TableId> = outputs_of(self, p);
+                let feeds = downstream.iter().any(|id| {
+                    self.tables[id.index()]
+                        .stream
+                        .as_ref()
+                        .is_some_and(|s| s.exchange || s.feeds_exchange)
+                });
+                if !feeds {
+                    continue;
+                }
+                // Every stream triggering this proc feeds the exchange.
+                for i in 0..self.pe_targets.len() {
+                    if !self.pe_targets[i].contains(&pid) {
+                        continue;
+                    }
+                    if let Some(s) = self.tables[i].stream.as_mut() {
+                        if !s.feeds_exchange {
+                            s.feeds_exchange = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// True when the app declares any exchange stream.
+    #[inline]
+    pub fn has_exchange(&self) -> bool {
+        self.has_exchange
     }
 
     /// Resolves a table/stream/window name (case-insensitive).

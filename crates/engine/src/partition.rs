@@ -13,10 +13,12 @@
 //! string hashing or lower-casing, and PE-trigger dispatch is an array
 //! walk.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam_channel::{Receiver, Sender, TryRecvError};
+use sstore_common::hash::FxHashMap;
 use sstore_common::{BatchId, Error, Lsn, ProcId, Result, TableId, Tuple, Value};
 use sstore_sql::QueryResult;
 
@@ -50,6 +52,17 @@ pub enum Invocation {
     Interior {
         /// Input stream.
         stream: TableId,
+    },
+    /// Exchange-delivered streaming transaction: consumes a merged
+    /// sub-batch shipped from other partitions' exchange sends. The
+    /// rows arrive with the invocation (they were extracted from the
+    /// sending partitions' stream tables), so nothing is consumed from
+    /// this partition's stream state.
+    Exchange {
+        /// The exchange stream the batch travelled on.
+        stream: TableId,
+        /// Merged rows, in source-partition order.
+        rows: Vec<Tuple>,
     },
 }
 
@@ -96,9 +109,26 @@ pub struct CallOutcome {
 pub enum PartitionMsg {
     /// Submit a transaction request (client call or ingestion).
     Submit(TxnRequest),
-    /// Take a checkpoint; replies with the EE image and the last LSN
-    /// covered by it.
-    Checkpoint(Sender<Result<(Vec<u8>, Lsn)>>),
+    /// One partition's sub-batch of an exchange hop (§4.7 meets the
+    /// Risingwave-style exchange operator): `source` committed `batch`
+    /// onto `stream` and these are the rows whose partition key hashes
+    /// here. Every source ships exactly one sub-batch (possibly empty)
+    /// per batch; the receiver merges all of them before triggering the
+    /// downstream transaction.
+    Exchange {
+        /// Exchange stream.
+        stream: TableId,
+        /// Batch id (assigned at ingestion, propagated through the
+        /// workflow).
+        batch: BatchId,
+        /// Sending partition.
+        source: usize,
+        /// Rows routed to this partition.
+        rows: Vec<Tuple>,
+    },
+    /// Take a checkpoint; replies with the EE image, the last LSN
+    /// covered by it, and the exchange watermarks (by stream name).
+    Checkpoint(Sender<Result<(Vec<u8>, Lsn, HashMap<String, u64>)>>),
     /// Restore EE state from a checkpoint image (recovery bootstrap).
     Restore(Vec<u8>, Sender<Result<()>>),
     /// Block until the queue is empty and no work is in flight.
@@ -124,6 +154,11 @@ pub struct PartitionHandle {
 }
 
 impl PartitionHandle {
+    /// Wraps a partition's sender and thread handle.
+    pub(crate) fn new(tx: Sender<PartitionMsg>, join: JoinHandle<()>) -> Self {
+        PartitionHandle { tx, join: Some(join) }
+    }
+
     /// Sends shutdown and joins the thread.
     pub fn shutdown(&mut self) {
         let (tx, rx) = crossbeam_channel::bounded(1);
@@ -142,7 +177,17 @@ impl Drop for PartitionHandle {
     }
 }
 
+/// Sub-batches of one exchange (stream, batch) collected from source
+/// partitions; the downstream transaction fires when all have arrived.
+struct ExchangePending {
+    /// Per-source rows; `None` until that source's sub-batch arrives.
+    parts: Vec<Option<Vec<Tuple>>>,
+    /// How many sources have arrived.
+    received: usize,
+}
+
 pub(crate) struct PartitionRuntime {
+    partition_id: usize,
     config: EngineConfig,
     ee: EeHandle,
     ids: Arc<AppIds>,
@@ -152,50 +197,99 @@ pub(crate) struct PartitionRuntime {
     bodies: Vec<Option<crate::app::ProcBody>>,
     queue: SchedulerQueue,
     rx: Receiver<PartitionMsg>,
+    /// Senders to every partition (including self), for exchange hops.
+    peers: Vec<Sender<PartitionMsg>>,
+    /// In-progress exchange merges, keyed by (stream, batch).
+    exchange_buf: FxHashMap<(TableId, BatchId), ExchangePending>,
+    /// Highest exchange batch applied per stream (by table id).
+    /// Dedups recovery re-sends; persisted in checkpoints.
+    exchange_applied: Vec<u64>,
     log: Option<CommandLog>,
     metrics: Arc<EngineMetrics>,
     triggers_enabled: bool,
     pending_drains: Vec<Sender<()>>,
 }
 
+/// Everything [`spawn_partition`] needs that is specific to one
+/// partition (the engine builds all channels up front so every runtime
+/// can hold senders to its peers).
+pub(crate) struct PartitionSeed {
+    /// This partition's id.
+    pub id: usize,
+    /// This partition's message receiver.
+    pub rx: Receiver<PartitionMsg>,
+    /// Senders to every partition, including self (exchange hops).
+    pub peers: Vec<Sender<PartitionMsg>>,
+    /// PE triggers start enabled?
+    pub triggers_enabled: bool,
+    /// Resume the command log after this LSN (recovery).
+    pub resume_lsn: Option<Lsn>,
+    /// Checkpoint-restored exchange watermarks (by stream name).
+    pub exchange_floor: HashMap<String, u64>,
+}
+
 /// Spawns a partition thread.
-#[allow(clippy::too_many_arguments)] // one internal call site, in Engine::start_with
 pub(crate) fn spawn_partition(
-    partition_id: usize,
+    seed: PartitionSeed,
     config: EngineConfig,
     app: &App,
     ids: Arc<AppIds>,
     ee: EeHandle,
     proc_stmts: crate::ee::ProcStmtMap,
     metrics: Arc<EngineMetrics>,
-    triggers_enabled: bool,
-    resume_lsn: Option<Lsn>,
-) -> Result<PartitionHandle> {
+) -> Result<JoinHandle<()>> {
     let mut procs: Vec<Option<Arc<CompiledProc>>> = vec![None; ids.proc_count()];
     let mut bodies: Vec<Option<crate::app::ProcBody>> = vec![None; ids.proc_count()];
-    for p in &app.procs {
-        let pid = ids
-            .proc_id(&p.name)
-            .ok_or_else(|| Error::not_found("procedure", &p.name))?;
-        let stmts = proc_stmts.get(&p.name).cloned().unwrap_or_default();
-        let outputs = p
-            .outputs
+    let resolve_outputs = |p: &crate::app::ProcDef| -> Result<Vec<(String, TableId)>> {
+        p.outputs
             .iter()
             .map(|o| {
                 ids.table_id(o)
                     .map(|id| (o.clone(), id))
                     .ok_or_else(|| Error::not_found("output stream", o))
             })
-            .collect::<Result<Vec<_>>>()?;
+            .collect()
+    };
+    for p in &app.procs {
+        let pid = ids
+            .proc_id(&p.name)
+            .ok_or_else(|| Error::not_found("procedure", &p.name))?;
+        let stmts = proc_stmts.get(&p.name).cloned().unwrap_or_default();
+        let outputs = resolve_outputs(p)?;
         let children = p
             .children
             .iter()
             .map(|c| ids.proc_id(c).ok_or_else(|| Error::not_found("procedure", c)))
             .collect::<Result<Vec<_>>>()?;
+        // Exchange sends must fire once per commit of this TE, so a
+        // nested transaction owns its children's exchange outputs; the
+        // same goes for the alignment set (exchange streams plus
+        // locals on a path to one).
+        let mut exchange_outputs: Vec<TableId> = Vec::new();
+        let mut align_outputs: Vec<TableId> = Vec::new();
+        let mut add_outputs = |outs: &[(String, TableId)]| {
+            for (_, id) in outs {
+                let Some(s) = ids.table(*id).stream.as_ref() else { continue };
+                if s.exchange && !exchange_outputs.contains(id) {
+                    exchange_outputs.push(*id);
+                }
+                if (s.exchange || s.feeds_exchange) && !align_outputs.contains(id) {
+                    align_outputs.push(*id);
+                }
+            }
+        };
+        add_outputs(&outputs);
+        for c in &p.children {
+            if let Some(child) = app.proc(c) {
+                add_outputs(&resolve_outputs(child)?);
+            }
+        }
         procs[pid.index()] = Some(Arc::new(CompiledProc {
             name: ids.proc_name(pid).clone(),
             stmts,
             outputs,
+            exchange_outputs,
+            align_outputs,
             children,
         }));
         if let Some(body) = &p.body {
@@ -204,8 +298,8 @@ pub(crate) fn spawn_partition(
     }
 
     let log = if config.logging.enabled {
-        let path = config.log_path(partition_id);
-        Some(match resume_lsn {
+        let path = config.log_path(seed.id);
+        Some(match seed.resume_lsn {
             Some(lsn) => CommandLog::resume(path, config.logging.clone(), lsn)?,
             None => CommandLog::create(path, config.logging.clone())?,
         })
@@ -213,26 +307,36 @@ pub(crate) fn spawn_partition(
         None
     };
 
-    let (tx, rx) = crossbeam_channel::unbounded();
+    let mut exchange_applied = vec![0u64; ids.table_count()];
+    for (name, v) in &seed.exchange_floor {
+        if let Some(id) = ids.table_id(name) {
+            exchange_applied[id.index()] = *v;
+        }
+    }
+
     let queue = SchedulerQueue::new(config.scheduler);
     let runtime = PartitionRuntime {
+        partition_id: seed.id,
         config,
         ee,
         ids,
         procs,
         bodies,
         queue,
-        rx,
+        rx: seed.rx,
+        peers: seed.peers,
+        exchange_buf: FxHashMap::default(),
+        exchange_applied,
         log,
         metrics,
-        triggers_enabled,
+        triggers_enabled: seed.triggers_enabled,
         pending_drains: Vec::new(),
     };
-    let join = std::thread::Builder::new()
-        .name(format!("sstore-pe-{partition_id}"))
+    let id = seed.id;
+    std::thread::Builder::new()
+        .name(format!("sstore-pe-{id}"))
         .spawn(move || runtime.run())
-        .map_err(|e| Error::Internal(format!("spawning partition thread: {e}")))?;
-    Ok(PartitionHandle { tx, join: Some(join) })
+        .map_err(|e| Error::Internal(format!("spawning partition thread: {e}")))
 }
 
 impl PartitionRuntime {
@@ -280,6 +384,9 @@ impl PartitionRuntime {
     fn handle_msg(&mut self, msg: PartitionMsg) -> bool {
         match msg {
             PartitionMsg::Submit(req) => self.queue.push_client(req),
+            PartitionMsg::Exchange { stream, batch, source, rows } => {
+                self.handle_exchange(stream, batch, source, rows);
+            }
             PartitionMsg::Checkpoint(reply) => {
                 let out = self.do_checkpoint();
                 let _ = reply.send(out);
@@ -329,7 +436,7 @@ impl PartitionRuntime {
         false
     }
 
-    fn do_checkpoint(&mut self) -> Result<(Vec<u8>, Lsn)> {
+    fn do_checkpoint(&mut self) -> Result<(Vec<u8>, Lsn, HashMap<String, u64>)> {
         let lsn = match &mut self.log {
             Some(log) => {
                 log.flush()?;
@@ -338,16 +445,145 @@ impl PartitionRuntime {
             None => Lsn(0),
         };
         let bytes = self.ee.checkpoint()?;
-        Ok((bytes, lsn))
+        let floor = self
+            .exchange_applied
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v > 0)
+            .map(|(i, v)| (self.ids.table_name(TableId(i as u32)).to_string(), *v))
+            .collect();
+        Ok((bytes, lsn, floor))
+    }
+
+    // ------------------------------------------------------------------
+    // Exchange: cross-partition workflow edges
+    // ------------------------------------------------------------------
+
+    /// Collects one source's sub-batch of an exchange hop; when all
+    /// sources have delivered, merges them (source order) and enqueues
+    /// the downstream transaction(s). Sub-batches from one source
+    /// arrive in batch order (the source commits batches in order and
+    /// the channel is FIFO), so merges complete in batch order per
+    /// stream — the scheduler's exchange lane preserves that.
+    fn handle_exchange(&mut self, stream: TableId, batch: BatchId, source: usize, rows: Vec<Tuple>) {
+        let n = self.peers.len();
+        let entry = self
+            .exchange_buf
+            .entry((stream, batch))
+            .or_insert_with(|| ExchangePending { parts: vec![None; n], received: 0 });
+        if entry.parts[source].is_none() {
+            entry.received += 1;
+        }
+        entry.parts[source] = Some(rows);
+        if entry.received < n {
+            return;
+        }
+        let pending = self.exchange_buf.remove(&(stream, batch)).expect("entry just filled");
+        // Recovery can legitimately re-ship a batch this partition
+        // already applied (a dangling upstream batch re-fired after
+        // replay); the watermark makes delivery exactly-once.
+        if batch.raw() <= self.exchange_applied[stream.index()] {
+            EngineMetrics::bump(&self.metrics.exchange_dups_dropped);
+            return;
+        }
+        let merged: Vec<Tuple> =
+            pending.parts.into_iter().flatten().flatten().collect();
+        EngineMetrics::bump(&self.metrics.exchange_batches);
+        for &target in self.ids.pe_targets_of(stream) {
+            self.queue.push_exchange(TxnRequest {
+                proc: target,
+                invocation: Invocation::Exchange { stream, rows: merged.clone() },
+                batch: Some(batch),
+                reply: None,
+                replay: false,
+            });
+        }
+    }
+
+    /// True when commits on this partition should ship exchange batches
+    /// to peers (instead of treating exchange streams as local PE
+    /// streams): multi-partition S-Store with triggers on. Recovery
+    /// replay (triggers off) leaves exchange batches dangling on their
+    /// producing partition; they are re-shipped by `fire_dangling`.
+    fn exchange_active(&self) -> bool {
+        self.peers.len() > 1
+            && self.config.mode == EngineMode::SStore
+            && self.triggers_enabled
+    }
+
+    /// Extracts a committed batch from a local exchange stream and
+    /// ships one sub-batch (possibly empty) to every partition, rows
+    /// routed by partition-key hash.
+    fn exchange_send(&mut self, stream: TableId, batch: BatchId) -> Result<()> {
+        let col = self
+            .ids
+            .table(stream)
+            .stream
+            .as_ref()
+            .and_then(|s| s.partition_col)
+            .ok_or_else(|| {
+                Error::Internal(format!(
+                    "exchange stream {} lost its partition column",
+                    self.ids.table_name(stream)
+                ))
+            })?;
+        // Pull the rows out of the local stream table in a mini
+        // transaction of their own (the producing TE has already
+        // committed; the extraction must be atomic and durable-free).
+        self.ee.begin(Some(batch))?;
+        let rows = self.ee.consume(stream, batch, false)?;
+        self.ee.commit()?;
+        let n = self.peers.len();
+        let parts = crate::engine::split_by_key(rows, col, n);
+        for (p, rows) in parts.into_iter().enumerate() {
+            // Straddle the send with two counters: `started` before,
+            // `sends` after. Engine::drain treats `started != sends`
+            // as work in flight, closing the window where a send was
+            // counted but its message had not yet reached the
+            // receiver's channel when that receiver drained. SeqCst:
+            // drain's correctness argument needs the counter updates
+            // ordered with the channel operations across threads.
+            self.metrics.exchange_sends_started.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let sent = self.peers[p].send(PartitionMsg::Exchange {
+                stream,
+                batch,
+                source: self.partition_id,
+                rows,
+            });
+            // Balance the pair even on failure so drain cannot spin on
+            // started != sends; the error still surfaces below.
+            self.metrics.exchange_sends.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if sent.is_err() {
+                return Err(Error::InvalidState(format!(
+                    "partition {p} is down: exchange sub-batch of batch {batch} on {} lost",
+                    self.ids.table_name(stream)
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Recovery: re-fires PE triggers for batches sitting on streams
     /// (restored from the snapshot or re-created by replay). Enqueues in
     /// (batch, topological position) order so the §2.2 constraints hold.
+    /// Dangling batches on *exchange* streams are shipped to their
+    /// owning partitions instead (strong replay leaves one behind for
+    /// every replayed upstream commit — receivers drop the ones they
+    /// already applied via the exchange watermark).
     fn fire_dangling(&mut self) -> Result<usize> {
         let dangling = self.ee.dangling()?;
+        let mut shipped = 0usize;
         let mut reqs: Vec<(BatchId, usize, TxnRequest)> = Vec::new();
         for (stream, batch) in dangling {
+            let is_exchange =
+                self.ids.table(stream).stream.as_ref().is_some_and(|s| s.exchange);
+            if is_exchange && self.exchange_active() {
+                // `dangling` is batch-ordered per stream, so re-ships
+                // leave the receivers' merge order intact.
+                self.exchange_send(stream, batch)?;
+                shipped += 1;
+                continue;
+            }
             for &target in self.ids.pe_targets_of(stream) {
                 let pos = self.ids.proc(target).topo_pos;
                 reqs.push((
@@ -364,7 +600,7 @@ impl PartitionRuntime {
             }
         }
         reqs.sort_by_key(|(b, p, _)| (*b, *p));
-        let n = reqs.len();
+        let n = reqs.len() + shipped;
         for (_, _, r) in reqs {
             self.queue.push_client(r);
         }
@@ -421,6 +657,9 @@ impl PartitionRuntime {
             // Shared-buffer tuples: cloning the batch is a refcount bump
             // per row, not a deep copy.
             Invocation::Border { rows, .. } => rows.clone(),
+            // Exchange deliveries carry their rows (extracted on the
+            // sending partitions) — nothing lives in local stream state.
+            Invocation::Exchange { rows, .. } => rows.clone(),
             Invocation::Interior { stream } => {
                 let b = batch.ok_or_else(|| {
                     Error::Internal("interior invocation without batch".into())
@@ -432,6 +671,26 @@ impl PartitionRuntime {
             Invocation::Oltp { params } => params.clone(),
             _ => Vec::new(),
         };
+
+        // Alignment pre-registration (multi-partition workflows): every
+        // declared output on a path to an exchange gets its batch entry
+        // created up front — empty if the body then emits nothing — so
+        // this partition's copy of the workflow advances for every
+        // batch even through stages whose emission is data-dependent
+        // (e.g. per-row SQL inserts). Without this, a stage receiving
+        // an empty sub-batch would emit nothing, its successor would
+        // never run here, and a downstream exchange merge would wait
+        // forever for this partition's sub-batch. Registering *before*
+        // the body keeps nested transactions intact: a child consuming
+        // the batch internally consumes the empty entry with it.
+        if batch.is_some()
+            && self.peers.len() > 1
+            && self.config.mode == EngineMode::SStore
+        {
+            for &sid in &proc.align_outputs {
+                self.ee.emit(sid, Vec::new())?;
+            }
+        }
 
         // Run the body — or, for a nested transaction, the ordered
         // children inside this single undo scope (§2.3: commit/abort as
@@ -488,6 +747,23 @@ impl PartitionRuntime {
                         }
                         crate::config::RecoveryMode::Weak => false,
                     },
+                    // Strong mode logs the delivered rows: each
+                    // partition's log must replay on its own, and the
+                    // data for this TE lives in the *senders'* logs.
+                    // Weak mode re-derives deliveries by replaying the
+                    // upstream borders with triggers enabled.
+                    Invocation::Exchange { stream, rows } => match self.config.recovery {
+                        crate::config::RecoveryMode::Strong => {
+                            log.append_exchange(
+                                proc_name,
+                                self.ids.table_name(*stream),
+                                batch.expect("exchange invocations carry a batch"),
+                                rows,
+                            )?;
+                            true
+                        }
+                        crate::config::RecoveryMode::Weak => false,
+                    },
                 };
                 if appended {
                     EngineMetrics::bump(&self.metrics.log_records);
@@ -501,17 +777,59 @@ impl PartitionRuntime {
         let outputs = self.ee.commit()?;
         EngineMetrics::bump(&self.metrics.txns_committed);
         if self.config.trace {
-            self.metrics
-                .trace
-                .lock()
-                .push(TraceEvent { proc: self.ids.proc_name(proc_id).to_string(), batch });
+            self.metrics.trace.lock().push(TraceEvent {
+                proc: self.ids.proc_name(proc_id).to_string(),
+                batch,
+                partition: self.partition_id,
+            });
+        }
+
+        // The delivery watermark advances at commit: a replayed or
+        // re-shipped copy of this batch must never apply twice.
+        if let (Invocation::Exchange { stream, .. }, Some(b)) = (invocation, batch) {
+            let w = &mut self.exchange_applied[stream.index()];
+            *w = (*w).max(b.raw());
+        }
+
+        // Exchange hops (cross-partition workflow edges): ship one
+        // sub-batch per peer for every declared exchange output — even
+        // when the body emitted nothing, so downstream merges stay
+        // aligned — plus any exchange stream the commit reached some
+        // other way (e.g. a SQL INSERT outside the declared outputs;
+        // such data-dependent sends break alignment and are the app's
+        // responsibility — prefer declared outputs).
+        let mut shipped = 0usize;
+        let mut local_outputs = outputs;
+        if self.exchange_active() {
+            if let Some(b) = batch {
+                let mut send: Vec<(TableId, BatchId)> = Vec::new();
+                for &sid in &proc.exchange_outputs {
+                    send.push((sid, b));
+                }
+                local_outputs.retain(|&(s, ob)| {
+                    let is_exchange =
+                        self.ids.table(s).stream.as_ref().is_some_and(|m| m.exchange);
+                    if is_exchange {
+                        if !send.contains(&(s, ob)) {
+                            send.push((s, ob));
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for (s, ob) in send {
+                    self.exchange_send(s, ob)?;
+                    shipped += 1;
+                }
+            }
         }
 
         // PE triggers (§3.2.3/3.2.4) or pending activations for the
         // client (H-Store mode / replay).
         let mut pending = Vec::new();
         let mut triggered = Vec::new();
-        for (stream, b) in outputs {
+        for (stream, b) in local_outputs {
             for &target in self.ids.pe_targets_of(stream) {
                 if self.config.mode == EngineMode::SStore && self.triggers_enabled {
                     EngineMetrics::bump(&self.metrics.pe_trigger_fires);
@@ -531,7 +849,7 @@ impl PartitionRuntime {
                 }
             }
         }
-        let is_terminal = triggered.is_empty() && pending.is_empty();
+        let is_terminal = triggered.is_empty() && pending.is_empty() && shipped == 0;
         self.queue.push_triggered_batch(triggered);
 
         if batch.is_some() && is_terminal {

@@ -26,6 +26,21 @@ pub struct CompiledProc {
     /// Streams this procedure is declared to emit to, with their
     /// interned ids (resolved once at install — `emit` does no lookup).
     pub outputs: Vec<(String, TableId)>,
+    /// Declared outputs that are exchange streams (for a nested
+    /// transaction, the union of its children's). The partition engine
+    /// ships a sub-batch for each of these on *every* commit of this
+    /// procedure — even when the body emitted nothing — so downstream
+    /// exchange merges stay aligned one-sub-batch-per-source-per-batch.
+    pub exchange_outputs: Vec<TableId>,
+    /// Declared outputs on the path to an exchange (exchange streams
+    /// plus `feeds_exchange` locals). On multi-partition S-Store
+    /// engines, every streaming commit of this procedure registers a
+    /// (possibly empty) batch on each of these *before* the body runs,
+    /// so a stage that emits nothing for an empty sub-batch still
+    /// advances this partition's copy of the workflow — otherwise a
+    /// downstream exchange merge would wait forever for this
+    /// partition's sub-batch.
+    pub align_outputs: Vec<TableId>,
     /// For nested transactions: ordered child procedures.
     pub children: Vec<ProcId>,
 }
@@ -131,6 +146,8 @@ mod tests {
             name: "validate".into(),
             stmts: HashMap::from([("check".into(), 0usize), ("record".into(), 1usize)]),
             outputs: vec![("validated".into(), TableId(0))],
+            exchange_outputs: Vec::new(),
+            align_outputs: Vec::new(),
             children: Vec::new(),
         };
         assert_eq!(p.stmts.len(), 2);

@@ -18,6 +18,27 @@
 //!   interior work re-derives through the normal trigger path, entirely
 //!   inside the engine — no per-interior client round trip, which is why
 //!   weak recovery time stays flat in workflow length.
+//!
+//! # Multi-partition workflows (exchange edges)
+//!
+//! Each partition's log replays against that partition, so a workflow
+//! spanning partitions recovers from the union of per-partition logs:
+//!
+//! * **Strong**: exchange *deliveries* were logged with their rows
+//!   ([`LogKind::Exchange`]), so every partition replays independently.
+//!   Replaying an upstream commit re-emits its exchange batch locally
+//!   (triggers are off, so nothing ships), leaving it dangling; after
+//!   replay, [`Engine::fire_dangling`] re-ships those batches and the
+//!   receivers drop the ones their exchange watermark already covers —
+//!   deliveries the crash cut short (logged upstream, not yet logged
+//!   downstream) are thereby re-derived, everything else is
+//!   exactly-once.
+//! * **Weak**: nothing exchange-related is logged. Re-ingesting the
+//!   border records (triggers on) re-runs the upstream stages, which
+//!   re-ship the exchange batches; a batch only fires downstream when
+//!   *every* source partition's sub-batch re-arrives, so batches whose
+//!   border records were lost on some partition (a torn log tail)
+//!   simply never re-fire downstream instead of half-applying.
 
 use std::collections::HashMap;
 
@@ -48,9 +69,12 @@ pub fn recover(config: EngineConfig, app: App) -> Result<(Engine, RecoveryReport
     let mut resume_lsn = Vec::with_capacity(config.partitions);
     let mut replayable: Vec<Vec<LogRecord>> = Vec::with_capacity(config.partitions);
     let mut batch_counters: HashMap<String, u64> = HashMap::new();
+    let mut exchange_floors: Vec<HashMap<String, u64>> = Vec::with_capacity(config.partitions);
+    let mut epochs: Vec<Option<u64>> = Vec::with_capacity(config.partitions);
 
     for p in 0..config.partitions {
         let ck = read_checkpoint(&config.checkpoint_path(p))?;
+        epochs.push(ck.as_ref().map(|c| c.epoch));
         let watermark = ck.as_ref().map(|c| c.last_lsn);
         if let Some(c) = &ck {
             for (s, v) in &c.batch_counters {
@@ -58,6 +82,7 @@ pub fn recover(config: EngineConfig, app: App) -> Result<(Engine, RecoveryReport
                 *e = (*e).max(*v);
             }
         }
+        exchange_floors.push(ck.as_ref().map(|c| c.exchange_floor.clone()).unwrap_or_default());
         let records = CommandLog::read_all(config.log_path(p))?;
         let keep: Vec<LogRecord> = match watermark {
             // A fresh checkpoint may have watermark 0 with no records;
@@ -78,6 +103,27 @@ pub fn recover(config: EngineConfig, app: App) -> Result<(Engine, RecoveryReport
         replayable.push(keep);
     }
 
+    // A crash between the per-partition checkpoint writes leaves the
+    // partitions on different cuts. Strong mode tolerates that (each
+    // partition's own log replays it forward independently), but weak
+    // recovery of a workflow with exchange edges cannot: a batch
+    // inside one partition's checkpoint and outside another's would
+    // re-ship only some of its sub-batches and never complete its
+    // merge, silently losing committed work — fail loudly instead.
+    let torn_set = {
+        let present: Vec<u64> = epochs.iter().copied().flatten().collect();
+        (present.len() != epochs.len() && !present.is_empty())
+            || present.windows(2).any(|w| w[0] != w[1])
+    };
+    let has_exchange = app.streams.iter().any(|s| s.exchange);
+    if torn_set && has_exchange && matches!(config.recovery, RecoveryMode::Weak) {
+        return Err(Error::InvalidState(format!(
+            "checkpoint set is torn (per-partition epochs {epochs:?}): weak recovery \
+             of a cross-partition workflow needs a consistent checkpoint cut"
+        )));
+    }
+    let checkpoint_epoch = epochs.iter().copied().flatten().max().unwrap_or(0);
+
     let triggers_on_start = matches!(config.recovery, RecoveryMode::Weak);
     let engine = Engine::start_with(
         config.clone(),
@@ -87,6 +133,8 @@ pub fn recover(config: EngineConfig, app: App) -> Result<(Engine, RecoveryReport
             resume_lsn,
             triggers_enabled: triggers_on_start,
             batch_counters,
+            exchange_floors,
+            checkpoint_epoch,
         }),
     )?;
 
@@ -139,6 +187,15 @@ fn replay_record(engine: &Engine, partition: usize, rec: &LogRecord) -> Result<(
         LogKind::Interior { stream, batch } => {
             (Invocation::Interior { stream: engine.resolve_stream(stream)? }, Some(*batch))
         }
+        // Exchange deliveries replay from their logged rows, entirely
+        // on this partition — the senders' replays do not re-ship
+        // (triggers are off during strong replay); the dangling batches
+        // they leave behind are re-shipped afterwards and arrive at
+        // partitions whose watermark already covers them.
+        LogKind::Exchange { stream, batch, rows } => (
+            Invocation::Exchange { stream: engine.resolve_stream(stream)?, rows: rows.clone() },
+            Some(*batch),
+        ),
     };
     let proc = engine
         .ids()

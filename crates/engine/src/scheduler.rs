@@ -1,12 +1,25 @@
 //! The streaming scheduler (§3.2.4).
 //!
 //! H-Store serves transaction requests FIFO. S-Store short-circuits that
-//! queue: transactions activated by PE triggers are *fast-tracked to the
-//! front*, so the TEs of one workflow round run back-to-back in
-//! topological order and no queued client work interleaves them. The
-//! [`SchedulerMode::Fifo`] ablation keeps plain FIFO — tests show it can
-//! violate the ordering guarantees that applications like leaderboard
-//! maintenance rely on.
+//! queue: transactions activated by PE triggers are *fast-tracked* ahead
+//! of queued client work, so the TEs of one workflow round run
+//! back-to-back in topological order and no queued client work
+//! interleaves them. The queue is two lanes:
+//!
+//! * **fast lane** — triggered work. A committing TE's own successors
+//!   are pushed to the *front* (depth-first: the current round finishes
+//!   before other triggered work resumes); exchange-delivered
+//!   transactions from other partitions join at the *back* (they are
+//!   triggered work too, and arrive in batch order — see
+//!   [`SchedulerQueue::push_exchange`]).
+//! * **normal lane** — client submissions (OLTP calls, border
+//!   ingestion), FIFO.
+//!
+//! Streaming mode pops the fast lane first. The [`SchedulerMode::Fifo`]
+//! ablation funnels everything through the normal lane — tests show it
+//! can violate the ordering guarantees that applications like
+//! leaderboard maintenance rely on (triggered work waits behind every
+//! queued client request).
 //!
 //! [`SchedulerMode::Fifo`]: crate::config::SchedulerMode::Fifo
 
@@ -19,29 +32,33 @@ use crate::partition::TxnRequest;
 #[derive(Debug)]
 pub struct SchedulerQueue {
     mode: SchedulerMode,
-    queue: VecDeque<TxnRequest>,
+    /// Triggered work (Streaming mode only; empty under FIFO).
+    fast: VecDeque<TxnRequest>,
+    /// Client work (everything, under FIFO).
+    normal: VecDeque<TxnRequest>,
 }
 
 impl SchedulerQueue {
     /// Empty queue with the given discipline.
     pub fn new(mode: SchedulerMode) -> Self {
-        SchedulerQueue { mode, queue: VecDeque::new() }
+        SchedulerQueue { mode, fast: VecDeque::new(), normal: VecDeque::new() }
     }
 
     /// Enqueues a client-submitted request (OLTP call or stream batch
-    /// ingestion) at the back — FIFO among client work.
+    /// ingestion) at the back of the normal lane — FIFO among client
+    /// work.
     pub fn push_client(&mut self, req: TxnRequest) {
-        self.queue.push_back(req);
+        self.normal.push_back(req);
     }
 
     /// Enqueues a PE-triggered downstream transaction.
     ///
-    /// Streaming mode fast-tracks it to the *front* of the queue;
+    /// Streaming mode fast-tracks it to the *front* of the fast lane;
     /// FIFO mode (ablation) treats it like client work.
     pub fn push_triggered(&mut self, req: TxnRequest) {
         match self.mode {
-            SchedulerMode::Streaming => self.queue.push_front(req),
-            SchedulerMode::Fifo => self.queue.push_back(req),
+            SchedulerMode::Streaming => self.fast.push_front(req),
+            SchedulerMode::Fifo => self.normal.push_back(req),
         }
     }
 
@@ -52,26 +69,40 @@ impl SchedulerQueue {
         match self.mode {
             SchedulerMode::Streaming => {
                 for req in reqs.into_iter().rev() {
-                    self.queue.push_front(req);
+                    self.fast.push_front(req);
                 }
             }
-            SchedulerMode::Fifo => self.queue.extend(reqs),
+            SchedulerMode::Fifo => self.normal.extend(reqs),
         }
     }
 
-    /// Next request to execute.
+    /// Enqueues an exchange-delivered transaction: triggered work that
+    /// arrived from another partition. Streaming mode appends to the
+    /// *back* of the fast lane — ahead of all client work, but behind
+    /// the successors of whatever round is currently executing, and in
+    /// arrival order (the exchange merge completes batches in batch
+    /// order, so FIFO-within-the-lane preserves batch order). FIFO mode
+    /// queues it behind client work like everything else.
+    pub fn push_exchange(&mut self, req: TxnRequest) {
+        match self.mode {
+            SchedulerMode::Streaming => self.fast.push_back(req),
+            SchedulerMode::Fifo => self.normal.push_back(req),
+        }
+    }
+
+    /// Next request to execute: fast lane first.
     pub fn pop(&mut self) -> Option<TxnRequest> {
-        self.queue.pop_front()
+        self.fast.pop_front().or_else(|| self.normal.pop_front())
     }
 
     /// Number of queued requests.
     pub fn len(&self) -> usize {
-        self.queue.len()
+        self.fast.len() + self.normal.len()
     }
 
     /// True when nothing is queued.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.fast.is_empty() && self.normal.is_empty()
     }
 }
 
@@ -103,6 +134,8 @@ mod tests {
     const CLIENT_B: u32 = 2;
     const TRIGGERED: u32 = 10;
     const TRIGGERED_2: u32 = 11;
+    const EXCHANGE_B1: u32 = 20;
+    const EXCHANGE_B2: u32 = 21;
 
     #[test]
     fn streaming_fast_tracks_triggered_work() {
@@ -130,11 +163,43 @@ mod tests {
     }
 
     #[test]
+    fn exchange_work_outranks_clients_but_keeps_arrival_order() {
+        let mut q = SchedulerQueue::new(SchedulerMode::Streaming);
+        q.push_client(req(CLIENT_A));
+        q.push_exchange(req(EXCHANGE_B1));
+        q.push_exchange(req(EXCHANGE_B2));
+        // Exchange arrivals run before client work, FIFO among
+        // themselves (arrival order == batch order).
+        assert_eq!(order(&mut q), vec![EXCHANGE_B1, EXCHANGE_B2, CLIENT_A]);
+    }
+
+    #[test]
+    fn current_round_successors_preempt_queued_exchange_work() {
+        let mut q = SchedulerQueue::new(SchedulerMode::Streaming);
+        q.push_exchange(req(EXCHANGE_B2));
+        // A TE just committed and triggered its successor: it must run
+        // next, before exchange work queued behind the current round.
+        q.push_triggered(req(TRIGGERED));
+        assert_eq!(order(&mut q), vec![TRIGGERED, EXCHANGE_B2]);
+    }
+
+    #[test]
+    fn fifo_mode_buries_exchange_work_behind_clients() {
+        let mut q = SchedulerQueue::new(SchedulerMode::Fifo);
+        q.push_client(req(CLIENT_A));
+        q.push_exchange(req(EXCHANGE_B1));
+        q.push_client(req(CLIENT_B));
+        assert_eq!(order(&mut q), vec![CLIENT_A, EXCHANGE_B1, CLIENT_B]);
+    }
+
+    #[test]
     fn len_and_empty() {
         let mut q = SchedulerQueue::new(SchedulerMode::Streaming);
         assert!(q.is_empty());
         q.push_client(req(CLIENT_A));
-        assert_eq!(q.len(), 1);
+        q.push_exchange(req(EXCHANGE_B1));
+        assert_eq!(q.len(), 2);
+        q.pop();
         q.pop();
         assert!(q.is_empty());
     }

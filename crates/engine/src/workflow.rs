@@ -123,43 +123,55 @@ pub struct TraceEvent {
     pub proc: String,
     /// The batch (execution round) it processed; `None` for OLTP.
     pub batch: Option<BatchId>,
+    /// Partition the TE committed on.
+    pub partition: usize,
 }
 
 /// Checks a committed-TE trace against the §2.2 correctness conditions.
 ///
-/// * stream order: per proc, batches must be strictly increasing;
-/// * workflow order: per batch, the TEs must be topologically ordered.
+/// * stream order: per (proc, partition), batches must be strictly
+///   increasing;
+/// * workflow order: per (batch, partition), the TEs must be
+///   topologically ordered.
 ///
-/// OLTP events (no batch) may interleave anywhere.
+/// Both constraints are *per partition*: a workflow that spans
+/// partitions runs one serial TE sequence on each partition, and a
+/// batch legitimately appears once per partition (sub-batches of one
+/// logical batch, or broadcast alignment rounds). Cross-partition
+/// ordering is causal (a downstream TE cannot commit before the
+/// upstream commit that shipped it data), so the per-partition view is
+/// the strongest order a trace can witness. OLTP events (no batch) may
+/// interleave anywhere.
 pub fn check_schedule(graph: &WorkflowGraph, trace: &[TraceEvent]) -> Result<()> {
     let pos = graph.topo_positions()?;
-    let mut last_batch: HashMap<&str, BatchId> = HashMap::new();
-    let mut per_batch_seen: HashMap<BatchId, Vec<&str>> = HashMap::new();
+    let mut last_batch: HashMap<(&str, usize), BatchId> = HashMap::new();
+    let mut per_batch_seen: HashMap<(BatchId, usize), Vec<&str>> = HashMap::new();
 
     for ev in trace {
         let Some(batch) = ev.batch else { continue };
         // Stream order constraint.
-        if let Some(prev) = last_batch.get(ev.proc.as_str()) {
+        if let Some(prev) = last_batch.get(&(ev.proc.as_str(), ev.partition)) {
             if *prev >= batch {
                 return Err(Error::StreamViolation(format!(
-                    "stream order violated: {} ran batch {} after batch {}",
-                    ev.proc, batch, prev
+                    "stream order violated: {} ran batch {} after batch {} on partition {}",
+                    ev.proc, batch, prev, ev.partition
                 )));
             }
         }
-        last_batch.insert(ev.proc.as_str(), batch);
-        per_batch_seen.entry(batch).or_default().push(ev.proc.as_str());
+        last_batch.insert((ev.proc.as_str(), ev.partition), batch);
+        per_batch_seen.entry((batch, ev.partition)).or_default().push(ev.proc.as_str());
     }
 
-    // Workflow order constraint, per round.
-    for (batch, seen) in &per_batch_seen {
+    // Workflow order constraint, per round per partition.
+    for ((batch, partition), seen) in &per_batch_seen {
         let mut last_pos = None;
         for proc in seen {
             let Some(p) = pos.get(*proc) else { continue };
             if let Some(lp) = last_pos {
                 if *p < lp {
                     return Err(Error::StreamViolation(format!(
-                        "workflow order violated in round {batch}: {proc} ran after a successor"
+                        "workflow order violated in round {batch} on partition \
+                         {partition}: {proc} ran after a successor"
                     )));
                 }
             }
@@ -216,7 +228,11 @@ mod tests {
     }
 
     fn ev(proc: &str, batch: u64) -> TraceEvent {
-        TraceEvent { proc: proc.into(), batch: Some(BatchId(batch)) }
+        TraceEvent { proc: proc.into(), batch: Some(BatchId(batch)), partition: 0 }
+    }
+
+    fn ev_at(proc: &str, batch: u64, partition: usize) -> TraceEvent {
+        TraceEvent { proc: proc.into(), batch: Some(BatchId(batch)), partition }
     }
 
     #[test]
@@ -282,6 +298,25 @@ mod tests {
     }
 
     #[test]
+    fn constraints_are_per_partition() {
+        let g = linear3();
+        // The same batch appearing on two partitions (sub-batches of
+        // one logical batch) is legal...
+        check_schedule(
+            &g,
+            &[ev_at("sp1", 1, 0), ev_at("sp1", 1, 1), ev_at("sp2", 1, 1), ev_at("sp2", 1, 0)],
+        )
+        .unwrap();
+        // ...but within one partition batch order still binds.
+        let err = check_schedule(&g, &[ev_at("sp1", 2, 1), ev_at("sp1", 1, 1)]).unwrap_err();
+        assert!(matches!(err, Error::StreamViolation(_)));
+        // Workflow order binds per partition too.
+        let err =
+            check_schedule(&g, &[ev_at("sp2", 1, 1), ev_at("sp1", 1, 1)]).unwrap_err();
+        assert!(matches!(err, Error::StreamViolation(_)));
+    }
+
+    #[test]
     fn workflow_order_violation_caught() {
         let g = linear3();
         let err = check_schedule(&g, &[ev("sp2", 1), ev("sp1", 1)]).unwrap_err();
@@ -295,7 +330,7 @@ mod tests {
             &g,
             &[
                 ev("sp1", 1),
-                TraceEvent { proc: "oltp_report".into(), batch: None },
+                TraceEvent { proc: "oltp_report".into(), batch: None, partition: 0 },
                 ev("sp2", 1),
                 ev("sp3", 1),
             ],

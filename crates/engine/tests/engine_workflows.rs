@@ -395,7 +395,7 @@ fn ingest_rejects_schema_violations_and_unknown_streams() {
 }
 
 #[test]
-fn mixed_key_batch_rejected_at_injection() {
+fn mixed_key_batch_splits_across_partitions() {
     let app = App::builder()
         .stream_partitioned("input", Schema::of(&[("key", DataType::Int), ("v", DataType::Int)]), "key")
         .table("out", Schema::of(&[("key", DataType::Int), ("v", DataType::Int)]))
@@ -411,29 +411,31 @@ fn mixed_key_batch_rejected_at_injection() {
         .unwrap();
     let config = EngineConfig::default().with_partitions(2).with_data_dir(test_dir("mixed"));
     let engine = Engine::start(config, app).unwrap();
-    // Uniform-key batches route fine.
+    // Uniform-key batches route whole to one partition.
     engine.ingest("input", vec![tuple![7i64, 1i64], tuple![7i64, 2i64]]).unwrap();
-    // A batch mixing partition keys must fail loudly at the injection
-    // site — silently routing it by its first row would process the
-    // whole atomic batch on one key's partition.
-    let err = engine
-        .ingest("input", vec![tuple![7i64, 3i64], tuple![8i64, 4i64]])
-        .unwrap_err();
-    assert!(
-        matches!(err, sstore_common::Error::InvalidState(_)),
-        "expected InvalidState, got {err:?}"
-    );
-    engine.drain().unwrap();
-    // Only the valid batch landed.
-    let n = engine.query(0, "SELECT COUNT(*) FROM out", vec![]).unwrap();
-    let n0 = n.scalar().unwrap().as_int().unwrap();
-    let n1 = engine
-        .query(1, "SELECT COUNT(*) FROM out", vec![])
-        .unwrap()
-        .scalar()
-        .unwrap()
-        .as_int()
+    // A batch mixing partition keys is hash-split into per-partition
+    // sub-batches that share one logical batch id.
+    let b = engine
+        .ingest("input", vec![tuple![0i64, 3i64], tuple![1i64, 4i64], tuple![2i64, 5i64]])
         .unwrap();
-    assert_eq!(n0 + n1, 2);
+    assert_eq!(b.raw(), 2, "second logical batch on the stream");
+    engine.drain().unwrap();
+    // Every row landed exactly once, on the partition its key hashes
+    // to — 0..=2 hash to different partitions under hash_partition.
+    let mut all: Vec<(i64, i64)> = Vec::new();
+    for p in 0..2 {
+        let got = engine.query(p, "SELECT key, v FROM out ORDER BY v", vec![]).unwrap();
+        for r in &got.rows {
+            let key = r.get(0).as_int().unwrap();
+            assert_eq!(
+                sstore_engine::engine::hash_partition(r.get(0), 2),
+                p,
+                "key {key} must live on its hash partition"
+            );
+            all.push((key, r.get(1).as_int().unwrap()));
+        }
+    }
+    all.sort();
+    assert_eq!(all, vec![(0, 3), (1, 4), (2, 5), (7, 1), (7, 2)]);
     engine.shutdown();
 }

@@ -48,6 +48,37 @@ pub fn ee_chain_sstore(n: usize) -> App {
     b.build().expect("ee_chain_sstore app is valid")
 }
 
+/// Partitioned variant of [`ee_chain_sstore`] for the scaling bench
+/// (`--bin scaling`): identical `n`-stage EE-trigger chain, but
+/// `chain_in` carries a partition key (`v` itself), so a mixed-key
+/// batch hash-splits into per-partition sub-batches and the chains run
+/// on all partitions in parallel. No exchange edges: each sub-batch's
+/// workflow stays on its partition — the embarrassingly-parallel upper
+/// bound for partition scaling.
+pub fn ee_chain_partitioned(n: usize) -> App {
+    let mut b = App::builder().table("sink", v_schema());
+    b = b.stream_partitioned("chain_in", v_schema(), "v");
+    for k in 1..=n {
+        b = b.stream(&format!("s{k}"), v_schema());
+    }
+    let first_target = if n == 0 { "sink".to_owned() } else { "s1".to_owned() };
+    let ins_sql = format!("INSERT INTO {first_target} (v) VALUES (?)");
+    b = b.proc("driver", &[("ins", &ins_sql)], &[], move |ctx| {
+        let rows = ctx.input().to_vec();
+        for r in rows {
+            ctx.sql("ins", &[r.get(0).clone()])?;
+        }
+        Ok(())
+    });
+    b = b.pe_trigger("chain_in", "driver");
+    for k in 1..=n {
+        let target = if k == n { "sink".to_owned() } else { format!("s{}", k + 1) };
+        let sql = format!("INSERT INTO {target} (v) SELECT v + 1 FROM s{k}");
+        b = b.ee_trigger(&format!("s{k}"), &[&sql]);
+    }
+    b.build().expect("ee_chain_partitioned app is valid")
+}
+
 /// H-Store variant: same `n`-stage pipeline, but every stage is a
 /// separate PE→EE statement (an INSERT…SELECT plus an explicit DELETE,
 /// since there is no automatic stream GC): `1 + 2n` EE round trips per
@@ -122,6 +153,59 @@ pub fn pe_chain(n: usize) -> App {
         b = b.pe_trigger(&in_stream, &name);
     }
     b.build().expect("pe_chain app is valid")
+}
+
+// ---------------------------------------------------------------------
+// Cross-partition dataflow: the exchange pipeline
+// ---------------------------------------------------------------------
+
+/// How [`exchange_pipeline`]'s first stage re-keys a row: the new
+/// partition key is `v % 3` (so consecutive values scatter across
+/// partitions) and the value doubles.
+pub fn exchange_rekey(v: i64) -> (i64, i64) {
+    (v % 3, v * 2)
+}
+
+/// A two-stage workflow whose stages run on *different* partitions:
+///
+/// ```text
+/// xin (border, keyed k) ─▶ sp1 ─▶ xmid (exchange, keyed k2) ─▶ sp2 ─▶ xout
+/// ```
+///
+/// `sp1` re-keys each `(k, v)` row to `(k2, v2) =` [`exchange_rekey`]`(v)`
+/// and emits it onto the exchange stream; the engine ships each row to
+/// the partition `k2` hashes to, where `sp2` records it in the `xout`
+/// table. On one partition this degenerates to an ordinary PE-trigger
+/// chain — which is exactly the oracle the multi-partition tests
+/// compare against.
+pub fn exchange_pipeline() -> App {
+    let kv = Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
+    App::builder()
+        .stream_partitioned("xin", kv.clone(), "k")
+        .exchange_stream("xmid", kv.clone(), "k")
+        .table("xout", kv)
+        .proc("sp1", &[], &["xmid"], |ctx| {
+            let out: Vec<Tuple> = ctx
+                .input()
+                .iter()
+                .map(|r| {
+                    let (k2, v2) = exchange_rekey(r.get(1).as_int().unwrap());
+                    Tuple::new(vec![Value::Int(k2), Value::Int(v2)])
+                })
+                .collect();
+            ctx.emit("xmid", out)
+        })
+        .proc("sp2", &[("ins", "INSERT INTO xout (k, v) VALUES (?, ?)")], &[], |ctx| {
+            let rows = ctx.input().to_vec();
+            for r in rows {
+                ctx.sql("ins", &[r.get(0).clone(), r.get(1).clone()])?;
+            }
+            Ok(())
+        })
+        .pe_trigger("xin", "sp1")
+        .pe_trigger("xmid", "sp2")
+        .build()
+        .expect("exchange_pipeline app is valid")
 }
 
 // ---------------------------------------------------------------------
@@ -282,6 +366,59 @@ mod tests {
                 engine.metrics().txns_committed.load(Ordering::Relaxed),
                 4 * n as u64
             );
+            engine.shutdown();
+        }
+    }
+
+    #[test]
+    fn ee_chain_partitioned_matches_unpartitioned_output() {
+        let n = 3;
+        let single = Engine::start(cfg("chain1"), ee_chain_sstore(n)).unwrap();
+        let multi =
+            Engine::start(cfg("chain2").with_partitions(2), ee_chain_partitioned(n)).unwrap();
+        let batch: Vec<_> = (0..10i64).map(|v| tuple![v]).collect();
+        for engine in [&single, &multi] {
+            engine.ingest("chain_in", batch.clone()).unwrap();
+            engine.drain().unwrap();
+        }
+        let mut multi_vals = Vec::new();
+        for p in 0..2 {
+            multi_vals.extend(
+                multi.query(p, "SELECT v FROM sink", vec![]).unwrap().int_column(0).unwrap(),
+            );
+        }
+        multi_vals.sort();
+        let single_vals =
+            single.query(0, "SELECT v FROM sink ORDER BY v", vec![]).unwrap().int_column(0).unwrap();
+        assert_eq!(multi_vals, single_vals, "partitioned chain must emit the same rows");
+        single.shutdown();
+        multi.shutdown();
+    }
+
+    #[test]
+    fn exchange_pipeline_flows_end_to_end() {
+        for partitions in [1usize, 2, 3] {
+            let engine =
+                Engine::start(cfg("xp").with_partitions(partitions), exchange_pipeline()).unwrap();
+            for v in 0..12i64 {
+                engine.ingest("xin", vec![tuple![v % 5, v]]).unwrap();
+            }
+            engine.drain().unwrap();
+            let mut got = Vec::new();
+            for p in 0..partitions {
+                got.extend(
+                    engine
+                        .query(p, "SELECT k, v FROM xout", vec![])
+                        .unwrap()
+                        .rows
+                        .iter()
+                        .map(|r| (r.get(0).as_int().unwrap(), r.get(1).as_int().unwrap())),
+                );
+            }
+            got.sort();
+            let mut want: Vec<(i64, i64)> = (0..12i64).map(exchange_rekey).collect();
+            want.sort();
+            assert_eq!(got, want, "partitions={partitions}");
             engine.shutdown();
         }
     }

@@ -30,3 +30,29 @@ if [ "$tps" -lt "$floor" ]; then
     exit 1
 fi
 echo "bench_smoke: OK (ee_chain10_inline = $tps tuples/s)"
+
+echo "== scaling smoke (2 partitions, 1.5s per case) =="
+sout=$(cargo run --release -p sstore-bench --bin scaling -- 1.5 2 2>/dev/null)
+echo "$sout"
+tps1=$(echo "$sout" | sed -n 's/.*"ee_chain10": { "1": \([0-9]*\).*/\1/p')
+tps2=$(echo "$sout" | sed -n 's/.*"ee_chain10": {.*"2": \([0-9]*\).*/\1/p')
+cores=$(echo "$sout" | sed -n 's/.*"cores": \([0-9]*\).*/\1/p')
+if [ -z "$tps1" ] || [ -z "$tps2" ]; then
+    echo "bench_smoke: could not parse scaling output" >&2
+    exit 1
+fi
+# Cross-partition floor: with real cores behind the partitions, 2
+# partitions must not fall below the 1-partition throughput. On a
+# single-core host (CI containers) true scaling is unreachable, so only
+# guard against a catastrophic multi-partition regression (noise on a
+# busy 1-core box runs 10-20%; 50% is a real break, not variance).
+if [ "${cores:-1}" -ge 2 ]; then
+    scaling_floor=$tps1
+else
+    scaling_floor=$(( tps1 / 2 ))
+fi
+if [ "$tps2" -lt "$scaling_floor" ]; then
+    echo "bench_smoke: 2-partition chain throughput $tps2 < floor $scaling_floor (1p = $tps1, cores = ${cores:-1})" >&2
+    exit 1
+fi
+echo "bench_smoke: OK (scaling 1p = $tps1, 2p = $tps2 tuples/s, cores = ${cores:-1})"

@@ -1,0 +1,238 @@
+//! Crash-injection tests: doctor the command logs the way a real crash
+//! does — truncate mid-record, or leave garbage bytes in the tail
+//! record where a flush died — and check that both weak and strong
+//! recovery tolerate the torn tail and converge to the pre-crash
+//! *committed* state (surviving records only), with no double-applies,
+//! on a 2-partition engine whose workflow crosses partitions.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use sstore::common::tuple;
+use sstore::engine::log::{CommandLog, LogKind};
+use sstore::engine::recovery::recover;
+use sstore::engine::{Engine, EngineConfig, LoggingConfig, RecoveryMode};
+use sstore::workloads::micro::{exchange_pipeline, exchange_rekey};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn cfg(mode: RecoveryMode) -> EngineConfig {
+    EngineConfig::default()
+        .with_partitions(2)
+        .with_data_dir(std::env::temp_dir().join(format!(
+            "sstore-crash-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        )))
+        .with_recovery(mode)
+        .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false })
+}
+
+/// Mixed-key batches: batch `b` carries `(k, v)` rows for keys 0..4.
+fn batches(n: usize) -> Vec<Vec<sstore::common::Tuple>> {
+    (0..n as i64)
+        .map(|b| (0..4i64).map(|k| tuple![k, b * 4 + k]).collect())
+        .collect()
+}
+
+fn run_workload(config: &EngineConfig, n: usize) -> Vec<(i64, i64)> {
+    let engine = Engine::start(config.clone(), exchange_pipeline()).unwrap();
+    for b in batches(n) {
+        engine.ingest("xin", b).unwrap();
+    }
+    engine.drain().unwrap();
+    engine.flush_logs().unwrap();
+    let state = observe(&engine);
+    engine.shutdown();
+    state
+}
+
+fn observe(engine: &Engine) -> Vec<(i64, i64)> {
+    let mut all = Vec::new();
+    for p in 0..engine.partitions() {
+        let got = engine.query(p, "SELECT k, v FROM xout", vec![]).unwrap();
+        all.extend(got.rows.iter().map(|r| {
+            (r.get(0).as_int().unwrap(), r.get(1).as_int().unwrap())
+        }));
+    }
+    all.sort();
+    all
+}
+
+/// Byte range `[payload_start, end)` of the final framed record
+/// (8-byte file header, then records framed u32 length + u32 crc).
+fn last_record_span(bytes: &[u8]) -> (usize, usize) {
+    let mut off = 8usize;
+    let mut span = (0, 0);
+    while off + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        span = (off + 8, off + 8 + len);
+        off += 8 + len;
+    }
+    assert!(span.1 <= bytes.len(), "log ended cleanly before doctoring");
+    span
+}
+
+/// How a crash mangled the log tail.
+#[derive(Clone, Copy, Debug)]
+enum Tear {
+    /// The final record's bytes were cut short mid-write.
+    Truncate,
+    /// The final record's frame landed but its payload is garbage.
+    FlipBytes,
+}
+
+fn tear_tail(path: &std::path::Path, tear: Tear) {
+    let mut bytes = std::fs::read(path).unwrap();
+    let (start, end) = last_record_span(&bytes);
+    match tear {
+        Tear::Truncate => bytes.truncate(start + (end - start) / 2),
+        Tear::FlipBytes => {
+            for b in &mut bytes[start..end] {
+                *b = 0xFF;
+            }
+        }
+    }
+    std::fs::write(path, &bytes).unwrap();
+}
+
+/// Weak mode logs exactly one border record per (partition, batch), so
+/// tearing partition 0's tail record loses its sub-batch of the last
+/// batch. Recovery must tolerate the tear and converge to the state of
+/// a crash-free run over the surviving batches: the final batch never
+/// re-fires downstream (its partition-0 sub-batch is gone, so the
+/// exchange merge for it never completes — no half-applied batch).
+#[test]
+fn weak_recovery_tolerates_torn_tail_and_converges() {
+    for tear in [Tear::Truncate, Tear::FlipBytes] {
+        let config = cfg(RecoveryMode::Weak);
+        let n = 6;
+        run_workload(&config, n);
+        tear_tail(&config.log_path(0), tear);
+        // Sanity: partition 0 now has one border fewer than partition 1.
+        let p0 = CommandLog::read_all(config.log_path(0)).unwrap();
+        let p1 = CommandLog::read_all(config.log_path(1)).unwrap();
+        assert_eq!(p0.len() + 1, p1.len(), "{tear:?}");
+
+        let (recovered, _) = recover(config, exchange_pipeline()).unwrap();
+        // Crash-free oracle over the surviving n-1 batches.
+        let oracle = run_workload(&cfg(RecoveryMode::Weak), n - 1);
+        assert_eq!(observe(&recovered), oracle, "{tear:?}");
+        recovered.shutdown();
+    }
+}
+
+/// Strong mode interleaves Border and Exchange records; after a
+/// quiescent run the tail record on each partition is the Exchange
+/// delivery of the last batch. Tearing it does NOT lose state: the
+/// upstream Border records replay (leaving the exchange batch dangling
+/// locally), and the post-replay dangling re-ship re-derives exactly
+/// the torn delivery, while the exchange watermark drops the re-ships
+/// of every batch that did replay — converging to the full pre-crash
+/// state with no double-applies.
+#[test]
+fn strong_recovery_rederives_torn_exchange_tail() {
+    for tear in [Tear::Truncate, Tear::FlipBytes] {
+        let config = cfg(RecoveryMode::Strong);
+        let n = 6;
+        let before = run_workload(&config, n);
+        assert_eq!(before.len(), 4 * n, "each input row lands exactly once");
+        // The tail record on partition 0 must be the exchange delivery
+        // of some batch (sp2 commits after all borders of that batch).
+        let p0 = CommandLog::read_all(config.log_path(0)).unwrap();
+        assert!(
+            matches!(p0.last().unwrap().kind, LogKind::Exchange { .. }),
+            "test setup: strong log tail is an exchange delivery"
+        );
+        tear_tail(&config.log_path(0), tear);
+
+        let (recovered, _) = recover(config, exchange_pipeline()).unwrap();
+        assert_eq!(observe(&recovered), before, "{tear:?}: torn delivery re-derived");
+        recovered.shutdown();
+    }
+}
+
+/// A crash *between* the per-partition checkpoint writes leaves the
+/// partitions on different cuts. Strong recovery tolerates it (each
+/// log replays its own partition forward); weak recovery of a
+/// cross-partition workflow must refuse loudly instead of silently
+/// losing the batches caught between the cuts.
+#[test]
+fn torn_checkpoint_set_fails_weak_but_not_strong() {
+    for mode in [RecoveryMode::Strong, RecoveryMode::Weak] {
+        let config = cfg(mode);
+        let engine = Engine::start(config.clone(), exchange_pipeline()).unwrap();
+        for b in batches(4) {
+            engine.ingest("xin", b).unwrap();
+        }
+        engine.drain().unwrap();
+        engine.checkpoint().unwrap();
+        engine.flush_logs().unwrap();
+        let before = observe(&engine);
+        engine.shutdown();
+        // Simulate the crash mid-checkpoint: partition 1's file was
+        // never written.
+        std::fs::remove_file(config.checkpoint_path(1)).unwrap();
+
+        match mode {
+            RecoveryMode::Strong => {
+                let (recovered, _) = recover(config, exchange_pipeline()).unwrap();
+                assert_eq!(observe(&recovered), before, "strong replays p1 from its log");
+                recovered.shutdown();
+            }
+            RecoveryMode::Weak => match recover(config, exchange_pipeline()) {
+                Ok(_) => panic!("weak must refuse a torn checkpoint set"),
+                Err(err) => assert!(
+                    err.to_string().contains("torn"),
+                    "weak must refuse a torn checkpoint set, got: {err}"
+                ),
+            },
+        }
+    }
+}
+
+/// A checkpoint mid-run narrows replay to the log suffix; tearing the
+/// suffix's tail must still converge without double-applying anything
+/// the checkpoint already contains.
+#[test]
+fn torn_tail_after_checkpoint_does_not_double_apply() {
+    for mode in [RecoveryMode::Strong, RecoveryMode::Weak] {
+        let config = cfg(mode);
+        let n = 6;
+        let engine = Engine::start(config.clone(), exchange_pipeline()).unwrap();
+        for (i, b) in batches(n).into_iter().enumerate() {
+            engine.ingest("xin", b).unwrap();
+            if i == 2 {
+                engine.drain().unwrap();
+                engine.checkpoint().unwrap();
+            }
+        }
+        engine.drain().unwrap();
+        engine.flush_logs().unwrap();
+        let before = observe(&engine);
+        engine.shutdown();
+        assert_eq!(before.len(), 4 * n);
+
+        tear_tail(&config.log_path(0), Tear::FlipBytes);
+        let (recovered, _) = recover(config, exchange_pipeline()).unwrap();
+        let after = observe(&recovered);
+        // Weak mode: partition 0's last border is torn, so the final
+        // batch cannot re-fire — the state is the crash-free state of
+        // n-1 batches. Strong mode: the torn record is the exchange
+        // delivery, which the dangling re-ship re-derives — full state.
+        let expected: Vec<(i64, i64)> = match mode {
+            RecoveryMode::Strong => before,
+            RecoveryMode::Weak => {
+                let mut want: Vec<(i64, i64)> =
+                    (0..(4 * (n as i64 - 1))).map(exchange_rekey).collect();
+                want.sort();
+                want
+            }
+        };
+        assert_eq!(after, expected, "mode={mode:?}");
+        // No duplicates anywhere.
+        let mut dedup = after.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), after.len(), "mode={mode:?}: no double-applied rows");
+        recovered.shutdown();
+    }
+}
