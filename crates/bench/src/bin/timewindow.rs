@@ -1,0 +1,117 @@
+//! Time-window micro-benchmark: watermark-driven slides under churn.
+//!
+//! Streams timestamped tuples (with bounded intra-batch disorder and a
+//! trickle of beyond-lateness stragglers) through a tumbling and a
+//! sliding event-time window whose on-slide triggers aggregate into a
+//! stats table. Reports tuples/sec through the full
+//! ingest → stage → watermark-advance → slide-txn → trigger path, plus
+//! the slide and late-drop counts, as JSON (see `BENCH_timewindow.json`
+//! at the repo root and EXPERIMENTS.md for methodology).
+//!
+//! Usage: `cargo run --release -p sstore-bench --bin timewindow [secs]`
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use sstore_bench::bench_dir;
+use sstore_common::{tuple, DataType, Schema, Tuple};
+use sstore_engine::metrics::EngineMetrics;
+use sstore_engine::{App, Engine, EngineConfig};
+
+/// Event-time step per tuple (ms): 100 tuples per 1s window.
+const TS_STEP_MS: i64 = 10;
+
+fn app() -> App {
+    let win_schema = Schema::of(&[("ts", DataType::Int), ("v", DataType::Int)]);
+    App::builder()
+        .stream_timed("events", win_schema.clone(), "ts")
+        .table("stats", Schema::of(&[("wts", DataType::Int), ("cnt", DataType::Int), ("total", DataType::Int)]))
+        // Tumbling 1s and sliding 5s/1s — the Linear Road shape scaled
+        // down so slides fire every ~100 tuples.
+        .time_window("tumble", "feed", win_schema.clone(), "ts", 1_000, 1_000, 200)
+        .time_window("slide5", "feed", win_schema, "ts", 5_000, 1_000, 200)
+        .proc(
+            "feed",
+            &[
+                ("w1", "INSERT INTO tumble (ts, v) VALUES (?, ?)"),
+                ("w2", "INSERT INTO slide5 (ts, v) VALUES (?, ?)"),
+            ],
+            &[],
+            |ctx| {
+                for r in ctx.input().to_vec() {
+                    let params = [r.get(0).clone(), r.get(1).clone()];
+                    ctx.sql("w1", &params)?;
+                    ctx.sql("w2", &params)?;
+                }
+                Ok(())
+            },
+        )
+        .pe_trigger("events", "feed")
+        // The event-time axis is gap-free here, so every fired extent
+        // holds data and the ungrouped aggregate never emits NULLs.
+        .ee_trigger(
+            "tumble",
+            &["INSERT INTO stats (wts, cnt, total) \
+               SELECT MIN(ts), COUNT(*), SUM(v) FROM tumble"],
+        )
+        .build()
+        .expect("timewindow bench app is valid")
+}
+
+/// One 100-tuple batch: timestamps ascend overall but are scrambled
+/// within the batch, and one tuple in ~50 batches is an ancient
+/// straggler that lands beyond lateness (exercising the drop path).
+fn make_batch(seq: &mut u64) -> Vec<Tuple> {
+    let base = *seq as i64 * TS_STEP_MS * 100;
+    let mut rows: Vec<Tuple> = (0..100)
+        .map(|i| {
+            // Deterministic scramble: bit-reversed-ish order.
+            let j = (i * 37) % 100;
+            tuple![base + j * TS_STEP_MS, j]
+        })
+        .collect();
+    if *seq % 50 == 49 && base > 2_000 {
+        rows[0] = tuple![base - 2_000, -1i64];
+    }
+    *seq += 1;
+    rows
+}
+
+fn run(secs: f64) -> (f64, u64, u64) {
+    let config = EngineConfig::default().with_data_dir(bench_dir("timewindow"));
+    let engine = Engine::start(config, app()).expect("engine start");
+    let mut seq: u64 = 0;
+    // Warm-up.
+    engine.ingest("events", make_batch(&mut seq)).expect("ingest");
+    engine.drain().expect("drain");
+
+    let deadline = Duration::from_secs_f64(secs);
+    let start = Instant::now();
+    let mut tuples: u64 = 0;
+    while start.elapsed() < deadline {
+        for _ in 0..16 {
+            engine.ingest("events", make_batch(&mut seq)).expect("ingest");
+            tuples += 100;
+        }
+        engine.drain().expect("drain");
+    }
+    engine.drain().expect("drain");
+    let elapsed = start.elapsed().as_secs_f64();
+    let slides = EngineMetrics::get(&engine.metrics().window_slides);
+    let dropped = EngineMetrics::get(&engine.metrics().window_late_dropped);
+    engine.shutdown();
+    (tuples as f64 / elapsed, slides, dropped)
+}
+
+fn main() {
+    let secs: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+    let (tps, slides, dropped) = run(secs);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"timewindow\",");
+    let _ = writeln!(json, "  \"secs\": {secs},");
+    let _ = writeln!(json, "  \"tuples_per_sec\": {},", tps as u64);
+    let _ = writeln!(json, "  \"window_slides\": {slides},");
+    let _ = writeln!(json, "  \"late_dropped\": {dropped}");
+    json.push('}');
+    println!("{json}");
+}

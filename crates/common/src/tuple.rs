@@ -83,6 +83,22 @@ impl Tuple {
         Arc::strong_count(&self.values) == 1
     }
 
+    /// Extracts the event timestamp stored in column `col` (time-based
+    /// windows, watermark tracking). Errors — rather than panicking —
+    /// on a missing column or a non-integer value, so a malformed
+    /// tuple aborts its transaction instead of taking the engine down.
+    pub fn event_ts(&self, col: usize) -> Result<i64> {
+        self.values
+            .get(col)
+            .ok_or_else(|| {
+                crate::error::Error::Codec(format!(
+                    "timestamp column {col} out of range (tuple arity {})",
+                    self.values.len()
+                ))
+            })?
+            .as_int()
+    }
+
     /// Projects the tuple onto the given column indexes.
     pub fn project(&self, idxs: &[usize]) -> Tuple {
         Tuple::new(idxs.iter().map(|&i| self.values[i].clone()).collect())
@@ -169,6 +185,15 @@ mod tests {
         let s = Schema::of(&[("id", DataType::Int)]);
         assert!(Tuple::checked(vec![Value::Int(1)], &s).is_ok());
         assert!(Tuple::checked(vec![Value::Text("x".into())], &s).is_err());
+    }
+
+    #[test]
+    fn event_ts_extraction() {
+        let t = tuple![5i64, "x", 42i64];
+        assert_eq!(t.event_ts(0).unwrap(), 5);
+        assert_eq!(t.event_ts(2).unwrap(), 42);
+        assert!(t.event_ts(1).is_err(), "text is not a timestamp");
+        assert!(t.event_ts(9).is_err(), "out of range must error, not panic");
     }
 
     #[test]

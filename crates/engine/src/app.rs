@@ -21,7 +21,7 @@ use sstore_storage::index::IndexDef;
 
 use crate::procedure::ProcCtx;
 use crate::trigger::{EeTriggerDef, PeTriggerDef};
-use crate::window::WindowSpec;
+use crate::window::{TimeWindowSpec, WindowSpec};
 use crate::workflow::WorkflowGraph;
 
 /// A stored-procedure body: procedural logic around the SQL.
@@ -54,15 +54,64 @@ pub struct StreamDef {
     /// transaction runs. This is the edge that lets one workflow span
     /// partitions (cf. MorphStream / Risingwave exchange operators).
     pub exchange: bool,
+    /// Event-timestamp column, if the stream carries event time. The
+    /// partition watermark — which drives time-window slides — is the
+    /// min over all such streams' high marks, advanced at batch commit
+    /// like a border punctuation.
+    pub ts_col: Option<String>,
+}
+
+/// Which windowing discipline a window uses.
+#[derive(Debug, Clone)]
+pub enum Windowing {
+    /// Tuple-based: slides every `slide` arrivals (§3.2.2).
+    Tuple(WindowSpec),
+    /// Time-based: slides when the partition watermark passes a
+    /// pane-aligned extent boundary.
+    Time(TimeWindowSpec),
 }
 
 /// A window (§2: state kind (ii)), private to its owning procedure.
 #[derive(Debug, Clone)]
 pub struct WindowDef {
-    /// Window spec (name, owner, size, slide).
-    pub spec: WindowSpec,
+    /// Window spec, either discipline.
+    pub windowing: Windowing,
     /// Tuple schema.
     pub schema: Schema,
+}
+
+impl WindowDef {
+    /// Window name == backing table name.
+    pub fn name(&self) -> &str {
+        match &self.windowing {
+            Windowing::Tuple(s) => &s.name,
+            Windowing::Time(s) => &s.name,
+        }
+    }
+
+    /// Owning stored procedure.
+    pub fn owner(&self) -> &str {
+        match &self.windowing {
+            Windowing::Tuple(s) => &s.owner,
+            Windowing::Time(s) => &s.owner,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        match &self.windowing {
+            Windowing::Tuple(s) => s.validate(),
+            Windowing::Time(s) => {
+                s.validate()?;
+                self.schema.index_of_or_err(&s.ts_column).map_err(|_| {
+                    Error::Plan(format!(
+                        "time window {}: timestamp column {} not in schema",
+                        s.name, s.ts_column
+                    ))
+                })?;
+                Ok(())
+            }
+        }
+    }
 }
 
 /// A stored procedure definition.
@@ -169,6 +218,7 @@ impl AppBuilder {
             schema,
             partition_col: None,
             exchange: false,
+            ts_col: None,
         });
         self
     }
@@ -181,6 +231,41 @@ impl AppBuilder {
             schema,
             partition_col: Some(partition_col.to_ascii_lowercase()),
             exchange: false,
+            ts_col: None,
+        });
+        self
+    }
+
+    /// Adds a stream carrying event time in `ts_col`: its per-partition
+    /// high mark feeds the partition watermark that drives time-window
+    /// slides.
+    pub fn stream_timed(mut self, name: &str, schema: Schema, ts_col: &str) -> Self {
+        self.app.streams.push(StreamDef {
+            name: name.to_ascii_lowercase(),
+            schema,
+            partition_col: None,
+            exchange: false,
+            ts_col: Some(ts_col.to_ascii_lowercase()),
+        });
+        self
+    }
+
+    /// Adds a hash-partitioned, event-time-carrying stream (see
+    /// [`AppBuilder::stream_partitioned`] and
+    /// [`AppBuilder::stream_timed`]).
+    pub fn stream_partitioned_timed(
+        mut self,
+        name: &str,
+        schema: Schema,
+        partition_col: &str,
+        ts_col: &str,
+    ) -> Self {
+        self.app.streams.push(StreamDef {
+            name: name.to_ascii_lowercase(),
+            schema,
+            partition_col: Some(partition_col.to_ascii_lowercase()),
+            exchange: false,
+            ts_col: Some(ts_col.to_ascii_lowercase()),
         });
         self
     }
@@ -198,19 +283,51 @@ impl AppBuilder {
             schema,
             partition_col: Some(partition_col.to_ascii_lowercase()),
             exchange: true,
+            ts_col: None,
         });
         self
     }
 
-    /// Adds a sliding window owned by `owner`.
+    /// Adds a tuple-based sliding window owned by `owner`.
     pub fn window(mut self, name: &str, owner: &str, schema: Schema, size: usize, slide: usize) -> Self {
         self.app.windows.push(WindowDef {
-            spec: WindowSpec {
+            windowing: Windowing::Tuple(WindowSpec {
                 name: name.to_ascii_lowercase(),
                 owner: owner.to_ascii_lowercase(),
                 size,
                 slide,
-            },
+            }),
+            schema,
+        });
+        self
+    }
+
+    /// Adds a time-based (event-time) sliding window owned by `owner`.
+    /// `ts_col` names the integer timestamp column of `schema`; extents
+    /// are pane-aligned `[k·slide_ms, k·slide_ms + size_ms)` and slide
+    /// when the partition watermark passes an extent end. Late tuples
+    /// within `allowed_lateness_ms` of the watermark are merged into
+    /// the active extent; beyond it they are counted and dropped.
+    #[allow(clippy::too_many_arguments)]
+    pub fn time_window(
+        mut self,
+        name: &str,
+        owner: &str,
+        schema: Schema,
+        ts_col: &str,
+        size_ms: i64,
+        slide_ms: i64,
+        allowed_lateness_ms: i64,
+    ) -> Self {
+        self.app.windows.push(WindowDef {
+            windowing: Windowing::Time(TimeWindowSpec {
+                name: name.to_ascii_lowercase(),
+                owner: owner.to_ascii_lowercase(),
+                ts_column: ts_col.to_ascii_lowercase(),
+                size_ms,
+                slide_ms,
+                allowed_lateness_ms,
+            }),
             schema,
         });
         self
@@ -285,7 +402,7 @@ impl AppBuilder {
             .iter()
             .map(|t| t.name.as_str())
             .chain(app.streams.iter().map(|s| s.name.as_str()))
-            .chain(app.windows.iter().map(|w| w.spec.name.as_str()))
+            .chain(app.windows.iter().map(|w| w.name()))
         {
             if !names.insert(n) {
                 return Err(Error::already_exists("table/stream/window", n));
@@ -293,22 +410,40 @@ impl AppBuilder {
         }
         let stream_names: HashSet<&str> = app.streams.iter().map(|s| s.name.as_str()).collect();
         let window_owner: HashMap<&str, &str> =
-            app.windows.iter().map(|w| (w.spec.name.as_str(), w.spec.owner.as_str())).collect();
+            app.windows.iter().map(|w| (w.name(), w.owner())).collect();
         let proc_names: HashSet<&str> = app.procs.iter().map(|p| p.name.as_str()).collect();
 
         // Window specs valid; owners exist.
         for w in &app.windows {
-            w.spec.validate()?;
-            if !proc_names.contains(w.spec.owner.as_str()) {
-                return Err(Error::not_found("window owner procedure", &w.spec.owner));
+            w.validate()?;
+            if !proc_names.contains(w.owner()) {
+                return Err(Error::not_found("window owner procedure", w.owner()));
             }
         }
 
-        // Streams used for partitioned ingest have a valid key column.
+        // Streams used for partitioned ingest have a valid key column;
+        // event-time streams have a valid timestamp column.
         for s in &app.streams {
             if let Some(col) = &s.partition_col {
                 s.schema.index_of_or_err(col)?;
             }
+            if let Some(col) = &s.ts_col {
+                s.schema.index_of_or_err(col)?;
+            }
+        }
+
+        // Time windows slide off the partition watermark, which is the
+        // min over event-time streams' high marks — without at least
+        // one such stream the watermark never advances and the window
+        // never fires. Catch the dead config at build time.
+        let has_time_window =
+            app.windows.iter().any(|w| matches!(w.windowing, Windowing::Time(_)));
+        if has_time_window && !app.streams.iter().any(|s| s.ts_col.is_some()) {
+            return Err(Error::StreamViolation(
+                "app declares a time window but no event-time stream \
+                 (stream_timed / stream_partitioned_timed) to drive its watermark"
+                    .into(),
+            ));
         }
 
         // PE triggers: stream exists (and is a stream, not a window) and
@@ -425,6 +560,54 @@ impl AppBuilder {
                     "stream {} has both EE and PE triggers",
                     t.table
                 )));
+            }
+            // Time-window slides run per partition when the local
+            // watermark crosses an extent boundary — NOT once per
+            // batch — so their triggers cannot feed an exchange edge,
+            // directly OR transitively (a slide output landing on a
+            // plain stream whose downstream procedure re-ships an
+            // exchange sub-batch would duplicate the batch id the
+            // original round already shipped, corrupting the merge).
+            let is_time_window = app
+                .windows
+                .iter()
+                .any(|w| w.name() == t.table && matches!(w.windowing, Windowing::Time(_)));
+            if is_time_window {
+                // Walk stream → PE targets → declared outputs (children
+                // included) from every stream the trigger inserts into.
+                let mut todo: Vec<String> = t
+                    .sql
+                    .iter()
+                    .filter_map(|sql| match sstore_sql::parse(sql) {
+                        Ok(Statement::Insert(i)) => Some(i.table.to_ascii_lowercase()),
+                        _ => None,
+                    })
+                    .filter(|name| stream_names.contains(name.as_str()))
+                    .collect();
+                let mut seen: HashSet<String> = HashSet::new();
+                while let Some(sname) = todo.pop() {
+                    if !seen.insert(sname.clone()) {
+                        continue;
+                    }
+                    if app.streams.iter().any(|s| s.exchange && s.name == sname) {
+                        return Err(Error::StreamViolation(format!(
+                            "time window {} trigger output reaches exchange stream \
+                             {sname}: watermark-driven slides are not batch-aligned \
+                             across partitions",
+                            t.table
+                        )));
+                    }
+                    for pt in app.pe_triggers.iter().filter(|pt| pt.stream == sname) {
+                        if let Some(p) = app.proc(&pt.proc) {
+                            todo.extend(p.outputs.iter().cloned());
+                            for c in &p.children {
+                                if let Some(child) = app.proc(c) {
+                                    todo.extend(child.outputs.iter().cloned());
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
 
@@ -632,6 +815,113 @@ mod tests {
         )
         .build();
         assert!(matches!(r, Err(Error::Plan(_))));
+    }
+
+    fn ts_schema() -> Schema {
+        Schema::of(&[("ts", DataType::Int), ("v", DataType::Int)])
+    }
+
+    #[test]
+    fn time_window_needs_an_event_time_stream() {
+        let r = noop_proc(App::builder(), "p", &[])
+            .time_window("tw", "p", ts_schema(), "ts", 30, 30, 0)
+            .build();
+        assert!(matches!(r, Err(Error::StreamViolation(_))), "no watermark source");
+        // With a timed stream it builds.
+        noop_proc(App::builder().stream_timed("s", ts_schema(), "ts"), "p", &[])
+            .time_window("tw", "p", ts_schema(), "ts", 30, 30, 0)
+            .build()
+            .unwrap();
+    }
+
+    #[test]
+    fn time_window_ts_column_must_exist() {
+        let r = noop_proc(App::builder().stream_timed("s", ts_schema(), "ts"), "p", &[])
+            .time_window("tw", "p", ts_schema(), "nosuch", 30, 30, 0)
+            .build();
+        assert!(matches!(r, Err(Error::Plan(_))));
+        let r = noop_proc(App::builder().stream_timed("s", ts_schema(), "nosuch"), "p", &[])
+            .build();
+        assert!(matches!(r, Err(Error::Plan(_))));
+    }
+
+    #[test]
+    fn time_window_spec_validated_at_build() {
+        let r = noop_proc(App::builder().stream_timed("s", ts_schema(), "ts"), "p", &[])
+            .time_window("tw", "p", ts_schema(), "ts", 30, 40, 0)
+            .build();
+        assert!(matches!(r, Err(Error::StreamViolation(_))), "slide > size");
+        let r = noop_proc(App::builder().stream_timed("s", ts_schema(), "ts"), "p", &[])
+            .time_window("tw", "p", ts_schema(), "ts", 30, 30, -1)
+            .build();
+        assert!(matches!(r, Err(Error::StreamViolation(_))), "negative lateness");
+    }
+
+    #[test]
+    fn time_window_trigger_cannot_feed_an_exchange() {
+        // Slides are per-partition watermark events, not batch-aligned
+        // workflow stages — an exchange downstream would deadlock its
+        // merges.
+        let r = noop_proc(
+            noop_proc(
+                App::builder()
+                    .stream_timed("s", ts_schema(), "ts")
+                    .exchange_stream("x", ts_schema(), "v"),
+                "p",
+                &["x"],
+            ),
+            "sink",
+            &[],
+        )
+        .pe_trigger("s", "p")
+        .pe_trigger("x", "sink")
+        .time_window("tw", "p", ts_schema(), "ts", 30, 30, 0)
+        .ee_trigger("tw", &["INSERT INTO x (ts, v) SELECT ts, v FROM tw"])
+        .build();
+        assert!(matches!(r, Err(Error::StreamViolation(_))));
+    }
+
+    #[test]
+    fn time_window_trigger_cannot_reach_an_exchange_transitively() {
+        // Workflow s → p1 → mid → hop → x (exchange): a single border
+        // root, so the exchange-producer checks pass. But tw's slide
+        // trigger ALSO inserts into `mid`, whose downstream proc ships
+        // exchange sub-batches — a slide output would be re-shipped on
+        // a non-batch-aligned path. Only the transitive reachability
+        // walk catches this.
+        let build = |with_trigger: bool| {
+            let mut b = noop_proc(
+                noop_proc(
+                    noop_proc(
+                        App::builder()
+                            .stream_timed("s", ts_schema(), "ts")
+                            .stream("mid", ts_schema())
+                            .exchange_stream("x", ts_schema(), "v"),
+                        "p1",
+                        &["mid"],
+                    ),
+                    "hop",
+                    &["x"],
+                ),
+                "sink",
+                &[],
+            )
+            .pe_trigger("s", "p1")
+            .pe_trigger("mid", "hop")
+            .pe_trigger("x", "sink")
+            .time_window("tw", "p1", ts_schema(), "ts", 30, 30, 0);
+            if with_trigger {
+                b = b.ee_trigger("tw", &["INSERT INTO mid (ts, v) SELECT ts, v FROM tw"]);
+            }
+            b.build()
+        };
+        build(false).expect("the workflow itself is valid");
+        let r = build(true);
+        let err = r.expect_err("indirect exchange reachability must be rejected");
+        assert!(
+            err.to_string().contains("reaches exchange stream x"),
+            "wrong rejection: {err}"
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crossbeam_channel::{bounded, Receiver, Sender};
 use sstore_common::{BatchId, Error, Result, TableId, Tuple, Value};
 use sstore_sql::QueryResult;
 
-use crate::ee::{ExecutionEngine, StmtId};
+use crate::ee::{CommitOutcome, ExecutionEngine, StmtId};
 use crate::metrics::EngineMetrics;
 
 /// Requests the PE sends across the boundary.
@@ -41,7 +41,12 @@ pub enum EeRequest {
     Emit(TableId, Vec<Tuple>),
     /// Consume a batch from a stream. Bool = require presence.
     Consume(TableId, BatchId, bool),
-    /// Commit; reply carries PE-trigger outputs.
+    /// Apply all pending watermark-driven slides of a time window.
+    ProcessSlides(TableId),
+    /// Observe a border/exchange input batch's event timestamps
+    /// (advances the stream's high mark, a watermark input).
+    ObserveInput(TableId, Vec<Tuple>),
+    /// Commit; reply carries PE-trigger outputs + pending slides.
     Commit,
     /// Abort and roll back.
     Abort,
@@ -68,8 +73,8 @@ pub enum EeResponse {
     Query(QueryResult),
     /// Consumed tuples.
     Rows(Vec<Tuple>),
-    /// Commit outputs for PE triggers.
-    Outputs(Vec<(TableId, BatchId)>),
+    /// Commit outputs: PE-trigger batches + pending window slides.
+    Committed(CommitOutcome),
     /// Checkpoint image.
     Bytes(Vec<u8>),
     /// Row count.
@@ -169,12 +174,24 @@ impl EeHandle {
         }
     }
 
-    /// Commits, returning PE-trigger outputs.
-    pub fn commit(&mut self) -> Result<Vec<(TableId, BatchId)>> {
+    /// Commits, returning PE-trigger outputs + pending window slides.
+    pub fn commit(&mut self) -> Result<CommitOutcome> {
         match self.call(EeRequest::Commit)? {
-            EeResponse::Outputs(o) => Ok(o),
+            EeResponse::Committed(o) => Ok(o),
             other => Err(unexpected(other)),
         }
+    }
+
+    /// Applies all pending watermark-driven slides of a time window
+    /// (inside the open transaction).
+    pub fn process_slides(&mut self, window: TableId) -> Result<()> {
+        self.call(EeRequest::ProcessSlides(window)).map(|_| ())
+    }
+
+    /// Observes a border/exchange input batch for event-time tracking
+    /// (O(1) clone per tuple — shared buffers).
+    pub fn observe_input(&mut self, stream: TableId, rows: Vec<Tuple>) -> Result<()> {
+        self.call(EeRequest::ObserveInput(stream, rows)).map(|_| ())
     }
 
     /// Aborts the open transaction.
@@ -248,7 +265,13 @@ fn dispatch(ee: &mut ExecutionEngine, req: EeRequest) -> Result<EeResponse> {
         EeRequest::Consume(stream, batch, require) => {
             ee.consume(stream, batch, require).map(EeResponse::Rows)
         }
-        EeRequest::Commit => ee.commit().map(EeResponse::Outputs),
+        EeRequest::ProcessSlides(window) => {
+            ee.process_slides(window).map(|()| EeResponse::Unit)
+        }
+        EeRequest::ObserveInput(stream, rows) => {
+            ee.observe_input(stream, &rows).map(|()| EeResponse::Unit)
+        }
+        EeRequest::Commit => ee.commit().map(EeResponse::Committed),
         EeRequest::Abort => ee.abort().map(|()| EeResponse::Unit),
         EeRequest::Checkpoint => ee.checkpoint().map(EeResponse::Bytes),
         EeRequest::Restore(bytes) => ee.restore(&bytes).map(|()| EeResponse::Unit),
@@ -325,8 +348,9 @@ mod tests {
             h.begin(Some(BatchId(1))).unwrap();
             h.exec(map["p"]["ins"], vec![Value::Int(7)]).unwrap();
             h.emit(s_id, vec![tuple![1i64]]).unwrap();
-            let outputs = h.commit().unwrap();
-            assert_eq!(outputs, vec![(s_id, BatchId(1))]);
+            let outcome = h.commit().unwrap();
+            assert_eq!(outcome.outputs, vec![(s_id, BatchId(1))]);
+            assert!(outcome.slides.is_empty());
             let r = h.query("SELECT v FROM t".into(), vec![]).unwrap();
             assert_eq!(r.rows, vec![tuple![7i64]]);
             assert_eq!(h.table_len("t".into()).unwrap(), 1);

@@ -10,7 +10,9 @@ use sstore_common::codec::{Decoder, Encoder};
 use sstore_common::{Error, Lsn, Result};
 
 const MAGIC: u32 = 0x5353_434B; // "SSCK"
-const VERSION: u32 = 2;
+// v3: EE image carries per-stream event-time high marks and tagged
+// (tuple vs. time) window sections. Older images are rejected loudly.
+const VERSION: u32 = 3;
 
 /// One partition's checkpoint.
 #[derive(Debug, Clone, PartialEq)]

@@ -44,14 +44,27 @@ use sstore_sql::{Planner, QueryResult};
 use sstore_storage::snapshot;
 use sstore_storage::{Catalog, TableKind};
 
-use crate::app::App;
+use crate::app::{App, Windowing};
 use crate::metrics::EngineMetrics;
 use crate::names::AppIds;
 use crate::stream::StreamState;
-use crate::window::WindowState;
+use crate::window::{TimeArrival, TimeWindowState, WindowSlot, WindowState};
 
 /// Identifier of a statement compiled into the EE.
 pub type StmtId = usize;
+
+/// What a committed transaction hands back to the partition engine:
+/// the stream batches awaiting PE triggers, plus the time windows
+/// whose watermark crossed a pane boundary during this commit — the
+/// partition schedules one slide transaction per window on the fast
+/// lane, in batch order (same discipline as exchange arrivals).
+#[derive(Debug, Default)]
+pub struct CommitOutcome {
+    /// `(stream, batch)` outputs awaiting PE triggers.
+    pub outputs: Vec<(TableId, BatchId)>,
+    /// Time windows with pending watermark-driven slides.
+    pub slides: Vec<TableId>,
+}
 
 /// Undo record for stream bookkeeping: O(ops touched), not O(pending
 /// batches) — a queue backlog must not make undo (or its capture) more
@@ -87,6 +100,13 @@ enum StreamUndo {
         /// The row id.
         row: RowId,
     },
+    /// The stream's event-time high mark advanced (watermark input).
+    HighMark {
+        /// Stream table.
+        stream: TableId,
+        /// High mark before this transaction's advance.
+        prev: Option<i64>,
+    },
 }
 
 /// Undo record for window bookkeeping. Tables are undone effect-by-
@@ -112,6 +132,48 @@ enum WindowUndo {
         /// The tuples the slide consumed from staging (to restore).
         restaged: Vec<Tuple>,
     },
+    /// One tuple was staged on a time window. Recorded per row —
+    /// *before* the next row is processed — so a failure later in the
+    /// same arrival batch (bad timestamp, insert error) still rolls
+    /// back every earlier row's staging.
+    TimeStaged {
+        /// Window table.
+        window: TableId,
+        /// Event timestamp staged.
+        ts: i64,
+        /// Extent cursor before this stage (pre-first-slide staging
+        /// may lower it).
+        prev_next_end: Option<i64>,
+    },
+    /// One late tuple was merged into a time window's active extent.
+    TimeMerged {
+        /// Window table.
+        window: TableId,
+        /// The tuple's event timestamp.
+        ts: i64,
+        /// Sequence number assigned to the active entry.
+        seq: u64,
+    },
+    /// One late tuple was counted and dropped by a time window.
+    TimeDropped {
+        /// Window table.
+        window: TableId,
+    },
+    /// One watermark-driven slide was applied on a time window.
+    TimeSlid {
+        /// Window table.
+        window: TableId,
+        /// Expired active entries `(ts, seq, row)`.
+        expired: Vec<(i64, u64, RowId)>,
+        /// Keys of the activated entries.
+        activated: Vec<(i64, u64)>,
+        /// The `(ts, tuple)` pairs the slide consumed from staging.
+        restaged: Vec<(i64, Tuple)>,
+        /// Extent cursor before the slide.
+        prev_next_end: i64,
+        /// First-fire flag before the slide.
+        prev_fired: bool,
+    },
 }
 
 /// Per-procedure map of statement names to compiled ids, produced at
@@ -125,8 +187,24 @@ pub struct ExecutionEngine {
     /// Stream bookkeeping, indexed by [`TableId`] (`None` for
     /// non-stream tables).
     streams: Vec<Option<StreamState>>,
+    /// Event-timestamp column per stream (`None` = not event-timed),
+    /// indexed by [`TableId`].
+    stream_ts_col: Vec<Option<usize>>,
+    /// Per-stream event-time high mark (max timestamp ever appended),
+    /// indexed by [`TableId`]. Monotone; advanced inside transactions,
+    /// rewound on abort. The partition watermark is the min over the
+    /// event-timed streams' high marks, taken at commit.
+    stream_high: Vec<Option<i64>>,
+    /// The event-timed streams (watermark inputs).
+    ts_streams: Vec<TableId>,
     /// Window state, indexed by [`TableId`].
-    windows: Vec<Option<WindowState>>,
+    windows: Vec<Option<WindowSlot>>,
+    /// Resolved timestamp-column index per time window, indexed by
+    /// [`TableId`].
+    window_ts_col: Vec<Option<usize>>,
+    /// True when any time window is installed (skip watermark work
+    /// entirely otherwise).
+    has_time_windows: bool,
     /// EE-trigger statements per table id. `None` = no trigger declared;
     /// `Some` (possibly empty) = a declared trigger — the distinction
     /// matters because a *declared* trigger makes the stream's batches
@@ -176,18 +254,34 @@ impl ExecutionEngine {
         }
         let n_tables = ids.table_count();
         let mut streams: Vec<Option<StreamState>> = (0..n_tables).map(|_| None).collect();
-        let mut windows: Vec<Option<WindowState>> = (0..n_tables).map(|_| None).collect();
+        let mut stream_ts_col: Vec<Option<usize>> = vec![None; n_tables];
+        let mut ts_streams: Vec<TableId> = Vec::new();
+        let mut windows: Vec<Option<WindowSlot>> = (0..n_tables).map(|_| None).collect();
+        let mut window_ts_col: Vec<Option<usize>> = vec![None; n_tables];
+        let mut has_time_windows = false;
         for s in &app.streams {
             catalog.create_table(&s.name, TableKind::Stream, s.schema.clone())?;
             let id = catalog.id_of(&s.name).expect("just created");
             check(id, &s.name, &ids)?;
             streams[id.index()] = Some(StreamState::new());
+            if let Some(col) = &s.ts_col {
+                stream_ts_col[id.index()] = Some(s.schema.index_of_or_err(col)?);
+                ts_streams.push(id);
+            }
         }
         for w in &app.windows {
-            catalog.create_table(&w.spec.name, TableKind::Window, w.schema.clone())?;
-            let id = catalog.id_of(&w.spec.name).expect("just created");
-            check(id, &w.spec.name, &ids)?;
-            windows[id.index()] = Some(WindowState::new(w.spec.clone())?);
+            catalog.create_table(w.name(), TableKind::Window, w.schema.clone())?;
+            let id = catalog.id_of(w.name()).expect("just created");
+            check(id, w.name(), &ids)?;
+            windows[id.index()] = Some(match &w.windowing {
+                Windowing::Tuple(spec) => WindowSlot::Tuple(WindowState::new(spec.clone())?),
+                Windowing::Time(spec) => {
+                    window_ts_col[id.index()] =
+                        Some(w.schema.index_of_or_err(&spec.ts_column)?);
+                    has_time_windows = true;
+                    WindowSlot::Time(TimeWindowState::new(spec.clone())?)
+                }
+            });
         }
 
         let mut stmts: Vec<Arc<BoundStatement>> = Vec::new();
@@ -223,7 +317,12 @@ impl ExecutionEngine {
                 catalog,
                 ids,
                 streams,
+                stream_ts_col,
+                stream_high: vec![None; n_tables],
+                ts_streams,
                 windows,
+                window_ts_col,
+                has_time_windows,
                 ee_triggers,
                 stmts,
                 metrics,
@@ -267,9 +366,12 @@ impl ExecutionEngine {
         Ok(())
     }
 
-    /// Commits: drops undo state and returns the `(stream, batch)`
-    /// outputs awaiting PE triggers.
-    pub fn commit(&mut self) -> Result<Vec<(TableId, BatchId)>> {
+    /// Commits: drops undo state, advances the partition watermark
+    /// into every time window (the "border punctuation" of §3.2.1,
+    /// generalized to event time), and returns the `(stream, batch)`
+    /// outputs awaiting PE triggers plus the time windows whose
+    /// watermark crossed a pane boundary.
+    pub fn commit(&mut self) -> Result<CommitOutcome> {
         if !self.in_txn {
             return Err(Error::InvalidState("commit outside transaction".into()));
         }
@@ -278,7 +380,34 @@ impl ExecutionEngine {
         self.effects.clear();
         self.stream_undo.clear();
         self.window_undo.clear();
-        Ok(std::mem::take(&mut self.outputs))
+        let mut slides = Vec::new();
+        if self.has_time_windows {
+            if let Some(wm) = self.partition_watermark() {
+                for (i, w) in self.windows.iter_mut().enumerate() {
+                    if let Some(WindowSlot::Time(tw)) = w {
+                        if tw.advance_watermark(wm) {
+                            slides.push(TableId(i as u32));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(CommitOutcome { outputs: std::mem::take(&mut self.outputs), slides })
+    }
+
+    /// The partition watermark: min over the event-timed streams' high
+    /// marks, `None` until every one of them has seen data (a stream
+    /// that never flows holds the watermark back — by design, the min
+    /// semantics of multi-input punctuations).
+    fn partition_watermark(&self) -> Option<i64> {
+        let mut wm: Option<i64> = None;
+        for s in &self.ts_streams {
+            match self.stream_high[s.index()] {
+                None => return None,
+                Some(h) => wm = Some(wm.map_or(h, |w| w.min(h))),
+            }
+        }
+        wm
     }
 
     /// Aborts: undoes every table effect in reverse and restores
@@ -310,19 +439,49 @@ impl ExecutionEngine {
                         s.undo_forget(batch, pos, row);
                     }
                 }
+                StreamUndo::HighMark { stream, prev } => {
+                    self.stream_high[stream.index()] = prev;
+                }
             }
         }
         // Windows: apply operation-level undo newest-first.
         while let Some(u) = self.window_undo.pop() {
             match u {
                 WindowUndo::Staged { window, n } => {
-                    if let Some(w) = self.windows[window.index()].as_mut() {
+                    if let Some(WindowSlot::Tuple(w)) = self.windows[window.index()].as_mut() {
                         w.undo_stage(n);
                     }
                 }
                 WindowUndo::Slid { window, expired, activated, restaged } => {
-                    if let Some(w) = self.windows[window.index()].as_mut() {
+                    if let Some(WindowSlot::Tuple(w)) = self.windows[window.index()].as_mut() {
                         w.undo_slide(expired, activated, restaged);
+                    }
+                }
+                WindowUndo::TimeStaged { window, ts, prev_next_end } => {
+                    if let Some(WindowSlot::Time(w)) = self.windows[window.index()].as_mut() {
+                        w.undo_stage(&[ts], prev_next_end);
+                    }
+                }
+                WindowUndo::TimeMerged { window, ts, seq } => {
+                    if let Some(WindowSlot::Time(w)) = self.windows[window.index()].as_mut() {
+                        w.undo_merge(ts, seq);
+                    }
+                }
+                WindowUndo::TimeDropped { window } => {
+                    if let Some(WindowSlot::Time(w)) = self.windows[window.index()].as_mut() {
+                        w.undo_drop();
+                    }
+                }
+                WindowUndo::TimeSlid {
+                    window,
+                    expired,
+                    activated,
+                    restaged,
+                    prev_next_end,
+                    prev_fired,
+                } => {
+                    if let Some(WindowSlot::Time(w)) = self.windows[window.index()].as_mut() {
+                        w.undo_slide(expired, activated, restaged, prev_next_end, prev_fired);
                     }
                 }
             }
@@ -357,6 +516,64 @@ impl ExecutionEngine {
         let result = execute(&mut self.catalog, &bound, params, &mut self.effects)?;
         self.cascade(start)?;
         Ok(result)
+    }
+
+    /// Observes a transaction's *input* rows for event-time tracking:
+    /// border and exchange invocations hand their batch straight to
+    /// the procedure body without ever inserting into the input stream
+    /// table, so this is where their timestamps advance the stream's
+    /// high mark (undo-ably). No-op for streams without a timestamp
+    /// column — callers skip the boundary crossing entirely then.
+    pub fn observe_input(&mut self, stream: TableId, rows: &[Tuple]) -> Result<()> {
+        if !self.in_txn {
+            return Err(Error::InvalidState("observe_input outside transaction".into()));
+        }
+        let Some(col) = self.stream_ts_col[stream.index()] else {
+            return Ok(());
+        };
+        let mut hi: Option<i64> = None;
+        for t in rows {
+            let ts = self.event_ts_of(stream, col, t)?;
+            if hi.is_none_or(|h| ts > h) {
+                hi = Some(ts);
+            }
+        }
+        if let Some(hi) = hi {
+            self.raise_high_mark(stream, hi);
+        }
+        Ok(())
+    }
+
+    /// Extracts a stream row's event timestamp, naming the stream on
+    /// failure. Rejects timestamps outside the supported range — pane
+    /// arithmetic is overflow-free only inside it, and a malformed
+    /// tuple must abort its transaction, not the engine.
+    fn event_ts_of(&self, stream: TableId, col: usize, t: &Tuple) -> Result<i64> {
+        let ts = t.event_ts(col).map_err(|e| {
+            Error::StreamViolation(format!(
+                "stream {}: bad event timestamp: {e}",
+                self.ids.table_name(stream)
+            ))
+        })?;
+        if !crate::window::event_ts_in_range(ts) {
+            return Err(Error::StreamViolation(format!(
+                "stream {}: event timestamp {ts} outside the supported range",
+                self.ids.table_name(stream)
+            )));
+        }
+        Ok(ts)
+    }
+
+    /// Raises a stream's event-time high mark to at least `hi`
+    /// (monotone), recording the undo exactly once per change — the
+    /// single place the watermark-input/undo discipline lives, shared
+    /// by the ingest path and the border/exchange input path.
+    fn raise_high_mark(&mut self, stream: TableId, hi: i64) {
+        let prev = self.stream_high[stream.index()];
+        if prev.is_none_or(|p| hi > p) {
+            self.stream_high[stream.index()] = Some(hi);
+            self.stream_undo.push(StreamUndo::HighMark { stream, prev });
+        }
     }
 
     /// Inserts tuples onto a stream (used by `ProcCtx::emit` and batch
@@ -453,30 +670,37 @@ impl ExecutionEngine {
         Ok(())
     }
 
-    /// Converts freshly inserted window rows to staging and processes
-    /// the slides they unlock, firing on-slide EE triggers.
+    /// Converts freshly inserted window rows to staging (tuple windows
+    /// additionally process the count-driven slides they unlock, firing
+    /// on-slide EE triggers; time windows slide only when the
+    /// watermark says so — see [`ExecutionEngine::process_slides`]).
     fn window_arrival(&mut self, window: TableId, rows: Vec<RowId>) -> Result<()> {
+        match self.windows[window.index()] {
+            Some(WindowSlot::Tuple(_)) => self.tuple_window_arrival(window, rows),
+            Some(WindowSlot::Time(_)) => self.time_window_arrival(window, rows),
+            None => Err(Error::not_found("window", self.ids.table_name(window).to_string())),
+        }
+    }
+
+    fn tuple_window_arrival(&mut self, window: TableId, rows: Vec<RowId>) -> Result<()> {
         // Staged tuples leave the table (invisible until activation).
         let mut staged = Vec::with_capacity(rows.len());
         for id in rows {
             staged.push(self.table_delete(window, id)?);
         }
         let staged_n = staged.len();
-        self.windows[window.index()]
-            .as_mut()
-            .ok_or_else(|| Error::not_found("window", self.ids.table_name(window).to_string()))?
-            .stage(staged);
+        let Some(WindowSlot::Tuple(w)) = self.windows[window.index()].as_mut() else {
+            unreachable!("caller dispatched on the tuple variant");
+        };
+        w.stage(staged);
         self.window_undo.push(WindowUndo::Staged { window, n: staged_n });
         let trig = self.ee_triggers[window.index()].clone().unwrap_or_else(|| Arc::from([]));
-        while let Some(outcome) = self.windows[window.index()]
-            .as_mut()
-            .expect("window exists, checked above")
-            .next_slide()
-        {
-            let expired = self.windows[window.index()]
-                .as_mut()
-                .expect("window exists")
-                .take_expired(outcome.expire);
+        loop {
+            let Some(WindowSlot::Tuple(w)) = self.windows[window.index()].as_mut() else {
+                unreachable!("variant is stable");
+            };
+            let Some(outcome) = w.next_slide() else { break };
+            let expired = w.take_expired(outcome.expire);
             for id in &expired {
                 self.table_delete(window, *id)?;
             }
@@ -486,11 +710,112 @@ impl ExecutionEngine {
                 new_ids.push(self.table_insert(window, t)?);
             }
             let activated = new_ids.len();
-            self.windows[window.index()]
-                .as_mut()
-                .expect("window exists")
-                .record_activation(new_ids);
+            let Some(WindowSlot::Tuple(w)) = self.windows[window.index()].as_mut() else {
+                unreachable!("variant is stable");
+            };
+            w.record_activation(new_ids);
             self.window_undo.push(WindowUndo::Slid { window, expired, activated, restaged });
+            for sid in trig.iter() {
+                EngineMetrics::bump(&self.metrics.ee_trigger_fires);
+                self.exec(*sid, &[])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Time-window arrival: each tuple is staged by event timestamp,
+    /// merged into the active extent (late, within lateness), or
+    /// counted and dropped (beyond lateness). No slides fire here —
+    /// only the watermark fires slides, at commit.
+    fn time_window_arrival(&mut self, window: TableId, rows: Vec<RowId>) -> Result<()> {
+        let ts_col = self.window_ts_col[window.index()]
+            .ok_or_else(|| Error::Internal("time window lost its ts column".into()))?;
+        for id in rows {
+            // Staged tuples leave the table (invisible until their
+            // extent fires); merged tuples are re-inserted immediately.
+            let t = self.table_delete(window, id)?;
+            let ts = t.event_ts(ts_col).map_err(|e| {
+                Error::StreamViolation(format!(
+                    "window {}: bad event timestamp: {e}",
+                    self.ids.table_name(window)
+                ))
+            })?;
+            if !crate::window::event_ts_in_range(ts) {
+                return Err(Error::StreamViolation(format!(
+                    "window {}: event timestamp {ts} outside the supported range",
+                    self.ids.table_name(window)
+                )));
+            }
+            let Some(WindowSlot::Time(w)) = self.windows[window.index()].as_mut() else {
+                unreachable!("variant is stable");
+            };
+            match w.classify(ts) {
+                TimeArrival::Staged => {
+                    let prev_next_end = w.next_end();
+                    w.stage(ts, t);
+                    self.window_undo.push(WindowUndo::TimeStaged { window, ts, prev_next_end });
+                }
+                TimeArrival::MergeIntoActive => {
+                    let rid = self.table_insert(window, t)?;
+                    let Some(WindowSlot::Time(w)) = self.windows[window.index()].as_mut()
+                    else {
+                        unreachable!("variant is stable");
+                    };
+                    let seq = w.record_merge(ts, rid);
+                    self.window_undo.push(WindowUndo::TimeMerged { window, ts, seq });
+                    EngineMetrics::bump(&self.metrics.window_late_merged);
+                }
+                TimeArrival::DroppedLate => {
+                    w.record_drop();
+                    self.window_undo.push(WindowUndo::TimeDropped { window });
+                    EngineMetrics::bump(&self.metrics.window_late_dropped);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies every pending watermark-driven slide of a time window,
+    /// firing its on-slide EE triggers. Runs inside a transaction — the
+    /// partition engine schedules one slide transaction per window
+    /// flagged by [`CommitOutcome::slides`].
+    pub fn process_slides(&mut self, window: TableId) -> Result<()> {
+        if !self.in_txn {
+            return Err(Error::InvalidState("slide outside transaction".into()));
+        }
+        let trig = self.ee_triggers[window.index()].clone().unwrap_or_else(|| Arc::from([]));
+        loop {
+            let Some(WindowSlot::Time(w)) = self.windows[window.index()].as_mut() else {
+                return Err(Error::not_found(
+                    "time window",
+                    self.ids.table_name(window).to_string(),
+                ));
+            };
+            let Some(outcome) = w.next_slide() else { break };
+            let expired = w.take_expired(outcome.expire);
+            for (_, _, row) in &expired {
+                self.table_delete(window, *row)?;
+            }
+            let mut entries = Vec::with_capacity(outcome.activated.len());
+            let mut restaged = Vec::with_capacity(outcome.activated.len());
+            for (ts, t) in outcome.activated {
+                restaged.push((ts, t.clone()));
+                let id = self.table_insert(window, t)?;
+                entries.push((ts, id));
+            }
+            let Some(WindowSlot::Time(w)) = self.windows[window.index()].as_mut() else {
+                unreachable!("variant is stable");
+            };
+            let activated = w.record_activation(entries);
+            self.window_undo.push(WindowUndo::TimeSlid {
+                window,
+                expired,
+                activated,
+                restaged,
+                prev_next_end: outcome.prev_next_end,
+                prev_fired: outcome.prev_fired,
+            });
+            EngineMetrics::bump(&self.metrics.window_slides);
             for sid in trig.iter() {
                 EngineMetrics::bump(&self.metrics.ee_trigger_fires);
                 self.exec(*sid, &[])?;
@@ -510,6 +835,27 @@ impl ExecutionEngine {
                 self.ids.table_name(stream)
             )));
         };
+        // Event-timed streams advance their high mark (a watermark
+        // input) as rows arrive — before any EE trigger can GC them.
+        if let Some(col) = self.stream_ts_col[stream.index()] {
+            let mut hi: Option<i64> = None;
+            for id in &rows {
+                let t = self
+                    .catalog
+                    .get(stream)
+                    .get(*id)
+                    .ok_or_else(|| {
+                        Error::Internal("stream row vanished before high-mark update".into())
+                    })?;
+                let ts = self.event_ts_of(stream, col, t)?;
+                if hi.is_none_or(|h| ts > h) {
+                    hi = Some(ts);
+                }
+            }
+            if let Some(hi) = hi {
+                self.raise_high_mark(stream, hi);
+            }
+        }
         self.streams[stream.index()]
             .as_mut()
             .ok_or_else(|| Error::not_found("stream", self.ids.table_name(stream).to_string()))?
@@ -624,6 +970,16 @@ impl ExecutionEngine {
         for (name, id) in snames {
             e.put_str(name);
             self.streams[id.index()].as_ref().expect("stream present").encode(&mut e);
+            // Event-time high mark (watermark input): recovery must
+            // reconverge watermarks deterministically, and replay alone
+            // cannot rebuild high marks for rows inside the snapshot.
+            match self.stream_high[id.index()] {
+                Some(h) => {
+                    e.put_u8(1);
+                    e.put_i64(h);
+                }
+                None => e.put_u8(0),
+            }
         }
         let mut wnames: Vec<(&str, TableId)> = self
             .windows
@@ -670,18 +1026,29 @@ impl ExecutionEngine {
 
         let n = self.ids.table_count();
         let mut streams: Vec<Option<StreamState>> = (0..n).map(|_| None).collect();
+        let mut stream_high: Vec<Option<i64>> = vec![None; n];
         let ns = d.get_varint()? as usize;
         for _ in 0..ns {
             let name = d.get_str()?;
             let state = StreamState::decode(&mut d)?;
+            let high = match d.get_u8()? {
+                0 => None,
+                1 => Some(d.get_i64()?),
+                t => {
+                    return Err(Error::Codec(format!(
+                        "stream {name}: bad high-mark tag {t} in checkpoint"
+                    )))
+                }
+            };
             let id = self.table_id(&name)?;
             streams[id.index()] = Some(state);
+            stream_high[id.index()] = high;
         }
-        let mut windows: Vec<Option<WindowState>> = (0..n).map(|_| None).collect();
+        let mut windows: Vec<Option<WindowSlot>> = (0..n).map(|_| None).collect();
         let nw = d.get_varint()? as usize;
         for _ in 0..nw {
-            let w = WindowState::decode(&mut d)?;
-            let id = self.table_id(&w.spec.name)?;
+            let w = WindowSlot::decode(&mut d)?;
+            let id = self.table_id(w.name())?;
             windows[id.index()] = Some(w);
         }
         if !d.is_exhausted() {
@@ -689,6 +1056,7 @@ impl ExecutionEngine {
         }
         self.catalog = catalog;
         self.streams = streams;
+        self.stream_high = stream_high;
         self.windows = windows;
         Ok(())
     }
@@ -740,7 +1108,7 @@ mod tests {
         let ins = map["driver"]["ins"];
         ee.begin(Some(BatchId(1))).unwrap();
         ee.exec(ins, &[Value::Int(1)]).unwrap();
-        let outputs = ee.commit().unwrap();
+        let outputs = ee.commit().unwrap().outputs;
         // s1 and s2 were consumed by EE triggers and GC'd.
         assert_eq!(ee.table_len("s1").unwrap(), 0);
         assert_eq!(ee.table_len("s2").unwrap(), 0);
@@ -910,7 +1278,7 @@ mod tests {
         let (mut ee, map) = ee(&app);
         ee.begin(Some(BatchId(1))).unwrap();
         ee.exec(map["driver"]["ins"], &[Value::Int(1)]).unwrap();
-        let outputs = ee.commit().unwrap();
+        let outputs = ee.commit().unwrap().outputs;
         assert!(outputs.is_empty(), "discarded batch must not become a PE output");
         assert_eq!(ee.table_len("drop_me").unwrap(), 0, "rows must be GC'd");
         assert!(ee.stream_pending("drop_me").unwrap().is_empty());
@@ -921,6 +1289,246 @@ mod tests {
         let app = chain_app();
         let (ee, _) = ee(&app);
         assert!(ee.query("DELETE FROM sink", &[]).is_err());
+    }
+
+    /// App with a tumbling 30-unit time window fed by an event-timed
+    /// stream: the owner stages each arrival into the window; an
+    /// on-slide trigger records per-extent sums.
+    fn time_window_app() -> App {
+        // `total` is nullable: an expire-only slide can fire the
+        // trigger over an empty window, where SUM is NULL.
+        let sums_schema = Schema::new(vec![sstore_common::Column::nullable(
+            "total",
+            DataType::Int,
+        )])
+        .unwrap();
+        App::builder()
+            .stream_timed("arrivals", Schema::of(&[("ts", DataType::Int), ("v", DataType::Int)]), "ts")
+            .table("sums", sums_schema)
+            .time_window(
+                "tw",
+                "wproc",
+                Schema::of(&[("ts", DataType::Int), ("v", DataType::Int)]),
+                "ts",
+                30,
+                30,
+                10,
+            )
+            .proc(
+                "wproc",
+                &[("ins", "INSERT INTO tw (ts, v) VALUES (?, ?)")],
+                &[],
+                |_| Ok(()),
+            )
+            .pe_trigger("arrivals", "wproc")
+            .ee_trigger("tw", &["INSERT INTO sums (total) SELECT SUM(v) FROM tw"])
+            .build()
+            .unwrap()
+    }
+
+    /// Emits one `(ts, v)` batch onto the arrivals stream (advancing
+    /// the high mark) and stages the same values into the window, as
+    /// the wproc body would. Returns the windows flagged for slides.
+    fn feed(ee: &mut ExecutionEngine, map: &ProcStmtMap, batch: u64, rows: &[(i64, i64)]) -> Vec<TableId> {
+        let arrivals = ee.table_id("arrivals").unwrap();
+        ee.begin(Some(BatchId(batch))).unwrap();
+        ee.emit(arrivals, rows.iter().map(|(ts, v)| tuple![*ts, *v]).collect()).unwrap();
+        for (ts, v) in rows {
+            ee.exec(map["wproc"]["ins"], &[Value::Int(*ts), Value::Int(*v)]).unwrap();
+        }
+        ee.commit().unwrap().slides
+    }
+
+    fn run_slides(ee: &mut ExecutionEngine, batch: u64, windows: &[TableId]) {
+        for w in windows {
+            ee.begin(Some(BatchId(batch))).unwrap();
+            ee.process_slides(*w).unwrap();
+            ee.commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn time_window_slides_on_watermark_not_arrival() {
+        let app = time_window_app();
+        let (mut ee, map) = ee(&app);
+        // Out-of-order arrivals inside extent [0, 30): nothing fires,
+        // everything staged (invisible).
+        let slides = feed(&mut ee, &map, 1, &[(20, 2), (5, 1), (12, 3)]);
+        assert!(slides.is_empty(), "watermark 20 has not passed extent end 30");
+        assert_eq!(ee.table_len("tw").unwrap(), 0, "staged tuples are invisible");
+        assert_eq!(ee.table_len("sums").unwrap(), 0);
+        // A commit pushing the high mark past 30 flags the window.
+        let slides = feed(&mut ee, &map, 2, &[(31, 10)]);
+        assert_eq!(slides.len(), 1);
+        run_slides(&mut ee, 2, &slides);
+        // Extent [0, 30) is active: 3 rows visible, trigger saw SUM=6.
+        assert_eq!(ee.table_len("tw").unwrap(), 3);
+        let r = ee.query("SELECT total FROM sums", &[]).unwrap();
+        assert_eq!(r.rows, vec![tuple![6i64]]);
+        // The commit of the slide txn itself must not re-flag.
+        let slides = feed(&mut ee, &map, 3, &[(32, 1)]);
+        assert!(slides.is_empty(), "no new boundary crossed");
+    }
+
+    #[test]
+    fn time_window_late_merge_and_drop() {
+        let app = time_window_app();
+        let (mut ee, map) = ee(&app);
+        let slides = feed(&mut ee, &map, 1, &[(10, 1), (35, 5)]);
+        run_slides(&mut ee, 1, &slides);
+        assert_eq!(ee.table_len("tw").unwrap(), 1);
+        // ts 28 is behind extent [30, 60) but within lateness of the
+        // active extent [0, 30): merged, visible immediately.
+        let slides = feed(&mut ee, &map, 2, &[(28, 100)]);
+        assert!(slides.is_empty());
+        assert_eq!(ee.table_len("tw").unwrap(), 2, "late merge lands in the table");
+        // Push the watermark far ahead, then send something ancient.
+        let slides = feed(&mut ee, &map, 3, &[(95, 7)]);
+        run_slides(&mut ee, 3, &slides);
+        let slides = feed(&mut ee, &map, 4, &[(2, 9)]);
+        assert!(slides.is_empty());
+        assert_eq!(EngineMetrics::get(&ee.metrics.window_late_dropped), 1);
+        assert_eq!(EngineMetrics::get(&ee.metrics.window_late_merged), 1);
+    }
+
+    #[test]
+    fn time_window_abort_restores_state() {
+        let app = time_window_app();
+        let (mut ee, map) = ee(&app);
+        // Oracle: an engine that never sees the aborted transaction.
+        let (mut oracle, omap) = {
+            let ids = Arc::new(AppIds::build(&app).unwrap());
+            ExecutionEngine::install(&app, ids, Arc::new(EngineMetrics::new())).unwrap()
+        };
+        let slides = feed(&mut ee, &map, 1, &[(5, 1), (31, 2)]);
+        run_slides(&mut ee, 1, &slides);
+        let oslides = feed(&mut oracle, &omap, 1, &[(5, 1), (31, 2)]);
+        run_slides(&mut oracle, 1, &oslides);
+        assert_eq!(ee.table_len("tw").unwrap(), 1);
+        // A transaction stages + merges + advances the high mark, then
+        // aborts: window state, table contents, and the watermark input
+        // must all rewind.
+        let arrivals = ee.table_id("arrivals").unwrap();
+        ee.begin(Some(BatchId(2))).unwrap();
+        ee.emit(arrivals, vec![tuple![40i64, 1i64]]).unwrap();
+        ee.exec(map["wproc"]["ins"], &[Value::Int(40), Value::Int(4)]).unwrap();
+        ee.exec(map["wproc"]["ins"], &[Value::Int(27), Value::Int(9)]).unwrap(); // merge
+        ee.abort().unwrap();
+        assert_eq!(ee.table_len("tw").unwrap(), 1, "merged row rolled back");
+        assert_eq!(
+            ee.stream_high[arrivals.index()],
+            Some(31),
+            "high mark rewound to the pre-txn watermark input"
+        );
+        // From here on the engine must behave exactly like the oracle.
+        let s1 = feed(&mut ee, &map, 2, &[(61, 4)]);
+        run_slides(&mut ee, 2, &s1);
+        let s2 = feed(&mut oracle, &omap, 2, &[(61, 4)]);
+        run_slides(&mut oracle, 2, &s2);
+        for q in ["SELECT ts, v FROM tw ORDER BY ts", "SELECT total FROM sums ORDER BY total"] {
+            assert_eq!(ee.query(q, &[]).unwrap().rows, oracle.query(q, &[]).unwrap().rows, "{q}");
+        }
+    }
+
+    /// Review regression: extreme timestamps must abort the offending
+    /// transaction with a clean error — pane arithmetic would overflow
+    /// (panicking the partition thread in debug builds) if they ever
+    /// reached the extent cursor.
+    #[test]
+    fn extreme_timestamps_abort_cleanly() {
+        let app = time_window_app();
+        let (mut ee, map) = ee(&app);
+        let arrivals = ee.table_id("arrivals").unwrap();
+        for bad in [i64::MIN, i64::MAX, crate::window::MAX_EVENT_TS + 1] {
+            // Through the window-staging path.
+            ee.begin(Some(BatchId(1))).unwrap();
+            let err =
+                ee.exec(map["wproc"]["ins"], &[Value::Int(bad), Value::Int(1)]).unwrap_err();
+            assert!(matches!(err, Error::StreamViolation(_)), "{bad}: {err}");
+            ee.abort().unwrap();
+            // Through the stream high-mark (watermark input) path.
+            ee.begin(Some(BatchId(1))).unwrap();
+            let err = ee.emit(arrivals, vec![tuple![bad, 1i64]]).unwrap_err();
+            assert!(matches!(err, Error::StreamViolation(_)), "{bad}: {err}");
+            ee.abort().unwrap();
+        }
+        // The engine still works afterwards.
+        let slides = feed(&mut ee, &map, 2, &[(5, 1), (31, 2)]);
+        run_slides(&mut ee, 2, &slides);
+        assert_eq!(ee.table_len("tw").unwrap(), 1);
+    }
+
+    /// Review regression: a failure on a LATER row of one statement's
+    /// arrival batch (here: a NULL timestamp that passes the nullable
+    /// table schema but fails event-time extraction) must roll back
+    /// the EARLIER rows' staging too — each stage is undo-recorded
+    /// before the next row is touched.
+    #[test]
+    fn mid_batch_bad_timestamp_rolls_back_earlier_staging() {
+        let ts_nullable = Schema::new(vec![
+            sstore_common::Column::nullable("ts", DataType::Int),
+            sstore_common::Column::new("v", DataType::Int),
+        ])
+        .unwrap();
+        let app = App::builder()
+            .stream_timed(
+                "arrivals",
+                Schema::of(&[("ts", DataType::Int), ("v", DataType::Int)]),
+                "ts",
+            )
+            .table("src", ts_nullable.clone())
+            .time_window("tw", "wproc", ts_nullable, "ts", 30, 30, 0)
+            .proc(
+                "wproc",
+                &[
+                    ("seed", "INSERT INTO src (ts, v) VALUES (?, ?)"),
+                    ("copy", "INSERT INTO tw (ts, v) SELECT ts, v FROM src"),
+                ],
+                &[],
+                |_| Ok(()),
+            )
+            .pe_trigger("arrivals", "wproc")
+            .build()
+            .unwrap();
+        let (mut ee, map) = ee(&app);
+        let tw = ee.table_id("tw").unwrap();
+        ee.begin(Some(BatchId(1))).unwrap();
+        ee.exec(map["wproc"]["seed"], &[Value::Int(5), Value::Int(1)]).unwrap();
+        ee.exec(map["wproc"]["seed"], &[Value::Null, Value::Int(2)]).unwrap();
+        // Row (5, 1) stages; row (NULL, 2) fails extraction mid-batch.
+        let err = ee.exec(map["wproc"]["copy"], &[]).unwrap_err();
+        assert!(matches!(err, Error::StreamViolation(_)), "got: {err}");
+        ee.abort().unwrap();
+        let Some(WindowSlot::Time(w)) = &ee.windows[tw.index()] else {
+            panic!("time window expected");
+        };
+        assert_eq!(w.staged_len(), 0, "aborted statement must not leak staged tuples");
+        assert_eq!(w.next_end(), None, "extent origin rewound");
+        assert_eq!(ee.table_len("tw").unwrap(), 0);
+        assert_eq!(ee.table_len("src").unwrap(), 0);
+    }
+
+    #[test]
+    fn time_window_checkpoint_roundtrip_preserves_watermark() {
+        let app = time_window_app();
+        let (mut ee, map) = ee(&app);
+        let slides = feed(&mut ee, &map, 1, &[(5, 1), (31, 2), (33, 3)]);
+        run_slides(&mut ee, 1, &slides);
+        let image = ee.checkpoint().unwrap();
+        let (mut ee2, map2) = {
+            let ids = Arc::new(AppIds::build(&app).unwrap());
+            ExecutionEngine::install(&app, ids, Arc::new(EngineMetrics::new())).unwrap()
+        };
+        ee2.restore(&image).unwrap();
+        assert_eq!(ee2.checkpoint().unwrap(), image, "restore → checkpoint is stable");
+        assert_eq!(ee2.table_len("tw").unwrap(), 1);
+        // The restored engine continues sliding off the restored
+        // watermark state: same behavior as the original.
+        let s1 = feed(&mut ee, &map, 2, &[(61, 4)]);
+        run_slides(&mut ee, 2, &s1);
+        let s2 = feed(&mut ee2, &map2, 2, &[(61, 4)]);
+        run_slides(&mut ee2, 2, &s2);
+        assert_eq!(ee.checkpoint().unwrap(), ee2.checkpoint().unwrap());
     }
 
     #[test]

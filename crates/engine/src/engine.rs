@@ -51,7 +51,13 @@ pub fn hash_partition(key: &Value, partitions: usize) -> usize {
         return 0;
     }
     let h = FxBuildHasher::default().hash_one(key);
-    (h % partitions as u64) as usize
+    // Multiply-shift, NOT `h % n`: the modulo keeps only the hash's
+    // low bits, which the multiply-xor FxHash mixes worst — small
+    // integer keys (x-way ids, vote keys) all carried an even low bit
+    // and landed every row in partition 0 of a 2-partition engine.
+    // The 128-bit multiply ranges over the full word, is uniform for
+    // any partition count, and is just as deterministic.
+    (((h as u128) * (partitions as u128)) >> 64) as usize
 }
 
 /// Splits rows into per-partition sub-batches by hashing the value in
@@ -624,10 +630,27 @@ impl Engine {
         }
     }
 
-    /// Stops all partitions (flushing logs) and returns.
-    pub fn shutdown(mut self) {
+    /// Stops all partitions, *propagating* command-log close failures:
+    /// a failed final flush/fsync means the log tail was lost, and a
+    /// durability-sensitive caller must not mistake that for a clean
+    /// shutdown. Every partition is still stopped (and joined) even
+    /// when an earlier one fails; the first error is returned.
+    pub fn close(mut self) -> Result<()> {
+        let mut first: Option<Error> = None;
         for p in &mut self.partitions {
-            p.shutdown();
+            if let Err(e) = p.close() {
+                first.get_or_insert(e);
+            }
         }
+        match first {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Stops all partitions, best-effort (log-close errors ignored —
+    /// prefer [`Engine::close`] when durability matters).
+    pub fn shutdown(self) {
+        let _ = self.close();
     }
 }

@@ -12,22 +12,30 @@
 //!  ┌──────────────────────────────┐     ┌────────────────────┐
 //!  │ Partition Engine (PE) #0     │◀═══▶│ PE #1 … PE #N      │
 //!  │  · streaming scheduler       │ exchange hops: a commit  │
-//!  │    (fast lane / client lane) │ onto an exchange stream  │
-//!  │  · stored-procedure bodies   │ re-splits the batch by   │
-//!  │  · PE triggers               │ key hash and ships one   │
-//!  │  · exchange merge buffer     │ sub-batch per partition; │
-//!  │  · command log + recovery    │ receivers merge all N    │
-//!  └──────────────┬───────────────┘ sources, then fire the   │
-//!                 │                  PE trigger locally       │
+//!  │    (fast lane / client lane; │ onto an exchange stream  │
+//!  │     slide txns ride the fast │ re-splits the batch by   │
+//!  │     lane in batch order)     │ key hash and ships one   │
+//!  │  · stored-procedure bodies   │ sub-batch per partition; │
+//!  │  · PE triggers               │ receivers merge all N    │
+//!  │  · exchange merge buffer     │ sources, then fire the   │
+//!  │  · command log + recovery    │ PE trigger locally       │
+//!  └──────────────┬───────────────┘                          │
 //!                 │  EE boundary (inline call or channel hop)
 //!                 ▼
-//!  ┌──────────────────────────────┐
-//!  │ Execution Engine (EE)        │
-//!  │  · SQL execution             │
-//!  │  · streams/windows as tables │
-//!  │  · EE triggers, auto-GC      │
-//!  │  · undo log, checkpoints     │
-//!  └──────────────────────────────┘
+//!  ┌───────────────────────────────────────────────┐
+//!  │ Execution Engine (EE)                         │
+//!  │  · SQL execution                              │
+//!  │  · streams/windows as tables                  │
+//!  │  · EE triggers, auto-GC                       │
+//!  │  · event-time: per-stream high marks →        │
+//!  │    partition watermark = min(high marks),     │
+//!  │    advanced at commit like a border           │
+//!  │    punctuation; time-window slides fire when  │
+//!  │    it passes a pane boundary — late tuples    │
+//!  │    merge within allowed lateness, then are    │
+//!  │    counted & dropped                          │
+//!  │  · undo log, checkpoints (incl. watermarks)   │
+//!  └───────────────────────────────────────────────┘
 //! ```
 //!
 //! The crate reproduces every architectural extension of §3.2:
@@ -35,10 +43,18 @@
 //! EE/PE [`trigger`]s, the streaming [`scheduler`] that fast-tracks
 //! triggered transactions, and strong/weak [`recovery`] over a
 //! command [`log`] and [`checkpoint`]s — and extends the single-node
-//! design with *exchange* workflow edges
+//! design in two directions: *exchange* workflow edges
 //! ([`app::AppBuilder::exchange_stream`]) that re-partition data
 //! between workflow stages, so one workflow spans partitions the way
-//! MorphStream/Risingwave-style engines scale their dataflows.
+//! MorphStream/Risingwave-style engines scale their dataflows; and
+//! *time-based windows* ([`app::AppBuilder::time_window`]) with
+//! watermark-driven slides and bounded out-of-order tolerance, so the
+//! paper's flagship Linear Road workload (§6) runs on real event-time
+//! semantics. A second trigger *source* — time, not just data arrival
+//! — threads through commit (watermark advance), scheduling (slide
+//! transactions on the fast lane), and recovery (both modes
+//! reconverge watermarks deterministically from the log; checkpoints
+//! carry stream high marks and window staging).
 //!
 //! Applications are defined declaratively as an [`app::App`] (tables,
 //! streams, windows, stored procedures, workflow edges) and run by an

@@ -395,6 +395,16 @@ impl CommandLog {
         Ok(())
     }
 
+    /// Closes the log for a clean shutdown, *propagating* a failed
+    /// final flush/fsync. `Drop` also flushes, but `Drop` cannot
+    /// report failure — a shutdown path that relied on it would read a
+    /// lost tail as a clean exit. Call this from the engine/partition
+    /// shutdown path; `Drop` remains the best-effort fallback for
+    /// panics and aborts.
+    pub fn close(&mut self) -> Result<()> {
+        self.flush()
+    }
+
     /// Reads every complete record from a log file. A torn *final*
     /// record — cut short by a crash mid-write, or failing its
     /// checksum where the flush died — is ignored, which is the
@@ -647,6 +657,39 @@ mod tests {
     #[test]
     fn missing_file_reads_empty() {
         assert!(CommandLog::read_all("/nonexistent/sstore.cmdlog").unwrap().is_empty());
+    }
+
+    /// Satellite regression: a write-failing target must surface
+    /// through `close()` instead of vanishing in `Drop`'s best-effort
+    /// flush. `/dev/full` fails every write with ENOSPC, exactly like
+    /// a full disk at shutdown.
+    #[test]
+    fn close_propagates_flush_failure() {
+        let full = Path::new("/dev/full");
+        if !full.exists() {
+            return; // non-Linux or sandboxed environment
+        }
+        let config = LoggingConfig { enabled: true, group_commit: 1_000_000, fsync: false };
+        // Header + records fit in the BufWriter, so nothing touches
+        // the device until the final flush — the failure mode this
+        // guards against.
+        let mut log = CommandLog::create(full, config).unwrap();
+        for (proc, kind) in sample_records() {
+            log.append(&proc, kind).unwrap();
+        }
+        log.close().expect_err("flush onto /dev/full must fail");
+        // Drop stays best-effort: it must not panic on the same error.
+        drop(log);
+    }
+
+    #[test]
+    fn close_succeeds_on_healthy_target() {
+        let path = tmp("close-ok");
+        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 100, fsync: false }).unwrap();
+        log.append("p", LogKind::Oltp { params: vec![] }).unwrap();
+        log.close().unwrap();
+        assert_eq!(CommandLog::read_all(&path).unwrap().len(), 1);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

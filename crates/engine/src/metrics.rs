@@ -47,6 +47,15 @@ pub struct EngineMetrics {
     /// Exchange batches dropped as duplicates by the per-partition
     /// watermark (recovery re-sends).
     pub exchange_dups_dropped: AtomicU64,
+    /// Time-window slides applied (non-trivial extents fired by the
+    /// partition watermark).
+    pub window_slides: AtomicU64,
+    /// Late tuples merged into a time window's active extent (within
+    /// allowed lateness).
+    pub window_late_merged: AtomicU64,
+    /// Late tuples dropped by a time window (beyond allowed lateness) —
+    /// the metrics hook for out-of-order overflow.
+    pub window_late_dropped: AtomicU64,
     /// Execution trace of committed TEs, recorded only when
     /// [`crate::config::EngineConfig::trace`] is on.
     pub trace: Mutex<Vec<TraceEvent>>,
@@ -89,6 +98,9 @@ impl EngineMetrics {
         self.exchange_sends.store(0, Ordering::Relaxed);
         self.exchange_batches.store(0, Ordering::Relaxed);
         self.exchange_dups_dropped.store(0, Ordering::Relaxed);
+        self.window_slides.store(0, Ordering::Relaxed);
+        self.window_late_merged.store(0, Ordering::Relaxed);
+        self.window_late_dropped.store(0, Ordering::Relaxed);
         self.trace.lock().clear();
     }
 }

@@ -30,6 +30,9 @@ pub struct TableMeta {
     pub kind: TableKind,
     /// Stream-only metadata (`None` for base tables and windows).
     pub stream: Option<StreamMeta>,
+    /// Window-only: the owning procedure (slide transactions are
+    /// attributed to it). `None` for tables and streams.
+    pub owner_proc: Option<ProcId>,
 }
 
 /// Interned metadata for one stream.
@@ -39,6 +42,10 @@ pub struct StreamMeta {
     pub schema: Schema,
     /// Partition-key column index, if the stream is partitioned.
     pub partition_col: Option<usize>,
+    /// Event-timestamp column index, if the stream carries event time
+    /// (the partition checks this to skip watermark bookkeeping for
+    /// untimed streams on the hot path).
+    pub ts_col: Option<usize>,
     /// The single border procedure ingestion activates (first PE
     /// trigger on this stream), if any.
     pub border_target: Option<ProcId>,
@@ -85,14 +92,14 @@ impl AppIds {
     pub fn build(app: &App) -> Result<AppIds> {
         let mut ids = AppIds::default();
 
-        let add_table = |ids: &mut AppIds, name: &str, kind, stream| {
+        let add_table = |ids: &mut AppIds, name: &str, kind, stream, owner_proc| {
             let id = TableId(ids.tables.len() as u32);
-            ids.tables.push(TableMeta { name: Arc::from(name), kind, stream });
+            ids.tables.push(TableMeta { name: Arc::from(name), kind, stream, owner_proc });
             ids.table_by_name.insert(name.to_owned(), id);
             id
         };
         for t in &app.tables {
-            add_table(&mut ids, &t.name, TableKind::Base, None);
+            add_table(&mut ids, &t.name, TableKind::Base, None, None);
         }
         for p in &app.procs {
             let id = ProcId(ids.procs.len() as u32);
@@ -115,6 +122,7 @@ impl AppIds {
                 })
                 .transpose()?;
             let partition_col = s.partition_col.as_ref().and_then(|c| s.schema.index_of(c));
+            let ts_col = s.ts_col.as_ref().and_then(|c| s.schema.index_of(c));
             add_table(
                 &mut ids,
                 &s.name,
@@ -122,15 +130,18 @@ impl AppIds {
                 Some(StreamMeta {
                     schema: s.schema.clone(),
                     partition_col,
+                    ts_col,
                     border_target,
                     exchange: s.exchange,
                     feeds_exchange: false, // filled in below
                 }),
+                None,
             );
             ids.has_exchange |= s.exchange;
         }
         for w in &app.windows {
-            add_table(&mut ids, &w.spec.name, TableKind::Window, None);
+            let owner = ids.proc_by_name.get(w.owner()).copied();
+            add_table(&mut ids, w.name(), TableKind::Window, None, owner);
         }
 
         ids.pe_targets = vec![Vec::new(); ids.tables.len()];

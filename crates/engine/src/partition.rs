@@ -64,6 +64,16 @@ pub enum Invocation {
         /// Merged rows, in source-partition order.
         rows: Vec<Tuple>,
     },
+    /// Watermark-driven slide transaction for a time window: a commit
+    /// advanced the partition watermark past a pane boundary, and this
+    /// derived transaction applies the pending slides (activations,
+    /// expirations, on-slide EE triggers). Never logged — recovery
+    /// re-derives it by replaying the commits that advanced the
+    /// watermark.
+    WindowSlide {
+        /// The time window to slide.
+        window: TableId,
+    },
 }
 
 /// A queued transaction request.
@@ -142,8 +152,10 @@ pub enum PartitionMsg {
     Query(String, Vec<Value>, Sender<Result<QueryResult>>),
     /// Flush the command log (end of benchmark phase).
     FlushLog(Sender<Result<()>>),
-    /// Stop the partition thread.
-    Shutdown(Sender<()>),
+    /// Stop the partition thread. The reply carries the result of
+    /// closing the command log: a failed final flush/fsync must NOT
+    /// read as a clean shutdown (it silently loses the log tail).
+    Shutdown(Sender<Result<()>>),
 }
 
 /// Handle the engine keeps per partition.
@@ -159,15 +171,27 @@ impl PartitionHandle {
         PartitionHandle { tx, join: Some(join) }
     }
 
-    /// Sends shutdown and joins the thread.
-    pub fn shutdown(&mut self) {
+    /// Sends shutdown, joins the thread, and propagates the log-close
+    /// result — a failed final flush means the log tail was lost and
+    /// must not masquerade as a clean shutdown.
+    pub fn close(&mut self) -> Result<()> {
+        let mut out = Ok(());
         let (tx, rx) = crossbeam_channel::bounded(1);
         if self.tx.send(PartitionMsg::Shutdown(tx)).is_ok() {
-            let _ = rx.recv();
+            if let Ok(r) = rx.recv() {
+                out = r;
+            }
         }
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
+        out
+    }
+
+    /// Sends shutdown and joins the thread, ignoring log-close errors
+    /// (best-effort teardown; prefer [`PartitionHandle::close`]).
+    pub fn shutdown(&mut self) {
+        let _ = self.close();
     }
 }
 
@@ -204,6 +228,14 @@ pub(crate) struct PartitionRuntime {
     /// Highest exchange batch applied per stream (by table id).
     /// Dedups recovery re-sends; persisted in checkpoints.
     exchange_applied: Vec<u64>,
+    /// True while a slide transaction for this window (by table id) is
+    /// queued but not yet started. `advance_watermark` reports
+    /// *pending state*, not an edge, so every commit ahead of a queued
+    /// slide would re-flag it — this dedups the enqueue. Cleared when
+    /// the slide transaction starts (even if it then aborts: the next
+    /// commit legitimately re-schedules the retry). Not persisted —
+    /// recovery re-derives slides from replayed commits.
+    slide_inflight: Vec<bool>,
     log: Option<CommandLog>,
     metrics: Arc<EngineMetrics>,
     triggers_enabled: bool,
@@ -313,6 +345,7 @@ pub(crate) fn spawn_partition(
             exchange_applied[id.index()] = *v;
         }
     }
+    let slide_inflight = vec![false; ids.table_count()];
 
     let queue = SchedulerQueue::new(config.scheduler);
     let runtime = PartitionRuntime {
@@ -327,6 +360,7 @@ pub(crate) fn spawn_partition(
         peers: seed.peers,
         exchange_buf: FxHashMap::default(),
         exchange_applied,
+        slide_inflight,
         log,
         metrics,
         triggers_enabled: seed.triggers_enabled,
@@ -425,11 +459,15 @@ impl PartitionRuntime {
                 let _ = reply.send(out);
             }
             PartitionMsg::Shutdown(reply) => {
-                if let Some(log) = &mut self.log {
-                    let _ = log.flush();
-                }
+                // Close (not just flush) the log so a failed final
+                // flush/fsync surfaces to the caller instead of
+                // silently losing the tail.
+                let closed = match &mut self.log {
+                    Some(log) => log.close(),
+                    None => Ok(()),
+                };
                 self.ee.shutdown();
-                let _ = reply.send(());
+                let _ = reply.send(closed);
                 return true;
             }
         }
@@ -532,7 +570,8 @@ impl PartitionRuntime {
         // committed; the extraction must be atomic and durable-free).
         self.ee.begin(Some(batch))?;
         let rows = self.ee.consume(stream, batch, false)?;
-        self.ee.commit()?;
+        let outcome = self.ee.commit()?;
+        self.enqueue_slides(outcome.slides, Some(batch));
         let n = self.peers.len();
         let parts = crate::engine::split_by_key(rows, col, n);
         for (p, rows) in parts.into_iter().enumerate() {
@@ -613,6 +652,11 @@ impl PartitionRuntime {
 
     fn execute_te(&mut self, req: TxnRequest) {
         let TxnRequest { proc, invocation, batch, reply, replay } = req;
+        // The queued slide is now starting: later commits may schedule
+        // the next one (including the retry after an abort).
+        if let Invocation::WindowSlide { window } = &invocation {
+            self.slide_inflight[window.index()] = false;
+        }
         let outcome = self.try_execute(proc, &invocation, batch, replay);
         match outcome {
             Ok(out) => {
@@ -653,7 +697,7 @@ impl PartitionRuntime {
 
         // Resolve the input batch.
         let input: Vec<Tuple> = match invocation {
-            Invocation::Oltp { .. } => Vec::new(),
+            Invocation::Oltp { .. } | Invocation::WindowSlide { .. } => Vec::new(),
             // Shared-buffer tuples: cloning the batch is a refcount bump
             // per row, not a deep copy.
             Invocation::Border { rows, .. } => rows.clone(),
@@ -672,6 +716,25 @@ impl PartitionRuntime {
             _ => Vec::new(),
         };
 
+        // Border/exchange batches hand their rows straight to the body
+        // without touching the input stream's table, so their event
+        // timestamps must be observed explicitly to advance the
+        // stream's high mark (the watermark input). Skipped entirely
+        // for untimed streams — no boundary crossing on that hot path.
+        if let Invocation::Border { stream, .. } | Invocation::Exchange { stream, .. } =
+            invocation
+        {
+            let timed = self
+                .ids
+                .table(*stream)
+                .stream
+                .as_ref()
+                .is_some_and(|s| s.ts_col.is_some());
+            if timed && !input.is_empty() {
+                self.ee.observe_input(*stream, input.clone())?;
+            }
+        }
+
         // Alignment pre-registration (multi-partition workflows): every
         // declared output on a path to an exchange gets its batch entry
         // created up front — empty if the body then emits nothing — so
@@ -683,9 +746,12 @@ impl PartitionRuntime {
         // forever for this partition's sub-batch. Registering *before*
         // the body keeps nested transactions intact: a child consuming
         // the batch internally consumes the empty entry with it.
+        // (Slide transactions skip alignment: they are per-partition
+        // derived work, not batch-aligned workflow stages.)
         if batch.is_some()
             && self.peers.len() > 1
             && self.config.mode == EngineMode::SStore
+            && !matches!(invocation, Invocation::WindowSlide { .. })
         {
             for &sid in &proc.align_outputs {
                 self.ee.emit(sid, Vec::new())?;
@@ -695,8 +761,13 @@ impl PartitionRuntime {
         // Run the body — or, for a nested transaction, the ordered
         // children inside this single undo scope (§2.3: commit/abort as
         // one unit; nothing interleaves because execution is serial and
-        // the commit happens once at the end).
-        let result = if proc.children.is_empty() {
+        // the commit happens once at the end). Slide transactions have
+        // no body: they apply the window's pending watermark-driven
+        // slides (which fire the window's on-slide EE triggers).
+        let result = if let Invocation::WindowSlide { window } = invocation {
+            self.ee.process_slides(*window)?;
+            QueryResult::default()
+        } else if proc.children.is_empty() {
             self.run_body(proc_id, &proc, input, batch, params)?
         } else {
             let mut last = QueryResult::default();
@@ -764,6 +835,10 @@ impl PartitionRuntime {
                         }
                         crate::config::RecoveryMode::Weak => false,
                     },
+                    // Slide transactions are derived state in BOTH
+                    // modes: replaying the commits that advanced the
+                    // watermark re-derives them deterministically.
+                    Invocation::WindowSlide { .. } => false,
                 };
                 if appended {
                     EngineMetrics::bump(&self.metrics.log_records);
@@ -774,7 +849,7 @@ impl PartitionRuntime {
             }
         }
 
-        let outputs = self.ee.commit()?;
+        let crate::ee::CommitOutcome { outputs, slides } = self.ee.commit()?;
         EngineMetrics::bump(&self.metrics.txns_committed);
         if self.config.trace {
             self.metrics.trace.lock().push(TraceEvent {
@@ -803,8 +878,14 @@ impl PartitionRuntime {
         if self.exchange_active() {
             if let Some(b) = batch {
                 let mut send: Vec<(TableId, BatchId)> = Vec::new();
-                for &sid in &proc.exchange_outputs {
-                    send.push((sid, b));
+                // Slide transactions never ship the owner's declared
+                // exchange outputs — they did not run the owner's body,
+                // and an empty re-ship of an already-shipped batch
+                // would corrupt the receivers' merge accounting.
+                if !matches!(invocation, Invocation::WindowSlide { .. }) {
+                    for &sid in &proc.exchange_outputs {
+                        send.push((sid, b));
+                    }
                 }
                 local_outputs.retain(|&(s, ob)| {
                     let is_exchange =
@@ -849,14 +930,48 @@ impl PartitionRuntime {
                 }
             }
         }
-        let is_terminal = triggered.is_empty() && pending.is_empty() && shipped == 0;
+        let no_successors = triggered.is_empty() && pending.is_empty() && shipped == 0;
         self.queue.push_triggered_batch(triggered);
+        // Watermark-driven slide work rides the fast lane in batch
+        // order (behind the round's own successors pushed above). A
+        // commit that merely *observes* pending slide state (already
+        // queued by an earlier commit — dedup below) spawned nothing:
+        // it is still the terminal TE of its own workflow round.
+        let slides_enqueued = self.enqueue_slides(slides, batch);
 
-        if batch.is_some() && is_terminal {
+        if batch.is_some() && no_successors && slides_enqueued == 0 {
             // Terminal TE of a workflow round = one completed workflow.
             EngineMetrics::bump(&self.metrics.workflows_completed);
         }
         Ok(CallOutcome { result, pending })
+    }
+
+    /// Schedules one slide transaction per flagged time window,
+    /// attributed to the window's owner procedure and carrying the
+    /// batch id of the commit that advanced the watermark. A window
+    /// whose slide is already queued is skipped — commits running
+    /// ahead of the queued slide see its pending state too, and their
+    /// duplicates would execute as no-op transactions.
+    fn enqueue_slides(&mut self, slides: Vec<TableId>, batch: Option<BatchId>) -> usize {
+        let mut enqueued = 0;
+        for window in slides {
+            if self.slide_inflight[window.index()] {
+                continue;
+            }
+            let Some(owner) = self.ids.table(window).owner_proc else {
+                continue;
+            };
+            self.slide_inflight[window.index()] = true;
+            self.queue.push_slide(TxnRequest {
+                proc: owner,
+                invocation: Invocation::WindowSlide { window },
+                batch,
+                reply: None,
+                replay: false,
+            });
+            enqueued += 1;
+        }
+        enqueued
     }
 
     fn run_body(

@@ -90,6 +90,20 @@ impl SchedulerQueue {
         }
     }
 
+    /// Enqueues a watermark-driven window-slide transaction: derived
+    /// work flagged by a commit that advanced the partition watermark
+    /// past a pane boundary. Rides the fast lane in batch order — the
+    /// same discipline as exchange arrivals: ahead of all client work
+    /// (the slide, and any stats the slide's triggers emit, belong to
+    /// the batch whose commit crossed the boundary), but behind the
+    /// current round's own successors.
+    pub fn push_slide(&mut self, req: TxnRequest) {
+        match self.mode {
+            SchedulerMode::Streaming => self.fast.push_back(req),
+            SchedulerMode::Fifo => self.normal.push_back(req),
+        }
+    }
+
     /// Next request to execute: fast lane first.
     pub fn pop(&mut self) -> Option<TxnRequest> {
         self.fast.pop_front().or_else(|| self.normal.pop_front())
@@ -181,6 +195,24 @@ mod tests {
         // next, before exchange work queued behind the current round.
         q.push_triggered(req(TRIGGERED));
         assert_eq!(order(&mut q), vec![TRIGGERED, EXCHANGE_B2]);
+    }
+
+    const SLIDE: u32 = 30;
+
+    #[test]
+    fn slide_work_rides_the_fast_lane_in_batch_order() {
+        let mut q = SchedulerQueue::new(SchedulerMode::Streaming);
+        q.push_client(req(CLIENT_A));
+        q.push_exchange(req(EXCHANGE_B1));
+        q.push_slide(req(SLIDE));
+        // A commit's own successor still preempts queued slide work.
+        q.push_triggered(req(TRIGGERED));
+        assert_eq!(order(&mut q), vec![TRIGGERED, EXCHANGE_B1, SLIDE, CLIENT_A]);
+        // FIFO ablation: slides queue behind client work.
+        let mut q = SchedulerQueue::new(SchedulerMode::Fifo);
+        q.push_client(req(CLIENT_A));
+        q.push_slide(req(SLIDE));
+        assert_eq!(order(&mut q), vec![CLIENT_A, SLIDE]);
     }
 
     #[test]

@@ -1,0 +1,437 @@
+//! Property tests for window state machines: random interleavings of
+//! stage / slide / undo (transaction aborts) are driven against naive
+//! reference models for BOTH window variants. The time-based runs
+//! include out-of-order arrivals, watermark jumps, late merges, and
+//! beyond-lateness drops. The references replay pane-by-pane with
+//! plain vector scans — no sharing of the production code's shortcuts
+//! (extent fast-forwarding, BTreeMap keying, operation-level undo).
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use sstore_common::{tuple, RowId, Tuple};
+use sstore_engine::window::{TimeArrival, TimeWindowSpec, TimeWindowState, WindowSpec, WindowState};
+
+// ----------------------------------------------------------------------
+// Tuple-based windows
+// ----------------------------------------------------------------------
+
+/// Naive reference: payload vectors, whole-window recompute per step.
+#[derive(Debug, Clone)]
+struct RefTuple {
+    size: usize,
+    slide: usize,
+    staged: Vec<i64>,
+    active: Vec<i64>,
+    activated_total: u64,
+}
+
+impl RefTuple {
+    fn commit(&mut self, vals: &[i64]) {
+        self.staged.extend_from_slice(vals);
+        loop {
+            let needed = if self.active.is_empty() { self.size } else { self.slide };
+            if self.staged.len() < needed {
+                break;
+            }
+            let moved: Vec<i64> = self.staged.drain(..needed).collect();
+            self.activated_total += moved.len() as u64;
+            self.active.extend(moved);
+            let over = self.active.len().saturating_sub(self.size);
+            self.active.drain(..over);
+        }
+    }
+}
+
+/// One applied operation of a "transaction", recorded for undo — the
+/// same discipline the EE's window_undo stack uses.
+enum TupleOp {
+    Staged(usize),
+    Slid { expired: Vec<(RowId, i64)>, activated: Vec<RowId>, restaged: Vec<Tuple> },
+}
+
+/// Runs one transaction (stage + all unlocked slides) against the real
+/// state machine plus an emulated backing table; undoes everything in
+/// reverse when `abort`.
+fn run_tuple_txn(
+    w: &mut WindowState,
+    table: &mut HashMap<u64, i64>,
+    next_id: &mut u64,
+    vals: &[i64],
+    abort: bool,
+) {
+    let mut ops: Vec<TupleOp> = Vec::new();
+    w.stage(vals.iter().map(|v| tuple![*v]));
+    ops.push(TupleOp::Staged(vals.len()));
+    while let Some(o) = w.next_slide() {
+        let exp_ids = w.take_expired(o.expire);
+        let expired: Vec<(RowId, i64)> = exp_ids
+            .iter()
+            .map(|id| (*id, table.remove(&id.raw()).expect("expired row in table")))
+            .collect();
+        let mut ids = Vec::with_capacity(o.activated.len());
+        for t in &o.activated {
+            let id = RowId(*next_id);
+            *next_id += 1;
+            table.insert(id.raw(), t.get(0).as_int().unwrap());
+            ids.push(id);
+        }
+        w.record_activation(ids.clone());
+        ops.push(TupleOp::Slid { expired, activated: ids, restaged: o.activated });
+    }
+    if abort {
+        for op in ops.into_iter().rev() {
+            match op {
+                TupleOp::Staged(n) => w.undo_stage(n),
+                TupleOp::Slid { expired, activated, restaged } => {
+                    for id in &activated {
+                        table.remove(&id.raw());
+                    }
+                    for (id, v) in &expired {
+                        table.insert(id.raw(), *v);
+                    }
+                    let exp_ids: Vec<RowId> = expired.iter().map(|(id, _)| *id).collect();
+                    w.undo_slide(exp_ids, activated.len(), restaged);
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Time-based windows
+// ----------------------------------------------------------------------
+
+/// Naive reference: classification + pane-by-pane firing with vector
+/// scans, one slide step at a time.
+#[derive(Debug, Clone)]
+struct RefTime {
+    size: i64,
+    slide: i64,
+    lateness: i64,
+    staged: Vec<(i64, i64)>, // (ts, payload), arrival order
+    active: Vec<(i64, i64)>,
+    wm: Option<i64>,
+    next_end: Option<i64>,
+    fired: bool,
+    late_merged: u64,
+    late_dropped: u64,
+    activated_total: u64,
+}
+
+impl RefTime {
+    fn first_end_for(&self, ts: i64) -> i64 {
+        let k = (ts - self.size).div_euclid(self.slide) + 1;
+        k * self.slide + self.size
+    }
+
+    fn admit_all(&mut self, rows: &[(i64, i64)]) {
+        for (ts, v) in rows {
+            self.admit(*ts, *v);
+        }
+    }
+
+    fn admit(&mut self, ts: i64, v: i64) {
+        let stage = match self.next_end {
+            None => true,
+            Some(e) => !self.fired || ts >= e - self.size,
+        };
+        if stage {
+            if !self.fired {
+                let e = self.first_end_for(ts);
+                self.next_end = Some(self.next_end.map_or(e, |cur| cur.min(e)));
+            }
+            self.staged.push((ts, v));
+            return;
+        }
+        let e = self.next_end.expect("fired implies an extent cursor");
+        let active_start = e - self.slide - self.size;
+        let wm = self.wm.unwrap_or(i64::MIN);
+        if ts >= active_start && wm - ts <= self.lateness {
+            self.active.push((ts, v));
+            self.late_merged += 1;
+        } else {
+            self.late_dropped += 1;
+        }
+    }
+
+    fn advance(&mut self, wm: i64) {
+        self.wm = Some(self.wm.map_or(wm, |w| w.max(wm)));
+        let wm = self.wm.expect("just set");
+        loop {
+            let Some(e) = self.next_end else { return };
+            if wm < e {
+                return;
+            }
+            self.fired = true;
+            let s = e - self.size;
+            // Activate every staged tuple below the extent end (stable
+            // by (ts, arrival)), expire active tuples below its start.
+            let mut activated: Vec<(i64, i64)> = Vec::new();
+            let mut keep = Vec::new();
+            for (ts, v) in self.staged.drain(..) {
+                if ts < e {
+                    activated.push((ts, v));
+                } else {
+                    keep.push((ts, v));
+                }
+            }
+            self.staged = keep;
+            activated.sort_by_key(|(ts, _)| *ts); // arrival order ties preserved (stable)
+            self.activated_total += activated.len() as u64;
+            self.active.retain(|(ts, _)| *ts >= s);
+            self.active.extend(activated);
+            self.active.sort_by_key(|(ts, _)| *ts); // stable: equal-ts keep arrival order
+            self.next_end = Some(e + self.slide);
+        }
+    }
+}
+
+enum TimeOp {
+    Staged { keys: Vec<i64>, prev_next_end: Option<i64> },
+    Merged { ts: i64, seq: u64, id: RowId },
+    Dropped,
+    Slid {
+        expired: Vec<(i64, u64, RowId, i64)>,
+        activated: Vec<(i64, u64)>,
+        ids: Vec<RowId>,
+        restaged: Vec<(i64, Tuple)>,
+        prev_next_end: i64,
+        prev_fired: bool,
+    },
+}
+
+/// Admits one batch of (ts, payload) rows into the real state machine
+/// (with an emulated table); undoes in reverse when `abort`.
+fn admit_time(
+    w: &mut TimeWindowState,
+    table: &mut HashMap<u64, i64>,
+    next_id: &mut u64,
+    rows: &[(i64, i64)],
+    abort: bool,
+) {
+    let mut ops: Vec<TimeOp> = Vec::new();
+    let prev_next_end = w.next_end();
+    let mut staged_keys = Vec::new();
+    for (ts, v) in rows {
+        match w.classify(*ts) {
+            TimeArrival::Staged => {
+                w.stage(*ts, tuple![*ts, *v]);
+                staged_keys.push(*ts);
+            }
+            TimeArrival::MergeIntoActive => {
+                let id = RowId(*next_id);
+                *next_id += 1;
+                table.insert(id.raw(), *v);
+                let seq = w.record_merge(*ts, id);
+                ops.push(TimeOp::Merged { ts: *ts, seq, id });
+            }
+            TimeArrival::DroppedLate => {
+                w.record_drop();
+                ops.push(TimeOp::Dropped);
+            }
+        }
+    }
+    if !staged_keys.is_empty() {
+        ops.push(TimeOp::Staged { keys: staged_keys, prev_next_end });
+    }
+    if abort {
+        undo_time(w, table, ops);
+    }
+}
+
+/// Applies all pending slides (the slide transaction); undoes them in
+/// reverse when `abort`.
+fn slide_time(
+    w: &mut TimeWindowState,
+    table: &mut HashMap<u64, i64>,
+    next_id: &mut u64,
+    abort: bool,
+) {
+    let mut ops: Vec<TimeOp> = Vec::new();
+    while let Some(o) = w.next_slide() {
+        let expired: Vec<(i64, u64, RowId, i64)> = w
+            .take_expired(o.expire)
+            .into_iter()
+            .map(|(ts, seq, id)| {
+                let v = table.remove(&id.raw()).expect("expired row in table");
+                (ts, seq, id, v)
+            })
+            .collect();
+        let mut entries = Vec::with_capacity(o.activated.len());
+        let mut ids = Vec::with_capacity(o.activated.len());
+        let mut restaged = Vec::with_capacity(o.activated.len());
+        for (ts, t) in o.activated {
+            let id = RowId(*next_id);
+            *next_id += 1;
+            table.insert(id.raw(), t.get(1).as_int().unwrap());
+            entries.push((ts, id));
+            ids.push(id);
+            restaged.push((ts, t));
+        }
+        let activated = w.record_activation(entries);
+        ops.push(TimeOp::Slid {
+            expired,
+            activated,
+            ids,
+            restaged,
+            prev_next_end: o.prev_next_end,
+            prev_fired: o.prev_fired,
+        });
+    }
+    if abort {
+        undo_time(w, table, ops);
+    }
+}
+
+fn undo_time(w: &mut TimeWindowState, table: &mut HashMap<u64, i64>, ops: Vec<TimeOp>) {
+    for op in ops.into_iter().rev() {
+        match op {
+            TimeOp::Staged { keys, prev_next_end } => w.undo_stage(&keys, prev_next_end),
+            TimeOp::Merged { ts, seq, id } => {
+                table.remove(&id.raw());
+                w.undo_merge(ts, seq);
+            }
+            TimeOp::Dropped => w.undo_drop(),
+            TimeOp::Slid { expired, activated, ids, restaged, prev_next_end, prev_fired } => {
+                for id in &ids {
+                    table.remove(&id.raw());
+                }
+                let exp: Vec<(i64, u64, RowId)> = expired
+                    .iter()
+                    .map(|(ts, seq, id, v)| {
+                        table.insert(id.raw(), *v);
+                        (*ts, *seq, *id)
+                    })
+                    .collect();
+                w.undo_slide(exp, activated, restaged, prev_next_end, prev_fired);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tuple windows: arbitrary stage/slide/abort interleavings leave
+    /// the real state machine agreeing with the naive reference on
+    /// staging depth, active payloads (in order), and the activation
+    /// counter — aborted transactions leave no trace at all.
+    #[test]
+    fn tuple_window_matches_reference_under_aborts(
+        size in 1usize..8,
+        slide_raw in 1usize..8,
+        txns in proptest::collection::vec(
+            (proptest::collection::vec(0i64..100, 0..7), any::<bool>()),
+            1..25,
+        ),
+    ) {
+        let slide = 1 + slide_raw % size;
+        let spec = WindowSpec { name: "w".into(), owner: "p".into(), size, slide };
+        let mut w = WindowState::new(spec).unwrap();
+        let mut reference = RefTuple {
+            size,
+            slide,
+            staged: Vec::new(),
+            active: Vec::new(),
+            activated_total: 0,
+        };
+        let mut table: HashMap<u64, i64> = HashMap::new();
+        let mut next_id = 0u64;
+        for (vals, abort) in &txns {
+            run_tuple_txn(&mut w, &mut table, &mut next_id, vals, *abort);
+            if !*abort {
+                reference.commit(vals);
+            }
+            prop_assert_eq!(w.staged_len(), reference.staged.len());
+            prop_assert_eq!(w.active_len(), reference.active.len());
+            prop_assert_eq!(w.activated_total(), reference.activated_total);
+            let got: Vec<i64> =
+                w.active_rows().map(|id| table[&id.raw()]).collect();
+            prop_assert_eq!(&got, &reference.active, "active payloads diverged");
+        }
+        prop_assert_eq!(table.len(), w.active_len(), "no leaked table rows");
+    }
+
+    /// Time windows: out-of-order arrivals, watermark jumps, late
+    /// merges, beyond-lateness drops, and aborts of both arrival and
+    /// slide transactions — the real state machine tracks the naive
+    /// pane-by-pane reference exactly, including the extent cursor and
+    /// the late-tuple accounting.
+    #[test]
+    fn time_window_matches_reference_under_disorder_and_aborts(
+        size_raw in 1i64..6,
+        slide_raw in 1i64..6,
+        lateness in 0i64..40,
+        txns in proptest::collection::vec(
+            (
+                proptest::collection::vec((0i64..300, 0i64..1000), 0..6),
+                0i64..40,   // watermark increment after the batch
+                any::<bool>(), // abort the arrival txn?
+                any::<bool>(), // first slide attempt aborts?
+            ),
+            1..20,
+        ),
+    ) {
+        let size = size_raw * 10;
+        let slide = (1 + slide_raw % size_raw) * 10;
+        let spec = TimeWindowSpec {
+            name: "tw".into(),
+            owner: "p".into(),
+            ts_column: "ts".into(),
+            size_ms: size,
+            slide_ms: slide,
+            allowed_lateness_ms: lateness,
+        };
+        let mut w = TimeWindowState::new(spec).unwrap();
+        let mut reference = RefTime {
+            size,
+            slide,
+            lateness,
+            staged: Vec::new(),
+            active: Vec::new(),
+            wm: None,
+            next_end: None,
+            fired: false,
+            late_merged: 0,
+            late_dropped: 0,
+            activated_total: 0,
+        };
+        let mut table: HashMap<u64, i64> = HashMap::new();
+        let mut next_id = 0u64;
+        let mut wm = 0i64;
+        for (rows, wm_step, abort_arrival, abort_slide) in &txns {
+            admit_time(&mut w, &mut table, &mut next_id, rows, *abort_arrival);
+            if *abort_arrival {
+                // The aborted batch never commits: the watermark does
+                // not advance and the reference never sees it.
+                continue;
+            }
+            reference.admit_all(rows);
+            wm += *wm_step;
+            let pending = w.advance_watermark(wm);
+            if pending && *abort_slide {
+                // A slide transaction that aborts mid-flight must be
+                // fully undone — then the retry below re-derives it.
+                slide_time(&mut w, &mut table, &mut next_id, true);
+            }
+            slide_time(&mut w, &mut table, &mut next_id, false);
+            reference.advance(wm);
+
+            prop_assert_eq!(w.watermark(), reference.wm);
+            prop_assert_eq!(w.next_end(), reference.next_end, "extent cursor diverged");
+            prop_assert_eq!(w.staged_len(), reference.staged.len());
+            prop_assert_eq!(w.late_merged(), reference.late_merged);
+            prop_assert_eq!(w.late_dropped(), reference.late_dropped);
+            prop_assert_eq!(w.activated_total(), reference.activated_total);
+            // Active payload multisets (orders can differ only for
+            // equal timestamps where merges interleave with slides).
+            let mut got: Vec<i64> = w.active_rows().map(|id| table[&id.raw()]).collect();
+            let mut want: Vec<i64> = reference.active.iter().map(|(_, v)| *v).collect();
+            got.sort();
+            want.sort();
+            prop_assert_eq!(&got, &want, "active payloads diverged");
+        }
+        prop_assert_eq!(table.len(), w.active_len(), "no leaked table rows");
+    }
+}

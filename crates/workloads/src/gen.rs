@@ -81,7 +81,8 @@ impl VoteGen {
 pub struct PositionReport {
     /// Vehicle id.
     pub vid: i64,
-    /// Simulation time, seconds.
+    /// Simulation time, milliseconds (event time — drives the
+    /// time-window watermark in the Linear Road app).
     pub time: i64,
     /// Expressway.
     pub xway: i64,
@@ -122,11 +123,11 @@ impl TrafficGen {
         }
     }
 
-    /// Advances simulation time by 30s and emits one report per vehicle,
-    /// grouped per x-way (each inner vec is one ingestion batch, so one
-    /// x-way's reports stay on one partition).
+    /// Advances simulation time by 30s (30 000 ms) and emits one report
+    /// per vehicle, grouped per x-way (each inner vec is one ingestion
+    /// batch, so one x-way's reports stay on one partition).
     pub fn tick(&mut self) -> Vec<Vec<PositionReport>> {
-        self.time += 30;
+        self.time += 30_000;
         let mut out = Vec::with_capacity(self.xways as usize);
         for xway in 0..self.xways {
             let mut batch = Vec::with_capacity(self.vehicles_per_xway as usize);
@@ -158,7 +159,7 @@ impl TrafficGen {
         out
     }
 
-    /// Current simulated time (seconds).
+    /// Current simulated time (milliseconds).
     pub fn time(&self) -> i64 {
         self.time
     }
@@ -205,7 +206,7 @@ mod tests {
             }
         }
         assert!(saw_stop, "some vehicles must stop to exercise accidents");
-        assert_eq!(g.time(), 600);
+        assert_eq!(g.time(), 600_000);
     }
 
     #[test]

@@ -31,6 +31,31 @@ if [ "$tps" -lt "$floor" ]; then
 fi
 echo "bench_smoke: OK (ee_chain10_inline = $tps tuples/s)"
 
+echo "== time-window smoke (1.5s: watermark slides under churn) =="
+wout=$(cargo run --release -p sstore-bench --bin timewindow -- 1.5 2>/dev/null)
+echo "$wout"
+wtps=$(echo "$wout" | sed -n 's/.*"tuples_per_sec": \([0-9]*\).*/\1/p')
+wslides=$(echo "$wout" | sed -n 's/.*"window_slides": \([0-9]*\).*/\1/p')
+wdrops=$(echo "$wout" | sed -n 's/.*"late_dropped": \([0-9]*\).*/\1/p')
+if [ -z "$wtps" ] || [ -z "$wslides" ]; then
+    echo "bench_smoke: could not parse timewindow output" >&2
+    exit 1
+fi
+# Conservative floor vs the checked-in BENCH_timewindow.json (~537k
+# tuples/s): catches order-of-magnitude slide-path regressions without
+# flaking on machine variance.
+wfloor=50000
+if [ "$wtps" -lt "$wfloor" ]; then
+    echo "bench_smoke: timewindow throughput $wtps < floor $wfloor tuples/s" >&2
+    exit 1
+fi
+# Slides and the late-drop metrics hook must actually fire.
+if [ "$wslides" -eq 0 ] || [ "${wdrops:-0}" -eq 0 ]; then
+    echo "bench_smoke: timewindow fired no slides/drops (slides=$wslides drops=$wdrops)" >&2
+    exit 1
+fi
+echo "bench_smoke: OK (timewindow = $wtps tuples/s, $wslides slides, $wdrops late drops)"
+
 echo "== scaling smoke (2 partitions, 1.5s per case) =="
 sout=$(cargo run --release -p sstore-bench --bin scaling -- 1.5 2 2>/dev/null)
 echo "$sout"
