@@ -1,0 +1,317 @@
+//! Open-loop overload benchmark: the admission edge under sustained
+//! offered load above capacity.
+//!
+//! The client offers border batches at a *fixed schedule* (open loop —
+//! arrivals do not wait for completions, unlike the closed-loop
+//! figures), sweeping the offered rate from 0.5× to 10× of measured
+//! capacity. Under `Shed`, goodput must plateau at capacity and p99
+//! end-to-end latency must stay bounded (in-flight work ≤ credits, so
+//! queues cannot grow); under `Block`, in-flight client requests must
+//! never exceed the configured credits. A final mixed phase snapshots
+//! the per-class (Border/Oltp) latency histograms.
+//!
+//! Single-core caveat (see EXPERIMENTS.md): client and partition
+//! share one core in this container, so the absolute capacity number
+//! is low and the border transaction carries ~150µs of artificial
+//! work to keep the open-loop pacing intervals above timer
+//! granularity. The *shape* — plateau + bounded tail — is the result.
+//!
+//! Usage: `cargo run --release -p sstore-bench --bin overload [phase_secs]`
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+use std::time::{Duration, Instant};
+
+use sstore_bench::bench_dir;
+use sstore_common::{tuple, DataType, Error, Schema};
+use sstore_engine::admission::TxnClass;
+use sstore_engine::metrics::{ClassLatency, EngineMetrics};
+use sstore_engine::{App, Engine, EngineConfig, OverloadPolicy};
+
+/// Admission credits per partition for every phase: small enough that
+/// 10× over-capacity visibly sheds, large enough to keep the pipe full.
+const CREDITS: usize = 64;
+
+/// Artificial per-border-transaction work (µs), so capacity is a few
+/// thousand batches/s and open-loop intervals stay schedulable.
+const WORK_US: u64 = 150;
+
+fn app() -> App {
+    App::builder()
+        .stream("reqs", Schema::of(&[("v", DataType::Int)]))
+        .table("requests", Schema::of(&[("v", DataType::Int)]))
+        .table("totals", Schema::of(&[("n", DataType::Int)]))
+        .proc(
+            "absorb",
+            &[
+                ("ins", "INSERT INTO requests (v) VALUES (?)"),
+                ("bump", "UPDATE totals SET n = n + 1"),
+            ],
+            &[],
+            |ctx| {
+                std::thread::sleep(Duration::from_micros(WORK_US));
+                for r in ctx.input().to_vec() {
+                    ctx.sql("ins", &[r.get(0).clone()])?;
+                    ctx.sql("bump", &[])?;
+                }
+                Ok(())
+            },
+        )
+        .proc("seed", &[("init", "INSERT INTO totals (n) VALUES (0)")], &[], |ctx| {
+            ctx.sql("init", &[])?;
+            Ok(())
+        })
+        .proc("peek", &[("n", "SELECT n FROM totals")], &[], |ctx| {
+            let r = ctx.sql("n", &[])?;
+            ctx.set_result(r);
+            Ok(())
+        })
+        .pe_trigger("reqs", "absorb")
+        .build()
+        .expect("overload bench app is valid")
+}
+
+fn engine_with(policy: OverloadPolicy, tag: &str) -> Engine {
+    let config = EngineConfig::default()
+        .with_data_dir(bench_dir(tag))
+        .with_admission_credits(CREDITS)
+        .with_overload(policy);
+    let engine = Engine::start(config, app()).expect("engine start");
+    engine.call("seed", vec![]).expect("seed totals");
+    engine
+}
+
+/// Closed-loop capacity estimate: batches/sec with one synchronous
+/// client (the self-clocked maximum the open loop then over-drives).
+fn measure_capacity(secs: f64) -> f64 {
+    let engine = engine_with(OverloadPolicy::default(), "overload-cap");
+    let deadline = Duration::from_secs_f64(secs);
+    let start = Instant::now();
+    let mut n = 0u64;
+    while start.elapsed() < deadline {
+        engine.ingest_sync("reqs", vec![tuple![n as i64]]).expect("ingest");
+        n += 1;
+    }
+    let bps = n as f64 / start.elapsed().as_secs_f64();
+    engine.shutdown();
+    bps
+}
+
+struct PhaseResult {
+    offered_x: f64,
+    offered_bps: f64,
+    attempted: u64,
+    admitted: u64,
+    shed: u64,
+    goodput_bps: f64,
+    max_in_flight: usize,
+    border: ClassLatency,
+}
+
+/// One open-loop phase: offer batches on a fixed schedule for `secs`,
+/// then drain and read the phase's metrics. A sampler thread records
+/// the max admission credits ever held in flight.
+fn open_loop_phase(engine: &Engine, rate_bps: f64, offered_x: f64, secs: f64) -> PhaseResult {
+    engine.metrics().reset();
+    let interval = Duration::from_secs_f64(1.0 / rate_bps);
+    let stop = AtomicBool::new(false);
+    let max_in_flight = AtomicUsize::new(0);
+    let (attempted, admitted, shed, elapsed) = std::thread::scope(|s| {
+        s.spawn(|| {
+            while !stop.load(Relaxed) {
+                max_in_flight.fetch_max(engine.admitted_in_flight(0), Relaxed);
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        });
+        let deadline = Duration::from_secs_f64(secs);
+        let start = Instant::now();
+        let mut attempted = 0u64;
+        let mut shed = 0u64;
+        loop {
+            let due = start + interval.mul_f64(attempted as f64);
+            let now = Instant::now();
+            if now.duration_since(start) >= deadline {
+                break;
+            }
+            if due > now {
+                // Sleep for coarse waits, yield-spin the tail: open-loop
+                // pacing at tens-of-µs intervals on one core.
+                let wait = due - now;
+                if wait > Duration::from_micros(200) {
+                    std::thread::sleep(wait - Duration::from_micros(100));
+                }
+                while Instant::now() < due {
+                    std::thread::yield_now();
+                }
+            }
+            match engine.ingest("reqs", vec![tuple![attempted as i64]]) {
+                Ok(_) => {}
+                Err(Error::Overloaded(_)) => shed += 1,
+                Err(e) => panic!("ingest failed: {e}"),
+            }
+            attempted += 1;
+        }
+        engine.drain().expect("drain");
+        let elapsed = start.elapsed();
+        stop.store(true, Relaxed);
+        (attempted, attempted - shed, shed, elapsed)
+    });
+    PhaseResult {
+        offered_x,
+        offered_bps: attempted as f64 / elapsed.as_secs_f64(),
+        attempted,
+        admitted,
+        shed,
+        goodput_bps: admitted as f64 / elapsed.as_secs_f64(),
+        max_in_flight: max_in_flight.load(Relaxed),
+        border: engine.metrics().class_latency(TxnClass::Border),
+    }
+}
+
+/// Mixed Border + Oltp phase for the per-class histogram snapshot.
+fn class_snapshot_phase(engine: &Engine, rate_bps: f64, secs: f64) -> (ClassLatency, ClassLatency) {
+    engine.metrics().reset();
+    let interval = Duration::from_secs_f64(1.0 / rate_bps);
+    let deadline = Duration::from_secs_f64(secs);
+    let start = Instant::now();
+    let mut i = 0u64;
+    while start.elapsed() < deadline {
+        let due = start + interval.mul_f64(i as f64);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let _ = engine.ingest("reqs", vec![tuple![i as i64]]);
+        if i % 10 == 0 {
+            // One synchronous OLTP read per 10 batches (also admitted).
+            let _ = engine.call("peek", vec![]);
+        }
+        i += 1;
+    }
+    engine.drain().expect("drain");
+    let m = engine.metrics();
+    (m.class_latency(TxnClass::Border), m.class_latency(TxnClass::Oltp))
+}
+
+fn us(d: Duration) -> u64 {
+    d.as_micros() as u64
+}
+
+fn write_class(json: &mut String, indent: &str, c: &ClassLatency) {
+    let _ = writeln!(json, "{indent}{{");
+    let _ = writeln!(json, "{indent}  \"class\": \"{}\",", c.class.name());
+    let _ = writeln!(json, "{indent}  \"count\": {},", c.end_to_end.count);
+    let _ = writeln!(
+        json,
+        "{indent}  \"queue_wait_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }},",
+        us(c.queue_wait.p50),
+        us(c.queue_wait.p95),
+        us(c.queue_wait.p99)
+    );
+    let _ = writeln!(
+        json,
+        "{indent}  \"execution_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }},",
+        us(c.execution.p50),
+        us(c.execution.p95),
+        us(c.execution.p99)
+    );
+    let _ = writeln!(
+        json,
+        "{indent}  \"end_to_end_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }}",
+        us(c.end_to_end.p50),
+        us(c.end_to_end.p95),
+        us(c.end_to_end.p99)
+    );
+    let _ = write!(json, "{indent}}}");
+}
+
+fn main() {
+    let secs: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let capacity = measure_capacity((secs * 0.5).max(0.3));
+
+    // Shed sweep: 0.5× → 10× capacity, one engine (credits persist,
+    // metrics reset per phase).
+    let engine = engine_with(OverloadPolicy::Shed, "overload-shed");
+    let sweep: Vec<PhaseResult> = [0.5, 1.0, 2.0, 5.0, 10.0]
+        .iter()
+        .map(|&x| open_loop_phase(&engine, capacity * x, x, secs))
+        .collect();
+    let (border_cls, oltp_cls) = class_snapshot_phase(&engine, capacity * 2.0, secs);
+    // `EngineMetrics::reset` must clear the new histograms and shed
+    // counters — asserted here so the smoke script can check one flag.
+    engine.metrics().reset();
+    let reset_clears = engine.metrics().latency_snapshot().is_empty()
+        && EngineMetrics::get(&engine.metrics().shed_batches) == 0
+        && engine.metrics().sheds_by_origin().is_empty();
+    engine.shutdown();
+
+    // Block phase at 10×: the open loop degenerates to self-clocked
+    // sending (ingest parks), and in-flight work stays ≤ credits.
+    let engine = engine_with(
+        OverloadPolicy::Block { timeout: Duration::from_secs(30) },
+        "overload-block",
+    );
+    let block = open_loop_phase(&engine, capacity * 10.0, 10.0, secs);
+    engine.shutdown();
+
+    let peak_goodput =
+        sweep.iter().map(|p| p.goodput_bps).fold(0.0f64, f64::max);
+    let at_10x = sweep.last().expect("sweep has phases");
+    let plateaus = at_10x.goodput_bps >= 0.5 * peak_goodput;
+    let bounded_in_flight =
+        sweep.iter().all(|p| p.max_in_flight <= CREDITS) && block.max_in_flight <= CREDITS;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"overload\",");
+    let _ = writeln!(json, "  \"phase_secs\": {secs},");
+    let _ = writeln!(json, "  \"credits\": {CREDITS},");
+    let _ = writeln!(json, "  \"border_work_us\": {WORK_US},");
+    let _ = writeln!(json, "  \"capacity_bps\": {},", capacity as u64);
+    let _ = writeln!(json, "  \"shed_sweep\": [");
+    for (i, p) in sweep.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"offered_x\": {},", p.offered_x);
+        let _ = writeln!(json, "      \"offered_bps\": {},", p.offered_bps as u64);
+        let _ = writeln!(json, "      \"attempted\": {},", p.attempted);
+        let _ = writeln!(json, "      \"admitted\": {},", p.admitted);
+        let _ = writeln!(json, "      \"shed\": {},", p.shed);
+        let _ = writeln!(json, "      \"goodput_bps\": {},", p.goodput_bps as u64);
+        let _ = writeln!(json, "      \"max_in_flight\": {},", p.max_in_flight);
+        let _ = writeln!(
+            json,
+            "      \"border_e2e_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }}",
+            us(p.border.end_to_end.p50),
+            us(p.border.end_to_end.p95),
+            us(p.border.end_to_end.p99)
+        );
+        let _ = write!(json, "    }}");
+        let _ = writeln!(json, "{}", if i + 1 < sweep.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"block_at_10x\": {{");
+    let _ = writeln!(json, "    \"attempted\": {},", block.attempted);
+    let _ = writeln!(json, "    \"shed\": {},", block.shed);
+    let _ = writeln!(json, "    \"goodput_bps\": {},", block.goodput_bps as u64);
+    let _ = writeln!(json, "    \"max_in_flight\": {},", block.max_in_flight);
+    let _ = writeln!(
+        json,
+        "    \"border_e2e_us\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {} }}",
+        us(block.border.end_to_end.p50),
+        us(block.border.end_to_end.p95),
+        us(block.border.end_to_end.p99)
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"classes\": [");
+    write_class(&mut json, "    ", &border_cls);
+    json.push_str(",\n");
+    write_class(&mut json, "    ", &oltp_cls);
+    json.push('\n');
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"shed_p99_e2e_us\": {},", us(at_10x.border.end_to_end.p99));
+    let _ = writeln!(json, "  \"shed_total\": {},", sweep.iter().map(|p| p.shed).sum::<u64>());
+    let _ = writeln!(json, "  \"goodput_plateaus\": {plateaus},");
+    let _ = writeln!(json, "  \"in_flight_le_credits\": {bounded_in_flight},");
+    let _ = writeln!(json, "  \"reset_clears_histograms\": {reset_clears}");
+    json.push('}');
+    println!("{json}");
+}

@@ -53,6 +53,12 @@ pub enum Error {
     /// The engine or a component was used in an invalid state
     /// (e.g. scheduling after shutdown, recovery on a live engine).
     InvalidState(String),
+    /// The engine refused new client work at the admission border: no
+    /// admission credit was available (shed policy) or none freed
+    /// within the configured block timeout. Raised *before* any state
+    /// is touched — a request rejected with this error had no effect
+    /// and can simply be retried later.
+    Overloaded(String),
     /// Checkpoint / command-log serialization failure.
     Codec(String),
     /// Underlying I/O failure (command log, snapshot files).
@@ -88,6 +94,7 @@ impl fmt::Display for Error {
             Error::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
             Error::StreamViolation(m) => write!(f, "stream violation: {m}"),
             Error::InvalidState(m) => write!(f, "invalid state: {m}"),
+            Error::Overloaded(m) => write!(f, "overloaded: {m}"),
             Error::Codec(m) => write!(f, "codec error: {m}"),
             Error::Io(m) => write!(f, "io error: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),

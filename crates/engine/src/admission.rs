@@ -1,0 +1,278 @@
+//! Admission control: credit-based flow control at the client edge.
+//!
+//! The partitions' request channels are unbounded, which is exactly
+//! right for *internal* traffic (PE triggers, exchange deliveries,
+//! window slides must never block — a blocked cross-partition send
+//! would deadlock two partitions against each other) and exactly wrong
+//! for *client* traffic: any sustained offered load above capacity
+//! grows the queues without bound. This module bounds the client side
+//! only. Every client-origin request ([`Engine::ingest`] /
+//! [`Engine::ingest_sync`] / [`Engine::call_at`] / [`Engine::query_at`]
+//! sub-request) must hold an [`AdmissionPermit`] drawn from its target
+//! partition's [`AdmissionGate`]; the permit travels inside the
+//! [`TxnRequest`] and returns its credit when the request finishes —
+//! commit, abort, or any drop path (a dead partition dropping its
+//! queue included), so credits cannot leak.
+//!
+//! What happens when the gate is empty is the [`OverloadPolicy`]:
+//! *Block* parks the caller (bounded by a timeout) — a closed-loop
+//! client self-clocks to engine capacity; *Shed* rejects immediately
+//! with [`Error::Overloaded`] *before any state is touched* — an
+//! open-loop edge stays responsive and bounded at 10× over-capacity,
+//! trading completeness for latency (the TSP "load shedding" axis).
+//!
+//! [`Engine::ingest`]: crate::engine::Engine::ingest
+//! [`Engine::ingest_sync`]: crate::engine::Engine::ingest_sync
+//! [`Engine::call_at`]: crate::engine::Engine::call_at
+//! [`Engine::query_at`]: crate::engine::Engine::query_at
+//! [`TxnRequest`]: crate::partition::TxnRequest
+//! [`OverloadPolicy`]: crate::config::OverloadPolicy
+//! [`Error::Overloaded`]: sstore_common::Error::Overloaded
+
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// What kind of transaction execution a request is, for latency
+/// accounting and admission exemption. Client-origin classes
+/// ([`Border`], [`Oltp`]) are admission-controlled; engine-internal
+/// classes ([`Interior`], [`ExchangeMerge`], [`WindowSlide`]) are
+/// exempt — they are downstream work of batches that were already
+/// admitted, and gating them could deadlock cross-partition sends.
+///
+/// [`Border`]: TxnClass::Border
+/// [`Oltp`]: TxnClass::Oltp
+/// [`Interior`]: TxnClass::Interior
+/// [`ExchangeMerge`]: TxnClass::ExchangeMerge
+/// [`WindowSlide`]: TxnClass::WindowSlide
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnClass {
+    /// Border streaming transaction: an externally ingested batch.
+    Border,
+    /// Interior streaming transaction (PE-triggered or client-driven).
+    Interior,
+    /// OLTP call (stored procedure or ad-hoc SQL).
+    Oltp,
+    /// Watermark-driven time-window slide.
+    WindowSlide,
+    /// Exchange-delivered merge from other partitions.
+    ExchangeMerge,
+}
+
+impl TxnClass {
+    /// All classes, in [`TxnClass::index`] order.
+    pub const ALL: [TxnClass; 5] = [
+        TxnClass::Border,
+        TxnClass::Interior,
+        TxnClass::Oltp,
+        TxnClass::WindowSlide,
+        TxnClass::ExchangeMerge,
+    ];
+
+    /// Dense index for per-class metric arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            TxnClass::Border => 0,
+            TxnClass::Interior => 1,
+            TxnClass::Oltp => 2,
+            TxnClass::WindowSlide => 3,
+            TxnClass::ExchangeMerge => 4,
+        }
+    }
+
+    /// Stable display name (benchmark JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            TxnClass::Border => "border",
+            TxnClass::Interior => "interior",
+            TxnClass::Oltp => "oltp",
+            TxnClass::WindowSlide => "window_slide",
+            TxnClass::ExchangeMerge => "exchange_merge",
+        }
+    }
+}
+
+impl fmt::Display for TxnClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One partition's pool of admission credits. Client-origin requests
+/// draw one credit each and hold it for their full lifetime (queue
+/// wait + execution); internal traffic never touches the gate.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    capacity: usize,
+    available: Mutex<usize>,
+    freed: Condvar,
+}
+
+fn lock(gate: &AdmissionGate) -> std::sync::MutexGuard<'_, usize> {
+    // A panicking permit-holder cannot leave the counter structurally
+    // broken (it is a plain usize), so poison is safe to clear.
+    gate.available.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl AdmissionGate {
+    /// A gate with `capacity` credits (clamped to at least 1 — a
+    /// zero-credit gate could admit nothing, ever).
+    pub fn new(capacity: usize) -> Arc<AdmissionGate> {
+        let capacity = capacity.max(1);
+        Arc::new(AdmissionGate {
+            capacity,
+            available: Mutex::new(capacity),
+            freed: Condvar::new(),
+        })
+    }
+
+    /// Total credits this gate was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Credits currently free.
+    pub fn available(&self) -> usize {
+        *lock(self)
+    }
+
+    /// Credits currently held by in-flight client requests.
+    pub fn in_use(&self) -> usize {
+        self.capacity - self.available()
+    }
+
+    /// Takes a credit if one is free, without blocking (the *Shed*
+    /// policy's acquire).
+    pub fn try_acquire(self: &Arc<Self>) -> Option<AdmissionPermit> {
+        let mut avail = lock(self);
+        if *avail == 0 {
+            return None;
+        }
+        *avail -= 1;
+        Some(AdmissionPermit { gate: self.clone() })
+    }
+
+    /// Blocks until a credit frees, up to `timeout` (the *Block*
+    /// policy's acquire). Returns `None` on timeout. A `timeout` too
+    /// large to represent as a deadline (e.g. `Duration::MAX`, the
+    /// natural spelling of "block forever") waits without one.
+    pub fn acquire_timeout(self: &Arc<Self>, timeout: Duration) -> Option<AdmissionPermit> {
+        let deadline = Instant::now().checked_add(timeout);
+        let mut avail = lock(self);
+        while *avail == 0 {
+            avail = match deadline {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    self.freed
+                        .wait_timeout(avail, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0
+                }
+                None => self.freed.wait(avail).unwrap_or_else(PoisonError::into_inner),
+            };
+        }
+        *avail -= 1;
+        Some(AdmissionPermit { gate: self.clone() })
+    }
+}
+
+/// One held admission credit. Returned to its gate on drop — which is
+/// how commit, abort, shed-after-acquire, and every teardown path
+/// (dropped queues, dead channels) all return credits without any of
+/// them having to remember to.
+pub struct AdmissionPermit {
+    gate: Arc<AdmissionGate>,
+}
+
+impl fmt::Debug for AdmissionPermit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("AdmissionPermit { .. }")
+    }
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        *lock(&self.gate) += 1;
+        self.gate.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credits_bound_and_return() {
+        let gate = AdmissionGate::new(2);
+        assert_eq!(gate.capacity(), 2);
+        let a = gate.try_acquire().unwrap();
+        let b = gate.try_acquire().unwrap();
+        assert!(gate.try_acquire().is_none());
+        assert_eq!(gate.in_use(), 2);
+        drop(a);
+        assert_eq!(gate.available(), 1);
+        drop(b);
+        assert_eq!(gate.available(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let gate = AdmissionGate::new(0);
+        assert_eq!(gate.capacity(), 1);
+        assert!(gate.try_acquire().is_some());
+    }
+
+    #[test]
+    fn huge_timeout_means_no_deadline_not_a_panic() {
+        let gate = AdmissionGate::new(1);
+        // With a free credit, Duration::MAX must acquire immediately
+        // (the unrepresentable deadline must not overflow).
+        assert!(gate.acquire_timeout(Duration::MAX).is_some());
+        // And a waiter with no deadline still wakes on a free.
+        let held = gate.try_acquire().unwrap();
+        let g2 = gate.clone();
+        let t = std::thread::spawn(move || g2.acquire_timeout(Duration::MAX).is_some());
+        std::thread::sleep(Duration::from_millis(20));
+        drop(held);
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn acquire_timeout_expires_empty() {
+        let gate = AdmissionGate::new(1);
+        let held = gate.try_acquire().unwrap();
+        let start = Instant::now();
+        assert!(gate.acquire_timeout(Duration::from_millis(30)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        drop(held);
+        assert!(gate.acquire_timeout(Duration::from_millis(30)).is_some());
+    }
+
+    #[test]
+    fn blocked_acquire_wakes_on_free() {
+        let gate = AdmissionGate::new(1);
+        let held = gate.try_acquire().unwrap();
+        let g2 = gate.clone();
+        let t = std::thread::spawn(move || {
+            g2.acquire_timeout(Duration::from_secs(5)).is_some()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(held);
+        assert!(t.join().unwrap(), "waiter must wake when the credit frees");
+        assert_eq!(gate.available(), 1, "waiter's permit dropped at thread end");
+    }
+
+    #[test]
+    fn class_indices_are_dense_and_distinct() {
+        let mut seen = [false; TxnClass::ALL.len()];
+        for c in TxnClass::ALL {
+            assert!(!seen[c.index()], "duplicate index for {c}");
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

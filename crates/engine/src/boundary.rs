@@ -27,6 +27,8 @@ use crossbeam_channel::{bounded, Receiver, Sender};
 use sstore_common::{BatchId, Error, Result, TableId, Tuple, Value};
 use sstore_sql::QueryResult;
 
+use sstore_sql::BoundStatement;
+
 use crate::ee::{CommitOutcome, ExecutionEngine, StmtId};
 use crate::metrics::EngineMetrics;
 
@@ -37,6 +39,9 @@ pub enum EeRequest {
     Begin(Option<BatchId>),
     /// Execute a compiled statement.
     Exec(StmtId, Vec<Value>),
+    /// Execute an edge-planned ad-hoc statement inside the open
+    /// transaction (undo-able, triggers cascade).
+    ExecAdhoc(Arc<BoundStatement>, Vec<Value>),
     /// Append tuples to a stream (triggers cascade).
     Emit(TableId, Vec<Tuple>),
     /// Consume a batch from a stream. Bool = require presence.
@@ -161,6 +166,20 @@ impl EeHandle {
         }
     }
 
+    /// Executes an edge-planned ad-hoc statement inside the open
+    /// transaction (the execution half of
+    /// [`crate::engine::Engine::query_at`]).
+    pub fn exec_adhoc(
+        &mut self,
+        stmt: Arc<BoundStatement>,
+        params: Vec<Value>,
+    ) -> Result<QueryResult> {
+        match self.call(EeRequest::ExecAdhoc(stmt, params))? {
+            EeResponse::Query(q) => Ok(q),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Appends tuples to a stream.
     pub fn emit(&mut self, stream: TableId, rows: Vec<Tuple>) -> Result<()> {
         self.call(EeRequest::Emit(stream, rows)).map(|_| ())
@@ -261,6 +280,9 @@ fn dispatch(ee: &mut ExecutionEngine, req: EeRequest) -> Result<EeResponse> {
     match req {
         EeRequest::Begin(b) => ee.begin(b).map(|()| EeResponse::Unit),
         EeRequest::Exec(stmt, params) => ee.exec(stmt, &params).map(EeResponse::Query),
+        EeRequest::ExecAdhoc(stmt, params) => {
+            ee.exec_bound(&stmt, &params).map(EeResponse::Query)
+        }
         EeRequest::Emit(stream, rows) => ee.emit(stream, rows).map(|()| EeResponse::Unit),
         EeRequest::Consume(stream, batch, require) => {
             ee.consume(stream, batch, require).map(EeResponse::Rows)

@@ -1,6 +1,8 @@
-//! Engine configuration: the experimental knobs of the paper's §4.
+//! Engine configuration: the experimental knobs of the paper's §4,
+//! plus the admission edge (credits + overload policy).
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Whether the partition engine behaves like S-Store or plain H-Store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +63,38 @@ pub enum RecoveryMode {
     Weak,
 }
 
+/// What the admission edge does for a client request when its target
+/// partition has no free admission credit
+/// ([`EngineConfig::admission_credits`] are all held by in-flight
+/// client work).
+///
+/// Internal traffic — PE triggers, exchange deliveries, window slides,
+/// recovery replay — is exempt from admission entirely, so neither
+/// policy can deadlock cross-partition workflow progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Park the caller until a credit frees (closed-loop clients
+    /// self-clock to engine capacity). If no credit frees within
+    /// `timeout`, the request is rejected with `Error::Overloaded`
+    /// before any state is touched.
+    Block {
+        /// How long an admission wait may park the caller.
+        timeout: Duration,
+    },
+    /// Reject immediately with `Error::Overloaded` — load shedding at
+    /// the border. The request has no effect (nothing was enqueued,
+    /// logged, or executed), so atomicity and recovery are unaffected
+    /// and the caller may retry. Shed batches are counted per stream
+    /// in `EngineMetrics`.
+    Shed,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        OverloadPolicy::Block { timeout: Duration::from_secs(30) }
+    }
+}
+
 /// Scheduler discipline (ablation of §3.2.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerMode {
@@ -94,6 +128,14 @@ pub struct EngineConfig {
     /// by tests to assert the §2.2 ordering constraints. Costs a mutex
     /// hit per commit; keep off in benchmarks.
     pub trace: bool,
+    /// Admission credits per partition: the maximum number of
+    /// client-origin requests (border sub-batches, OLTP calls, ad-hoc
+    /// SQL) in flight — queued or executing — on one partition.
+    /// Internal traffic is exempt. Clamped to at least 1.
+    pub admission_credits: usize,
+    /// What to do with a client request when its partition's credits
+    /// are exhausted.
+    pub overload: OverloadPolicy,
 }
 
 impl Default for EngineConfig {
@@ -107,6 +149,8 @@ impl Default for EngineConfig {
             partitions: 1,
             data_dir: std::env::temp_dir().join("sstore"),
             trace: false,
+            admission_credits: 1024,
+            overload: OverloadPolicy::default(),
         }
     }
 }
@@ -174,6 +218,18 @@ impl EngineConfig {
         self.scheduler = s;
         self
     }
+
+    /// Builder-style: set per-partition admission credits.
+    pub fn with_admission_credits(mut self, credits: usize) -> Self {
+        self.admission_credits = credits.max(1);
+        self
+    }
+
+    /// Builder-style: set the overload policy.
+    pub fn with_overload(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -205,5 +261,15 @@ mod tests {
     #[test]
     fn with_partitions_clamps_to_one() {
         assert_eq!(EngineConfig::default().with_partitions(0).partitions, 1);
+    }
+
+    #[test]
+    fn admission_defaults_and_builders() {
+        let c = EngineConfig::default();
+        assert_eq!(c.admission_credits, 1024);
+        assert!(matches!(c.overload, OverloadPolicy::Block { .. }));
+        let c = c.with_admission_credits(0).with_overload(OverloadPolicy::Shed);
+        assert_eq!(c.admission_credits, 1, "credits clamp to one");
+        assert_eq!(c.overload, OverloadPolicy::Shed);
     }
 }

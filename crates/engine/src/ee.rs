@@ -224,34 +224,51 @@ pub struct ExecutionEngine {
     outputs: Vec<(TableId, BatchId)>,
 }
 
+/// Creates the catalog for `app` — base tables (with their indexes),
+/// streams, windows — checking each assigned [`TableId`] against `ids`
+/// (both assignments derive from the same declaration order). Shared
+/// by [`ExecutionEngine::install`] and the engine facade's ad-hoc
+/// planner ([`crate::engine::Engine::query_at`]), which is what makes
+/// a statement planned once at the engine edge valid against every
+/// partition's EE: same layout, same table ids.
+pub(crate) fn build_catalog(app: &App, ids: &AppIds) -> Result<Catalog> {
+    let mut catalog = Catalog::new();
+    let check = |got: TableId, name: &str| -> Result<()> {
+        if ids.table_id(name) != Some(got) {
+            return Err(Error::Internal(format!(
+                "table id mismatch for {name}: catalog assigned {got}"
+            )));
+        }
+        Ok(())
+    };
+    for t in &app.tables {
+        let table = catalog.create_table(&t.name, TableKind::Base, t.schema.clone())?;
+        for ix in &t.indexes {
+            table.create_index(ix.clone())?;
+        }
+        check(catalog.id_of(&t.name).expect("just created"), &t.name)?;
+    }
+    for s in &app.streams {
+        catalog.create_table(&s.name, TableKind::Stream, s.schema.clone())?;
+        check(catalog.id_of(&s.name).expect("just created"), &s.name)?;
+    }
+    for w in &app.windows {
+        catalog.create_table(w.name(), TableKind::Window, w.schema.clone())?;
+        check(catalog.id_of(w.name()).expect("just created"), w.name())?;
+    }
+    Ok(catalog)
+}
+
 impl ExecutionEngine {
-    /// Builds an EE for `app`: creates all tables/streams/windows,
-    /// compiles every procedure statement and EE trigger. Returns the
-    /// EE and the per-procedure statement-id map. The catalog's table
-    /// ids are checked against `ids` as tables are created — the two
-    /// assignments derive from the same declaration order.
+    /// Builds an EE for `app`: creates all tables/streams/windows
+    /// ([`build_catalog`]), compiles every procedure statement and EE
+    /// trigger. Returns the EE and the per-procedure statement-id map.
     pub fn install(
         app: &App,
         ids: Arc<AppIds>,
         metrics: Arc<EngineMetrics>,
     ) -> Result<(Self, ProcStmtMap)> {
-        let mut catalog = Catalog::new();
-        let check = |got: TableId, name: &str, ids: &AppIds| -> Result<()> {
-            if ids.table_id(name) != Some(got) {
-                return Err(Error::Internal(format!(
-                    "table id mismatch for {name}: catalog assigned {got}"
-                )));
-            }
-            Ok(())
-        };
-        for t in &app.tables {
-            let table = catalog.create_table(&t.name, TableKind::Base, t.schema.clone())?;
-            for ix in &t.indexes {
-                table.create_index(ix.clone())?;
-            }
-            let id = catalog.id_of(&t.name).expect("just created");
-            check(id, &t.name, &ids)?;
-        }
+        let catalog = build_catalog(app, &ids)?;
         let n_tables = ids.table_count();
         let mut streams: Vec<Option<StreamState>> = (0..n_tables).map(|_| None).collect();
         let mut stream_ts_col: Vec<Option<usize>> = vec![None; n_tables];
@@ -260,9 +277,7 @@ impl ExecutionEngine {
         let mut window_ts_col: Vec<Option<usize>> = vec![None; n_tables];
         let mut has_time_windows = false;
         for s in &app.streams {
-            catalog.create_table(&s.name, TableKind::Stream, s.schema.clone())?;
-            let id = catalog.id_of(&s.name).expect("just created");
-            check(id, &s.name, &ids)?;
+            let id = catalog.id_of(&s.name).expect("build_catalog created it");
             streams[id.index()] = Some(StreamState::new());
             if let Some(col) = &s.ts_col {
                 stream_ts_col[id.index()] = Some(s.schema.index_of_or_err(col)?);
@@ -270,9 +285,7 @@ impl ExecutionEngine {
             }
         }
         for w in &app.windows {
-            catalog.create_table(w.name(), TableKind::Window, w.schema.clone())?;
-            let id = catalog.id_of(w.name()).expect("just created");
-            check(id, w.name(), &ids)?;
+            let id = catalog.id_of(w.name()).expect("build_catalog created it");
             windows[id.index()] = Some(match &w.windowing {
                 Windowing::Tuple(spec) => WindowSlot::Tuple(WindowState::new(spec.clone())?),
                 Windowing::Time(spec) => {
@@ -504,16 +517,26 @@ impl ExecutionEngine {
     /// Executes a compiled statement within the current transaction,
     /// cascading EE triggers.
     pub fn exec(&mut self, stmt: StmtId, params: &[Value]) -> Result<QueryResult> {
-        if !self.in_txn {
-            return Err(Error::InvalidState("exec outside transaction".into()));
-        }
         let bound = self
             .stmts
             .get(stmt)
             .cloned()
             .ok_or_else(|| Error::not_found("statement id", stmt.to_string()))?;
+        self.exec_bound(&bound, params)
+    }
+
+    /// Executes an already-bound statement within the current
+    /// transaction — same effects/undo/cascade discipline as a
+    /// compiled procedure statement. This is the execution half of
+    /// ad-hoc SQL: the statement was planned at the engine edge
+    /// against the shared catalog layout ([`build_catalog`]), so its
+    /// table ids are valid here.
+    pub fn exec_bound(&mut self, bound: &BoundStatement, params: &[Value]) -> Result<QueryResult> {
+        if !self.in_txn {
+            return Err(Error::InvalidState("exec outside transaction".into()));
+        }
         let start = self.effects.len();
-        let result = execute(&mut self.catalog, &bound, params, &mut self.effects)?;
+        let result = execute(&mut self.catalog, bound, params, &mut self.effects)?;
         self.cascade(start)?;
         Ok(result)
     }

@@ -24,18 +24,20 @@ use crossbeam_channel::bounded;
 use parking_lot::Mutex;
 use sstore_common::hash::FxBuildHasher;
 use sstore_common::{BatchId, Error, Lsn, ProcId, Result, TableId, Tuple, Value};
-use sstore_sql::QueryResult;
+use sstore_sql::{BoundStatement, Planner, QueryResult};
+use sstore_storage::Catalog;
 
+use crate::admission::{AdmissionGate, AdmissionPermit};
 use crate::app::App;
 use crate::boundary::EeHandle;
 use crate::checkpoint::{write_checkpoint, CheckpointFile};
-use crate::config::{BoundaryMode, EngineConfig};
-use crate::ee::ExecutionEngine;
+use crate::config::{BoundaryMode, EngineConfig, OverloadPolicy};
+use crate::ee::{build_catalog, ExecutionEngine};
 use crate::metrics::EngineMetrics;
 use crate::names::{AppIds, StreamMeta};
 use crate::partition::{
     spawn_partition, CallOutcome, Invocation, PartitionHandle, PartitionMsg, PartitionSeed,
-    TxnRequest,
+    TxnRequest, ADHOC_NAME, ADHOC_PROC,
 };
 use crate::workflow::WorkflowGraph;
 
@@ -92,6 +94,18 @@ pub(crate) struct Bootstrap {
     pub checkpoint_epoch: u64,
 }
 
+/// One ingested batch, resolved and routed but not yet admitted:
+/// everything [`Engine::ingest_admitted`] needs that does not depend
+/// on admission or the batch id (which is drawn only after admission).
+struct PreparedIngest {
+    /// The border stream, interned.
+    stream: TableId,
+    /// Its PE-trigger target procedure.
+    proc: ProcId,
+    /// Per-partition sub-batches, in partition order.
+    parts: Vec<(usize, Vec<Tuple>)>,
+}
+
 /// A running S-Store node.
 pub struct Engine {
     config: EngineConfig,
@@ -99,6 +113,18 @@ pub struct Engine {
     ids: Arc<AppIds>,
     partitions: Vec<PartitionHandle>,
     metrics: Arc<EngineMetrics>,
+    /// Per-partition admission gates: every client-origin request
+    /// (border sub-batch, OLTP call, ad-hoc SQL) holds one credit from
+    /// its target partition's gate for its full lifetime. Internal
+    /// traffic bypasses the gates entirely.
+    gates: Vec<Arc<AdmissionGate>>,
+    /// Catalog replica used to plan ad-hoc SQL at the engine edge
+    /// (same declaration order as every partition's EE catalog, so
+    /// table ids agree — see [`build_catalog`]). Holds schema only,
+    /// never data. Behind a mutex because table read-stats use `Cell`
+    /// (the catalog is not `Sync`) — planning is the cold path, and
+    /// the lock keeps `Engine` shareable across client threads.
+    adhoc_catalog: Mutex<Catalog>,
     /// Per-stream next-batch counters, indexed by [`TableId`].
     batch_counters: Mutex<Vec<u64>>,
     /// Next checkpoint round gets `last + 1` (see
@@ -179,12 +205,19 @@ impl Engine {
             }
         }
 
+        let gates = (0..config.partitions)
+            .map(|_| AdmissionGate::new(config.admission_credits))
+            .collect();
+        let adhoc_catalog = Mutex::new(build_catalog(&app, &ids)?);
+
         Ok(Engine {
             config,
             app,
             ids,
             partitions,
             metrics,
+            gates,
+            adhoc_catalog,
             batch_counters: Mutex::new(counters),
             checkpoint_epoch: std::sync::atomic::AtomicU64::new(
                 bootstrap.as_ref().map_or(0, |b| b.checkpoint_epoch),
@@ -223,15 +256,67 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
-    // Stream injection (push)
+    // Admission control (client edge)
     // ------------------------------------------------------------------
 
-    fn next_batch(&self, stream: TableId) -> BatchId {
-        let mut counters = self.batch_counters.lock();
-        let c = &mut counters[stream.index()];
-        *c += 1;
-        BatchId(*c)
+    /// Acquires one admission credit on `partition` for a
+    /// client-origin request, per the configured
+    /// [`OverloadPolicy`]. On rejection — an empty gate under `Shed`,
+    /// or a `Block` timeout expiring — bumps the shed metrics for
+    /// `origin` (the stream or procedure name) and returns
+    /// [`Error::Overloaded`] *before any state is touched*.
+    fn admit(&self, partition: usize, origin: &str) -> Result<AdmissionPermit> {
+        let gate = self
+            .gates
+            .get(partition)
+            .ok_or_else(|| Error::not_found("partition", partition.to_string()))?;
+        let permit = match self.config.overload {
+            OverloadPolicy::Shed => gate.try_acquire().ok_or_else(|| {
+                Error::Overloaded(format!(
+                    "shed {origin}: all {} admission credits of partition {partition} are \
+                     held by in-flight requests",
+                    gate.capacity()
+                ))
+            }),
+            OverloadPolicy::Block { timeout } => gate.acquire_timeout(timeout).ok_or_else(|| {
+                Error::Overloaded(format!(
+                    "{origin}: no admission credit freed on partition {partition} within \
+                     {timeout:?} ({} credits, all held)",
+                    gate.capacity()
+                ))
+            }),
+        };
+        if permit.is_err() {
+            self.metrics.bump_shed(origin);
+        }
+        permit
     }
+
+    /// All-or-nothing admission for a multi-partition request (one
+    /// credit per sub-request): if any acquisition is rejected, the
+    /// permits already acquired are dropped — returning their credits —
+    /// and the whole request is rejected with nothing delivered.
+    fn admit_all(&self, partitions: impl Iterator<Item = usize>, origin: &str) -> Result<Vec<AdmissionPermit>> {
+        partitions.map(|p| self.admit(p, origin)).collect()
+    }
+
+    /// Admission credits currently held by in-flight client requests
+    /// on one partition (bounded by
+    /// [`EngineConfig::admission_credits`]). After [`Engine::drain`]
+    /// with no concurrent submitters this returns 0: every credit is
+    /// back in the gate.
+    pub fn admitted_in_flight(&self, partition: usize) -> usize {
+        self.gates[partition].in_use()
+    }
+
+    /// Free admission credits on one partition.
+    pub fn admission_available(&self, partition: usize) -> usize {
+        self.gates[partition].available()
+    }
+
+    // ------------------------------------------------------------------
+    // Stream injection (push)
+    // ------------------------------------------------------------------
 
     /// Splits an ingested batch into per-partition sub-batches that
     /// share one logical [`BatchId`]: each row goes to the partition
@@ -271,13 +356,12 @@ impl Engine {
         out
     }
 
-    /// Builds the per-partition border requests for one ingested batch.
-    fn border_requests(
-        &self,
-        stream: &str,
-        rows: Vec<Tuple>,
-        mut reply_for: impl FnMut(usize) -> Option<crossbeam_channel::Sender<Result<CallOutcome>>>,
-    ) -> Result<(Vec<(usize, TxnRequest)>, BatchId)> {
+    /// Resolves, validates, and routes one ingested batch — the part
+    /// of ingestion that can fail before admission is even attempted.
+    /// No batch id is drawn here: that happens after admission
+    /// ([`Engine::ingest_admitted`]), so a parked or shed caller never
+    /// holds an id.
+    fn prepare_ingest(&self, stream: &str, rows: Vec<Tuple>) -> Result<PreparedIngest> {
         let sid = self
             .ids
             .table_id(stream)
@@ -305,24 +389,63 @@ impl Engine {
         for r in &rows {
             meta.schema.validate(r.values())?;
         }
-        let batch = self.next_batch(sid);
-        let reqs = self
-            .split_for_ingest(meta, rows)
-            .into_iter()
-            .map(|(p, sub)| {
-                (
-                    p,
-                    TxnRequest {
-                        proc,
-                        invocation: Invocation::Border { stream: sid, rows: sub },
-                        batch: Some(batch),
-                        reply: reply_for(p),
-                        replay: false,
-                    },
-                )
-            })
-            .collect();
-        Ok((reqs, batch))
+        Ok(PreparedIngest { stream: sid, proc, parts: self.split_for_ingest(meta, rows) })
+    }
+
+    /// Admits one prepared batch, then assigns its id and sends its
+    /// sub-requests. Three ordering guarantees live here:
+    ///
+    /// * Admission is all-or-nothing and happens *first* — a shed (or
+    ///   timed-out) batch touched nothing, and the multi-second park a
+    ///   `Block` caller may take happens before any id is drawn.
+    /// * The batch id is assigned and every sub-request sent *under
+    ///   the counters lock*: sends to the unbounded partition channels
+    ///   never block, so the lock is cheap, and it makes id order ==
+    ///   channel order per stream — concurrent ingesters cannot
+    ///   invert per-stream, per-partition batch order (which timed
+    ///   streams' watermarks and exchange merges both count on).
+    /// * The sub-requests are built here, after admission, so their
+    ///   `admitted_at` stamp starts the clock when the request was
+    ///   actually admitted — gate-park time is not queue-wait.
+    ///
+    /// A delivery failure names exactly which partitions received
+    /// their sub-batch and which did not, so the caller knows what
+    /// landed.
+    fn ingest_admitted(
+        &self,
+        stream: &str,
+        prepared: PreparedIngest,
+        mut reply_for: impl FnMut(usize) -> Option<crossbeam_channel::Sender<Result<CallOutcome>>>,
+    ) -> Result<BatchId> {
+        let PreparedIngest { stream: sid, proc, parts } = prepared;
+        let permits = self.admit_all(parts.iter().map(|(p, _)| *p), stream)?;
+        let mut counters = self.batch_counters.lock();
+        let c = &mut counters[sid.index()];
+        *c += 1;
+        let batch = BatchId(*c);
+        let mut delivered: Vec<usize> = Vec::with_capacity(parts.len());
+        let mut pending = parts.into_iter().zip(permits);
+        while let Some(((p, sub), permit)) = pending.next() {
+            let mut req = TxnRequest::internal(
+                proc,
+                Invocation::Border { stream: sid, rows: sub },
+                Some(batch),
+            )
+            .admitted(permit);
+            req.reply = reply_for(p);
+            let sent = self.partitions[p].tx.send(PartitionMsg::Submit(req));
+            if sent.is_err() {
+                let mut undelivered: Vec<usize> = vec![p];
+                undelivered.extend(pending.map(|((q, _), _)| q));
+                return Err(Error::InvalidState(format!(
+                    "partition {p} is down: batch {batch} on stream {stream} was only \
+                     partially delivered — sub-batches reached partition(s) {delivered:?}, \
+                     but not {undelivered:?}",
+                )));
+            }
+            delivered.push(p);
+        }
+        Ok(batch)
     }
 
     /// Injects an atomic batch asynchronously (the normal streaming
@@ -330,15 +453,17 @@ impl Engine {
     /// routed to partitions by partition-key hash; a batch that mixes
     /// keys is split into per-partition sub-batches sharing this batch
     /// id.
+    ///
+    /// Each sub-batch is admission-controlled (one credit per
+    /// sub-request, acquired before anything is sent): under
+    /// [`OverloadPolicy::Shed`] an over-capacity batch is rejected
+    /// whole with [`Error::Overloaded`] and no effect; under
+    /// [`OverloadPolicy::Block`] this call parks until credits free
+    /// (bounding client-origin work in flight to the configured
+    /// credits), failing the same way only if the timeout expires.
     pub fn ingest(&self, stream: &str, rows: Vec<Tuple>) -> Result<BatchId> {
-        let (reqs, batch) = self.border_requests(stream, rows, |_| None)?;
-        for (p, req) in reqs {
-            self.partitions[p]
-                .tx
-                .send(PartitionMsg::Submit(req))
-                .map_err(|_| Error::InvalidState("partition is down".into()))?;
-        }
-        Ok(batch)
+        let prepared = self.prepare_ingest(stream, rows)?;
+        self.ingest_admitted(stream, prepared, |_| None)
     }
 
     /// Injects an atomic batch and waits for the *border*
@@ -357,18 +482,13 @@ impl Engine {
     /// names which partitions committed and which failed, so the
     /// caller knows exactly what landed.
     pub fn ingest_sync(&self, stream: &str, rows: Vec<Tuple>) -> Result<(BatchId, CallOutcome)> {
+        let prepared = self.prepare_ingest(stream, rows)?;
         let mut waits: Vec<(usize, crossbeam_channel::Receiver<Result<CallOutcome>>)> = Vec::new();
-        let (reqs, batch) = self.border_requests(stream, rows, |p| {
+        let batch = self.ingest_admitted(stream, prepared, |p| {
             let (tx, rx) = bounded(1);
             waits.push((p, rx));
             Some(tx)
         })?;
-        for (p, req) in reqs {
-            self.partitions[p]
-                .tx
-                .send(PartitionMsg::Submit(req))
-                .map_err(|_| Error::InvalidState("partition is down".into()))?;
-        }
         // Wait for EVERY sub-transaction before judging the batch: an
         // early return on the first error would silently leave the
         // later partitions' commits unreported.
@@ -415,22 +535,61 @@ impl Engine {
         self.call_at(0, proc, params)
     }
 
-    /// Invokes an OLTP stored procedure on a given partition and waits.
+    /// Invokes an OLTP stored procedure on a given partition and
+    /// waits. Admission-controlled like every client-origin request
+    /// (one credit, held until the transaction commits or aborts).
     pub fn call_at(&self, partition: usize, proc: &str, params: Vec<Value>) -> Result<CallOutcome> {
+        let proc_id = self.resolve_proc(proc)?;
+        let permit = self.admit(partition, proc)?;
         let (tx, rx) = bounded(1);
-        let req = TxnRequest {
-            proc: self.resolve_proc(proc)?,
-            invocation: Invocation::Oltp { params },
-            batch: None,
-            reply: Some(tx),
-            replay: false,
-        };
+        let req = TxnRequest::internal(proc_id, Invocation::Oltp { params }, None)
+            .with_reply(tx)
+            .admitted(permit);
         self.submit(partition, req)?;
         rx.recv().map_err(|_| Error::InvalidState("reply lost".into()))?
     }
 
+    /// Runs one ad-hoc SQL statement as its own transaction on a
+    /// partition: planned here at the engine edge with the shared
+    /// [`Planner`] catalog, then executed through the normal OLTP
+    /// invocation path — admitted (one credit), command-logged (it
+    /// replays from its text), and undo-able (a failed statement
+    /// aborts and rolls back like any stored procedure). This is the
+    /// paper's hybrid access: OLTP-side one-shot reads *and writes*
+    /// against the same tables the streaming workflows maintain.
+    ///
+    /// Stream/window tables remain off-limits for ad-hoc *writes* (no
+    /// batch discipline outside a workflow); use [`Engine::query`] for
+    /// lock-free read-only inspection without admission or logging.
+    pub fn query_at(&self, partition: usize, sql: &str, params: Vec<Value>) -> Result<QueryResult> {
+        let stmt = self.plan_adhoc(sql)?;
+        let permit = self.admit(partition, ADHOC_NAME)?;
+        let (tx, rx) = bounded(1);
+        let req = TxnRequest::internal(
+            ADHOC_PROC,
+            Invocation::AdHoc { sql: sql.to_owned(), stmt, params },
+            None,
+        )
+        .with_reply(tx)
+        .admitted(permit);
+        self.submit(partition, req)?;
+        let outcome =
+            rx.recv().map_err(|_| Error::InvalidState("reply lost".into()))??;
+        Ok(outcome.result)
+    }
+
+    /// Plans one ad-hoc statement against the engine-edge catalog
+    /// replica (shared layout with every partition's EE, so the bound
+    /// table ids are valid everywhere).
+    pub(crate) fn plan_adhoc(&self, sql: &str) -> Result<Arc<BoundStatement>> {
+        let catalog = self.adhoc_catalog.lock();
+        Ok(Arc::new(Planner::new(&catalog).plan_sql(sql)?))
+    }
+
     /// H-Store-mode client driving: runs one interior transaction for a
-    /// batch a predecessor committed, and waits.
+    /// batch a predecessor committed, and waits. Exempt from admission
+    /// — this drives *already-admitted* work downstream, exactly like
+    /// a PE trigger would in S-Store mode.
     pub fn call_interior(
         &self,
         partition: usize,
@@ -439,13 +598,12 @@ impl Engine {
         batch: BatchId,
     ) -> Result<CallOutcome> {
         let (tx, rx) = bounded(1);
-        let req = TxnRequest {
-            proc: self.resolve_proc(proc)?,
-            invocation: Invocation::Interior { stream: self.resolve_stream(stream)? },
-            batch: Some(batch),
-            reply: Some(tx),
-            replay: false,
-        };
+        let req = TxnRequest::internal(
+            self.resolve_proc(proc)?,
+            Invocation::Interior { stream: self.resolve_stream(stream)? },
+            Some(batch),
+        )
+        .with_reply(tx);
         self.submit(partition, req)?;
         rx.recv().map_err(|_| Error::InvalidState("reply lost".into()))?
     }

@@ -5,9 +5,19 @@
 //!
 //! ```text
 //!  client / stream injection            (caller threads)
+//!        │  ingest / call / ad-hoc SQL (planned at this edge)
+//!        ▼
+//!  ╔═ admission gate (per partition) ═════════════════════════╗
+//!  ║ client-origin work holds a credit: Border + Oltp classes ║
+//!  ║ Block{timeout} parks the caller; Shed rejects with       ║
+//!  ║ Error::Overloaded before any state is touched. Internal  ║
+//!  ║ classes (Interior/ExchangeMerge/WindowSlide) are exempt. ║
+//!  ╚══════╤═══════════════════════════════════════════════════╝
 //!        │  crossbeam channel = the "network" round trip
 //!        │  mixed-key batches hash-split into per-partition
 //!        │  sub-batches sharing one logical BatchId
+//!        │  (credit returns at commit/abort; per-class
+//!        │   queue-wait/exec/e2e latency histograms)
 //!        ▼
 //!  ┌──────────────────────────────┐     ┌────────────────────┐
 //!  │ Partition Engine (PE) #0     │◀═══▶│ PE #1 … PE #N      │
@@ -56,12 +66,27 @@
 //! reconverge watermarks deterministically from the log; checkpoints
 //! carry stream high marks and window staging).
 //!
+//! Every transaction enters through the **admission edge**
+//! ([`admission`]): client-origin requests ([`engine::Engine::ingest`],
+//! [`engine::Engine::call_at`], ad-hoc [`engine::Engine::query_at`])
+//! hold a per-partition credit for their full lifetime, so offered
+//! load above capacity either parks the caller (`Block`) or is shed at
+//! the border (`Shed`, `Error::Overloaded`) instead of growing the
+//! partition queues without bound. Each request carries a
+//! [`admission::TxnClass`] and admit/dispatch/commit timestamps;
+//! [`metrics::EngineMetrics`] turns those into per-class queue-wait /
+//! execution / end-to-end histograms with a p50/p95/p99 snapshot API —
+//! the throughput-vs-latency-under-offered-load curve of the TSP
+//! literature becomes directly measurable (see
+//! `crates/bench/src/bin/overload.rs`).
+//!
 //! Applications are defined declaratively as an [`app::App`] (tables,
 //! streams, windows, stored procedures, workflow edges) and run by an
 //! [`engine::Engine`] under an [`config::EngineConfig`] that selects
-//! S-Store vs H-Store behavior, boundary costs, logging, and recovery
-//! mode.
+//! S-Store vs H-Store behavior, boundary costs, logging, recovery
+//! mode, and the admission edge (credits + overload policy).
 
+pub mod admission;
 pub mod app;
 pub mod boundary;
 pub mod checkpoint;
@@ -80,7 +105,10 @@ pub mod trigger;
 pub mod window;
 pub mod workflow;
 
+pub use admission::TxnClass;
 pub use app::{App, AppBuilder, ProcBody};
-pub use config::{BoundaryMode, EngineConfig, EngineMode, LoggingConfig, RecoveryMode};
+pub use config::{
+    BoundaryMode, EngineConfig, EngineMode, LoggingConfig, OverloadPolicy, RecoveryMode,
+};
 pub use engine::Engine;
 pub use procedure::ProcCtx;

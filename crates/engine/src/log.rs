@@ -113,6 +113,16 @@ pub enum LogKind {
         /// The merged rows, in source-partition order.
         rows: Vec<Tuple>,
     },
+    /// Ad-hoc SQL transaction (`Engine::query_at`): the command is the
+    /// SQL text itself — replay re-plans it against the recovered
+    /// catalog and re-executes, the same command-logging discipline as
+    /// a stored-procedure invocation.
+    AdHoc {
+        /// The statement text.
+        sql: String,
+        /// Bound parameters.
+        params: Vec<Value>,
+    },
 }
 
 /// One command-log record.
@@ -169,6 +179,14 @@ fn encode_payload(
                 e.put_tuple(r);
             }
         }
+        LogKindRef::AdHoc { sql, params } => {
+            e.put_u8(4);
+            e.put_str(sql);
+            e.put_varint(params.len() as u64);
+            for p in params {
+                e.put_value(p);
+            }
+        }
     }
 }
 
@@ -179,6 +197,7 @@ enum LogKindRef<'a> {
     Border { stream: &'a str, batch: BatchId, rows: &'a [Tuple] },
     Interior { stream: &'a str, batch: BatchId },
     Exchange { stream: &'a str, batch: BatchId, rows: &'a [Tuple] },
+    AdHoc { sql: &'a str, params: &'a [Value] },
 }
 
 impl LogKind {
@@ -194,6 +213,7 @@ impl LogKind {
             LogKind::Exchange { stream, batch, rows } => {
                 LogKindRef::Exchange { stream, batch: *batch, rows }
             }
+            LogKind::AdHoc { sql, params } => LogKindRef::AdHoc { sql, params },
         }
     }
 }
@@ -241,6 +261,18 @@ impl LogRecord {
                     rows.push(d.get_tuple()?);
                 }
                 LogKind::Exchange { stream, batch, rows }
+            }
+            4 => {
+                let sql = d.get_str()?;
+                let n = d.get_varint()? as usize;
+                if n > d.remaining() {
+                    return Err(Error::Codec("param count exceeds record".into()));
+                }
+                let mut params = Vec::with_capacity(n);
+                for _ in 0..n {
+                    params.push(d.get_value()?);
+                }
+                LogKind::AdHoc { sql, params }
             }
             t => return Err(Error::Codec(format!("unknown log record kind {t}"))),
         };
@@ -351,6 +383,12 @@ impl CommandLog {
     /// Appends an interior record from borrowed parts (strong mode).
     pub fn append_interior(&mut self, proc: &str, stream: &str, batch: BatchId) -> Result<Lsn> {
         self.append_ref(proc, LogKindRef::Interior { stream, batch })
+    }
+
+    /// Appends an ad-hoc SQL record from borrowed parts: the command
+    /// is the statement text (replay re-plans it).
+    pub fn append_adhoc(&mut self, sql: &str, params: &[Value]) -> Result<Lsn> {
+        self.append_ref(crate::partition::ADHOC_NAME, LogKindRef::AdHoc { sql, params })
     }
 
     /// Appends an exchange-delivery record from borrowed parts (strong
@@ -501,6 +539,10 @@ mod tests {
                 batch: BatchId(2),
                 rows: vec![tuple![1i64, 10i64]],
             }),
+            ("@adhoc".into(), LogKind::AdHoc {
+                sql: "UPDATE t SET v = ? WHERE k = ?".into(),
+                params: vec![Value::Int(9), Value::Int(1)],
+            }),
         ]
     }
 
@@ -513,13 +555,18 @@ mod tests {
         }
         log.flush().unwrap();
         let records = CommandLog::read_all(&path).unwrap();
-        assert_eq!(records.len(), 4);
+        assert_eq!(records.len(), 5);
         assert_eq!(records[0].lsn, Lsn(0));
-        assert_eq!(records[3].lsn, Lsn(3));
+        assert_eq!(records[4].lsn, Lsn(4));
         assert!(matches!(records[0].kind, LogKind::Border { ref rows, .. } if rows.len() == 2));
         assert!(matches!(records[1].kind, LogKind::Interior { .. }));
         assert!(matches!(records[2].kind, LogKind::Oltp { ref params } if params.len() == 2));
         assert!(matches!(records[3].kind, LogKind::Exchange { ref rows, .. } if rows.len() == 1));
+        assert_eq!(records[4].proc, "@adhoc");
+        assert!(matches!(
+            records[4].kind,
+            LogKind::AdHoc { ref sql, ref params } if sql.starts_with("UPDATE") && params.len() == 2
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -564,7 +611,7 @@ mod tests {
         f.write_all(&[1, 2, 3]).unwrap();
         drop(f);
         let records = CommandLog::read_all(&path).unwrap();
-        assert_eq!(records.len(), 4);
+        assert_eq!(records.len(), 5);
         std::fs::remove_file(&path).ok();
     }
 
@@ -592,7 +639,7 @@ mod tests {
         }
         std::fs::write(&path, &bytes).unwrap();
         let records = CommandLog::read_all(&path).unwrap();
-        assert_eq!(records.len(), 3, "corrupt tail record dropped, prefix kept");
+        assert_eq!(records.len(), 4, "corrupt tail record dropped, prefix kept");
         std::fs::remove_file(&path).ok();
     }
 

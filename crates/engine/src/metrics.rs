@@ -1,14 +1,199 @@
-//! Engine-wide counters and the optional execution trace.
+//! Engine-wide counters, per-class latency histograms, and the
+//! optional execution trace.
 //!
 //! Shared between partition threads and the caller via `Arc`; all hot
 //! counters are relaxed atomics (they feed throughput reports, not
-//! synchronization).
+//! synchronization). Latency is recorded into fixed-size, log-bucketed
+//! histograms — one per ([`TxnClass`], [`LatencyKind`]) pair — so the
+//! per-transaction cost is two `Instant::now()` calls and three relaxed
+//! increments, and a `p50/p95/p99` snapshot is available at any time
+//! without locking the hot path.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use sstore_common::hash::FxHashMap;
 
+use crate::admission::TxnClass;
 use crate::workflow::TraceEvent;
+
+/// Number of log-scale buckets per histogram. Bucket `i` holds
+/// durations in `[2^(i-1), 2^i)` nanoseconds (bucket 0 holds 0 ns);
+/// the last bucket absorbs everything above `2^(BUCKETS-2)` ns
+/// (≈ 4.6 minutes) — far beyond any sane transaction latency.
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// One fixed-size, log-bucketed latency histogram. Recording is a
+/// single relaxed `fetch_add`; quantiles are computed from a bucket
+/// snapshot and reported as the bucket's upper bound (a ≤2×
+/// overestimate, monotone across quantiles by construction).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+/// Count + quantiles of one histogram at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median (bucket upper bound).
+    pub p50: Duration,
+    /// 95th percentile (bucket upper bound).
+    pub p95: Duration,
+    /// 99th percentile (bucket upper bound).
+    pub p99: Duration,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl LatencyHistogram {
+    /// Bucket index for a duration: `0` for 0 ns, else the bit width
+    /// of the nanosecond count, clamped into range.
+    #[inline]
+    fn bucket_of(d: Duration) -> usize {
+        let nanos = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        ((64 - nanos.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Upper bound of a bucket, the value quantiles report.
+    #[inline]
+    fn bucket_upper(i: usize) -> Duration {
+        if i == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(1u64 << i)
+        }
+    }
+
+    /// Records one sample (relaxed; safe from any thread).
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.buckets[Self::bucket_of(d)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Count and p50/p95/p99 from one consistent bucket read.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> Duration {
+            if total == 0 {
+                return Duration::ZERO;
+            }
+            // Rank of the q-th sample, 1-based, at least 1.
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return Self::bucket_upper(i);
+                }
+            }
+            Self::bucket_upper(LATENCY_BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count: total,
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+        }
+    }
+
+    /// Zeroes every bucket.
+    pub fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Which latency of a transaction execution a histogram tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyKind {
+    /// Admission (or internal enqueue) → dispatch by the partition.
+    QueueWait,
+    /// Dispatch → commit/abort.
+    Execution,
+    /// Admission → commit/abort (what a client observes).
+    EndToEnd,
+}
+
+impl LatencyKind {
+    /// All kinds, in [`LatencyKind::index`] order.
+    pub const ALL: [LatencyKind; 3] =
+        [LatencyKind::QueueWait, LatencyKind::Execution, LatencyKind::EndToEnd];
+
+    /// Dense index for per-kind arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            LatencyKind::QueueWait => 0,
+            LatencyKind::Execution => 1,
+            LatencyKind::EndToEnd => 2,
+        }
+    }
+
+    /// Stable display name (benchmark JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            LatencyKind::QueueWait => "queue_wait",
+            LatencyKind::Execution => "execution",
+            LatencyKind::EndToEnd => "end_to_end",
+        }
+    }
+}
+
+/// Latency histograms for every ([`TxnClass`], [`LatencyKind`]) pair.
+#[derive(Debug)]
+pub struct LatencyStats {
+    hists: [[LatencyHistogram; LatencyKind::ALL.len()]; TxnClass::ALL.len()],
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats {
+            hists: std::array::from_fn(|_| std::array::from_fn(|_| LatencyHistogram::default())),
+        }
+    }
+}
+
+impl LatencyStats {
+    /// The histogram for one class/kind pair.
+    pub fn histogram(&self, class: TxnClass, kind: LatencyKind) -> &LatencyHistogram {
+        &self.hists[class.index()][kind.index()]
+    }
+
+    fn clear(&self) {
+        for row in &self.hists {
+            for h in row {
+                h.clear();
+            }
+        }
+    }
+}
+
+/// Per-class latency snapshot (one entry per kind).
+#[derive(Debug, Clone, Copy)]
+pub struct ClassLatency {
+    /// The transaction class.
+    pub class: TxnClass,
+    /// Admission/enqueue → dispatch.
+    pub queue_wait: HistogramSnapshot,
+    /// Dispatch → commit/abort.
+    pub execution: HistogramSnapshot,
+    /// Admission/enqueue → commit/abort.
+    pub end_to_end: HistogramSnapshot,
+}
 
 /// Counters for one engine instance.
 #[derive(Debug, Default)]
@@ -56,6 +241,16 @@ pub struct EngineMetrics {
     /// Late tuples dropped by a time window (beyond allowed lateness) —
     /// the metrics hook for out-of-order overflow.
     pub window_late_dropped: AtomicU64,
+    /// Client requests rejected at the admission border (Shed policy,
+    /// or a Block timeout expiring) — total across origins. Rejected
+    /// work touched no state.
+    pub shed_batches: AtomicU64,
+    /// Shed counts by origin: the stream name for ingested batches,
+    /// the procedure name for OLTP calls, `"@adhoc"` for ad-hoc SQL.
+    /// Cold path (only bumped on rejection), so a mutex is fine.
+    shed_by_origin: Mutex<FxHashMap<String, u64>>,
+    /// Per-class queue-wait / execution / end-to-end histograms.
+    pub latency: LatencyStats,
     /// Execution trace of committed TEs, recorded only when
     /// [`crate::config::EngineConfig::trace`] is on.
     pub trace: Mutex<Vec<TraceEvent>>,
@@ -79,12 +274,73 @@ impl EngineMetrics {
         counter.load(Ordering::Relaxed)
     }
 
+    /// Records one shed (admission rejection) for `origin`.
+    pub fn bump_shed(&self, origin: &str) {
+        Self::bump(&self.shed_batches);
+        *self.shed_by_origin.lock().entry(origin.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Shed count for one origin (stream or procedure name).
+    pub fn shed_for(&self, origin: &str) -> u64 {
+        self.shed_by_origin.lock().get(origin).copied().unwrap_or(0)
+    }
+
+    /// All origins that shed at least one request, with counts,
+    /// sorted by origin name.
+    pub fn sheds_by_origin(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> =
+            self.shed_by_origin.lock().iter().map(|(k, n)| (k.clone(), *n)).collect();
+        v.sort();
+        v
+    }
+
+    /// Records all three latencies of one finished transaction
+    /// execution from its monotonic timestamps (admit ≤ dispatch ≤
+    /// done; saturating on the clock's behalf).
+    #[inline]
+    pub fn record_latency(
+        &self,
+        class: TxnClass,
+        admitted_at: Instant,
+        dispatched_at: Instant,
+        done_at: Instant,
+    ) {
+        let l = &self.latency;
+        l.histogram(class, LatencyKind::QueueWait)
+            .record(dispatched_at.saturating_duration_since(admitted_at));
+        l.histogram(class, LatencyKind::Execution)
+            .record(done_at.saturating_duration_since(dispatched_at));
+        l.histogram(class, LatencyKind::EndToEnd)
+            .record(done_at.saturating_duration_since(admitted_at));
+    }
+
+    /// Latency snapshot for one class.
+    pub fn class_latency(&self, class: TxnClass) -> ClassLatency {
+        ClassLatency {
+            class,
+            queue_wait: self.latency.histogram(class, LatencyKind::QueueWait).snapshot(),
+            execution: self.latency.histogram(class, LatencyKind::Execution).snapshot(),
+            end_to_end: self.latency.histogram(class, LatencyKind::EndToEnd).snapshot(),
+        }
+    }
+
+    /// Latency snapshot of every class that recorded at least one
+    /// sample, in [`TxnClass::ALL`] order.
+    pub fn latency_snapshot(&self) -> Vec<ClassLatency> {
+        TxnClass::ALL
+            .into_iter()
+            .map(|c| self.class_latency(c))
+            .filter(|c| c.end_to_end.count > 0)
+            .collect()
+    }
+
     /// Snapshot of the trace.
     pub fn trace_snapshot(&self) -> Vec<TraceEvent> {
         self.trace.lock().clone()
     }
 
-    /// Clears all counters and the trace (between benchmark phases).
+    /// Clears all counters, histograms, shed maps, and the trace
+    /// (between benchmark phases).
     pub fn reset(&self) {
         self.txns_committed.store(0, Ordering::Relaxed);
         self.txns_aborted.store(0, Ordering::Relaxed);
@@ -101,6 +357,9 @@ impl EngineMetrics {
         self.window_slides.store(0, Ordering::Relaxed);
         self.window_late_merged.store(0, Ordering::Relaxed);
         self.window_late_dropped.store(0, Ordering::Relaxed);
+        self.shed_batches.store(0, Ordering::Relaxed);
+        self.shed_by_origin.lock().clear();
+        self.latency.clear();
         self.trace.lock().clear();
     }
 }
@@ -120,5 +379,83 @@ mod tests {
         m.reset();
         assert_eq!(EngineMetrics::get(&m.txns_committed), 0);
         assert!(m.trace_snapshot().is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_scale_and_quantiles_ordered() {
+        let h = LatencyHistogram::default();
+        // 89 fast samples, 9 medium, 2 slow: the p50 rank (50) sits in
+        // the fast bucket, p95 (rank 95) in the medium one, p99 (rank
+        // 99) in the slow one.
+        for _ in 0..89 {
+            h.record(Duration::from_nanos(800)); // bucket 10 (≤1024ns)
+        }
+        for _ in 0..9 {
+            h.record(Duration::from_micros(100)); // ≈ bucket 17
+        }
+        h.record(Duration::from_millis(50)); // ≈ bucket 26
+        h.record(Duration::from_millis(50));
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, Duration::from_nanos(1024));
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99, "quantiles must be ordered: {s:?}");
+        assert!(s.p95 >= Duration::from_micros(100) && s.p95 < Duration::from_millis(1));
+        assert!(s.p99 >= Duration::from_millis(50));
+        h.clear();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn histogram_extremes_clamp() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(100_000)); // beyond the last bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50, Duration::ZERO);
+        assert_eq!(s.p99, Duration::from_nanos(1u64 << (LATENCY_BUCKETS - 1)));
+    }
+
+    #[test]
+    fn latency_recording_per_class_and_reset() {
+        let m = EngineMetrics::new();
+        let t0 = Instant::now();
+        let t1 = t0 + Duration::from_micros(10);
+        let t2 = t1 + Duration::from_micros(30);
+        m.record_latency(TxnClass::Border, t0, t1, t2);
+        m.record_latency(TxnClass::Border, t0, t1, t2);
+        m.record_latency(TxnClass::Oltp, t0, t0, t1);
+        let snap = m.latency_snapshot();
+        assert_eq!(snap.len(), 2, "only classes with samples appear");
+        let border = m.class_latency(TxnClass::Border);
+        assert_eq!(border.end_to_end.count, 2);
+        assert_eq!(border.queue_wait.count, 2);
+        assert!(border.end_to_end.p50 >= Duration::from_micros(40));
+        assert_eq!(m.class_latency(TxnClass::WindowSlide).end_to_end.count, 0);
+        // Out-of-order timestamps saturate instead of panicking.
+        m.record_latency(TxnClass::Oltp, t2, t1, t0);
+        m.reset();
+        assert!(m.latency_snapshot().is_empty(), "reset clears histograms");
+        assert_eq!(m.class_latency(TxnClass::Border).end_to_end.count, 0);
+    }
+
+    #[test]
+    fn shed_accounting_per_origin() {
+        let m = EngineMetrics::new();
+        m.bump_shed("s1");
+        m.bump_shed("s1");
+        m.bump_shed("oltp_proc");
+        assert_eq!(EngineMetrics::get(&m.shed_batches), 3);
+        assert_eq!(m.shed_for("s1"), 2);
+        assert_eq!(m.shed_for("nope"), 0);
+        assert_eq!(
+            m.sheds_by_origin(),
+            vec![("oltp_proc".to_string(), 1), ("s1".to_string(), 2)]
+        );
+        m.reset();
+        assert_eq!(EngineMetrics::get(&m.shed_batches), 0);
+        assert_eq!(m.shed_for("s1"), 0);
     }
 }

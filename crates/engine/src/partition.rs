@@ -16,12 +16,14 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam_channel::{Receiver, Sender, TryRecvError};
 use sstore_common::hash::FxHashMap;
 use sstore_common::{BatchId, Error, Lsn, ProcId, Result, TableId, Tuple, Value};
-use sstore_sql::QueryResult;
+use sstore_sql::{BoundStatement, QueryResult};
 
+use crate::admission::{AdmissionPermit, TxnClass};
 use crate::app::App;
 use crate::boundary::EeHandle;
 use crate::config::{EngineConfig, EngineMode};
@@ -31,6 +33,16 @@ use crate::names::AppIds;
 use crate::procedure::{CompiledProc, ProcCtx};
 use crate::scheduler::SchedulerQueue;
 use crate::workflow::TraceEvent;
+
+/// Sentinel [`ProcId`] for ad-hoc SQL requests, which have no stored
+/// procedure. [`Invocation::AdHoc`] is dispatched before procedure
+/// resolution, so this id is never looked up.
+pub const ADHOC_PROC: ProcId = ProcId(u32::MAX);
+
+/// Log/trace display name for ad-hoc SQL transactions. Starts with a
+/// character that cannot begin a declared procedure name, so it can
+/// never collide with (or shadow) an installed procedure.
+pub const ADHOC_NAME: &str = "@adhoc";
 
 /// How a transaction execution is invoked.
 #[derive(Debug, Clone)]
@@ -74,6 +86,34 @@ pub enum Invocation {
         /// The time window to slide.
         window: TableId,
     },
+    /// Ad-hoc SQL transaction ([`crate::engine::Engine::query_at`]):
+    /// one statement planned at the engine edge against the shared
+    /// catalog layout, executed like an OLTP call — admitted, logged
+    /// (it replays from the SQL text), and undo-able. Uses the
+    /// [`ADHOC_PROC`] sentinel instead of a stored procedure.
+    AdHoc {
+        /// Original SQL text (what the command log stores).
+        sql: String,
+        /// The edge-planned statement (table ids are install-order
+        /// deterministic, so the plan is valid on every partition).
+        stmt: Arc<BoundStatement>,
+        /// Bound parameters.
+        params: Vec<Value>,
+    },
+}
+
+impl Invocation {
+    /// The transaction class of this invocation, for latency
+    /// accounting and admission exemption.
+    pub fn class(&self) -> TxnClass {
+        match self {
+            Invocation::Oltp { .. } | Invocation::AdHoc { .. } => TxnClass::Oltp,
+            Invocation::Border { .. } => TxnClass::Border,
+            Invocation::Interior { .. } => TxnClass::Interior,
+            Invocation::Exchange { .. } => TxnClass::ExchangeMerge,
+            Invocation::WindowSlide { .. } => TxnClass::WindowSlide,
+        }
+    }
 }
 
 /// A queued transaction request.
@@ -90,6 +130,56 @@ pub struct TxnRequest {
     pub reply: Option<Sender<Result<CallOutcome>>>,
     /// True during log replay: suppresses re-logging.
     pub replay: bool,
+    /// Transaction class, for per-class latency accounting (derived
+    /// from the invocation at construction).
+    pub class: TxnClass,
+    /// Monotonic timestamp of when this request entered the system:
+    /// admission for client-origin work, enqueue for engine-internal
+    /// work. Queue wait = dispatch − admitted; end-to-end = commit −
+    /// admitted.
+    pub admitted_at: Instant,
+    /// Admission credit held by client-origin requests; `None` for
+    /// internal traffic (PE triggers, exchange deliveries, window
+    /// slides, recovery replay), which is exempt. The credit returns
+    /// to its gate when the permit drops — at commit, abort, or any
+    /// teardown path.
+    pub permit: Option<AdmissionPermit>,
+}
+
+impl TxnRequest {
+    /// An engine-internal request: PE-triggered, exchange-delivered,
+    /// slide, or recovery work — exempt from admission (no permit).
+    pub fn internal(proc: ProcId, invocation: Invocation, batch: Option<BatchId>) -> Self {
+        let class = invocation.class();
+        TxnRequest {
+            proc,
+            invocation,
+            batch,
+            reply: None,
+            replay: false,
+            class,
+            admitted_at: Instant::now(),
+            permit: None,
+        }
+    }
+
+    /// Attaches a reply channel for a synchronous caller.
+    pub fn with_reply(mut self, reply: Sender<Result<CallOutcome>>) -> Self {
+        self.reply = Some(reply);
+        self
+    }
+
+    /// Marks the request as log replay (suppresses re-logging).
+    pub fn replayed(mut self) -> Self {
+        self.replay = true;
+        self
+    }
+
+    /// Attaches an admission permit (client-origin requests only).
+    pub fn admitted(mut self, permit: AdmissionPermit) -> Self {
+        self.permit = Some(permit);
+        self
+    }
 }
 
 /// A downstream activation H-Store-mode clients must drive themselves.
@@ -528,13 +618,11 @@ impl PartitionRuntime {
             pending.parts.into_iter().flatten().flatten().collect();
         EngineMetrics::bump(&self.metrics.exchange_batches);
         for &target in self.ids.pe_targets_of(stream) {
-            self.queue.push_exchange(TxnRequest {
-                proc: target,
-                invocation: Invocation::Exchange { stream, rows: merged.clone() },
-                batch: Some(batch),
-                reply: None,
-                replay: false,
-            });
+            self.queue.push_exchange(TxnRequest::internal(
+                target,
+                Invocation::Exchange { stream, rows: merged.clone() },
+                Some(batch),
+            ));
         }
     }
 
@@ -628,13 +716,7 @@ impl PartitionRuntime {
                 reqs.push((
                     batch,
                     pos,
-                    TxnRequest {
-                        proc: target,
-                        invocation: Invocation::Interior { stream },
-                        batch: Some(batch),
-                        reply: None,
-                        replay: false,
-                    },
+                    TxnRequest::internal(target, Invocation::Interior { stream }, Some(batch)),
                 ));
             }
         }
@@ -651,13 +733,26 @@ impl PartitionRuntime {
     // ------------------------------------------------------------------
 
     fn execute_te(&mut self, req: TxnRequest) {
-        let TxnRequest { proc, invocation, batch, reply, replay } = req;
+        let TxnRequest { proc, invocation, batch, reply, replay, class, admitted_at, permit } =
+            req;
         // The queued slide is now starting: later commits may schedule
         // the next one (including the retry after an abort).
         if let Invocation::WindowSlide { window } = &invocation {
             self.slide_inflight[window.index()] = false;
         }
+        let dispatched_at = Instant::now();
         let outcome = self.try_execute(proc, &invocation, batch, replay);
+        let done_at = Instant::now();
+        // Return the admission credit *before* replying: a synchronous
+        // caller that resubmits the moment its reply arrives must find
+        // the credit it just finished with already free, not racing the
+        // drop below.
+        drop(permit);
+        // Replay timings describe the recovery loop, not any client
+        // request — keep them out of the latency histograms.
+        if !replay {
+            self.metrics.record_latency(class, admitted_at, dispatched_at, done_at);
+        }
         match outcome {
             Ok(out) => {
                 if let Some(reply) = reply {
@@ -691,13 +786,24 @@ impl PartitionRuntime {
         batch: Option<BatchId>,
         replay: bool,
     ) -> Result<CallOutcome> {
-        let proc = self.proc(proc_id)?;
+        // Ad-hoc SQL has no stored procedure (ADHOC_PROC is a
+        // sentinel); everything else resolves its compiled procedure.
+        let proc: Option<Arc<CompiledProc>> = match invocation {
+            Invocation::AdHoc { .. } => None,
+            _ => Some(self.proc(proc_id)?),
+        };
+        let proc_name: Arc<str> = match &proc {
+            Some(p) => p.name.clone(),
+            None => Arc::from(ADHOC_NAME),
+        };
 
         self.ee.begin(batch)?;
 
         // Resolve the input batch.
         let input: Vec<Tuple> = match invocation {
-            Invocation::Oltp { .. } | Invocation::WindowSlide { .. } => Vec::new(),
+            Invocation::Oltp { .. } | Invocation::WindowSlide { .. } | Invocation::AdHoc { .. } => {
+                Vec::new()
+            }
             // Shared-buffer tuples: cloning the batch is a refcount bump
             // per row, not a deep copy.
             Invocation::Border { rows, .. } => rows.clone(),
@@ -753,8 +859,10 @@ impl PartitionRuntime {
             && self.config.mode == EngineMode::SStore
             && !matches!(invocation, Invocation::WindowSlide { .. })
         {
-            for &sid in &proc.align_outputs {
-                self.ee.emit(sid, Vec::new())?;
+            if let Some(proc) = &proc {
+                for &sid in &proc.align_outputs {
+                    self.ee.emit(sid, Vec::new())?;
+                }
             }
         }
 
@@ -767,9 +875,15 @@ impl PartitionRuntime {
         let result = if let Invocation::WindowSlide { window } = invocation {
             self.ee.process_slides(*window)?;
             QueryResult::default()
-        } else if proc.children.is_empty() {
-            self.run_body(proc_id, &proc, input, batch, params)?
+        } else if let Invocation::AdHoc { stmt, params, .. } = invocation {
+            // One edge-planned statement, same effects/undo/cascade
+            // discipline as a compiled procedure statement.
+            self.ee.exec_adhoc(stmt.clone(), params.clone())?
+        } else if proc.as_ref().is_some_and(|p| p.children.is_empty()) {
+            let proc = proc.as_ref().expect("non-adhoc invocations carry a procedure");
+            self.run_body(proc_id, proc, input, batch, params)?
         } else {
+            let proc = proc.as_ref().expect("non-adhoc invocations carry a procedure");
             let mut last = QueryResult::default();
             for (i, &child_id) in proc.children.iter().enumerate() {
                 let child = self.proc(child_id)?;
@@ -792,7 +906,7 @@ impl PartitionRuntime {
         // modulo group commit — before the transaction acknowledges).
         if !replay {
             if let Some(log) = &mut self.log {
-                let proc_name = self.ids.proc_name(proc_id);
+                let proc_name = &*proc_name;
                 let appended = match invocation {
                     Invocation::Oltp { params } => {
                         log.append_oltp(proc_name, params)?;
@@ -835,6 +949,12 @@ impl PartitionRuntime {
                         }
                         crate::config::RecoveryMode::Weak => false,
                     },
+                    // Ad-hoc SQL is logged by its text in both modes
+                    // (like OLTP): replay re-plans and re-executes it.
+                    Invocation::AdHoc { sql, params, .. } => {
+                        log.append_adhoc(sql, params)?;
+                        true
+                    }
                     // Slide transactions are derived state in BOTH
                     // modes: replaying the commits that advanced the
                     // watermark re-derives them deterministically.
@@ -853,7 +973,7 @@ impl PartitionRuntime {
         EngineMetrics::bump(&self.metrics.txns_committed);
         if self.config.trace {
             self.metrics.trace.lock().push(TraceEvent {
-                proc: self.ids.proc_name(proc_id).to_string(),
+                proc: proc_name.to_string(),
                 batch,
                 partition: self.partition_id,
             });
@@ -883,8 +1003,10 @@ impl PartitionRuntime {
                 // and an empty re-ship of an already-shipped batch
                 // would corrupt the receivers' merge accounting.
                 if !matches!(invocation, Invocation::WindowSlide { .. }) {
-                    for &sid in &proc.exchange_outputs {
-                        send.push((sid, b));
+                    if let Some(proc) = &proc {
+                        for &sid in &proc.exchange_outputs {
+                            send.push((sid, b));
+                        }
                     }
                 }
                 local_outputs.retain(|&(s, ob)| {
@@ -914,13 +1036,11 @@ impl PartitionRuntime {
             for &target in self.ids.pe_targets_of(stream) {
                 if self.config.mode == EngineMode::SStore && self.triggers_enabled {
                     EngineMetrics::bump(&self.metrics.pe_trigger_fires);
-                    triggered.push(TxnRequest {
-                        proc: target,
-                        invocation: Invocation::Interior { stream },
-                        batch: Some(b),
-                        reply: None,
-                        replay: false,
-                    });
+                    triggered.push(TxnRequest::internal(
+                        target,
+                        Invocation::Interior { stream },
+                        Some(b),
+                    ));
                 } else {
                     pending.push(PendingActivation {
                         proc: self.ids.proc_name(target).to_string(),
@@ -962,13 +1082,11 @@ impl PartitionRuntime {
                 continue;
             };
             self.slide_inflight[window.index()] = true;
-            self.queue.push_slide(TxnRequest {
-                proc: owner,
-                invocation: Invocation::WindowSlide { window },
+            self.queue.push_slide(TxnRequest::internal(
+                owner,
+                Invocation::WindowSlide { window },
                 batch,
-                reply: None,
-                replay: false,
-            });
+            ));
             enqueued += 1;
         }
         enqueued

@@ -50,7 +50,7 @@ use crate::checkpoint::read_checkpoint;
 use crate::config::{EngineConfig, RecoveryMode};
 use crate::engine::{Bootstrap, Engine};
 use crate::log::{CommandLog, LogKind, LogRecord};
-use crate::partition::{Invocation, TxnRequest};
+use crate::partition::{Invocation, TxnRequest, ADHOC_PROC};
 
 /// Outcome statistics of a recovery run (for tests and Figure 9b).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -196,14 +196,27 @@ fn replay_record(engine: &Engine, partition: usize, rec: &LogRecord) -> Result<(
             Invocation::Exchange { stream: engine.resolve_stream(stream)?, rows: rows.clone() },
             Some(*batch),
         ),
+        // Ad-hoc SQL replays from its text: re-planned against the
+        // recovered catalog, exactly like the original edge planning.
+        LogKind::AdHoc { sql, params } => (
+            Invocation::AdHoc {
+                sql: sql.clone(),
+                stmt: engine.plan_adhoc(sql)?,
+                params: params.clone(),
+            },
+            None,
+        ),
     };
-    let proc = engine
-        .ids()
-        .proc_id(&rec.proc)
-        .ok_or_else(|| Error::not_found("procedure", &rec.proc))?;
+    let proc = match &rec.kind {
+        LogKind::AdHoc { .. } => ADHOC_PROC,
+        _ => engine
+            .ids()
+            .proc_id(&rec.proc)
+            .ok_or_else(|| Error::not_found("procedure", &rec.proc))?,
+    };
     engine.submit(
         partition,
-        TxnRequest { proc, invocation, batch, reply: Some(tx), replay: true },
+        TxnRequest::internal(proc, invocation, batch).with_reply(tx).replayed(),
     )?;
     // An individual replayed transaction may legitimately abort if it
     // aborted pre-crash too (only committed work is logged, so any

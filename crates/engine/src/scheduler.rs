@@ -127,13 +127,7 @@ mod tests {
     use sstore_common::ProcId;
 
     fn req(tag: u32) -> TxnRequest {
-        TxnRequest {
-            proc: ProcId(tag),
-            invocation: Invocation::Oltp { params: Vec::new() },
-            batch: None,
-            reply: None,
-            replay: false,
-        }
+        TxnRequest::internal(ProcId(tag), Invocation::Oltp { params: Vec::new() }, None)
     }
 
     fn order(q: &mut SchedulerQueue) -> Vec<u32> {

@@ -81,3 +81,39 @@ if [ "$tps2" -lt "$scaling_floor" ]; then
     exit 1
 fi
 echo "bench_smoke: OK (scaling 1p = $tps1, 2p = $tps2 tuples/s, cores = ${cores:-1})"
+
+echo "== overload smoke (0.5s per phase: shed + block + class histograms) =="
+oout=$(cargo run --release -p sstore-bench --bin overload -- 0.5 2>/dev/null)
+echo "$oout"
+oshed=$(echo "$oout" | sed -n 's/.*"shed_total": \([0-9]*\).*/\1/p')
+op99=$(echo "$oout" | sed -n 's/.*"shed_p99_e2e_us": \([0-9]*\).*/\1/p')
+oplateau=$(echo "$oout" | sed -n 's/.*"goodput_plateaus": \([a-z]*\).*/\1/p')
+obound=$(echo "$oout" | sed -n 's/.*"in_flight_le_credits": \([a-z]*\).*/\1/p')
+oreset=$(echo "$oout" | sed -n 's/.*"reset_clears_histograms": \([a-z]*\).*/\1/p')
+if [ -z "$oshed" ] || [ -z "$op99" ]; then
+    echo "bench_smoke: could not parse overload output" >&2
+    exit 1
+fi
+# Shedding must actually fire at 10x over-capacity.
+if [ "$oshed" -eq 0 ]; then
+    echo "bench_smoke: overload run shed nothing (shed_total=0)" >&2
+    exit 1
+fi
+# Bounded tail under Shed: p99 end-to-end is capped by credits x
+# per-batch service time (~17ms with 64 credits at ~260us); 200ms is a
+# generous machine-variance ceiling that still catches unbounded
+# queueing (which grows with phase length, not with noise).
+op99_ceiling=200000
+if [ "$op99" -gt "$op99_ceiling" ]; then
+    echo "bench_smoke: shed p99 end-to-end ${op99}us > ceiling ${op99_ceiling}us" >&2
+    exit 1
+fi
+if [ "$oplateau" != "true" ] || [ "$obound" != "true" ]; then
+    echo "bench_smoke: overload shape broke (plateau=$oplateau in_flight_le_credits=$obound)" >&2
+    exit 1
+fi
+if [ "$oreset" != "true" ]; then
+    echo "bench_smoke: EngineMetrics::reset left histogram/shed state behind" >&2
+    exit 1
+fi
+echo "bench_smoke: OK (overload: shed=$oshed p99=${op99}us plateau=$oplateau bounded=$obound reset=$oreset)"
