@@ -1,0 +1,582 @@
+//! Drives one [`Scenario`] against a real engine on a [`SimVfs`],
+//! crashing and recovering per the fault plan, and checks the final
+//! state and metrics against the [`crate::oracle`].
+//!
+//! Checks, in order:
+//! 1. **Log integrity** — the durable logs must never be corrupt
+//!    anywhere but a torn tail.
+//! 2. **Ack durability** — a synchronously acknowledged op must be in
+//!    the durable logs when the config promises it (group commit 1 +
+//!    fsync), and *every* non-shed op of the final generation must be
+//!    there when the clean shutdown reported success (this is the check
+//!    that catches a swallowed `CommandLog::close` error).
+//! 3. **Shed hygiene** — an op rejected with `Overloaded` must have no
+//!    trace in the logs, and the per-generation `shed_batches` counter
+//!    must equal the harness-observed sheds, sub-request-weighted.
+//! 4. **Oracle equality** — after a final verification recovery and
+//!    drain, every table on every partition must equal the model's
+//!    expectation computed from the durable logs alone.
+//! 5. **Metrics sanity** — latency quantile snapshots are monotone,
+//!    admission credits all return after a drain, and a fault-free
+//!    final generation aborts nothing.
+
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sstore_common::{Error, Tuple, Value};
+use sstore_engine::admission::TxnClass;
+use sstore_engine::faults::FaultInjector;
+use sstore_engine::log::{CommandLog, LogKind, LogRecord};
+use sstore_engine::metrics::EngineMetrics;
+use sstore_engine::recovery::recover;
+use sstore_engine::vfs::SimVfs;
+use sstore_engine::{Engine, EngineConfig, LoggingConfig, OverloadPolicy, RecoveryMode};
+
+use crate::oracle::{self, PartitionState};
+use crate::workload::{chaos_app, Op, PlannedCrash, Scenario};
+
+/// What a finished op's outcome tells the checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AckKey {
+    /// A border batch, by its assigned id (must be on every partition).
+    Batch(u64),
+    /// `p_note(id, …)` — an `Oltp` record with this id.
+    Note(i64),
+    /// Ad-hoc insert of `(id, v)`.
+    AdHocInsert(i64, i64),
+    /// Ad-hoc update to `(v)` where `id` — identified by its params.
+    AdHocUpdate(i64, i64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ack {
+    gen: u32,
+    key: AckKey,
+    /// The caller waited for the commit (ack implies durability under
+    /// strict logging).
+    sync: bool,
+}
+
+/// Everything found in the final durable logs that identifies client ops.
+struct LoggedOps {
+    /// Border batch ids per partition.
+    batches: Vec<BTreeSet<u64>>,
+    /// Note ids (Oltp records), all partitions.
+    notes: BTreeSet<i64>,
+    /// Ad-hoc (kind, a, b) triples: ("ins", id, v) / ("upd", v, id).
+    adhoc: BTreeSet<(&'static str, i64, i64)>,
+}
+
+fn collect_logged(logs: &[Vec<LogRecord>]) -> LoggedOps {
+    let mut out = LoggedOps {
+        batches: logs.iter().map(|_| BTreeSet::new()).collect(),
+        notes: BTreeSet::new(),
+        adhoc: BTreeSet::new(),
+    };
+    for (p, records) in logs.iter().enumerate() {
+        for r in records {
+            match &r.kind {
+                LogKind::Border { stream, batch, .. } if stream == "cin" => {
+                    out.batches[p].insert(batch.raw());
+                }
+                LogKind::Oltp { params } if r.proc == "p_note" => {
+                    out.notes.insert(params[0].as_int().expect("note id"));
+                }
+                LogKind::AdHoc { sql, params } => {
+                    let kind = if sql.trim_start().to_ascii_uppercase().starts_with("INSERT") {
+                        "ins"
+                    } else {
+                        "upd"
+                    };
+                    out.adhoc.insert((
+                        kind,
+                        params[0].as_int().expect("param"),
+                        params[1].as_int().expect("param"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+impl LoggedOps {
+    fn contains(&self, key: AckKey) -> bool {
+        match key {
+            AckKey::Batch(b) => self.batches.iter().all(|s| s.contains(&b)),
+            AckKey::Note(id) => self.notes.contains(&id),
+            AckKey::AdHocInsert(id, v) => self.adhoc.contains(&("ins", id, v)),
+            AckKey::AdHocUpdate(id, v) => self.adhoc.contains(&("upd", v, id)),
+        }
+    }
+}
+
+struct Harness {
+    sc: Scenario,
+    config: EngineConfig,
+    sim: SimVfs,
+    inj: Arc<FaultInjector>,
+    crash_queue: VecDeque<PlannedCrash>,
+    engine: Option<Engine>,
+    gen: u32,
+    /// Harness-observed sheds this generation, sub-request-weighted.
+    expected_shed: u64,
+    /// Sheds across all generations (coverage stats).
+    total_shed: u64,
+    /// Any crash, I/O fault, or unclassified error this generation.
+    gen_dirty: bool,
+    faults_seen: u64,
+    acks: Vec<Ack>,
+    sheds: Vec<AckKey>,
+}
+
+type RunResult = Result<(), String>;
+
+impl Harness {
+    fn new(sc: &Scenario, mode: RecoveryMode) -> Result<Harness, String> {
+        let sim = SimVfs::new(sc.seed);
+        sim.plan_faults(sc.io_faults.clone());
+        let inj = FaultInjector::disabled();
+        {
+            let sim2 = sim.clone();
+            inj.on_crash(move || sim2.freeze());
+        }
+        let mut crash_queue: VecDeque<PlannedCrash> = sc.crashes.iter().copied().collect();
+        if let Some(c) = crash_queue.pop_front() {
+            inj.arm(c.point, c.partition, c.nth);
+        }
+        let config = EngineConfig::default()
+            .with_partitions(sc.partitions)
+            .with_data_dir(PathBuf::from("/chaos"))
+            .with_recovery(mode)
+            .with_logging(LoggingConfig {
+                enabled: true,
+                group_commit: sc.group_commit,
+                fsync: sc.fsync,
+            })
+            .with_admission_credits(sc.credits)
+            .with_overload(if sc.shed {
+                OverloadPolicy::Shed
+            } else {
+                OverloadPolicy::Block { timeout: Duration::from_secs(10) }
+            })
+            .with_vfs(Arc::new(sim.clone()))
+            .with_faults(inj.clone());
+        let engine = Engine::start(config.clone(), chaos_app())
+            .map_err(|e| format!("engine start failed: {e}"))?;
+        Ok(Harness {
+            sc: sc.clone(),
+            config,
+            sim,
+            inj,
+            crash_queue,
+            engine: Some(engine),
+            gen: 0,
+            expected_shed: 0,
+            total_shed: 0,
+            gen_dirty: false,
+            faults_seen: 0,
+            acks: Vec::new(),
+            sheds: Vec::new(),
+        })
+    }
+
+    fn engine(&self) -> &Engine {
+        self.engine.as_ref().expect("engine alive")
+    }
+
+    fn machine_down(&self) -> bool {
+        self.inj.crashed() || self.sim.crashed()
+    }
+
+    fn io_fault_progressed(&mut self) -> bool {
+        let f = self.sim.faults_fired();
+        if f > self.faults_seen {
+            self.faults_seen = f;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Per-generation metrics checks, run while the generation's
+    /// engine is still alive.
+    fn check_gen_metrics(&self, final_gen: bool) -> RunResult {
+        let m = self.engine().metrics();
+        let shed = EngineMetrics::get(&m.shed_batches);
+        if shed != self.expected_shed {
+            return Err(format!(
+                "gen {}: shed_batches metric {} != {} offered−admitted sub-requests \
+                 observed by the harness",
+                self.gen, shed, self.expected_shed
+            ));
+        }
+        for class in TxnClass::ALL {
+            let l = m.class_latency(class);
+            for (name, s) in [
+                ("queue_wait", l.queue_wait),
+                ("execution", l.execution),
+                ("end_to_end", l.end_to_end),
+            ] {
+                if !(s.p50 <= s.p95 && s.p95 <= s.p99) {
+                    return Err(format!(
+                        "gen {}: non-monotone {class}/{name} quantiles: {s:?}",
+                        self.gen
+                    ));
+                }
+            }
+        }
+        if final_gen && !self.gen_dirty {
+            let aborted = EngineMetrics::get(&m.txns_aborted);
+            if aborted != 0 {
+                return Err(format!(
+                    "fault-free final generation aborted {aborted} transactions"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Kills the current engine (the machine is already down, or we
+    /// declare it down after a persistent I/O failure), restarts the
+    /// simulated machine, and recovers — repeatedly, if armed crashes
+    /// fire during recovery itself.
+    fn restart(&mut self) -> RunResult {
+        self.check_gen_metrics(false)?;
+        if let Some(e) = self.engine.take() {
+            e.shutdown(); // best-effort: the machine is dead
+        }
+        let budget = self.sc.crashes.len() + self.sc.io_faults.len() + 2;
+        for _ in 0..budget {
+            self.sim.freeze();
+            self.sim.restart_after_crash();
+            self.inj.reset();
+            // Arm the next planned crash only when the previous one has
+            // actually fired — an I/O-fault-triggered restart must not
+            // overwrite a still-pending armed crash.
+            if !self.inj.armed_pending() {
+                if let Some(c) = self.crash_queue.pop_front() {
+                    self.inj.arm(c.point, c.partition, c.nth);
+                }
+            }
+            match recover(self.config.clone(), chaos_app()) {
+                Ok((engine, _)) => {
+                    self.engine = Some(engine);
+                    self.gen += 1;
+                    self.expected_shed = 0;
+                    self.gen_dirty = false;
+                    self.io_fault_progressed();
+                    return Ok(());
+                }
+                Err(err) => {
+                    let crashed_again = self.inj.crashed() || self.sim.crashed();
+                    let fault = self.io_fault_progressed();
+                    if !crashed_again && !fault {
+                        return Err(format!("gen {}: recovery failed: {err}", self.gen));
+                    }
+                }
+            }
+        }
+        Err("recovery did not converge within the crash-plan budget".into())
+    }
+
+    /// Sub-requests one op offers to the admission edge (the unit
+    /// `shed_batches` counts). `cin` feeds an exchange, so every ingest
+    /// broadcasts one sub-batch per partition.
+    fn subrequests(&self, op: &Op) -> u64 {
+        match op {
+            Op::Ingest { .. } => self.sc.partitions as u64,
+            _ => 1,
+        }
+    }
+
+    fn drive_op(&mut self, op: &Op) -> RunResult {
+        let gen = self.gen;
+        let outcome: Result<Option<(AckKey, bool)>, Error> = match op {
+            Op::Ingest { rows, sync } => {
+                let tuples: Vec<Tuple> = rows
+                    .iter()
+                    .map(|&(k, v, ts)| {
+                        Tuple::new(vec![Value::Int(k), Value::Int(v), Value::Int(ts)])
+                    })
+                    .collect();
+                if *sync {
+                    self.engine()
+                        .ingest_sync("cin", tuples)
+                        .map(|(b, _)| Some((AckKey::Batch(b.raw()), true)))
+                } else {
+                    self.engine()
+                        .ingest("cin", tuples)
+                        .map(|b| Some((AckKey::Batch(b.raw()), false)))
+                }
+            }
+            Op::Note { partition, id, v } => self
+                .engine()
+                .call_at(*partition, "p_note", vec![Value::Int(*id), Value::Int(*v)])
+                .map(|_| Some((AckKey::Note(*id), true))),
+            Op::AdHocInsert { partition, id, v } => self
+                .engine()
+                .query_at(
+                    *partition,
+                    "INSERT INTO notes (id, v) VALUES (?, ?)",
+                    vec![Value::Int(*id), Value::Int(*v)],
+                )
+                .map(|_| Some((AckKey::AdHocInsert(*id, *v), true))),
+            Op::AdHocUpdate { partition, id, v } => self
+                .engine()
+                .query_at(
+                    *partition,
+                    "UPDATE notes SET v = ? WHERE id = ?",
+                    vec![Value::Int(*v), Value::Int(*id)],
+                )
+                .map(|_| Some((AckKey::AdHocUpdate(*id, *v), true))),
+            Op::Checkpoint => self
+                .engine()
+                .drain()
+                .and_then(|()| self.engine().checkpoint())
+                .map(|()| None),
+        };
+        match outcome {
+            Ok(Some((key, sync))) => self.acks.push(Ack { gen, key, sync }),
+            Ok(None) => {}
+            Err(Error::Overloaded(_)) => {
+                self.expected_shed += self.subrequests(op);
+                self.total_shed += self.subrequests(op);
+                if let Some(key) = shed_key(op) {
+                    self.sheds.push(key);
+                }
+            }
+            Err(e) => {
+                // Only a crash or a fired I/O fault explains a
+                // non-Overloaded failure; peek at the fault counter
+                // without consuming the progress marker (run() still
+                // needs it to trigger the restart). An error with
+                // neither cause is an engine regression the sweep must
+                // not swallow.
+                if !self.machine_down() && self.sim.faults_fired() == self.faults_seen {
+                    return Err(format!(
+                        "op {op:?} failed with no crash or I/O fault in flight: {e}"
+                    ));
+                }
+                self.gen_dirty = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&mut self) -> RunResult {
+        let ops = self.sc.ops.clone();
+        for op in &ops {
+            if self.machine_down() {
+                self.restart()?;
+            }
+            self.drive_op(op)?;
+            if self.machine_down() || self.io_fault_progressed() {
+                self.gen_dirty = true;
+                self.restart()?;
+            }
+        }
+        // End on a live, quiesced, fault-free machine: a planned fault
+        // can still fire while the queues drain (async work is
+        // processed after the op that submitted it), which makes the
+        // generation dirty and forces one more restart.
+        let mut settled = false;
+        for _ in 0..6 {
+            if self.machine_down() {
+                self.restart()?;
+                continue;
+            }
+            self.engine().drain().map_err(|e| format!("final drain failed: {e}"))?;
+            if self.machine_down() || self.io_fault_progressed() {
+                self.gen_dirty = true;
+                self.restart()?;
+                continue;
+            }
+            settled = true;
+            break;
+        }
+        if !settled {
+            return Err("machine still crashing after final drain attempts".into());
+        }
+        self.check_gen_metrics(true)?;
+        for p in 0..self.sc.partitions {
+            let held = self.engine().admitted_in_flight(p);
+            if held != 0 {
+                return Err(format!(
+                    "partition {p}: {held} admission credits still held after drain"
+                ));
+            }
+        }
+
+        // Clean shutdown. A close-time flush failure (fail_close
+        // scenarios) must surface here — an Ok with a lost tail is the
+        // PR-3 log-close bug, and the ack check below catches it.
+        let final_gen = self.gen;
+        let final_gen_clean = !self.gen_dirty;
+        let close_ok = self
+            .engine
+            .take()
+            .expect("engine alive")
+            .close()
+            .is_ok();
+        if self.sc.fail_close && close_ok {
+            return Err(
+                "the close-time log flush was made to fail, but Engine::close reported a \
+                 clean shutdown — a swallowed CommandLog::close error silently loses the \
+                 log tail"
+                    .into(),
+            );
+        }
+
+        // Read the durable logs (interior corruption = divergence).
+        let mut logs: Vec<Vec<LogRecord>> = Vec::with_capacity(self.sc.partitions);
+        for p in 0..self.sc.partitions {
+            logs.push(
+                CommandLog::read_all_on(&self.sim, &self.config.log_path(p)).map_err(|e| {
+                    format!("partition {p}: durable log is corrupt beyond a torn tail: {e}")
+                })?,
+            );
+        }
+        let logged = collect_logged(&logs);
+
+        // Ack durability.
+        let strict = self.sc.strict_durability();
+        for ack in &self.acks {
+            let must = (strict && ack.sync)
+                || (close_ok && final_gen_clean && ack.gen == final_gen);
+            if must && !logged.contains(ack.key) {
+                return Err(format!(
+                    "acknowledged op {:?} (gen {}, sync={}) is missing from the durable \
+                     logs after a {} — committed work was lost",
+                    ack.key,
+                    ack.gen,
+                    ack.sync,
+                    if close_ok { "clean close" } else { "crash under strict durability" },
+                ));
+            }
+        }
+        for &key in &self.sheds {
+            if logged.contains(key) {
+                return Err(format!(
+                    "op {key:?} was rejected with Overloaded but left a log record"
+                ));
+            }
+        }
+
+        // Oracle comparison against a final verification recovery.
+        let expected = oracle::expected_state(&logs);
+        self.sim.clear_faults();
+        self.inj.disarm();
+        let (engine, _) = recover(self.config.clone(), chaos_app())
+            .map_err(|e| format!("verification recovery failed: {e}"))?;
+        engine.drain().map_err(|e| format!("verification drain failed: {e}"))?;
+        let got = read_state(&engine, self.sc.partitions)?;
+        engine.shutdown();
+        for (p, (want, have)) in expected.iter().zip(&got).enumerate() {
+            for (table, w, h) in [
+                ("raw", fmt3(&want.raw), fmt3(&have.raw)),
+                ("locout", fmt2(&want.locout), fmt2(&have.locout)),
+                ("xout", fmt2(&want.xout), fmt2(&have.xout)),
+                ("notes", fmt2(&want.notes), fmt2(&have.notes)),
+                ("wsum", format!("{:?}", want.wsum), format!("{:?}", have.wsum)),
+                ("tw", fmt2(&want.tw), fmt2(&have.tw)),
+            ] {
+                if w != h {
+                    return Err(format!(
+                        "oracle divergence on partition {p}, table {table}:\n  \
+                         expected: {w}\n  engine:   {h}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn shed_key(op: &Op) -> Option<AckKey> {
+    match op {
+        // A shed ingest never drew a batch id — nothing to look for
+        // (the oracle state check covers it).
+        Op::Ingest { .. } | Op::Checkpoint => None,
+        Op::Note { id, .. } => Some(AckKey::Note(*id)),
+        Op::AdHocInsert { id, v, .. } => Some(AckKey::AdHocInsert(*id, *v)),
+        Op::AdHocUpdate { id, v, .. } => Some(AckKey::AdHocUpdate(*id, *v)),
+    }
+}
+
+fn fmt2(v: &[(i64, i64)]) -> String {
+    format!("{v:?}")
+}
+
+fn fmt3(v: &[(i64, i64, i64)]) -> String {
+    format!("{v:?}")
+}
+
+fn read_state(engine: &Engine, partitions: usize) -> Result<Vec<PartitionState>, String> {
+    let q = |p: usize, sql: &str| {
+        engine.query(p, sql, vec![]).map_err(|e| format!("query `{sql}` on {p}: {e}"))
+    };
+    let mut out = Vec::with_capacity(partitions);
+    for p in 0..partitions {
+        let mut st = PartitionState::default();
+        for t in q(p, "SELECT k, v, ts FROM raw")?.rows {
+            st.raw.push((
+                t.get(0).as_int().unwrap(),
+                t.get(1).as_int().unwrap(),
+                t.get(2).as_int().unwrap(),
+            ));
+        }
+        for t in q(p, "SELECT k, v FROM locout")?.rows {
+            st.locout.push((t.get(0).as_int().unwrap(), t.get(1).as_int().unwrap()));
+        }
+        for t in q(p, "SELECT g, v FROM xout")?.rows {
+            st.xout.push((t.get(0).as_int().unwrap(), t.get(1).as_int().unwrap()));
+        }
+        for t in q(p, "SELECT id, v FROM notes")?.rows {
+            st.notes.push((t.get(0).as_int().unwrap(), t.get(1).as_int().unwrap()));
+        }
+        for t in q(p, "SELECT total FROM wsum")?.rows {
+            st.wsum.push(match t.get(0) {
+                Value::Null => None,
+                v => Some(v.as_int().unwrap()),
+            });
+        }
+        for t in q(p, "SELECT ts, v FROM tw")?.rows {
+            st.tw.push((t.get(0).as_int().unwrap(), t.get(1).as_int().unwrap()));
+        }
+        st.raw.sort_unstable();
+        st.locout.sort_unstable();
+        st.xout.sort_unstable();
+        st.notes.sort_unstable();
+        st.wsum.sort_unstable();
+        st.tw.sort_unstable();
+        out.push(st);
+    }
+    Ok(out)
+}
+
+/// Coverage accounting for one scenario run (proves the corpus is
+/// exercising crashes and sheds, not vacuously passing).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunStats {
+    /// Crash/restart cycles survived (0 = fault-free run).
+    pub restarts: u32,
+    /// Sub-requests shed at the admission edge.
+    pub sheds: u64,
+    /// Ops acknowledged.
+    pub acks: usize,
+}
+
+/// Runs one scenario under one recovery mode. `Ok` = no divergence.
+pub fn run_scenario(sc: &Scenario, mode: RecoveryMode) -> Result<RunStats, String> {
+    let mut h = Harness::new(sc, mode)?;
+    let total_shed = match h.run() {
+        Ok(()) => h.total_shed,
+        Err(e) => return Err(e),
+    };
+    Ok(RunStats { restarts: h.gen, sheds: total_shed, acks: h.acks.len() })
+}

@@ -1,0 +1,81 @@
+//! Greedy fault-plan and op-list shrinking.
+//!
+//! On a failing scenario, repeatedly try removing pieces — whole
+//! crashes, I/O faults, then op chunks of halving size — keeping every
+//! variant that still fails, until a pass over all candidates removes
+//! nothing. The result is a (locally) minimal reproducer printed with
+//! the seed, so a CI failure can be replayed and debugged from a
+//! handful of ops instead of sixty.
+//!
+//! Replay fidelity: scenarios are fully self-contained and the SimVfs
+//! is seeded, so single-partition scenarios replay exactly; on
+//! multi-partition scenarios cross-partition thread interleavings can
+//! (rarely) shift which transaction a crash point lands on, so the
+//! shrinker re-checks each candidate by actually running it.
+
+use crate::workload::Scenario;
+
+/// Shrinks `sc` against `fails` (returns the divergence message when
+/// the scenario still fails). Bounded by `budget` re-runs.
+pub fn shrink(
+    sc: &Scenario,
+    mut budget: usize,
+    fails: impl Fn(&Scenario) -> Option<String>,
+) -> Scenario {
+    let mut best = sc.clone();
+    let mut progress = true;
+    while progress && budget > 0 {
+        progress = false;
+
+        // Drop whole crashes / io faults first — the fault plan is
+        // usually the interesting part, and fewer faults means fewer
+        // generations to reason about.
+        let mut i = 0;
+        while i < best.crashes.len() && budget > 0 {
+            let mut cand = best.clone();
+            cand.crashes.remove(i);
+            budget -= 1;
+            if fails(&cand).is_some() {
+                best = cand;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < best.io_faults.len() && budget > 0 {
+            let mut cand = best.clone();
+            cand.io_faults.remove(i);
+            budget -= 1;
+            if fails(&cand).is_some() {
+                best = cand;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Remove op chunks, halving the chunk size.
+        let mut chunk = (best.ops.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start < best.ops.len() && budget > 0 {
+                let mut cand = best.clone();
+                let end = (start + chunk).min(cand.ops.len());
+                cand.ops.drain(start..end);
+                budget -= 1;
+                if !cand.ops.is_empty() && fails(&cand).is_some() {
+                    best = cand;
+                    progress = true;
+                } else {
+                    start += chunk;
+                }
+            }
+            if chunk == 1 || budget == 0 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+    best
+}

@@ -232,11 +232,19 @@ mod tests {
         // With a free credit, Duration::MAX must acquire immediately
         // (the unrepresentable deadline must not overflow).
         assert!(gate.acquire_timeout(Duration::MAX).is_some());
-        // And a waiter with no deadline still wakes on a free.
+        // And a waiter with no deadline still wakes on a free. No
+        // sleep-based timing: the handshake only proves the waiter
+        // thread is running before the credit frees — whether it has
+        // parked yet or not, the condvar loop re-checks the counter,
+        // so the release cannot be missed.
         let held = gate.try_acquire().unwrap();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
         let g2 = gate.clone();
-        let t = std::thread::spawn(move || g2.acquire_timeout(Duration::MAX).is_some());
-        std::thread::sleep(Duration::from_millis(20));
+        let t = std::thread::spawn(move || {
+            ready_tx.send(()).expect("main is waiting");
+            g2.acquire_timeout(Duration::MAX).is_some()
+        });
+        ready_rx.recv().expect("waiter started");
         drop(held);
         assert!(t.join().unwrap());
     }
@@ -256,11 +264,19 @@ mod tests {
     fn blocked_acquire_wakes_on_free() {
         let gate = AdmissionGate::new(1);
         let held = gate.try_acquire().unwrap();
+        // Explicit handshake instead of a sleep: under heavy CI load a
+        // fixed sleep neither guarantees the waiter parked first nor
+        // bounds how late it runs — but correctness needs neither. The
+        // waiter signals it is live, then acquires with no deadline;
+        // the release below must wake it whether it parked before or
+        // after the drop (the wait loop re-checks the counter).
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
         let g2 = gate.clone();
         let t = std::thread::spawn(move || {
-            g2.acquire_timeout(Duration::from_secs(5)).is_some()
+            ready_tx.send(()).expect("main is waiting");
+            g2.acquire_timeout(Duration::MAX).is_some()
         });
-        std::thread::sleep(Duration::from_millis(20));
+        ready_rx.recv().expect("waiter started");
         drop(held);
         assert!(t.join().unwrap(), "waiter must wake when the credit frees");
         assert_eq!(gate.available(), 1, "waiter's permit dropped at thread end");

@@ -3,11 +3,12 @@
 //! (log watermark, per-stream batch counters).
 
 use std::collections::HashMap;
-use std::fs;
 use std::path::Path;
 
 use sstore_common::codec::{Decoder, Encoder};
 use sstore_common::{Error, Lsn, Result};
+
+use crate::vfs::{StdVfs, Vfs};
 
 const MAGIC: u32 = 0x5353_434B; // "SSCK"
 // v3: EE image carries per-stream event-time high marks and tagged
@@ -62,8 +63,14 @@ fn get_counters(d: &mut Decoder<'_>) -> Result<HashMap<String, u64>> {
     Ok(counters)
 }
 
-/// Writes a checkpoint atomically (temp file + rename).
+/// Writes a checkpoint atomically (temp file + rename) on the real
+/// filesystem.
 pub fn write_checkpoint(path: &Path, ck: &CheckpointFile) -> Result<()> {
+    write_checkpoint_on(&StdVfs, path, ck)
+}
+
+/// Writes a checkpoint atomically on an explicit [`Vfs`].
+pub fn write_checkpoint_on(vfs: &dyn Vfs, path: &Path, ck: &CheckpointFile) -> Result<()> {
     let mut e = Encoder::with_capacity(ck.ee_image.len() + 128);
     e.put_u32(MAGIC);
     e.put_u32(VERSION);
@@ -73,21 +80,23 @@ pub fn write_checkpoint(path: &Path, ck: &CheckpointFile) -> Result<()> {
     put_counters(&mut e, &ck.exchange_floor);
     e.put_bytes(&ck.ee_image);
     if let Some(dir) = path.parent() {
-        fs::create_dir_all(dir)?;
+        vfs.create_dir_all(dir)?;
     }
-    let tmp = path.with_extension("tmp");
-    fs::write(&tmp, e.finish())?;
-    fs::rename(&tmp, path)?;
-    Ok(())
+    vfs.write_atomic(path, &e.finish())
 }
 
-/// Reads a checkpoint; `Ok(None)` when the file does not exist (fresh
-/// start or crash before the first checkpoint).
+/// Reads a checkpoint from the real filesystem; `Ok(None)` when the
+/// file does not exist (fresh start or crash before the first
+/// checkpoint).
 pub fn read_checkpoint(path: &Path) -> Result<Option<CheckpointFile>> {
-    if !path.exists() {
+    read_checkpoint_on(&StdVfs, path)
+}
+
+/// Reads a checkpoint from an explicit [`Vfs`].
+pub fn read_checkpoint_on(vfs: &dyn Vfs, path: &Path) -> Result<Option<CheckpointFile>> {
+    let Some(bytes) = vfs.read(path)? else {
         return Ok(None);
-    }
-    let bytes = fs::read(path)?;
+    };
     let mut d = Decoder::new(&bytes);
     if d.get_u32()? != MAGIC {
         return Err(Error::Codec(format!("bad checkpoint magic in {}", path.display())));

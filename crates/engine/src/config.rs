@@ -2,7 +2,11 @@
 //! plus the admission edge (credits + overload policy).
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
+
+use crate::faults::FaultInjector;
+use crate::vfs::{StdVfs, Vfs};
 
 /// Whether the partition engine behaves like S-Store or plain H-Store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,6 +140,14 @@ pub struct EngineConfig {
     /// What to do with a client request when its partition's credits
     /// are exhausted.
     pub overload: OverloadPolicy,
+    /// The filesystem under all durable I/O (command logs, checkpoint
+    /// images). Production is [`StdVfs`] — today's `std::fs` code; the
+    /// chaos harness plugs in [`crate::vfs::SimVfs`] to inject torn
+    /// tails, short writes, fsync errors, and crash-at-byte-N.
+    pub vfs: Arc<dyn Vfs>,
+    /// Crash-point scheduler. Disarmed by default — one relaxed atomic
+    /// load per crash point, nothing else.
+    pub faults: Arc<FaultInjector>,
 }
 
 impl Default for EngineConfig {
@@ -151,6 +163,8 @@ impl Default for EngineConfig {
             trace: false,
             admission_credits: 1024,
             overload: OverloadPolicy::default(),
+            vfs: Arc::new(StdVfs),
+            faults: FaultInjector::disabled(),
         }
     }
 }
@@ -228,6 +242,18 @@ impl EngineConfig {
     /// Builder-style: set the overload policy.
     pub fn with_overload(mut self, policy: OverloadPolicy) -> Self {
         self.overload = policy;
+        self
+    }
+
+    /// Builder-style: set the filesystem under all durable I/O.
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
+    }
+
+    /// Builder-style: install a fault injector (crash points).
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = faults;
         self
     }
 }

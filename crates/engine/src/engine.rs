@@ -30,9 +30,10 @@ use sstore_storage::Catalog;
 use crate::admission::{AdmissionGate, AdmissionPermit};
 use crate::app::App;
 use crate::boundary::EeHandle;
-use crate::checkpoint::{write_checkpoint, CheckpointFile};
+use crate::checkpoint::{write_checkpoint_on, CheckpointFile};
 use crate::config::{BoundaryMode, EngineConfig, OverloadPolicy};
 use crate::ee::{build_catalog, ExecutionEngine};
+use crate::faults::CrashPoint;
 use crate::metrics::EngineMetrics;
 use crate::names::{AppIds, StreamMeta};
 use crate::partition::{
@@ -259,18 +260,16 @@ impl Engine {
     // Admission control (client edge)
     // ------------------------------------------------------------------
 
-    /// Acquires one admission credit on `partition` for a
-    /// client-origin request, per the configured
-    /// [`OverloadPolicy`]. On rejection — an empty gate under `Shed`,
-    /// or a `Block` timeout expiring — bumps the shed metrics for
-    /// `origin` (the stream or procedure name) and returns
-    /// [`Error::Overloaded`] *before any state is touched*.
-    fn admit(&self, partition: usize, origin: &str) -> Result<AdmissionPermit> {
+    /// Acquires one admission credit on `partition` without touching
+    /// the shed metrics — callers account the rejection at their own
+    /// granularity ([`Engine::admit`] for single requests,
+    /// [`Engine::admit_all`] once per sub-request of a split batch).
+    fn admit_quiet(&self, partition: usize, origin: &str) -> Result<AdmissionPermit> {
         let gate = self
             .gates
             .get(partition)
             .ok_or_else(|| Error::not_found("partition", partition.to_string()))?;
-        let permit = match self.config.overload {
+        match self.config.overload {
             OverloadPolicy::Shed => gate.try_acquire().ok_or_else(|| {
                 Error::Overloaded(format!(
                     "shed {origin}: all {} admission credits of partition {partition} are \
@@ -285,8 +284,18 @@ impl Engine {
                     gate.capacity()
                 ))
             }),
-        };
-        if permit.is_err() {
+        }
+    }
+
+    /// Acquires one admission credit on `partition` for a
+    /// client-origin request, per the configured
+    /// [`OverloadPolicy`]. On rejection — an empty gate under `Shed`,
+    /// or a `Block` timeout expiring — bumps the shed metrics for
+    /// `origin` (the stream or procedure name) and returns
+    /// [`Error::Overloaded`] *before any state is touched*.
+    fn admit(&self, partition: usize, origin: &str) -> Result<AdmissionPermit> {
+        let permit = self.admit_quiet(partition, origin);
+        if matches!(permit, Err(Error::Overloaded(_))) {
             self.metrics.bump_shed(origin);
         }
         permit
@@ -296,8 +305,35 @@ impl Engine {
     /// credit per sub-request): if any acquisition is rejected, the
     /// permits already acquired are dropped — returning their credits —
     /// and the whole request is rejected with nothing delivered.
-    fn admit_all(&self, partitions: impl Iterator<Item = usize>, origin: &str) -> Result<Vec<AdmissionPermit>> {
-        partitions.map(|p| self.admit(p, origin)).collect()
+    ///
+    /// Shed accounting counts *sub-requests*, not acquisition
+    /// attempts: a split batch that fails all-or-nothing admission
+    /// sheds every one of its sub-requests (including the ones whose
+    /// credits were acquired and rolled back, and the ones never
+    /// attempted), so `shed_batches` always equals offered minus
+    /// admitted sub-requests. `offered` is the batch's total
+    /// sub-request count (== the iterator's length), passed separately
+    /// so the hot path needs no collected partition list.
+    fn admit_all(
+        &self,
+        partitions: impl Iterator<Item = usize>,
+        offered: usize,
+        origin: &str,
+    ) -> Result<Vec<AdmissionPermit>> {
+        let mut permits = Vec::with_capacity(offered);
+        for p in partitions {
+            match self.admit_quiet(p, origin) {
+                Ok(permit) => permits.push(permit),
+                Err(e) => {
+                    drop(permits); // roll back: credits return to their gates
+                    if matches!(e, Error::Overloaded(_)) {
+                        self.metrics.bump_shed_n(origin, offered as u64);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(permits)
     }
 
     /// Admission credits currently held by in-flight client requests
@@ -418,7 +454,8 @@ impl Engine {
         mut reply_for: impl FnMut(usize) -> Option<crossbeam_channel::Sender<Result<CallOutcome>>>,
     ) -> Result<BatchId> {
         let PreparedIngest { stream: sid, proc, parts } = prepared;
-        let permits = self.admit_all(parts.iter().map(|(p, _)| *p), stream)?;
+        let permits =
+            self.admit_all(parts.iter().map(|(p, _)| *p), parts.len(), stream)?;
         let mut counters = self.batch_counters.lock();
         let c = &mut counters[sid.index()];
         *c += 1;
@@ -733,6 +770,8 @@ impl Engine {
                 rx.recv().map_err(|_| Error::InvalidState("checkpoint reply lost".into()))??,
             );
         }
+        // Crash point: every image collected, no file written yet.
+        self.config.faults.hit(CrashPoint::MidCheckpointPhase1, None)?;
         for (p, (ee_image, last_lsn, exchange_floor)) in images.into_iter().enumerate() {
             let ck = CheckpointFile {
                 epoch,
@@ -741,7 +780,10 @@ impl Engine {
                 exchange_floor,
                 ee_image,
             };
-            write_checkpoint(&self.config.checkpoint_path(p), &ck)?;
+            write_checkpoint_on(self.config.vfs.as_ref(), &self.config.checkpoint_path(p), &ck)?;
+            // Crash point: the set is torn — partitions up to `p` carry
+            // the new epoch, the rest the old.
+            self.config.faults.hit(CrashPoint::MidCheckpointPhase2, None)?;
         }
         Ok(())
     }

@@ -29,6 +29,12 @@
 //!  │  · PE triggers               │ receivers merge all N    │
 //!  │  · exchange merge buffer     │ sources, then fire the   │
 //!  │  · command log + recovery    │ PE trigger locally       │
+//!  │    └─ Vfs seam: all durable  │                          │
+//!  │       I/O (log + checkpoint) │                          │
+//!  │       via StdVfs (prod) or   │                          │
+//!  │       SimVfs (chaos: torn    │                          │
+//!  │       tails, fsync errors,   │                          │
+//!  │       crash points)          │                          │
 //!  └──────────────┬───────────────┘                          │
 //!                 │  EE boundary (inline call or channel hop)
 //!                 ▼
@@ -85,6 +91,16 @@
 //! [`engine::Engine`] under an [`config::EngineConfig`] that selects
 //! S-Store vs H-Store behavior, boundary costs, logging, recovery
 //! mode, and the admission edge (credits + overload policy).
+//!
+//! All durable I/O goes through the **[`vfs`] seam**: production uses
+//! [`vfs::StdVfs`] (plain `std::fs`, one virtual call per flush), the
+//! deterministic chaos harness (`crates/chaos`) plugs in
+//! [`vfs::SimVfs`] — an in-memory filesystem that injects torn tails,
+//! short writes, and fsync errors from a seeded RNG — and arms named
+//! [`faults::CrashPoint`]s (pre-commit-append, post-append-pre-send,
+//! mid-checkpoint phase 1/2, post-exchange-ship) via a
+//! [`faults::FaultInjector`], so a simulated kill -9 lands at an exact
+//! engine step and recovery is checked against a model oracle.
 
 pub mod admission;
 pub mod app;
@@ -93,6 +109,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod ee;
 pub mod engine;
+pub mod faults;
 pub mod log;
 pub mod metrics;
 pub mod names;
@@ -102,6 +119,7 @@ pub mod recovery;
 pub mod scheduler;
 pub mod stream;
 pub mod trigger;
+pub mod vfs;
 pub mod window;
 pub mod workflow;
 

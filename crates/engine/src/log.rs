@@ -20,14 +20,13 @@
 //! any *earlier* record is corruption of acknowledged work and fails
 //! recovery loudly.
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 use sstore_common::codec::{Decoder, Encoder};
 use sstore_common::{BatchId, Error, Lsn, Result, Tuple, Value};
 
 use crate::config::LoggingConfig;
+use crate::vfs::{LogFile, StdVfs, Vfs};
 
 /// CRC32 (IEEE 802.3) lookup table, built at compile time.
 const CRC32_TABLE: [u32; 256] = {
@@ -63,8 +62,19 @@ const FRAME_LEN: usize = 8;
 /// (the record framing has changed across versions — old logs would
 /// otherwise read as garbage or, worse, as an empty log).
 const LOG_MAGIC: u32 = 0x5353_4C47;
-const LOG_VERSION: u32 = 2;
+// v3: LSNs are 1-based. A checkpoint's `last_lsn` of 0 therefore means
+// "covers no records" — with 0-based LSNs a checkpoint taken before the
+// first append claimed to cover lsn 0, and strictly-after replay then
+// silently skipped the first post-checkpoint record (found by the
+// chaos harness: strong recovery replayed an interior record whose
+// border had been filtered out).
+const LOG_VERSION: u32 = 3;
 const HEADER_LEN: usize = 8;
+
+/// The LSN assigned to the first record of a fresh log. LSNs are
+/// 1-based: `Lsn(0)` is reserved as "before every record" so inclusive
+/// watermarks can express an empty prefix.
+pub const FIRST_LSN: u64 = 1;
 
 fn header_bytes() -> [u8; HEADER_LEN] {
     let mut h = [0u8; HEADER_LEN];
@@ -284,61 +294,102 @@ impl LogRecord {
 }
 
 /// Append-only command log for one partition.
+///
+/// Records accumulate in an in-process buffer and reach the
+/// [`Vfs`] only on flush (one `append` per group commit, plus a `sync`
+/// when `fsync` is configured) — the hot path never crosses the VFS
+/// seam. A failed flush **poisons** the log: the bytes on disk may end
+/// in a torn frame, so appending anything after it would turn a clean
+/// torn tail into interior corruption. Every later append or flush
+/// returns the original error; the partition surfaces it per
+/// transaction and the shutdown path reports it through
+/// [`CommandLog::close`].
 #[derive(Debug)]
 pub struct CommandLog {
     path: PathBuf,
-    writer: BufWriter<File>,
+    file: Box<dyn LogFile>,
     config: LoggingConfig,
     next_lsn: u64,
     pending: usize,
+    /// Encoded frames awaiting the next flush.
+    buf: Vec<u8>,
     flushes: u64,
     /// Reused per-record encode buffer (no allocation per append).
     enc: Encoder,
+    /// First flush failure; set once, never cleared.
+    poisoned: Option<Error>,
 }
 
 impl CommandLog {
-    /// Opens (creating or truncating) a log file for writing.
+    /// Opens (creating or truncating) a log file for writing on the
+    /// real filesystem.
     pub fn create(path: impl Into<PathBuf>, config: LoggingConfig) -> Result<Self> {
+        Self::create_on(&StdVfs, path, config)
+    }
+
+    /// Opens (creating or truncating) a log file for writing on `vfs`.
+    pub fn create_on(vfs: &dyn Vfs, path: impl Into<PathBuf>, config: LoggingConfig) -> Result<Self> {
         let path = path.into();
         if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir)?;
+            vfs.create_dir_all(dir)?;
         }
-        let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
-        let mut writer = BufWriter::new(file);
-        writer.write_all(&header_bytes())?;
+        let (file, _) = vfs.open_log(&path, true)?;
+        // The header rides in the buffer ahead of the first record
+        // group: a freshly created log touches the device only at its
+        // first flush (an empty file is a valid empty log), and a
+        // write-failing device surfaces on the commit/close path — not
+        // at startup, where nothing durable was promised yet.
+        let mut buf = Vec::with_capacity(1024);
+        buf.extend_from_slice(&header_bytes());
         Ok(CommandLog {
             path,
-            writer,
+            file,
             config,
-            next_lsn: 0,
+            next_lsn: FIRST_LSN,
             pending: 0,
+            buf,
             flushes: 0,
             enc: Encoder::with_capacity(256),
+            poisoned: None,
         })
     }
 
-    /// Opens a log for appending after recovery, continuing the LSN
-    /// sequence past `resume_after`.
+    /// Opens a log for appending after recovery on the real
+    /// filesystem, continuing the LSN sequence past `resume_after`.
     pub fn resume(path: impl Into<PathBuf>, config: LoggingConfig, resume_after: Lsn) -> Result<Self> {
+        Self::resume_on(&StdVfs, path, config, resume_after)
+    }
+
+    /// Opens a log for appending after recovery on `vfs`, continuing
+    /// the LSN sequence past `resume_after`.
+    pub fn resume_on(
+        vfs: &dyn Vfs,
+        path: impl Into<PathBuf>,
+        config: LoggingConfig,
+        resume_after: Lsn,
+    ) -> Result<Self> {
         let path = path.into();
         if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir)?;
+            vfs.create_dir_all(dir)?;
         }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        let mut writer = BufWriter::new(file);
-        if writer.get_ref().metadata()?.len() == 0 {
+        let (file, len) = vfs.open_log(&path, false)?;
+        let mut buf = Vec::with_capacity(1024);
+        if len == 0 {
             // Resuming onto a log that never existed (e.g. logging was
-            // enabled after the checkpoint): start it properly.
-            writer.write_all(&header_bytes())?;
+            // enabled after the checkpoint, or the first flush never
+            // happened): start it properly at the next flush.
+            buf.extend_from_slice(&header_bytes());
         }
         Ok(CommandLog {
             path,
-            writer,
+            file,
             config,
             next_lsn: resume_after.raw() + 1,
             pending: 0,
+            buf,
             flushes: 0,
             enc: Encoder::with_capacity(256),
+            poisoned: None,
         })
     }
 
@@ -404,13 +455,16 @@ impl CommandLog {
     }
 
     fn append_ref(&mut self, proc: &str, kind: LogKindRef<'_>) -> Result<Lsn> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
         let lsn = Lsn(self.next_lsn);
         self.next_lsn += 1;
         encode_payload(&mut self.enc, lsn, proc, kind);
         let payload = self.enc.as_bytes();
-        self.writer.write_all(&(payload.len() as u32).to_le_bytes())?;
-        self.writer.write_all(&crc32(payload).to_le_bytes())?;
-        self.writer.write_all(payload)?;
+        self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        self.buf.extend_from_slice(payload);
         self.pending += 1;
         if self.pending >= self.config.group_commit.max(1) {
             self.flush()?;
@@ -421,15 +475,54 @@ impl CommandLog {
     /// Forces out any buffered records (end of a benchmark phase, clean
     /// shutdown, or a group-commit deadline).
     pub fn flush(&mut self) -> Result<()> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
         if self.pending == 0 {
             return Ok(());
         }
-        self.writer.flush()?;
-        if self.config.fsync {
-            self.writer.get_ref().sync_data()?;
+        let out: Result<()> = (|| {
+            self.file.append(&self.buf)?;
+            if self.config.fsync {
+                self.file.sync()?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = &out {
+            // The file may now end in a torn frame (a short write).
+            // Appending anything after it would turn that clean torn
+            // tail into interior corruption of acknowledged records —
+            // seal the log instead; recovery treats the tear as the
+            // crash semantics it is.
+            self.poisoned = Some(e.clone());
+            self.buf.clear();
+            self.pending = 0;
+            return out;
         }
+        self.buf.clear();
         self.pending = 0;
         self.flushes += 1;
+        Ok(())
+    }
+
+    /// Flush + unconditional fsync, regardless of the configured
+    /// `fsync` policy. Called before a checkpoint image is written: a
+    /// checkpoint must never outrun its log (the image can contain a
+    /// transaction whose record is only in the page cache — a crash
+    /// would then recover state with no durable provenance).
+    pub fn sync_for_checkpoint(&mut self) -> Result<()> {
+        self.flush()?;
+        if !self.config.fsync {
+            if let Err(e) = self.file.sync() {
+                // Same discipline as flush(): a failed fsync means
+                // previously-flushed bytes may be gone from the page
+                // cache (the kernel clears the error after reporting
+                // it once), so a later checkpoint could cover records
+                // with no durable provenance. Seal the log.
+                self.poisoned = Some(e.clone());
+                return Err(e);
+            }
+        }
         Ok(())
     }
 
@@ -455,17 +548,44 @@ impl CommandLog {
     /// treated as one; the per-record CRC catches every payload-level
     /// corruption deterministically.)
     pub fn read_all(path: impl AsRef<Path>) -> Result<Vec<LogRecord>> {
-        let path = path.as_ref();
-        if !path.exists() {
-            return Ok(Vec::new());
+        Self::read_all_on(&StdVfs, path.as_ref())
+    }
+
+    /// [`CommandLog::read_all`] against an explicit [`Vfs`].
+    pub fn read_all_on(vfs: &dyn Vfs, path: &Path) -> Result<Vec<LogRecord>> {
+        Ok(Self::scan(vfs, path)?.0)
+    }
+
+    /// Reads every complete record **and trims a detected torn tail off
+    /// the file**. Recovery must use this before the log is reopened
+    /// for appending: resuming in append mode after torn crash bytes
+    /// would put new records behind garbage, turning a clean torn tail
+    /// into interior corruption of acknowledged work on the *next*
+    /// recovery.
+    pub fn read_all_trimming(vfs: &dyn Vfs, path: &Path) -> Result<Vec<LogRecord>> {
+        let (records, clean_end, total) = Self::scan(vfs, path)?;
+        if (clean_end as u64) < total {
+            vfs.truncate(path, clean_end as u64)?;
         }
-        let mut bytes = Vec::new();
-        File::open(path)?.read_to_end(&mut bytes)?;
+        Ok(records)
+    }
+
+    /// Shared scan: records, the byte offset after the last clean
+    /// record (0 when even the header is torn), and the file length.
+    fn scan(vfs: &dyn Vfs, path: &Path) -> Result<(Vec<LogRecord>, usize, u64)> {
+        let Some(bytes) = vfs.read(path)? else {
+            return Ok((Vec::new(), 0, 0));
+        };
         if bytes.is_empty() {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), 0, 0));
         }
-        if bytes.len() < HEADER_LEN
-            || bytes[..4] != LOG_MAGIC.to_le_bytes()
+        if bytes.len() < HEADER_LEN {
+            // A crash tore the very first flush mid-header: nothing was
+            // ever acknowledged from this log, so it reads (and trims)
+            // as empty.
+            return Ok((Vec::new(), 0, bytes.len() as u64));
+        }
+        if bytes[..4] != LOG_MAGIC.to_le_bytes()
             || bytes[4..HEADER_LEN] != LOG_VERSION.to_le_bytes()
         {
             return Err(Error::Codec(format!(
@@ -504,7 +624,7 @@ impl CommandLog {
             }
             off = end;
         }
-        Ok(records)
+        Ok((records, off, bytes.len() as u64))
     }
 }
 
@@ -518,6 +638,8 @@ impl Drop for CommandLog {
 mod tests {
     use super::*;
     use sstore_common::tuple;
+    use std::fs::OpenOptions;
+    use std::io::Write;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("sstore-log-tests");
@@ -556,8 +678,8 @@ mod tests {
         log.flush().unwrap();
         let records = CommandLog::read_all(&path).unwrap();
         assert_eq!(records.len(), 5);
-        assert_eq!(records[0].lsn, Lsn(0));
-        assert_eq!(records[4].lsn, Lsn(4));
+        assert_eq!(records[0].lsn, Lsn(FIRST_LSN));
+        assert_eq!(records[4].lsn, Lsn(FIRST_LSN + 4));
         assert!(matches!(records[0].kind, LogKind::Border { ref rows, .. } if rows.len() == 2));
         assert!(matches!(records[1].kind, LogKind::Interior { .. }));
         assert!(matches!(records[2].kind, LogKind::Oltp { ref params } if params.len() == 2));
@@ -746,9 +868,9 @@ mod tests {
             let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }).unwrap();
             log.append("a", LogKind::Oltp { params: vec![] }).unwrap();
         }
-        let mut log = CommandLog::resume(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }, Lsn(0)).unwrap();
+        let mut log = CommandLog::resume(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }, Lsn(FIRST_LSN)).unwrap();
         let lsn = log.append("b", LogKind::Oltp { params: vec![] }).unwrap();
-        assert_eq!(lsn, Lsn(1));
+        assert_eq!(lsn, Lsn(FIRST_LSN + 1));
         drop(log);
         let records = CommandLog::read_all(&path).unwrap();
         assert_eq!(records.len(), 2);

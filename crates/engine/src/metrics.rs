@@ -276,8 +276,16 @@ impl EngineMetrics {
 
     /// Records one shed (admission rejection) for `origin`.
     pub fn bump_shed(&self, origin: &str) {
-        Self::bump(&self.shed_batches);
-        *self.shed_by_origin.lock().entry(origin.to_owned()).or_insert(0) += 1;
+        self.bump_shed_n(origin, 1);
+    }
+
+    /// Records `n` sheds for `origin` at once — a split batch that
+    /// fails all-or-nothing admission sheds every one of its
+    /// sub-requests, so the counter stays equal to offered − admitted
+    /// sub-requests.
+    pub fn bump_shed_n(&self, origin: &str, n: u64) {
+        self.shed_batches.fetch_add(n, Ordering::Relaxed);
+        *self.shed_by_origin.lock().entry(origin.to_owned()).or_insert(0) += n;
     }
 
     /// Shed count for one origin (stream or procedure name).

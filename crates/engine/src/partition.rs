@@ -27,6 +27,7 @@ use crate::admission::{AdmissionPermit, TxnClass};
 use crate::app::App;
 use crate::boundary::EeHandle;
 use crate::config::{EngineConfig, EngineMode};
+use crate::faults::CrashPoint;
 use crate::log::CommandLog;
 use crate::metrics::EngineMetrics;
 use crate::names::AppIds;
@@ -421,9 +422,10 @@ pub(crate) fn spawn_partition(
 
     let log = if config.logging.enabled {
         let path = config.log_path(seed.id);
+        let vfs = config.vfs.as_ref();
         Some(match seed.resume_lsn {
-            Some(lsn) => CommandLog::resume(path, config.logging.clone(), lsn)?,
-            None => CommandLog::create(path, config.logging.clone())?,
+            Some(lsn) => CommandLog::resume_on(vfs, path, config.logging.clone(), lsn)?,
+            None => CommandLog::create_on(vfs, path, config.logging.clone())?,
         })
     } else {
         None
@@ -567,7 +569,11 @@ impl PartitionRuntime {
     fn do_checkpoint(&mut self) -> Result<(Vec<u8>, Lsn, HashMap<String, u64>)> {
         let lsn = match &mut self.log {
             Some(log) => {
-                log.flush()?;
+                // Flush + unconditional fsync: the image about to be
+                // taken must never cover a transaction whose log
+                // record could still vanish in a crash (checkpoints
+                // must not outrun their log).
+                log.sync_for_checkpoint()?;
                 Lsn(log.next_lsn().raw().saturating_sub(1))
             }
             None => Lsn(0),
@@ -687,6 +693,9 @@ impl PartitionRuntime {
                 )));
             }
         }
+        // Crash point: every peer holds a sub-batch of work this
+        // partition may not remember shipping.
+        self.config.faults.hit(CrashPoint::PostExchangeShip, Some(self.partition_id))?;
         Ok(())
     }
 
@@ -902,6 +911,10 @@ impl PartitionRuntime {
             last
         };
 
+        // Crash point: the transaction's work is complete in memory,
+        // nothing about it is durable yet.
+        self.config.faults.hit(CrashPoint::PreCommitAppend, Some(self.partition_id))?;
+
         // Command logging (before commit: the record must be durable —
         // modulo group commit — before the transaction acknowledges).
         if !replay {
@@ -968,6 +981,11 @@ impl PartitionRuntime {
                 }
             }
         }
+
+        // Crash point: the record (if any) is appended — durable per
+        // the group-commit/fsync policy — but the commit, the reply,
+        // and any exchange sends have not happened.
+        self.config.faults.hit(CrashPoint::PostAppendPreSend, Some(self.partition_id))?;
 
         let crate::ee::CommitOutcome { outputs, slides } = self.ee.commit()?;
         EngineMetrics::bump(&self.metrics.txns_committed);

@@ -46,7 +46,7 @@ use crossbeam_channel::bounded;
 use sstore_common::{Error, Result};
 
 use crate::app::App;
-use crate::checkpoint::read_checkpoint;
+use crate::checkpoint::read_checkpoint_on;
 use crate::config::{EngineConfig, RecoveryMode};
 use crate::engine::{Bootstrap, Engine};
 use crate::log::{CommandLog, LogKind, LogRecord};
@@ -69,12 +69,60 @@ pub fn recover(config: EngineConfig, app: App) -> Result<(Engine, RecoveryReport
     let mut resume_lsn = Vec::with_capacity(config.partitions);
     let mut replayable: Vec<Vec<LogRecord>> = Vec::with_capacity(config.partitions);
     let mut batch_counters: HashMap<String, u64> = HashMap::new();
+    let mut max_batch_seen: u64 = 0;
     let mut exchange_floors: Vec<HashMap<String, u64>> = Vec::with_capacity(config.partitions);
-    let mut epochs: Vec<Option<u64>> = Vec::with_capacity(config.partitions);
 
+    // Read every checkpoint first: a crash between the per-partition
+    // checkpoint writes leaves the partitions on different cuts, and
+    // what that means depends on the recovery mode (see `torn_set`
+    // below) — so the cut decision must precede any per-partition use
+    // of the images.
+    let mut cks: Vec<Option<crate::checkpoint::CheckpointFile>> =
+        Vec::with_capacity(config.partitions);
     for p in 0..config.partitions {
-        let ck = read_checkpoint(&config.checkpoint_path(p))?;
-        epochs.push(ck.as_ref().map(|c| c.epoch));
+        cks.push(read_checkpoint_on(config.vfs.as_ref(), &config.checkpoint_path(p))?);
+    }
+    let epochs: Vec<Option<u64>> = cks.iter().map(|c| c.as_ref().map(|c| c.epoch)).collect();
+    let torn_set = {
+        let present: Vec<u64> = epochs.iter().copied().flatten().collect();
+        (present.len() != epochs.len() && !present.is_empty())
+            || present.windows(2).any(|w| w[0] != w[1])
+    };
+    let has_exchange = app.streams.iter().any(|s| s.exchange);
+    // Strong mode tolerates a torn set (each partition's own log
+    // replays it forward independently). Weak recovery of a
+    // cross-partition workflow cannot use inconsistent cuts: a batch
+    // inside one partition's checkpoint and outside another's would
+    // re-ship only some of its sub-batches and never complete its
+    // merge. But the command log is never truncated, so there is
+    // always one consistent cut available — the empty state. Fall back
+    // to full-log replay, ignoring the torn images entirely; refuse
+    // only when there is no log to rebuild from.
+    let ignore_images =
+        torn_set && has_exchange && matches!(config.recovery, RecoveryMode::Weak);
+    if ignore_images && !config.logging.enabled {
+        return Err(Error::InvalidState(format!(
+            "checkpoint set is torn (per-partition epochs {epochs:?}) and logging is \
+             disabled: weak recovery of a cross-partition workflow needs a consistent \
+             checkpoint cut or a full command log to rebuild from"
+        )));
+    }
+
+    for (p, mut ck) in cks.into_iter().enumerate() {
+        if ignore_images {
+            // Batch counters are still honored below (id *gaps* are
+            // harmless, reuse is not), but state, log watermarks, and
+            // exchange floors all restart from zero: replaying the
+            // full border history from empty state re-derives every
+            // exchange delivery exactly once.
+            if let Some(c) = &ck {
+                for (s, v) in &c.batch_counters {
+                    let e = batch_counters.entry(s.clone()).or_insert(0);
+                    *e = (*e).max(*v);
+                }
+            }
+            ck = None;
+        }
         let watermark = ck.as_ref().map(|c| c.last_lsn);
         if let Some(c) = &ck {
             for (s, v) in &c.batch_counters {
@@ -83,7 +131,12 @@ pub fn recover(config: EngineConfig, app: App) -> Result<(Engine, RecoveryReport
             }
         }
         exchange_floors.push(ck.as_ref().map(|c| c.exchange_floor.clone()).unwrap_or_default());
-        let records = CommandLog::read_all(config.log_path(p))?;
+        // Trimming read: a torn tail is cut off the file here, so the
+        // resumed log appends after the last clean record instead of
+        // after crash garbage (which would read as interior corruption
+        // on the *next* recovery).
+        let records =
+            CommandLog::read_all_trimming(config.vfs.as_ref(), &config.log_path(p))?;
         let keep: Vec<LogRecord> = match watermark {
             // A fresh checkpoint may have watermark 0 with no records;
             // replay strictly-after semantics still hold because LSNs
@@ -96,6 +149,20 @@ pub fn recover(config: EngineConfig, app: App) -> Result<(Engine, RecoveryReport
                 let e = batch_counters.entry(stream.clone()).or_insert(0);
                 *e = (*e).max(batch.raw());
             }
+            // Interior/exchange records carry batch ids drawn from some
+            // border stream's counter too. A torn tail can lose a
+            // border record while its *derived* records survive (e.g.
+            // the delivery a peer logged); restoring counters from
+            // borders alone would then re-issue that id, and the
+            // receivers' exchange watermarks would silently drop the
+            // new batch as a replay duplicate. Track the global max so
+            // every counter can be floored past anything ever issued —
+            // id gaps are harmless, id reuse is data loss.
+            if let LogKind::Interior { batch, .. } | LogKind::Exchange { batch, .. } =
+                &r.kind
+            {
+                max_batch_seen = max_batch_seen.max(batch.raw());
+            }
         }
         let last = keep.last().map(|r| r.lsn).or(watermark);
         images.push(ck.map(|c| c.ee_image));
@@ -103,25 +170,16 @@ pub fn recover(config: EngineConfig, app: App) -> Result<(Engine, RecoveryReport
         replayable.push(keep);
     }
 
-    // A crash between the per-partition checkpoint writes leaves the
-    // partitions on different cuts. Strong mode tolerates that (each
-    // partition's own log replays it forward independently), but weak
-    // recovery of a workflow with exchange edges cannot: a batch
-    // inside one partition's checkpoint and outside another's would
-    // re-ship only some of its sub-batches and never complete its
-    // merge, silently losing committed work — fail loudly instead.
-    let torn_set = {
-        let present: Vec<u64> = epochs.iter().copied().flatten().collect();
-        (present.len() != epochs.len() && !present.is_empty())
-            || present.windows(2).any(|w| w[0] != w[1])
-    };
-    let has_exchange = app.streams.iter().any(|s| s.exchange);
-    if torn_set && has_exchange && matches!(config.recovery, RecoveryMode::Weak) {
-        return Err(Error::InvalidState(format!(
-            "checkpoint set is torn (per-partition epochs {epochs:?}): weak recovery \
-             of a cross-partition workflow needs a consistent checkpoint cut"
-        )));
+    // Floor every ingestable stream's counter at the highest batch id
+    // any surviving record carries (see the loop above): a fresh batch
+    // must never reuse an id that has durable derived traces.
+    if max_batch_seen > 0 {
+        for s in app.streams.iter().filter(|s| !s.exchange) {
+            let e = batch_counters.entry(s.name.clone()).or_insert(0);
+            *e = (*e).max(max_batch_seen);
+        }
     }
+
     let checkpoint_epoch = epochs.iter().copied().flatten().max().unwrap_or(0);
 
     let triggers_on_start = matches!(config.recovery, RecoveryMode::Weak);

@@ -256,6 +256,90 @@ fn block_admission_preserves_per_stream_batch_order() {
     engine.shutdown();
 }
 
+/// Satellite regression: a split batch that fails all-or-nothing
+/// admission sheds *every one of its sub-requests* — including those
+/// whose credits were acquired and rolled back — so `shed_batches`
+/// always equals offered − admitted sub-requests. (The old accounting
+/// counted only the one failing acquisition.)
+#[test]
+fn split_batch_shed_counts_every_subrequest() {
+    use sstore_engine::engine::hash_partition;
+
+    // Two keys that land on different partitions of a 2-partition
+    // engine (routing is deterministic, so probe once).
+    let key_on = |p: usize| {
+        (0..100i64)
+            .find(|k| hash_partition(&Value::Int(*k), 2) == p)
+            .expect("some key maps to each partition")
+    };
+    let (k0, k1) = (key_on(0), key_on(1));
+
+    let kv = sstore_common::Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]);
+    let app = App::builder()
+        .stream_partitioned("ps", kv.clone(), "k")
+        .table("psink", kv)
+        .proc("pb", &[("ins", "INSERT INTO psink (k, v) VALUES (?, ?)")], &[], |ctx| {
+            std::thread::sleep(Duration::from_millis(200));
+            for r in ctx.input().to_vec() {
+                ctx.sql("ins", &[r.get(0).clone(), r.get(1).clone()])?;
+            }
+            Ok(())
+        })
+        .pe_trigger("ps", "pb")
+        .build()
+        .unwrap();
+    // `occupied` is the partition whose single credit a slow border
+    // transaction holds. occupied=0 sheds on the FIRST acquisition;
+    // occupied=1 sheds on the second, after partition 0's credit was
+    // acquired and must roll back — both count both sub-requests.
+    for occupied in [0usize, 1] {
+        let config = EngineConfig::default()
+            .with_data_dir(test_dir("split-shed"))
+            .with_partitions(2)
+            .with_admission_credits(1)
+            .with_overload(OverloadPolicy::Shed);
+        let engine = Engine::start(config, app.clone()).unwrap();
+
+        let slow_key = if occupied == 0 { k0 } else { k1 };
+        engine.ingest("ps", vec![tuple![slow_key, 0i64]]).unwrap(); // holds the credit ~200ms
+        let err = engine
+            .ingest("ps", vec![tuple![k0, 1i64], tuple![k1, 2i64]])
+            .expect_err("split batch must shed while a credit is held");
+        assert!(matches!(err, Error::Overloaded(_)), "got: {err}");
+
+        // offered = 1 (slow) + 2 (split) sub-requests; admitted = 1.
+        let offered = 3u64;
+        let admitted = 1u64;
+        let m = engine.metrics();
+        assert_eq!(
+            EngineMetrics::get(&m.shed_batches),
+            offered - admitted,
+            "occupied={occupied}: counter must equal offered − admitted sub-requests"
+        );
+        assert_eq!(m.shed_for("ps"), offered - admitted);
+        // The rolled-back credit of the *other* partition is back.
+        assert_eq!(engine.admission_available(1 - occupied), 1);
+
+        engine.drain().unwrap();
+        // Only the slow batch's row landed.
+        let rows: i64 = (0..2)
+            .map(|p| {
+                engine
+                    .query(p, "SELECT COUNT(*) FROM psink", vec![])
+                    .unwrap()
+                    .scalar()
+                    .unwrap()
+                    .as_int()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(rows, 1, "the shed split batch had no effect");
+        assert_eq!(engine.admission_available(0), 1);
+        assert_eq!(engine.admission_available(1), 1);
+        engine.shutdown();
+    }
+}
+
 // ----------------------------------------------------------------------
 // Credit-leak property
 // ----------------------------------------------------------------------

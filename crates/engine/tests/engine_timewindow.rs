@@ -226,6 +226,68 @@ fn window_section_byte_flips_fail_cleanly() {
     engine.shutdown();
 }
 
+/// Satellite: ad-hoc SQL (`Engine::query_at`) reading a window table
+/// mid-stream must observe either the pre-slide or the post-slide
+/// extent — never a torn one mixing panes. Slides run as their own
+/// transactions on the serial partition queue, so an ad-hoc reader
+/// interleaves *between* transactions, not inside one; this drives the
+/// interleaving deterministically (async ingests queue ahead of each
+/// synchronous ad-hoc read) and proves it from the execution trace.
+#[test]
+fn query_at_sees_whole_extents_never_torn_ones() {
+    let config = EngineConfig::default().with_data_dir(test_dir("adhoc-slide")).with_trace();
+    let engine = Engine::start(config, twapp()).unwrap();
+    let mut observed: Vec<Vec<i64>> = Vec::new();
+    // Each pane [30k, 30k+30) gets three tuples across two async
+    // batches; every third round a synchronous ad-hoc read queues
+    // behind them — landing between border/slide transactions, while
+    // later panes' batches are still being ingested.
+    for pane in 0..30i64 {
+        let base = pane * 30;
+        engine.ingest("arrivals", vec![tuple![base + 1, 1i64]]).unwrap();
+        engine
+            .ingest("arrivals", vec![tuple![base + 5, 2i64], tuple![base + 9, 3i64]])
+            .unwrap();
+        if pane % 3 == 2 && pane < 29 {
+            let r = engine.query_at(0, "SELECT ts FROM tw", vec![]).unwrap();
+            observed.push(
+                r.rows.iter().map(|t| t.get(0).as_int().unwrap()).collect(),
+            );
+        }
+    }
+    engine.drain().unwrap();
+
+    // No observation mixes panes: all visible rows belong to ONE
+    // 30-unit extent (a torn slide would show old and new rows).
+    for obs in &observed {
+        assert!(!obs.is_empty(), "ad-hoc read raced past every fired pane");
+        let pane = obs[0].div_euclid(30);
+        assert!(
+            obs.iter().all(|ts| ts.div_euclid(30) == pane),
+            "torn extent observed: {obs:?}"
+        );
+    }
+    // Trace-based interleaving proof: every ad-hoc read committed
+    // strictly between border transactions (not after the stream
+    // ended), and slide transactions really ran in between.
+    let trace = engine.metrics().trace_snapshot();
+    let last_border = trace.iter().rposition(|e| e.proc == "wproc").unwrap();
+    let adhoc: Vec<usize> = trace
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.proc == "@adhoc")
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(adhoc.len(), observed.len());
+    assert!(
+        adhoc.iter().all(|&i| i < last_border),
+        "ad-hoc reads must interleave with the stream, not trail it"
+    );
+    let m = engine.metrics();
+    assert!(EngineMetrics::get(&m.window_slides) >= 28, "panes fired while reads ran");
+    engine.shutdown();
+}
+
 #[test]
 fn checkpointed_time_window_state_survives_and_resumes() {
     let oracle = oracle_state();

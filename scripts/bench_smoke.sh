@@ -12,6 +12,28 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== chaos smoke (fixed seed corpus, both recovery modes, time-boxed) =="
+# A fixed corpus of seeded fault schedules (crashes at named engine
+# crash points + VFS-level torn writes/fsync errors) checked against
+# the model oracle in BOTH recovery modes. Any divergence fails the
+# build and prints the reproducing seed (replay locally with
+# CHAOS_SEED=<seed> cargo run -p chaos). ~200 seeds = ~400 schedules;
+# the time box keeps a pathological slowdown from wedging CI.
+if ! cout=$(cargo run --release -q -p chaos -- --seeds 200 --start 1 --time-box 120 2>&1); then
+    echo "$cout"
+    echo "bench_smoke: chaos corpus found an oracle divergence (see seed above)" >&2
+    exit 1
+fi
+echo "$cout" | tail -1
+case "$cout" in
+    *"zero oracle divergences"*) ;;
+    *"time box"*) ;;
+    *)
+        echo "bench_smoke: chaos output did not report a clean sweep" >&2
+        exit 1
+        ;;
+esac
+
 echo "== hotpath smoke (2s per case) =="
 out=$(cargo run --release -p sstore-bench --bin hotpath -- 2 2>/dev/null)
 echo "$out"
