@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
         // S-Store (logging on, one vote per transaction).
         let cfg = EngineConfig::sstore()
             .with_data_dir(bench_dir("c8"))
-            .with_logging(LoggingConfig { enabled: true, group_commit: 64, fsync: false });
+            .with_logging(LoggingConfig { enabled: true, group_commit: 64, fsync: false, ..Default::default() });
         let engine = Engine::start(cfg, voter::leaderboard_app(validate)).unwrap();
         voter::seed(&engine, 10).unwrap();
         let mut gen = VoteGen::new(77, 10, 0);

@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
             let cfg = EngineConfig::sstore()
                 .with_data_dir(bench_dir("c9"))
                 .with_recovery(mode)
-                .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false });
+                .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() });
             let engine = Engine::start(cfg, micro::pe_chain(n)).unwrap();
             g.bench_function(BenchmarkId::new(tag, n), |b| {
                 b.iter_custom(|iters| {

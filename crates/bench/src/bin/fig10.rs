@@ -27,7 +27,7 @@ fn main() {
         // S-Store: transactional, one vote per batch, logging on (§4.6.3).
         let cfg = EngineConfig::sstore().with_boundary(BoundaryMode::Inline)
             .with_data_dir(bench_dir("fig10"))
-            .with_logging(LoggingConfig { enabled: true, group_commit: 64, fsync: false });
+            .with_logging(LoggingConfig { enabled: true, group_commit: 64, fsync: false, ..Default::default() });
         let engine = start(cfg, voter::leaderboard_app(validate));
         voter::seed(&engine, 10).expect("seed");
         let batches: Vec<_> = votes.iter().map(|v| vec![v.tuple()]).collect();

@@ -14,7 +14,7 @@ fn run(n: usize, mode: RecoveryMode, group: usize, batches: &[Vec<Tuple>]) -> f6
     let cfg = EngineConfig::sstore().with_boundary(BoundaryMode::Inline)
         .with_data_dir(bench_dir("fig9a"))
         .with_recovery(mode)
-        .with_logging(LoggingConfig { enabled: true, group_commit: group, fsync: true });
+        .with_logging(LoggingConfig { enabled: true, group_commit: group, fsync: true, ..Default::default() });
     let engine = start(cfg, micro::pe_chain(n));
     let (d, wf) = run_streaming(&engine, "wf_in", batches);
     engine.flush_logs().expect("flush");

@@ -15,7 +15,7 @@ fn crash_then_recover(n: usize, mode: RecoveryMode, batches: &[Vec<Tuple>]) -> f
     let cfg = EngineConfig::sstore().with_boundary(BoundaryMode::Inline)
         .with_data_dir(bench_dir("fig9b"))
         .with_recovery(mode)
-        .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false });
+        .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() });
     let engine = start(cfg.clone(), micro::pe_chain(n));
     run_streaming(&engine, "wf_in", batches);
     engine.flush_logs().expect("flush");

@@ -1,0 +1,136 @@
+//! Recovery-time benchmark: RTO vs log length, full replay vs the
+//! segmented + incremental-checkpoint lifecycle.
+//!
+//! Runs the logged exchange pipeline (strong recovery mode) to a given
+//! log length, kills the engine, and times `recover()` from the durable
+//! state:
+//!
+//! * **full-replay** — no checkpoints ever run; recovery replays the
+//!   entire command log from LSN 1. RTO grows linearly with history.
+//! * **segmented** — small segments, an incremental checkpoint (delta
+//!   chain) every `interval` batches, GC truncating covered segments.
+//!   Recovery restores the checkpoint chain and replays only the
+//!   post-checkpoint suffix — RTO tracks data-since-last-checkpoint,
+//!   not total history.
+//!
+//! Emits JSON (see `BENCH_recovery.json` at the repo root and the
+//! "Log lifecycle & RTO" section of EXPERIMENTS.md for methodology).
+//!
+//! Usage: `cargo run --release -p sstore-bench --bin recovery [scale]`
+//! (`scale` multiplies every log length; default 1).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sstore_bench::bench_dir;
+use sstore_common::{tuple, Tuple};
+use sstore_engine::metrics::EngineMetrics;
+use sstore_engine::recovery::recover;
+use sstore_engine::{Engine, EngineConfig, LoggingConfig, RecoveryMode};
+use sstore_workloads::micro::exchange_pipeline;
+
+fn batches(n: usize) -> Vec<Vec<Tuple>> {
+    (0..n as i64).map(|b| (0..4i64).map(|k| tuple![k, b * 4 + k]).collect()).collect()
+}
+
+struct Sample {
+    batches: usize,
+    replayed: usize,
+    recover_ms: f64,
+    log_bytes: u64,
+    segments_gced: u64,
+}
+
+/// Runs `n` batches with (or without) periodic checkpoints, shuts the
+/// engine down as a crash would leave it (logs flushed, no final
+/// checkpoint), and times recovery.
+fn run_one(tag: &str, n: usize, checkpoint_every: Option<usize>) -> Sample {
+    let mut config = EngineConfig::default()
+        .with_partitions(2)
+        .with_data_dir(bench_dir(tag))
+        .with_recovery(RecoveryMode::Strong)
+        .with_logging(LoggingConfig {
+            enabled: true,
+            group_commit: 8,
+            fsync: false,
+            ..Default::default()
+        });
+    if checkpoint_every.is_some() {
+        config = config.with_segment_bytes(16 * 1024).with_delta_chain_max(4);
+    }
+    let engine = Engine::start(config.clone(), exchange_pipeline()).expect("engine start");
+    for (i, b) in batches(n).into_iter().enumerate() {
+        engine.ingest("xin", b).expect("ingest");
+        if let Some(every) = checkpoint_every {
+            if (i + 1) % every == 0 {
+                engine.drain().expect("drain");
+                engine.checkpoint().expect("checkpoint");
+            }
+        }
+    }
+    engine.drain().expect("drain");
+    engine.flush_logs().expect("flush");
+    let segments_gced = EngineMetrics::get(&engine.metrics().gc_segments_deleted);
+    engine.shutdown();
+
+    let log_bytes: u64 = std::fs::read_dir(&config.data_dir)
+        .expect("data dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().contains(".cmdlog"))
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+
+    let t0 = Instant::now();
+    let (recovered, report) = recover(config, exchange_pipeline()).expect("recover");
+    let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+    recovered.shutdown();
+    Sample {
+        batches: n,
+        replayed: report.records_replayed,
+        recover_ms,
+        log_bytes,
+        segments_gced,
+    }
+}
+
+fn emit(json: &mut String, label: &str, rows: &[Sample], last: bool) {
+    let _ = writeln!(json, "  \"{label}\": [");
+    for (i, s) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{ \"batches\": {}, \"records_replayed\": {}, \"recover_ms\": {:.2}, \
+             \"log_bytes\": {}, \"segments_gced\": {} }}{comma}",
+            s.batches, s.replayed, s.recover_ms, s.log_bytes, s.segments_gced
+        );
+    }
+    let _ = writeln!(json, "  ]{}", if last { "" } else { "," });
+}
+
+fn main() {
+    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    // Checkpoint every 100 batches: the segmented run's replay suffix
+    // is bounded by the interval no matter how long the log grows.
+    let interval = 100 * scale;
+    // Offset each length by half an interval so every segmented run
+    // ends the same distance past its last checkpoint — RTO should
+    // come out flat while full replay grows with total history.
+    let lengths: Vec<usize> =
+        [300, 600, 1200, 2400].iter().map(|n| n * scale + interval / 2).collect();
+
+    let mut full = Vec::new();
+    let mut seg = Vec::new();
+    for &n in &lengths {
+        full.push(run_one("rec-full", n, None));
+        seg.push(run_one("rec-seg", n, Some(interval)));
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"recovery\",");
+    let _ = writeln!(json, "  \"checkpoint_interval_batches\": {interval},");
+    emit(&mut json, "full_replay", &full, false);
+    emit(&mut json, "segmented_incremental", &seg, true);
+    json.push('}');
+    println!("{json}");
+}

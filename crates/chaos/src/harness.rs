@@ -4,7 +4,9 @@
 //!
 //! Checks, in order:
 //! 1. **Log integrity** — the durable logs must never be corrupt
-//!    anywhere but a torn tail.
+//!    anywhere but a torn tail, and the *folded* history (surviving
+//!    segments merged with records captured before each checkpoint's
+//!    GC truncated them) must be gapless from LSN 1.
 //! 2. **Ack durability** — a synchronously acknowledged op must be in
 //!    the durable logs when the config promises it (group commit 1 +
 //!    fsync), and *every* non-shed op of the final generation must be
@@ -15,12 +17,12 @@
 //!    must equal the harness-observed sheds, sub-request-weighted.
 //! 4. **Oracle equality** — after a final verification recovery and
 //!    drain, every table on every partition must equal the model's
-//!    expectation computed from the durable logs alone.
+//!    expectation computed from the folded logs alone.
 //! 5. **Metrics sanity** — latency quantile snapshots are monotone,
 //!    admission credits all return after a drain, and a fault-free
 //!    final generation aborts nothing.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -28,6 +30,7 @@ use std::time::Duration;
 
 use sstore_common::{Error, Tuple, Value};
 use sstore_engine::admission::TxnClass;
+use sstore_engine::checkpoint::read_manifest_on;
 use sstore_engine::faults::FaultInjector;
 use sstore_engine::log::{CommandLog, LogKind, LogRecord};
 use sstore_engine::metrics::EngineMetrics;
@@ -132,6 +135,25 @@ struct Harness {
     faults_seen: u64,
     acks: Vec<Ack>,
     sheds: Vec<AckKey>,
+    /// Folded history, per partition, keyed by LSN: every record that
+    /// checkpoint GC may have truncated out of the logs, captured
+    /// before the round that covered it. Merged with the surviving
+    /// logs at the end, this reconstructs the full client history the
+    /// oracle needs.
+    accum: Vec<BTreeMap<u64, LogRecord>>,
+    /// Logs captured just before a checkpoint round whose outcome the
+    /// harness has not adjudicated yet (the round crashed: the capture
+    /// is durable history iff the manifest adopted the round).
+    pending_fold: Option<PendingFold>,
+}
+
+/// A pre-checkpoint log capture waiting on the round's outcome.
+struct PendingFold {
+    /// Full per-partition log contents at capture time (post-drain,
+    /// post-flush, so everything the round can cover is in the files).
+    logs: Vec<Vec<LogRecord>>,
+    /// The manifest's epoch chain before the round ran.
+    epochs_before: Vec<u64>,
 }
 
 type RunResult = Result<(), String>;
@@ -157,7 +179,10 @@ impl Harness {
                 enabled: true,
                 group_commit: sc.group_commit,
                 fsync: sc.fsync,
+                ..Default::default()
             })
+            .with_segment_bytes(sc.segment_bytes)
+            .with_delta_chain_max(sc.delta_chain_max)
             .with_admission_credits(sc.credits)
             .with_overload(if sc.shed {
                 OverloadPolicy::Shed
@@ -182,7 +207,47 @@ impl Harness {
             faults_seen: 0,
             acks: Vec::new(),
             sheds: Vec::new(),
+            accum: (0..sc.partitions).map(|_| BTreeMap::new()).collect(),
+            pending_fold: None,
         })
+    }
+
+    /// The manifest's current epoch chain (empty when absent).
+    fn manifest_epochs(&self) -> Vec<u64> {
+        read_manifest_on(&self.sim, &self.config.manifest_path())
+            .ok()
+            .flatten()
+            .map(|m| m.epochs)
+            .unwrap_or_default()
+    }
+
+    /// Reads every partition's full log chain; `None` when any read
+    /// fails (a crash mid-capture — the checkpoint that follows cannot
+    /// adopt anything then either).
+    fn capture_logs(&self) -> Option<Vec<Vec<LogRecord>>> {
+        let mut logs = Vec::with_capacity(self.sc.partitions);
+        for p in 0..self.sc.partitions {
+            logs.push(CommandLog::read_all_on(&self.sim, &self.config.log_path(p)).ok()?);
+        }
+        Some(logs)
+    }
+
+    /// Folds a capture into the accumulator: records at or below each
+    /// partition's manifest floor are durable through the adopted
+    /// checkpoint chain even if GC unlinks their segments (or a crash
+    /// discards their unsynced log bytes).
+    fn commit_fold(&mut self, fold: PendingFold) {
+        let Ok(Some(m)) = read_manifest_on(&self.sim, &self.config.manifest_path()) else {
+            return;
+        };
+        for (p, records) in fold.logs.into_iter().enumerate() {
+            let floor = m.floor(p).raw();
+            for r in records {
+                if r.lsn.raw() <= floor {
+                    self.accum[p].insert(r.lsn.raw(), r);
+                }
+            }
+        }
     }
 
     fn engine(&self) -> &Engine {
@@ -250,6 +315,17 @@ impl Harness {
         if let Some(e) = self.engine.take() {
             e.shutdown(); // best-effort: the machine is dead
         }
+        // Adjudicate a checkpoint round the crash interrupted, against
+        // the post-crash durable state: the capture is history iff the
+        // manifest adopted the round (GC only ever runs after adoption,
+        // so an unadopted round cannot have truncated anything).
+        if let Some(fold) = self.pending_fold.take() {
+            self.sim.freeze();
+            self.sim.restart_after_crash();
+            if self.manifest_epochs() != fold.epochs_before {
+                self.commit_fold(fold);
+            }
+        }
         let budget = self.sc.crashes.len() + self.sc.io_faults.len() + 2;
         for _ in 0..budget {
             self.sim.freeze();
@@ -269,7 +345,13 @@ impl Harness {
                     self.gen += 1;
                     self.expected_shed = 0;
                     self.gen_dirty = false;
-                    self.io_fault_progressed();
+                    // Deliberately do NOT consume fault-counter progress
+                    // here: a fault that fired during a *successful*
+                    // recovery (e.g. on a replay-time exchange delivery
+                    // append) can leave this engine with a poisoned log
+                    // that replays the error on later ops. Leaving the
+                    // marker pending makes run() restart once more,
+                    // which clears the poison.
                     return Ok(());
                 }
                 Err(err) => {
@@ -334,11 +416,33 @@ impl Harness {
                     vec![Value::Int(*v), Value::Int(*id)],
                 )
                 .map(|_| Some((AckKey::AdHocUpdate(*id, *v), true))),
-            Op::Checkpoint => self
-                .engine()
-                .drain()
-                .and_then(|()| self.engine().checkpoint())
-                .map(|()| None),
+            Op::Checkpoint => {
+                match self.engine().drain().and_then(|()| self.engine().flush_logs()) {
+                    Err(e) => Err(e),
+                    Ok(()) => {
+                        // Capture the logs BEFORE the round: if its GC
+                        // runs, the truncated records survive only
+                        // through this fold.
+                        let staged = self.capture_logs();
+                        let epochs_before = self.manifest_epochs();
+                        let r = self.engine().checkpoint();
+                        if let Some(logs) = staged {
+                            let fold = PendingFold { logs, epochs_before };
+                            if r.is_ok() {
+                                // The manifest adopted the round.
+                                self.commit_fold(fold);
+                            } else {
+                                // Crashed mid-round: whether the fold
+                                // is durable depends on whether the
+                                // manifest advanced — adjudicated at
+                                // restart, on the post-crash state.
+                                self.pending_fold = Some(fold);
+                            }
+                        }
+                        r.map(|()| None)
+                    }
+                }
+            }
         };
         match outcome {
             Ok(Some((key, sync))) => self.acks.push(Ack { gen, key, sync }),
@@ -432,14 +536,35 @@ impl Harness {
             );
         }
 
-        // Read the durable logs (interior corruption = divergence).
+        // Read the durable logs (interior corruption = divergence) and
+        // fold the GC'd history back in: records whose segments a
+        // checkpoint truncated are in the accumulator, captured before
+        // the round that covered them. The merge (keyed by LSN — the
+        // log is append-only, so an LSN is written once) reconstructs
+        // the exact record sequence an untruncated log would hold.
         let mut logs: Vec<Vec<LogRecord>> = Vec::with_capacity(self.sc.partitions);
         for p in 0..self.sc.partitions {
-            logs.push(
+            let surviving =
                 CommandLog::read_all_on(&self.sim, &self.config.log_path(p)).map_err(|e| {
                     format!("partition {p}: durable log is corrupt beyond a torn tail: {e}")
-                })?,
-            );
+                })?;
+            let mut merged = std::mem::take(&mut self.accum[p]);
+            for r in surviving {
+                merged.insert(r.lsn.raw(), r);
+            }
+            // The folded history must be gapless from LSN 1: a hole
+            // means GC unlinked segments no restorable checkpoint
+            // covers — lost history.
+            for (i, &lsn) in merged.keys().enumerate() {
+                if lsn != i as u64 + 1 {
+                    return Err(format!(
+                        "partition {p}: folded log history has a hole — lsn {} is missing \
+                         (found {lsn}); GC truncated records no checkpoint covers",
+                        i + 1
+                    ));
+                }
+            }
+            logs.push(merged.into_values().collect());
         }
         let logged = collect_logged(&logs);
 

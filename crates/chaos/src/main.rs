@@ -12,6 +12,7 @@
 //! cargo run -p chaos -- --seeds 200 --time-box 120   # CI smoke
 //! CHAOS_SEED=1234 cargo run -p chaos         # replay one failure
 //! cargo run -p chaos -- --seed 1234 --mode weak
+//! cargo run -p chaos -- --seeds 500 --mode longrun  # log-lifecycle soak
 //! ```
 //!
 //! Exit code 0 = zero oracle divergences. On failure the reproducing
@@ -41,6 +42,7 @@ fn main() {
     let mut modes = vec![RecoveryMode::Strong, RecoveryMode::Weak];
     let mut time_box: Option<u64> = None;
     let mut do_shrink = true;
+    let mut longrun = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -62,7 +64,13 @@ fn main() {
                     "strong" => vec![RecoveryMode::Strong],
                     "weak" => vec![RecoveryMode::Weak],
                     "both" => vec![RecoveryMode::Strong, RecoveryMode::Weak],
-                    m => panic!("unknown --mode {m} (strong|weak|both)"),
+                    "longrun" => {
+                        // 3-5x op count, periodic checkpoints, aggressive
+                        // segment GC — exercises the full log lifecycle.
+                        longrun = true;
+                        vec![RecoveryMode::Strong, RecoveryMode::Weak]
+                    }
+                    m => panic!("unknown --mode {m} (strong|weak|both|longrun)"),
                 }
             }
             a => panic!("unknown argument {a}"),
@@ -93,7 +101,8 @@ fn main() {
                 break;
             }
         }
-        let sc = workload::generate(seed);
+        let sc =
+            if longrun { workload::generate_longrun(seed) } else { workload::generate(seed) };
         if single.is_some() {
             println!("scenario for seed {seed}: {sc:#?}");
         }

@@ -1,8 +1,10 @@
 //! The single-threaded in-memory oracle.
 //!
-//! Input: the *durable* per-partition command logs (full history —
-//! logs are never truncated, so they describe every client command
-//! that survived, across all crash/recover generations). Output: the
+//! Input: the *folded* per-partition command logs (full history — the
+//! harness merges the surviving log segments with records it captured
+//! before each checkpoint's GC truncated them, so the input describes
+//! every client command that survived, across all crash/recover
+//! generations). Output: the
 //! exact table state a correct engine must converge to after its final
 //! recovery and drain, for **either** recovery mode.
 //!

@@ -104,6 +104,11 @@ pub struct Scenario {
     pub group_commit: usize,
     /// fsync on log flush.
     pub fsync: bool,
+    /// Log segment size: tiny values force frequent sealing, so
+    /// checkpoint GC has whole segments to collect.
+    pub segment_bytes: u64,
+    /// Delta-chain length that forces a compacting full checkpoint.
+    pub delta_chain_max: usize,
     /// Clean-shutdown flavor: the close-time flush of partition 0's
     /// log fails — the scenario that catches a swallowed
     /// `CommandLog::close` error (the PR-3 log-close bug).
@@ -205,9 +210,23 @@ pub fn chaos_app() -> App {
 
 /// Deterministically generates the scenario for one seed.
 pub fn generate(seed: u64) -> Scenario {
+    generate_scaled(seed, 1)
+}
+
+/// Long-run flavor (`--mode longrun`): several times the op count,
+/// checkpoints forced periodically so the log lifecycle — seal, GC,
+/// delta chains, compaction — cycles many times per run, and segments
+/// kept tiny so every checkpoint has sealed segments to collect.
+pub fn generate_longrun(seed: u64) -> Scenario {
+    // Seed-derived scale in 3..=5 without disturbing the inner RNG
+    // stream (scale feeds generate_scaled before it seeds its rng).
+    generate_scaled(seed, 3 + (seed % 3) as usize)
+}
+
+fn generate_scaled(seed: u64, scale: usize) -> Scenario {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let partitions = *[1usize, 2, 2, 3].get(rng.gen_range(0usize..4)).unwrap();
-    let fail_close = rng.gen_bool(0.15);
+    let fail_close = scale == 1 && rng.gen_bool(0.15);
     // Strict durability half the time (enables the strongest ack
     // check); otherwise group commit and page-cache-style loss.
     let (group_commit, fsync) = if fail_close {
@@ -221,8 +240,16 @@ pub fn generate(seed: u64) -> Scenario {
     };
     let shed = rng.gen_bool(0.3);
     let credits = if shed { rng.gen_range(1usize..4) } else { 256 };
+    // Tiny segments on most runs so sealing and GC actually happen; an
+    // effectively-unbounded size keeps single-segment coverage alive.
+    let segment_bytes = if scale > 1 {
+        *[64u64, 256, 1024].get(rng.gen_range(0usize..3)).unwrap()
+    } else {
+        *[64u64, 256, 4096, u64::MAX].get(rng.gen_range(0usize..4)).unwrap()
+    };
+    let delta_chain_max = rng.gen_range(1usize..5);
 
-    let n_ops = rng.gen_range(20usize..60);
+    let n_ops = rng.gen_range(20usize..60) * scale;
     let mut ops = Vec::with_capacity(n_ops);
     let mut clock: i64 = 40;
     let mut next_v: i64 = 0;
@@ -278,6 +305,11 @@ pub fn generate(seed: u64) -> Scenario {
             ops.push(Op::Ingest { rows: vec![(0, next_v, clock)], sync: false });
             next_v += 1;
         }
+        // Long runs cycle the log lifecycle on a steady cadence on top
+        // of the random checkpoints above.
+        if scale > 1 && ops.len() % 13 == 12 {
+            ops.push(Op::Checkpoint);
+        }
     }
 
     let mut crashes = Vec::new();
@@ -293,11 +325,18 @@ pub fn generate(seed: u64) -> Scenario {
         for _ in 0..rng.gen_range(0usize..3) {
             let point = CrashPoint::ALL[rng.gen_range(0usize..CrashPoint::ALL.len())];
             let partition = match point {
-                CrashPoint::MidCheckpointPhase1 | CrashPoint::MidCheckpointPhase2 => None,
+                // Facade-side points only ever hit with partition None
+                // (PreSegmentUnlink fires both facade-side for image GC
+                // and per-partition for segment GC, so it keeps the
+                // 50/50 scoping below).
+                CrashPoint::MidCheckpointPhase1
+                | CrashPoint::MidCheckpointPhase2
+                | CrashPoint::MidCompaction
+                | CrashPoint::PostManifestPreUnlink => None,
                 _ if rng.gen_bool(0.5) => None,
                 _ => Some(rng.gen_range(0usize..partitions)),
             };
-            crashes.push(PlannedCrash { point, partition, nth: rng.gen_range(1u64..25) });
+            crashes.push(PlannedCrash { point, partition, nth: rng.gen_range(1u64..25 * scale as u64) });
         }
         if rng.gen_bool(0.25) {
             io_faults.push(IoFault {
@@ -316,6 +355,8 @@ pub fn generate(seed: u64) -> Scenario {
         shed,
         group_commit,
         fsync,
+        segment_bytes,
+        delta_chain_max,
         fail_close,
         ops,
         crashes,

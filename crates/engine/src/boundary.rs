@@ -55,10 +55,11 @@ pub enum EeRequest {
     Commit,
     /// Abort and roll back.
     Abort,
-    /// Produce a checkpoint image.
-    Checkpoint,
-    /// Restore from a checkpoint image.
-    Restore(Vec<u8>),
+    /// Produce a checkpoint image. `true` = full base image, `false`
+    /// = delta of the state dirtied since the last image.
+    Checkpoint(bool),
+    /// Restore from an epoch chain: base image + deltas, oldest first.
+    Restore(Vec<Vec<u8>>),
     /// Ad-hoc read-only query.
     Query(String, Vec<Value>),
     /// Table row count.
@@ -218,17 +219,19 @@ impl EeHandle {
         self.call(EeRequest::Abort).map(|_| ())
     }
 
-    /// Takes a checkpoint image.
-    pub fn checkpoint(&mut self) -> Result<Vec<u8>> {
-        match self.call(EeRequest::Checkpoint)? {
+    /// Takes a checkpoint image: a full base when `full`, else a delta
+    /// of the state dirtied since the last image.
+    pub fn checkpoint(&mut self, full: bool) -> Result<Vec<u8>> {
+        match self.call(EeRequest::Checkpoint(full))? {
             EeResponse::Bytes(b) => Ok(b),
             other => Err(unexpected(other)),
         }
     }
 
-    /// Restores from a checkpoint image.
-    pub fn restore(&mut self, bytes: Vec<u8>) -> Result<()> {
-        self.call(EeRequest::Restore(bytes)).map(|_| ())
+    /// Restores from an epoch chain (base image + deltas, oldest
+    /// first).
+    pub fn restore(&mut self, chain: Vec<Vec<u8>>) -> Result<()> {
+        self.call(EeRequest::Restore(chain)).map(|_| ())
     }
 
     /// Ad-hoc read-only query.
@@ -295,8 +298,13 @@ fn dispatch(ee: &mut ExecutionEngine, req: EeRequest) -> Result<EeResponse> {
         }
         EeRequest::Commit => ee.commit().map(EeResponse::Committed),
         EeRequest::Abort => ee.abort().map(|()| EeResponse::Unit),
-        EeRequest::Checkpoint => ee.checkpoint().map(EeResponse::Bytes),
-        EeRequest::Restore(bytes) => ee.restore(&bytes).map(|()| EeResponse::Unit),
+        EeRequest::Checkpoint(full) => if full {
+            ee.checkpoint()
+        } else {
+            ee.checkpoint_delta()
+        }
+        .map(EeResponse::Bytes),
+        EeRequest::Restore(chain) => ee.restore_chain(&chain).map(|()| EeResponse::Unit),
         EeRequest::Query(sql, params) => ee.query(&sql, &params).map(EeResponse::Query),
         EeRequest::TableLen(name) => ee.table_len(&name).map(EeResponse::Len),
         EeRequest::Dangling => Ok(EeResponse::Batches(ee.dangling_batches())),
@@ -401,12 +409,12 @@ mod tests {
         h.begin(None).unwrap();
         h.exec(map["p"]["ins"], vec![Value::Int(3)]).unwrap();
         h.commit().unwrap();
-        let image = h.checkpoint().unwrap();
+        let image = h.checkpoint(true).unwrap();
         h.begin(None).unwrap();
         h.exec(map["p"]["ins"], vec![Value::Int(4)]).unwrap();
         h.commit().unwrap();
         assert_eq!(h.table_len("t".into()).unwrap(), 2);
-        h.restore(image).unwrap();
+        h.restore(vec![image]).unwrap();
         assert_eq!(h.table_len("t".into()).unwrap(), 1);
         h.shutdown();
     }

@@ -1,6 +1,21 @@
 //! Checkpoint files (§3.1): a persistent image of one partition's
 //! committed state, plus the engine-level counters recovery must resume
-//! (log watermark, per-stream batch counters).
+//! (log watermark, per-stream batch counters) — and the **durability
+//! manifest** that names which checkpoint images and log floors are
+//! authoritative.
+//!
+//! Since v4 a checkpoint is *incremental*: an epoch's image is either a
+//! **base** (full EE state) or a **delta** (only the tables, streams,
+//! and windows dirtied since the previous epoch). Recovery restores the
+//! chain's base and applies deltas in epoch order. The manifest is the
+//! commit point of the whole scheme: it records the live epoch chain
+//! and the per-partition log floor (last LSN covered), is written via
+//! the atomic-rename path, and everything it does *not* reference —
+//! superseded images, log segments wholly below the floor — is garbage
+//! collectible. Crashing between the manifest write and the unlinks
+//! merely leaves unreferenced files for the next GC pass; crashing
+//! before it leaves the previous manifest (and everything it
+//! references) intact.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -13,7 +28,17 @@ use crate::vfs::{StdVfs, Vfs};
 const MAGIC: u32 = 0x5353_434B; // "SSCK"
 // v3: EE image carries per-stream event-time high marks and tagged
 // (tuple vs. time) window sections. Older images are rejected loudly.
-const VERSION: u32 = 3;
+// v4: incremental checkpoints — images carry a base/delta kind tag.
+const VERSION: u32 = 4;
+
+/// Whether an image is a full base or an incremental delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointKind {
+    /// Full EE state; a chain starts here.
+    Base,
+    /// Only state dirtied since the previous epoch in the chain.
+    Delta,
+}
 
 /// One partition's checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,17 +50,22 @@ pub struct CheckpointFile {
     /// (fatal for weak recovery of cross-partition workflows, where
     /// partitions must restart from a mutually consistent cut).
     pub epoch: u64,
+    /// Base or delta image.
+    pub kind: CheckpointKind,
     /// Last LSN whose effects are contained in the image; recovery
     /// replays records strictly after this.
     pub last_lsn: Lsn,
-    /// Per-stream next-batch counters at checkpoint time.
+    /// Per-stream next-batch counters at checkpoint time. Full on both
+    /// base and delta images (the maps are small; only `ee_image` is
+    /// incremental).
     pub batch_counters: HashMap<String, u64>,
     /// Per-exchange-stream watermark: highest batch this partition has
     /// applied from an exchange delivery. Recovery restores it so
     /// re-sent exchange batches (dangling upstream batches re-fired
     /// after replay) are recognized as duplicates and dropped.
     pub exchange_floor: HashMap<String, u64>,
-    /// The EE state image ([`crate::ee::ExecutionEngine::checkpoint`]).
+    /// The EE state image: [`crate::ee::ExecutionEngine::checkpoint`]
+    /// for a base, `checkpoint_delta` for a delta.
     pub ee_image: Vec<u8>,
 }
 
@@ -64,17 +94,22 @@ fn get_counters(d: &mut Decoder<'_>) -> Result<HashMap<String, u64>> {
 }
 
 /// Writes a checkpoint atomically (temp file + rename) on the real
-/// filesystem.
-pub fn write_checkpoint(path: &Path, ck: &CheckpointFile) -> Result<()> {
+/// filesystem. Returns the encoded size in bytes.
+pub fn write_checkpoint(path: &Path, ck: &CheckpointFile) -> Result<u64> {
     write_checkpoint_on(&StdVfs, path, ck)
 }
 
-/// Writes a checkpoint atomically on an explicit [`Vfs`].
-pub fn write_checkpoint_on(vfs: &dyn Vfs, path: &Path, ck: &CheckpointFile) -> Result<()> {
+/// Writes a checkpoint atomically on an explicit [`Vfs`]. Returns the
+/// encoded size in bytes (feeds the `checkpoint_bytes` gauge).
+pub fn write_checkpoint_on(vfs: &dyn Vfs, path: &Path, ck: &CheckpointFile) -> Result<u64> {
     let mut e = Encoder::with_capacity(ck.ee_image.len() + 128);
     e.put_u32(MAGIC);
     e.put_u32(VERSION);
     e.put_u64(ck.epoch);
+    e.put_u8(match ck.kind {
+        CheckpointKind::Base => 0,
+        CheckpointKind::Delta => 1,
+    });
     e.put_u64(ck.last_lsn.raw());
     put_counters(&mut e, &ck.batch_counters);
     put_counters(&mut e, &ck.exchange_floor);
@@ -82,7 +117,10 @@ pub fn write_checkpoint_on(vfs: &dyn Vfs, path: &Path, ck: &CheckpointFile) -> R
     if let Some(dir) = path.parent() {
         vfs.create_dir_all(dir)?;
     }
-    vfs.write_atomic(path, &e.finish())
+    let bytes = e.finish();
+    let n = bytes.len() as u64;
+    vfs.write_atomic(path, &bytes)?;
+    Ok(n)
 }
 
 /// Reads a checkpoint from the real filesystem; `Ok(None)` when the
@@ -106,6 +144,11 @@ pub fn read_checkpoint_on(vfs: &dyn Vfs, path: &Path) -> Result<Option<Checkpoin
         return Err(Error::Codec(format!("unsupported checkpoint version {version}")));
     }
     let epoch = d.get_u64()?;
+    let kind = match d.get_u8()? {
+        0 => CheckpointKind::Base,
+        1 => CheckpointKind::Delta,
+        t => return Err(Error::Codec(format!("unknown checkpoint kind tag {t}"))),
+    };
     let last_lsn = Lsn(d.get_u64()?);
     let batch_counters = get_counters(&mut d)?;
     let exchange_floor = get_counters(&mut d)?;
@@ -113,7 +156,88 @@ pub fn read_checkpoint_on(vfs: &dyn Vfs, path: &Path) -> Result<Option<Checkpoin
     if !d.is_exhausted() {
         return Err(Error::Codec("trailing bytes in checkpoint file".into()));
     }
-    Ok(Some(CheckpointFile { epoch, last_lsn, batch_counters, exchange_floor, ee_image }))
+    Ok(Some(CheckpointFile { epoch, kind, last_lsn, batch_counters, exchange_floor, ee_image }))
+}
+
+const MANIFEST_MAGIC: u32 = 0x5353_4D46; // "SSMF"
+const MANIFEST_VERSION: u32 = 1;
+
+/// The durability manifest: the single authoritative statement of which
+/// checkpoint epochs are live and how much log each partition may
+/// discard. Written atomically *after* every partition's image of a new
+/// epoch is durably on disk; read first at recovery.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// Live epoch chain, ascending: `epochs[0]` is the base image's
+    /// epoch, the rest are deltas applied in order. Empty = no
+    /// checkpoint yet (full-log replay).
+    pub epochs: Vec<u64>,
+    /// Per-partition log floor: the last LSN covered by the newest
+    /// epoch, indexed by partition id. Log segments wholly at or below
+    /// the floor are garbage.
+    pub floors: Vec<u64>,
+}
+
+impl Manifest {
+    /// The last LSN partition `p` may treat as checkpoint-covered.
+    pub fn floor(&self, p: usize) -> Lsn {
+        Lsn(self.floors.get(p).copied().unwrap_or(0))
+    }
+}
+
+/// Writes the manifest atomically (temp file + rename) on `vfs`.
+pub fn write_manifest_on(vfs: &dyn Vfs, path: &Path, m: &Manifest) -> Result<()> {
+    let mut e = Encoder::with_capacity(64);
+    e.put_u32(MANIFEST_MAGIC);
+    e.put_u32(MANIFEST_VERSION);
+    e.put_varint(m.epochs.len() as u64);
+    for &ep in &m.epochs {
+        e.put_u64(ep);
+    }
+    e.put_varint(m.floors.len() as u64);
+    for &f in &m.floors {
+        e.put_u64(f);
+    }
+    if let Some(dir) = path.parent() {
+        vfs.create_dir_all(dir)?;
+    }
+    vfs.write_atomic(path, &e.finish())
+}
+
+/// Reads the manifest from `vfs`; `Ok(None)` when the file does not
+/// exist (no checkpoint has ever committed).
+pub fn read_manifest_on(vfs: &dyn Vfs, path: &Path) -> Result<Option<Manifest>> {
+    let Some(bytes) = vfs.read(path)? else {
+        return Ok(None);
+    };
+    let mut d = Decoder::new(&bytes);
+    if d.get_u32()? != MANIFEST_MAGIC {
+        return Err(Error::Codec(format!("bad manifest magic in {}", path.display())));
+    }
+    let version = d.get_u32()?;
+    if version != MANIFEST_VERSION {
+        return Err(Error::Codec(format!("unsupported manifest version {version}")));
+    }
+    let ne = d.get_varint()? as usize;
+    if ne > d.remaining() {
+        return Err(Error::Codec("manifest epoch count exceeds input".into()));
+    }
+    let mut epochs = Vec::with_capacity(ne);
+    for _ in 0..ne {
+        epochs.push(d.get_u64()?);
+    }
+    let nf = d.get_varint()? as usize;
+    if nf > d.remaining() {
+        return Err(Error::Codec("manifest floor count exceeds input".into()));
+    }
+    let mut floors = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        floors.push(d.get_u64()?);
+    }
+    if !d.is_exhausted() {
+        return Err(Error::Codec("trailing bytes in manifest file".into()));
+    }
+    Ok(Some(Manifest { epochs, floors }))
 }
 
 #[cfg(test)]
@@ -129,16 +253,19 @@ mod tests {
     #[test]
     fn roundtrip() {
         let path = tmp("roundtrip");
-        let ck = CheckpointFile {
-            epoch: 3,
-            last_lsn: Lsn(41),
-            batch_counters: HashMap::from([("votes_in".into(), 7u64), ("s2".into(), 3u64)]),
-            exchange_floor: HashMap::from([("xmid".into(), 5u64)]),
-            ee_image: vec![1, 2, 3, 4, 5],
-        };
-        write_checkpoint(&path, &ck).unwrap();
-        let got = read_checkpoint(&path).unwrap().unwrap();
-        assert_eq!(got, ck);
+        for kind in [CheckpointKind::Base, CheckpointKind::Delta] {
+            let ck = CheckpointFile {
+                epoch: 3,
+                kind,
+                last_lsn: Lsn(41),
+                batch_counters: HashMap::from([("votes_in".into(), 7u64), ("s2".into(), 3u64)]),
+                exchange_floor: HashMap::from([("xmid".into(), 5u64)]),
+                ee_image: vec![1, 2, 3, 4, 5],
+            };
+            write_checkpoint(&path, &ck).unwrap();
+            let got = read_checkpoint(&path).unwrap().unwrap();
+            assert_eq!(got, ck);
+        }
         std::fs::remove_file(&path).ok();
     }
 
@@ -152,6 +279,7 @@ mod tests {
         let path = tmp("corrupt");
         let ck = CheckpointFile {
             epoch: 0,
+            kind: CheckpointKind::Base,
             last_lsn: Lsn(0),
             batch_counters: HashMap::new(),
             exchange_floor: HashMap::new(),
@@ -162,6 +290,31 @@ mod tests {
         bytes[0] ^= 0xff;
         std::fs::write(&path, bytes).unwrap();
         assert!(read_checkpoint(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_missing_is_none() {
+        let path = tmp("manifest");
+        let m = Manifest { epochs: vec![4, 5, 7], floors: vec![120, 98] };
+        write_manifest_on(&StdVfs, &path, &m).unwrap();
+        let got = read_manifest_on(&StdVfs, &path).unwrap().unwrap();
+        assert_eq!(got, m);
+        assert_eq!(got.floor(0), Lsn(120));
+        assert_eq!(got.floor(1), Lsn(98));
+        assert_eq!(got.floor(9), Lsn(0), "unknown partition floors to zero");
+        assert!(read_manifest_on(&StdVfs, Path::new("/nonexistent/m")).unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn manifest_corruption_rejected() {
+        let path = tmp("manifest-bad");
+        write_manifest_on(&StdVfs, &path, &Manifest { epochs: vec![1], floors: vec![2] }).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_manifest_on(&StdVfs, &path).is_err());
         std::fs::remove_file(&path).ok();
     }
 }

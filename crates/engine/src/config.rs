@@ -46,11 +46,23 @@ pub struct LoggingConfig {
     /// Whether to `fdatasync` on flush. True models a real durability
     /// boundary; false measures pure logging-path overhead.
     pub fsync: bool,
+    /// Target size of one log segment. When a flush pushes the active
+    /// segment past this, it is sealed and the next record opens a new
+    /// segment file — the unit of log GC (a sealed segment wholly
+    /// covered by the latest durable checkpoint is deleted). Sealing
+    /// happens at record boundaries, so segments overshoot by at most
+    /// one record.
+    pub segment_bytes: u64,
 }
 
 impl Default for LoggingConfig {
     fn default() -> Self {
-        LoggingConfig { enabled: false, group_commit: 1, fsync: false }
+        LoggingConfig {
+            enabled: false,
+            group_commit: 1,
+            fsync: false,
+            segment_bytes: 64 * 1024 * 1024,
+        }
     }
 }
 
@@ -148,6 +160,12 @@ pub struct EngineConfig {
     /// Crash-point scheduler. Disarmed by default — one relaxed atomic
     /// load per crash point, nothing else.
     pub faults: Arc<FaultInjector>,
+    /// Maximum checkpoint-chain length (base image + deltas). Each
+    /// checkpoint writes only the state dirtied since the previous one;
+    /// once the chain would exceed this, the checkpoint compacts into a
+    /// fresh base instead. `1` disables incremental checkpoints (every
+    /// image is a full base). Clamped to at least 1.
+    pub delta_chain_max: usize,
 }
 
 impl Default for EngineConfig {
@@ -165,6 +183,7 @@ impl Default for EngineConfig {
             overload: OverloadPolicy::default(),
             vfs: Arc::new(StdVfs),
             faults: FaultInjector::disabled(),
+            delta_chain_max: 8,
         }
     }
 }
@@ -181,14 +200,25 @@ impl EngineConfig {
         EngineConfig { mode: EngineMode::HStore, boundary: BoundaryMode::Channel, ..Self::default() }
     }
 
-    /// Path of the command log for one partition.
+    /// Path *prefix* of the command log for one partition. The log is
+    /// a chain of segment files `<prefix>.<seq>` (see
+    /// [`crate::log::segment_path`]); this prefix names the chain.
     pub fn log_path(&self, partition: usize) -> PathBuf {
         self.data_dir.join(format!("partition-{partition}.cmdlog"))
     }
 
-    /// Path of the checkpoint image for one partition.
-    pub fn checkpoint_path(&self, partition: usize) -> PathBuf {
-        self.data_dir.join(format!("partition-{partition}.snapshot"))
+    /// Path of one epoch's checkpoint image for one partition.
+    /// Epoch-qualified names let a base + delta chain coexist and make
+    /// superseded images identifiable for GC.
+    pub fn checkpoint_path(&self, partition: usize, epoch: u64) -> PathBuf {
+        self.data_dir.join(format!("partition-{partition}.snapshot.{epoch:08}"))
+    }
+
+    /// Path of the retention manifest: the single durable pointer
+    /// naming the current checkpoint chain and the per-partition log
+    /// truncation floors. Written via [`crate::vfs::Vfs::write_atomic`].
+    pub fn manifest_path(&self) -> PathBuf {
+        self.data_dir.join("durability.manifest")
     }
 
     /// Builder-style: set partitions.
@@ -256,6 +286,18 @@ impl EngineConfig {
         self.faults = faults;
         self
     }
+
+    /// Builder-style: set the log segment size.
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.logging.segment_bytes = bytes.max(1);
+        self
+    }
+
+    /// Builder-style: set the maximum checkpoint-chain length.
+    pub fn with_delta_chain_max(mut self, n: usize) -> Self {
+        self.delta_chain_max = n.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -281,7 +323,18 @@ mod tests {
     fn paths_are_per_partition() {
         let c = EngineConfig::default().with_data_dir("/tmp/x");
         assert_ne!(c.log_path(0), c.log_path(1));
-        assert_ne!(c.log_path(0), c.checkpoint_path(0));
+        assert_ne!(c.log_path(0), c.checkpoint_path(0, 1));
+        assert_ne!(c.checkpoint_path(0, 1), c.checkpoint_path(0, 2));
+        assert_ne!(c.checkpoint_path(0, 1), c.checkpoint_path(1, 1));
+        assert_eq!(c.manifest_path().parent(), c.log_path(0).parent());
+    }
+
+    #[test]
+    fn lifecycle_knobs_clamp() {
+        let c = EngineConfig::default().with_segment_bytes(0).with_delta_chain_max(0);
+        assert_eq!(c.logging.segment_bytes, 1);
+        assert_eq!(c.delta_chain_max, 1);
+        assert_eq!(EngineConfig::default().delta_chain_max, 8);
     }
 
     #[test]

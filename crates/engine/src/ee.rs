@@ -213,6 +213,12 @@ pub struct ExecutionEngine {
     ee_triggers: Vec<Option<Arc<[StmtId]>>>,
     stmts: Vec<Arc<BoundStatement>>,
     metrics: Arc<EngineMetrics>,
+    /// Per-table dirty flags, indexed by [`TableId`]: set at
+    /// commit/abort for every table, stream, or window a transaction
+    /// touched; cleared when a checkpoint image adopts the state. The
+    /// incremental checkpoint ([`ExecutionEngine::checkpoint_delta`])
+    /// writes exactly the dirty entries.
+    dirty: Vec<bool>,
     // --- transaction-scoped state ---
     in_txn: bool,
     out_batch: Option<BatchId>,
@@ -339,6 +345,11 @@ impl ExecutionEngine {
                 ee_triggers,
                 stmts,
                 metrics,
+                // Everything starts dirty: a delta taken before any
+                // base would otherwise silently miss install-time state
+                // (the engine forces the first checkpoint to be a base,
+                // but the EE must not depend on that for correctness).
+                dirty: vec![true; n_tables],
                 in_txn: false,
                 out_batch: None,
                 effects: Vec::new(),
@@ -390,6 +401,10 @@ impl ExecutionEngine {
         }
         self.in_txn = false;
         self.out_batch = None;
+        // Dirty marking must read the undo lists before they clear:
+        // they are the precise record of which tables/streams/windows
+        // this transaction touched.
+        self.mark_txn_dirty();
         self.effects.clear();
         self.stream_undo.clear();
         self.window_undo.clear();
@@ -398,6 +413,10 @@ impl ExecutionEngine {
             if let Some(wm) = self.partition_watermark() {
                 for (i, w) in self.windows.iter_mut().enumerate() {
                     if let Some(WindowSlot::Time(tw)) = w {
+                        // `advance_watermark` mutates the window's
+                        // internal mark even when no pane fires, so
+                        // every time window dirties here.
+                        self.dirty[i] = true;
                         if tw.advance_watermark(wm) {
                             slides.push(TableId(i as u32));
                         }
@@ -429,6 +448,10 @@ impl ExecutionEngine {
         if !self.in_txn {
             return Err(Error::InvalidState("abort outside transaction".into()));
         }
+        // Undo restores rows and bookkeeping but *not* row-id counters
+        // (they never rewind) — an aborted insert leaves durable state
+        // behind, so the touched tables dirty exactly as on commit.
+        self.mark_txn_dirty();
         for e in self.effects.iter().rev() {
             undo_effect(&mut self.catalog, e)
                 .map_err(|err| Error::Internal(format!("undo failed: {err}")))?;
@@ -503,6 +526,41 @@ impl ExecutionEngine {
         self.in_txn = false;
         self.out_batch = None;
         Ok(())
+    }
+
+    /// Marks every table/stream/window the open transaction touched as
+    /// dirty. The effect and undo lists are the precise touch record:
+    /// table mutations carry their [`TableId`], stream/window
+    /// bookkeeping ops carry theirs.
+    fn mark_txn_dirty(&mut self) {
+        for e in &self.effects {
+            let t = match e {
+                Effect::Insert { table, .. }
+                | Effect::Delete { table, .. }
+                | Effect::Update { table, .. } => *table,
+            };
+            self.dirty[t.index()] = true;
+        }
+        for u in &self.stream_undo {
+            let s = match u {
+                StreamUndo::Appended { stream, .. }
+                | StreamUndo::Consumed { stream, .. }
+                | StreamUndo::Forgot { stream, .. }
+                | StreamUndo::HighMark { stream, .. } => *stream,
+            };
+            self.dirty[s.index()] = true;
+        }
+        for u in &self.window_undo {
+            let w = match u {
+                WindowUndo::Staged { window, .. }
+                | WindowUndo::Slid { window, .. }
+                | WindowUndo::TimeStaged { window, .. }
+                | WindowUndo::TimeMerged { window, .. }
+                | WindowUndo::TimeDropped { window }
+                | WindowUndo::TimeSlid { window, .. } => *window,
+            };
+            self.dirty[w.index()] = true;
+        }
     }
 
     /// True while a transaction is open.
@@ -968,13 +1026,15 @@ impl ExecutionEngine {
     // ------------------------------------------------------------------
 
     /// Serializes all partition state (tables, stream bookkeeping,
-    /// window staging) into a checkpoint image. Stream and window
-    /// sections are keyed by name and ordered by name, so the byte
-    /// layout is independent of id assignment.
-    pub fn checkpoint(&self) -> Result<Vec<u8>> {
+    /// window staging) into a **base** checkpoint image. Stream and
+    /// window sections are keyed by name and ordered by name, so the
+    /// byte layout is independent of id assignment. Clears the dirty
+    /// set: the image adopts everything.
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>> {
         if self.in_txn {
             return Err(Error::InvalidState("checkpoint during transaction".into()));
         }
+        self.dirty.fill(false);
         let mut e = Encoder::with_capacity(4096);
         let cat = snapshot::encode_catalog(&self.catalog);
         e.put_bytes(&cat);
@@ -1020,6 +1080,120 @@ impl ExecutionEngine {
             self.windows[id.index()].as_ref().expect("window present").encode(&mut e);
         }
         Ok(e.finish())
+    }
+
+    /// Serializes only the state dirtied since the last image into a
+    /// **delta** checkpoint: dirty catalog tables (any kind — their
+    /// rows, indexes, and row-id counter), dirty streams' bookkeeping,
+    /// and dirty windows' staging. Clears the dirty set. Recovery
+    /// restores a base and applies deltas in epoch order
+    /// ([`ExecutionEngine::restore_chain`]).
+    pub fn checkpoint_delta(&mut self) -> Result<Vec<u8>> {
+        if self.in_txn {
+            return Err(Error::InvalidState("checkpoint during transaction".into()));
+        }
+        // Name order throughout, like the base image: byte layout is
+        // independent of id assignment.
+        let mut names: Vec<(&str, TableId)> = self
+            .dirty
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d)
+            .map(|(i, _)| {
+                let id = TableId(i as u32);
+                (&**self.ids.table_name(id), id)
+            })
+            .collect();
+        names.sort();
+        let mut e = Encoder::with_capacity(1024);
+        e.put_varint(names.len() as u64);
+        for &(_, id) in &names {
+            snapshot::encode_table_image(&mut e, self.catalog.get(id));
+        }
+        let dirty_streams: Vec<(&str, TableId)> = names
+            .iter()
+            .copied()
+            .filter(|(_, id)| self.streams[id.index()].is_some())
+            .collect();
+        e.put_varint(dirty_streams.len() as u64);
+        for (name, id) in dirty_streams {
+            e.put_str(name);
+            self.streams[id.index()].as_ref().expect("stream present").encode(&mut e);
+            match self.stream_high[id.index()] {
+                Some(h) => {
+                    e.put_u8(1);
+                    e.put_i64(h);
+                }
+                None => e.put_u8(0),
+            }
+        }
+        let dirty_windows: Vec<TableId> = names
+            .iter()
+            .filter(|(_, id)| self.windows[id.index()].is_some())
+            .map(|&(_, id)| id)
+            .collect();
+        e.put_varint(dirty_windows.len() as u64);
+        for id in dirty_windows {
+            self.windows[id.index()].as_ref().expect("window present").encode(&mut e);
+        }
+        self.dirty.fill(false);
+        Ok(e.finish())
+    }
+
+    /// Applies one delta image on top of the current state: each table
+    /// image replaces its table **in place** (preserving the dense
+    /// [`TableId`] — compiled plans address by id), stream and window
+    /// sections overwrite their bookkeeping.
+    pub fn apply_delta(&mut self, bytes: &[u8]) -> Result<()> {
+        if self.in_txn {
+            return Err(Error::InvalidState("restore during transaction".into()));
+        }
+        let mut d = Decoder::new(bytes);
+        let nt = d.get_varint()? as usize;
+        for _ in 0..nt {
+            let table = snapshot::decode_table_image(&mut d)?;
+            self.catalog.replace_table(table)?;
+        }
+        let ns = d.get_varint()? as usize;
+        for _ in 0..ns {
+            let name = d.get_str()?;
+            let state = StreamState::decode(&mut d)?;
+            let high = match d.get_u8()? {
+                0 => None,
+                1 => Some(d.get_i64()?),
+                t => {
+                    return Err(Error::Codec(format!(
+                        "stream {name}: bad high-mark tag {t} in delta"
+                    )))
+                }
+            };
+            let id = self.table_id(&name)?;
+            self.streams[id.index()] = Some(state);
+            self.stream_high[id.index()] = high;
+        }
+        let nw = d.get_varint()? as usize;
+        for _ in 0..nw {
+            let w = WindowSlot::decode(&mut d)?;
+            let id = self.table_id(w.name())?;
+            self.windows[id.index()] = Some(w);
+        }
+        if !d.is_exhausted() {
+            return Err(Error::Codec("trailing bytes in EE delta".into()));
+        }
+        Ok(())
+    }
+
+    /// Restores from an epoch chain: a base image followed by its
+    /// deltas, oldest first.
+    pub fn restore_chain(&mut self, images: &[Vec<u8>]) -> Result<()> {
+        let Some((base, deltas)) = images.split_first() else {
+            return Err(Error::InvalidState("empty checkpoint chain".into()));
+        };
+        self.restore(base)?;
+        for delta in deltas {
+            self.apply_delta(delta)?;
+        }
+        Ok(())
     }
 
     /// Restores partition state from a checkpoint image. Compiled
@@ -1081,6 +1255,8 @@ impl ExecutionEngine {
         self.streams = streams;
         self.stream_high = stream_high;
         self.windows = windows;
+        // State now equals the image: the next delta is relative to it.
+        self.dirty.fill(false);
         Ok(())
     }
 }

@@ -30,7 +30,7 @@ use sstore_storage::Catalog;
 use crate::admission::{AdmissionGate, AdmissionPermit};
 use crate::app::App;
 use crate::boundary::EeHandle;
-use crate::checkpoint::{write_checkpoint_on, CheckpointFile};
+use crate::checkpoint::{write_checkpoint_on, CheckpointFile, CheckpointKind, Manifest};
 use crate::config::{BoundaryMode, EngineConfig, OverloadPolicy};
 use crate::ee::{build_catalog, ExecutionEngine};
 use crate::faults::CrashPoint;
@@ -78,8 +78,9 @@ pub fn split_by_key(rows: Vec<Tuple>, col: usize, partitions: usize) -> Vec<Vec<
 
 /// Internal bootstrap data used by recovery.
 pub(crate) struct Bootstrap {
-    /// Per-partition EE images to restore (None = fresh).
-    pub images: Vec<Option<Vec<u8>>>,
+    /// Per-partition EE image chains to restore, base first followed
+    /// by deltas in chain order (None = fresh).
+    pub images: Vec<Option<Vec<Vec<u8>>>>,
     /// Per-partition LSN to resume the command log after.
     pub resume_lsn: Vec<Option<Lsn>>,
     /// Whether PE triggers start enabled.
@@ -93,6 +94,23 @@ pub(crate) struct Bootstrap {
     /// Highest checkpoint epoch found on disk (new checkpoints
     /// continue past it).
     pub checkpoint_epoch: u64,
+    /// The validated checkpoint chain recovery restored from (epochs,
+    /// base first); seeds the engine's durability state so the next
+    /// checkpoint knows whether a delta may extend the chain.
+    pub manifest_chain: Vec<u64>,
+}
+
+/// The engine's view of what the durability manifest says, plus the
+/// one piece of cross-round state incremental checkpoints need.
+struct DurabilityState {
+    /// Epochs of the live checkpoint chain, base first. Empty until
+    /// the first successful checkpoint.
+    chain: Vec<u64>,
+    /// Latched when a checkpoint fails after any partition cut an
+    /// image: the EEs cleared their dirty sets for images that were
+    /// never adopted by the manifest, so the next round must write a
+    /// full base or it would silently miss those changes.
+    force_full: bool,
 }
 
 /// One ingested batch, resolved and routed but not yet admitted:
@@ -131,6 +149,10 @@ pub struct Engine {
     /// Next checkpoint round gets `last + 1` (see
     /// [`CheckpointFile::epoch`]).
     checkpoint_epoch: std::sync::atomic::AtomicU64,
+    /// Live checkpoint chain + force-full latch. One mutex serializes
+    /// concurrent [`Engine::checkpoint`] calls on the manifest they
+    /// both want to advance.
+    durability: Mutex<DurabilityState>,
 }
 
 impl Engine {
@@ -186,10 +208,10 @@ impl Engine {
             )?;
             let part = PartitionHandle::new(txs[p].clone(), join);
             if let Some(b) = &bootstrap {
-                if let Some(image) = &b.images[p] {
+                if let Some(chain) = &b.images[p] {
                     let (tx, rx) = bounded(1);
                     part.tx
-                        .send(PartitionMsg::Restore(image.clone(), tx))
+                        .send(PartitionMsg::Restore(chain.clone(), tx))
                         .map_err(|_| Error::InvalidState("partition died during restore".into()))?;
                     rx.recv().map_err(|_| Error::InvalidState("restore reply lost".into()))??;
                 }
@@ -223,6 +245,10 @@ impl Engine {
             checkpoint_epoch: std::sync::atomic::AtomicU64::new(
                 bootstrap.as_ref().map_or(0, |b| b.checkpoint_epoch),
             ),
+            durability: Mutex::new(DurabilityState {
+                chain: bootstrap.as_ref().map(|b| b.manifest_chain.clone()).unwrap_or_default(),
+                force_full: false,
+            }),
         })
     }
 
@@ -754,36 +780,131 @@ impl Engine {
     /// after another, and cross-partition consistency comes from
     /// nothing being in flight between them.
     ///
-    /// Two phases: every partition's image is collected first, then
-    /// all files are written, so a crash mid-call can only tear the
-    /// set during the short write loop — and the shared epoch stamped
-    /// into each file lets recovery detect exactly that tear.
+    /// **Incremental**: a round writes a full *base* image only when
+    /// the chain is empty, has grown to
+    /// [`EngineConfig::delta_chain_max`] epochs (compaction), or a
+    /// previous round failed after cutting images; otherwise it writes
+    /// a *delta* carrying only state dirtied since the last round.
+    ///
+    /// **Adoption order** makes every crash window recoverable: images
+    /// of the new epoch are written first (unreferenced until adopted),
+    /// then the manifest atomically adopts the new chain, and only
+    /// then are dead log segments and superseded images unlinked. A
+    /// crash before the manifest write leaves the old chain live and
+    /// the new images as ignorable litter; a crash after it leaves
+    /// dead files the next round's GC re-collects.
     pub fn checkpoint(&self) -> Result<()> {
-        let counters = self.counters_by_name();
+        let mut dur = self.durability.lock();
+        let full = dur.force_full
+            || dur.chain.is_empty()
+            || dur.chain.len() >= self.config.delta_chain_max;
         let epoch =
             self.checkpoint_epoch.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        // Latch pessimistically: the first partition to cut an image
+        // clears its dirty set, so any failure from here until the
+        // round fully succeeds must force the next round full.
+        dur.force_full = true;
+        self.checkpoint_round(&mut dur, full, epoch)?;
+        dur.force_full = false;
+        Ok(())
+    }
+
+    fn checkpoint_round(
+        &self,
+        dur: &mut DurabilityState,
+        full: bool,
+        epoch: u64,
+    ) -> Result<()> {
+        let counters = self.counters_by_name();
+        // Phase 1: cut every partition's image in memory.
         let mut images = Vec::with_capacity(self.partitions.len());
         for p in 0..self.partitions.len() {
             let (tx, rx) = bounded(1);
-            self.control(p, PartitionMsg::Checkpoint(tx))?;
+            self.control(p, PartitionMsg::Checkpoint { full, reply: tx })?;
             images.push(
                 rx.recv().map_err(|_| Error::InvalidState("checkpoint reply lost".into()))??,
             );
         }
         // Crash point: every image collected, no file written yet.
         self.config.faults.hit(CrashPoint::MidCheckpointPhase1, None)?;
+        // Phase 2: write the epoch's image files. Nothing references
+        // them until the manifest below adopts the epoch, so a crash
+        // anywhere in this loop only litters ignorable files.
+        let kind = if full { CheckpointKind::Base } else { CheckpointKind::Delta };
+        let mut floors = Vec::with_capacity(self.partitions.len());
+        let mut ck_bytes = 0u64;
         for (p, (ee_image, last_lsn, exchange_floor)) in images.into_iter().enumerate() {
+            floors.push(last_lsn.raw());
             let ck = CheckpointFile {
                 epoch,
+                kind,
                 last_lsn,
                 batch_counters: counters.clone(),
                 exchange_floor,
                 ee_image,
             };
-            write_checkpoint_on(self.config.vfs.as_ref(), &self.config.checkpoint_path(p), &ck)?;
-            // Crash point: the set is torn — partitions up to `p` carry
-            // the new epoch, the rest the old.
+            ck_bytes += write_checkpoint_on(
+                self.config.vfs.as_ref(),
+                &self.config.checkpoint_path(p, epoch),
+                &ck,
+            )?;
+            // Crash point: some partitions' images of this epoch are on
+            // disk, but the manifest still names the old chain.
             self.config.faults.hit(CrashPoint::MidCheckpointPhase2, None)?;
+        }
+        self.metrics.checkpoint_bytes.store(ck_bytes, std::sync::atomic::Ordering::Relaxed);
+        if full && !dur.chain.is_empty() {
+            // Crash point: compaction — the new base is durable but the
+            // manifest still names the old base + delta chain.
+            self.config.faults.hit(CrashPoint::MidCompaction, None)?;
+        }
+        let mut chain = if full { Vec::new() } else { dur.chain.clone() };
+        chain.push(epoch);
+        let manifest = Manifest { epochs: chain.clone(), floors };
+        crate::checkpoint::write_manifest_on(
+            self.config.vfs.as_ref(),
+            &self.config.manifest_path(),
+            &manifest,
+        )?;
+        dur.chain = chain;
+        // Crash point: the new chain is adopted, dead segments and
+        // superseded images are still on disk.
+        self.config.faults.hit(CrashPoint::PostManifestPreUnlink, None)?;
+        // GC: each partition drops log segments wholly below its floor
+        // (crash-safe — the manifest no longer needs them), then the
+        // engine drops snapshot images of epochs outside the chain.
+        let (mut deleted, mut segs, mut bytes) = (0u64, 0u64, 0u64);
+        for p in 0..self.partitions.len() {
+            let (tx, rx) = bounded(1);
+            self.control(p, PartitionMsg::TruncateLog { covered: manifest.floor(p), reply: tx })?;
+            let (d, s, b) =
+                rx.recv().map_err(|_| Error::InvalidState("truncate reply lost".into()))??;
+            deleted += d as u64;
+            segs += s as u64;
+            bytes += b;
+        }
+        self.metrics.gc_segments_deleted.fetch_add(deleted, std::sync::atomic::Ordering::Relaxed);
+        self.metrics.log_segments.store(segs, std::sync::atomic::Ordering::Relaxed);
+        self.metrics.log_bytes.store(bytes, std::sync::atomic::Ordering::Relaxed);
+        self.gc_checkpoint_images(&dur.chain)
+    }
+
+    /// Unlinks every snapshot image whose epoch is not in the live
+    /// chain: superseded bases and deltas after a compaction, and
+    /// litter from rounds that crashed between phase 2 and adoption.
+    fn gc_checkpoint_images(&self, live: &[u64]) -> Result<()> {
+        for path in self.config.vfs.list_dir(&self.config.data_dir)? {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            let Some((stem, epoch)) = name.rsplit_once('.') else { continue };
+            if !stem.starts_with("partition-") || !stem.ends_with(".snapshot") {
+                continue;
+            }
+            let Ok(epoch) = epoch.parse::<u64>() else { continue };
+            if live.contains(&epoch) {
+                continue;
+            }
+            self.config.faults.hit(CrashPoint::PreSegmentUnlink, None)?;
+            self.config.vfs.remove_file(&path)?;
         }
         Ok(())
     }

@@ -45,16 +45,31 @@ pub enum CrashPoint {
     /// After a committed batch's exchange sub-batches were shipped to
     /// every peer: receivers hold work the sender may not remember.
     PostExchangeShip,
+    /// In the GC pass, immediately before unlinking one obsolete log
+    /// segment (the manifest already points past it): some covered
+    /// segments may be gone, others still on disk.
+    PreSegmentUnlink,
+    /// After the new retention manifest became durable but before any
+    /// unlink ran: the manifest references the new chain while every
+    /// now-obsolete segment and image still exists.
+    PostManifestPreUnlink,
+    /// During checkpoint compaction, after the new base image was
+    /// written but before the manifest adopted it: the compacted base
+    /// is an orphan the old manifest never references.
+    MidCompaction,
 }
 
 impl CrashPoint {
     /// All points, in [`CrashPoint::index`] order.
-    pub const ALL: [CrashPoint; 5] = [
+    pub const ALL: [CrashPoint; 8] = [
         CrashPoint::PreCommitAppend,
         CrashPoint::PostAppendPreSend,
         CrashPoint::MidCheckpointPhase1,
         CrashPoint::MidCheckpointPhase2,
         CrashPoint::PostExchangeShip,
+        CrashPoint::PreSegmentUnlink,
+        CrashPoint::PostManifestPreUnlink,
+        CrashPoint::MidCompaction,
     ];
 
     /// Dense index for per-point counters.
@@ -66,6 +81,9 @@ impl CrashPoint {
             CrashPoint::MidCheckpointPhase1 => 2,
             CrashPoint::MidCheckpointPhase2 => 3,
             CrashPoint::PostExchangeShip => 4,
+            CrashPoint::PreSegmentUnlink => 5,
+            CrashPoint::PostManifestPreUnlink => 6,
+            CrashPoint::MidCompaction => 7,
         }
     }
 
@@ -77,6 +95,9 @@ impl CrashPoint {
             CrashPoint::MidCheckpointPhase1 => "mid-checkpoint-phase-1",
             CrashPoint::MidCheckpointPhase2 => "mid-checkpoint-phase-2",
             CrashPoint::PostExchangeShip => "post-exchange-ship",
+            CrashPoint::PreSegmentUnlink => "pre-segment-unlink",
+            CrashPoint::PostManifestPreUnlink => "post-manifest-pre-unlink",
+            CrashPoint::MidCompaction => "mid-compaction",
         }
     }
 }

@@ -51,6 +51,26 @@
 //!  │    merge within allowed lateness, then are    │
 //!  │    counted & dropped                          │
 //!  │  · undo log, checkpoints (incl. watermarks)   │
+//!  │    + per-transaction dirty sets → delta images │
+//!  └──────────────────────┬────────────────────────┘
+//!                         │ durability (per partition)
+//!                         ▼
+//!  ┌───────────────────────────────────────────────┐
+//!  │ Log lifecycle (segmented, bounded disk)       │
+//!  │  · command log = chain of fixed-size sealed   │
+//!  │    segments + one active tail (header: seq,   │
+//!  │    base LSN; only the tail can tear)          │
+//!  │  · checkpoint chain = base image + deltas     │
+//!  │    (EE dirty sets), compacted to a new base   │
+//!  │    every `delta_chain_max` rounds             │
+//!  │  · durability.manifest (atomic rename) names  │
+//!  │    the live chain; GC deletes only segments   │
+//!  │    and images the adopted manifest covers —   │
+//!  │    crash-safe in both orderings              │
+//!  │  · recovery: restore chain, replay suffix in  │
+//!  │    parallel (one thread per partition; RTO =  │
+//!  │    max per-partition replay, bounded by the   │
+//!  │    checkpoint interval, not total history)    │
 //!  └───────────────────────────────────────────────┘
 //! ```
 //!
@@ -98,7 +118,8 @@
 //! [`vfs::SimVfs`] — an in-memory filesystem that injects torn tails,
 //! short writes, and fsync errors from a seeded RNG — and arms named
 //! [`faults::CrashPoint`]s (pre-commit-append, post-append-pre-send,
-//! mid-checkpoint phase 1/2, post-exchange-ship) via a
+//! mid-checkpoint phase 1/2, mid-compaction, post-manifest-pre-unlink,
+//! pre-segment-unlink, post-exchange-ship) via a
 //! [`faults::FaultInjector`], so a simulated kill -9 lands at an exact
 //! engine step and recovery is checked against a model oracle.
 

@@ -10,17 +10,33 @@
 //! * **weak**: only *border* transactions, carrying their input batch —
 //!   upstream backup; interior work is re-derived through PE triggers.
 //!
-//! File layout: an 8-byte header (`[u32 magic][u32 version]` — logs
-//! from other format versions are rejected loudly, never misparsed)
-//! followed by records framed `[u32 len][u32 crc32][payload]`, payload
-//! via `common::codec`, CRC32 (IEEE) over the payload. A torn final record
-//! (crash mid-write) is detected by a short frame or a checksum
-//! mismatch and ignored, which is the correct crash semantics: that
-//! transaction never acknowledged its commit. A checksum mismatch on
-//! any *earlier* record is corruption of acknowledged work and fails
-//! recovery loudly.
+//! The log is a **chain of segment files**: segment 0 is the configured
+//! log path itself, segment `n > 0` appends a `.{n:08}` suffix. When a
+//! flush pushes the active segment past
+//! [`LoggingConfig::segment_bytes`], the segment is *sealed* — synced
+//! unconditionally (a sealed segment is never written or synced again,
+//! so its bytes must be durable before the chain moves past it) — and
+//! the next record opens a fresh segment. Sealed segments are the unit
+//! of log GC: one wholly covered by the latest durable checkpoint is
+//! deleted (see `Engine::checkpoint`), bounding on-disk log bytes.
+//!
+//! File layout per segment: a 24-byte header (`[u32 magic][u32
+//! version][u64 seq][u64 base_lsn]` — logs from other format versions
+//! are rejected loudly, never misparsed; `base_lsn` is the LSN of the
+//! segment's first record, so a chain whose old segments were GC'd
+//! still places itself on the LSN axis) followed by records framed
+//! `[u32 len][u32 crc32][payload]`, payload via `common::codec`, CRC32
+//! (IEEE) over the payload. A torn final record (crash mid-write) is
+//! detected by a short frame or a checksum mismatch and ignored, which
+//! is the correct crash semantics: that transaction never acknowledged
+//! its commit. A checksum mismatch on any *earlier* record is
+//! corruption of acknowledged work and fails recovery loudly. A torn
+//! segment drops every *later* segment with it (those bytes were
+//! written after the tear point and were never durably acknowledged —
+//! only the unsynced active segment can tear).
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use sstore_common::codec::{Decoder, Encoder};
 use sstore_common::{BatchId, Error, Lsn, Result, Tuple, Value};
@@ -57,10 +73,11 @@ fn crc32(bytes: &[u8]) -> u32 {
 /// Bytes of framing before each record's payload: length + checksum.
 const FRAME_LEN: usize = 8;
 
-/// Log file header: magic ("SSLG") + format version. A log whose
-/// header does not match is rejected loudly instead of being misparsed
-/// (the record framing has changed across versions — old logs would
-/// otherwise read as garbage or, worse, as an empty log).
+/// Log segment header: magic ("SSLG") + format version + segment
+/// sequence number + base LSN. A segment whose header does not match is
+/// rejected loudly instead of being misparsed (the record framing has
+/// changed across versions — old logs would otherwise read as garbage
+/// or, worse, as an empty log).
 const LOG_MAGIC: u32 = 0x5353_4C47;
 // v3: LSNs are 1-based. A checkpoint's `last_lsn` of 0 therefore means
 // "covers no records" — with 0-based LSNs a checkpoint taken before the
@@ -68,19 +85,81 @@ const LOG_MAGIC: u32 = 0x5353_4C47;
 // silently skipped the first post-checkpoint record (found by the
 // chaos harness: strong recovery replayed an interior record whose
 // border had been filtered out).
-const LOG_VERSION: u32 = 3;
-const HEADER_LEN: usize = 8;
+// v4: segmented logs. The header grows a segment sequence number and
+// the base LSN of the segment's first record, so a chain whose GC'd
+// prefix is gone still knows where it sits on the LSN axis.
+const LOG_VERSION: u32 = 4;
+const HEADER_LEN: usize = 24;
 
 /// The LSN assigned to the first record of a fresh log. LSNs are
 /// 1-based: `Lsn(0)` is reserved as "before every record" so inclusive
 /// watermarks can express an empty prefix.
 pub const FIRST_LSN: u64 = 1;
 
-fn header_bytes() -> [u8; HEADER_LEN] {
+fn header_bytes(seq: u64, base_lsn: u64) -> [u8; HEADER_LEN] {
     let mut h = [0u8; HEADER_LEN];
     h[..4].copy_from_slice(&LOG_MAGIC.to_le_bytes());
-    h[4..].copy_from_slice(&LOG_VERSION.to_le_bytes());
+    h[4..8].copy_from_slice(&LOG_VERSION.to_le_bytes());
+    h[8..16].copy_from_slice(&seq.to_le_bytes());
+    h[16..24].copy_from_slice(&base_lsn.to_le_bytes());
     h
+}
+
+/// Path of segment `seq` of the log chain named by `prefix`. Segment 0
+/// *is* the prefix (the path the log was configured with); later
+/// segments append a zero-padded numeric suffix, so a directory listing
+/// sorts them in chain order.
+pub fn segment_path(prefix: &Path, seq: u64) -> PathBuf {
+    if seq == 0 {
+        return prefix.to_path_buf();
+    }
+    let name = prefix
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    prefix.with_file_name(format!("{name}.{seq:08}"))
+}
+
+/// Lists the on-disk segments of a log chain, sorted by sequence
+/// number: the prefix file itself (seq 0) plus every `<prefix>.<digits>`
+/// sibling.
+fn list_segments(vfs: &dyn Vfs, prefix: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let Some(dir) = prefix.parent() else { return Ok(Vec::new()) };
+    let Some(base) = prefix.file_name().map(|s| s.to_string_lossy().into_owned()) else {
+        return Ok(Vec::new());
+    };
+    let dotted = format!("{base}.");
+    let mut out = Vec::new();
+    for p in vfs.list_dir(dir)? {
+        let Some(name) = p.file_name().map(|s| s.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        if name == base {
+            out.push((0, p));
+        } else if let Some(suffix) = name.strip_prefix(&dotted) {
+            if !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()) {
+                if let Ok(seq) = suffix.parse::<u64>() {
+                    if seq > 0 {
+                        out.push((seq, p));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by_key(|(s, _)| *s);
+    Ok(out)
+}
+
+/// One segment of a [`CommandLog`]'s chain, as the writer tracks it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Position in the chain (also the filename suffix; 0 = prefix).
+    pub seq: u64,
+    /// LSN of the segment's first record.
+    pub base_lsn: u64,
+    /// Bytes written to the file so far (excludes the in-process
+    /// buffer).
+    pub bytes: u64,
 }
 
 /// What kind of transaction a record describes.
@@ -306,8 +385,12 @@ impl LogRecord {
 /// [`CommandLog::close`].
 #[derive(Debug)]
 pub struct CommandLog {
+    /// Chain name: segment 0's path, later segments suffixed.
     path: PathBuf,
+    /// Handle of the *active* (last) segment.
     file: Box<dyn LogFile>,
+    /// Filesystem the chain lives on (sealing opens new segments).
+    vfs: Arc<dyn Vfs>,
     config: LoggingConfig,
     next_lsn: u64,
     pending: usize,
@@ -318,20 +401,36 @@ pub struct CommandLog {
     enc: Encoder,
     /// First flush failure; set once, never cleared.
     poisoned: Option<Error>,
+    /// On-disk segments, ascending seq; the last entry is active.
+    chain: Vec<SegmentMeta>,
+    /// Bytes written to the active segment's file.
+    seg_written: u64,
 }
 
 impl CommandLog {
-    /// Opens (creating or truncating) a log file for writing on the
+    /// Opens (creating or truncating) a log chain for writing on the
     /// real filesystem.
     pub fn create(path: impl Into<PathBuf>, config: LoggingConfig) -> Result<Self> {
-        Self::create_on(&StdVfs, path, config)
+        Self::create_on(Arc::new(StdVfs), path, config)
     }
 
-    /// Opens (creating or truncating) a log file for writing on `vfs`.
-    pub fn create_on(vfs: &dyn Vfs, path: impl Into<PathBuf>, config: LoggingConfig) -> Result<Self> {
+    /// Opens (creating or truncating) a log chain for writing on `vfs`.
+    pub fn create_on(
+        vfs: Arc<dyn Vfs>,
+        path: impl Into<PathBuf>,
+        config: LoggingConfig,
+    ) -> Result<Self> {
         let path = path.into();
         if let Some(dir) = path.parent() {
             vfs.create_dir_all(dir)?;
+        }
+        // A fresh log starts a fresh chain: leftover higher segments
+        // from a previous incarnation would otherwise read back as this
+        // log's history.
+        for (seq, p) in list_segments(vfs.as_ref(), &path)? {
+            if seq > 0 {
+                vfs.remove_file(&p)?;
+            }
         }
         let (file, _) = vfs.open_log(&path, true)?;
         // The header rides in the buffer ahead of the first record
@@ -340,10 +439,11 @@ impl CommandLog {
         // write-failing device surfaces on the commit/close path — not
         // at startup, where nothing durable was promised yet.
         let mut buf = Vec::with_capacity(1024);
-        buf.extend_from_slice(&header_bytes());
+        buf.extend_from_slice(&header_bytes(0, FIRST_LSN));
         Ok(CommandLog {
             path,
             file,
+            vfs,
             config,
             next_lsn: FIRST_LSN,
             pending: 0,
@@ -351,19 +451,25 @@ impl CommandLog {
             flushes: 0,
             enc: Encoder::with_capacity(256),
             poisoned: None,
+            chain: vec![SegmentMeta { seq: 0, base_lsn: FIRST_LSN, bytes: 0 }],
+            seg_written: 0,
         })
     }
 
     /// Opens a log for appending after recovery on the real
     /// filesystem, continuing the LSN sequence past `resume_after`.
     pub fn resume(path: impl Into<PathBuf>, config: LoggingConfig, resume_after: Lsn) -> Result<Self> {
-        Self::resume_on(&StdVfs, path, config, resume_after)
+        Self::resume_on(Arc::new(StdVfs), path, config, resume_after)
     }
 
     /// Opens a log for appending after recovery on `vfs`, continuing
-    /// the LSN sequence past `resume_after`.
+    /// the LSN sequence past `resume_after`. Appends go to the chain's
+    /// last surviving segment (recovery trimmed any torn tail first);
+    /// if no segment survives — logging newly enabled, or everything
+    /// was GC'd behind a checkpoint and then removed — a fresh chain
+    /// starts whose base LSN continues the sequence.
     pub fn resume_on(
-        vfs: &dyn Vfs,
+        vfs: Arc<dyn Vfs>,
         path: impl Into<PathBuf>,
         config: LoggingConfig,
         resume_after: Lsn,
@@ -372,17 +478,40 @@ impl CommandLog {
         if let Some(dir) = path.parent() {
             vfs.create_dir_all(dir)?;
         }
-        let (file, len) = vfs.open_log(&path, false)?;
-        let mut buf = Vec::with_capacity(1024);
-        if len == 0 {
-            // Resuming onto a log that never existed (e.g. logging was
-            // enabled after the checkpoint, or the first flush never
-            // happened): start it properly at the next flush.
-            buf.extend_from_slice(&header_bytes());
+        let mut chain = Vec::new();
+        for (seq, p) in list_segments(vfs.as_ref(), &path)? {
+            let Some(bytes) = vfs.read(&p)? else { continue };
+            let base_lsn = if bytes.len() >= HEADER_LEN {
+                u64::from_le_bytes(bytes[16..24].try_into().expect("8-byte slice"))
+            } else {
+                // Header never made it out (empty or torn-to-nothing
+                // segment): it holds no records, so the resume point is
+                // its base.
+                resume_after.raw() + 1
+            };
+            chain.push(SegmentMeta { seq, base_lsn, bytes: bytes.len() as u64 });
         }
+        let mut buf = Vec::with_capacity(1024);
+        let (file, seg_written) = match chain.last().copied() {
+            None => {
+                let (file, _) = vfs.open_log(&path, true)?;
+                buf.extend_from_slice(&header_bytes(0, resume_after.raw() + 1));
+                chain.push(SegmentMeta { seq: 0, base_lsn: resume_after.raw() + 1, bytes: 0 });
+                (file, 0)
+            }
+            Some(last) => {
+                let (file, len) = vfs.open_log(&segment_path(&path, last.seq), false)?;
+                if len == 0 {
+                    buf.extend_from_slice(&header_bytes(last.seq, resume_after.raw() + 1));
+                    chain.last_mut().expect("chain non-empty").base_lsn = resume_after.raw() + 1;
+                }
+                (file, len)
+            }
+        };
         Ok(CommandLog {
             path,
             file,
+            vfs,
             config,
             next_lsn: resume_after.raw() + 1,
             pending: 0,
@@ -390,12 +519,52 @@ impl CommandLog {
             flushes: 0,
             enc: Encoder::with_capacity(256),
             poisoned: None,
+            chain,
+            seg_written,
         })
     }
 
-    /// Log file path.
+    /// Log chain path (segment 0's file).
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The chain's segments, ascending; the last one is active.
+    pub fn segments(&self) -> &[SegmentMeta] {
+        &self.chain
+    }
+
+    /// Number of on-disk segments in the chain.
+    pub fn segment_count(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Total on-disk bytes across the chain (excludes the in-process
+    /// buffer).
+    pub fn total_bytes(&self) -> u64 {
+        self.chain.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Segments wholly covered by a checkpoint that includes every
+    /// record up to `covered` (inclusive): safe to delete, because
+    /// recovery will never need to replay past the image. The active
+    /// (last) segment is never a candidate — it holds the append head.
+    pub fn gc_candidates(&self, covered: Lsn) -> Vec<(u64, PathBuf)> {
+        let mut out = Vec::new();
+        for w in self.chain.windows(2) {
+            // Segment w[0] spans [w[0].base_lsn, w[1].base_lsn).
+            if w[1].base_lsn <= covered.raw().saturating_add(1) {
+                out.push((w[0].seq, segment_path(&self.path, w[0].seq)));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Forgets a segment the caller just unlinked (GC bookkeeping).
+    pub fn drop_segment(&mut self, seq: u64) {
+        self.chain.retain(|m| m.seq != seq);
     }
 
     /// Number of flushes performed so far.
@@ -499,10 +668,46 @@ impl CommandLog {
             self.pending = 0;
             return out;
         }
+        self.seg_written += self.buf.len() as u64;
+        if let Some(m) = self.chain.last_mut() {
+            m.bytes = self.seg_written;
+        }
         self.buf.clear();
         self.pending = 0;
         self.flushes += 1;
+        if self.seg_written >= self.config.segment_bytes {
+            self.seal()?;
+        }
         Ok(())
+    }
+
+    /// Seals the active segment and opens the next one. The sealed
+    /// segment is synced unconditionally first: nothing ever writes or
+    /// syncs it again, and an unsynced tail there would otherwise tear
+    /// *behind* records its successor acknowledged. The new segment's
+    /// header rides the buffer (like a fresh log's) so the device is
+    /// only touched again at the next flush.
+    fn seal(&mut self) -> Result<()> {
+        if !self.config.fsync {
+            if let Err(e) = self.file.sync() {
+                self.poisoned = Some(e.clone());
+                return Err(e);
+            }
+        }
+        let seq = self.chain.last().map_or(1, |m| m.seq + 1);
+        match self.vfs.open_log(&segment_path(&self.path, seq), true) {
+            Ok((file, _)) => {
+                self.file = file;
+                self.chain.push(SegmentMeta { seq, base_lsn: self.next_lsn, bytes: 0 });
+                self.seg_written = 0;
+                self.buf.extend_from_slice(&header_bytes(seq, self.next_lsn));
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+        }
     }
 
     /// Flush + unconditional fsync, regardless of the configured
@@ -536,64 +741,115 @@ impl CommandLog {
         self.flush()
     }
 
-    /// Reads every complete record from a log file. A torn *final*
-    /// record — cut short by a crash mid-write, or failing its
-    /// checksum where the flush died — is ignored, which is the
-    /// correct crash semantics: that transaction never acknowledged
-    /// its commit. A checksum or decode failure anywhere *before* the
-    /// final record is an error: those records were durably
-    /// acknowledged, so losing them silently would drop committed
-    /// work. (A corrupted *length* prefix whose frame runs past EOF is
-    /// indistinguishable from a torn tail without a side index and is
-    /// treated as one; the per-record CRC catches every payload-level
-    /// corruption deterministically.)
+    /// Reads every complete record from a log chain (`path` names the
+    /// chain — segment 0's file). A torn *final* record — cut short by
+    /// a crash mid-write, or failing its checksum where the flush died
+    /// — is ignored, which is the correct crash semantics: that
+    /// transaction never acknowledged its commit. A checksum or decode
+    /// failure anywhere *before* the final record of a segment is an
+    /// error: those records were durably acknowledged, so losing them
+    /// silently would drop committed work. (A corrupted *length*
+    /// prefix whose frame runs past EOF is indistinguishable from a
+    /// torn tail without a side index and is treated as one; the
+    /// per-record CRC catches every payload-level corruption
+    /// deterministically.) A segment that ends torn drops every later
+    /// segment with it — only the unsynced active segment can tear, so
+    /// anything past the tear was never durably acknowledged.
     pub fn read_all(path: impl AsRef<Path>) -> Result<Vec<LogRecord>> {
         Self::read_all_on(&StdVfs, path.as_ref())
     }
 
     /// [`CommandLog::read_all`] against an explicit [`Vfs`].
     pub fn read_all_on(vfs: &dyn Vfs, path: &Path) -> Result<Vec<LogRecord>> {
-        Ok(Self::scan(vfs, path)?.0)
+        Ok(Self::scan_chain(vfs, path)?.0)
     }
 
-    /// Reads every complete record **and trims a detected torn tail off
-    /// the file**. Recovery must use this before the log is reopened
-    /// for appending: resuming in append mode after torn crash bytes
-    /// would put new records behind garbage, turning a clean torn tail
-    /// into interior corruption of acknowledged work on the *next*
-    /// recovery.
+    /// Reads every complete record **and trims the detected damage off
+    /// the chain**: the torn segment is truncated to its last clean
+    /// record and every segment after it is deleted. Recovery must use
+    /// this before the log is reopened for appending: resuming in
+    /// append mode after torn crash bytes would put new records behind
+    /// garbage, turning a clean torn tail into interior corruption of
+    /// acknowledged work on the *next* recovery.
     pub fn read_all_trimming(vfs: &dyn Vfs, path: &Path) -> Result<Vec<LogRecord>> {
-        let (records, clean_end, total) = Self::scan(vfs, path)?;
-        if (clean_end as u64) < total {
-            vfs.truncate(path, clean_end as u64)?;
+        let (records, trims) = Self::scan_chain(vfs, path)?;
+        for t in trims {
+            match t {
+                TrimAction::Truncate(p, len) => vfs.truncate(&p, len)?,
+                TrimAction::Remove(p) => vfs.remove_file(&p)?,
+            }
         }
         Ok(records)
     }
 
-    /// Shared scan: records, the byte offset after the last clean
-    /// record (0 when even the header is torn), and the file length.
-    fn scan(vfs: &dyn Vfs, path: &Path) -> Result<(Vec<LogRecord>, usize, u64)> {
-        let Some(bytes) = vfs.read(path)? else {
-            return Ok((Vec::new(), 0, 0));
-        };
-        if bytes.is_empty() {
-            return Ok((Vec::new(), 0, 0));
-        }
-        if bytes.len() < HEADER_LEN {
-            // A crash tore the very first flush mid-header: nothing was
-            // ever acknowledged from this log, so it reads (and trims)
-            // as empty.
-            return Ok((Vec::new(), 0, bytes.len() as u64));
-        }
-        if bytes[..4] != LOG_MAGIC.to_le_bytes()
-            || bytes[4..HEADER_LEN] != LOG_VERSION.to_le_bytes()
-        {
-            return Err(Error::Codec(format!(
-                "{} is not a version-{LOG_VERSION} command log (bad or missing header)",
-                path.display()
-            )));
-        }
+    /// Shared chain scan: all records in LSN order, plus the trim
+    /// actions that would make the on-disk chain end cleanly.
+    fn scan_chain(vfs: &dyn Vfs, prefix: &Path) -> Result<(Vec<LogRecord>, Vec<TrimAction>)> {
         let mut records = Vec::new();
+        let mut trims = Vec::new();
+        // Set once a segment ends unclean: everything after it was
+        // never durably acknowledged (sealing syncs), so later
+        // segments are dropped whole.
+        let mut dropping = false;
+        // The LSN the next segment's base must equal (chain
+        // contiguity); `None` before the first record-bearing segment.
+        let mut expect_lsn: Option<u64> = None;
+        for (seq, path) in list_segments(vfs, prefix)? {
+            if dropping {
+                trims.push(TrimAction::Remove(path));
+                continue;
+            }
+            let Some(bytes) = vfs.read(&path)? else { continue };
+            if bytes.is_empty() {
+                // Created but never flushed: a valid empty segment.
+                continue;
+            }
+            if bytes.len() < HEADER_LEN {
+                // A crash tore the very first flush mid-header: nothing
+                // was ever acknowledged from this segment.
+                trims.push(TrimAction::Truncate(path, 0));
+                dropping = true;
+                continue;
+            }
+            if bytes[..4] != LOG_MAGIC.to_le_bytes() || bytes[4..8] != LOG_VERSION.to_le_bytes() {
+                return Err(Error::Codec(format!(
+                    "{} is not a version-{LOG_VERSION} command log (bad or missing header)",
+                    path.display()
+                )));
+            }
+            let hdr_seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+            if hdr_seq != seq {
+                return Err(Error::Codec(format!(
+                    "{}: segment header says seq {hdr_seq}, filename says {seq}",
+                    path.display()
+                )));
+            }
+            let base_lsn = u64::from_le_bytes(bytes[16..24].try_into().expect("8-byte slice"));
+            if let Some(exp) = expect_lsn {
+                if base_lsn != exp {
+                    // An orphan: a previous recovery trimmed the chain
+                    // before this segment but crashed before deleting
+                    // it. Its records were never acknowledged.
+                    trims.push(TrimAction::Remove(path));
+                    dropping = true;
+                    continue;
+                }
+            }
+            let (segrecs, clean_end) = Self::scan_segment(&bytes, base_lsn)?;
+            expect_lsn = Some(segrecs.last().map_or(base_lsn, |r| r.lsn.raw() + 1));
+            if (clean_end as u64) < bytes.len() as u64 {
+                trims.push(TrimAction::Truncate(path, clean_end as u64));
+                dropping = true;
+            }
+            records.extend(segrecs);
+        }
+        Ok((records, trims))
+    }
+
+    /// Scans one segment's bytes (header already validated): its
+    /// records and the byte offset after the last clean one.
+    fn scan_segment(bytes: &[u8], base_lsn: u64) -> Result<(Vec<LogRecord>, usize)> {
+        let mut records: Vec<LogRecord> = Vec::new();
         let mut off = HEADER_LEN;
         while off + FRAME_LEN <= bytes.len() {
             let len =
@@ -616,7 +872,21 @@ impl CommandLog {
                 )));
             }
             match LogRecord::decode(&bytes[start..end]) {
-                Ok(rec) => records.push(rec),
+                Ok(rec) => {
+                    // LSNs run contiguously from the header's base —
+                    // a CRC-valid record out of sequence is corruption
+                    // the checksum cannot see (e.g. a misdirected
+                    // write), never a torn tail.
+                    let want = records.last().map_or(base_lsn, |r: &LogRecord| r.lsn.raw() + 1);
+                    if rec.lsn.raw() != want {
+                        return Err(Error::Codec(format!(
+                            "command log corrupted at byte {off}: lsn {} where {want} \
+                             was expected",
+                            rec.lsn.raw()
+                        )));
+                    }
+                    records.push(rec);
+                }
                 // Checksum passed but decode failed: tolerated only in
                 // final position, like any other torn tail.
                 Err(_) if end == bytes.len() => break,
@@ -624,8 +894,17 @@ impl CommandLog {
             }
             off = end;
         }
-        Ok((records, off, bytes.len() as u64))
+        Ok((records, off))
     }
+}
+
+/// One repair step [`CommandLog::read_all_trimming`] applies to make a
+/// crashed chain end cleanly.
+enum TrimAction {
+    /// Cut the torn segment back to its last clean record.
+    Truncate(PathBuf, u64),
+    /// Delete a segment that lies entirely past the tear point.
+    Remove(PathBuf),
 }
 
 impl Drop for CommandLog {
@@ -671,7 +950,7 @@ mod tests {
     #[test]
     fn append_read_roundtrip() {
         let path = tmp("roundtrip");
-        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }).unwrap();
+        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() }).unwrap();
         for (proc, kind) in sample_records() {
             log.append(&proc, kind).unwrap();
         }
@@ -695,7 +974,7 @@ mod tests {
     #[test]
     fn group_commit_batches_flushes() {
         let path = tmp("group");
-        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 4, fsync: false }).unwrap();
+        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 4, fsync: false, ..Default::default() }).unwrap();
         for i in 0..10 {
             log.append("p", LogKind::Oltp { params: vec![Value::Int(i)] }).unwrap();
         }
@@ -710,7 +989,7 @@ mod tests {
     #[test]
     fn no_group_commit_flushes_every_record() {
         let path = tmp("nogroup");
-        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }).unwrap();
+        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() }).unwrap();
         for i in 0..5 {
             log.append("p", LogKind::Oltp { params: vec![Value::Int(i)] }).unwrap();
         }
@@ -721,7 +1000,7 @@ mod tests {
     #[test]
     fn torn_tail_is_ignored() {
         let path = tmp("torn");
-        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }).unwrap();
+        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() }).unwrap();
         for (proc, kind) in sample_records() {
             log.append(&proc, kind).unwrap();
         }
@@ -740,7 +1019,7 @@ mod tests {
     #[test]
     fn corrupt_final_record_is_treated_as_torn_tail() {
         let path = tmp("flip-tail");
-        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }).unwrap();
+        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() }).unwrap();
         for (proc, kind) in sample_records() {
             log.append(&proc, kind).unwrap();
         }
@@ -768,7 +1047,7 @@ mod tests {
     #[test]
     fn corrupt_interior_record_is_an_error() {
         let path = tmp("flip-mid");
-        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }).unwrap();
+        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() }).unwrap();
         for (proc, kind) in sample_records() {
             log.append(&proc, kind).unwrap();
         }
@@ -792,7 +1071,7 @@ mod tests {
     #[test]
     fn single_bit_flip_is_caught_by_the_checksum() {
         let path = tmp("bitflip");
-        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }).unwrap();
+        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() }).unwrap();
         for (proc, kind) in sample_records() {
             log.append(&proc, kind).unwrap();
         }
@@ -815,8 +1094,12 @@ mod tests {
         let path = tmp("badheader");
         // A file that predates the header (or is not a log at all) must
         // fail loudly, not read as empty/garbage.
-        std::fs::write(&path, [1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10]).unwrap();
+        std::fs::write(&path, [7u8; 64]).unwrap();
         assert!(CommandLog::read_all(&path).is_err());
+        // A sub-header fragment is a first flush torn mid-header:
+        // nothing was ever acknowledged, so it reads as empty.
+        std::fs::write(&path, [1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10]).unwrap();
+        assert!(CommandLog::read_all(&path).unwrap().is_empty());
         // An empty file (created, never written) is a valid empty log.
         std::fs::write(&path, []).unwrap();
         assert!(CommandLog::read_all(&path).unwrap().is_empty());
@@ -838,7 +1121,7 @@ mod tests {
         if !full.exists() {
             return; // non-Linux or sandboxed environment
         }
-        let config = LoggingConfig { enabled: true, group_commit: 1_000_000, fsync: false };
+        let config = LoggingConfig { enabled: true, group_commit: 1_000_000, fsync: false, ..Default::default() };
         // Header + records fit in the BufWriter, so nothing touches
         // the device until the final flush — the failure mode this
         // guards against.
@@ -854,21 +1137,221 @@ mod tests {
     #[test]
     fn close_succeeds_on_healthy_target() {
         let path = tmp("close-ok");
-        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 100, fsync: false }).unwrap();
+        let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 100, fsync: false, ..Default::default() }).unwrap();
         log.append("p", LogKind::Oltp { params: vec![] }).unwrap();
         log.close().unwrap();
         assert_eq!(CommandLog::read_all(&path).unwrap().len(), 1);
         std::fs::remove_file(&path).ok();
     }
 
+    /// Tiny-segment config: every flush overshoots `segment_bytes`, so
+    /// each record group seals its own segment.
+    fn tiny_segments(group_commit: usize) -> LoggingConfig {
+        LoggingConfig {
+            enabled: true,
+            group_commit,
+            fsync: false,
+            segment_bytes: 1,
+            ..Default::default()
+        }
+    }
+
+    fn cleanup_chain(path: &Path) {
+        for seq in 0..32 {
+            std::fs::remove_file(segment_path(path, seq)).ok();
+        }
+    }
+
+    #[test]
+    fn tiny_segments_seal_per_flush_and_read_back_in_order() {
+        let path = tmp("chain");
+        let mut log = CommandLog::create(&path, tiny_segments(1)).unwrap();
+        for i in 0..7 {
+            log.append("p", LogKind::Oltp { params: vec![Value::Int(i)] }).unwrap();
+        }
+        // 7 flushes → 7 sealed segments + the fresh active one.
+        assert_eq!(log.segment_count(), 8);
+        assert!(log.total_bytes() > 7 * HEADER_LEN as u64);
+        let bases: Vec<u64> = log.segments().iter().map(|m| m.base_lsn).collect();
+        assert_eq!(bases, (FIRST_LSN..FIRST_LSN + 8).collect::<Vec<_>>());
+        drop(log);
+        let records = CommandLog::read_all(&path).unwrap();
+        assert_eq!(records.len(), 7);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.lsn, Lsn(FIRST_LSN + i as u64));
+        }
+        cleanup_chain(&path);
+    }
+
+    #[test]
+    fn gc_candidates_cover_only_whole_segments_behind_the_watermark() {
+        let path = tmp("gc");
+        let mut log = CommandLog::create(&path, tiny_segments(2)).unwrap();
+        for i in 0..8 {
+            log.append("p", LogKind::Oltp { params: vec![Value::Int(i)] }).unwrap();
+        }
+        // Segments hold lsns [1,2][3,4][5,6][7,8] + empty active.
+        assert_eq!(log.segment_count(), 5);
+        assert!(log.gc_candidates(Lsn(0)).is_empty());
+        assert!(log.gc_candidates(Lsn(1)).is_empty(), "lsn 2 not covered yet");
+        assert_eq!(log.gc_candidates(Lsn(2)).len(), 1);
+        assert_eq!(log.gc_candidates(Lsn(5)).len(), 2, "segment [5,6] only half covered");
+        let all = log.gc_candidates(Lsn(8));
+        assert_eq!(all.len(), 4, "active segment is never a candidate");
+        // Delete them the way the partition GC does, oldest first.
+        for (seq, p) in all {
+            std::fs::remove_file(&p).unwrap();
+            log.drop_segment(seq);
+        }
+        assert_eq!(log.segment_count(), 1);
+        // The survivors still read back: a chain whose GC'd prefix is
+        // gone places itself on the LSN axis via base_lsn.
+        log.append("p", LogKind::Oltp { params: vec![Value::Int(99)] }).unwrap();
+        drop(log);
+        let records = CommandLog::read_all(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].lsn, Lsn(9));
+        cleanup_chain(&path);
+    }
+
+    #[test]
+    fn resume_reopens_the_chain_tail() {
+        let path = tmp("chain-resume");
+        {
+            let mut log = CommandLog::create(&path, tiny_segments(1)).unwrap();
+            for i in 0..3 {
+                log.append("a", LogKind::Oltp { params: vec![Value::Int(i)] }).unwrap();
+            }
+        }
+        let mut log = CommandLog::resume(&path, tiny_segments(1), Lsn(3)).unwrap();
+        assert_eq!(log.segment_count(), 4, "resume discovers every on-disk segment");
+        let lsn = log.append("b", LogKind::Oltp { params: vec![] }).unwrap();
+        assert_eq!(lsn, Lsn(4));
+        drop(log);
+        let records = CommandLog::read_all(&path).unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[3].proc, "b");
+        cleanup_chain(&path);
+    }
+
+    #[test]
+    fn resume_after_full_gc_starts_a_continuing_chain() {
+        let path = tmp("chain-gcall");
+        {
+            let mut log = CommandLog::create(&path, tiny_segments(1)).unwrap();
+            for i in 0..3 {
+                log.append("a", LogKind::Oltp { params: vec![Value::Int(i)] }).unwrap();
+            }
+        }
+        // Simulate GC behind a checkpoint covering everything, plus
+        // removal of the (empty) active segment at shutdown.
+        cleanup_chain(&path);
+        let mut log = CommandLog::resume(&path, tiny_segments(1), Lsn(3)).unwrap();
+        let lsn = log.append("b", LogKind::Oltp { params: vec![] }).unwrap();
+        assert_eq!(lsn, Lsn(4));
+        drop(log);
+        let records = CommandLog::read_all(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].lsn, Lsn(4), "fresh segment carries the continued base lsn");
+        cleanup_chain(&path);
+    }
+
+    #[test]
+    fn torn_segment_drops_every_later_segment() {
+        let path = tmp("chain-torn");
+        let mut log = CommandLog::create(&path, tiny_segments(1)).unwrap();
+        for i in 0..4 {
+            log.append("a", LogKind::Oltp { params: vec![Value::Int(i)] }).unwrap();
+        }
+        drop(log);
+        // Tear segment 1's tail: frame length runs past EOF. Segments
+        // 2+ hold records appended *after* the tear point, which (had
+        // this been a real crash) were never durably acknowledged.
+        let seg1 = segment_path(&path, 1);
+        let mut f = OpenOptions::new().append(true).open(&seg1).unwrap();
+        f.write_all(&1000u32.to_le_bytes()).unwrap();
+        f.write_all(&[0xAB; 6]).unwrap();
+        drop(f);
+        let records = CommandLog::read_all(&path).unwrap();
+        assert_eq!(records.len(), 2, "clean prefix: segments 0 and 1's records");
+        // Trimming repairs the chain on disk: the tear is cut off and
+        // the later segments are unlinked.
+        let before = std::fs::metadata(&seg1).unwrap().len();
+        let records = CommandLog::read_all_trimming(&StdVfs, &path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert!(std::fs::metadata(&seg1).unwrap().len() < before);
+        assert!(!segment_path(&path, 2).exists());
+        assert!(!segment_path(&path, 3).exists());
+        cleanup_chain(&path);
+    }
+
+    #[test]
+    fn orphan_segment_with_discontinuous_base_is_removed() {
+        let path = tmp("chain-orphan");
+        let mut log = CommandLog::create(&path, tiny_segments(1)).unwrap();
+        for i in 0..2 {
+            log.append("a", LogKind::Oltp { params: vec![Value::Int(i)] }).unwrap();
+        }
+        drop(log); // segments 0,1 hold lsns 1,2; segment 2 is empty
+        // Forge segment 2 as an orphan: header-only with a base LSN
+        // that does not continue the chain (a stale leftover from an
+        // earlier trim that crashed before the unlink).
+        let seg2 = segment_path(&path, 2);
+        std::fs::write(&seg2, header_bytes(2, 999)).unwrap();
+        let records = CommandLog::read_all(&path).unwrap();
+        assert_eq!(records.len(), 2, "orphan contributes nothing");
+        CommandLog::read_all_trimming(&StdVfs, &path).unwrap();
+        assert!(!seg2.exists(), "trimming unlinks the orphan");
+        cleanup_chain(&path);
+    }
+
+    #[test]
+    fn lsn_discontinuity_inside_a_segment_is_corruption() {
+        let path = tmp("chain-skip");
+        let mut log = CommandLog::create(
+            &path,
+            LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() },
+        )
+        .unwrap();
+        log.append("a", LogKind::Oltp { params: vec![] }).unwrap();
+        log.append("b", LogKind::Oltp { params: vec![] }).unwrap();
+        drop(log);
+        // Splice out the FIRST record (keep header + second record):
+        // CRC-valid bytes whose lsn does not continue from base_lsn.
+        let bytes = std::fs::read(&path).unwrap();
+        let len = u32::from_le_bytes(bytes[HEADER_LEN..HEADER_LEN + 4].try_into().unwrap()) as usize;
+        let mut spliced = bytes[..HEADER_LEN].to_vec();
+        spliced.extend_from_slice(&bytes[HEADER_LEN + FRAME_LEN + len..]);
+        std::fs::write(&path, &spliced).unwrap();
+        assert!(CommandLog::read_all(&path).is_err(), "a silently missing record must not replay");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_removes_stale_higher_segments() {
+        let path = tmp("chain-stale");
+        {
+            let mut log = CommandLog::create(&path, tiny_segments(1)).unwrap();
+            for i in 0..3 {
+                log.append("a", LogKind::Oltp { params: vec![Value::Int(i)] }).unwrap();
+            }
+        }
+        let log = CommandLog::create(&path, tiny_segments(1)).unwrap();
+        assert_eq!(log.segment_count(), 1);
+        drop(log);
+        assert!(!segment_path(&path, 1).exists(), "previous incarnation's segments unlinked");
+        assert!(CommandLog::read_all(&path).unwrap().is_empty());
+        cleanup_chain(&path);
+    }
+
     #[test]
     fn resume_continues_lsns() {
         let path = tmp("resume");
         {
-            let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }).unwrap();
+            let mut log = CommandLog::create(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() }).unwrap();
             log.append("a", LogKind::Oltp { params: vec![] }).unwrap();
         }
-        let mut log = CommandLog::resume(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false }, Lsn(FIRST_LSN)).unwrap();
+        let mut log = CommandLog::resume(&path, LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() }, Lsn(FIRST_LSN)).unwrap();
         let lsn = log.append("b", LogKind::Oltp { params: vec![] }).unwrap();
         assert_eq!(lsn, Lsn(FIRST_LSN + 1));
         drop(log);

@@ -195,6 +195,23 @@ pub struct ClassLatency {
     pub end_to_end: HistogramSnapshot,
 }
 
+/// Point-in-time view of the durability subsystem's resource counters
+/// ([`EngineMetrics::log_lifecycle`]): what bench harnesses and ops
+/// checks assert bounded-resource behavior against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LogLifecycleSnapshot {
+    /// Log segments on disk (all partitions).
+    pub log_segments: u64,
+    /// Log bytes on disk (all partitions).
+    pub log_bytes: u64,
+    /// Image bytes written by the latest checkpoint (all partitions).
+    pub checkpoint_bytes: u64,
+    /// Segments deleted by GC since start/reset (cumulative).
+    pub gc_segments_deleted: u64,
+    /// Replay wall time of the last recovery (max over partitions).
+    pub recovery_replay_ms: u64,
+}
+
 /// Counters for one engine instance.
 #[derive(Debug, Default)]
 pub struct EngineMetrics {
@@ -249,6 +266,22 @@ pub struct EngineMetrics {
     /// the procedure name for OLTP calls, `"@adhoc"` for ad-hoc SQL.
     /// Cold path (only bumped on rejection), so a mutex is fine.
     shed_by_origin: Mutex<FxHashMap<String, u64>>,
+    /// Log segments currently on disk, summed over partitions (gauge;
+    /// refreshed after every checkpoint's GC pass).
+    pub log_segments: AtomicU64,
+    /// Command-log bytes currently on disk, summed over partitions
+    /// (gauge; refreshed after every checkpoint's GC pass).
+    pub log_bytes: AtomicU64,
+    /// Checkpoint-image bytes written by the most recent checkpoint,
+    /// summed over partitions (gauge; a delta epoch shows how much
+    /// smaller incremental images are than a base).
+    pub checkpoint_bytes: AtomicU64,
+    /// Log segments deleted by checkpoint GC (cumulative).
+    pub gc_segments_deleted: AtomicU64,
+    /// Wall-clock milliseconds the last recovery spent replaying
+    /// per-partition logs (gauge; the max over partitions, since they
+    /// replay in parallel — the RTO contribution of replay).
+    pub recovery_replay_ms: AtomicU64,
     /// Per-class queue-wait / execution / end-to-end histograms.
     pub latency: LatencyStats,
     /// Execution trace of committed TEs, recorded only when
@@ -347,6 +380,18 @@ impl EngineMetrics {
         self.trace.lock().clone()
     }
 
+    /// One consistent-enough view of the log-lifecycle counters (each
+    /// load is relaxed; the struct is for reports, not coordination).
+    pub fn log_lifecycle(&self) -> LogLifecycleSnapshot {
+        LogLifecycleSnapshot {
+            log_segments: Self::get(&self.log_segments),
+            log_bytes: Self::get(&self.log_bytes),
+            checkpoint_bytes: Self::get(&self.checkpoint_bytes),
+            gc_segments_deleted: Self::get(&self.gc_segments_deleted),
+            recovery_replay_ms: Self::get(&self.recovery_replay_ms),
+        }
+    }
+
     /// Clears all counters, histograms, shed maps, and the trace
     /// (between benchmark phases).
     pub fn reset(&self) {
@@ -366,6 +411,11 @@ impl EngineMetrics {
         self.window_late_merged.store(0, Ordering::Relaxed);
         self.window_late_dropped.store(0, Ordering::Relaxed);
         self.shed_batches.store(0, Ordering::Relaxed);
+        self.log_segments.store(0, Ordering::Relaxed);
+        self.log_bytes.store(0, Ordering::Relaxed);
+        self.checkpoint_bytes.store(0, Ordering::Relaxed);
+        self.gc_segments_deleted.store(0, Ordering::Relaxed);
+        self.recovery_replay_ms.store(0, Ordering::Relaxed);
         self.shed_by_origin.lock().clear();
         self.latency.clear();
         self.trace.lock().clear();
@@ -447,6 +497,24 @@ mod tests {
         m.reset();
         assert!(m.latency_snapshot().is_empty(), "reset clears histograms");
         assert_eq!(m.class_latency(TxnClass::Border).end_to_end.count, 0);
+    }
+
+    #[test]
+    fn log_lifecycle_snapshot_reads_and_resets() {
+        let m = EngineMetrics::new();
+        m.log_segments.store(3, Ordering::Relaxed);
+        m.log_bytes.store(4096, Ordering::Relaxed);
+        m.checkpoint_bytes.store(128, Ordering::Relaxed);
+        m.gc_segments_deleted.fetch_add(2, Ordering::Relaxed);
+        m.recovery_replay_ms.store(17, Ordering::Relaxed);
+        let s = m.log_lifecycle();
+        assert_eq!(s.log_segments, 3);
+        assert_eq!(s.log_bytes, 4096);
+        assert_eq!(s.checkpoint_bytes, 128);
+        assert_eq!(s.gc_segments_deleted, 2);
+        assert_eq!(s.recovery_replay_ms, 17);
+        m.reset();
+        assert_eq!(m.log_lifecycle(), LogLifecycleSnapshot::default());
     }
 
     #[test]

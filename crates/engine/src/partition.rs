@@ -227,11 +227,30 @@ pub enum PartitionMsg {
         /// Rows routed to this partition.
         rows: Vec<Tuple>,
     },
-    /// Take a checkpoint; replies with the EE image, the last LSN
-    /// covered by it, and the exchange watermarks (by stream name).
-    Checkpoint(Sender<Result<(Vec<u8>, Lsn, HashMap<String, u64>)>>),
-    /// Restore EE state from a checkpoint image (recovery bootstrap).
-    Restore(Vec<u8>, Sender<Result<()>>),
+    /// Take a checkpoint (`full` = base image, else a delta of state
+    /// dirtied since the last image); replies with the EE image, the
+    /// last LSN covered by it, and the exchange watermarks (by stream
+    /// name).
+    Checkpoint {
+        /// Base image (`true`) or incremental delta (`false`).
+        full: bool,
+        /// Reply channel.
+        reply: Sender<Result<(Vec<u8>, Lsn, HashMap<String, u64>)>>,
+    },
+    /// Restore EE state from an epoch chain — base image + deltas,
+    /// oldest first (recovery bootstrap).
+    Restore(Vec<Vec<u8>>, Sender<Result<()>>),
+    /// Delete log segments wholly covered by the durable checkpoint
+    /// floor `covered` (GC). Replies with how many segments were
+    /// unlinked plus the surviving chain's shape (segment count, total
+    /// bytes) — the engine aggregates those into the metrics gauges.
+    TruncateLog {
+        /// Last LSN the durable manifest's newest epoch covers for
+        /// this partition.
+        covered: Lsn,
+        /// Reply channel: `(deleted, segments_left, bytes_left)`.
+        reply: Sender<Result<(usize, usize, u64)>>,
+    },
     /// Block until the queue is empty and no work is in flight.
     Drain(Sender<()>),
     /// Enable/disable PE triggers (recovery protocol).
@@ -422,7 +441,7 @@ pub(crate) fn spawn_partition(
 
     let log = if config.logging.enabled {
         let path = config.log_path(seed.id);
-        let vfs = config.vfs.as_ref();
+        let vfs = config.vfs.clone();
         Some(match seed.resume_lsn {
             Some(lsn) => CommandLog::resume_on(vfs, path, config.logging.clone(), lsn)?,
             None => CommandLog::create_on(vfs, path, config.logging.clone())?,
@@ -513,12 +532,15 @@ impl PartitionRuntime {
             PartitionMsg::Exchange { stream, batch, source, rows } => {
                 self.handle_exchange(stream, batch, source, rows);
             }
-            PartitionMsg::Checkpoint(reply) => {
-                let out = self.do_checkpoint();
+            PartitionMsg::Checkpoint { full, reply } => {
+                let out = self.do_checkpoint(full);
                 let _ = reply.send(out);
             }
-            PartitionMsg::Restore(bytes, reply) => {
-                let _ = reply.send(self.ee.restore(bytes));
+            PartitionMsg::Restore(chain, reply) => {
+                let _ = reply.send(self.ee.restore(chain));
+            }
+            PartitionMsg::TruncateLog { covered, reply } => {
+                let _ = reply.send(self.do_truncate_log(covered));
             }
             PartitionMsg::Drain(reply) => {
                 if self.queue.is_empty() && self.rx.is_empty() {
@@ -566,7 +588,7 @@ impl PartitionRuntime {
         false
     }
 
-    fn do_checkpoint(&mut self) -> Result<(Vec<u8>, Lsn, HashMap<String, u64>)> {
+    fn do_checkpoint(&mut self, full: bool) -> Result<(Vec<u8>, Lsn, HashMap<String, u64>)> {
         let lsn = match &mut self.log {
             Some(log) => {
                 // Flush + unconditional fsync: the image about to be
@@ -578,7 +600,7 @@ impl PartitionRuntime {
             }
             None => Lsn(0),
         };
-        let bytes = self.ee.checkpoint()?;
+        let bytes = self.ee.checkpoint(full)?;
         let floor = self
             .exchange_applied
             .iter()
@@ -587,6 +609,24 @@ impl PartitionRuntime {
             .map(|(i, v)| (self.ids.table_name(TableId(i as u32)).to_string(), *v))
             .collect();
         Ok((bytes, lsn, floor))
+    }
+
+    /// Deletes log segments wholly covered by the durable checkpoint
+    /// floor. Each unlink is preceded by the `pre-segment-unlink` crash
+    /// point: a crash between unlinks leaves a chain whose oldest
+    /// surviving segment still carries its base LSN, so recovery folds
+    /// the missing history through the checkpoint it was truncated
+    /// against.
+    fn do_truncate_log(&mut self, covered: Lsn) -> Result<(usize, usize, u64)> {
+        let Some(log) = &mut self.log else { return Ok((0, 0, 0)) };
+        let mut deleted = 0;
+        for (seq, path) in log.gc_candidates(covered) {
+            self.config.faults.hit(CrashPoint::PreSegmentUnlink, Some(self.partition_id))?;
+            self.config.vfs.remove_file(&path)?;
+            log.drop_segment(seq);
+            deleted += 1;
+        }
+        Ok((deleted, log.segment_count(), log.total_bytes()))
     }
 
     // ------------------------------------------------------------------

@@ -46,7 +46,7 @@ use crossbeam_channel::bounded;
 use sstore_common::{Error, Result};
 
 use crate::app::App;
-use crate::checkpoint::read_checkpoint_on;
+use crate::checkpoint::{read_checkpoint_on, read_manifest_on, CheckpointFile, CheckpointKind};
 use crate::config::{EngineConfig, RecoveryMode};
 use crate::engine::{Bootstrap, Engine};
 use crate::log::{CommandLog, LogKind, LogRecord};
@@ -65,66 +65,65 @@ pub struct RecoveryReport {
 /// Recovers an engine from the checkpoint + command log in
 /// `config.data_dir`, per `config.recovery`.
 pub fn recover(config: EngineConfig, app: App) -> Result<(Engine, RecoveryReport)> {
-    let mut images = Vec::with_capacity(config.partitions);
+    let mut images: Vec<Option<Vec<Vec<u8>>>> = Vec::with_capacity(config.partitions);
     let mut resume_lsn = Vec::with_capacity(config.partitions);
     let mut replayable: Vec<Vec<LogRecord>> = Vec::with_capacity(config.partitions);
     let mut batch_counters: HashMap<String, u64> = HashMap::new();
     let mut max_batch_seen: u64 = 0;
     let mut exchange_floors: Vec<HashMap<String, u64>> = Vec::with_capacity(config.partitions);
+    let vfs = config.vfs.as_ref();
 
-    // Read every checkpoint first: a crash between the per-partition
-    // checkpoint writes leaves the partitions on different cuts, and
-    // what that means depends on the recovery mode (see `torn_set`
-    // below) — so the cut decision must precede any per-partition use
-    // of the images.
-    let mut cks: Vec<Option<crate::checkpoint::CheckpointFile>> =
-        Vec::with_capacity(config.partitions);
-    for p in 0..config.partitions {
-        cks.push(read_checkpoint_on(config.vfs.as_ref(), &config.checkpoint_path(p))?);
+    // The durability manifest names the live checkpoint chain. Epochs
+    // it does not name — litter from a round that crashed between
+    // writing images and adopting them — are ignored entirely; a
+    // missing manifest means no checkpoint was ever adopted, so the
+    // full log replays from empty state.
+    let named = read_manifest_on(vfs, &config.manifest_path())?.map(|m| m.epochs).unwrap_or_default();
+    // Validate the chain epoch by epoch, across ALL partitions. The
+    // usable chain is the longest prefix where *every* partition
+    // produces a well-formed image with the right stamp (base first,
+    // deltas after): a torn or missing delta falls the whole engine
+    // back to the previous complete prefix. The prefix rule is global
+    // so every partition restarts from the same cut, which weak
+    // recovery of cross-partition workflows requires — a batch inside
+    // one partition's cut and outside another's would re-ship only
+    // some of its sub-batches and never complete its merge.
+    let mut chains: Vec<Vec<Vec<u8>>> = (0..config.partitions).map(|_| Vec::new()).collect();
+    let mut tail: Vec<Option<CheckpointFile>> = (0..config.partitions).map(|_| None).collect();
+    let mut chain: Vec<u64> = Vec::new();
+    'epochs: for (i, &epoch) in named.iter().enumerate() {
+        let want = if i == 0 { CheckpointKind::Base } else { CheckpointKind::Delta };
+        let mut round = Vec::with_capacity(config.partitions);
+        for p in 0..config.partitions {
+            match read_checkpoint_on(vfs, &config.checkpoint_path(p, epoch)) {
+                Ok(Some(ck)) if ck.epoch == epoch && ck.kind == want => round.push(ck),
+                // Missing, corrupt, or mislabeled: the chain ends
+                // *before* this epoch, for every partition.
+                _ => break 'epochs,
+            }
+        }
+        for (p, mut ck) in round.into_iter().enumerate() {
+            chains[p].push(std::mem::take(&mut ck.ee_image));
+            tail[p] = Some(ck);
+        }
+        chain.push(epoch);
     }
-    let epochs: Vec<Option<u64>> = cks.iter().map(|c| c.as_ref().map(|c| c.epoch)).collect();
-    let torn_set = {
-        let present: Vec<u64> = epochs.iter().copied().flatten().collect();
-        (present.len() != epochs.len() && !present.is_empty())
-            || present.windows(2).any(|w| w[0] != w[1])
-    };
-    let has_exchange = app.streams.iter().any(|s| s.exchange);
-    // Strong mode tolerates a torn set (each partition's own log
-    // replays it forward independently). Weak recovery of a
-    // cross-partition workflow cannot use inconsistent cuts: a batch
-    // inside one partition's checkpoint and outside another's would
-    // re-ship only some of its sub-batches and never complete its
-    // merge. But the command log is never truncated, so there is
-    // always one consistent cut available — the empty state. Fall back
-    // to full-log replay, ignoring the torn images entirely; refuse
-    // only when there is no log to rebuild from.
-    let ignore_images =
-        torn_set && has_exchange && matches!(config.recovery, RecoveryMode::Weak);
-    if ignore_images && !config.logging.enabled {
+    // A torn chain (the manifest names epochs that cannot all be read
+    // back) is recoverable only if the log can rebuild everything past
+    // the surviving prefix. With logging disabled nothing can: refuse
+    // loudly instead of silently restarting from the older cut.
+    if chain.len() < named.len() && !config.logging.enabled {
         return Err(Error::InvalidState(format!(
-            "checkpoint set is torn (per-partition epochs {epochs:?}) and logging is \
-             disabled: weak recovery of a cross-partition workflow needs a consistent \
-             checkpoint cut or a full command log to rebuild from"
+            "checkpoint chain is torn (manifest names epochs {named:?} but only \
+             {chain:?} read back complete) and logging is disabled: the state past \
+             the surviving prefix cannot be rebuilt"
         )));
     }
 
-    for (p, mut ck) in cks.into_iter().enumerate() {
-        if ignore_images {
-            // Batch counters are still honored below (id *gaps* are
-            // harmless, reuse is not), but state, log watermarks, and
-            // exchange floors all restart from zero: replaying the
-            // full border history from empty state re-derives every
-            // exchange delivery exactly once.
-            if let Some(c) = &ck {
-                for (s, v) in &c.batch_counters {
-                    let e = batch_counters.entry(s.clone()).or_insert(0);
-                    *e = (*e).max(*v);
-                }
-            }
-            ck = None;
-        }
+    for p in 0..config.partitions {
+        let ck = &tail[p];
         let watermark = ck.as_ref().map(|c| c.last_lsn);
-        if let Some(c) = &ck {
+        if let Some(c) = ck {
             for (s, v) in &c.batch_counters {
                 let e = batch_counters.entry(s.clone()).or_insert(0);
                 *e = (*e).max(*v);
@@ -135,14 +134,29 @@ pub fn recover(config: EngineConfig, app: App) -> Result<(Engine, RecoveryReport
         // resumed log appends after the last clean record instead of
         // after crash garbage (which would read as interior corruption
         // on the *next* recovery).
-        let records =
-            CommandLog::read_all_trimming(config.vfs.as_ref(), &config.log_path(p))?;
+        let records = CommandLog::read_all_trimming(vfs, &config.log_path(p))?;
+        // GC'd history must be covered by the cut we restore: if the
+        // oldest surviving record sits above the cut's watermark,
+        // segments between them were truncated against a checkpoint
+        // this recovery could not read back — refuse loudly instead of
+        // silently replaying over a hole.
+        if let Some(first) = records.first() {
+            let covered = watermark.map_or(0, |w| w.raw());
+            if first.lsn.raw() > covered + 1 {
+                return Err(Error::InvalidState(format!(
+                    "partition {p}: log starts at lsn {} but the restorable checkpoint \
+                     chain only covers through lsn {covered} — log segments were GC'd \
+                     against a newer checkpoint that can no longer be read",
+                    first.lsn
+                )));
+            }
+        }
         let keep: Vec<LogRecord> = match watermark {
             // A fresh checkpoint may have watermark 0 with no records;
             // replay strictly-after semantics still hold because LSNs
             // covered by the image are <= watermark.
-            Some(w) if ck.is_some() => records.into_iter().filter(|r| r.lsn > w).collect(),
-            _ => records,
+            Some(w) => records.into_iter().filter(|r| r.lsn > w).collect(),
+            None => records,
         };
         for r in &keep {
             if let LogKind::Border { stream, batch, .. } = &r.kind {
@@ -165,7 +179,7 @@ pub fn recover(config: EngineConfig, app: App) -> Result<(Engine, RecoveryReport
             }
         }
         let last = keep.last().map(|r| r.lsn).or(watermark);
-        images.push(ck.map(|c| c.ee_image));
+        images.push(if chain.is_empty() { None } else { Some(std::mem::take(&mut chains[p])) });
         resume_lsn.push(last);
         replayable.push(keep);
     }
@@ -180,7 +194,20 @@ pub fn recover(config: EngineConfig, app: App) -> Result<(Engine, RecoveryReport
         }
     }
 
-    let checkpoint_epoch = epochs.iter().copied().flatten().max().unwrap_or(0);
+    // New epochs must not collide with any image file still on disk —
+    // including unadopted litter the next checkpoint round will GC —
+    // so the counter resumes past everything visible, not just the
+    // adopted chain.
+    let mut checkpoint_epoch = named.iter().copied().max().unwrap_or(0);
+    for path in vfs.list_dir(&config.data_dir)? {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        let Some((stem, epoch)) = name.rsplit_once('.') else { continue };
+        if stem.starts_with("partition-") && stem.ends_with(".snapshot") {
+            if let Ok(e) = epoch.parse::<u64>() {
+                checkpoint_epoch = checkpoint_epoch.max(e);
+            }
+        }
+    }
 
     let triggers_on_start = matches!(config.recovery, RecoveryMode::Weak);
     let engine = Engine::start_with(
@@ -193,6 +220,7 @@ pub fn recover(config: EngineConfig, app: App) -> Result<(Engine, RecoveryReport
             batch_counters,
             exchange_floors,
             checkpoint_epoch,
+            manifest_chain: chain,
         }),
     )?;
 
@@ -201,12 +229,7 @@ pub fn recover(config: EngineConfig, app: App) -> Result<(Engine, RecoveryReport
         RecoveryMode::Strong => {
             // Replay everything, triggers off, one confirmed round trip
             // per record.
-            for (p, records) in replayable.iter().enumerate() {
-                for rec in records {
-                    replay_record(&engine, p, rec)?;
-                    report.records_replayed += 1;
-                }
-            }
+            report.records_replayed += replay_all(&engine, &replayable)?;
             engine.set_triggers(true)?;
             report.triggers_fired += engine.fire_dangling()?;
             engine.drain()?;
@@ -217,16 +240,49 @@ pub fn recover(config: EngineConfig, app: App) -> Result<(Engine, RecoveryReport
             // re-execute), then re-ingest border records.
             report.triggers_fired += engine.fire_dangling()?;
             engine.drain()?;
-            for (p, records) in replayable.iter().enumerate() {
-                for rec in records {
-                    replay_record(&engine, p, rec)?;
-                    report.records_replayed += 1;
-                }
-            }
+            report.records_replayed += replay_all(&engine, &replayable)?;
             engine.drain()?;
         }
     }
     Ok((engine, report))
+}
+
+/// Replays every partition's surviving records in parallel: one thread
+/// per partition, each driving its own chain in LSN order (per-record
+/// confirmation keeps the per-partition ordering; cross-partition
+/// ordering is not required — exchange re-delivery is reconciled by
+/// watermarks afterwards). Recovery wall time is therefore the *max*
+/// over partitions, not the sum; the max per-partition replay time
+/// lands in the `recovery_replay_ms` gauge.
+fn replay_all(engine: &Engine, replayable: &[Vec<LogRecord>]) -> Result<usize> {
+    let results: Vec<Result<(usize, u64)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = replayable
+            .iter()
+            .enumerate()
+            .map(|(p, records)| {
+                s.spawn(move || {
+                    let start = std::time::Instant::now();
+                    for rec in records {
+                        replay_record(engine, p, rec)?;
+                    }
+                    Ok((records.len(), start.elapsed().as_millis() as u64))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("replay thread panicked")).collect()
+    });
+    let mut total = 0;
+    let mut max_ms = 0u64;
+    for r in results {
+        let (n, ms) = r?;
+        total += n;
+        max_ms = max_ms.max(ms);
+    }
+    engine
+        .metrics()
+        .recovery_replay_ms
+        .store(max_ms, std::sync::atomic::Ordering::Relaxed);
+    Ok(total)
 }
 
 /// Replays one record through the client path, waiting for its commit

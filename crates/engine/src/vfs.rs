@@ -73,6 +73,16 @@ pub trait Vfs: Send + Sync + fmt::Debug {
 
     /// Creates a directory and its parents (no-op if present).
     fn create_dir_all(&self, path: &Path) -> Result<()>;
+
+    /// Lists the files directly inside `dir`, sorted by path. A missing
+    /// directory lists as empty (log GC scans before the first
+    /// checkpoint ever wrote anything).
+    fn list_dir(&self, dir: &Path) -> Result<Vec<PathBuf>>;
+
+    /// Deletes a file (log-segment / stale-image GC). Removing a file
+    /// that does not exist is a no-op: GC retries after a crash between
+    /// manifest write and unlink, and the second pass must succeed.
+    fn remove_file(&self, path: &Path) -> Result<()>;
 }
 
 // ----------------------------------------------------------------------
@@ -160,6 +170,31 @@ impl Vfs for StdVfs {
     fn create_dir_all(&self, path: &Path) -> Result<()> {
         std::fs::create_dir_all(path)?;
         Ok(())
+    }
+
+    fn list_dir(&self, dir: &Path) -> Result<Vec<PathBuf>> {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut out = Vec::new();
+        for entry in entries {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn remove_file(&self, path: &Path) -> Result<()> {
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
     }
 }
 
@@ -490,6 +525,29 @@ impl Vfs for SimVfs {
     fn create_dir_all(&self, _path: &Path) -> Result<()> {
         Ok(())
     }
+
+    fn list_dir(&self, dir: &Path) -> Result<Vec<PathBuf>> {
+        // BTreeMap keys are already path-sorted.
+        Ok(self
+            .state
+            .lock()
+            .files
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .cloned()
+            .collect())
+    }
+
+    fn remove_file(&self, path: &Path) -> Result<()> {
+        let mut s = self.state.lock();
+        if s.frozen {
+            return Err(frozen_err());
+        }
+        // Like a journaled unlink: immediate and durable — there is no
+        // "torn" unlink, the file is either there or gone after a crash.
+        s.files.remove(path);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -619,6 +677,41 @@ mod tests {
         vfs.restart_after_crash();
         let bytes = vfs.read(&p("/l")).unwrap().unwrap();
         assert!(bytes.len() <= 5, "nothing past the crash byte: {bytes:?}");
+    }
+
+    #[test]
+    fn list_dir_and_remove_file_on_both_vfs() {
+        // SimVfs: sorted listing, parent-scoped, idempotent remove.
+        let vfs = SimVfs::new(6);
+        let (mut f, _) = vfs.open_log(&p("/d/b.log"), true).unwrap();
+        f.append(b"x").unwrap();
+        let (mut g, _) = vfs.open_log(&p("/d/a.log"), true).unwrap();
+        g.append(b"y").unwrap();
+        vfs.write_atomic(&p("/other/c"), b"z").unwrap();
+        assert_eq!(vfs.list_dir(&p("/d")).unwrap(), vec![p("/d/a.log"), p("/d/b.log")]);
+        assert_eq!(vfs.list_dir(&p("/missing")).unwrap(), Vec::<PathBuf>::new());
+        vfs.remove_file(&p("/d/a.log")).unwrap();
+        vfs.remove_file(&p("/d/a.log")).unwrap(); // idempotent
+        assert_eq!(vfs.list_dir(&p("/d")).unwrap(), vec![p("/d/b.log")]);
+        // Removal is refused while crashed (frozen I/O) — GC must not
+        // delete anything on a dead machine.
+        vfs.freeze();
+        assert!(vfs.remove_file(&p("/d/b.log")).is_err());
+        vfs.restart_after_crash();
+        assert!(vfs.read(&p("/d/b.log")).unwrap().is_some());
+
+        // StdVfs mirrors the semantics.
+        let dir = std::env::temp_dir().join(format!("sstore-vfs-ls-{}", std::process::id()));
+        let std_vfs = StdVfs;
+        std_vfs.create_dir_all(&dir).unwrap();
+        std_vfs.write_atomic(&dir.join("b"), b"1").unwrap();
+        std_vfs.write_atomic(&dir.join("a"), b"2").unwrap();
+        assert_eq!(std_vfs.list_dir(&dir).unwrap(), vec![dir.join("a"), dir.join("b")]);
+        assert!(std_vfs.list_dir(&dir.join("missing")).unwrap().is_empty());
+        std_vfs.remove_file(&dir.join("a")).unwrap();
+        std_vfs.remove_file(&dir.join("a")).unwrap(); // idempotent
+        assert_eq!(std_vfs.list_dir(&dir).unwrap(), vec![dir.join("b")]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

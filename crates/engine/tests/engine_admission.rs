@@ -489,7 +489,7 @@ fn query_at_replays_from_the_command_log() {
         let config = EngineConfig::default()
             .with_data_dir(dir.clone())
             .with_recovery(mode)
-            .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false });
+            .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() });
         let engine = Engine::start(config.clone(), hybrid_app()).unwrap();
         engine.ingest_sync("in", vec![tuple![1i64], tuple![2i64]]).unwrap();
         engine.drain().unwrap();

@@ -260,7 +260,7 @@ fn logging_config(tag: &str, mode: RecoveryMode, partitions: usize) -> EngineCon
         .with_partitions(partitions)
         .with_data_dir(test_dir(tag))
         .with_recovery(mode)
-        .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false })
+        .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() })
 }
 
 #[test]
@@ -312,7 +312,7 @@ fn dangling_exchange_batches_reship_after_recovery() {
             .with_partitions(2)
             .with_data_dir(dir.clone())
             .with_recovery(RecoveryMode::Weak)
-            .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false })
+            .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() })
     };
     let engine = Engine::start(mk(EngineMode::HStore), exchange_app()).unwrap();
     for b in mixed_batches(5) {

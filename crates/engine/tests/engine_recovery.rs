@@ -71,7 +71,7 @@ fn config(tag: &str, mode: RecoveryMode) -> EngineConfig {
     EngineConfig::default()
         .with_data_dir(test_dir(tag))
         .with_recovery(mode)
-        .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false })
+        .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() })
 }
 
 fn state(engine: &Engine) -> (Vec<i64>, Vec<i64>) {
@@ -193,7 +193,7 @@ fn dangling_batches_refire_after_recovery() {
         EngineConfig::default()
             .with_data_dir(dir.clone())
             .with_recovery(RecoveryMode::Weak)
-            .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false })
+            .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() })
             .with_scheduler(mode)
     };
     let hstore_cfg = EngineConfig {
@@ -237,7 +237,7 @@ fn group_commit_reduces_flushes() {
         EngineConfig::default()
             .with_data_dir(base.join(sub))
             .with_recovery(RecoveryMode::Strong)
-            .with_logging(LoggingConfig { enabled: true, group_commit: group, fsync: false })
+            .with_logging(LoggingConfig { enabled: true, group_commit: group, fsync: false, ..Default::default() })
     };
     let run = |cfg: &EngineConfig| {
         let engine = Engine::start(cfg.clone(), app()).unwrap();

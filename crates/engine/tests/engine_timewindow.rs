@@ -120,7 +120,7 @@ fn config(tag: &str, mode: RecoveryMode) -> EngineConfig {
     EngineConfig::default()
         .with_data_dir(test_dir(tag))
         .with_recovery(mode)
-        .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false })
+        .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() })
 }
 
 /// Crash-free oracle: the same workload plus the post-recovery batch,
@@ -176,7 +176,7 @@ fn window_section_byte_flips_fail_cleanly() {
     // exercises the image alone.
     std::fs::remove_file(cfg.log_path(0)).unwrap();
 
-    let path = cfg.checkpoint_path(0);
+    let path = cfg.checkpoint_path(0, 1);
     let clean = read_checkpoint(&path).unwrap().unwrap();
     // The window section is the tail of the EE image; its first bytes
     // are the variant tag + the window's name ("tw" as a length-

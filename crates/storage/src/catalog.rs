@@ -56,6 +56,19 @@ impl Catalog {
         Ok(id)
     }
 
+    /// Swaps a table's contents in place, preserving its [`TableId`]
+    /// (incremental-checkpoint delta apply: compiled plans and the
+    /// engine's id-indexed state address tables by dense id, so a
+    /// drop + install — which would mint a NEW id — must never be used
+    /// to overwrite an existing table). The replacement must carry the
+    /// same name as the table it replaces.
+    pub fn replace_table(&mut self, table: Table) -> Result<TableId> {
+        let name = table.name().to_owned();
+        let id = *self.by_name.get(&name).ok_or_else(|| Error::not_found("table", &name))?;
+        self.tables[id.index()] = Some(table);
+        Ok(id)
+    }
+
     /// Drops a table. Its id is retired, not reused.
     pub fn drop_table(&mut self, name: &str) -> Result<Table> {
         let key = name.to_ascii_lowercase();
@@ -195,6 +208,23 @@ mod tests {
         c.create_table("mm", TableKind::Base, schema()).unwrap();
         assert_eq!(c.names_of_kind(TableKind::Stream), vec!["aa", "zz"]);
         assert_eq!(c.names_of_kind(TableKind::Window), Vec::<String>::new());
+    }
+
+    #[test]
+    fn replace_table_preserves_the_id() {
+        let mut c = Catalog::new();
+        c.create_table("a", TableKind::Base, schema()).unwrap();
+        c.create_table("b", TableKind::Base, schema()).unwrap();
+        let a = c.id_of("a").unwrap();
+        c.get_mut(a).insert(sstore_common::tuple![1i64]).unwrap();
+        let mut replacement = Table::new("a", TableKind::Base, schema());
+        replacement.insert(sstore_common::tuple![2i64]).unwrap();
+        replacement.insert(sstore_common::tuple![3i64]).unwrap();
+        let rid = c.replace_table(replacement).unwrap();
+        assert_eq!(rid, a, "replacement keeps the dense id");
+        assert_eq!(c.get(a).len(), 2);
+        assert_eq!(c.id_of("b"), Some(TableId(1)));
+        assert!(c.replace_table(Table::new("zz", TableKind::Base, schema())).is_err());
     }
 
     #[test]

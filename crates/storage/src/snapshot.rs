@@ -32,6 +32,18 @@ pub fn encode_catalog(catalog: &Catalog) -> Vec<u8> {
     e.finish()
 }
 
+/// Serializes one table (name, kind, schema, indexes, rows) into an
+/// existing encoder — the unit of an incremental-checkpoint delta,
+/// which carries only the tables dirtied since the previous image.
+pub fn encode_table_image(e: &mut Encoder, table: &Table) {
+    encode_table(e, table);
+}
+
+/// Decodes one table serialized by [`encode_table_image`].
+pub fn decode_table_image(d: &mut Decoder<'_>) -> Result<Table> {
+    decode_table(d)
+}
+
 fn encode_table(e: &mut Encoder, table: &Table) {
     e.put_str(table.name());
     e.put_u8(table.kind().tag());

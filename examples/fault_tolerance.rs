@@ -18,7 +18,7 @@ fn demo(mode: RecoveryMode) -> sstore::common::Result<()> {
     let cfg = EngineConfig::default()
         .with_data_dir(std::env::temp_dir().join(format!("sstore-ft-{tag}")))
         .with_recovery(mode)
-        .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false });
+        .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() });
 
     // A 3-SP workflow; run 100 workflows, checkpoint at 50.
     let engine = Engine::start(cfg.clone(), micro::pe_chain(3))?;

@@ -98,7 +98,7 @@ fn main() -> sstore::common::Result<()> {
             .with_partitions(PARTITIONS)
             .with_data_dir(std::env::temp_dir().join(format!("sstore-linear-road-{mode:?}")))
             .with_recovery(mode)
-            .with_logging(LoggingConfig { enabled: true, group_commit: 8, fsync: false });
+            .with_logging(LoggingConfig { enabled: true, group_commit: 8, fsync: false, ..Default::default() });
         // Fresh log for a fresh run.
         std::fs::remove_dir_all(&config.data_dir).ok();
 

@@ -34,6 +34,25 @@ case "$cout" in
         ;;
 esac
 
+echo "== chaos longrun smoke (3-5x ops, periodic checkpoint + segment GC) =="
+# Same oracle, longer schedules with forced checkpoint cadence and
+# small segments — exercises seal/GC/incremental-checkpoint/recovery
+# across many generations per seed.
+if ! lout=$(cargo run --release -q -p chaos -- --seeds 100 --start 1 --mode longrun --time-box 120 2>&1); then
+    echo "$lout"
+    echo "bench_smoke: chaos longrun corpus found an oracle divergence (see seed above)" >&2
+    exit 1
+fi
+echo "$lout" | tail -1
+case "$lout" in
+    *"zero oracle divergences"*) ;;
+    *"time box"*) ;;
+    *)
+        echo "bench_smoke: chaos longrun output did not report a clean sweep" >&2
+        exit 1
+        ;;
+esac
+
 echo "== hotpath smoke (2s per case) =="
 out=$(cargo run --release -p sstore-bench --bin hotpath -- 2 2>/dev/null)
 echo "$out"
@@ -139,3 +158,33 @@ if [ "$oreset" != "true" ]; then
     exit 1
 fi
 echo "bench_smoke: OK (overload: shed=$oshed p99=${op99}us plateau=$oplateau bounded=$obound reset=$oreset)"
+
+echo "== recovery smoke (RTO vs log length: full replay vs segmented+incremental) =="
+rout=$(cargo run --release -p sstore-bench --bin recovery 2>/dev/null)
+echo "$rout"
+# Last segmented row = longest log: GC must have truncated covered
+# segments and recovery must still have come up inside the RTO ceiling.
+rgc=$(echo "$rout" | sed -n 's/.*"segments_gced": \([0-9]*\).*/\1/p' | tail -1)
+rms=$(echo "$rout" | sed -n 's/.*"recover_ms": \([0-9]*\)\..*/\1/p' | tail -1)
+rreplayed=$(echo "$rout" | sed -n 's/.*"records_replayed": \([0-9]*\).*/\1/p' | tail -1)
+if [ -z "$rgc" ] || [ -z "$rms" ]; then
+    echo "bench_smoke: could not parse recovery output" >&2
+    exit 1
+fi
+# The segmented lifecycle must actually collect garbage...
+if [ "$rgc" -lt 1 ]; then
+    echo "bench_smoke: segmented run deleted no log segments (gc=$rgc)" >&2
+    exit 1
+fi
+# ...and recovery from the post-GC state must succeed (the bin exits
+# nonzero otherwise) with a bounded RTO: the replay suffix is capped by
+# the checkpoint interval, so recovery time must not scale with total
+# history. 2000ms is a generous machine-variance ceiling vs the ~10ms
+# checked into BENCH_recovery.json; full replay of the same history
+# runs ~10x longer and keeps growing.
+rto_ceiling=2000
+if [ "$rms" -gt "$rto_ceiling" ]; then
+    echo "bench_smoke: segmented recovery took ${rms}ms > ceiling ${rto_ceiling}ms" >&2
+    exit 1
+fi
+echo "bench_smoke: OK (recovery: ${rms}ms RTO, $rreplayed records replayed, $rgc segments GCed)"

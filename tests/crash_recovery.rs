@@ -8,7 +8,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use sstore::common::tuple;
+use sstore::engine::faults::{CrashPoint, FaultInjector};
 use sstore::engine::log::{CommandLog, LogKind};
+use sstore::engine::metrics::EngineMetrics;
 use sstore::engine::recovery::recover;
 use sstore::engine::{Engine, EngineConfig, LoggingConfig, RecoveryMode};
 use sstore::workloads::micro::{exchange_pipeline, exchange_rekey};
@@ -24,7 +26,7 @@ fn cfg(mode: RecoveryMode) -> EngineConfig {
             DIR_SEQ.fetch_add(1, Ordering::Relaxed)
         )))
         .with_recovery(mode)
-        .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false })
+        .with_logging(LoggingConfig { enabled: true, group_commit: 1, fsync: false, ..Default::default() })
 }
 
 /// Mixed-key batches: batch `b` carries `(k, v)` rows for keys 0..4.
@@ -59,9 +61,9 @@ fn observe(engine: &Engine) -> Vec<(i64, i64)> {
 }
 
 /// Byte range `[payload_start, end)` of the final framed record
-/// (8-byte file header, then records framed u32 length + u32 crc).
+/// (24-byte segment header, then records framed u32 length + u32 crc).
 fn last_record_span(bytes: &[u8]) -> (usize, usize) {
-    let mut off = 8usize;
+    let mut off = 24usize;
     let mut span = (0, 0);
     while off + 8 <= bytes.len() {
         let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
@@ -151,14 +153,12 @@ fn strong_recovery_rederives_torn_exchange_tail() {
     }
 }
 
-/// A crash *between* the per-partition checkpoint writes leaves the
-/// partitions on different cuts. Strong recovery tolerates it (each
-/// log replays its own partition forward); weak recovery of a
-/// cross-partition workflow cannot use the inconsistent images — it
-/// falls back to full-log replay from empty state (the log is never
-/// truncated, so the empty cut is always consistent) and converges to
-/// the same state. Only when there is no log to rebuild from does weak
-/// recovery refuse loudly.
+/// A checkpoint image the manifest names but recovery cannot read back
+/// tears the chain. The global prefix rule discards the torn epoch for
+/// *every* partition (all restart from the same older cut — here the
+/// empty one, since the chain has a single epoch), and the command log
+/// rebuilds the difference in both modes. Only when there is no log to
+/// rebuild from does recovery refuse loudly.
 #[test]
 fn torn_checkpoint_set_recovers_in_both_modes() {
     for mode in [RecoveryMode::Strong, RecoveryMode::Weak] {
@@ -172,9 +172,9 @@ fn torn_checkpoint_set_recovers_in_both_modes() {
         engine.flush_logs().unwrap();
         let before = observe(&engine);
         engine.shutdown();
-        // Simulate the crash mid-checkpoint: partition 1's file was
-        // never written.
-        std::fs::remove_file(config.checkpoint_path(1)).unwrap();
+        // Simulate the torn chain: partition 1's image of epoch 1 is
+        // gone although the manifest names the epoch.
+        std::fs::remove_file(config.checkpoint_path(1, 1)).unwrap();
 
         let (recovered, _) = recover(config, exchange_pipeline()).unwrap();
         assert_eq!(
@@ -262,7 +262,7 @@ fn torn_checkpoint_set_without_log_fails_weak() {
     engine.drain().unwrap();
     engine.checkpoint().unwrap();
     engine.shutdown();
-    std::fs::remove_file(config.checkpoint_path(1)).unwrap();
+    std::fs::remove_file(config.checkpoint_path(1, 1)).unwrap();
     match recover(config, exchange_pipeline()) {
         Ok(_) => panic!("weak must refuse a torn checkpoint set with no log"),
         Err(err) => assert!(
@@ -317,4 +317,153 @@ fn torn_tail_after_checkpoint_does_not_double_apply() {
         assert_eq!(dedup.len(), after.len(), "mode={mode:?}: no double-applied rows");
         recovered.shutdown();
     }
+}
+
+/// Files in `data_dir` whose name matches `pred`.
+fn count_files(dir: &std::path::Path, pred: impl Fn(&str) -> bool) -> usize {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| pred(&e.file_name().to_string_lossy()))
+        .count()
+}
+
+fn segment_count(dir: &std::path::Path) -> usize {
+    count_files(dir, |n| n.contains(".cmdlog"))
+}
+
+fn snapshot_count(dir: &std::path::Path) -> usize {
+    count_files(dir, |n| n.contains(".snapshot."))
+}
+
+/// The crash window GC is built around: the manifest adopts the new
+/// checkpoint chain, then the machine dies before any segment or stale
+/// image is unlinked. On restart the adopted chain governs, the
+/// now-covered log records replay as no-ops (watermark-filtered), and
+/// the *next* checkpoint finishes the interrupted GC.
+#[test]
+fn crash_between_manifest_adoption_and_unlink_converges() {
+    for mode in [RecoveryMode::Strong, RecoveryMode::Weak] {
+        let inj = FaultInjector::disabled();
+        let config = cfg(mode).with_segment_bytes(256).with_faults(inj.clone());
+        let engine = Engine::start(config.clone(), exchange_pipeline()).unwrap();
+        for b in batches(8) {
+            engine.ingest("xin", b).unwrap();
+        }
+        engine.drain().unwrap();
+        engine.flush_logs().unwrap();
+        let before = observe(&engine);
+        let segs_before = segment_count(&config.data_dir);
+        assert!(segs_before > 2, "setup: small segments must have sealed ({segs_before})");
+
+        inj.arm(CrashPoint::PostManifestPreUnlink, None, 1);
+        engine.checkpoint().unwrap_err();
+        engine.shutdown();
+        inj.disarm();
+        // The manifest was adopted, but nothing was unlinked.
+        assert_eq!(segment_count(&config.data_dir), segs_before, "{mode:?}");
+
+        let (recovered, _) = recover(config.clone(), exchange_pipeline()).unwrap();
+        assert_eq!(observe(&recovered), before, "{mode:?}: adopted-but-unswept state");
+        // The next checkpoint round completes the interrupted GC.
+        recovered.drain().unwrap();
+        recovered.checkpoint().unwrap();
+        assert!(
+            segment_count(&config.data_dir) < segs_before,
+            "{mode:?}: follow-up checkpoint must sweep the covered segments"
+        );
+        recovered.shutdown();
+    }
+}
+
+/// A torn *delta* image (the manifest names epochs [base, delta] but
+/// one partition's delta never landed) must fall back to the longest
+/// complete chain prefix — the base alone — on EVERY partition, and
+/// rebuild the difference from the log.
+#[test]
+fn torn_delta_image_falls_back_to_base_checkpoint() {
+    for mode in [RecoveryMode::Strong, RecoveryMode::Weak] {
+        let config = cfg(mode);
+        let engine = Engine::start(config.clone(), exchange_pipeline()).unwrap();
+        for (i, b) in batches(6).into_iter().enumerate() {
+            engine.ingest("xin", b).unwrap();
+            if i == 2 || i == 4 {
+                engine.drain().unwrap();
+                engine.checkpoint().unwrap(); // epoch 1 = base, epoch 2 = delta
+            }
+        }
+        engine.drain().unwrap();
+        engine.flush_logs().unwrap();
+        let before = observe(&engine);
+        engine.shutdown();
+        std::fs::remove_file(config.checkpoint_path(1, 2)).unwrap();
+
+        let (recovered, _) = recover(config, exchange_pipeline()).unwrap();
+        assert_eq!(
+            observe(&recovered),
+            before,
+            "{mode:?}: torn delta falls back to the base and replays the log difference"
+        );
+        recovered.shutdown();
+    }
+}
+
+/// After GC has deleted the oldest sealed segments, recovery must come
+/// up from checkpoint + surviving suffix alone — and notice that the
+/// segments it no longer has were covered, not lost.
+#[test]
+fn recovery_converges_after_oldest_segments_gced() {
+    for mode in [RecoveryMode::Strong, RecoveryMode::Weak] {
+        let config = cfg(mode).with_segment_bytes(256);
+        let engine = Engine::start(config.clone(), exchange_pipeline()).unwrap();
+        for b in batches(8) {
+            engine.ingest("xin", b).unwrap();
+        }
+        engine.drain().unwrap();
+        engine.checkpoint().unwrap();
+        let deleted = EngineMetrics::get(&engine.metrics().gc_segments_deleted);
+        assert!(deleted > 0, "{mode:?}: setup — GC must have deleted sealed segments");
+        // Post-GC work lands in the surviving suffix.
+        for b in batches(3) {
+            engine.ingest("xin", b).unwrap();
+        }
+        engine.drain().unwrap();
+        engine.flush_logs().unwrap();
+        let before = observe(&engine);
+        engine.shutdown();
+
+        let (recovered, _) = recover(config, exchange_pipeline()).unwrap();
+        assert_eq!(observe(&recovered), before, "{mode:?}: post-GC recovery converges");
+        recovered.shutdown();
+    }
+}
+
+/// Checkpoint-image litter pin: across many rounds, the number of
+/// on-disk snapshot images stays bounded by the live chain (at most
+/// `delta_chain_max` epochs × partitions), segments stay bounded by
+/// the covered floor, and old epochs' files are actually gone.
+#[test]
+fn repeated_checkpoints_keep_disk_bounded() {
+    let config = cfg(RecoveryMode::Strong).with_segment_bytes(256).with_delta_chain_max(2);
+    let engine = Engine::start(config.clone(), exchange_pipeline()).unwrap();
+    let image_cap = 2 * config.delta_chain_max; // partitions × chain cap
+    for round in 0..10 {
+        for b in batches(3) {
+            engine.ingest("xin", b).unwrap();
+        }
+        engine.drain().unwrap();
+        engine.checkpoint().unwrap();
+        let images = snapshot_count(&config.data_dir);
+        assert!(
+            images <= image_cap,
+            "round {round}: {images} snapshot images on disk exceeds the chain cap \
+             {image_cap} — checkpoint GC is littering"
+        );
+        let segs = segment_count(&config.data_dir);
+        assert!(
+            segs <= 2 * 2, // partitions × (active + one covered-but-kept)
+            "round {round}: {segs} log segments on disk — segment GC is littering"
+        );
+    }
+    engine.shutdown();
 }

@@ -21,7 +21,7 @@ fn cfg(mode: RecoveryMode) -> EngineConfig {
             DIR_SEQ.fetch_add(1, Ordering::Relaxed)
         )))
         .with_recovery(mode)
-        .with_logging(LoggingConfig { enabled: true, group_commit: 4, fsync: false })
+        .with_logging(LoggingConfig { enabled: true, group_commit: 4, fsync: false, ..Default::default() })
 }
 
 /// Full observable state of the voter app:
