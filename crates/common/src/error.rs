@@ -77,6 +77,112 @@ impl Error {
     pub fn already_exists(kind: &'static str, name: impl Into<String>) -> Self {
         Error::AlreadyExists { kind, name: name.into() }
     }
+
+    /// The stable numeric code this error crosses a network edge as.
+    ///
+    /// The numbers are wire protocol: they must never change or be
+    /// reused once released, because remote clients branch on them
+    /// (most importantly [`Error::Overloaded`] = back off and retry
+    /// vs. [`Error::InvalidState`] = fail fast — a client that cannot
+    /// tell them apart either hammers a broken server or gives up on a
+    /// merely busy one). The match is deliberately exhaustive with no
+    /// catch-all arm: adding an `Error` variant without assigning it a
+    /// fresh code is a compile error, not a silent fall-through into
+    /// somebody else's code.
+    /// The wire code of [`Error::Overloaded`] — the one code clients
+    /// branch on mechanically (back off and retry), so it gets a
+    /// named constant instead of a magic number at every edge.
+    pub const SHED_WIRE_CODE: u16 = 11;
+
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            Error::NotFound { .. } => 1,
+            Error::AlreadyExists { .. } => 2,
+            Error::SchemaViolation(_) => 3,
+            Error::UniqueViolation { .. } => 4,
+            Error::Parse(_) => 5,
+            Error::Plan(_) => 6,
+            Error::Eval(_) => 7,
+            Error::TxnAborted(_) => 8,
+            Error::StreamViolation(_) => 9,
+            Error::InvalidState(_) => 10,
+            Error::Overloaded(_) => 11,
+            Error::Codec(_) => 12,
+            Error::Io(_) => 13,
+            Error::Internal(_) => 14,
+        }
+    }
+
+    /// True for errors a remote client should handle by backing off
+    /// and retrying the same request later: the request was rejected
+    /// *before any state was touched* and the condition is transient.
+    /// Everything else means the request itself is wrong (or the
+    /// server is broken) and retrying verbatim cannot help.
+    pub fn is_backoff(&self) -> bool {
+        matches!(self, Error::Overloaded(_))
+    }
+
+    /// The message a shared server may send to a remote client.
+    ///
+    /// Every variant's `Display` payload was audited for what it
+    /// leaks across a trust boundary (exhaustively — same no-catch-all
+    /// discipline as [`Error::wire_code`], so a new variant must make
+    /// this decision explicitly):
+    ///
+    /// * name/plan/eval/abort/schema/unique/parse/stream/state/
+    ///   overload messages describe the *client's own request* (names
+    ///   it sent, values it tried to write, limits it hit) — passed
+    ///   through verbatim, a client may see its own payload back;
+    /// * [`Error::Io`] embeds server-side filesystem paths (the data
+    ///   directory layout) and [`Error::Codec`] / [`Error::Internal`]
+    ///   can embed on-disk byte offsets and engine internals — those
+    ///   are the server operator's business, not the client's, so only
+    ///   the kind crosses the wire.
+    pub fn client_message(&self) -> String {
+        match self {
+            Error::NotFound { .. }
+            | Error::AlreadyExists { .. }
+            | Error::SchemaViolation(_)
+            | Error::UniqueViolation { .. }
+            | Error::Parse(_)
+            | Error::Plan(_)
+            | Error::Eval(_)
+            | Error::TxnAborted(_)
+            | Error::StreamViolation(_)
+            | Error::InvalidState(_)
+            | Error::Overloaded(_) => self.to_string(),
+            Error::Codec(_) => "codec error (server-side detail withheld; see server log)".into(),
+            Error::Io(_) => "io error (server-side detail withheld; see server log)".into(),
+            Error::Internal(_) => {
+                "internal error (server-side detail withheld; see server log)".into()
+            }
+        }
+    }
+
+    /// Reconstructs an error from a wire code + message, the inverse a
+    /// remote client applies to an error frame. Unknown codes (a newer
+    /// server) surface loudly as [`Error::Internal`] naming the code —
+    /// they are never folded into a known variant the client might
+    /// mis-handle.
+    pub fn from_wire(code: u16, message: String) -> Error {
+        match code {
+            1 => Error::NotFound { kind: "object", name: message },
+            2 => Error::AlreadyExists { kind: "object", name: message },
+            3 => Error::SchemaViolation(message),
+            4 => Error::UniqueViolation { index: "remote".into(), key: message },
+            5 => Error::Parse(message),
+            6 => Error::Plan(message),
+            7 => Error::Eval(message),
+            8 => Error::TxnAborted(message),
+            9 => Error::StreamViolation(message),
+            10 => Error::InvalidState(message),
+            11 => Error::Overloaded(message),
+            12 => Error::Codec(message),
+            13 => Error::Io(message),
+            14 => Error::Internal(message),
+            other => Error::Internal(format!("unknown wire error code {other}: {message}")),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -137,5 +243,81 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(Error::Parse("x".into()), Error::Parse("x".into()));
         assert_ne!(Error::Parse("x".into()), Error::Plan("x".into()));
+    }
+
+    /// One sample of every variant, in `wire_code` order. Extending
+    /// `Error` forces an update here (the constructors below would
+    /// otherwise miss the new variant's code in the distinctness scan).
+    fn one_of_each() -> Vec<Error> {
+        vec![
+            Error::not_found("table", "votes"),
+            Error::already_exists("stream", "s1"),
+            Error::SchemaViolation("arity 2 != 3".into()),
+            Error::UniqueViolation { index: "pk".into(), key: "42".into() },
+            Error::Parse("bad token".into()),
+            Error::Plan("unknown column".into()),
+            Error::Eval("divide by zero".into()),
+            Error::TxnAborted("unique conflict".into()),
+            Error::StreamViolation("not a stream".into()),
+            Error::InvalidState("partition is down".into()),
+            Error::Overloaded("all credits held".into()),
+            Error::Codec(format!("truncated at offset {}", 17)),
+            Error::Io("/var/lib/sstore/partition-0.cmdlog: ENOSPC".into()),
+            Error::Internal("scheduler queue inverted".into()),
+        ]
+    }
+
+    #[test]
+    fn wire_codes_are_stable_and_distinct() {
+        let errors = one_of_each();
+        // Stability: these exact numbers are wire protocol. Changing
+        // any of them breaks deployed clients — this test is the tripwire.
+        let expected: Vec<u16> = (1..=14).collect();
+        let got: Vec<u16> = errors.iter().map(Error::wire_code).collect();
+        assert_eq!(got, expected, "wire codes must stay exactly as released");
+        // The motivating pair: back-off vs fail-fast must be tellable apart.
+        let overloaded = Error::Overloaded("x".into());
+        let invalid = Error::InvalidState("x".into());
+        assert_ne!(overloaded.wire_code(), invalid.wire_code());
+        assert_eq!(overloaded.wire_code(), Error::SHED_WIRE_CODE);
+        assert!(overloaded.is_backoff());
+        assert!(!invalid.is_backoff());
+        assert!(!Error::TxnAborted("x".into()).is_backoff());
+    }
+
+    #[test]
+    fn wire_codes_roundtrip_through_from_wire() {
+        for e in one_of_each() {
+            let reconstructed = Error::from_wire(e.wire_code(), e.client_message());
+            assert_eq!(
+                reconstructed.wire_code(),
+                e.wire_code(),
+                "from_wire must preserve the code for {e:?}"
+            );
+        }
+        // An unknown (future) code must surface loudly, never be folded
+        // into a known variant the client might mis-handle.
+        let future = Error::from_wire(999, "new-fangled failure".into());
+        assert!(matches!(future, Error::Internal(_)));
+        assert!(future.to_string().contains("999"));
+        assert!(future.to_string().contains("new-fangled failure"));
+    }
+
+    #[test]
+    fn client_messages_redact_server_side_detail() {
+        // Io embeds data-dir paths; Codec embeds on-disk offsets;
+        // Internal embeds engine internals. None may cross the wire.
+        let io = Error::Io("/var/lib/sstore/partition-0.cmdlog: ENOSPC".into());
+        assert!(!io.client_message().contains("/var/lib"));
+        assert!(io.client_message().contains("io error"));
+        let codec = Error::Codec("truncated input: wanted 8 bytes at offset 4096".into());
+        assert!(!codec.client_message().contains("4096"));
+        let internal = Error::Internal("scheduler queue inverted".into());
+        assert!(!internal.client_message().contains("scheduler"));
+        // Client-request context passes through untouched.
+        let nf = Error::not_found("procedure", "vote");
+        assert_eq!(nf.client_message(), nf.to_string());
+        let ov = Error::Overloaded("all 64 credits of partition 0 are held".into());
+        assert_eq!(ov.client_message(), ov.to_string());
     }
 }

@@ -99,20 +99,55 @@ impl fmt::Display for TxnClass {
     }
 }
 
+/// Mutable state of one [`AdmissionGate`], under its mutex.
+///
+/// `reserved` is the direct-handoff mechanism: a freed credit with
+/// parked waiters is *earmarked* for exactly one of them (and exactly
+/// one `notify_one` is issued), instead of being thrown back into a
+/// free-for-all where the woken waiter races every barging
+/// `try_acquire` and — losing — re-parks. With a thousand parked
+/// sessions that free-for-all is a thundering herd: each freed credit
+/// triggers a wake → lock re-contention → re-park cycle whose only
+/// product is scheduler load. Under handoff a woken waiter *always*
+/// finds its credit (invariant: `reserved ≤ free`), and barging
+/// acquirers can only take the un-earmarked surplus
+/// (`free - reserved`), so parked waiters cannot be starved by a
+/// stream of fresh arrivals either.
+#[derive(Debug)]
+struct GateState {
+    /// Credits not held by any permit (earmarked ones included).
+    free: usize,
+    /// Credits earmarked for specific parked waiters (≤ `free`, and
+    /// ≤ `parked` — one outstanding wakeup per earmark).
+    reserved: usize,
+    /// Waiters currently parked in [`AdmissionGate::acquire_timeout`].
+    parked: usize,
+}
+
 /// One partition's pool of admission credits. Client-origin requests
 /// draw one credit each and hold it for their full lifetime (queue
 /// wait + execution); internal traffic never touches the gate.
 #[derive(Debug)]
 pub struct AdmissionGate {
     capacity: usize,
-    available: Mutex<usize>,
-    freed: Condvar,
+    state: Mutex<GateState>,
+    /// Signalled once per handoff (`notify_one`, never a broadcast):
+    /// a freed credit wakes at most one parked session.
+    woken: Condvar,
+    /// Wakeups that found no earmarked credit (OS-level phantom
+    /// wakeups, or a sibling waiter consuming the earmark first).
+    /// Under direct handoff this stays near zero even with thousands
+    /// of parked sessions — the contention test pins that.
+    spurious_wakeups: std::sync::atomic::AtomicU64,
+    /// Credits handed directly to a parked waiter (vs taken from the
+    /// free surplus without parking).
+    handoffs: std::sync::atomic::AtomicU64,
 }
 
-fn lock(gate: &AdmissionGate) -> std::sync::MutexGuard<'_, usize> {
-    // A panicking permit-holder cannot leave the counter structurally
-    // broken (it is a plain usize), so poison is safe to clear.
-    gate.available.lock().unwrap_or_else(PoisonError::into_inner)
+fn lock(gate: &AdmissionGate) -> std::sync::MutexGuard<'_, GateState> {
+    // A panicking permit-holder cannot leave the counters structurally
+    // broken (plain usizes), so poison is safe to clear.
+    gate.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl AdmissionGate {
@@ -122,8 +157,10 @@ impl AdmissionGate {
         let capacity = capacity.max(1);
         Arc::new(AdmissionGate {
             capacity,
-            available: Mutex::new(capacity),
-            freed: Condvar::new(),
+            state: Mutex::new(GateState { free: capacity, reserved: 0, parked: 0 }),
+            woken: Condvar::new(),
+            spurious_wakeups: std::sync::atomic::AtomicU64::new(0),
+            handoffs: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -132,9 +169,10 @@ impl AdmissionGate {
         self.capacity
     }
 
-    /// Credits currently free.
+    /// Credits currently free (not held by a permit; earmarked-for-a-
+    /// waiter credits count as free until the waiter picks them up).
     pub fn available(&self) -> usize {
-        *lock(self)
+        lock(self).free
     }
 
     /// Credits currently held by in-flight client requests.
@@ -142,14 +180,34 @@ impl AdmissionGate {
         self.capacity - self.available()
     }
 
+    /// Waiters currently parked on this gate (Block policy).
+    pub fn parked(&self) -> usize {
+        lock(self).parked
+    }
+
+    /// Wakeups that found no earmarked credit since the gate was
+    /// built. Direct handoff keeps this near zero regardless of how
+    /// many sessions are parked; a regression to broadcast-style
+    /// wakeups makes it grow with the waiter count.
+    pub fn spurious_wakeups(&self) -> u64 {
+        self.spurious_wakeups.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Credits handed directly to a parked waiter since the gate was
+    /// built.
+    pub fn handoffs(&self) -> u64 {
+        self.handoffs.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Takes a credit if one is free, without blocking (the *Shed*
-    /// policy's acquire).
+    /// policy's acquire). Only the un-earmarked surplus is up for
+    /// grabs: credits already handed to parked waiters are theirs.
     pub fn try_acquire(self: &Arc<Self>) -> Option<AdmissionPermit> {
-        let mut avail = lock(self);
-        if *avail == 0 {
+        let mut s = lock(self);
+        if s.free <= s.reserved {
             return None;
         }
-        *avail -= 1;
+        s.free -= 1;
         Some(AdmissionPermit { gate: self.clone() })
     }
 
@@ -157,26 +215,74 @@ impl AdmissionGate {
     /// policy's acquire). Returns `None` on timeout. A `timeout` too
     /// large to represent as a deadline (e.g. `Duration::MAX`, the
     /// natural spelling of "block forever") waits without one.
+    ///
+    /// Parked waiters are woken by *direct handoff*: each freed credit
+    /// earmarks itself for one waiter and wakes exactly that many
+    /// threads, so a single free credit cannot stampede a thousand
+    /// parked sessions into re-contending the lock.
     pub fn acquire_timeout(self: &Arc<Self>, timeout: Duration) -> Option<AdmissionPermit> {
         let deadline = Instant::now().checked_add(timeout);
-        let mut avail = lock(self);
-        while *avail == 0 {
-            avail = match deadline {
-                Some(deadline) => {
+        let mut s = lock(self);
+        if s.free > s.reserved {
+            s.free -= 1;
+            return Some(AdmissionPermit { gate: self.clone() });
+        }
+        s.parked += 1;
+        loop {
+            let timed_out;
+            match deadline {
+                Some(dl) => {
                     let now = Instant::now();
-                    if now >= deadline {
+                    if now >= dl {
+                        s.parked -= 1;
+                        // This thread may have swallowed a notify meant
+                        // for a sibling (notify_one does not name its
+                        // target): if earmarks remain for the waiters
+                        // still parked, pass the wakeup along; if an
+                        // earmark now has no waiter left to take it,
+                        // release it back to the barging surplus.
+                        if s.reserved > s.parked {
+                            s.reserved = s.parked;
+                        } else if s.reserved > 0 {
+                            self.woken.notify_one();
+                        }
                         return None;
                     }
-                    self.freed
-                        .wait_timeout(avail, deadline - now)
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .0
+                    let (guard, res) = self
+                        .woken
+                        .wait_timeout(s, dl - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    s = guard;
+                    timed_out = res.timed_out();
                 }
-                None => self.freed.wait(avail).unwrap_or_else(PoisonError::into_inner),
-            };
+                None => {
+                    s = self.woken.wait(s).unwrap_or_else(PoisonError::into_inner);
+                    timed_out = false;
+                }
+            }
+            // Earmarks are claimed only on this side of a wait: a
+            // thread that just parked must not barge through the check
+            // and steal the credit whose notify is already in flight
+            // to a sibling — that steal is exactly the wake → find
+            // nothing → re-park churn handoff exists to prevent. A
+            // deadline that expired while we slept still claims an
+            // earmarked credit (prefer admitting work that was already
+            // paid a wakeup over rejecting it on a tie); without an
+            // earmark the expiry is handled at the top of the loop.
+            if s.reserved > 0 {
+                s.reserved -= 1;
+                s.free -= 1;
+                s.parked -= 1;
+                self.handoffs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return Some(AdmissionPermit { gate: self.clone() });
+            }
+            if !timed_out {
+                // Woken with nothing earmarked: an OS phantom wakeup or
+                // a sibling got there first. Counted so the contention
+                // test can pin that handoff keeps this rare.
+                self.spurious_wakeups.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
         }
-        *avail -= 1;
-        Some(AdmissionPermit { gate: self.clone() })
     }
 }
 
@@ -196,8 +302,18 @@ impl fmt::Debug for AdmissionPermit {
 
 impl Drop for AdmissionPermit {
     fn drop(&mut self) {
-        *lock(&self.gate) += 1;
-        self.gate.freed.notify_one();
+        let gate = &self.gate;
+        let mut s = lock(gate);
+        s.free += 1;
+        // Direct handoff: earmark the credit for one parked waiter and
+        // wake exactly one thread — but only if some waiter does not
+        // already have a pending earmark (otherwise every parked
+        // session has a wakeup in flight and notifying again would
+        // just manufacture spurious wakeups).
+        if s.parked > s.reserved {
+            s.reserved += 1;
+            gate.woken.notify_one();
+        }
     }
 }
 
@@ -280,6 +396,98 @@ mod tests {
         drop(held);
         assert!(t.join().unwrap(), "waiter must wake when the credit frees");
         assert_eq!(gate.available(), 1, "waiter's permit dropped at thread end");
+    }
+
+    /// Parks `n` waiters (no deadline) and returns once the gate sees
+    /// all of them parked — the handshake the handoff tests need.
+    fn park_waiters(
+        gate: &Arc<AdmissionGate>,
+        n: usize,
+    ) -> Vec<std::thread::JoinHandle<bool>> {
+        let joins: Vec<_> = (0..n)
+            .map(|_| {
+                let g = gate.clone();
+                std::thread::spawn(move || g.acquire_timeout(Duration::MAX).is_some())
+            })
+            .collect();
+        while gate.parked() < n {
+            std::thread::yield_now();
+        }
+        joins
+    }
+
+    #[test]
+    fn freed_credit_is_handed_to_the_parked_waiter_not_grabbable() {
+        let gate = AdmissionGate::new(1);
+        let held = gate.try_acquire().unwrap();
+        let joins = park_waiters(&gate, 1);
+        // Freeing the credit earmarks it for the parked waiter: a
+        // barging try_acquire must NOT be able to steal it, even
+        // though the credit is technically "free" until the waiter
+        // reschedules and picks it up.
+        drop(held);
+        assert!(
+            gate.try_acquire().is_none(),
+            "barging acquire stole a credit earmarked for a parked waiter"
+        );
+        for j in joins {
+            assert!(j.join().unwrap(), "parked waiter must receive the handoff");
+        }
+        assert_eq!(gate.available(), 1, "waiter's permit dropped at thread end");
+        assert_eq!(gate.handoffs(), 1);
+    }
+
+    #[test]
+    fn single_waiter_wakeup_under_contention_no_thundering_herd() {
+        // 8 threads × 100 cycles over a 2-credit gate: every freed
+        // credit is handed to exactly one waiter. Under the old
+        // free-for-all wakeup each free could wake a waiter that loses
+        // the race and re-parks; under direct handoff a woken waiter
+        // always finds its earmarked credit, so spurious wakeups stay
+        // near zero (OS phantom wakeups are permitted but rare) no
+        // matter how hard the gate is hammered.
+        const THREADS: usize = 8;
+        const CYCLES: usize = 100;
+        let gate = AdmissionGate::new(2);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let g = &gate;
+                s.spawn(move || {
+                    for _ in 0..CYCLES {
+                        let permit = g.acquire_timeout(Duration::MAX).expect("no deadline");
+                        std::thread::yield_now();
+                        drop(permit);
+                    }
+                });
+            }
+        });
+        assert_eq!(gate.available(), 2, "all credits returned");
+        assert_eq!(gate.parked(), 0);
+        let total = (THREADS * CYCLES) as u64;
+        let spurious = gate.spurious_wakeups();
+        assert!(
+            spurious <= total / 10,
+            "spurious wakeups not bounded: {spurious} of {total} acquisitions \
+             (direct handoff should keep this near zero)"
+        );
+        assert!(gate.handoffs() > 0, "contention must exercise the handoff path");
+    }
+
+    #[test]
+    fn timed_out_waiter_releases_or_forwards_its_earmark() {
+        let gate = AdmissionGate::new(1);
+        let held = gate.try_acquire().unwrap();
+        // A waiter that gives up while no credit ever freed leaves no
+        // earmark behind...
+        assert!(gate.acquire_timeout(Duration::from_millis(20)).is_none());
+        assert_eq!(gate.parked(), 0);
+        // ...so the freed credit is plain surplus again.
+        drop(held);
+        assert_eq!(gate.available(), 1);
+        let p = gate.try_acquire();
+        assert!(p.is_some(), "no stale reservation may linger after a timeout");
+        drop(p);
+        assert_eq!(gate.available(), 1);
     }
 
     #[test]

@@ -558,19 +558,38 @@ impl Engine {
         let mut merged = CallOutcome::default();
         let mut committed: Vec<usize> = Vec::new();
         let mut failed: Vec<(usize, Error)> = Vec::new();
+        let total = waits.len();
         for (i, (p, rx)) in waits.into_iter().enumerate() {
-            match rx.recv().map_err(|_| Error::InvalidState("reply lost".into()))? {
-                Ok(out) => {
+            // A lost reply (partition thread died, or its queue was
+            // dropped mid-flight) is that partition's failure, not the
+            // whole call's: early-returning here would leave the later
+            // partitions' commits unreported — exactly the half-named
+            // partial-delivery error the error message below exists to
+            // prevent.
+            match rx.recv() {
+                Ok(Ok(out)) => {
                     if i == 0 {
                         merged.result = out.result;
                     }
                     merged.pending.extend(out.pending);
                     committed.push(p);
                 }
-                Err(e) => failed.push((p, e)),
+                Ok(Err(e)) => failed.push((p, e)),
+                Err(_) => failed.push((
+                    p,
+                    Error::InvalidState(format!("partition {p} dropped its reply")),
+                )),
             }
         }
-        if let Some((first_p, first_err)) = failed.first() {
+        if !failed.is_empty() {
+            // A single-partition batch failed atomically: surface the
+            // root error as-is so clients see its real identity (and
+            // wire code) — wrapping a clean Overloaded rejection in
+            // InvalidState would turn "back off" into "fail fast".
+            if total == 1 && committed.is_empty() {
+                return Err(failed.remove(0).1);
+            }
+            let (first_p, first_err) = failed.first().expect("non-empty");
             return Err(Error::InvalidState(format!(
                 "batch {batch} on stream {stream} half-applied: sub-batches failed on \
                  partition(s) {:?} (first error on {first_p}: {first_err}) but committed \
@@ -625,7 +644,32 @@ impl Engine {
     /// batch discipline outside a workflow); use [`Engine::query`] for
     /// lock-free read-only inspection without admission or logging.
     pub fn query_at(&self, partition: usize, sql: &str, params: Vec<Value>) -> Result<QueryResult> {
-        let stmt = self.plan_adhoc(sql)?;
+        let stmt = self.prepare(sql)?;
+        self.query_prepared(partition, sql, stmt, params)
+    }
+
+    /// Plans one ad-hoc statement once, for repeated execution via
+    /// [`Engine::query_prepared`] with fresh parameters each time —
+    /// the session-scoped prepared-statement path a server edge needs
+    /// (plan once per session, re-bind per execute). The plan is
+    /// bound against the shared catalog layout, so it is valid on
+    /// every partition.
+    pub fn prepare(&self, sql: &str) -> Result<Arc<BoundStatement>> {
+        self.plan_adhoc(sql)
+    }
+
+    /// Executes a statement previously planned by [`Engine::prepare`]
+    /// as its own transaction on a partition. `sql` must be the text
+    /// the statement was planned from — it is what the command log
+    /// records, and what recovery replans on replay. Admitted,
+    /// logged, and undo-able exactly like [`Engine::query_at`].
+    pub fn query_prepared(
+        &self,
+        partition: usize,
+        sql: &str,
+        stmt: Arc<BoundStatement>,
+        params: Vec<Value>,
+    ) -> Result<QueryResult> {
         let permit = self.admit(partition, ADHOC_NAME)?;
         let (tx, rx) = bounded(1);
         let req = TxnRequest::internal(

@@ -4,6 +4,13 @@
 //! # Architecture (paper §3, Figure 4, plus cross-partition exchange)
 //!
 //! ```text
+//!  remote clients (TCP, length-prefixed frames — crates/server)
+//!        │  one session thread per connection: Hello{tenant} →
+//!        │  ingest / ingest_sync / call / query / prepare+execute;
+//!        │  errors cross the wire as stable numeric codes
+//!        │  (Error::wire_code), per-tenant latency histograms at
+//!        │  the session edge
+//!        ▼
 //!  client / stream injection            (caller threads)
 //!        │  ingest / call / ad-hoc SQL (planned at this edge)
 //!        ▼

@@ -1,0 +1,268 @@
+//! Interactive shell for the S-Store TCP edge (à la `rayexec_shell`).
+//!
+//! Two modes:
+//!
+//! * `server_shell` — self-hosted demo: starts an engine with a small
+//!   hybrid app (a `reqs` stream absorbed into a `requests` table via
+//!   PE trigger, plus an `events` table for OLTP), serves it on a
+//!   loopback port, and connects a session to it.
+//! * `server_shell --connect HOST:PORT [--tenant NAME]` — session
+//!   against an already-running edge.
+//!
+//! Commands (everything else is ad-hoc SQL against the current
+//! partition):
+//!
+//! ```text
+//!   \ingest STREAM v,v,... [; v,v,...]    async atomic batch
+//!   \sync   STREAM v,v,... [; v,v,...]    ingest, wait for commit
+//!   \call   PROC [arg ...]                OLTP stored procedure
+//!   \prepare SQL                          plan once, get an id
+//!   \exec   ID [arg ...]                  execute a prepared stmt
+//!   \at     N                             switch target partition
+//!   \metrics                              server/engine/tenant counters
+//!   \ping                                 liveness round trip
+//!   \help                                 this text
+//!   \quit                                 Goodbye and exit
+//! ```
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sstore_common::{DataType, Schema, Tuple, Value};
+use sstore_engine::{App, Engine, EngineConfig, OverloadPolicy};
+use sstore_server::{Client, Server};
+
+fn demo_app() -> App {
+    App::builder()
+        .stream("reqs", Schema::of(&[("v", DataType::Int)]))
+        .table("requests", Schema::of(&[("v", DataType::Int)]))
+        .table("events", Schema::of(&[("id", DataType::Int), ("note", DataType::Text)]))
+        .proc(
+            "absorb",
+            &[("ins", "INSERT INTO requests (v) VALUES (?)")],
+            &[],
+            |ctx| {
+                for r in ctx.input().to_vec() {
+                    ctx.sql("ins", &[r.get(0).clone()])?;
+                }
+                Ok(())
+            },
+        )
+        .proc(
+            "note",
+            &[("ins", "INSERT INTO events (id, note) VALUES (?, ?)")],
+            &[],
+            |ctx| {
+                let params = ctx.params().to_vec();
+                let r = ctx.sql("ins", &params)?;
+                ctx.set_result(r);
+                Ok(())
+            },
+        )
+        .pe_trigger("reqs", "absorb")
+        .build()
+        .expect("demo app is valid")
+}
+
+fn parse_value(s: &str) -> Value {
+    let s = s.trim();
+    if s.eq_ignore_ascii_case("null") {
+        return Value::Null;
+    }
+    if s.eq_ignore_ascii_case("true") {
+        return Value::Bool(true);
+    }
+    if s.eq_ignore_ascii_case("false") {
+        return Value::Bool(false);
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Value::Float(f);
+    }
+    Value::Text(s.trim_matches('\'').to_owned())
+}
+
+fn parse_rows(spec: &str) -> Vec<Tuple> {
+    spec.split(';')
+        .filter(|r| !r.trim().is_empty())
+        .map(|r| Tuple::new(r.split(',').map(parse_value).collect()))
+        .collect()
+}
+
+fn print_rows(columns: &[String], rows: &[Tuple], affected: u64) {
+    if columns.is_empty() && rows.is_empty() {
+        println!("ok ({affected} row(s) affected)");
+        return;
+    }
+    println!("{}", columns.join(" | "));
+    for row in rows {
+        let cells: Vec<String> = row.values().iter().map(|v| format!("{v}")).collect();
+        println!("{}", cells.join(" | "));
+    }
+    println!("({} row(s))", rows.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut connect: Option<String> = None;
+    let mut tenant = "shell".to_owned();
+    let mut partitions = 2usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--connect" => {
+                connect = Some(args.get(i + 1).cloned().unwrap_or_default());
+                i += 2;
+            }
+            "--tenant" => {
+                tenant = args.get(i + 1).cloned().unwrap_or_default();
+                i += 2;
+            }
+            "--partitions" => {
+                partitions = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(partitions);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}; see --connect/--tenant/--partitions");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Self-hosted unless told to connect elsewhere. The Server (and
+    // its engine) must outlive the REPL loop.
+    let mut hosted: Option<Server> = None;
+    let addr = match &connect {
+        Some(addr) => addr.clone(),
+        None => {
+            let dir = std::env::temp_dir().join(format!("sstore-shell-{}", std::process::id()));
+            let config = EngineConfig::default()
+                .with_data_dir(dir)
+                .with_partitions(partitions)
+                .with_admission_credits(64)
+                .with_overload(OverloadPolicy::Block { timeout: Duration::from_secs(5) });
+            let engine = Engine::start(config, demo_app()).expect("start demo engine");
+            let server = Server::start(Arc::new(engine), "127.0.0.1:0").expect("start server");
+            let addr = server.local_addr().to_string();
+            println!("self-hosted demo engine on {addr} ({partitions} partitions)");
+            println!("try:  \\sync reqs 1;2;3   then   SELECT * FROM requests");
+            hosted = Some(server);
+            addr
+        }
+    };
+
+    let mut client = match Client::connect(&addr, &tenant) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("connected to {addr} as tenant '{tenant}' ({} partitions)", client.partitions());
+
+    let stdin = std::io::stdin();
+    let mut partition = 0u32;
+    print!("sstore> ");
+    let _ = std::io::stdout().flush();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let line = line.trim();
+        if !line.is_empty() {
+            if let Err(quit) = dispatch(&mut client, &mut partition, line) {
+                if quit {
+                    break;
+                }
+            }
+        }
+        print!("sstore> ");
+        let _ = std::io::stdout().flush();
+    }
+    drop(hosted); // orderly stop: close sessions, join threads
+}
+
+/// Handles one REPL line. `Err(true)` means quit.
+fn dispatch(client: &mut Client, partition: &mut u32, line: &str) -> Result<(), bool> {
+    let report = |r: Result<(Vec<String>, Vec<Tuple>, u64), sstore_common::Error>| {
+        match r {
+            Ok((cols, rows, n)) => print_rows(&cols, &rows, n),
+            Err(e) => println!("error [{}]: {e}", e.wire_code()),
+        }
+    };
+    if let Some(rest) = line.strip_prefix('\\') {
+        let (cmd, rest) = rest.split_once(' ').unwrap_or((rest, ""));
+        match cmd {
+            "ingest" | "sync" => {
+                let (stream, rows_spec) = rest.split_once(' ').unwrap_or((rest, ""));
+                let rows = parse_rows(rows_spec);
+                let r = if cmd == "sync" {
+                    client.ingest_sync(stream, rows)
+                } else {
+                    client.ingest(stream, rows)
+                };
+                match r {
+                    Ok(batch) => println!("batch {batch}"),
+                    Err(e) => println!("error [{}]: {e}", e.wire_code()),
+                }
+            }
+            "call" => {
+                let (proc, args) = rest.split_once(' ').unwrap_or((rest, ""));
+                let params: Vec<Value> =
+                    args.split_whitespace().map(parse_value).collect();
+                report(client.call_at(*partition, proc, params));
+            }
+            "prepare" => match client.prepare(rest) {
+                Ok(id) => println!("prepared statement {id}"),
+                Err(e) => println!("error [{}]: {e}", e.wire_code()),
+            },
+            "exec" => {
+                let (id, args) = rest.split_once(' ').unwrap_or((rest, ""));
+                match id.parse::<u32>() {
+                    Ok(id) => {
+                        let params: Vec<Value> =
+                            args.split_whitespace().map(parse_value).collect();
+                        report(client.execute(*partition, id, params));
+                    }
+                    Err(_) => println!("usage: \\exec ID [arg ...]"),
+                }
+            }
+            "at" => match rest.trim().parse::<u32>() {
+                Ok(p) if p < client.partitions() => {
+                    *partition = p;
+                    println!("partition {p}");
+                }
+                _ => println!("usage: \\at N  (0..{})", client.partitions()),
+            },
+            "metrics" => match client.metrics() {
+                Ok(entries) => {
+                    for (k, v) in entries {
+                        println!("{k:<40} {v}");
+                    }
+                }
+                Err(e) => println!("error [{}]: {e}", e.wire_code()),
+            },
+            "ping" => match client.ping(7) {
+                Ok(_) => println!("pong"),
+                Err(e) => println!("error [{}]: {e}", e.wire_code()),
+            },
+            "help" => println!(
+                "\\ingest STREAM v,v[;v,v]  \\sync STREAM ...  \\call PROC [args]\n\
+                 \\prepare SQL  \\exec ID [args]  \\at N  \\metrics  \\ping  \\quit\n\
+                 anything else runs as SQL on the current partition"
+            ),
+            "quit" | "q" => return Err(true),
+            other => println!("unknown command \\{other} (try \\help)"),
+        }
+    } else {
+        report(client.query_at(*partition, line, vec![]));
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! The S-Store TCP edge: many client sessions, one engine.
+//!
+//! The engine (`crates/engine`) is a library; the paper positions
+//! S-Store as a shared *service* for hybrid streaming + OLTP clients.
+//! This crate is that service edge:
+//!
+//! ```text
+//!   client A ──TCP──┐
+//!   client B ──TCP──┤  Server (accept loop)
+//!   client C ──TCP──┘      │ one session thread per connection
+//!                          ▼
+//!            Session: Hello{tenant} → Welcome
+//!              · Ingest{sync?}   → Engine::ingest / ingest_sync
+//!              · Call            → Engine::call_at
+//!              · Query           → Engine::query_at
+//!              · Prepare/Execute → Engine::prepare / query_prepared
+//!              · Metrics / Ping / Goodbye
+//!                          │ per-tenant latency + shed accounting
+//!                          ▼
+//!            Engine (admission gate → partitions → EE → log)
+//! ```
+//!
+//! Design decisions, and why:
+//!
+//! * **Thread-per-session over an event loop.** The standing
+//!   constraint is `std::net` only (no registry deps), and the engine
+//!   API is blocking — a session thread parks in `ingest_sync` exactly
+//!   where a native client thread would. Admission control (PR 4)
+//!   bounds how many of those threads can have work in flight, which
+//!   is the resource that actually matters; the thread stacks
+//!   themselves are the acceptable cost of the constraint.
+//! * **Sessions are the QoS boundary.** The `Hello` carries a tenant
+//!   tag; every request is recorded into that tenant's latency
+//!   histogram and shed counter at the edge ([`metrics`]), turning the
+//!   engine's per-class accounting into per-tenant visibility without
+//!   threading tenant identity through the engine.
+//! * **Errors cross the wire as numbers.** [`Response::Error`] carries
+//!   [`sstore_common::Error::wire_code`] — stable, exhaustive-matched,
+//!   with `Overloaded` (back off) distinguishable from `InvalidState`
+//!   (fail fast) — plus a message that redacts server-side detail.
+//!
+//! [`Response::Error`]: protocol::Response::Error
+//! [`metrics`]: crate::metrics
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::Client;
+pub use metrics::ServerMetrics;
+pub use protocol::{Request, Response, MAX_FRAME, PROTOCOL_VERSION};
+pub use server::Server;

@@ -159,6 +159,45 @@ if [ "$oreset" != "true" ]; then
 fi
 echo "bench_smoke: OK (overload: shed=$oshed p99=${op99}us plateau=$oplateau bounded=$obound reset=$oreset)"
 
+echo "== server smoke (TCP edge: 64 open-loop sessions, 0.5s per phase) =="
+# 64 concurrent TCP sessions offer an open-loop sweep up to 10x
+# capacity through the length-prefixed protocol. The bin computes the
+# acceptance flags itself (methodology in EXPERIMENTS.md "Server"):
+# goodput must plateau (not collapse) under overload, the client-side
+# RTT p99 must stay bounded (shed answers are instant, admitted work is
+# capped by credits), in-flight must never exceed credits, every
+# disconnect must return its admission credit, and stop() must leave no
+# threads or sockets behind.
+svout=$(cargo run --release -p sstore-bench --bin server -- 0.5 2>/dev/null)
+echo "$svout"
+svgood=$(echo "$svout" | sed -n 's/.*"goodput_bps": \([0-9]*\).*/\1/p' | tail -1)
+svplateau=$(echo "$svout" | sed -n 's/.*"goodput_plateaus": \([a-z]*\).*/\1/p')
+svp99=$(echo "$svout" | sed -n 's/.*"p99_bounded": \([a-z]*\).*/\1/p')
+svinfl=$(echo "$svout" | sed -n 's/.*"in_flight_le_credits": \([a-z]*\).*/\1/p')
+svcred=$(echo "$svout" | sed -n 's/.*"credits_clean": \([a-z]*\).*/\1/p')
+svshut=$(echo "$svout" | sed -n 's/.*"clean_shutdown": \([a-z]*\).*/\1/p')
+if [ -z "$svgood" ] || [ -z "$svplateau" ]; then
+    echo "bench_smoke: could not parse server output" >&2
+    exit 1
+fi
+# Nonzero goodput at 10x overload: the edge must still commit work
+# while shedding the excess.
+if [ "$svgood" -eq 0 ]; then
+    echo "bench_smoke: server edge committed nothing at 10x overload" >&2
+    exit 1
+fi
+if [ "$svplateau" != "true" ] || [ "$svp99" != "true" ] || [ "$svinfl" != "true" ]; then
+    echo "bench_smoke: server overload shape broke (plateau=$svplateau p99_bounded=$svp99 in_flight=$svinfl)" >&2
+    exit 1
+fi
+# A dropped connection mid-request must hand its admission credit
+# back, and stop() must join every session thread and free the port.
+if [ "$svcred" != "true" ] || [ "$svshut" != "true" ]; then
+    echo "bench_smoke: server lifecycle broke (credits_clean=$svcred clean_shutdown=$svshut)" >&2
+    exit 1
+fi
+echo "bench_smoke: OK (server: goodput@10x=$svgood bps, plateau=$svplateau p99_bounded=$svp99 credits_clean=$svcred shutdown=$svshut)"
+
 echo "== recovery smoke (RTO vs log length: full replay vs segmented+incremental) =="
 rout=$(cargo run --release -p sstore-bench --bin recovery 2>/dev/null)
 echo "$rout"
