@@ -1,0 +1,145 @@
+//! Columnar scan/aggregate micro-benchmark: the vectorized SELECT path
+//! vs the row-at-a-time executor on the same table, same queries.
+//!
+//! Runs interleaved A/B repetitions (rowwise, columnar, rowwise, …) of
+//! each query at the SQL layer — no engine, no logging, so the numbers
+//! isolate the executor — and reports per-case medians plus the
+//! speedup. A second stage drives a full engine through `query_at` and
+//! reports the `columnar_batches` metric, proving the fast path is
+//! actually wired into the ad-hoc read path (bench_smoke asserts it is
+//! non-zero). Results are equality-checked between executors on every
+//! case before timing counts.
+//!
+//! Usage: `cargo run --release -p sstore-bench --bin colscan [rows] [reps]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sstore_bench::bench_dir;
+use sstore_common::{Column, DataType, Schema, Tuple, Value};
+use sstore_engine::{App, Engine, EngineConfig};
+use sstore_sql::exec::run_select_rows_rowwise;
+use sstore_sql::plan::BoundStatement;
+use sstore_sql::vexec::run_select_columnar;
+use sstore_sql::Planner;
+use sstore_storage::{Catalog, TableKind};
+
+fn build_catalog(rows: usize) -> Catalog {
+    let mut c = Catalog::new();
+    let schema = Schema::new(vec![
+        Column::new("k", DataType::Int),
+        Column::new("g", DataType::Int),
+        Column::nullable("v", DataType::Int),
+        Column::nullable("f", DataType::Float),
+        Column::nullable("s", DataType::Text),
+    ])
+    .unwrap();
+    let t = c.create_table("t", TableKind::Base, schema).unwrap();
+    let texts = ["alpha", "beta", "gamma", "delta"];
+    for i in 0..rows as i64 {
+        // Deterministic mix: ~6% NULLs, values spread over 0..1000.
+        let v = if i % 17 == 0 { Value::Null } else { Value::Int(i * 37 % 1000) };
+        let f = if i % 23 == 0 { Value::Null } else { Value::Float((i % 997) as f64 * 0.5) };
+        let s = Value::Text(texts[(i % 4) as usize].to_owned());
+        t.insert(Tuple::new(vec![Value::Int(i), Value::Int(i % 8), v, f, s])).unwrap();
+    }
+    c
+}
+
+const CASES: &[(&str, &str)] = &[
+    ("filter_count", "SELECT COUNT(*) FROM t WHERE v > 500"),
+    ("filter_project", "SELECT k, v FROM t WHERE v > 900 AND s = 'beta' ORDER BY k LIMIT 100"),
+    ("agg_full", "SELECT COUNT(v), SUM(v), MIN(v), MAX(v), MIN(f), MAX(f) FROM t"),
+    ("agg_filtered", "SELECT SUM(v), COUNT(*) FROM t WHERE f >= 100.0 AND v IS NOT NULL"),
+    ("group_by", "SELECT g, COUNT(*), SUM(v), MAX(f) FROM t GROUP BY g"),
+    ("project_expr", "SELECT v + 1 FROM t"),
+];
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn time_us(f: impl Fn() -> Vec<Tuple>) -> f64 {
+    let start = Instant::now();
+    let r = f();
+    let us = start.elapsed().as_secs_f64() * 1e6;
+    std::hint::black_box(r);
+    us
+}
+
+/// Engine stage: a live engine answering ad-hoc SELECTs must route
+/// them through the columnar path and count batches in its metrics.
+fn engine_stage() -> (u64, usize) {
+    let app = App::builder()
+        .table("et", Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]))
+        .build()
+        .unwrap();
+    let engine =
+        Engine::start(EngineConfig::default().with_data_dir(bench_dir("colscan")), app).unwrap();
+    // 50 multi-row inserts x 100 rows = 5000 rows, each its own txn.
+    for chunk in 0..50 {
+        let mut sql = String::from("INSERT INTO et (k, v) VALUES ");
+        for i in 0..100 {
+            let k = chunk * 100 + i;
+            let _ = write!(sql, "{}({k}, {})", if i > 0 { ", " } else { "" }, k % 100);
+        }
+        engine.query_at(0, &sql, vec![]).unwrap();
+    }
+    let queries = 20;
+    for _ in 0..queries {
+        let r = engine.query_at(0, "SELECT COUNT(*) FROM et WHERE v < 50", vec![]).unwrap();
+        assert_eq!(r.scalar().unwrap().as_int().unwrap(), 2500);
+    }
+    let batches = sstore_engine::metrics::EngineMetrics::get(&engine.metrics().columnar_batches);
+    engine.shutdown();
+    (batches, queries)
+}
+
+fn main() {
+    let rows: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let reps: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(9);
+    let c = build_catalog(rows);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"colscan\",");
+    let _ = writeln!(json, "  \"rows\": {rows},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"cases\": {{");
+    let mut min_speedup = f64::INFINITY;
+    for (i, (name, sql)) in CASES.iter().enumerate() {
+        let stmt = Planner::new(&c).plan_sql(sql).unwrap();
+        let BoundStatement::Select(s) = &stmt else { panic!("{name} is not a SELECT") };
+        assert!(sstore_sql::vexec::eligible(s), "{name} must be columnar-eligible");
+        // Correctness first: both executors must agree bit-for-bit.
+        let rw = run_select_rows_rowwise(&c, s, &[]).unwrap();
+        let cw = run_select_columnar(&c, s, &[]).unwrap();
+        assert_eq!(rw, cw, "{name}: executors disagree");
+
+        // Interleaved A/B reps so drift hits both sides equally.
+        let mut row_us = Vec::with_capacity(reps);
+        let mut col_us = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            row_us.push(time_us(|| run_select_rows_rowwise(&c, s, &[]).unwrap()));
+            col_us.push(time_us(|| run_select_columnar(&c, s, &[]).unwrap()));
+        }
+        let (rm, cm) = (median(row_us), median(col_us));
+        let speedup = rm / cm;
+        min_speedup = min_speedup.min(speedup);
+        eprintln!("{name:<16} rowwise {rm:>9.0}us  columnar {cm:>9.0}us  speedup {speedup:.2}x");
+        let comma = if i + 1 < CASES.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{ \"rowwise_us\": {rm:.0}, \"columnar_us\": {cm:.0}, \"speedup\": {speedup:.2} }}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"min_speedup\": {min_speedup:.2},");
+
+    let (batches, queries) = engine_stage();
+    eprintln!("engine stage: {batches} columnar batches over {queries} ad-hoc SELECTs");
+    let _ = writeln!(json, "  \"engine_adhoc_selects\": {queries},");
+    let _ = writeln!(json, "  \"engine_columnar_batches\": {batches}");
+    json.push('}');
+    println!("{json}");
+}

@@ -594,9 +594,25 @@ impl ExecutionEngine {
             return Err(Error::InvalidState("exec outside transaction".into()));
         }
         let start = self.effects.len();
-        let result = execute(&mut self.catalog, bound, params, &mut self.effects)?;
-        self.cascade(start)?;
-        Ok(result)
+        let result = execute(&mut self.catalog, bound, params, &mut self.effects)
+            .and_then(|r| {
+                self.cascade(start)?;
+                Ok(r)
+            });
+        self.note_columnar_batches();
+        result
+    }
+
+    /// Drains the sql crate's thread-local columnar-batch counter into
+    /// the engine metric. Called after every statement entry point (the
+    /// counter accumulates across the nested trigger cascade, so one
+    /// drain per top-level call collects the whole tree; draining on
+    /// nested calls too just moves the same numbers sooner).
+    fn note_columnar_batches(&self) {
+        let n = sstore_sql::batch::take_batch_count();
+        if n != 0 {
+            self.metrics.columnar_batches.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        }
     }
 
     /// Observes a transaction's *input* rows for event-time tracking:
@@ -988,7 +1004,11 @@ impl ExecutionEngine {
     pub fn query(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
         let bound = Planner::new(&self.catalog).plan_sql(sql)?;
         match bound {
-            BoundStatement::Select(s) => sstore_sql::exec::run_select(&self.catalog, &s, params),
+            BoundStatement::Select(s) => {
+                let r = sstore_sql::exec::run_select(&self.catalog, &s, params);
+                self.note_columnar_batches();
+                r
+            }
             _ => Err(Error::Plan("ad-hoc statements must be read-only SELECTs".into())),
         }
     }

@@ -47,7 +47,11 @@
 //!                 ▼
 //!  ┌───────────────────────────────────────────────┐
 //!  │ Execution Engine (EE)                         │
-//!  │  · SQL execution                              │
+//!  │  · SQL execution — single-table full-scan     │
+//!  │    SELECTs run vectorized: typed columnar     │
+//!  │    batches + selection bitmaps (sql::vexec),  │
+//!  │    bit-identical to the row path; DML and     │
+//!  │    point lookups stay row-at-a-time           │
 //!  │  · streams/windows as tables                  │
 //!  │  · EE triggers, auto-GC                       │
 //!  │  · event-time: per-stream high marks →        │

@@ -233,6 +233,11 @@ pub struct EngineMetrics {
     pub pe_trigger_fires: AtomicU64,
     /// EE-trigger executions performed inside the EE.
     pub ee_trigger_fires: AtomicU64,
+    /// Columnar batches processed by the vectorized SELECT path (one
+    /// per ≤1024-row chunk streamed through a scan). Zero means every
+    /// read went row-at-a-time — bench smoke asserts this is non-zero
+    /// so the fast path can't silently un-wire itself.
+    pub columnar_batches: AtomicU64,
     /// Exchange sub-batches whose send has *begun* (bumped before the
     /// channel send). Paired with [`EngineMetrics::exchange_sends`]:
     /// `started == sends` means no send is in flight mid-call, which
@@ -403,6 +408,7 @@ impl EngineMetrics {
         self.ee_round_trips.store(0, Ordering::Relaxed);
         self.pe_trigger_fires.store(0, Ordering::Relaxed);
         self.ee_trigger_fires.store(0, Ordering::Relaxed);
+        self.columnar_batches.store(0, Ordering::Relaxed);
         self.exchange_sends_started.store(0, Ordering::Relaxed);
         self.exchange_sends.store(0, Ordering::Relaxed);
         self.exchange_batches.store(0, Ordering::Relaxed);

@@ -465,6 +465,34 @@ fn query_at_reads_and_writes_shared_tables() {
 }
 
 #[test]
+fn adhoc_selects_run_columnar_and_count_batches() {
+    let engine = Engine::start(
+        EngineConfig::default().with_data_dir(test_dir("adhoc-columnar")),
+        hybrid_app(),
+    )
+    .unwrap();
+    // Enough rows to clear the columnar small-table cutoff (64).
+    for k in 0..100i64 {
+        engine
+            .query_at(0, "INSERT INTO t (k, v) VALUES (?, ?)", vec![Value::Int(k), Value::Int(k % 5)])
+            .unwrap();
+    }
+    let m = engine.metrics();
+    let before = EngineMetrics::get(&m.columnar_batches);
+    let r = engine
+        .query_at(0, "SELECT v, COUNT(*) FROM t WHERE k >= 10 GROUP BY v", vec![])
+        .unwrap();
+    assert_eq!(r.rows.len(), 5);
+    let after = EngineMetrics::get(&m.columnar_batches);
+    assert!(after > before, "full-scan SELECT must go through the columnar path");
+    // An indexed point lookup stays on the row path: no new batches.
+    let r = engine.query_at(0, "SELECT v FROM t WHERE k = 3", vec![]).unwrap();
+    assert_eq!(r.scalar().unwrap().as_int().unwrap(), 3);
+    assert_eq!(EngineMetrics::get(&m.columnar_batches), after);
+    engine.shutdown();
+}
+
+#[test]
 fn query_at_failure_rolls_back_whole_statement() {
     let engine =
         Engine::start(EngineConfig::default().with_data_dir(test_dir("adhoc-undo")), hybrid_app())

@@ -230,7 +230,26 @@ pub fn run_select(catalog: &Catalog, s: &BoundSelect, params: &[Value]) -> Resul
 /// Like [`run_select`] but returns only the rows — used where output
 /// column names are not needed (INSERT ... SELECT, EE triggers), saving
 /// the per-execution name clone.
+///
+/// Single-table full scans dispatch to the vectorized columnar executor
+/// ([`crate::vexec`]); joins and index point lookups (and everything
+/// when `SSTORE_NO_COLUMNAR=1` is set) run the row-at-a-time pipeline.
+/// Both produce bit-identical results.
 pub fn run_select_rows(catalog: &Catalog, s: &BoundSelect, params: &[Value]) -> Result<Vec<Tuple>> {
+    if crate::vexec::use_columnar(catalog, s) {
+        return crate::vexec::run_select_columnar(catalog, s, params);
+    }
+    run_select_rows_rowwise(catalog, s, params)
+}
+
+/// The row-at-a-time SELECT pipeline. Public as the differential-test
+/// oracle for the columnar executor; normal callers go through
+/// [`run_select_rows`], which dispatches between the two.
+pub fn run_select_rows_rowwise(
+    catalog: &Catalog,
+    s: &BoundSelect,
+    params: &[Value],
+) -> Result<Vec<Tuple>> {
     // 1. Base scan (borrowed rows).
     let base = catalog.get(s.from.table);
     let mut rows: Vec<Cow<'_, [Value]>> = match &s.from.access {
@@ -314,60 +333,142 @@ pub fn run_select_rows(catalog: &Catalog, s: &BoundSelect, params: &[Value]) -> 
     // 4. Aggregation or plain projection.
     let mut out: Vec<(Vec<Value>, Tuple)> = Vec::new(); // (sort keys, output row)
     if s.grouped {
-        // Ordered grouping for deterministic output.
-        let mut groups: BTreeMap<Vec<Value>, Vec<AggAcc>> = BTreeMap::new();
+        let mut groups = Groups::new(&s.group_by);
         for row in &rows {
             let ctx = EvalCtx { row, params, aggs: &[] };
-            let mut key = Vec::with_capacity(s.group_by.len());
-            for g in &s.group_by {
-                key.push(g.eval(&ctx)?);
-            }
-            let accs = groups
-                .entry(key)
-                .or_insert_with(|| s.aggs.iter().map(AggAcc::new).collect());
-            for (acc, spec) in accs.iter_mut().zip(&s.aggs) {
-                acc.feed(spec, &ctx)?;
-            }
+            groups.feed_row(s, &ctx)?;
         }
-        // Implicit aggregation over zero rows still yields one group.
-        if groups.is_empty() && s.group_by.is_empty() {
-            groups.insert(Vec::new(), s.aggs.iter().map(AggAcc::new).collect());
-        }
-        for (key, accs) in groups {
-            let agg_values: Vec<Value> =
-                accs.into_iter().zip(&s.aggs).map(|(acc, spec)| acc.finish_for(spec)).collect();
-            let ctx = EvalCtx { row: &key, params, aggs: &agg_values };
-            if let Some(h) = &s.having {
-                if !h.eval_predicate(&ctx)? {
-                    continue;
-                }
-            }
-            let mut output = Vec::with_capacity(s.projections.len());
-            for p in &s.projections {
-                output.push(p.eval(&ctx)?);
-            }
-            let mut sort_key = Vec::with_capacity(s.order_by.len());
-            for (e, _) in &s.order_by {
-                sort_key.push(e.eval(&ctx)?);
-            }
-            out.push((sort_key, Tuple::new(output)));
-        }
+        finish_groups(groups, s, params, &mut out)?;
     } else {
         for row in &rows {
             let ctx = EvalCtx { row, params, aggs: &[] };
-            let mut output = Vec::with_capacity(s.projections.len());
-            for p in &s.projections {
-                output.push(p.eval(&ctx)?);
-            }
-            let mut sort_key = Vec::with_capacity(s.order_by.len());
-            for (e, _) in &s.order_by {
-                sort_key.push(e.eval(&ctx)?);
-            }
-            out.push((sort_key, Tuple::new(output)));
+            out.push(project_one(s, &ctx)?);
         }
     }
 
-    // 5. ORDER BY (stable, so equal keys keep scan order) + LIMIT.
+    // 5. ORDER BY + LIMIT.
+    Ok(sort_and_limit(out, s))
+}
+
+/// Ordered (deterministic) grouping state. The single-column key case is
+/// kept out of `Vec` keys: looking up a group costs no per-row key
+/// allocation, and for the common bare-column key no clone on group hits
+/// either — the key is cloned only when a new group is created.
+pub(crate) enum Groups {
+    /// Exactly one group-by expression.
+    Single(BTreeMap<Value, Vec<AggAcc>>),
+    /// Zero (implicit aggregation) or several group-by expressions.
+    Multi(BTreeMap<Vec<Value>, Vec<AggAcc>>),
+}
+
+impl Groups {
+    pub(crate) fn new(group_by: &[BoundExpr]) -> Groups {
+        if group_by.len() == 1 {
+            Groups::Single(BTreeMap::new())
+        } else {
+            Groups::Multi(BTreeMap::new())
+        }
+    }
+
+    /// Accumulates one input row into its group.
+    pub(crate) fn feed_row(&mut self, s: &BoundSelect, ctx: &EvalCtx<'_>) -> Result<()> {
+        let accs = match self {
+            Groups::Single(m) => {
+                if let BoundExpr::Column(c) = &s.group_by[0] {
+                    let key = ctx
+                        .row
+                        .get(*c)
+                        .ok_or_else(|| Error::Eval(format!("column index {c} out of range")))?;
+                    if !m.contains_key(key) {
+                        m.insert(key.clone(), new_accs(&s.aggs));
+                    }
+                    m.get_mut(key).expect("group just ensured")
+                } else {
+                    let key = s.group_by[0].eval(ctx)?;
+                    m.entry(key).or_insert_with(|| new_accs(&s.aggs))
+                }
+            }
+            Groups::Multi(m) => {
+                let mut key = Vec::with_capacity(s.group_by.len());
+                for g in &s.group_by {
+                    key.push(g.eval(ctx)?);
+                }
+                m.entry(key).or_insert_with(|| new_accs(&s.aggs))
+            }
+        };
+        for (acc, spec) in accs.iter_mut().zip(&s.aggs) {
+            acc.feed(spec, ctx)?;
+        }
+        Ok(())
+    }
+}
+
+fn new_accs(aggs: &[AggSpec]) -> Vec<AggAcc> {
+    aggs.iter().map(AggAcc::new).collect()
+}
+
+/// Finalizes every group: aggregate results, HAVING, projections, sort
+/// keys. `BTreeMap` iteration makes the output order deterministic
+/// (group keys ascending under [`Value::cmp_total`]) for both key
+/// layouts. Implicit aggregation over zero rows still yields one group.
+pub(crate) fn finish_groups(
+    groups: Groups,
+    s: &BoundSelect,
+    params: &[Value],
+    out: &mut Vec<(Vec<Value>, Tuple)>,
+) -> Result<()> {
+    match groups {
+        Groups::Single(m) => {
+            for (key, accs) in m {
+                finish_one(std::slice::from_ref(&key), accs, s, params, out)?;
+            }
+        }
+        Groups::Multi(mut m) => {
+            if m.is_empty() && s.group_by.is_empty() {
+                m.insert(Vec::new(), new_accs(&s.aggs));
+            }
+            for (key, accs) in m {
+                finish_one(&key, accs, s, params, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn finish_one(
+    key: &[Value],
+    accs: Vec<AggAcc>,
+    s: &BoundSelect,
+    params: &[Value],
+    out: &mut Vec<(Vec<Value>, Tuple)>,
+) -> Result<()> {
+    let agg_values: Vec<Value> =
+        accs.into_iter().zip(&s.aggs).map(|(acc, spec)| acc.finish_for(spec)).collect();
+    let ctx = EvalCtx { row: key, params, aggs: &agg_values };
+    if let Some(h) = &s.having {
+        if !h.eval_predicate(&ctx)? {
+            return Ok(());
+        }
+    }
+    out.push(project_one(s, &ctx)?);
+    Ok(())
+}
+
+/// Evaluates one output row: projections plus ORDER BY sort keys.
+pub(crate) fn project_one(s: &BoundSelect, ctx: &EvalCtx<'_>) -> Result<(Vec<Value>, Tuple)> {
+    let mut output = Vec::with_capacity(s.projections.len());
+    for p in &s.projections {
+        output.push(p.eval(ctx)?);
+    }
+    let mut sort_key = Vec::with_capacity(s.order_by.len());
+    for (e, _) in &s.order_by {
+        sort_key.push(e.eval(ctx)?);
+    }
+    Ok((sort_key, Tuple::new(output)))
+}
+
+/// ORDER BY (stable, so equal keys keep input order) + LIMIT.
+pub(crate) fn sort_and_limit(mut out: Vec<(Vec<Value>, Tuple)>, s: &BoundSelect) -> Vec<Tuple> {
     if !s.order_by.is_empty() {
         let dirs: Vec<SortOrder> = s.order_by.iter().map(|(_, d)| *d).collect();
         out.sort_by(|(a, _), (b, _)| {
@@ -388,23 +489,25 @@ pub fn run_select_rows(catalog: &Catalog, s: &BoundSelect, params: &[Value]) -> 
     if let Some(limit) = s.limit {
         rows_out.truncate(limit as usize);
     }
-    Ok(rows_out)
+    rows_out
 }
 
-/// Streaming aggregate accumulator.
+/// Streaming aggregate accumulator. Fields are crate-visible so the
+/// vectorized executor's typed loops can accumulate into the same state
+/// the row path uses — both finish through [`AggAcc::finish_for`].
 #[derive(Debug)]
-struct AggAcc {
-    count: u64,
-    sum_i: i64,
-    sum_f: f64,
-    saw_float: bool,
-    min: Option<Value>,
-    max: Option<Value>,
-    distinct: Option<HashSet<Value>>,
+pub(crate) struct AggAcc {
+    pub(crate) count: u64,
+    pub(crate) sum_i: i64,
+    pub(crate) sum_f: f64,
+    pub(crate) saw_float: bool,
+    pub(crate) min: Option<Value>,
+    pub(crate) max: Option<Value>,
+    pub(crate) distinct: Option<HashSet<Value>>,
 }
 
 impl AggAcc {
-    fn new(spec: &AggSpec) -> AggAcc {
+    pub(crate) fn new(spec: &AggSpec) -> AggAcc {
         AggAcc {
             count: 0,
             sum_i: 0,
@@ -416,7 +519,7 @@ impl AggAcc {
         }
     }
 
-    fn feed(&mut self, spec: &AggSpec, ctx: &EvalCtx<'_>) -> Result<()> {
+    pub(crate) fn feed(&mut self, spec: &AggSpec, ctx: &EvalCtx<'_>) -> Result<()> {
         let v = match &spec.arg {
             Some(e) => {
                 let v = e.eval(ctx)?;
@@ -431,6 +534,11 @@ impl AggAcc {
                 return Ok(());
             }
         };
+        self.feed_value(spec, v)
+    }
+
+    /// Accumulates one already-evaluated, non-NULL argument value.
+    pub(crate) fn feed_value(&mut self, spec: &AggSpec, v: Value) -> Result<()> {
         if let Some(seen) = &mut self.distinct {
             if !seen.insert(v.clone()) {
                 return Ok(());
@@ -471,7 +579,7 @@ impl AggAcc {
     /// Finalizes the accumulator for the spec it was fed with.
     /// SUM/AVG/MIN/MAX over zero (non-NULL) inputs yield NULL; COUNT
     /// yields 0.
-    fn finish_for(self, spec: &AggSpec) -> Value {
+    pub(crate) fn finish_for(self, spec: &AggSpec) -> Value {
         match spec.func {
             AggFunc::Count => Value::Int(self.count as i64),
             AggFunc::Sum => {

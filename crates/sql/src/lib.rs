@@ -19,14 +19,27 @@
 //! `LIMIT`), `INSERT … VALUES` / `INSERT … SELECT`, `UPDATE`, `DELETE`,
 //! positional parameters `?` / `?N`.
 //!
+//! Single-table full-scan SELECTs over tables past a small-row cutoff
+//! ([`vexec::COLUMNAR_MIN_ROWS`]) additionally run through a vectorized
+//! read path ([`batch`] + [`vexec`]): rows are materialized into typed
+//! columnar batches and filtered/aggregated with tight per-column loops,
+//! falling back to per-row [`expr::BoundExpr`] evaluation for shapes the
+//! fast paths don't cover. Joins, index point lookups, and every DML
+//! statement stay on the row executor. Results are bit-identical to the
+//! row path (same row-id scan order, same ordered grouping), so
+//! command-log replay is unaffected; set `SSTORE_NO_COLUMNAR=1` to
+//! force the row path (used for before/after benchmarking).
+//!
 //! [`Catalog`]: sstore_storage::Catalog
 
 pub mod ast;
+pub mod batch;
 pub mod exec;
 pub mod expr;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
+pub mod vexec;
 
 pub use ast::Statement;
 pub use exec::{execute, Effect, QueryResult};

@@ -16,7 +16,7 @@ use crate::ast::{
     BinOp, ColumnRef, Delete, Expr, Insert, InsertSource, OrderKey, Select, SelectItem, SortOrder,
     Statement, Update,
 };
-use crate::expr::{AggSpec, BoundExpr};
+use crate::expr::{AggSpec, BoundExpr, EvalCtx};
 
 /// How the executor reaches the rows of a table.
 #[derive(Debug, Clone, PartialEq)]
@@ -506,8 +506,41 @@ fn default_name(expr: &Expr, i: usize) -> String {
     }
 }
 
-/// Binds a scalar (non-aggregate) expression against a scope.
+/// Folds an expression whose operands are all literals into a single
+/// literal (e.g. `x > 2 + 3` binds as `x > 5`). The binders apply this
+/// to every node they build, so constant subtrees collapse bottom-up.
+/// Expressions that would raise a runtime error (`1 / 0`) are left
+/// unfolded: the executor only evaluates predicates for rows that
+/// exist, so the error must stay a runtime one.
+fn fold(e: BoundExpr) -> BoundExpr {
+    fn lit(e: &BoundExpr) -> bool {
+        matches!(e, BoundExpr::Literal(_))
+    }
+    let foldable = match &e {
+        BoundExpr::Binary { lhs, rhs, .. } => lit(lhs) && lit(rhs),
+        BoundExpr::Neg(x) | BoundExpr::Not(x) | BoundExpr::Abs(x) => lit(x),
+        BoundExpr::IsNull { expr, .. } => lit(expr),
+        BoundExpr::Between { expr, lo, hi, .. } => lit(expr) && lit(lo) && lit(hi),
+        BoundExpr::InList { expr, list, .. } => lit(expr) && list.iter().all(lit),
+        _ => false,
+    };
+    if !foldable {
+        return e;
+    }
+    let ctx = EvalCtx { row: &[], params: &[], aggs: &[] };
+    match e.eval(&ctx) {
+        Ok(v) => BoundExpr::Literal(v),
+        Err(_) => e,
+    }
+}
+
+/// Binds a scalar (non-aggregate) expression against a scope, constant-
+/// folding literal-only subexpressions as it goes.
 fn bind_scalar(expr: &Expr, scope: &Scope) -> Result<BoundExpr> {
+    bind_scalar_unfolded(expr, scope).map(fold)
+}
+
+fn bind_scalar_unfolded(expr: &Expr, scope: &Scope) -> Result<BoundExpr> {
     match expr {
         Expr::Literal(v) => Ok(BoundExpr::Literal(v.clone())),
         Expr::Param(i) => Ok(BoundExpr::Param(*i)),
@@ -546,6 +579,15 @@ fn bind_scalar(expr: &Expr, scope: &Scope) -> Result<BoundExpr> {
 /// calls become `AggRef`, anything else touching a raw column is an
 /// error.
 fn bind_grouped(
+    expr: &Expr,
+    group_by: &[Expr],
+    scope: &Scope,
+    aggs: &mut Vec<AggSpec>,
+) -> Result<BoundExpr> {
+    bind_grouped_unfolded(expr, group_by, scope, aggs).map(fold)
+}
+
+fn bind_grouped_unfolded(
     expr: &Expr,
     group_by: &[Expr],
     scope: &Scope,
@@ -657,7 +699,7 @@ fn extract_equi_pairs(on: &BoundExpr, prefix_arity: usize, right_arity: usize) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sstore_common::DataType;
+    use sstore_common::{DataType, Value};
     use sstore_storage::index::IndexDef;
     use sstore_storage::{IndexKind, TableKind};
 
@@ -891,5 +933,77 @@ mod tests {
     fn is_mutation_classifies() {
         assert!(!plan("SELECT * FROM votes").is_mutation());
         assert!(plan("DELETE FROM votes").is_mutation());
+    }
+
+    #[test]
+    fn constant_subexpressions_fold_at_bind_time() {
+        match plan("SELECT * FROM votes WHERE contestant > 2 + 3") {
+            BoundStatement::Select(s) => {
+                assert_eq!(
+                    s.where_pred,
+                    Some(BoundExpr::Binary {
+                        op: BinOp::Gt,
+                        lhs: Box::new(BoundExpr::Column(1)),
+                        rhs: Box::new(BoundExpr::Literal(Value::Int(5))),
+                    })
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // Nested constants collapse bottom-up, including under NOT and
+        // in grouped (HAVING) binding.
+        match plan("SELECT contestant, COUNT(*) FROM votes GROUP BY contestant HAVING COUNT(*) > 10 - 2 * 3") {
+            BoundStatement::Select(s) => {
+                assert_eq!(
+                    s.having,
+                    Some(BoundExpr::Binary {
+                        op: BinOp::Gt,
+                        lhs: Box::new(BoundExpr::AggRef(0)),
+                        rhs: Box::new(BoundExpr::Literal(Value::Int(4))),
+                    })
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn folding_enables_index_access_and_keeps_errors_runtime() {
+        // A folded key expression is row-independent and literal, so the
+        // planner can still pick the index point lookup.
+        match plan("SELECT * FROM votes WHERE phone = 2 + 3") {
+            BoundStatement::Select(s) => {
+                assert!(matches!(s.from.access, Access::IndexEq { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        // `1 / 0` must stay a runtime error, not a plan-time one.
+        match plan("SELECT * FROM votes WHERE contestant > 1 / 0") {
+            BoundStatement::Select(s) => {
+                assert!(matches!(
+                    s.where_pred,
+                    Some(BoundExpr::Binary { op: BinOp::Gt, .. })
+                ));
+                match s.where_pred {
+                    Some(BoundExpr::Binary { rhs, .. }) => {
+                        assert!(matches!(*rhs, BoundExpr::Binary { op: BinOp::Div, .. }));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        // Params are row-independent but unknown at bind time: unfolded.
+        match plan("SELECT * FROM votes WHERE contestant > ? + 1") {
+            BoundStatement::Select(s) => {
+                match s.where_pred {
+                    Some(BoundExpr::Binary { rhs, .. }) => {
+                        assert!(matches!(*rhs, BoundExpr::Binary { op: BinOp::Add, .. }));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
     }
 }

@@ -1,0 +1,875 @@
+//! Vectorized (columnar) SELECT execution.
+//!
+//! Single-table full-scan SELECTs run here instead of the row-at-a-time
+//! pipeline in [`crate::exec`]: the scan streams the table's live rows
+//! in row-id order through [`sstore_storage::Table::scan_chunks`],
+//! materializes the columns the query actually touches into a typed
+//! [`ColumnarBatch`], evaluates the WHERE predicate with per-column
+//! loops producing a [`SelVec`] selection bitmap, and accumulates
+//! aggregates over the selected rows with typed fast paths. Projection
+//! back to [`Tuple`] rows happens only at the output edge.
+//!
+//! Semantics parity with the row executor is load-bearing (command-log
+//! replay must reproduce identical state, and the differential proptest
+//! in `tests/prop_columnar.rs` pins it):
+//!
+//! * scans walk the same row-id order, grouping uses the same ordered
+//!   [`Groups`] maps, and sorting/LIMIT share the row path's code, so
+//!   successful results are bit-identical;
+//! * predicate fast paths reproduce 3VL exactly, including Kleene
+//!   short-circuit *error* behavior: `AND`'s right side is only
+//!   evaluated where the left is not FALSE (`OR`: not TRUE), mirrored
+//!   here by threading an active-row bitmap through the evaluator, and
+//!   a comparison's row-independent side is evaluated only when some
+//!   row is active — exactly the rows the row path would evaluate it
+//!   for;
+//! * any shape without a fast path falls back to per-row
+//!   [`BoundExpr::eval`] over the borrowed row, which *is* the row
+//!   path's evaluator.
+//!
+//! The one intentional divergence: when several subexpressions would
+//! each raise a runtime error, batch-at-a-time evaluation may surface a
+//! different one of them than row-at-a-time order would (both executors
+//! still fail the statement, and a failed SELECT has no effects to
+//! undo).
+//!
+//! `SSTORE_NO_COLUMNAR=1` (read once per process) disables dispatch so
+//! benchmarks can interleave before/after runs in one binary.
+
+use std::sync::OnceLock;
+
+use sstore_common::{DataType, Error, Result, Tuple, Value};
+use sstore_storage::Catalog;
+
+use crate::ast::{AggFunc, BinOp};
+use crate::batch::{self, Col, ColumnarBatch, SelVec, BATCH_CAPACITY};
+use crate::exec::{finish_groups, project_one, sort_and_limit, AggAcc, Groups};
+use crate::expr::{value_to_truth, BoundExpr, EvalCtx};
+use crate::plan::{Access, BoundSelect};
+
+/// SQL truth values in vector form.
+const T_FALSE: u8 = 0;
+const T_TRUE: u8 = 1;
+const T_NULL: u8 = 2;
+
+/// True when the columnar path is disabled via `SSTORE_NO_COLUMNAR`
+/// (any non-empty value except `0`). Read once per process.
+pub fn disabled() -> bool {
+    static DISABLED: OnceLock<bool> = OnceLock::new();
+    *DISABLED
+        .get_or_init(|| std::env::var("SSTORE_NO_COLUMNAR").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
+/// Minimum live row count before a scan goes columnar. Below this,
+/// batch setup (column materialization, bitmap allocation) costs more
+/// than row-at-a-time interpretation saves — EE-trigger cascades run
+/// thousands of SELECTs over 1-row stream tables, and sending those
+/// through the batch path measurably regresses the trigger hot path.
+/// At 100 rows the columnar executor already wins or breaks even on
+/// every measured shape, so 64 leaves margin on both sides.
+pub const COLUMNAR_MIN_ROWS: usize = 64;
+
+/// True for plans the columnar executor handles: single-table full
+/// scans. Joins stay on the row pipeline, and index point lookups
+/// (the OLTP hot path) are deliberately excluded — batching one or two
+/// rows costs more than it saves.
+pub fn eligible(s: &BoundSelect) -> bool {
+    s.joins.is_empty() && matches!(s.from.access, Access::FullScan)
+}
+
+/// Dispatch decision for [`crate::exec::run_select_rows`]: an eligible
+/// plan over a table big enough to amortize batch setup. Table size is
+/// engine state, so replayed transactions make the same choice — and
+/// either choice yields bit-identical results anyway.
+pub fn use_columnar(catalog: &Catalog, s: &BoundSelect) -> bool {
+    eligible(s) && !disabled() && catalog.get(s.from.table).len() >= COLUMNAR_MIN_ROWS
+}
+
+/// Per-aggregate execution strategy, classified once per statement.
+enum FastAgg {
+    /// `COUNT(*)`: selected-row count, no column touched.
+    CountStar,
+    /// `COUNT(col)`, non-distinct: non-null count off the null bitmap.
+    CountCol(usize),
+    /// SUM/AVG/MIN/MAX over a bare Int/Float column, non-distinct:
+    /// typed accumulation loops.
+    NumCol(usize),
+    /// Everything else: per-selected-row [`AggAcc::feed`].
+    Generic,
+}
+
+fn classify_agg(spec: &crate::expr::AggSpec, dtypes: &[DataType]) -> FastAgg {
+    match &spec.arg {
+        None => FastAgg::CountStar,
+        Some(BoundExpr::Column(c)) if !spec.distinct && *c < dtypes.len() => match spec.func {
+            AggFunc::Count => FastAgg::CountCol(*c),
+            AggFunc::Sum | AggFunc::Avg | AggFunc::Min | AggFunc::Max
+                if matches!(dtypes[*c], DataType::Int | DataType::Float) =>
+            {
+                FastAgg::NumCol(*c)
+            }
+            _ => FastAgg::Generic,
+        },
+        _ => FastAgg::Generic,
+    }
+}
+
+/// Runs an eligible SELECT through the columnar pipeline.
+pub fn run_select_columnar(
+    catalog: &Catalog,
+    s: &BoundSelect,
+    params: &[Value],
+) -> Result<Vec<Tuple>> {
+    let table = catalog.get(s.from.table);
+    let dtypes: Vec<DataType> = table.schema().columns().iter().map(|c| c.dtype).collect();
+
+    let pred = s.where_pred.as_ref().map(|p| compile_pred(p, &dtypes));
+
+    // Aggregate strategies; implicit aggregation (no GROUP BY) gets the
+    // typed accumulators, grouped queries key per row and feed the same
+    // accumulators the row path uses.
+    let implicit = s.grouped && s.group_by.is_empty();
+    let fast_aggs: Vec<FastAgg> = if implicit {
+        s.aggs.iter().map(|a| classify_agg(a, &dtypes)).collect()
+    } else {
+        Vec::new()
+    };
+
+    // Columns to materialize: predicate fast paths + typed aggregates.
+    let mut wanted: Vec<usize> = Vec::new();
+    if let Some(p) = &pred {
+        collect_cols(p, &mut wanted);
+    }
+    for fa in &fast_aggs {
+        if let FastAgg::CountCol(c) | FastAgg::NumCol(c) = fa {
+            wanted.push(*c);
+        }
+    }
+    wanted.sort_unstable();
+    wanted.dedup();
+
+    let mut out: Vec<(Vec<Value>, Tuple)> = Vec::new();
+    let mut accs: Vec<AggAcc> = if implicit { s.aggs.iter().map(AggAcc::new).collect() } else { Vec::new() };
+    let mut groups = if s.grouped && !implicit { Some(Groups::new(&s.group_by)) } else { None };
+
+    let mut cursor = table.scan_chunks();
+    let mut rows: Vec<&[Value]> = Vec::with_capacity(BATCH_CAPACITY);
+    loop {
+        rows.clear();
+        if !cursor.next_chunk(BATCH_CAPACITY, &mut rows) {
+            break;
+        }
+        batch::note_batch();
+        let b = ColumnarBatch::from_rows(&rows, &wanted, &dtypes)?;
+
+        // WHERE → selection bitmap.
+        let mut sel = SelVec::all(rows.len());
+        if let Some(p) = &pred {
+            let mut truth = vec![T_FALSE; rows.len()];
+            eval_pred(p, &b, &rows, params, &sel, &mut truth)?;
+            let mut filtered = SelVec::none(rows.len());
+            for i in sel.iter_ones() {
+                if truth[i] == T_TRUE {
+                    filtered.set(i);
+                }
+            }
+            sel = filtered;
+        }
+
+        if implicit {
+            let selected = sel.count() as u64;
+            for ((acc, spec), fa) in accs.iter_mut().zip(&s.aggs).zip(&fast_aggs) {
+                match fa {
+                    FastAgg::CountStar => acc.count += selected,
+                    FastAgg::CountCol(c) => {
+                        let col = b.col(*c).expect("count column materialized");
+                        for i in sel.iter_ones() {
+                            if !col.is_null(i) {
+                                acc.count += 1;
+                            }
+                        }
+                    }
+                    FastAgg::NumCol(c) => {
+                        let col = b.col(*c).expect("agg column materialized");
+                        accumulate_num(acc, spec.func, col, &sel)?;
+                    }
+                    FastAgg::Generic => {
+                        for i in sel.iter_ones() {
+                            let ctx = EvalCtx { row: rows[i], params, aggs: &[] };
+                            acc.feed(spec, &ctx)?;
+                        }
+                    }
+                }
+            }
+        } else if let Some(g) = &mut groups {
+            for i in sel.iter_ones() {
+                let ctx = EvalCtx { row: rows[i], params, aggs: &[] };
+                g.feed_row(s, &ctx)?;
+            }
+        } else {
+            for i in sel.iter_ones() {
+                let ctx = EvalCtx { row: rows[i], params, aggs: &[] };
+                out.push(project_one(s, &ctx)?);
+            }
+        }
+    }
+
+    if implicit {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(Vec::new(), accs);
+        finish_groups(Groups::Multi(m), s, params, &mut out)?;
+    } else if let Some(g) = groups {
+        finish_groups(g, s, params, &mut out)?;
+    }
+    Ok(sort_and_limit(out, s))
+}
+
+/// Typed SUM/AVG/MIN/MAX accumulation over the selected rows of an
+/// Int/Float column. Iteration is in ascending row order, so float sums
+/// and integer-overflow points match the row path exactly.
+fn accumulate_num(acc: &mut AggAcc, func: AggFunc, col: &Col, sel: &SelVec) -> Result<()> {
+    match col {
+        Col::I64(c) => match func {
+            AggFunc::Sum | AggFunc::Avg => {
+                for i in sel.iter_ones() {
+                    if c.nulls.get(i) {
+                        continue;
+                    }
+                    let v = c.values[i];
+                    acc.count += 1;
+                    acc.sum_i = acc
+                        .sum_i
+                        .checked_add(v)
+                        .ok_or_else(|| Error::Eval("integer overflow in SUM".into()))?;
+                    acc.sum_f += v as f64;
+                }
+            }
+            AggFunc::Min => {
+                let mut best: Option<i64> = None;
+                for i in sel.iter_ones() {
+                    if c.nulls.get(i) {
+                        continue;
+                    }
+                    let v = c.values[i];
+                    if best.is_none_or(|b| v < b) {
+                        best = Some(v);
+                    }
+                }
+                if let Some(v) = best {
+                    let v = Value::Int(v);
+                    if acc.min.as_ref().is_none_or(|m| v.cmp_total(m).is_lt()) {
+                        acc.min = Some(v);
+                    }
+                }
+            }
+            AggFunc::Max => {
+                let mut best: Option<i64> = None;
+                for i in sel.iter_ones() {
+                    if c.nulls.get(i) {
+                        continue;
+                    }
+                    let v = c.values[i];
+                    if best.is_none_or(|b| v > b) {
+                        best = Some(v);
+                    }
+                }
+                if let Some(v) = best {
+                    let v = Value::Int(v);
+                    if acc.max.as_ref().is_none_or(|m| v.cmp_total(m).is_gt()) {
+                        acc.max = Some(v);
+                    }
+                }
+            }
+            AggFunc::Count => unreachable!("COUNT(col) classified as CountCol"),
+        },
+        Col::F64(c) => match func {
+            AggFunc::Sum | AggFunc::Avg => {
+                for i in sel.iter_ones() {
+                    if c.nulls.get(i) {
+                        continue;
+                    }
+                    acc.count += 1;
+                    acc.saw_float = true;
+                    acc.sum_f += c.values[i];
+                }
+            }
+            AggFunc::Min => {
+                let mut best: Option<f64> = None;
+                for i in sel.iter_ones() {
+                    if c.nulls.get(i) {
+                        continue;
+                    }
+                    let v = c.values[i];
+                    if best.is_none_or(|b| v.total_cmp(&b).is_lt()) {
+                        best = Some(v);
+                    }
+                }
+                if let Some(v) = best {
+                    let v = Value::Float(v);
+                    if acc.min.as_ref().is_none_or(|m| v.cmp_total(m).is_lt()) {
+                        acc.min = Some(v);
+                    }
+                }
+            }
+            AggFunc::Max => {
+                let mut best: Option<f64> = None;
+                for i in sel.iter_ones() {
+                    if c.nulls.get(i) {
+                        continue;
+                    }
+                    let v = c.values[i];
+                    if best.is_none_or(|b| v.total_cmp(&b).is_gt()) {
+                        best = Some(v);
+                    }
+                }
+                if let Some(v) = best {
+                    let v = Value::Float(v);
+                    if acc.max.as_ref().is_none_or(|m| v.cmp_total(m).is_gt()) {
+                        acc.max = Some(v);
+                    }
+                }
+            }
+            AggFunc::Count => unreachable!("COUNT(col) classified as CountCol"),
+        },
+        _ => unreachable!("NumCol only classified for Int/Float columns"),
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Predicate compilation + vectorized evaluation
+// ----------------------------------------------------------------------
+
+/// A WHERE predicate compiled for batch evaluation. Fast nodes run
+/// typed loops over materialized columns; `RowWise` falls back to the
+/// row path's expression evaluator on the borrowed row.
+enum PredNode<'s> {
+    And(Box<PredNode<'s>>, Box<PredNode<'s>>),
+    Or(Box<PredNode<'s>>, Box<PredNode<'s>>),
+    Not(Box<PredNode<'s>>),
+    /// `col <op> <row-independent>` (column side normalized to the
+    /// left; the other side is evaluated once per batch, and only when
+    /// some row is active).
+    Cmp { col: usize, op: BinOp, rhs: &'s BoundExpr },
+    /// `col BETWEEN lo AND hi` with row-independent bounds. Kept as one
+    /// node (not desugared to AND) because the row path evaluates both
+    /// bounds for every active row — error behavior must match.
+    Between { col: usize, lo: &'s BoundExpr, hi: &'s BoundExpr, negated: bool },
+    /// `col IS [NOT] NULL` off the null bitmap.
+    NullTest { col: usize, negated: bool },
+    /// A bare boolean column used as the predicate.
+    BoolCol(usize),
+    /// Fallback: per-row evaluation of the original expression.
+    RowWise(&'s BoundExpr),
+}
+
+fn is_cmp(op: BinOp) -> bool {
+    matches!(op, BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq)
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other, // Eq / NotEq are symmetric
+    }
+}
+
+fn compile_pred<'s>(e: &'s BoundExpr, dtypes: &[DataType]) -> PredNode<'s> {
+    match e {
+        BoundExpr::Binary { op: BinOp::And, lhs, rhs } => PredNode::And(
+            Box::new(compile_pred(lhs, dtypes)),
+            Box::new(compile_pred(rhs, dtypes)),
+        ),
+        BoundExpr::Binary { op: BinOp::Or, lhs, rhs } => PredNode::Or(
+            Box::new(compile_pred(lhs, dtypes)),
+            Box::new(compile_pred(rhs, dtypes)),
+        ),
+        BoundExpr::Not(inner) => PredNode::Not(Box::new(compile_pred(inner, dtypes))),
+        BoundExpr::Binary { op, lhs, rhs } if is_cmp(*op) => {
+            if let BoundExpr::Column(c) = &**lhs {
+                if *c < dtypes.len() && rhs.is_row_independent() {
+                    return PredNode::Cmp { col: *c, op: *op, rhs };
+                }
+            }
+            if let BoundExpr::Column(c) = &**rhs {
+                if *c < dtypes.len() && lhs.is_row_independent() {
+                    return PredNode::Cmp { col: *c, op: flip(*op), rhs: lhs };
+                }
+            }
+            PredNode::RowWise(e)
+        }
+        BoundExpr::IsNull { expr, negated } => match &**expr {
+            BoundExpr::Column(c) if *c < dtypes.len() => {
+                PredNode::NullTest { col: *c, negated: *negated }
+            }
+            _ => PredNode::RowWise(e),
+        },
+        BoundExpr::Between { expr, lo, hi, negated } => match &**expr {
+            BoundExpr::Column(c)
+                if *c < dtypes.len() && lo.is_row_independent() && hi.is_row_independent() =>
+            {
+                PredNode::Between { col: *c, lo, hi, negated: *negated }
+            }
+            _ => PredNode::RowWise(e),
+        },
+        BoundExpr::Column(c) if dtypes.get(*c) == Some(&DataType::Bool) => PredNode::BoolCol(*c),
+        _ => PredNode::RowWise(e),
+    }
+}
+
+fn collect_cols(node: &PredNode<'_>, out: &mut Vec<usize>) {
+    match node {
+        PredNode::And(a, b) | PredNode::Or(a, b) => {
+            collect_cols(a, out);
+            collect_cols(b, out);
+        }
+        PredNode::Not(a) => collect_cols(a, out),
+        PredNode::Cmp { col, .. }
+        | PredNode::Between { col, .. }
+        | PredNode::NullTest { col, .. }
+        | PredNode::BoolCol(col) => out.push(*col),
+        PredNode::RowWise(_) => {}
+    }
+}
+
+fn kleene_and_u8(l: u8, r: u8) -> u8 {
+    if l == T_FALSE || r == T_FALSE {
+        T_FALSE
+    } else if l == T_TRUE && r == T_TRUE {
+        T_TRUE
+    } else {
+        T_NULL
+    }
+}
+
+fn kleene_or_u8(l: u8, r: u8) -> u8 {
+    if l == T_TRUE || r == T_TRUE {
+        T_TRUE
+    } else if l == T_FALSE && r == T_FALSE {
+        T_FALSE
+    } else {
+        T_NULL
+    }
+}
+
+/// Evaluates `node` for every row in `active`, writing SQL truth values
+/// into `truth` at those positions (other positions are untouched
+/// don't-cares).
+fn eval_pred(
+    node: &PredNode<'_>,
+    b: &ColumnarBatch,
+    rows: &[&[Value]],
+    params: &[Value],
+    active: &SelVec,
+    truth: &mut [u8],
+) -> Result<()> {
+    match node {
+        PredNode::And(lhs, rhs) => {
+            eval_pred(lhs, b, rows, params, active, truth)?;
+            // Kleene short-circuit: the right side exists only for rows
+            // where the left is not FALSE.
+            let mut rhs_active = SelVec::none(rows.len());
+            for i in active.iter_ones() {
+                if truth[i] != T_FALSE {
+                    rhs_active.set(i);
+                }
+            }
+            if rhs_active.any() {
+                let mut rt = vec![T_FALSE; rows.len()];
+                eval_pred(rhs, b, rows, params, &rhs_active, &mut rt)?;
+                for i in rhs_active.iter_ones() {
+                    truth[i] = kleene_and_u8(truth[i], rt[i]);
+                }
+            }
+        }
+        PredNode::Or(lhs, rhs) => {
+            eval_pred(lhs, b, rows, params, active, truth)?;
+            let mut rhs_active = SelVec::none(rows.len());
+            for i in active.iter_ones() {
+                if truth[i] != T_TRUE {
+                    rhs_active.set(i);
+                }
+            }
+            if rhs_active.any() {
+                let mut rt = vec![T_FALSE; rows.len()];
+                eval_pred(rhs, b, rows, params, &rhs_active, &mut rt)?;
+                for i in rhs_active.iter_ones() {
+                    truth[i] = kleene_or_u8(truth[i], rt[i]);
+                }
+            }
+        }
+        PredNode::Not(inner) => {
+            eval_pred(inner, b, rows, params, active, truth)?;
+            for i in active.iter_ones() {
+                truth[i] = match truth[i] {
+                    T_TRUE => T_FALSE,
+                    T_FALSE => T_TRUE,
+                    _ => T_NULL,
+                };
+            }
+        }
+        PredNode::Cmp { col, op, rhs } => {
+            if !active.any() {
+                return Ok(());
+            }
+            let ctx = EvalCtx { row: &[], params, aggs: &[] };
+            let rv = rhs.eval(&ctx)?;
+            let c = b.col(*col).expect("cmp column materialized");
+            cmp_col_value(c, &rv, *op, active, truth);
+        }
+        PredNode::Between { col, lo, hi, negated } => {
+            if !active.any() {
+                return Ok(());
+            }
+            let ctx = EvalCtx { row: &[], params, aggs: &[] };
+            let lo_v = lo.eval(&ctx)?;
+            let hi_v = hi.eval(&ctx)?;
+            let c = b.col(*col).expect("between column materialized");
+            let mut t_lo = vec![T_FALSE; rows.len()];
+            let mut t_hi = vec![T_FALSE; rows.len()];
+            cmp_col_value(c, &lo_v, BinOp::GtEq, active, &mut t_lo);
+            cmp_col_value(c, &hi_v, BinOp::LtEq, active, &mut t_hi);
+            for i in active.iter_ones() {
+                let both = kleene_and_u8(t_lo[i], t_hi[i]);
+                truth[i] = if *negated {
+                    match both {
+                        T_TRUE => T_FALSE,
+                        T_FALSE => T_TRUE,
+                        _ => T_NULL,
+                    }
+                } else {
+                    both
+                };
+            }
+        }
+        PredNode::NullTest { col, negated } => {
+            let c = b.col(*col).expect("null-test column materialized");
+            for i in active.iter_ones() {
+                truth[i] = if c.is_null(i) != *negated { T_TRUE } else { T_FALSE };
+            }
+        }
+        PredNode::BoolCol(col) => {
+            let Some(Col::Bool(c)) = b.col(*col) else {
+                unreachable!("BoolCol compiled only for Bool columns")
+            };
+            for i in active.iter_ones() {
+                truth[i] = if c.nulls.get(i) {
+                    T_NULL
+                } else if c.values[i] {
+                    T_TRUE
+                } else {
+                    T_FALSE
+                };
+            }
+        }
+        PredNode::RowWise(e) => {
+            for i in active.iter_ones() {
+                let ctx = EvalCtx { row: rows[i], params, aggs: &[] };
+                let v = e.eval(&ctx)?;
+                truth[i] = match value_to_truth(&v)? {
+                    Some(true) => T_TRUE,
+                    Some(false) => T_FALSE,
+                    None => T_NULL,
+                };
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fills `truth` for `col <op> rhs` over the active rows with typed
+/// comparison loops. Cross-type pairs follow [`Value::cmp_total`]: Int
+/// and Float compare numerically; any other mismatched pair compares by
+/// type rank, which is value-independent and therefore resolved once
+/// per batch.
+fn cmp_col_value(c: &Col, rhs: &Value, op: BinOp, active: &SelVec, truth: &mut [u8]) {
+    if rhs.is_null() {
+        for i in active.iter_ones() {
+            truth[i] = T_NULL;
+        }
+        return;
+    }
+    use std::cmp::Ordering;
+    match (c, rhs) {
+        (Col::I64(col), Value::Int(x)) => {
+            let x = *x;
+            cmp_fill(active, truth, op, |i| col.nulls.get(i), |i| col.values[i].cmp(&x));
+        }
+        (Col::I64(col), Value::Float(x)) => {
+            let x = *x;
+            cmp_fill(active, truth, op, |i| col.nulls.get(i), |i| {
+                (col.values[i] as f64).total_cmp(&x)
+            });
+        }
+        (Col::F64(col), Value::Float(x)) => {
+            let x = *x;
+            cmp_fill(active, truth, op, |i| col.nulls.get(i), |i| col.values[i].total_cmp(&x));
+        }
+        (Col::F64(col), Value::Int(x)) => {
+            let x = *x as f64;
+            cmp_fill(active, truth, op, |i| col.nulls.get(i), |i| col.values[i].total_cmp(&x));
+        }
+        (Col::Str(col), Value::Text(x)) => {
+            cmp_fill(active, truth, op, |i| col.nulls.get(i), |i| {
+                col.values[i].as_str().cmp(x.as_str())
+            });
+        }
+        (Col::Bool(col), Value::Bool(x)) => {
+            cmp_fill(active, truth, op, |i| col.nulls.get(i), |i| col.values[i].cmp(x));
+        }
+        _ => {
+            // Mismatched types: ordering is decided by type rank alone.
+            let ord = c.type_representative().cmp_total(rhs);
+            let t = truth_of_ord(ord, op);
+            for i in active.iter_ones() {
+                truth[i] = if c.is_null(i) { T_NULL } else { t };
+            }
+        }
+    }
+
+    fn truth_of_ord(ord: Ordering, op: BinOp) -> u8 {
+        let hit = match op {
+            BinOp::Eq => ord == Ordering::Equal,
+            BinOp::NotEq => ord != Ordering::Equal,
+            BinOp::Lt => ord == Ordering::Less,
+            BinOp::LtEq => ord != Ordering::Greater,
+            BinOp::Gt => ord == Ordering::Greater,
+            BinOp::GtEq => ord != Ordering::Less,
+            _ => unreachable!("non-comparison op in Cmp node"),
+        };
+        if hit {
+            T_TRUE
+        } else {
+            T_FALSE
+        }
+    }
+
+    fn cmp_fill(
+        active: &SelVec,
+        truth: &mut [u8],
+        op: BinOp,
+        is_null: impl Fn(usize) -> bool,
+        ord_of: impl Fn(usize) -> Ordering,
+    ) {
+        // One monomorphized tight loop per (column type, operator).
+        match op {
+            BinOp::Eq => fill(active, truth, is_null, |i| ord_of(i) == Ordering::Equal),
+            BinOp::NotEq => fill(active, truth, is_null, |i| ord_of(i) != Ordering::Equal),
+            BinOp::Lt => fill(active, truth, is_null, |i| ord_of(i) == Ordering::Less),
+            BinOp::LtEq => fill(active, truth, is_null, |i| ord_of(i) != Ordering::Greater),
+            BinOp::Gt => fill(active, truth, is_null, |i| ord_of(i) == Ordering::Greater),
+            BinOp::GtEq => fill(active, truth, is_null, |i| ord_of(i) != Ordering::Less),
+            _ => unreachable!("non-comparison op in Cmp node"),
+        }
+    }
+
+    fn fill(
+        active: &SelVec,
+        truth: &mut [u8],
+        is_null: impl Fn(usize) -> bool,
+        hit: impl Fn(usize) -> bool,
+    ) {
+        for i in active.iter_ones() {
+            truth[i] = if is_null(i) {
+                T_NULL
+            } else if hit(i) {
+                T_TRUE
+            } else {
+                T_FALSE
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_select_rows, run_select_rows_rowwise};
+    use crate::plan::{BoundStatement, Planner};
+    use sstore_common::{tuple, Schema};
+    use sstore_storage::TableKind;
+
+    fn setup() -> Catalog {
+        let mut c = Catalog::new();
+        let t = c
+            .create_table(
+                "m",
+                TableKind::Base,
+                Schema::new(vec![
+                    sstore_common::Column::new("k", DataType::Int),
+                    sstore_common::Column::nullable("v", DataType::Int),
+                    sstore_common::Column::nullable("f", DataType::Float),
+                    sstore_common::Column::nullable("s", DataType::Text),
+                    sstore_common::Column::nullable("b", DataType::Bool),
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::Int(1), Value::Int(10), Value::Float(0.5), "a".into(), Value::Bool(true)],
+            vec![Value::Int(2), Value::Null, Value::Null, Value::Null, Value::Null],
+            vec![Value::Int(3), Value::Int(-7), Value::Float(2.5), "b".into(), Value::Bool(false)],
+            vec![Value::Int(4), Value::Int(10), Value::Float(-1.0), "c".into(), Value::Bool(true)],
+            vec![Value::Int(5), Value::Int(0), Value::Float(0.0), "a".into(), Value::Bool(false)],
+        ];
+        for r in rows {
+            t.insert(Tuple::new(r)).unwrap();
+        }
+        c
+    }
+
+    fn both_ways(c: &Catalog, sql: &str) -> (Vec<Tuple>, Vec<Tuple>) {
+        let stmt = Planner::new(c).plan_sql(sql).unwrap();
+        let BoundStatement::Select(s) = &stmt else { panic!("not a select") };
+        assert!(eligible(s), "query should be columnar-eligible: {sql}");
+        let columnar = run_select_columnar(c, s, &[]).unwrap();
+        let rowwise = run_select_rows_rowwise(c, s, &[]).unwrap();
+        (columnar, rowwise)
+    }
+
+    #[test]
+    fn filters_agree_with_row_path() {
+        let c = setup();
+        for sql in [
+            "SELECT k FROM m WHERE v = 10",
+            "SELECT k FROM m WHERE v > 0",
+            "SELECT k FROM m WHERE v <> 10",
+            "SELECT k FROM m WHERE 0 <= v",
+            "SELECT k FROM m WHERE f < 1",
+            "SELECT k FROM m WHERE f >= 0.0",
+            "SELECT k FROM m WHERE s = 'a'",
+            "SELECT k FROM m WHERE s > 'a'",
+            "SELECT k FROM m WHERE b",
+            "SELECT k FROM m WHERE b = true",
+            "SELECT k FROM m WHERE v IS NULL",
+            "SELECT k FROM m WHERE v IS NOT NULL",
+            "SELECT k FROM m WHERE v BETWEEN 0 AND 10",
+            "SELECT k FROM m WHERE v NOT BETWEEN 0 AND 10",
+            "SELECT k FROM m WHERE v > 0 AND f > 0",
+            "SELECT k FROM m WHERE v > 0 OR s = 'c'",
+            "SELECT k FROM m WHERE NOT (v > 0)",
+            "SELECT k FROM m WHERE v IN (0, 10)",
+            "SELECT k FROM m WHERE k % 2 = 1",
+            "SELECT k FROM m WHERE v = f",
+            "SELECT k FROM m WHERE v > 'zebra'",
+            "SELECT k FROM m WHERE s < 5",
+        ] {
+            let (col, row) = both_ways(&c, sql);
+            assert_eq!(col, row, "{sql}");
+        }
+    }
+
+    #[test]
+    fn aggregates_agree_with_row_path() {
+        let c = setup();
+        for sql in [
+            "SELECT COUNT(*) FROM m",
+            "SELECT COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v) FROM m",
+            "SELECT SUM(f), MIN(f), MAX(f) FROM m",
+            "SELECT COUNT(DISTINCT v), MIN(s), MAX(s) FROM m",
+            "SELECT SUM(v) FROM m WHERE k > 3",
+            "SELECT SUM(v + 1) FROM m",
+            "SELECT v, COUNT(*) FROM m GROUP BY v",
+            "SELECT s, SUM(v) FROM m GROUP BY s HAVING COUNT(*) > 1",
+            "SELECT k, v FROM m ORDER BY v DESC, k LIMIT 3",
+            "SELECT COUNT(*) FROM m WHERE v = -99",
+        ] {
+            let (col, row) = both_ways(&c, sql);
+            assert_eq!(col, row, "{sql}");
+        }
+    }
+
+    #[test]
+    fn empty_table_agrees() {
+        let mut c = Catalog::new();
+        c.create_table(
+            "e",
+            TableKind::Base,
+            Schema::of(&[("x", DataType::Int)]),
+        )
+        .unwrap();
+        for sql in
+            ["SELECT x FROM e", "SELECT COUNT(*), SUM(x) FROM e", "SELECT x, COUNT(*) FROM e GROUP BY x"]
+        {
+            let (col, row) = both_ways(&c, sql);
+            assert_eq!(col, row, "{sql}");
+        }
+    }
+
+    #[test]
+    fn errors_match_row_path() {
+        let c = setup();
+        for sql in [
+            "SELECT k FROM m WHERE v",              // non-boolean predicate
+            "SELECT SUM(s) FROM m",                 // SUM over text
+            "SELECT k FROM m WHERE v / 0 > 1",      // division by zero
+        ] {
+            let stmt = Planner::new(&c).plan_sql(sql).unwrap();
+            let BoundStatement::Select(s) = &stmt else { panic!() };
+            assert!(run_select_columnar(&c, s, &[]).is_err(), "{sql}");
+            assert!(run_select_rows_rowwise(&c, s, &[]).is_err(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn error_only_when_rows_exist() {
+        // The row path never evaluates a predicate over an empty scan,
+        // so `1/0` must not error on an empty table — and must on a
+        // non-empty one.
+        let mut c = Catalog::new();
+        c.create_table("e", TableKind::Base, Schema::of(&[("x", DataType::Int)])).unwrap();
+        let stmt = Planner::new(&c).plan_sql("SELECT x FROM e WHERE x > 1 / 0").unwrap();
+        let BoundStatement::Select(s) = &stmt else { panic!() };
+        assert!(run_select_columnar(&c, s, &[]).unwrap().is_empty());
+        c.table_mut("e").unwrap().insert(tuple![1i64]).unwrap();
+        assert!(run_select_columnar(&c, s, &[]).is_err());
+        assert!(run_select_rows_rowwise(&c, s, &[]).is_err());
+    }
+
+    #[test]
+    fn dispatch_and_batch_counter() {
+        let mut c = setup();
+        let stmt = Planner::new(&c).plan_sql("SELECT COUNT(*) FROM m WHERE v > 0").unwrap();
+        let BoundStatement::Select(s) = &stmt else { panic!() };
+        // 5 rows: eligible shape, but below the small-table cutoff.
+        assert!(eligible(s));
+        assert!(!use_columnar(&c, s), "tiny scans must stay row-at-a-time");
+        let _ = batch::take_batch_count();
+        let rows = run_select_rows(&c, s, &[]).unwrap();
+        assert_eq!(rows, vec![tuple![2i64]]);
+        assert_eq!(batch::take_batch_count(), 0);
+        // Past the cutoff the same plan dispatches columnar.
+        let t = c.table_mut("m").unwrap();
+        for i in 0..COLUMNAR_MIN_ROWS as i64 {
+            t.insert(tuple![100 + i, 1i64, 1.0f64, "q", false]).unwrap();
+        }
+        assert!(use_columnar(&c, s));
+        let rows = run_select_rows(&c, s, &[]).unwrap();
+        assert_eq!(rows, vec![tuple![2 + COLUMNAR_MIN_ROWS as i64]]);
+        assert!(batch::take_batch_count() >= 1, "columnar path must note its batches");
+        // Point lookups and joins stay on the row path.
+        let ineligible =
+            Planner::new(&c).plan_sql("SELECT a.k FROM m a JOIN m b ON a.k = b.k").unwrap();
+        let BoundStatement::Select(j) = &ineligible else { panic!() };
+        assert!(!eligible(j));
+    }
+
+    #[test]
+    fn multi_chunk_scan_crosses_batch_boundary() {
+        let mut c = Catalog::new();
+        let t = c
+            .create_table("big", TableKind::Base, Schema::of(&[("x", DataType::Int)]))
+            .unwrap();
+        let n = (BATCH_CAPACITY * 2 + 7) as i64;
+        for i in 0..n {
+            t.insert(tuple![i]).unwrap();
+        }
+        let _ = batch::take_batch_count();
+        let (col, row) = both_ways(&c, "SELECT SUM(x), COUNT(*) FROM big WHERE x % 3 = 0");
+        assert_eq!(col, row);
+        assert_eq!(batch::take_batch_count(), 3, "2*1024+7 rows → 3 batches");
+    }
+}

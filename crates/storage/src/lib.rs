@@ -22,4 +22,4 @@ pub mod table;
 
 pub use catalog::Catalog;
 pub use index::{IndexData, IndexDef, IndexKind};
-pub use table::{Table, TableKind};
+pub use table::{ScanChunks, Table, TableKind};

@@ -411,6 +411,15 @@ impl Table {
         })
     }
 
+    /// Starts a restartable chunked cursor over live rows in row-id
+    /// order — the column-extraction feed for the vectorized read path.
+    /// Each [`ScanChunks::next_chunk`] call appends up to `cap` borrowed
+    /// value slices, so the executor can materialize columnar batches
+    /// without cloning tuples.
+    pub fn scan_chunks(&self) -> ScanChunks<'_> {
+        ScanChunks { table: self, pos: 0 }
+    }
+
     /// Point lookup through an index on `cols` if one exists, otherwise
     /// a filtered scan. Returns live row ids carrying `key` on `cols`.
     pub fn lookup_eq(&self, cols: &[usize], key: &[Value]) -> Vec<RowId> {
@@ -430,6 +439,33 @@ impl Table {
     /// Approximate bytes held by live tuples.
     pub fn approx_bytes(&self) -> usize {
         self.scan().map(|(_, t)| t.approx_size()).sum()
+    }
+}
+
+/// Chunked row-id-ordered cursor over a table's live rows, created by
+/// [`Table::scan_chunks`]. Yields the same rows in the same order as
+/// [`Table::scan_ordered`], `cap` at a time.
+pub struct ScanChunks<'t> {
+    table: &'t Table,
+    /// Next position in the table's order index to examine.
+    pos: usize,
+}
+
+impl<'t> ScanChunks<'t> {
+    /// Appends up to `cap` live row slices to `out`, in row-id order.
+    /// Returns `false` once the scan is exhausted (nothing appended).
+    pub fn next_chunk(&mut self, cap: usize, out: &mut Vec<&'t [Value]>) -> bool {
+        let start = out.len();
+        while out.len() - start < cap && self.pos < self.table.order.len() {
+            let (raw, slot) = self.table.order[self.pos];
+            self.pos += 1;
+            if let Some(row) = &self.table.slots[slot as usize] {
+                if row.id.raw() == raw {
+                    out.push(row.tuple.values());
+                }
+            }
+        }
+        out.len() > start
     }
 }
 
@@ -648,6 +684,31 @@ mod tests {
         let got: Vec<u64> = t.scan_ordered().map(|(id, _)| id.raw()).collect();
         assert_eq!(got, expect);
         assert_eq!(t.len(), expect.len());
+    }
+
+    #[test]
+    fn scan_chunks_matches_scan_ordered() {
+        let mut t = people();
+        let ids: Vec<RowId> = (0..10).map(|i| t.insert(tuple![i as i64, "x"]).unwrap()).collect();
+        t.delete(ids[3]).unwrap();
+        t.delete(ids[7]).unwrap();
+        let expect: Vec<&[Value]> = t.scan_ordered().map(|(_, tu)| tu.values()).collect();
+        let mut cursor = t.scan_chunks();
+        let mut got: Vec<&[Value]> = Vec::new();
+        let mut chunks = 0;
+        while cursor.next_chunk(3, &mut got) {
+            chunks += 1;
+        }
+        assert_eq!(got, expect);
+        assert_eq!(chunks, 3); // 8 live rows in chunks of ≤3
+        // Exhausted cursor stays exhausted.
+        assert!(!cursor.next_chunk(3, &mut got));
+        // Empty table: first call already reports exhaustion.
+        let empty = people();
+        let mut c = empty.scan_chunks();
+        let mut out: Vec<&[Value]> = Vec::new();
+        assert!(!c.next_chunk(4, &mut out));
+        assert!(out.is_empty());
     }
 
     #[test]

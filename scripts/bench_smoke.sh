@@ -72,6 +72,32 @@ if [ "$tps" -lt "$floor" ]; then
 fi
 echo "bench_smoke: OK (ee_chain10_inline = $tps tuples/s)"
 
+echo "== columnar scan smoke (vectorized vs row executor, 50k rows) =="
+cout2=$(cargo run --release -p sstore-bench --bin colscan -- 50000 5 2>/dev/null)
+echo "$cout2"
+cspeed=$(echo "$cout2" | sed -n 's/.*"filter_count": { "rowwise_us": [0-9]*, "columnar_us": [0-9]*, "speedup": \([0-9.]*\).*/\1/p')
+cbatches=$(echo "$cout2" | sed -n 's/.*"engine_columnar_batches": \([0-9]*\).*/\1/p')
+if [ -z "$cspeed" ] || [ -z "$cbatches" ]; then
+    echo "bench_smoke: could not parse colscan output" >&2
+    exit 1
+fi
+# The vectorized path must actually be wired into the engine's ad-hoc
+# read path: a full-scan SELECT that leaves the metric at zero means
+# the dispatch silently un-wired itself.
+if [ "$cbatches" -lt 1 ]; then
+    echo "bench_smoke: engine ad-hoc SELECTs produced no columnar batches" >&2
+    exit 1
+fi
+# Conservative floor vs the ~3.5x checked into BENCH_hotpath.json's
+# columnar section: catches the fast path regressing to (or below) the
+# row executor without flaking on machine variance.
+cfloor="1.2"
+if [ "$(echo "$cspeed $cfloor" | awk '{print ($1 < $2)}')" = "1" ]; then
+    echo "bench_smoke: columnar filter_count speedup ${cspeed}x < floor ${cfloor}x" >&2
+    exit 1
+fi
+echo "bench_smoke: OK (colscan: filter_count ${cspeed}x, $cbatches engine batches)"
+
 echo "== time-window smoke (1.5s: watermark slides under churn) =="
 wout=$(cargo run --release -p sstore-bench --bin timewindow -- 1.5 2>/dev/null)
 echo "$wout"
