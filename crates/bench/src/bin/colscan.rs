@@ -32,6 +32,11 @@ fn build_catalog(rows: usize) -> Catalog {
         Column::nullable("v", DataType::Int),
         Column::nullable("f", DataType::Float),
         Column::nullable("s", DataType::Text),
+        // Group-key columns at three cardinalities, for the hash
+        // group-by cases: 2, ~100, and ~10k distinct groups.
+        Column::new("g2", DataType::Int),
+        Column::new("h", DataType::Int),
+        Column::new("m", DataType::Int),
     ])
     .unwrap();
     let t = c.create_table("t", TableKind::Base, schema).unwrap();
@@ -41,7 +46,17 @@ fn build_catalog(rows: usize) -> Catalog {
         let v = if i % 17 == 0 { Value::Null } else { Value::Int(i * 37 % 1000) };
         let f = if i % 23 == 0 { Value::Null } else { Value::Float((i % 997) as f64 * 0.5) };
         let s = Value::Text(texts[(i % 4) as usize].to_owned());
-        t.insert(Tuple::new(vec![Value::Int(i), Value::Int(i % 8), v, f, s])).unwrap();
+        t.insert(Tuple::new(vec![
+            Value::Int(i),
+            Value::Int(i % 8),
+            v,
+            f,
+            s,
+            Value::Int(i % 2),
+            Value::Int(i * 31 % 100),
+            Value::Int(i * 131 % 10_000),
+        ]))
+        .unwrap();
     }
     c
 }
@@ -52,7 +67,12 @@ const CASES: &[(&str, &str)] = &[
     ("agg_full", "SELECT COUNT(v), SUM(v), MIN(v), MAX(v), MIN(f), MAX(f) FROM t"),
     ("agg_filtered", "SELECT SUM(v), COUNT(*) FROM t WHERE f >= 100.0 AND v IS NOT NULL"),
     ("group_by", "SELECT g, COUNT(*), SUM(v), MAX(f) FROM t GROUP BY g"),
+    ("group_by_2", "SELECT g2, COUNT(*), SUM(v) FROM t GROUP BY g2"),
+    ("group_by_100", "SELECT h, COUNT(*), SUM(v), MIN(v) FROM t GROUP BY h"),
+    ("group_by_10k", "SELECT m, COUNT(*), SUM(v) FROM t GROUP BY m"),
+    ("group_by_expr", "SELECT v % 10, COUNT(*), MAX(k) FROM t GROUP BY v % 10"),
     ("project_expr", "SELECT v + 1 FROM t"),
+    ("topk", "SELECT k, v FROM t ORDER BY v DESC, k LIMIT 10"),
 ];
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -107,6 +127,7 @@ fn main() {
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"cases\": {{");
     let mut min_speedup = f64::INFINITY;
+    let mut group_min_speedup = f64::INFINITY;
     for (i, (name, sql)) in CASES.iter().enumerate() {
         let stmt = Planner::new(&c).plan_sql(sql).unwrap();
         let BoundStatement::Select(s) = &stmt else { panic!("{name} is not a SELECT") };
@@ -126,6 +147,9 @@ fn main() {
         let (rm, cm) = (median(row_us), median(col_us));
         let speedup = rm / cm;
         min_speedup = min_speedup.min(speedup);
+        if name.starts_with("group_by") {
+            group_min_speedup = group_min_speedup.min(speedup);
+        }
         eprintln!("{name:<16} rowwise {rm:>9.0}us  columnar {cm:>9.0}us  speedup {speedup:.2}x");
         let comma = if i + 1 < CASES.len() { "," } else { "" };
         let _ = writeln!(
@@ -135,6 +159,7 @@ fn main() {
     }
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"min_speedup\": {min_speedup:.2},");
+    let _ = writeln!(json, "  \"group_min_speedup\": {group_min_speedup:.2},");
 
     let (batches, queries) = engine_stage();
     eprintln!("engine stage: {batches} columnar batches over {queries} ad-hoc SELECTs");

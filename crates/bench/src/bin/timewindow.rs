@@ -77,6 +77,79 @@ fn make_batch(seq: &mut u64) -> Vec<Tuple> {
     rows
 }
 
+/// Linear Road-shaped grouped stage: same churn, but the slide trigger
+/// runs a `GROUP BY seg` over each ~100-row extent — the shape whose
+/// scan the vectorized hash group-by accelerates.
+fn grouped_app() -> App {
+    let lane_schema =
+        Schema::of(&[("ts", DataType::Int), ("seg", DataType::Int), ("spd", DataType::Int)]);
+    App::builder()
+        .stream_timed("cars", lane_schema.clone(), "ts")
+        .table(
+            "stats_seg",
+            Schema::of(&[
+                ("wts", DataType::Int),
+                ("seg", DataType::Int),
+                ("cnt", DataType::Int),
+                ("total", DataType::Int),
+            ]),
+        )
+        .time_window("lane", "feed", lane_schema, "ts", 1_000, 1_000, 200)
+        .proc("feed", &[("w", "INSERT INTO lane (ts, seg, spd) VALUES (?, ?, ?)")], &[], |ctx| {
+            for r in ctx.input().to_vec() {
+                ctx.sql("w", &[r.get(0).clone(), r.get(1).clone(), r.get(2).clone()])?;
+            }
+            Ok(())
+        })
+        .pe_trigger("cars", "feed")
+        .ee_trigger(
+            "lane",
+            &["INSERT INTO stats_seg (wts, seg, cnt, total) \
+               SELECT MIN(ts), seg, COUNT(*), SUM(spd) FROM lane GROUP BY seg"],
+        )
+        .build()
+        .expect("grouped timewindow bench app is valid")
+}
+
+fn make_seg_batch(seq: &mut u64) -> Vec<Tuple> {
+    let base = *seq as i64 * TS_STEP_MS * 100;
+    *seq += 1;
+    (0..100)
+        .map(|i| {
+            let j = (i * 37) % 100;
+            tuple![base + j * TS_STEP_MS, j % 4, (j * 7) % 50]
+        })
+        .collect()
+}
+
+/// One timed run of the grouped stage with the columnar window path on
+/// or off. Returns (tuples/sec, columnar window batches counted).
+fn run_grouped(secs: f64, rowwise: bool) -> (f64, u64) {
+    sstore_sql::vexec::force_rowwise(rowwise);
+    let config = EngineConfig::default().with_data_dir(bench_dir("timewindow-grouped"));
+    let engine = Engine::start(config, grouped_app()).expect("engine start");
+    let mut seq: u64 = 0;
+    engine.ingest("cars", make_seg_batch(&mut seq)).expect("ingest");
+    engine.drain().expect("drain");
+
+    let deadline = Duration::from_secs_f64(secs);
+    let start = Instant::now();
+    let mut tuples: u64 = 0;
+    while start.elapsed() < deadline {
+        for _ in 0..16 {
+            engine.ingest("cars", make_seg_batch(&mut seq)).expect("ingest");
+            tuples += 100;
+        }
+        engine.drain().expect("drain");
+    }
+    engine.drain().expect("drain");
+    let elapsed = start.elapsed().as_secs_f64();
+    let batches = EngineMetrics::get(&engine.metrics().columnar_window_batches);
+    engine.shutdown();
+    sstore_sql::vexec::force_rowwise(false);
+    (tuples as f64 / elapsed, batches)
+}
+
 fn run(secs: f64) -> (f64, u64, u64) {
     let config = EngineConfig::default().with_data_dir(bench_dir("timewindow"));
     let engine = Engine::start(config, app()).expect("engine start");
@@ -103,15 +176,48 @@ fn run(secs: f64) -> (f64, u64, u64) {
     (tuples as f64 / elapsed, slides, dropped)
 }
 
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
 fn main() {
     let secs: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3.0);
     let (tps, slides, dropped) = run(secs);
+
+    // Grouped stage: interleaved columnar/row-wise pairs so drift hits
+    // both sides equally; medians of 3 short runs each.
+    let reps = 3;
+    let rep_secs = (secs / 3.0).max(0.5);
+    let mut col_tps = Vec::with_capacity(reps);
+    let mut row_tps = Vec::with_capacity(reps);
+    let mut batches = 0;
+    for _ in 0..reps {
+        let (c, b) = run_grouped(rep_secs, false);
+        col_tps.push(c);
+        batches = batches.max(b);
+        let (r, _) = run_grouped(rep_secs, true);
+        row_tps.push(r);
+    }
+    let (cm, rm) = (median(col_tps), median(row_tps));
+    eprintln!(
+        "grouped slide stage: columnar {:.0} t/s  rowwise {:.0} t/s  ({batches} window batches)",
+        cm, rm
+    );
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"timewindow\",");
     let _ = writeln!(json, "  \"secs\": {secs},");
     let _ = writeln!(json, "  \"tuples_per_sec\": {},", tps as u64);
     let _ = writeln!(json, "  \"window_slides\": {slides},");
-    let _ = writeln!(json, "  \"late_dropped\": {dropped}");
+    let _ = writeln!(json, "  \"late_dropped\": {dropped},");
+    let _ = writeln!(json, "  \"grouped_slide\": {{");
+    let _ = writeln!(json, "    \"reps\": {reps},");
+    let _ = writeln!(json, "    \"columnar_tuples_per_sec\": {},", cm as u64);
+    let _ = writeln!(json, "    \"rowwise_tuples_per_sec\": {},", rm as u64);
+    let _ = writeln!(json, "    \"ratio\": {:.2},", cm / rm);
+    let _ = writeln!(json, "    \"windowed_columnar_batches\": {batches}");
+    let _ = writeln!(json, "  }}");
     json.push('}');
     println!("{json}");
 }

@@ -603,15 +603,29 @@ impl ExecutionEngine {
         result
     }
 
-    /// Drains the sql crate's thread-local columnar-batch counter into
-    /// the engine metric. Called after every statement entry point (the
-    /// counter accumulates across the nested trigger cascade, so one
-    /// drain per top-level call collects the whole tree; draining on
-    /// nested calls too just moves the same numbers sooner).
+    /// Drains the sql crate's thread-local read-path counters (batches,
+    /// windowed batches, per-reason fallbacks) into the engine metrics.
+    /// Called after every statement entry point (the counters
+    /// accumulate across the nested trigger cascade, so one drain per
+    /// top-level call collects the whole tree; draining on nested calls
+    /// too just moves the same numbers sooner).
     fn note_columnar_batches(&self) {
-        let n = sstore_sql::batch::take_batch_count();
-        if n != 0 {
-            self.metrics.columnar_batches.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        use std::sync::atomic::Ordering::Relaxed;
+        let c = sstore_sql::batch::take_path_counters();
+        if c.batches != 0 {
+            self.metrics.columnar_batches.fetch_add(c.batches, Relaxed);
+        }
+        if c.window_batches != 0 {
+            self.metrics.columnar_window_batches.fetch_add(c.window_batches, Relaxed);
+        }
+        if c.fallback_small != 0 {
+            self.metrics.columnar_fallback_small.fetch_add(c.fallback_small, Relaxed);
+        }
+        if c.fallback_shape != 0 {
+            self.metrics.columnar_fallback_shape.fetch_add(c.fallback_shape, Relaxed);
+        }
+        if c.fallback_disabled != 0 {
+            self.metrics.columnar_fallback_disabled.fetch_add(c.fallback_disabled, Relaxed);
         }
     }
 

@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use crossbeam_channel::bounded;
 use parking_lot::Mutex;
-use sstore_common::hash::FxBuildHasher;
+use sstore_common::hash::{FxBuildHasher, FxHashMap};
 use sstore_common::{BatchId, Error, Lsn, ProcId, Result, TableId, Tuple, Value};
 use sstore_sql::{BoundStatement, Planner, QueryResult};
 use sstore_storage::Catalog;
@@ -125,6 +125,46 @@ struct PreparedIngest {
     parts: Vec<(usize, Vec<Tuple>)>,
 }
 
+/// Upper bound on cached ad-hoc plans. Eviction is O(capacity) (a
+/// linear least-recently-used scan), which at this size is noise next
+/// to planning even one statement.
+const PLAN_CACHE_CAPACITY: usize = 128;
+
+/// LRU cache of bound ad-hoc statements, keyed by SQL text.
+///
+/// Plans depend only on the catalog's static layout (table/column
+/// declarations), never on data, so a cached plan and a fresh plan are
+/// interchangeable. The epoch guards the day that stops being true for
+/// a given entry: anything that changes the planning catalog must call
+/// [`Engine::invalidate_adhoc_plans`], which bumps the epoch and makes
+/// every cached entry stale at once. (Today the catalog is built once
+/// at [`Engine::start`] and never altered — the epoch is the hook that
+/// keeps the cache correct when runtime DDL arrives.)
+struct PlanCache {
+    /// Current catalog epoch; entries remember the epoch they were
+    /// planned under and only hit when it matches.
+    epoch: std::sync::atomic::AtomicU64,
+    /// Monotonic use stamp for LRU ordering.
+    tick: std::sync::atomic::AtomicU64,
+    entries: Mutex<FxHashMap<String, CachedPlan>>,
+}
+
+struct CachedPlan {
+    epoch: u64,
+    last_used: u64,
+    stmt: Arc<BoundStatement>,
+}
+
+impl PlanCache {
+    fn new() -> Self {
+        PlanCache {
+            epoch: std::sync::atomic::AtomicU64::new(0),
+            tick: std::sync::atomic::AtomicU64::new(0),
+            entries: Mutex::new(FxHashMap::default()),
+        }
+    }
+}
+
 /// A running S-Store node.
 pub struct Engine {
     config: EngineConfig,
@@ -144,6 +184,10 @@ pub struct Engine {
     /// (the catalog is not `Sync`) — planning is the cold path, and
     /// the lock keeps `Engine` shareable across client threads.
     adhoc_catalog: Mutex<Catalog>,
+    /// LRU cache of bound ad-hoc plans keyed by SQL text. Recovery
+    /// replays `LogKind::AdHoc` through [`Engine::plan_adhoc`] too, so
+    /// repeated replayed statements plan once.
+    plan_cache: PlanCache,
     /// Per-stream next-batch counters, indexed by [`TableId`].
     batch_counters: Mutex<Vec<u64>>,
     /// Next checkpoint round gets `last + 1` (see
@@ -241,6 +285,7 @@ impl Engine {
             metrics,
             gates,
             adhoc_catalog,
+            plan_cache: PlanCache::new(),
             batch_counters: Mutex::new(counters),
             checkpoint_epoch: std::sync::atomic::AtomicU64::new(
                 bootstrap.as_ref().map_or(0, |b| b.checkpoint_epoch),
@@ -687,10 +732,61 @@ impl Engine {
 
     /// Plans one ad-hoc statement against the engine-edge catalog
     /// replica (shared layout with every partition's EE, so the bound
-    /// table ids are valid everywhere).
+    /// table ids are valid everywhere). Plans are cached by SQL text
+    /// ([`PlanCache`]); a hit returns the same `Arc<BoundStatement>`
+    /// the prepare path would have produced. Recovery's `LogKind::AdHoc`
+    /// replay comes through here too and benefits identically.
     pub(crate) fn plan_adhoc(&self, sql: &str) -> Result<Arc<BoundStatement>> {
-        let catalog = self.adhoc_catalog.lock();
-        Ok(Arc::new(Planner::new(&catalog).plan_sql(sql)?))
+        use std::sync::atomic::Ordering;
+        let epoch = self.plan_cache.epoch.load(Ordering::Acquire);
+        {
+            let mut entries = self.plan_cache.entries.lock();
+            if let Some(hit) = entries.get_mut(sql) {
+                if hit.epoch == epoch {
+                    hit.last_used = self.plan_cache.tick.fetch_add(1, Ordering::Relaxed);
+                    EngineMetrics::bump(&self.metrics.adhoc_plan_hits);
+                    return Ok(hit.stmt.clone());
+                }
+            }
+        }
+        let stmt = {
+            let catalog = self.adhoc_catalog.lock();
+            Arc::new(Planner::new(&catalog).plan_sql(sql)?)
+        };
+        EngineMetrics::bump(&self.metrics.adhoc_plan_misses);
+        let mut entries = self.plan_cache.entries.lock();
+        if entries.len() >= PLAN_CACHE_CAPACITY {
+            // Evict a stale-epoch entry if any survives, else the least
+            // recently used live one.
+            if let Some(victim) = entries
+                .iter()
+                .min_by_key(|(_, e)| (e.epoch == epoch, e.last_used))
+                .map(|(k, _)| k.clone())
+            {
+                entries.remove(&victim);
+            }
+        }
+        entries.insert(
+            sql.to_owned(),
+            CachedPlan {
+                epoch,
+                last_used: self.plan_cache.tick.fetch_add(1, Ordering::Relaxed),
+                stmt: stmt.clone(),
+            },
+        );
+        Ok(stmt)
+    }
+
+    /// Invalidates every cached ad-hoc plan. Must be called by any
+    /// future operation that changes the catalog the planner binds
+    /// against (runtime DDL, app re-install); until then it exists for
+    /// tests and for that future caller. Concurrent in-flight plans
+    /// that raced the bump land stamped with the old epoch and simply
+    /// miss forever — never served stale.
+    pub fn invalidate_adhoc_plans(&self) {
+        use std::sync::atomic::Ordering;
+        self.plan_cache.epoch.fetch_add(1, Ordering::Release);
+        self.plan_cache.entries.lock().clear();
     }
 
     /// H-Store-mode client driving: runs one interior transaction for a

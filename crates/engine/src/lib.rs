@@ -49,9 +49,14 @@
 //!  │ Execution Engine (EE)                         │
 //!  │  · SQL execution — single-table full-scan     │
 //!  │    SELECTs run vectorized: typed columnar     │
-//!  │    batches + selection bitmaps (sql::vexec),  │
-//!  │    bit-identical to the row path; DML and     │
-//!  │    point lookups stay row-at-a-time           │
+//!  │    batches + selection bitmaps, expression    │
+//!  │    kernels, hash group-by, bounded top-K for  │
+//!  │    ORDER BY + LIMIT (sql::vexec) — window     │
+//!  │    extents included, so slide-trigger GROUP   │
+//!  │    BYs scan columnar; bit-identical to the    │
+//!  │    row path; DML and point lookups stay       │
+//!  │    row-at-a-time. Ad-hoc plans served from an │
+//!  │    epoch-guarded LRU cache keyed by SQL text  │
 //!  │  · streams/windows as tables                  │
 //!  │  · EE triggers, auto-GC                       │
 //!  │  · event-time: per-stream high marks →        │

@@ -238,6 +238,28 @@ pub struct EngineMetrics {
     /// read went row-at-a-time — bench smoke asserts this is non-zero
     /// so the fast path can't silently un-wire itself.
     pub columnar_batches: AtomicU64,
+    /// The subset of [`EngineMetrics::columnar_batches`] scanned from
+    /// Window-kind tables — slide-trigger `SELECT ... GROUP BY` over
+    /// window extents. Bench smoke asserts this is non-zero for the
+    /// windowed-aggregation workload.
+    pub columnar_window_batches: AtomicU64,
+    /// SELECT dispatches that stayed row-wise because the table was
+    /// below the `COLUMNAR_MIN_ROWS` cutoff (expected for trigger
+    /// cascades over ~1-row stream tables).
+    pub columnar_fallback_small: AtomicU64,
+    /// SELECT dispatches that stayed row-wise because the plan shape is
+    /// not vectorized (joins, index point lookups).
+    pub columnar_fallback_shape: AtomicU64,
+    /// SELECT dispatches that stayed row-wise because the
+    /// `SSTORE_NO_COLUMNAR` kill-switch (or its programmatic override)
+    /// is on. Non-zero in production means the fast path is off.
+    pub columnar_fallback_disabled: AtomicU64,
+    /// Ad-hoc plan-cache hits: `query_at`/`prepare` served an already
+    /// bound `Arc<BoundStatement>` for the same SQL text.
+    pub adhoc_plan_hits: AtomicU64,
+    /// Ad-hoc plans actually computed (cache misses, including the
+    /// first sight of each statement and post-invalidation re-plans).
+    pub adhoc_plan_misses: AtomicU64,
     /// Exchange sub-batches whose send has *begun* (bumped before the
     /// channel send). Paired with [`EngineMetrics::exchange_sends`]:
     /// `started == sends` means no send is in flight mid-call, which
@@ -409,6 +431,12 @@ impl EngineMetrics {
         self.pe_trigger_fires.store(0, Ordering::Relaxed);
         self.ee_trigger_fires.store(0, Ordering::Relaxed);
         self.columnar_batches.store(0, Ordering::Relaxed);
+        self.columnar_window_batches.store(0, Ordering::Relaxed);
+        self.columnar_fallback_small.store(0, Ordering::Relaxed);
+        self.columnar_fallback_shape.store(0, Ordering::Relaxed);
+        self.columnar_fallback_disabled.store(0, Ordering::Relaxed);
+        self.adhoc_plan_hits.store(0, Ordering::Relaxed);
+        self.adhoc_plan_misses.store(0, Ordering::Relaxed);
         self.exchange_sends_started.store(0, Ordering::Relaxed);
         self.exchange_sends.store(0, Ordering::Relaxed);
         self.exchange_batches.store(0, Ordering::Relaxed);

@@ -493,6 +493,38 @@ fn adhoc_selects_run_columnar_and_count_batches() {
 }
 
 #[test]
+fn adhoc_plan_cache_hits_and_invalidates() {
+    let engine = Engine::start(
+        EngineConfig::default().with_data_dir(test_dir("adhoc-plancache")),
+        hybrid_app(),
+    )
+    .unwrap();
+    for k in 0..80i64 {
+        engine
+            .query_at(0, "INSERT INTO t (k, v) VALUES (?, ?)", vec![Value::Int(k), Value::Int(k % 3)])
+            .unwrap();
+    }
+    let m = engine.metrics();
+    let sql = "SELECT v, COUNT(*), SUM(k) FROM t GROUP BY v ORDER BY v";
+    let fresh = engine.query_at(0, sql, vec![]).unwrap();
+    let hits = EngineMetrics::get(&m.adhoc_plan_hits);
+    let misses = EngineMetrics::get(&m.adhoc_plan_misses);
+    assert!(misses >= 1, "first use of each SQL text must plan");
+    // Same text again: served from the cache, same answer.
+    let cached = engine.query_at(0, sql, vec![]).unwrap();
+    assert_eq!(EngineMetrics::get(&m.adhoc_plan_hits), hits + 1);
+    assert_eq!(EngineMetrics::get(&m.adhoc_plan_misses), misses);
+    assert_eq!(cached.rows, fresh.rows, "cached plan must answer like a fresh one");
+    // Epoch bump: the entry is stale, the next use replans — and still
+    // answers identically.
+    engine.invalidate_adhoc_plans();
+    let replanned = engine.query_at(0, sql, vec![]).unwrap();
+    assert_eq!(EngineMetrics::get(&m.adhoc_plan_misses), misses + 1);
+    assert_eq!(replanned.rows, fresh.rows);
+    engine.shutdown();
+}
+
+#[test]
 fn query_at_failure_rolls_back_whole_statement() {
     let engine =
         Engine::start(EngineConfig::default().with_data_dir(test_dir("adhoc-undo")), hybrid_app())

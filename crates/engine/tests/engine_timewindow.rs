@@ -288,6 +288,88 @@ fn query_at_sees_whole_extents_never_torn_ones() {
     engine.shutdown();
 }
 
+/// Linear Road-style slide aggregation: a tumbling window big enough
+/// to clear `COLUMNAR_MIN_ROWS`, whose slide trigger runs a
+/// `GROUP BY seg` over the extent into a `seg_stats` table.
+fn lrapp() -> App {
+    let lane = Schema::of(&[("ts", DataType::Int), ("seg", DataType::Int), ("spd", DataType::Int)]);
+    App::builder()
+        .stream_timed("cars", lane.clone(), "ts")
+        .table(
+            "seg_stats",
+            Schema::new(vec![
+                Column::nullable("wid", DataType::Int),
+                Column::nullable("seg", DataType::Int),
+                Column::new("cnt", DataType::Int),
+                Column::nullable("total", DataType::Int),
+            ])
+            .unwrap(),
+        )
+        .time_window("w", "feed", lane, "ts", 100, 100, 0)
+        .proc("feed", &[("ins", "INSERT INTO w (ts, seg, spd) VALUES (?, ?, ?)")], &[], |ctx| {
+            for r in ctx.input().to_vec() {
+                ctx.sql("ins", &[r.get(0).clone(), r.get(1).clone(), r.get(2).clone()])?;
+            }
+            Ok(())
+        })
+        .pe_trigger("cars", "feed")
+        .ee_trigger(
+            "w",
+            &["INSERT INTO seg_stats (wid, seg, cnt, total) \
+               SELECT MIN(ts), seg, COUNT(*), SUM(spd) FROM w GROUP BY seg"],
+        )
+        .build()
+        .unwrap()
+}
+
+/// Drives two 80-row panes (80 ≥ COLUMNAR_MIN_ROWS, so the slide
+/// trigger's scan is columnar-eligible) plus a closer tuple, and
+/// returns the seg_stats rows.
+fn lr_run(rowwise: bool) -> (Vec<sstore_common::Tuple>, u64, u64) {
+    if rowwise {
+        sstore_sql::vexec::force_rowwise(true);
+    }
+    let engine = Engine::start(EngineConfig::default(), lrapp()).unwrap();
+    for pane in 0..2i64 {
+        let batch: Vec<_> = (0..80i64)
+            .map(|i| tuple![pane * 100 + i, i % 4, (i * 7 + pane) % 50])
+            .collect();
+        engine.ingest("cars", batch).unwrap();
+    }
+    engine.ingest("cars", vec![tuple![250i64, 0i64, 1i64]]).unwrap();
+    engine.drain().unwrap();
+    let rows = engine
+        .query(0, "SELECT wid, seg, cnt, total FROM seg_stats ORDER BY wid, seg", vec![])
+        .unwrap()
+        .rows;
+    let m = engine.metrics();
+    let window_batches = EngineMetrics::get(&m.columnar_window_batches);
+    let disabled_fallbacks = EngineMetrics::get(&m.columnar_fallback_disabled);
+    engine.shutdown();
+    if rowwise {
+        sstore_sql::vexec::force_rowwise(false);
+    }
+    (rows, window_batches, disabled_fallbacks)
+}
+
+#[test]
+fn slide_trigger_group_by_identical_columnar_on_and_off() {
+    let (col_rows, col_batches, _) = lr_run(false);
+    let (row_rows, row_batches, row_disabled) = lr_run(true);
+    // Two panes × four segments, each group 20 rows.
+    assert_eq!(col_rows.len(), 8);
+    assert!(col_rows.iter().all(|t| t.get(2).as_int().unwrap() == 20));
+    // Replay determinism: the slide trigger's GROUP BY writes the same
+    // seg_stats rows whether the extent scan was columnar or row-wise.
+    assert_eq!(col_rows, row_rows);
+    // And the instrumentation proves which path ran: the columnar run
+    // scanned window extents in batches, the forced-row-wise run noted
+    // kill-switch fallbacks instead.
+    assert!(col_batches >= 2, "slide scans must go columnar: {col_batches}");
+    assert_eq!(row_batches, 0, "forced row-wise run must not batch");
+    assert!(row_disabled >= 2, "kill-switch fallbacks must be counted: {row_disabled}");
+}
+
 #[test]
 fn checkpointed_time_window_state_survives_and_resumes() {
     let oracle = oracle_state();

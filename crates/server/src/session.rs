@@ -222,6 +222,24 @@ impl Session<'_> {
         for (origin, n) in em.sheds_by_origin() {
             entries.push((format!("engine.shed.{origin}"), n));
         }
+        // Vectorized read path: batches processed (total and over
+        // window extents), per-reason row-wise fallbacks, and the
+        // ad-hoc plan cache — so "the fast path silently un-wired" is
+        // visible to clients, not just to bench_smoke.
+        for (key, counter) in [
+            ("columnar_batches", &em.columnar_batches),
+            ("columnar_window_batches", &em.columnar_window_batches),
+            ("columnar_fallback_small", &em.columnar_fallback_small),
+            ("columnar_fallback_shape", &em.columnar_fallback_shape),
+            ("columnar_fallback_disabled", &em.columnar_fallback_disabled),
+            ("adhoc_plan_hits", &em.adhoc_plan_hits),
+            ("adhoc_plan_misses", &em.adhoc_plan_misses),
+        ] {
+            entries.push((
+                format!("engine.sql.{key}"),
+                sstore_engine::metrics::EngineMetrics::get(counter),
+            ));
+        }
         for p in 0..self.engine.partitions() {
             entries.push((
                 format!("engine.admission.p{p}.available"),

@@ -355,24 +355,107 @@ impl ColumnarBatch {
     }
 }
 
+/// Why one SELECT dispatch bypassed the columnar executor. Counted per
+/// statement execution so "the fast path silently un-wired itself" is
+/// distinguishable from "the workload is genuinely row-wise".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// Eligible shape over a table below `COLUMNAR_MIN_ROWS`.
+    SmallTable,
+    /// Shape the vectorized executor does not handle (joins, index
+    /// point lookups).
+    Shape,
+    /// The `SSTORE_NO_COLUMNAR` kill-switch (or the in-process
+    /// [`crate::vexec::force_rowwise`] override) is on.
+    Disabled,
+}
+
+/// Per-thread counters of the vectorized read path, drained by the
+/// engine after each statement (see [`take_path_counters`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SqlPathCounters {
+    /// Columnar batches materialized.
+    pub batches: u64,
+    /// The subset of `batches` scanned from Window-kind tables
+    /// (slide-trigger aggregation scans).
+    pub window_batches: u64,
+    /// Dispatches that fell back: small table.
+    pub fallback_small: u64,
+    /// Dispatches that fell back: unsupported shape.
+    pub fallback_shape: u64,
+    /// Dispatches that fell back: kill-switch.
+    pub fallback_disabled: u64,
+}
+
 thread_local! {
-    /// Batches materialized by the columnar executor on this thread
+    /// Counters accumulated by the columnar executor on this thread
     /// since last taken. The engine's EE (single-threaded per
     /// partition) drains this after each statement and feeds the
-    /// engine-level `columnar_batches` metric — the SQL crate cannot
+    /// engine-level `columnar_*` metrics — the SQL crate cannot
     /// depend on the engine crate, so the hand-off is a thread-local.
-    static COLUMNAR_BATCHES: Cell<u64> = const { Cell::new(0) };
+    static SQL_PATH: Cell<SqlPathCounters> = const {
+        Cell::new(SqlPathCounters {
+            batches: 0,
+            window_batches: 0,
+            fallback_small: 0,
+            fallback_shape: 0,
+            fallback_disabled: 0,
+        })
+    };
 }
 
 /// Records one materialized batch (called by the columnar executor).
 #[inline]
 pub fn note_batch() {
-    COLUMNAR_BATCHES.with(|c| c.set(c.get() + 1));
+    SQL_PATH.with(|c| {
+        let mut v = c.get();
+        v.batches += 1;
+        c.set(v);
+    });
 }
 
-/// Returns and clears this thread's batch count.
+/// Records one materialized batch over a Window-kind table (in
+/// addition to [`note_batch`], which counts every batch).
+#[inline]
+pub fn note_window_batch() {
+    SQL_PATH.with(|c| {
+        let mut v = c.get();
+        v.window_batches += 1;
+        c.set(v);
+    });
+}
+
+/// Records one row-wise fallback decision with its reason (called by
+/// the columnar dispatch in [`crate::vexec::use_columnar`]).
+#[inline]
+pub fn note_fallback(reason: FallbackReason) {
+    SQL_PATH.with(|c| {
+        let mut v = c.get();
+        match reason {
+            FallbackReason::SmallTable => v.fallback_small += 1,
+            FallbackReason::Shape => v.fallback_shape += 1,
+            FallbackReason::Disabled => v.fallback_disabled += 1,
+        }
+        c.set(v);
+    });
+}
+
+/// Returns and clears this thread's batch count. Leaves the fallback
+/// counters alone — tests that only care about batches keep using
+/// this; the engine drains everything via [`take_path_counters`].
 pub fn take_batch_count() -> u64 {
-    COLUMNAR_BATCHES.with(|c| c.replace(0))
+    SQL_PATH.with(|c| {
+        let mut v = c.get();
+        let n = v.batches;
+        v.batches = 0;
+        c.set(v);
+        n
+    })
+}
+
+/// Returns and clears every counter on this thread.
+pub fn take_path_counters() -> SqlPathCounters {
+    SQL_PATH.with(|c| c.replace(SqlPathCounters::default()))
 }
 
 #[cfg(test)]

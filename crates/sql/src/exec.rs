@@ -467,29 +467,126 @@ pub(crate) fn project_one(s: &BoundSelect, ctx: &EvalCtx<'_>) -> Result<(Vec<Val
     Ok((sort_key, Tuple::new(output)))
 }
 
-/// ORDER BY (stable, so equal keys keep input order) + LIMIT.
-pub(crate) fn sort_and_limit(mut out: Vec<(Vec<Value>, Tuple)>, s: &BoundSelect) -> Vec<Tuple> {
-    if !s.order_by.is_empty() {
-        let dirs: Vec<SortOrder> = s.order_by.iter().map(|(_, d)| *d).collect();
-        out.sort_by(|(a, _), (b, _)| {
-            for ((va, vb), dir) in a.iter().zip(b).zip(&dirs) {
-                let ord = va.cmp_total(vb);
-                let ord = match dir {
-                    SortOrder::Asc => ord,
-                    SortOrder::Desc => ord.reverse(),
-                };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
+/// ORDER BY (stable, so equal keys keep input order) + LIMIT. With both
+/// an ORDER BY and a LIMIT smaller than the input, a bounded heap
+/// ([`top_k`]) replaces the full sort; the two produce identical rows.
+pub(crate) fn sort_and_limit(out: Vec<(Vec<Value>, Tuple)>, s: &BoundSelect) -> Vec<Tuple> {
+    if s.order_by.is_empty() {
+        let mut rows_out: Vec<Tuple> = out.into_iter().map(|(_, t)| t).collect();
+        if let Some(limit) = s.limit {
+            rows_out.truncate(limit as usize);
+        }
+        return rows_out;
     }
+    let dirs: Vec<SortOrder> = s.order_by.iter().map(|(_, d)| *d).collect();
+    match s.limit {
+        Some(k) if (k as usize) < out.len() => top_k(out, &dirs, k as usize),
+        _ => full_sort(out, &dirs, s.limit),
+    }
+}
+
+/// One ORDER BY key comparison under the per-key sort directions
+/// ([`Value::cmp_total`], so NULLs and NaNs are totally ordered).
+fn key_cmp(a: &[Value], b: &[Value], dirs: &[SortOrder]) -> std::cmp::Ordering {
+    for ((va, vb), dir) in a.iter().zip(b).zip(dirs) {
+        let ord = va.cmp_total(vb);
+        let ord = match dir {
+            SortOrder::Asc => ord,
+            SortOrder::Desc => ord.reverse(),
+        };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+fn full_sort(mut out: Vec<(Vec<Value>, Tuple)>, dirs: &[SortOrder], limit: Option<u64>) -> Vec<Tuple> {
+    out.sort_by(|(a, _), (b, _)| key_cmp(a, b, dirs));
     let mut rows_out: Vec<Tuple> = out.into_iter().map(|(_, t)| t).collect();
-    if let Some(limit) = s.limit {
+    if let Some(limit) = limit {
         rows_out.truncate(limit as usize);
     }
     rows_out
+}
+
+/// ORDER BY + LIMIT k with a bounded max-heap: keeps the k smallest
+/// entries under (sort key, input position), O(n log k) instead of
+/// O(n log n) and never holding more than k+1 entries' worth of heap.
+///
+/// Output-identical to the stable full sort + truncate: stable sort's
+/// order *is* the total order (key, then input position), so the first
+/// k rows of the stable sort are exactly the k smallest entries of that
+/// total order, emitted ascending.
+fn top_k(out: Vec<(Vec<Value>, Tuple)>, dirs: &[SortOrder], k: usize) -> Vec<Tuple> {
+    let mut tk = TopK::new(dirs, k);
+    for (key, tuple) in out {
+        tk.push_with(key, move || tuple);
+    }
+    tk.finish()
+}
+
+struct Entry<'d> {
+    key: Vec<Value>,
+    seq: usize,
+    tuple: Tuple,
+    dirs: &'d [SortOrder],
+}
+impl Ord for Entry<'_> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        key_cmp(&self.key, &other.key, self.dirs).then(self.seq.cmp(&other.seq))
+    }
+}
+impl PartialOrd for Entry<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl PartialEq for Entry<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Entry<'_> {}
+
+/// Streaming form of [`top_k`], usable mid-scan: the caller offers each
+/// row's sort key and a closure that builds its output tuple, and the
+/// closure only runs when the row actually enters the current top K —
+/// rows that don't qualify never materialize their output. The sequence
+/// counter advances on every offer, so ties resolve exactly as the
+/// stable full sort would.
+pub(crate) struct TopK<'d> {
+    dirs: &'d [SortOrder],
+    k: usize,
+    seq: usize,
+    heap: std::collections::BinaryHeap<Entry<'d>>,
+}
+
+impl<'d> TopK<'d> {
+    pub(crate) fn new(dirs: &'d [SortOrder], k: usize) -> Self {
+        TopK { dirs, k, seq: 0, heap: std::collections::BinaryHeap::new() }
+    }
+
+    pub(crate) fn push_with(&mut self, key: Vec<Value>, tuple: impl FnOnce() -> Tuple) {
+        let seq = self.seq;
+        self.seq += 1;
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() == self.k {
+            // Max-heap: the root is the current worst of the best k.
+            let worst = self.heap.peek().expect("non-empty heap");
+            if key_cmp(&key, &worst.key, self.dirs).then(seq.cmp(&worst.seq)).is_ge() {
+                return;
+            }
+            self.heap.pop();
+        }
+        self.heap.push(Entry { key, seq, tuple: tuple(), dirs: self.dirs });
+    }
+
+    pub(crate) fn finish(self) -> Vec<Tuple> {
+        self.heap.into_sorted_vec().into_iter().map(|e| e.tuple).collect()
+    }
 }
 
 /// Streaming aggregate accumulator. Fields are crate-visible so the

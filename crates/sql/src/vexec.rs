@@ -27,24 +27,50 @@
 //!   [`BoundExpr::eval`] over the borrowed row, which *is* the row
 //!   path's evaluator.
 //!
+//! Beyond predicates and scalar aggregates (phase 1), the same
+//! active-set discipline powers phase 2:
+//!
+//! * **expression kernels** ([`EKernel`]): projection, sort-key, group
+//!   key, and aggregate-argument expressions compile into per-batch
+//!   column kernels — typed Int/Float arithmetic loops with the row
+//!   path's checked-overflow and division-error behavior, row-wise
+//!   fallback for everything else;
+//! * **hash group-by** ([`HashGroups`]): group keys are interned into
+//!   dense accumulator slots through a hash map during the scan (in
+//!   ascending row order, preserving float accumulation order), then
+//!   poured into the row path's ordered [`Groups`] maps at the output
+//!   edge, so HAVING, projection, and emission order are byte-for-byte
+//!   the row path's ([`Value`]'s `Hash` is consistent with its
+//!   `cmp_total`-based `Eq`, so the hash map merges exactly the keys the
+//!   BTreeMap would);
+//! * **top-K** lives in [`crate::exec::sort_and_limit`] (shared with the
+//!   row path): ORDER BY + LIMIT k keeps a bounded heap instead of
+//!   sorting everything.
+//!
 //! The one intentional divergence: when several subexpressions would
 //! each raise a runtime error, batch-at-a-time evaluation may surface a
 //! different one of them than row-at-a-time order would (both executors
 //! still fail the statement, and a failed SELECT has no effects to
 //! undo).
 //!
-//! `SSTORE_NO_COLUMNAR=1` (read once per process) disables dispatch so
-//! benchmarks can interleave before/after runs in one binary.
+//! `SSTORE_NO_COLUMNAR=1` (read once per process) disables dispatch;
+//! [`force_rowwise`] does the same programmatically so benchmarks and
+//! tests can interleave before/after runs in one process. Fallback
+//! decisions are counted per reason (see [`batch::FallbackReason`]) so
+//! the engine can tell "fast path un-wired" from "workload is
+//! row-wise".
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
+use sstore_common::hash::FxHashMap;
 use sstore_common::{DataType, Error, Result, Tuple, Value};
-use sstore_storage::Catalog;
+use sstore_storage::{Catalog, TableKind};
 
-use crate::ast::{AggFunc, BinOp};
-use crate::batch::{self, Col, ColumnarBatch, SelVec, BATCH_CAPACITY};
-use crate::exec::{finish_groups, project_one, sort_and_limit, AggAcc, Groups};
-use crate::expr::{value_to_truth, BoundExpr, EvalCtx};
+use crate::ast::{AggFunc, BinOp, SortOrder};
+use crate::batch::{self, Col, ColumnarBatch, FallbackReason, NullMask, SelVec, BATCH_CAPACITY};
+use crate::exec::{finish_groups, sort_and_limit, AggAcc, Groups, TopK};
+use crate::expr::{value_to_truth, AggSpec, BoundExpr, EvalCtx};
 use crate::plan::{Access, BoundSelect};
 
 /// SQL truth values in vector form.
@@ -52,12 +78,26 @@ const T_FALSE: u8 = 0;
 const T_TRUE: u8 = 1;
 const T_NULL: u8 = 2;
 
+/// Process-wide programmatic kill-switch, OR'd with the env var.
+static FORCE_ROWWISE: AtomicBool = AtomicBool::new(false);
+
 /// True when the columnar path is disabled via `SSTORE_NO_COLUMNAR`
-/// (any non-empty value except `0`). Read once per process.
+/// (any non-empty value except `0`; read once per process) or via
+/// [`force_rowwise`].
 pub fn disabled() -> bool {
     static DISABLED: OnceLock<bool> = OnceLock::new();
     *DISABLED
         .get_or_init(|| std::env::var("SSTORE_NO_COLUMNAR").is_ok_and(|v| !v.is_empty() && v != "0"))
+        || FORCE_ROWWISE.load(Ordering::Relaxed)
+}
+
+/// Turns the row-wise kill-switch on or off for this process. The env
+/// var is read once per process, so in-process A/B runs (benchmarks,
+/// the columnar-on/off differential tests) flip this instead. Either
+/// choice yields bit-identical results; only the instruction path
+/// differs.
+pub fn force_rowwise(on: bool) {
+    FORCE_ROWWISE.store(on, Ordering::SeqCst);
 }
 
 /// Minimum live row count before a scan goes columnar. Below this,
@@ -80,13 +120,27 @@ pub fn eligible(s: &BoundSelect) -> bool {
 /// Dispatch decision for [`crate::exec::run_select_rows`]: an eligible
 /// plan over a table big enough to amortize batch setup. Table size is
 /// engine state, so replayed transactions make the same choice — and
-/// either choice yields bit-identical results anyway.
+/// either choice yields bit-identical results anyway. Fallbacks note
+/// their reason (one per dispatch) for the engine's observability
+/// counters.
 pub fn use_columnar(catalog: &Catalog, s: &BoundSelect) -> bool {
-    eligible(s) && !disabled() && catalog.get(s.from.table).len() >= COLUMNAR_MIN_ROWS
+    if !eligible(s) {
+        batch::note_fallback(FallbackReason::Shape);
+        return false;
+    }
+    if disabled() {
+        batch::note_fallback(FallbackReason::Disabled);
+        return false;
+    }
+    if catalog.get(s.from.table).len() < COLUMNAR_MIN_ROWS {
+        batch::note_fallback(FallbackReason::SmallTable);
+        return false;
+    }
+    true
 }
 
 /// Per-aggregate execution strategy, classified once per statement.
-enum FastAgg {
+enum FastAgg<'s> {
     /// `COUNT(*)`: selected-row count, no column touched.
     CountStar,
     /// `COUNT(col)`, non-distinct: non-null count off the null bitmap.
@@ -94,11 +148,14 @@ enum FastAgg {
     /// SUM/AVG/MIN/MAX over a bare Int/Float column, non-distinct:
     /// typed accumulation loops.
     NumCol(usize),
-    /// Everything else: per-selected-row [`AggAcc::feed`].
-    Generic,
+    /// Everything else: the argument runs through an expression kernel,
+    /// then per-selected-row [`AggAcc::feed_value`] (which also handles
+    /// DISTINCT) — the same eval → NULL-skip → feed sequence as the row
+    /// path's [`AggAcc::feed`].
+    Generic(EKernel<'s>),
 }
 
-fn classify_agg(spec: &crate::expr::AggSpec, dtypes: &[DataType]) -> FastAgg {
+fn classify_agg<'s>(spec: &'s AggSpec, dtypes: &[DataType]) -> FastAgg<'s> {
     match &spec.arg {
         None => FastAgg::CountStar,
         Some(BoundExpr::Column(c)) if !spec.distinct && *c < dtypes.len() => match spec.func {
@@ -108,9 +165,9 @@ fn classify_agg(spec: &crate::expr::AggSpec, dtypes: &[DataType]) -> FastAgg {
             {
                 FastAgg::NumCol(*c)
             }
-            _ => FastAgg::Generic,
+            _ => FastAgg::Generic(compile_expr(spec.arg.as_ref().unwrap(), dtypes)),
         },
-        _ => FastAgg::Generic,
+        Some(arg) => FastAgg::Generic(compile_expr(arg, dtypes)),
     }
 }
 
@@ -121,36 +178,79 @@ pub fn run_select_columnar(
     params: &[Value],
 ) -> Result<Vec<Tuple>> {
     let table = catalog.get(s.from.table);
+    let windowed = table.kind() == TableKind::Window;
     let dtypes: Vec<DataType> = table.schema().columns().iter().map(|c| c.dtype).collect();
 
     let pred = s.where_pred.as_ref().map(|p| compile_pred(p, &dtypes));
 
     // Aggregate strategies; implicit aggregation (no GROUP BY) gets the
-    // typed accumulators, grouped queries key per row and feed the same
-    // accumulators the row path uses.
+    // typed accumulators, grouped queries hash-intern keys per batch and
+    // feed the same accumulators the row path uses.
     let implicit = s.grouped && s.group_by.is_empty();
+    let grouped = s.grouped && !implicit;
     let fast_aggs: Vec<FastAgg> = if implicit {
         s.aggs.iter().map(|a| classify_agg(a, &dtypes)).collect()
     } else {
         Vec::new()
     };
 
-    // Columns to materialize: predicate fast paths + typed aggregates.
+    // Grouped queries: kernels for the group keys and aggregate
+    // arguments (`None` = COUNT(*)). Non-aggregate queries: kernels for
+    // the projections and sort keys. (A grouped query's projections and
+    // ORDER BY are bound against the group-key row + aggregate results,
+    // not table columns, so they must NOT be compiled here — they run in
+    // `finish_groups` exactly as on the row path.)
+    let key_kernels: Vec<EKernel> =
+        if grouped { s.group_by.iter().map(|e| compile_expr(e, &dtypes)).collect() } else { Vec::new() };
+    let agg_kernels: Vec<Option<EKernel>> = if grouped {
+        s.aggs.iter().map(|a| a.arg.as_ref().map(|e| compile_expr(e, &dtypes))).collect()
+    } else {
+        Vec::new()
+    };
+    let proj_kernels: Vec<EKernel> =
+        if !s.grouped { s.projections.iter().map(|e| compile_expr(e, &dtypes)).collect() } else { Vec::new() };
+    let sort_kernels: Vec<EKernel> = if !s.grouped {
+        s.order_by.iter().map(|(e, _)| compile_expr(e, &dtypes)).collect()
+    } else {
+        Vec::new()
+    };
+
+    // Columns to materialize: predicate fast paths, typed aggregates,
+    // and every column an expression kernel reads.
     let mut wanted: Vec<usize> = Vec::new();
     if let Some(p) = &pred {
         collect_cols(p, &mut wanted);
     }
     for fa in &fast_aggs {
-        if let FastAgg::CountCol(c) | FastAgg::NumCol(c) = fa {
-            wanted.push(*c);
+        match fa {
+            FastAgg::CountCol(c) | FastAgg::NumCol(c) => wanted.push(*c),
+            FastAgg::Generic(k) => collect_expr_cols(k, &mut wanted),
+            FastAgg::CountStar => {}
         }
+    }
+    for k in key_kernels
+        .iter()
+        .chain(agg_kernels.iter().flatten())
+        .chain(&proj_kernels)
+        .chain(&sort_kernels)
+    {
+        collect_expr_cols(k, &mut wanted);
     }
     wanted.sort_unstable();
     wanted.dedup();
 
     let mut out: Vec<(Vec<Value>, Tuple)> = Vec::new();
     let mut accs: Vec<AggAcc> = if implicit { s.aggs.iter().map(AggAcc::new).collect() } else { Vec::new() };
-    let mut groups = if s.grouped && !implicit { Some(Groups::new(&s.group_by)) } else { None };
+    let mut hash_groups = if grouped { Some(HashGroups::new()) } else { None };
+    // ORDER BY + LIMIT without grouping: feed a bounded heap during the
+    // scan so rows outside the current top K never build their output
+    // tuple. Identical rows to sort_and_limit (same heap, same
+    // tie-stability sequence).
+    let dirs: Vec<SortOrder> = s.order_by.iter().map(|(_, d)| *d).collect();
+    let mut topk = match s.limit {
+        Some(k) if !s.grouped && !s.order_by.is_empty() => Some(TopK::new(&dirs, k as usize)),
+        _ => None,
+    };
 
     let mut cursor = table.scan_chunks();
     let mut rows: Vec<&[Value]> = Vec::with_capacity(BATCH_CAPACITY);
@@ -160,6 +260,9 @@ pub fn run_select_columnar(
             break;
         }
         batch::note_batch();
+        if windowed {
+            batch::note_window_batch();
+        }
         let b = ColumnarBatch::from_rows(&rows, &wanted, &dtypes)?;
 
         // WHERE → selection bitmap.
@@ -193,33 +296,66 @@ pub fn run_select_columnar(
                         let col = b.col(*c).expect("agg column materialized");
                         accumulate_num(acc, spec.func, col, &sel)?;
                     }
-                    FastAgg::Generic => {
-                        for i in sel.iter_ones() {
-                            let ctx = EvalCtx { row: rows[i], params, aggs: &[] };
-                            acc.feed(spec, &ctx)?;
+                    FastAgg::Generic(k) => {
+                        if sel.any() {
+                            let arg = eval_kernel(k, &b, &rows, params, &sel)?;
+                            for i in sel.iter_ones() {
+                                let v = arg.value_at(i);
+                                if !v.is_null() {
+                                    acc.feed_value(spec, v)?;
+                                }
+                            }
                         }
                     }
                 }
             }
-        } else if let Some(g) = &mut groups {
-            for i in sel.iter_ones() {
-                let ctx = EvalCtx { row: rows[i], params, aggs: &[] };
-                g.feed_row(s, &ctx)?;
+        } else if let Some(g) = &mut hash_groups {
+            if sel.any() {
+                let kouts: Vec<VOut> = key_kernels
+                    .iter()
+                    .map(|k| eval_kernel(k, &b, &rows, params, &sel))
+                    .collect::<Result<_>>()?;
+                let aouts: Vec<Option<VOut>> = agg_kernels
+                    .iter()
+                    .map(|ok| ok.as_ref().map(|k| eval_kernel(k, &b, &rows, params, &sel)).transpose())
+                    .collect::<Result<_>>()?;
+                g.feed_batch(&s.aggs, &kouts, &aouts, &sel)?;
             }
-        } else {
-            for i in sel.iter_ones() {
-                let ctx = EvalCtx { row: rows[i], params, aggs: &[] };
-                out.push(project_one(s, &ctx)?);
+        } else if sel.any() {
+            let pouts: Vec<VOut> = proj_kernels
+                .iter()
+                .map(|k| eval_kernel(k, &b, &rows, params, &sel))
+                .collect::<Result<_>>()?;
+            let souts: Vec<VOut> = sort_kernels
+                .iter()
+                .map(|k| eval_kernel(k, &b, &rows, params, &sel))
+                .collect::<Result<_>>()?;
+            if let Some(tk) = &mut topk {
+                for i in sel.iter_ones() {
+                    let sort_key: Vec<Value> = souts.iter().map(|o| o.value_at(i)).collect();
+                    tk.push_with(sort_key, || {
+                        Tuple::new(pouts.iter().map(|o| o.value_at(i)).collect::<Vec<_>>())
+                    });
+                }
+            } else {
+                for i in sel.iter_ones() {
+                    let sort_key: Vec<Value> = souts.iter().map(|o| o.value_at(i)).collect();
+                    let tuple = Tuple::new(pouts.iter().map(|o| o.value_at(i)).collect::<Vec<_>>());
+                    out.push((sort_key, tuple));
+                }
             }
         }
     }
 
+    if let Some(tk) = topk {
+        return Ok(tk.finish());
+    }
     if implicit {
         let mut m = std::collections::BTreeMap::new();
         m.insert(Vec::new(), accs);
         finish_groups(Groups::Multi(m), s, params, &mut out)?;
-    } else if let Some(g) = groups {
-        finish_groups(g, s, params, &mut out)?;
+    } else if let Some(g) = hash_groups {
+        finish_groups(g.into_groups(s.group_by.len()), s, params, &mut out)?;
     }
     Ok(sort_and_limit(out, s))
 }
@@ -332,6 +468,680 @@ fn accumulate_num(acc: &mut AggAcc, func: AggFunc, col: &Col, sel: &SelVec) -> R
             AggFunc::Count => unreachable!("COUNT(col) classified as CountCol"),
         },
         _ => unreachable!("NumCol only classified for Int/Float columns"),
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Expression kernels
+// ----------------------------------------------------------------------
+
+/// A scalar expression compiled for batch evaluation (projections, sort
+/// keys, group keys, aggregate arguments). Fast nodes run typed loops
+/// over materialized columns; `RowWise` falls back to the row path's
+/// evaluator per active row, which is also the safety net for any
+/// operand that turns out non-numeric at runtime — so coercion errors
+/// are produced by the very code the row path runs.
+enum EKernel<'s> {
+    /// Bare column reference served straight from the batch (no copy).
+    Col(usize),
+    /// Row-independent subtree: evaluated once per batch — and only
+    /// when some row is active, exactly the rows the row path would
+    /// evaluate it for — then broadcast.
+    Const(&'s BoundExpr),
+    /// `+ - * / %` over two kernels with typed Int/Float loops carrying
+    /// the row path's checked-overflow and division-error behavior.
+    /// `expr` is the original subtree for the row-wise fallback.
+    Arith { op: BinOp, lhs: Box<EKernel<'s>>, rhs: Box<EKernel<'s>>, expr: &'s BoundExpr },
+    /// Unary minus / ABS with typed loops, same fallback rule.
+    Unary { abs: bool, inner: Box<EKernel<'s>>, expr: &'s BoundExpr },
+    /// Fallback: per-row evaluation of the original expression.
+    RowWise(&'s BoundExpr),
+}
+
+fn is_arith(op: BinOp) -> bool {
+    matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
+}
+
+fn compile_expr<'s>(e: &'s BoundExpr, dtypes: &[DataType]) -> EKernel<'s> {
+    if e.is_row_independent() {
+        return EKernel::Const(e);
+    }
+    match e {
+        BoundExpr::Column(c) if *c < dtypes.len() => EKernel::Col(*c),
+        BoundExpr::Binary { op, lhs, rhs } if is_arith(*op) => EKernel::Arith {
+            op: *op,
+            lhs: Box::new(compile_expr(lhs, dtypes)),
+            rhs: Box::new(compile_expr(rhs, dtypes)),
+            expr: e,
+        },
+        BoundExpr::Neg(inner) => {
+            EKernel::Unary { abs: false, inner: Box::new(compile_expr(inner, dtypes)), expr: e }
+        }
+        BoundExpr::Abs(inner) => {
+            EKernel::Unary { abs: true, inner: Box::new(compile_expr(inner, dtypes)), expr: e }
+        }
+        _ => EKernel::RowWise(e),
+    }
+}
+
+fn collect_expr_cols(k: &EKernel<'_>, out: &mut Vec<usize>) {
+    match k {
+        EKernel::Col(c) => out.push(*c),
+        EKernel::Arith { lhs, rhs, .. } => {
+            collect_expr_cols(lhs, out);
+            collect_expr_cols(rhs, out);
+        }
+        EKernel::Unary { inner, .. } => collect_expr_cols(inner, out),
+        EKernel::Const(_) | EKernel::RowWise(_) => {}
+    }
+}
+
+/// One expression's values for a batch. Entries are meaningful only at
+/// active row positions; everything else is a don't-care (typed
+/// variants pre-allocate full-length vectors so indexing stays direct).
+enum VOut<'a> {
+    Ints(Vec<i64>, NullMask),
+    Floats(Vec<f64>, NullMask),
+    /// A borrowed batch column (bare column reference, zero copies).
+    Borrowed(&'a Col),
+    /// A row-independent result, broadcast to every active row.
+    Scalar(Value),
+    /// Generic per-row values from the row-wise fallback.
+    Vals(Vec<Value>),
+}
+
+impl VOut<'_> {
+    fn value_at(&self, i: usize) -> Value {
+        match self {
+            VOut::Ints(v, n) => {
+                if n.get(i) {
+                    Value::Null
+                } else {
+                    Value::Int(v[i])
+                }
+            }
+            VOut::Floats(v, n) => {
+                if n.get(i) {
+                    Value::Null
+                } else {
+                    Value::Float(v[i])
+                }
+            }
+            VOut::Borrowed(c) => c.value(i),
+            VOut::Scalar(v) => v.clone(),
+            VOut::Vals(v) => v[i].clone(),
+        }
+    }
+}
+
+/// A numeric per-row view over a [`VOut`] operand, or `None` when the
+/// operand is not statically numeric (then the arithmetic kernel falls
+/// back to row-wise evaluation of the original expression, reproducing
+/// the row path's coercion errors).
+#[derive(Clone, Copy)]
+enum NumSide<'v> {
+    Int { values: &'v [i64], nulls: &'v NullMask },
+    Float { values: &'v [f64], nulls: &'v NullMask },
+    ConstInt(i64),
+    ConstFloat(f64),
+    ConstNull,
+}
+
+fn num_side<'v>(out: &'v VOut<'_>) -> Option<NumSide<'v>> {
+    match out {
+        VOut::Ints(v, n) => Some(NumSide::Int { values: v, nulls: n }),
+        VOut::Floats(v, n) => Some(NumSide::Float { values: v, nulls: n }),
+        VOut::Borrowed(Col::I64(c)) => Some(NumSide::Int { values: &c.values, nulls: &c.nulls }),
+        VOut::Borrowed(Col::F64(c)) => Some(NumSide::Float { values: &c.values, nulls: &c.nulls }),
+        VOut::Scalar(Value::Int(x)) => Some(NumSide::ConstInt(*x)),
+        VOut::Scalar(Value::Float(x)) => Some(NumSide::ConstFloat(*x)),
+        VOut::Scalar(Value::Null) => Some(NumSide::ConstNull),
+        _ => None,
+    }
+}
+
+impl NumSide<'_> {
+    fn is_int(&self) -> bool {
+        matches!(self, NumSide::Int { .. } | NumSide::ConstInt(_))
+    }
+
+    /// `None` = NULL at row `i`. Only called on Int-kind sides.
+    #[inline]
+    fn int_at(&self, i: usize) -> Option<i64> {
+        match self {
+            NumSide::Int { values, nulls } => (!nulls.get(i)).then(|| values[i]),
+            NumSide::ConstInt(x) => Some(*x),
+            _ => unreachable!("int_at on non-Int side"),
+        }
+    }
+
+    /// `None` = NULL at row `i`; Ints coerce like the row path's
+    /// `as_float`.
+    #[inline]
+    fn f64_at(&self, i: usize) -> Option<f64> {
+        match self {
+            NumSide::Int { values, nulls } => (!nulls.get(i)).then(|| values[i] as f64),
+            NumSide::Float { values, nulls } => (!nulls.get(i)).then(|| values[i]),
+            NumSide::ConstInt(x) => Some(*x as f64),
+            NumSide::ConstFloat(x) => Some(*x),
+            NumSide::ConstNull => None,
+        }
+    }
+}
+
+/// Evaluates a kernel for every active row. NULL handling mirrors the
+/// row path's `arith` exactly: operands are fully evaluated first (so
+/// operand errors always surface), then a NULL on either side yields
+/// NULL with *no* overflow/division check — `NULL / 0` is NULL, not an
+/// error.
+fn eval_kernel<'a>(
+    k: &EKernel<'_>,
+    b: &'a ColumnarBatch,
+    rows: &[&[Value]],
+    params: &[Value],
+    active: &SelVec,
+) -> Result<VOut<'a>> {
+    match k {
+        EKernel::Col(c) => Ok(VOut::Borrowed(b.col(*c).expect("kernel column materialized"))),
+        EKernel::Const(e) => {
+            if !active.any() {
+                return Ok(VOut::Scalar(Value::Null)); // never read
+            }
+            let ctx = EvalCtx { row: &[], params, aggs: &[] };
+            Ok(VOut::Scalar(e.eval(&ctx)?))
+        }
+        EKernel::Arith { op, lhs, rhs, expr } => {
+            if !active.any() {
+                return Ok(VOut::Scalar(Value::Null));
+            }
+            let l = eval_kernel(lhs, b, rows, params, active)?;
+            let r = eval_kernel(rhs, b, rows, params, active)?;
+            match (num_side(&l), num_side(&r)) {
+                // A constant NULL operand nulls every row — but only
+                // after both operands evaluated (above), and only when
+                // the other side is numeric: a Text column would make
+                // the row path error per non-null row, handled by the
+                // fallback arm.
+                (Some(NumSide::ConstNull), Some(_)) | (Some(_), Some(NumSide::ConstNull)) => {
+                    Ok(VOut::Scalar(Value::Null))
+                }
+                (Some(ls), Some(rs)) => {
+                    if ls.is_int() && rs.is_int() {
+                        arith_int(*op, &ls, &rs, active, rows.len())
+                    } else {
+                        arith_float(*op, &ls, &rs, active, rows.len())
+                    }
+                }
+                _ => eval_rowwise(expr, rows, params, active),
+            }
+        }
+        EKernel::Unary { abs, inner, expr } => {
+            if !active.any() {
+                return Ok(VOut::Scalar(Value::Null));
+            }
+            let v = eval_kernel(inner, b, rows, params, active)?;
+            match num_side(&v) {
+                Some(NumSide::ConstNull) => Ok(VOut::Scalar(Value::Null)),
+                Some(side) if side.is_int() => {
+                    let mut values = vec![0i64; rows.len()];
+                    let mut nulls = NullMask::new(rows.len());
+                    for i in active.iter_ones() {
+                        match side.int_at(i) {
+                            Some(a) => {
+                                values[i] = if *abs {
+                                    a.checked_abs().ok_or_else(|| {
+                                        Error::Eval("integer overflow in ABS".into())
+                                    })?
+                                } else {
+                                    a.checked_neg().ok_or_else(|| {
+                                        Error::Eval("integer overflow in negation".into())
+                                    })?
+                                };
+                            }
+                            None => nulls.set(i),
+                        }
+                    }
+                    Ok(VOut::Ints(values, nulls))
+                }
+                Some(side) => {
+                    let mut values = vec![0f64; rows.len()];
+                    let mut nulls = NullMask::new(rows.len());
+                    for i in active.iter_ones() {
+                        match side.f64_at(i) {
+                            Some(a) => values[i] = if *abs { a.abs() } else { -a },
+                            None => nulls.set(i),
+                        }
+                    }
+                    Ok(VOut::Floats(values, nulls))
+                }
+                None => eval_rowwise(expr, rows, params, active),
+            }
+        }
+        EKernel::RowWise(e) => eval_rowwise(e, rows, params, active),
+    }
+}
+
+fn eval_rowwise<'a>(
+    e: &BoundExpr,
+    rows: &[&[Value]],
+    params: &[Value],
+    active: &SelVec,
+) -> Result<VOut<'a>> {
+    let mut vals = vec![Value::Null; rows.len()];
+    for i in active.iter_ones() {
+        let ctx = EvalCtx { row: rows[i], params, aggs: &[] };
+        vals[i] = e.eval(&ctx)?;
+    }
+    Ok(VOut::Vals(vals))
+}
+
+/// Int ⊕ Int with the row path's checked semantics: NULL on either side
+/// propagates *before* any division/overflow check; division or modulo
+/// by zero and overflow are errors at the first offending row in scan
+/// order.
+fn arith_int<'a>(
+    op: BinOp,
+    l: &NumSide<'_>,
+    r: &NumSide<'_>,
+    active: &SelVec,
+    len: usize,
+) -> Result<VOut<'a>> {
+    let mut values = vec![0i64; len];
+    let mut nulls = NullMask::new(len);
+    for i in active.iter_ones() {
+        match (l.int_at(i), r.int_at(i)) {
+            (Some(a), Some(b)) => {
+                let out = match op {
+                    BinOp::Add => a.checked_add(b),
+                    BinOp::Sub => a.checked_sub(b),
+                    BinOp::Mul => a.checked_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(Error::Eval("integer division by zero".into()));
+                        }
+                        a.checked_div(b)
+                    }
+                    BinOp::Mod => {
+                        if b == 0 {
+                            return Err(Error::Eval("integer modulo by zero".into()));
+                        }
+                        a.checked_rem(b)
+                    }
+                    _ => unreachable!("non-arith op in Arith kernel"),
+                };
+                values[i] = out.ok_or_else(|| Error::Eval("integer overflow".into()))?;
+            }
+            _ => nulls.set(i),
+        }
+    }
+    Ok(VOut::Ints(values, nulls))
+}
+
+/// Mixed/float arithmetic: both sides coerce through `as_float`
+/// semantics; float division by zero is infinity, not an error — same
+/// as the row path.
+fn arith_float<'a>(
+    op: BinOp,
+    l: &NumSide<'_>,
+    r: &NumSide<'_>,
+    active: &SelVec,
+    len: usize,
+) -> Result<VOut<'a>> {
+    let mut values = vec![0f64; len];
+    let mut nulls = NullMask::new(len);
+    for i in active.iter_ones() {
+        match (l.f64_at(i), r.f64_at(i)) {
+            (Some(a), Some(b)) => {
+                values[i] = match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Mod => a % b,
+                    _ => unreachable!("non-arith op in Arith kernel"),
+                };
+            }
+            _ => nulls.set(i),
+        }
+    }
+    Ok(VOut::Floats(values, nulls))
+}
+
+// ----------------------------------------------------------------------
+// Hash group-by
+// ----------------------------------------------------------------------
+
+/// Group-key interning map. The variant is chosen on first use from the
+/// key kernel's output kind and never changes: a kernel's output kind
+/// depends only on column dtypes and statement constants, both fixed
+/// for the statement's lifetime, so every batch takes the same arm (the
+/// `unreachable!`s below enforce it).
+enum KeyMap {
+    Unset,
+    /// Single Int-typed key: raw `i64` hashing, NULL key in its own
+    /// slot.
+    Int { map: FxHashMap<i64, usize>, null_slot: Option<usize> },
+    /// Single key of any other kind. [`Value`]'s `Hash` is consistent
+    /// with its `cmp_total`-based `Eq` (`Int(1) == Float(1.0)`, both
+    /// hash as the same f64 bits), so this map merges exactly the keys
+    /// the row path's BTreeMap merges.
+    Single(FxHashMap<Value, usize>),
+    /// Several group-by expressions.
+    Multi(FxHashMap<Vec<Value>, usize>),
+}
+
+/// Hash-based GROUP BY accumulation. Keys are interned into dense slots
+/// during the scan; aggregates accumulate per slot in ascending row
+/// order (so float sums and overflow points match the row path); at the
+/// output edge the slots pour into the row path's ordered [`Groups`]
+/// maps, making HAVING, projection, and emission order byte-for-byte
+/// the row path's. Like the row path, the *first-seen* key value is the
+/// group's representative (`Int(1)` then `Float(1.0)` keeps `Int(1)`).
+struct HashGroups {
+    map: KeyMap,
+    /// Interned key per slot (single-key queries use `keys[slot][0]`).
+    keys: Vec<Vec<Value>>,
+    accs: Vec<Vec<AggAcc>>,
+    /// Reused multi-key probe buffer; cloned only on new-group insert.
+    scratch: Vec<Value>,
+    /// Reused per-batch (row, slot) pairs: the key pass interns every
+    /// selected row's group, then the aggregate pass runs one typed loop
+    /// per aggregate over these pairs (column-at-a-time accumulation).
+    pairs: Vec<(u32, u32)>,
+}
+
+impl HashGroups {
+    fn new() -> Self {
+        HashGroups {
+            map: KeyMap::Unset,
+            keys: Vec::new(),
+            accs: Vec::new(),
+            scratch: Vec::new(),
+            pairs: Vec::new(),
+        }
+    }
+
+    fn new_slot(keys: &mut Vec<Vec<Value>>, accs: &mut Vec<Vec<AggAcc>>, key: Vec<Value>, aggs: &[AggSpec]) -> usize {
+        let slot = keys.len();
+        keys.push(key);
+        accs.push(aggs.iter().map(AggAcc::new).collect());
+        slot
+    }
+
+    fn feed_batch(
+        &mut self,
+        aggs: &[AggSpec],
+        kouts: &[VOut<'_>],
+        aouts: &[Option<VOut<'_>>],
+        sel: &SelVec,
+    ) -> Result<()> {
+        self.pairs.clear();
+        if kouts.len() == 1 {
+            if let Some((kv, kn)) = int_key_view(&kouts[0]) {
+                if matches!(self.map, KeyMap::Unset) {
+                    self.map = KeyMap::Int { map: FxHashMap::default(), null_slot: None };
+                }
+                let KeyMap::Int { map, null_slot } = &mut self.map else {
+                    unreachable!("group-key kernel changed output kind across batches")
+                };
+                for i in sel.iter_ones() {
+                    let slot = if kn.get(i) {
+                        *null_slot.get_or_insert_with(|| {
+                            Self::new_slot(&mut self.keys, &mut self.accs, vec![Value::Null], aggs)
+                        })
+                    } else {
+                        let k = kv[i];
+                        match map.get(&k) {
+                            Some(&slot) => slot,
+                            None => {
+                                let slot = Self::new_slot(
+                                    &mut self.keys,
+                                    &mut self.accs,
+                                    vec![Value::Int(k)],
+                                    aggs,
+                                );
+                                map.insert(k, slot);
+                                slot
+                            }
+                        }
+                    };
+                    self.pairs.push((i as u32, slot as u32));
+                }
+            } else {
+                if matches!(self.map, KeyMap::Unset) {
+                    self.map = KeyMap::Single(FxHashMap::default());
+                }
+                let KeyMap::Single(map) = &mut self.map else {
+                    unreachable!("group-key kernel changed output kind across batches")
+                };
+                for i in sel.iter_ones() {
+                    let key = kouts[0].value_at(i);
+                    let slot = match map.get(&key) {
+                        Some(&slot) => slot,
+                        None => {
+                            let slot = Self::new_slot(
+                                &mut self.keys,
+                                &mut self.accs,
+                                vec![key.clone()],
+                                aggs,
+                            );
+                            map.insert(key, slot);
+                            slot
+                        }
+                    };
+                    self.pairs.push((i as u32, slot as u32));
+                }
+            }
+        } else {
+            if matches!(self.map, KeyMap::Unset) {
+                self.map = KeyMap::Multi(FxHashMap::default());
+            }
+            let KeyMap::Multi(map) = &mut self.map else {
+                unreachable!("multi-key query with single-key map")
+            };
+            for i in sel.iter_ones() {
+                self.scratch.clear();
+                for k in kouts {
+                    self.scratch.push(k.value_at(i));
+                }
+                let slot = match map.get(self.scratch.as_slice()) {
+                    Some(&slot) => slot,
+                    None => {
+                        let slot = Self::new_slot(
+                            &mut self.keys,
+                            &mut self.accs,
+                            self.scratch.clone(),
+                            aggs,
+                        );
+                        map.insert(self.scratch.clone(), slot);
+                        slot
+                    }
+                };
+                self.pairs.push((i as u32, slot as u32));
+            }
+        }
+        feed_aggs(&mut self.accs, aggs, aouts, &self.pairs)
+    }
+
+    /// Pours the hash slots into the row path's ordered maps. Slot
+    /// order is first-seen order; the BTreeMap re-establishes the
+    /// ascending `cmp_total` emission order. Keys are unique by
+    /// construction (the hash map interned them under the same `Eq`),
+    /// so no insert overwrites.
+    fn into_groups(self, group_by_len: usize) -> Groups {
+        if group_by_len == 1 {
+            Groups::Single(
+                self.keys
+                    .into_iter()
+                    .zip(self.accs)
+                    .map(|(mut k, a)| (k.pop().expect("single-key slot"), a))
+                    .collect(),
+            )
+        } else {
+            Groups::Multi(self.keys.into_iter().zip(self.accs).collect())
+        }
+    }
+}
+
+/// Int-typed view of a single group-key output, if it has one.
+fn int_key_view<'v>(out: &'v VOut<'_>) -> Option<(&'v [i64], &'v NullMask)> {
+    match out {
+        VOut::Ints(v, n) => Some((v, n)),
+        VOut::Borrowed(Col::I64(c)) => Some((&c.values, &c.nulls)),
+        _ => None,
+    }
+}
+
+/// Column-at-a-time aggregate accumulation: one pass over the batch's
+/// (row, slot) pairs per aggregate, in ascending row order (so float
+/// sums and integer-overflow points per group match the row path
+/// exactly). Numeric argument kernels feed typed loops straight into
+/// the accumulator fields [`AggAcc::feed_value`] would update; anything
+/// else goes through `feed_value` itself. The only observable
+/// difference from the row path's row-at-a-time feed is *which* of
+/// several erroring (row, aggregate) pairs surfaces its error within a
+/// batch — error presence always matches, since both paths touch the
+/// same pairs up to the first error.
+fn feed_aggs(
+    accs: &mut [Vec<AggAcc>],
+    aggs: &[AggSpec],
+    aouts: &[Option<VOut<'_>>],
+    pairs: &[(u32, u32)],
+) -> Result<()> {
+    for (j, (spec, out)) in aggs.iter().zip(aouts).enumerate() {
+        let Some(o) = out else {
+            // COUNT(*): count the row, no value needed.
+            for &(_, slot) in pairs {
+                accs[slot as usize][j].count += 1;
+            }
+            continue;
+        };
+        let side = if spec.distinct { None } else { num_side(o) };
+        match side {
+            // NULL argument: SQL aggregates skip every row.
+            Some(NumSide::ConstNull) => {}
+            Some(side) if side.is_int() => match spec.func {
+                AggFunc::Count => {
+                    for &(i, slot) in pairs {
+                        if side.int_at(i as usize).is_some() {
+                            accs[slot as usize][j].count += 1;
+                        }
+                    }
+                }
+                AggFunc::Sum | AggFunc::Avg => {
+                    for &(i, slot) in pairs {
+                        if let Some(v) = side.int_at(i as usize) {
+                            let acc = &mut accs[slot as usize][j];
+                            acc.count += 1;
+                            acc.sum_i = acc
+                                .sum_i
+                                .checked_add(v)
+                                .ok_or_else(|| Error::Eval("integer overflow in SUM".into()))?;
+                            acc.sum_f += v as f64;
+                        }
+                    }
+                }
+                AggFunc::Min => {
+                    for &(i, slot) in pairs {
+                        if let Some(v) = side.int_at(i as usize) {
+                            let acc = &mut accs[slot as usize][j];
+                            acc.count += 1;
+                            match &mut acc.min {
+                                Some(Value::Int(m)) => {
+                                    if v < *m {
+                                        *m = v;
+                                    }
+                                }
+                                None => acc.min = Some(Value::Int(v)),
+                                _ => unreachable!("int aggregate column fed non-int minimum"),
+                            }
+                        }
+                    }
+                }
+                AggFunc::Max => {
+                    for &(i, slot) in pairs {
+                        if let Some(v) = side.int_at(i as usize) {
+                            let acc = &mut accs[slot as usize][j];
+                            acc.count += 1;
+                            match &mut acc.max {
+                                Some(Value::Int(m)) => {
+                                    if v > *m {
+                                        *m = v;
+                                    }
+                                }
+                                None => acc.max = Some(Value::Int(v)),
+                                _ => unreachable!("int aggregate column fed non-int maximum"),
+                            }
+                        }
+                    }
+                }
+            },
+            Some(side) => match spec.func {
+                AggFunc::Count => {
+                    for &(i, slot) in pairs {
+                        if side.f64_at(i as usize).is_some() {
+                            accs[slot as usize][j].count += 1;
+                        }
+                    }
+                }
+                AggFunc::Sum | AggFunc::Avg => {
+                    for &(i, slot) in pairs {
+                        if let Some(v) = side.f64_at(i as usize) {
+                            let acc = &mut accs[slot as usize][j];
+                            acc.count += 1;
+                            acc.saw_float = true;
+                            acc.sum_f += v;
+                        }
+                    }
+                }
+                AggFunc::Min => {
+                    for &(i, slot) in pairs {
+                        if let Some(v) = side.f64_at(i as usize) {
+                            let acc = &mut accs[slot as usize][j];
+                            acc.count += 1;
+                            match &mut acc.min {
+                                Some(Value::Float(m)) => {
+                                    if v.total_cmp(m).is_lt() {
+                                        *m = v;
+                                    }
+                                }
+                                None => acc.min = Some(Value::Float(v)),
+                                _ => unreachable!("float aggregate column fed non-float minimum"),
+                            }
+                        }
+                    }
+                }
+                AggFunc::Max => {
+                    for &(i, slot) in pairs {
+                        if let Some(v) = side.f64_at(i as usize) {
+                            let acc = &mut accs[slot as usize][j];
+                            acc.count += 1;
+                            match &mut acc.max {
+                                Some(Value::Float(m)) => {
+                                    if v.total_cmp(m).is_gt() {
+                                        *m = v;
+                                    }
+                                }
+                                None => acc.max = Some(Value::Float(v)),
+                                _ => unreachable!("float aggregate column fed non-float maximum"),
+                            }
+                        }
+                    }
+                }
+            },
+            // DISTINCT, text/bool columns, row-wise fallback outputs:
+            // the same eval → NULL-skip → feed_value sequence as the row
+            // path's `AggAcc::feed`.
+            None => {
+                for &(i, slot) in pairs {
+                    let v = o.value_at(i as usize);
+                    if !v.is_null() {
+                        accs[slot as usize][j].feed_value(spec, v)?;
+                    }
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -783,6 +1593,97 @@ mod tests {
     }
 
     #[test]
+    fn phase2_shapes_agree_with_row_path() {
+        let c = setup();
+        for sql in [
+            // Expression kernels: Int, Float, mixed, unary, NULL
+            // propagation, and a row-wise fallback (s in projection
+            // arithmetic errors per non-null row — covered below).
+            "SELECT k + 1, v * 2, f + v, -v, ABS(v), v % 3 FROM m",
+            "SELECT k, v + NULL FROM m",
+            "SELECT f / 0.0, f / 2 FROM m", // float div-by-zero is inf, not an error
+            // Hash group-by: single Int key, Float key, Text key,
+            // multi-column with NULLs, expression keys, computed
+            // aggregate arguments, HAVING, ORDER BY over keys.
+            "SELECT v, COUNT(*), SUM(v), MIN(f), MAX(s) FROM m GROUP BY v",
+            "SELECT f, COUNT(*) FROM m GROUP BY f",
+            "SELECT s, v, COUNT(*), SUM(v + 1) FROM m GROUP BY s, v",
+            "SELECT v % 2, COUNT(*), AVG(f) FROM m GROUP BY v % 2",
+            "SELECT v + 1, COUNT(DISTINCT s) FROM m GROUP BY v + 1 HAVING COUNT(*) >= 1",
+            "SELECT s, COUNT(*) FROM m WHERE v IS NOT NULL GROUP BY s ORDER BY s DESC",
+            // Top-K through both executors.
+            "SELECT k, v FROM m ORDER BY v, k LIMIT 2",
+            "SELECT s, COUNT(*) FROM m GROUP BY s ORDER BY COUNT(*) DESC LIMIT 1",
+        ] {
+            let (col, row) = both_ways(&c, sql);
+            assert_eq!(col, row, "{sql}");
+        }
+    }
+
+    #[test]
+    fn phase2_errors_match_row_path() {
+        let c = setup();
+        for sql in [
+            "SELECT s + 1 FROM m",                     // Text arithmetic (kernel fallback)
+            "SELECT v / 0 FROM m",                     // integer division by zero
+            "SELECT v, SUM(s) FROM m GROUP BY v",      // SUM over text per group
+            "SELECT s + 1, COUNT(*) FROM m GROUP BY s + 1", // erroring group key
+            "SELECT -s FROM m",                        // negate text (unary fallback)
+        ] {
+            let stmt = Planner::new(&c).plan_sql(sql).unwrap();
+            let BoundStatement::Select(s) = &stmt else { panic!() };
+            assert!(run_select_columnar(&c, s, &[]).is_err(), "{sql}");
+            assert!(run_select_rows_rowwise(&c, s, &[]).is_err(), "{sql}");
+        }
+        // NULL / 0 is NULL (the row path checks NULL before the zero
+        // divisor) — on both executors.
+        let stmt =
+            Planner::new(&c).plan_sql("SELECT k FROM m WHERE v / 0 > 1 AND v IS NULL").unwrap();
+        let BoundStatement::Select(s) = &stmt else { panic!() };
+        // All rows with non-null v hit the division error in both.
+        assert!(run_select_columnar(&c, s, &[]).is_err());
+        assert!(run_select_rows_rowwise(&c, s, &[]).is_err());
+    }
+
+    /// Serializes the tests that flip or observe the process-global
+    /// kill-switch — the default test harness runs tests in parallel
+    /// threads.
+    static DISPATCH_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn fallback_reasons_are_counted() {
+        let _guard = DISPATCH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut c = setup();
+        let _ = batch::take_path_counters();
+        let stmt = Planner::new(&c).plan_sql("SELECT COUNT(*) FROM m").unwrap();
+        let BoundStatement::Select(s) = &stmt else { panic!() };
+        // 5 rows: small-table fallback.
+        assert!(!use_columnar(&c, s));
+        assert_eq!(batch::take_path_counters().fallback_small, 1);
+        // Join: shape fallback.
+        let j = Planner::new(&c).plan_sql("SELECT a.k FROM m a JOIN m b ON a.k = b.k").unwrap();
+        let BoundStatement::Select(j) = &j else { panic!() };
+        assert!(!use_columnar(&c, j));
+        assert_eq!(batch::take_path_counters().fallback_shape, 1);
+        // Kill-switch: disabled fallback, even past the cutoff.
+        let t = c.table_mut("m").unwrap();
+        for i in 0..COLUMNAR_MIN_ROWS as i64 {
+            t.insert(tuple![100 + i, 1i64, 1.0f64, "q", false]).unwrap();
+        }
+        force_rowwise(true);
+        assert!(!use_columnar(&c, s));
+        force_rowwise(false);
+        assert_eq!(batch::take_path_counters().fallback_disabled, 1);
+        // And with the switch back off, the same plan dispatches
+        // columnar with identical results to the forced-row-wise run.
+        assert!(use_columnar(&c, s));
+        let col = run_select_columnar(&c, s, &[]).unwrap();
+        let row = run_select_rows_rowwise(&c, s, &[]).unwrap();
+        assert_eq!(col, row);
+        assert!(batch::take_path_counters().batches >= 1);
+    }
+
+    #[test]
     fn empty_table_agrees() {
         let mut c = Catalog::new();
         c.create_table(
@@ -831,6 +1732,7 @@ mod tests {
 
     #[test]
     fn dispatch_and_batch_counter() {
+        let _guard = DISPATCH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let mut c = setup();
         let stmt = Planner::new(&c).plan_sql("SELECT COUNT(*) FROM m WHERE v > 0").unwrap();
         let BoundStatement::Select(s) = &stmt else { panic!() };

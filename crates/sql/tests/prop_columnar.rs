@@ -64,7 +64,7 @@ fn where_clause() -> impl Strategy<Value = String> {
 }
 
 fn select_stmt() -> impl Strategy<Value = String> {
-    (any::<u8>(), where_clause(), 0u64..12).prop_map(|(shape, w, lim)| match shape % 6 {
+    (any::<u8>(), where_clause(), 0u64..12).prop_map(|(shape, w, lim)| match shape % 11 {
         0 => format!("SELECT k, a, b, s FROM p {w} ORDER BY k LIMIT {lim}"),
         1 => format!("SELECT COUNT(*), COUNT(a), SUM(a), MIN(a), MAX(a), AVG(b) FROM p {w}"),
         2 => format!("SELECT a, COUNT(*), SUM(a), MIN(b), MAX(s) FROM p {w} GROUP BY a"),
@@ -72,7 +72,18 @@ fn select_stmt() -> impl Strategy<Value = String> {
         4 => format!(
             "SELECT a, COUNT(DISTINCT s) FROM p {w} GROUP BY a HAVING COUNT(*) > 1"
         ),
-        _ => format!("SELECT k, a FROM p {w} ORDER BY a DESC, k LIMIT {lim}"),
+        5 => format!("SELECT k, a FROM p {w} ORDER BY a DESC, k LIMIT {lim}"),
+        // Phase-2 shapes: computed projections (Int/Float/mixed
+        // arithmetic through the expression kernels, including a
+        // row-wise fallback mix), multi-column GROUP BY with NULL keys
+        // and computed aggregate arguments, GROUP BY over an
+        // expression, and heavy-tie ORDER BY + LIMIT for the top-K
+        // heap.
+        6 => format!("SELECT k, a + 1, b * 2, a + b, -a FROM p {w} ORDER BY k LIMIT {lim}"),
+        7 => format!("SELECT a * a + k, s FROM p {w}"),
+        8 => format!("SELECT a, b, COUNT(*), SUM(a + 1), MIN(a * b) FROM p {w} GROUP BY a, b"),
+        9 => format!("SELECT a % 3, COUNT(*), MAX(s) FROM p {w} GROUP BY a % 3"),
+        _ => format!("SELECT k, s FROM p {w} ORDER BY s, b DESC LIMIT {lim}"),
     })
 }
 
@@ -123,6 +134,38 @@ proptest! {
         } else {
             prop_assert_eq!(batches, 0, "empty scan produces no batches: {}", sql);
         }
+    }
+
+    #[test]
+    fn top_k_equals_full_sort_prefix(
+        rows in proptest::collection::vec(
+            (
+                proptest::option::of(-10i64..10),
+                proptest::option::of(-20i64..20),
+                proptest::option::of(any::<u8>()),
+            ),
+            0..80,
+        ),
+        lim in 0u64..20,
+        desc in any::<bool>(),
+    ) {
+        // ORDER BY + LIMIT takes the bounded-heap path; the same query
+        // without LIMIT takes the full stable sort. The limited result
+        // must be exactly the unlimited result's prefix — ties included
+        // (s and a collide constantly), which pins the heap's
+        // (key, input position) tie-break to stable-sort order.
+        let c = setup(&rows);
+        let dir = if desc { "DESC" } else { "ASC" };
+        let base = format!("SELECT k, a, s FROM p ORDER BY s {dir}, a");
+        let run = |sql: &str| {
+            let stmt = Planner::new(&c).plan_sql(sql).unwrap();
+            let BoundStatement::Select(s) = &stmt else { panic!("not a select") };
+            run_select_rows_rowwise(&c, s, &[]).unwrap()
+        };
+        let full = run(&base);
+        let limited = run(&format!("{base} LIMIT {lim}"));
+        let want: Vec<_> = full.iter().take(lim as usize).cloned().collect();
+        prop_assert_eq!(limited, want);
     }
 
     #[test]

@@ -96,7 +96,21 @@ if [ "$(echo "$cspeed $cfloor" | awk '{print ($1 < $2)}')" = "1" ]; then
     echo "bench_smoke: columnar filter_count speedup ${cspeed}x < floor ${cfloor}x" >&2
     exit 1
 fi
-echo "bench_smoke: OK (colscan: filter_count ${cspeed}x, $cbatches engine batches)"
+# Hash group-by floor: the worst of the group-by cases (2/8/100/10k
+# groups + GROUP BY expr) must beat the row executor. Checked-in
+# medians run 1.7-4.7x; 1.2 catches the vectorized group-by regressing
+# to the row path without flaking on machine variance.
+gspeed=$(echo "$cout2" | sed -n 's/.*"group_min_speedup": \([0-9.]*\).*/\1/p')
+if [ -z "$gspeed" ]; then
+    echo "bench_smoke: could not parse colscan group_min_speedup" >&2
+    exit 1
+fi
+gfloor="1.2"
+if [ "$(echo "$gspeed $gfloor" | awk '{print ($1 < $2)}')" = "1" ]; then
+    echo "bench_smoke: columnar group-by speedup ${gspeed}x < floor ${gfloor}x" >&2
+    exit 1
+fi
+echo "bench_smoke: OK (colscan: filter_count ${cspeed}x, group-by min ${gspeed}x, $cbatches engine batches)"
 
 echo "== time-window smoke (1.5s: watermark slides under churn) =="
 wout=$(cargo run --release -p sstore-bench --bin timewindow -- 1.5 2>/dev/null)
@@ -121,7 +135,14 @@ if [ "$wslides" -eq 0 ] || [ "${wdrops:-0}" -eq 0 ]; then
     echo "bench_smoke: timewindow fired no slides/drops (slides=$wslides drops=$wdrops)" >&2
     exit 1
 fi
-echo "bench_smoke: OK (timewindow = $wtps tuples/s, $wslides slides, $wdrops late drops)"
+# The grouped slide stage's extent scans must actually run columnar: a
+# zero here means the window path silently un-wired from vexec.
+wbatches=$(echo "$wout" | sed -n 's/.*"windowed_columnar_batches": \([0-9]*\).*/\1/p')
+if [ -z "$wbatches" ] || [ "$wbatches" -lt 1 ]; then
+    echo "bench_smoke: grouped slide stage produced no columnar window batches (got '${wbatches:-}')" >&2
+    exit 1
+fi
+echo "bench_smoke: OK (timewindow = $wtps tuples/s, $wslides slides, $wdrops late drops, $wbatches window batches)"
 
 echo "== scaling smoke (2 partitions, 1.5s per case) =="
 sout=$(cargo run --release -p sstore-bench --bin scaling -- 1.5 2 2>/dev/null)
