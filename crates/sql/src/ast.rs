@@ -261,6 +261,61 @@ impl Expr {
         Expr::Column(ColumnRef { table: None, column: name.to_owned() })
     }
 
+    /// Structural identity: shape-equal with literals compared by
+    /// [`Value::identical`] (discriminant + bits), not by numeric value.
+    ///
+    /// The derived `PartialEq` compares literals through `Value`'s
+    /// total-order equality, under which `3` == `3.0`. That is the right
+    /// relation for *values at runtime*, but the wrong one for deciding
+    /// whether two expressions are interchangeable at plan time: `MIN(3)`
+    /// yields `Int(3)` while `MIN(3.0)` yields `Float(3.0)`, so collapsing
+    /// them (aggregate dedup, group-key whole-expression matching) changes
+    /// the result type of one of them.
+    pub fn identical(&self, other: &Expr) -> bool {
+        match (self, other) {
+            (Expr::Literal(a), Expr::Literal(b)) => a.identical(b),
+            (Expr::Param(a), Expr::Param(b)) => a == b,
+            (Expr::Column(a), Expr::Column(b)) => a == b,
+            (
+                Expr::Binary { op: o1, lhs: l1, rhs: r1 },
+                Expr::Binary { op: o2, lhs: l2, rhs: r2 },
+            ) => o1 == o2 && l1.identical(l2) && r1.identical(r2),
+            (Expr::Neg(a), Expr::Neg(b))
+            | (Expr::Not(a), Expr::Not(b))
+            | (Expr::Abs(a), Expr::Abs(b)) => a.identical(b),
+            (
+                Expr::IsNull { expr: e1, negated: n1 },
+                Expr::IsNull { expr: e2, negated: n2 },
+            ) => n1 == n2 && e1.identical(e2),
+            (
+                Expr::InList { expr: e1, list: l1, negated: n1 },
+                Expr::InList { expr: e2, list: l2, negated: n2 },
+            ) => {
+                n1 == n2
+                    && e1.identical(e2)
+                    && l1.len() == l2.len()
+                    && l1.iter().zip(l2).all(|(a, b)| a.identical(b))
+            }
+            (
+                Expr::Between { expr: e1, lo: lo1, hi: hi1, negated: n1 },
+                Expr::Between { expr: e2, lo: lo2, hi: hi2, negated: n2 },
+            ) => n1 == n2 && e1.identical(e2) && lo1.identical(lo2) && hi1.identical(hi2),
+            (
+                Expr::Aggregate { func: f1, arg: a1, distinct: d1 },
+                Expr::Aggregate { func: f2, arg: a2, distinct: d2 },
+            ) => {
+                f1 == f2
+                    && d1 == d2
+                    && match (a1, a2) {
+                        (None, None) => true,
+                        (Some(x), Some(y)) => x.identical(y),
+                        _ => false,
+                    }
+            }
+            _ => false,
+        }
+    }
+
     /// True if this expression (sub)tree contains an aggregate call.
     pub fn contains_aggregate(&self) -> bool {
         match self {

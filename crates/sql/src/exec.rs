@@ -181,6 +181,20 @@ pub fn undo_effect(catalog: &mut Catalog, effect: &Effect) -> Result<()> {
     Ok(())
 }
 
+/// Evaluates an index point-lookup key. `None` means some key expression
+/// errored: the caller must degrade to a full scan so the error surfaces
+/// (or not) exactly as it would without the index — the erroring
+/// conjunct is still in the residual WHERE and fires per candidate row,
+/// so an empty table yields zero rows instead of a spurious error.
+fn eval_index_key(key_exprs: &[BoundExpr], params: &[Value]) -> Option<Vec<Value>> {
+    let ctx = EvalCtx { row: &[], params, aggs: &[] };
+    let mut key = Vec::with_capacity(key_exprs.len());
+    for e in key_exprs {
+        key.push(e.eval(&ctx).ok()?);
+    }
+    Some(key)
+}
+
 /// Row ids matched by a scan's access path plus residual predicate, in
 /// row-id order (deterministic).
 fn candidate_rows(
@@ -191,16 +205,14 @@ fn candidate_rows(
 ) -> Result<Vec<RowId>> {
     let mut ids: Vec<RowId> = match &scan.access {
         Access::FullScan => table.scan_ordered().map(|(id, _)| id).collect(),
-        Access::IndexEq { key_cols, key_exprs } => {
-            let ctx = EvalCtx { row: &[], params, aggs: &[] };
-            let mut key = Vec::with_capacity(key_exprs.len());
-            for e in key_exprs {
-                key.push(e.eval(&ctx)?);
+        Access::IndexEq { key_cols, key_exprs } => match eval_index_key(key_exprs, params) {
+            Some(key) => {
+                let mut ids = table.lookup_eq(key_cols, &key);
+                ids.sort_unstable();
+                ids
             }
-            let mut ids = table.lookup_eq(key_cols, &key);
-            ids.sort_unstable();
-            ids
-        }
+            None => table.scan_ordered().map(|(id, _)| id).collect(),
+        },
     };
     if let Some(pred) = residual {
         let mut kept = Vec::with_capacity(ids.len());
@@ -254,18 +266,16 @@ pub fn run_select_rows_rowwise(
     let base = catalog.get(s.from.table);
     let mut rows: Vec<Cow<'_, [Value]>> = match &s.from.access {
         Access::FullScan => base.scan_ordered().map(|(_, t)| Cow::Borrowed(t.values())).collect(),
-        Access::IndexEq { key_cols, key_exprs } => {
-            let ctx = EvalCtx { row: &[], params, aggs: &[] };
-            let mut key = Vec::with_capacity(key_exprs.len());
-            for e in key_exprs {
-                key.push(e.eval(&ctx)?);
+        Access::IndexEq { key_cols, key_exprs } => match eval_index_key(key_exprs, params) {
+            Some(key) => {
+                let mut ids = base.lookup_eq(key_cols, &key);
+                ids.sort_unstable();
+                ids.iter()
+                    .map(|id| Cow::Borrowed(base.get(*id).expect("indexed row is live").values()))
+                    .collect()
             }
-            let mut ids = base.lookup_eq(key_cols, &key);
-            ids.sort_unstable();
-            ids.iter()
-                .map(|id| Cow::Borrowed(base.get(*id).expect("indexed row is live").values()))
-                .collect()
-        }
+            None => base.scan_ordered().map(|(_, t)| Cow::Borrowed(t.values())).collect(),
+        },
     };
 
     // 2. Joins, left-deep. Only here do rows become owned (the
@@ -683,7 +693,9 @@ impl AggAcc {
                 if self.count == 0 {
                     Value::Null
                 } else if self.saw_float {
-                    Value::Float(self.sum_f)
+                    // Canonicalized NaN: the running sum's payload is
+                    // codegen-dependent once two NaNs meet.
+                    Value::float(self.sum_f)
                 } else {
                     Value::Int(self.sum_i)
                 }
@@ -692,7 +704,7 @@ impl AggAcc {
                 if self.count == 0 {
                     Value::Null
                 } else {
-                    Value::Float(self.sum_f / self.count as f64)
+                    Value::float(self.sum_f / self.count as f64)
                 }
             }
             AggFunc::Min => self.min.unwrap_or(Value::Null),

@@ -79,6 +79,22 @@ pub struct AggSpec {
     pub distinct: bool,
 }
 
+impl AggSpec {
+    /// Structural identity (see [`BoundExpr::identical`]): safe to share
+    /// one accumulator slot only when the specs are identical down to
+    /// literal bits, since the argument's literal *type* decides the
+    /// aggregate's result type.
+    pub fn identical(&self, other: &AggSpec) -> bool {
+        self.func == other.func
+            && self.distinct == other.distinct
+            && match (&self.arg, &other.arg) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.identical(b),
+                _ => false,
+            }
+    }
+}
+
 /// Evaluation context: the input row, statement parameters, and (after
 /// aggregation) the aggregate result slots.
 #[derive(Debug, Clone, Copy)]
@@ -92,6 +108,49 @@ pub struct EvalCtx<'a> {
 }
 
 impl BoundExpr {
+    /// Structural identity: shape-equal with literals compared by
+    /// [`Value::identical`] (discriminant + bits), not numerically.
+    ///
+    /// The derived `PartialEq` sees `Literal(Int(3))` == `Literal(Float(3.0))`
+    /// because `Value`'s total order equates them. Plan-time decisions that
+    /// merge "the same" expression — aggregate-slot dedup in particular —
+    /// must not identify those two: `MIN(3)` is `Int(3)` but `MIN(3.0)` is
+    /// `Float(3.0)`, and constant folding routinely produces such literal
+    /// pairs from differently-typed arithmetic.
+    pub fn identical(&self, other: &BoundExpr) -> bool {
+        match (self, other) {
+            (BoundExpr::Literal(a), BoundExpr::Literal(b)) => a.identical(b),
+            (BoundExpr::Param(a), BoundExpr::Param(b)) => a == b,
+            (BoundExpr::Column(a), BoundExpr::Column(b)) => a == b,
+            (BoundExpr::AggRef(a), BoundExpr::AggRef(b)) => a == b,
+            (
+                BoundExpr::Binary { op: o1, lhs: l1, rhs: r1 },
+                BoundExpr::Binary { op: o2, lhs: l2, rhs: r2 },
+            ) => o1 == o2 && l1.identical(l2) && r1.identical(r2),
+            (BoundExpr::Neg(a), BoundExpr::Neg(b))
+            | (BoundExpr::Not(a), BoundExpr::Not(b))
+            | (BoundExpr::Abs(a), BoundExpr::Abs(b)) => a.identical(b),
+            (
+                BoundExpr::IsNull { expr: e1, negated: n1 },
+                BoundExpr::IsNull { expr: e2, negated: n2 },
+            ) => n1 == n2 && e1.identical(e2),
+            (
+                BoundExpr::InList { expr: e1, list: l1, negated: n1 },
+                BoundExpr::InList { expr: e2, list: l2, negated: n2 },
+            ) => {
+                n1 == n2
+                    && e1.identical(e2)
+                    && l1.len() == l2.len()
+                    && l1.iter().zip(l2).all(|(a, b)| a.identical(b))
+            }
+            (
+                BoundExpr::Between { expr: e1, lo: lo1, hi: hi1, negated: n1 },
+                BoundExpr::Between { expr: e2, lo: lo2, hi: hi2, negated: n2 },
+            ) => n1 == n2 && e1.identical(e2) && lo1.identical(lo2) && hi1.identical(hi2),
+            _ => false,
+        }
+    }
+
     /// Evaluates the expression.
     pub fn eval(&self, ctx: &EvalCtx<'_>) -> Result<Value> {
         match self {
@@ -117,7 +176,7 @@ impl BoundExpr {
                 Value::Int(v) => Ok(Value::Int(v.checked_neg().ok_or_else(|| {
                     Error::Eval("integer overflow in negation".into())
                 })?)),
-                Value::Float(v) => Ok(Value::Float(-v)),
+                Value::Float(v) => Ok(Value::float(-v)),
                 other => Err(Error::Eval(format!("cannot negate {other}"))),
             },
             BoundExpr::Not(e) => Ok(truth_to_value(kleene_not(value_to_truth(&e.eval(ctx)?)?))),
@@ -160,7 +219,7 @@ impl BoundExpr {
                 Value::Int(v) => Ok(Value::Int(v.checked_abs().ok_or_else(|| {
                     Error::Eval("integer overflow in ABS".into())
                 })?)),
-                Value::Float(v) => Ok(Value::Float(v.abs())),
+                Value::Float(v) => Ok(Value::float(v.abs())),
                 other => Err(Error::Eval(format!("ABS of non-numeric {other}"))),
             },
         }
@@ -267,7 +326,9 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
                 BinOp::Mod => a % b,
                 _ => unreachable!(),
             };
-            Ok(Value::Float(out))
+            // Canonicalized: NaN payload propagation is operand-order
+            // dependent on x86, and codegen orders differ across paths.
+            Ok(Value::float(out))
         }
     }
 }

@@ -594,7 +594,7 @@ fn bind_grouped_unfolded(
     aggs: &mut Vec<AggSpec>,
 ) -> Result<BoundExpr> {
     // Whole-expression match against a group key wins first.
-    if let Some(pos) = group_by.iter().position(|g| g == expr) {
+    if let Some(pos) = group_by.iter().position(|g| g.identical(expr)) {
         return Ok(BoundExpr::Column(pos));
     }
     match expr {
@@ -607,7 +607,7 @@ fn bind_grouped_unfolded(
         Expr::Aggregate { func, arg, distinct } => {
             let bound_arg = arg.as_ref().map(|a| bind_scalar(a, scope)).transpose()?;
             let spec = AggSpec { func: *func, arg: bound_arg, distinct: *distinct };
-            let idx = match aggs.iter().position(|a| *a == spec) {
+            let idx = match aggs.iter().position(|a| a.identical(&spec)) {
                 Some(i) => i,
                 None => {
                     aggs.push(spec);

@@ -503,6 +503,16 @@ fn is_arith(op: BinOp) -> bool {
     matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
 }
 
+/// Same canonicalization as [`Value::float`], for typed float loops.
+#[inline]
+fn canonicalize_nan(f: f64) -> f64 {
+    if f.is_nan() {
+        f64::NAN
+    } else {
+        f
+    }
+}
+
 fn compile_expr<'s>(e: &'s BoundExpr, dtypes: &[DataType]) -> EKernel<'s> {
     if e.is_row_independent() {
         return EKernel::Const(e);
@@ -709,7 +719,11 @@ fn eval_kernel<'a>(
                     let mut nulls = NullMask::new(rows.len());
                     for i in active.iter_ones() {
                         match side.f64_at(i) {
-                            Some(a) => values[i] = if *abs { a.abs() } else { -a },
+                            // canonicalize_nan: bit-parity with the row
+                            // path's `Value::float` results.
+                            Some(a) => {
+                                values[i] = canonicalize_nan(if *abs { a.abs() } else { -a });
+                            }
                             None => nulls.set(i),
                         }
                     }
@@ -793,14 +807,17 @@ fn arith_float<'a>(
     for i in active.iter_ones() {
         match (l.f64_at(i), r.f64_at(i)) {
             (Some(a), Some(b)) => {
-                values[i] = match op {
+                // canonicalize_nan: NaN payload propagation is operand-
+                // order dependent on x86, and this loop's codegen need
+                // not order operands like the row path's.
+                values[i] = canonicalize_nan(match op {
                     BinOp::Add => a + b,
                     BinOp::Sub => a - b,
                     BinOp::Mul => a * b,
                     BinOp::Div => a / b,
                     BinOp::Mod => a % b,
                     _ => unreachable!("non-arith op in Arith kernel"),
-                };
+                });
             }
             _ => nulls.set(i),
         }
@@ -1411,7 +1428,7 @@ fn cmp_col_value(c: &Col, rhs: &Value, op: BinOp, active: &SelVec, truth: &mut [
         (Col::I64(col), Value::Float(x)) => {
             let x = *x;
             cmp_fill(active, truth, op, |i| col.nulls.get(i), |i| {
-                (col.values[i] as f64).total_cmp(&x)
+                sstore_common::value::cmp_int_float(col.values[i], x)
             });
         }
         (Col::F64(col), Value::Float(x)) => {
@@ -1419,8 +1436,10 @@ fn cmp_col_value(c: &Col, rhs: &Value, op: BinOp, active: &SelVec, truth: &mut [
             cmp_fill(active, truth, op, |i| col.nulls.get(i), |i| col.values[i].total_cmp(&x));
         }
         (Col::F64(col), Value::Int(x)) => {
-            let x = *x as f64;
-            cmp_fill(active, truth, op, |i| col.nulls.get(i), |i| col.values[i].total_cmp(&x));
+            let x = *x;
+            cmp_fill(active, truth, op, |i| col.nulls.get(i), |i| {
+                sstore_common::value::cmp_int_float(x, col.values[i]).reverse()
+            });
         }
         (Col::Str(col), Value::Text(x)) => {
             cmp_fill(active, truth, op, |i| col.nulls.get(i), |i| {

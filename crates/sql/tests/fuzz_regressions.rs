@@ -1,0 +1,297 @@
+//! Named regression tests for bugs found (or suspect areas pinned) by
+//! the differential SQL fuzzer (`crates/sqlfuzz`). Each `fuzzer_found_*`
+//! test fails on the pre-fix code; the `pin_*` tests lock down behavior
+//! the fuzzer hammers but where no divergence was found, so a future
+//! regression is caught with a readable test name instead of a shrunk
+//! fuzz case.
+
+use sstore_common::{tuple, Column, DataType, Schema, Tuple, Value};
+use sstore_sql::exec::{execute, run_select_rows_rowwise};
+use sstore_sql::plan::{BoundStatement, Planner};
+use sstore_sql::vexec::run_select_columnar;
+use sstore_storage::index::IndexDef;
+use sstore_storage::{Catalog, IndexKind, TableKind};
+
+/// Plans a SELECT and runs it through both executors, asserting they
+/// agree; returns the (shared) row set.
+fn both_paths(c: &Catalog, sql: &str) -> Vec<Tuple> {
+    let stmt = Planner::new(c).plan_sql(sql).unwrap();
+    let BoundStatement::Select(s) = &stmt else { panic!("not a select: {sql}") };
+    let rowwise = run_select_rows_rowwise(c, s, &[]).unwrap();
+    let columnar = run_select_columnar(c, s, &[]).unwrap();
+    assert_eq!(rowwise.len(), columnar.len(), "row count differs on: {sql}");
+    for (i, (r, v)) in rowwise.iter().zip(&columnar).enumerate() {
+        for (a, b) in r.values().iter().zip(v.values()) {
+            assert!(a.identical(b), "row {i} differs on {sql}: rowwise {r:?} columnar {v:?}");
+        }
+    }
+    rowwise
+}
+
+fn run(c: &mut Catalog, sql: &str) -> sstore_common::Result<Vec<Tuple>> {
+    let stmt = Planner::new(c).plan_sql(sql)?;
+    let mut fx = Vec::new();
+    execute(c, &stmt, &[], &mut fx).map(|r| r.rows)
+}
+
+// ---------------------------------------------------------------------
+// Fuzzer-found bug #1 (seed 1113): an IndexEq access whose key
+// expression errors at eval time failed the whole query, even over an
+// empty table — while the same predicate under a full scan (no index)
+// returned zero rows, because per-row predicates only run on rows that
+// exist. Index selection is an optimization and must not change
+// results: an erroring key expression now degrades to a full scan, so
+// the error surfaces exactly when a row would have evaluated it.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fuzzer_found_indexeq_erroring_key_expr_degrades_to_full_scan() {
+    let mut c = Catalog::new();
+    let t = c
+        .create_table(
+            "t",
+            TableKind::Base,
+            Schema::of(&[("id", DataType::Int), ("v", DataType::Int)]),
+        )
+        .unwrap();
+    t.create_index(IndexDef {
+        name: "t_pk".into(),
+        key_columns: vec![0],
+        kind: IndexKind::Hash,
+        unique: true,
+    })
+    .unwrap();
+
+    // `-('x')` is row-independent (so it is chosen as an index key) but
+    // errors when evaluated. Empty table: no row ever evaluates the
+    // predicate, so the query must succeed with zero rows.
+    let sql = "SELECT v FROM t WHERE id = -('x')";
+    assert_eq!(run(&mut c, sql).unwrap(), Vec::<Tuple>::new());
+
+    // Non-empty table: the degraded full scan evaluates the predicate
+    // for the row and the error surfaces, same as the unindexed plan.
+    c.table_mut("t").unwrap().insert(tuple![1i64, 10i64]).unwrap();
+    assert!(run(&mut c, sql).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Fuzzer-found bug #2 (seed 1210): `inf + -inf` produced NaNs with
+// different payload bits depending on which executor computed them —
+// x86 propagates whichever *operand* NaN codegen placed as src1, and
+// LLVM freely swaps commutative operands — so replay/columnar runs
+// disagreed with the original at the bit level. Every computed float
+// is now canonicalized to the positive quiet NaN.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fuzzer_found_computed_nan_has_canonical_bits_on_both_paths() {
+    let mut c = Catalog::new();
+    let t = c
+        .create_table(
+            "t",
+            TableKind::Base,
+            Schema::of(&[("k", DataType::Int), ("a", DataType::Float), ("b", DataType::Float)]),
+        )
+        .unwrap();
+    // Enough rows for a realistic columnar batch; every row is inf + -inf.
+    for i in 0..70i64 {
+        t.insert(tuple![i, f64::INFINITY, f64::NEG_INFINITY]).unwrap();
+    }
+
+    let canonical = f64::NAN.to_bits();
+    for sql in [
+        "SELECT (a + b) FROM t",
+        "SELECT SUM(a + b) FROM t",
+        "SELECT AVG(a + b) FROM t",
+        "SELECT -(a + b) FROM t",
+        "SELECT ABS(a + b) FROM t",
+    ] {
+        let rows = both_paths(&c, sql);
+        for row in &rows {
+            let Value::Float(f) = row.values()[0] else { panic!("expected float from {sql}") };
+            assert_eq!(f.to_bits(), canonical, "non-canonical NaN bits from {sql}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fuzzer-found bug #3 (seed 2603): Int/Float comparison rounded the int
+// to f64, so `Int(2^53 + 1)` compared equal to `Float(2^53)` — equality
+// stopped being transitive, the hash-join build interned the two ints
+// as distinct keys, and the probe returned only the first one. The
+// comparison is now exact.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fuzzer_found_hash_join_large_int_float_keys_match_exactly() {
+    const P53: i64 = 1 << 53;
+    let mut c = Catalog::new();
+    let l = c
+        .create_table("l", TableKind::Base, Schema::of(&[("f", DataType::Float)]))
+        .unwrap();
+    l.insert(tuple![P53 as f64]).unwrap();
+    let r = c
+        .create_table("r", TableKind::Base, Schema::of(&[("i", DataType::Int)]))
+        .unwrap();
+    r.insert(tuple![P53]).unwrap();
+    r.insert(tuple![P53 + 1]).unwrap();
+
+    // Only Int(2^53) is exactly equal to Float(2^53); Int(2^53 + 1)
+    // must not match even though the rounded comparison says it does.
+    let rows = run(&mut c, "SELECT r.i FROM l JOIN r ON (l.f = r.i)").unwrap();
+    assert_eq!(rows, vec![tuple![P53]]);
+}
+
+#[test]
+fn fuzzer_found_columnar_filter_large_int_vs_float_is_exact() {
+    const P53: i64 = 1 << 53;
+    let mut c = Catalog::new();
+    let t = c
+        .create_table("t", TableKind::Base, Schema::of(&[("i", DataType::Int)]))
+        .unwrap();
+    // Alternate the two ints across a columnar-sized table.
+    for n in 0..70i64 {
+        t.insert(tuple![if n % 2 == 0 { P53 } else { P53 + 1 }]).unwrap();
+    }
+    // 9007199254740992.0 = 2^53 exactly: half the rows match.
+    let rows = both_paths(&c, "SELECT i FROM t WHERE i = 9007199254740992.0");
+    assert_eq!(rows.len(), 35);
+    assert!(rows.iter().all(|r| r.values()[0] == Value::Int(P53)));
+    // The comparison kernels must agree on ordering too, not just
+    // equality: 2^53 + 1 is strictly greater than 2^53.0.
+    let rows = both_paths(&c, "SELECT i FROM t WHERE i > 9007199254740992.0");
+    assert_eq!(rows.len(), 35);
+    assert!(rows.iter().all(|r| r.values()[0] == Value::Int(P53 + 1)));
+}
+
+// ---------------------------------------------------------------------
+// Fuzzer-found bug #4 (seed 4374): constant folding turned
+// `MIN((1.0 + 2.0))` into `MIN(3.0)`, and aggregate-slot dedup compared
+// argument literals with Value's numeric equality — under which
+// `Literal(Int(3))` == `Literal(Float(3.0))` — so `MIN(3)` and
+// `MIN(3.0)` shared one accumulator and the float aggregate came back
+// as `Int(3)`. Dedup now requires structural identity (literal bits).
+// ---------------------------------------------------------------------
+
+#[test]
+fn fuzzer_found_int_and_float_constant_aggregates_keep_distinct_slots() {
+    let mut c = Catalog::new();
+    let t = c
+        .create_table("t", TableKind::Base, Schema::of(&[("k", DataType::Int)]))
+        .unwrap();
+    for i in 0..70i64 {
+        t.insert(tuple![i % 2]).unwrap();
+    }
+    let rows =
+        both_paths(&c, "SELECT MIN(3) AS a, MIN((1.0 + 2.0)) AS b FROM t GROUP BY k ORDER BY a");
+    assert_eq!(rows.len(), 2);
+    for row in &rows {
+        assert!(row.values()[0].identical(&Value::Int(3)), "MIN(3) must stay Int: {row:?}");
+        assert!(
+            row.values()[1].identical(&Value::Float(3.0)),
+            "MIN(1.0 + 2.0) must stay Float: {row:?}"
+        );
+    }
+}
+
+#[test]
+fn fuzzer_found_group_key_match_distinguishes_int_from_float_literal() {
+    let mut c = Catalog::new();
+    let t = c
+        .create_table("t", TableKind::Base, Schema::of(&[("k", DataType::Int)]))
+        .unwrap();
+    t.insert(tuple![1i64]).unwrap();
+    // Projecting `3.0` with `GROUP BY 3` must NOT bind the projection to
+    // the group key (which would silently retype it to Int); the literal
+    // evaluates on its own.
+    let rows = run(&mut c, "SELECT 3.0 FROM t GROUP BY 3").unwrap();
+    assert_eq!(rows.len(), 1);
+    assert!(rows[0].values()[0].identical(&Value::Float(3.0)), "got {rows:?}");
+}
+
+// ---------------------------------------------------------------------
+// Suspect-area pins: no divergence found, behavior locked down.
+// ---------------------------------------------------------------------
+
+fn nullable_table() -> Catalog {
+    let mut c = Catalog::new();
+    let schema = Schema::new(vec![
+        Column::new("k", DataType::Int),
+        Column::nullable("a", DataType::Int),
+        Column::nullable("b", DataType::Float),
+    ])
+    .unwrap();
+    let t = c.create_table("t", TableKind::Base, schema).unwrap();
+    for i in 0..70i64 {
+        let a = if i % 7 == 0 { Value::Null } else { Value::Int(i % 5) };
+        let b = match i % 6 {
+            0 => Value::Null,
+            1 => Value::Float(f64::NAN),
+            2 => Value::Float(f64::NEG_INFINITY),
+            3 => Value::Float(f64::INFINITY),
+            _ => Value::Float(i as f64 / 2.0),
+        };
+        t.insert(Tuple::new(vec![Value::Int(i), a, b])).unwrap();
+    }
+    c
+}
+
+#[test]
+fn pin_null_in_list_follows_kleene_three_valued_logic() {
+    let c = nullable_table();
+    // `a IN (1, NULL)`: TRUE when a = 1, NULL (not FALSE) otherwise —
+    // so WHERE keeps exactly the a = 1 rows.
+    let rows = both_paths(&c, "SELECT k FROM t WHERE a IN (1, NULL)");
+    let expect = both_paths(&c, "SELECT k FROM t WHERE a = 1");
+    assert_eq!(rows, expect);
+    assert!(!rows.is_empty());
+    // `a NOT IN (1, NULL)` is never TRUE: NOT(TRUE) = FALSE for a = 1,
+    // NOT(NULL) = NULL for everything else.
+    let rows = both_paths(&c, "SELECT k FROM t WHERE a NOT IN (1, NULL)");
+    assert_eq!(rows, Vec::<Tuple>::new());
+    // A NULL needle yields NULL regardless of the list.
+    let rows = both_paths(&c, "SELECT k FROM t WHERE a IN (1, 2) AND a IS NULL");
+    assert_eq!(rows, Vec::<Tuple>::new());
+}
+
+#[test]
+fn pin_topk_orders_nan_and_null_like_the_full_sort() {
+    let c = nullable_table();
+    for (limited, full) in [
+        ("SELECT k, b FROM t ORDER BY b DESC LIMIT 7", "SELECT k, b FROM t ORDER BY b DESC"),
+        ("SELECT k, b FROM t ORDER BY b LIMIT 7", "SELECT k, b FROM t ORDER BY b"),
+        (
+            "SELECT k, a, b FROM t ORDER BY a DESC, b DESC, k LIMIT 9",
+            "SELECT k, a, b FROM t ORDER BY a DESC, b DESC, k",
+        ),
+        (
+            "SELECT k, a, b FROM t ORDER BY b DESC, a LIMIT 9",
+            "SELECT k, a, b FROM t ORDER BY b DESC, a",
+        ),
+    ] {
+        let top = both_paths(&c, limited);
+        let all = both_paths(&c, full);
+        assert_eq!(top.as_slice(), &all[..top.len()], "top-K disagrees with full sort: {limited}");
+    }
+}
+
+#[test]
+fn pin_hash_join_never_matches_null_keys() {
+    let mut c = Catalog::new();
+    let schema = |n: &str| {
+        Schema::new(vec![Column::new("id", DataType::Int), Column::nullable(n, DataType::Int)])
+            .unwrap()
+    };
+    let l = c.create_table("l", TableKind::Base, schema("x")).unwrap();
+    l.insert(tuple![1i64, 7i64]).unwrap();
+    l.insert(Tuple::new(vec![Value::Int(2), Value::Null])).unwrap();
+    let r = c.create_table("r", TableKind::Base, schema("y")).unwrap();
+    r.insert(tuple![10i64, 7i64]).unwrap();
+    r.insert(Tuple::new(vec![Value::Int(20), Value::Null])).unwrap();
+
+    // NULL = NULL is NULL, not TRUE: only the 7 = 7 pair joins, even
+    // though Value's total order (used by indexes and sorts) groups
+    // NULLs together.
+    let rows = run(&mut c, "SELECT l.id, r.id FROM l JOIN r ON (l.x = r.y)").unwrap();
+    assert_eq!(rows, vec![tuple![1i64, 10i64]]);
+}

@@ -1,0 +1,384 @@
+//! Renders an [`ast::Statement`] back to SQL text that the repo's own
+//! parser reads back to the identical AST.
+//!
+//! Every binary operation, NOT, and unary minus is fully parenthesized,
+//! so rendering never has to reason about precedence. Parameters render
+//! as explicit `?N` (1-based), so dropping an expression during
+//! shrinking does not renumber the survivors and the statement's
+//! parameter vector stays valid.
+//!
+//! Values that have no literal form (NaN, infinities, `i64::MIN`,
+//! booleans in some positions, exotic text) must already be routed
+//! through parameters by the generator; [`render_value`] panics on them
+//! to keep that contract loud.
+
+use sstore_common::Value;
+use sstore_sql::ast::{
+    AggFunc, BinOp, Delete, Expr, Insert, InsertSource, Join, OrderKey, Select, SelectItem,
+    SortOrder, Statement, TableRef, Update,
+};
+
+/// Renders a full statement.
+pub fn render_stmt(stmt: &Statement) -> String {
+    match stmt {
+        Statement::Select(s) => render_select(s),
+        Statement::Insert(i) => render_insert(i),
+        Statement::Update(u) => render_update(u),
+        Statement::Delete(d) => render_delete(d),
+    }
+}
+
+fn render_select(s: &Select) -> String {
+    let mut out = String::from("SELECT ");
+    for (i, item) in s.items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match item {
+            SelectItem::Wildcard => out.push('*'),
+            SelectItem::Expr { expr, alias } => {
+                out.push_str(&render_expr(expr));
+                if let Some(a) = alias {
+                    out.push_str(" AS ");
+                    out.push_str(a);
+                }
+            }
+        }
+    }
+    out.push_str(" FROM ");
+    out.push_str(&render_table_ref(&s.from));
+    for Join { table, on } in &s.joins {
+        out.push_str(" JOIN ");
+        out.push_str(&render_table_ref(table));
+        out.push_str(" ON ");
+        out.push_str(&render_expr(on));
+    }
+    if let Some(w) = &s.where_clause {
+        out.push_str(" WHERE ");
+        out.push_str(&render_expr(w));
+    }
+    if !s.group_by.is_empty() {
+        out.push_str(" GROUP BY ");
+        for (i, g) in s.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&render_expr(g));
+        }
+    }
+    if let Some(h) = &s.having {
+        out.push_str(" HAVING ");
+        out.push_str(&render_expr(h));
+    }
+    if !s.order_by.is_empty() {
+        out.push_str(" ORDER BY ");
+        for (i, OrderKey { expr, order }) in s.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&render_expr(expr));
+            match order {
+                SortOrder::Asc => out.push_str(" ASC"),
+                SortOrder::Desc => out.push_str(" DESC"),
+            }
+        }
+    }
+    if let Some(l) = s.limit {
+        out.push_str(&format!(" LIMIT {l}"));
+    }
+    out
+}
+
+fn render_table_ref(t: &TableRef) -> String {
+    match &t.alias {
+        Some(a) => format!("{} AS {}", t.name, a),
+        None => t.name.clone(),
+    }
+}
+
+fn render_insert(i: &Insert) -> String {
+    let mut out = format!("INSERT INTO {}", i.table);
+    if !i.columns.is_empty() {
+        out.push_str(" (");
+        out.push_str(&i.columns.join(", "));
+        out.push(')');
+    }
+    match &i.source {
+        InsertSource::Values(rows) => {
+            out.push_str(" VALUES ");
+            for (r, row) in rows.iter().enumerate() {
+                if r > 0 {
+                    out.push_str(", ");
+                }
+                out.push('(');
+                for (c, e) in row.iter().enumerate() {
+                    if c > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&render_expr(e));
+                }
+                out.push(')');
+            }
+        }
+        InsertSource::Select(sel) => {
+            out.push(' ');
+            out.push_str(&render_select(sel));
+        }
+    }
+    out
+}
+
+fn render_update(u: &Update) -> String {
+    let mut out = format!("UPDATE {} SET ", u.table);
+    for (i, (col, e)) in u.assignments.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(col);
+        out.push_str(" = ");
+        out.push_str(&render_expr(e));
+    }
+    if let Some(w) = &u.where_clause {
+        out.push_str(" WHERE ");
+        out.push_str(&render_expr(w));
+    }
+    out
+}
+
+fn render_delete(d: &Delete) -> String {
+    let mut out = format!("DELETE FROM {}", d.table);
+    if let Some(w) = &d.where_clause {
+        out.push_str(" WHERE ");
+        out.push_str(&render_expr(w));
+    }
+    out
+}
+
+/// Renders one expression, fully parenthesized.
+pub fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Literal(v) => render_value(v),
+        Expr::Param(i) => format!("?{}", i + 1),
+        Expr::Column(c) => match &c.table {
+            Some(t) => format!("{}.{}", t, c.column),
+            None => c.column.clone(),
+        },
+        Expr::Binary { op, lhs, rhs } => {
+            format!("({} {} {})", render_expr(lhs), render_op(*op), render_expr(rhs))
+        }
+        Expr::Neg(inner) => format!("(-{})", render_expr(inner)),
+        Expr::Not(inner) => format!("(NOT {})", render_expr(inner)),
+        Expr::IsNull { expr, negated } => format!(
+            "({} IS {}NULL)",
+            render_expr(expr),
+            if *negated { "NOT " } else { "" }
+        ),
+        Expr::InList { expr, list, negated } => {
+            let items: Vec<String> = list.iter().map(render_expr).collect();
+            format!(
+                "({} {}IN ({}))",
+                render_expr(expr),
+                if *negated { "NOT " } else { "" },
+                items.join(", ")
+            )
+        }
+        Expr::Between { expr, lo, hi, negated } => format!(
+            "({} {}BETWEEN {} AND {})",
+            render_expr(expr),
+            if *negated { "NOT " } else { "" },
+            render_expr(lo),
+            render_expr(hi)
+        ),
+        Expr::Aggregate { func, arg, distinct } => {
+            let name = match func {
+                AggFunc::Count => "COUNT",
+                AggFunc::Sum => "SUM",
+                AggFunc::Avg => "AVG",
+                AggFunc::Min => "MIN",
+                AggFunc::Max => "MAX",
+            };
+            match arg {
+                None => format!("{name}(*)"),
+                Some(a) => format!(
+                    "{name}({}{})",
+                    if *distinct { "DISTINCT " } else { "" },
+                    render_expr(a)
+                ),
+            }
+        }
+        Expr::Abs(inner) => format!("ABS({})", render_expr(inner)),
+    }
+}
+
+fn render_op(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Eq => "=",
+        BinOp::NotEq => "<>",
+        BinOp::Lt => "<",
+        BinOp::LtEq => "<=",
+        BinOp::Gt => ">",
+        BinOp::GtEq => ">=",
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::And => "AND",
+        BinOp::Or => "OR",
+    }
+}
+
+fn render_value(v: &Value) -> String {
+    // Negative numbers lex as unary minus + positive literal, which
+    // parses to `Neg(Literal(..))`, not `Literal(negative)` — so a
+    // negative literal would not round-trip to the same AST. The
+    // generator wraps negatives as `Neg` over a positive literal (or a
+    // parameter) instead; reaching here with one is a generator bug.
+    match v {
+        Value::Bool(true) => "TRUE".into(),
+        Value::Bool(false) => "FALSE".into(),
+        Value::Int(i) if *i < 0 => panic!("negative int literal {i}: wrap in Neg or use a param"),
+        Value::Float(f) if f.is_sign_negative() => {
+            panic!("negative float literal {f:?}: wrap in Neg or use a param")
+        }
+        _ => v
+            .sql_literal()
+            .unwrap_or_else(|| panic!("value {v:?} has no literal form; use a parameter")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstore_sql::ast::ColumnRef;
+
+    fn roundtrip(stmt: &Statement) {
+        let sql = render_stmt(stmt);
+        let parsed = sstore_sql::parse(&sql)
+            .unwrap_or_else(|e| panic!("rendered SQL failed to parse: {e}\n  {sql}"));
+        assert_eq!(&parsed, stmt, "render/parse round-trip mismatch for: {sql}");
+    }
+
+    #[test]
+    fn roundtrips_a_kitchen_sink_select() {
+        let col = |n: &str| Expr::Column(ColumnRef { table: None, column: n.into() });
+        let stmt = Statement::Select(Select {
+            items: vec![
+                SelectItem::Expr {
+                    expr: Expr::Binary {
+                        op: BinOp::Add,
+                        lhs: Box::new(col("c0")),
+                        rhs: Box::new(Expr::Neg(Box::new(Expr::Literal(Value::Int(3))))),
+                    },
+                    alias: Some("x".into()),
+                },
+                SelectItem::Expr {
+                    expr: Expr::Aggregate {
+                        func: AggFunc::Count,
+                        arg: Some(Box::new(col("c1"))),
+                        distinct: true,
+                    },
+                    alias: None,
+                },
+            ],
+            from: TableRef { name: "t0".into(), alias: Some("a".into()) },
+            joins: vec![Join {
+                table: TableRef { name: "t1".into(), alias: None },
+                on: Expr::Binary {
+                    op: BinOp::Eq,
+                    lhs: Box::new(Expr::Column(ColumnRef {
+                        table: Some("a".into()),
+                        column: "c0".into(),
+                    })),
+                    rhs: Box::new(Expr::Column(ColumnRef {
+                        table: Some("t1".into()),
+                        column: "c0".into(),
+                    })),
+                },
+            }],
+            where_clause: Some(Expr::InList {
+                expr: Box::new(col("c2")),
+                list: vec![Expr::Literal(Value::Null), Expr::Param(0)],
+                negated: true,
+            }),
+            group_by: vec![Expr::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(col("c0")),
+                rhs: Box::new(Expr::Neg(Box::new(Expr::Literal(Value::Int(3))))),
+            }],
+            having: Some(Expr::Binary {
+                op: BinOp::Gt,
+                lhs: Box::new(Expr::Aggregate { func: AggFunc::Count, arg: None, distinct: false }),
+                rhs: Box::new(Expr::Literal(Value::Int(1))),
+            }),
+            order_by: vec![OrderKey {
+                expr: Expr::Aggregate { func: AggFunc::Count, arg: None, distinct: false },
+                order: SortOrder::Desc,
+            }],
+            limit: Some(5),
+        });
+        roundtrip(&stmt);
+    }
+
+    #[test]
+    fn roundtrips_dml() {
+        roundtrip(&Statement::Insert(Insert {
+            table: "t0".into(),
+            columns: vec!["c0".into(), "c1".into()],
+            source: InsertSource::Values(vec![
+                vec![Expr::Literal(Value::Int(1)), Expr::Param(1)],
+                vec![Expr::Literal(Value::Null), Expr::Literal(Value::Text("a b".into()))],
+            ]),
+        }));
+        roundtrip(&Statement::Update(Update {
+            table: "t0".into(),
+            assignments: vec![(
+                "c1".into(),
+                Expr::Binary {
+                    op: BinOp::Mod,
+                    lhs: Box::new(Expr::Column(ColumnRef { table: None, column: "c1".into() })),
+                    rhs: Box::new(Expr::Literal(Value::Int(7))),
+                },
+            )],
+            where_clause: Some(Expr::Between {
+                expr: Box::new(Expr::Column(ColumnRef { table: None, column: "c0".into() })),
+                lo: Box::new(Expr::Literal(Value::Float(0.5))),
+                hi: Box::new(Expr::Param(0)),
+                negated: true,
+            }),
+        }));
+        roundtrip(&Statement::Delete(Delete {
+            table: "t1".into(),
+            where_clause: Some(Expr::IsNull {
+                expr: Box::new(Expr::Column(ColumnRef { table: None, column: "c2".into() })),
+                negated: true,
+            }),
+        }));
+    }
+
+    #[test]
+    fn roundtrips_bool_and_float_literals() {
+        let stmt = Statement::Select(Select {
+            items: vec![SelectItem::Expr {
+                expr: Expr::Binary {
+                    op: BinOp::Or,
+                    lhs: Box::new(Expr::Literal(Value::Bool(false))),
+                    rhs: Box::new(Expr::Binary {
+                        op: BinOp::Lt,
+                        lhs: Box::new(Expr::Literal(Value::Float(1.0))),
+                        rhs: Box::new(Expr::Neg(Box::new(Expr::Literal(Value::Float(2.5e-3))))),
+                    }),
+                },
+                alias: None,
+            }],
+            from: TableRef { name: "t0".into(), alias: None },
+            joins: vec![],
+            where_clause: None,
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit: None,
+        });
+        roundtrip(&stmt);
+    }
+}

@@ -53,6 +53,29 @@ case "$lout" in
         ;;
 esac
 
+echo "== sqlfuzz smoke (differential SQL corpus vs reference executor, time-boxed) =="
+# Seeded random SQL (joins, GROUP BY/HAVING, IN/BETWEEN, NULL/NaN/
+# overflow edges) run through the engine in four configurations
+# (columnar on/off x fresh vs post-crash-recovery) and compared against
+# the naive reference executor — rows bit-exactly, errors by stable
+# wire code. Any mismatch fails the build and prints the shrunk minimal
+# repro plus the seed (replay locally with
+# SQLFUZZ_SEED=<seed> cargo run -p sqlfuzz --release).
+if ! fout=$(cargo run --release -q -p sqlfuzz -- --seeds 2000 --time-box 120 2>&1); then
+    echo "$fout"
+    echo "bench_smoke: sqlfuzz found a divergence (shrunk repro + seed above)" >&2
+    exit 1
+fi
+echo "$fout" | tail -1
+case "$fout" in
+    *"seeds clean in"*) ;;
+    *"time box"*) ;;
+    *)
+        echo "bench_smoke: sqlfuzz output did not report a clean sweep" >&2
+        exit 1
+        ;;
+esac
+
 echo "== hotpath smoke (2s per case) =="
 out=$(cargo run --release -p sstore-bench --bin hotpath -- 2 2>/dev/null)
 echo "$out"
